@@ -1,0 +1,130 @@
+//! Weight-technology comparison computed from the device models.
+//!
+//! The paper's §I argues its MRR + pSRAM combination against two
+//! alternatives: MZI meshes (fast updates, large area) and PCM cells
+//! (compact and non-volatile, but slow, energy-hungry writes with finite
+//! endurance). Rather than restating the argument, this module *derives*
+//! each column from the corresponding device model in `pic-photonics` /
+//! `pic-psram`.
+
+use pic_photonics::{Mzi, PcmCell};
+use pic_psram::{PsramConfig, WriteEnergyModel};
+
+/// One weight-technology row.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WeightTechnology {
+    /// Technology name.
+    pub name: &'static str,
+    /// Worst-case weight update rate, Hz.
+    pub update_rate_hz: f64,
+    /// Energy per worst-case weight update, J.
+    pub update_energy_j: f64,
+    /// Footprint per stored weight, µm².
+    pub footprint_um2: f64,
+    /// Whether the weight survives power-off.
+    pub non_volatile: bool,
+    /// Update endurance (writes before wear-out), `None` = unlimited.
+    pub endurance: Option<u64>,
+}
+
+/// pSRAM-driven MRR (this work): update dynamics from the pSRAM write
+/// model; footprint = one multiplier ring plus its n-bit pSRAM column.
+#[must_use]
+pub fn psram_mrr(weight_bits: u32) -> WeightTechnology {
+    let cfg = PsramConfig::paper();
+    let per_switch = WriteEnergyModel::new(cfg).energy_per_switch();
+    // Ring footprint: 7.5 µm radius plus bus/contact clearance; one
+    // multiplier ring per bit plus two latch rings per pSRAM cell.
+    let ring = std::f64::consts::PI * (7.5f64 + 5.0).powi(2);
+    let rings_per_weight = weight_bits as f64 * (1.0 + 2.0);
+    WeightTechnology {
+        name: "pSRAM + MRR (this work)",
+        update_rate_hz: cfg.update_rate.as_hertz(),
+        update_energy_j: per_switch.as_joules() * f64::from(weight_bits),
+        footprint_um2: ring * rings_per_weight,
+        non_volatile: false,
+        endurance: None,
+    }
+}
+
+/// MZI mesh weight: effectively instantaneous electro-optic phase updates
+/// (clock-limited; take the 60 GHz modulator class of Table I's \[33\]),
+/// but hundreds of µm per device.
+#[must_use]
+pub fn mzi_mesh() -> WeightTechnology {
+    let mzi = Mzi::silicon_thermo_optic();
+    // Drive energy: CV² of a phase-shifter-class load per update.
+    let c = 50e-15;
+    let v = 2.0;
+    WeightTechnology {
+        name: "MZI mesh",
+        update_rate_hz: 60.0e9,
+        update_energy_j: c * v * v,
+        footprint_um2: mzi.footprint_um2(),
+        non_volatile: false,
+        endurance: None,
+    }
+}
+
+/// PCM-on-waveguide weight: compact and non-volatile; update costs from
+/// the multi-level programming model.
+#[must_use]
+pub fn pcm_cell() -> WeightTechnology {
+    let cell = PcmCell::gst_on_waveguide();
+    let mut programming = PcmCell::gst_on_waveguide();
+    let (_, energy) = programming.program(cell.levels() - 1);
+    WeightTechnology {
+        name: "PCM on waveguide",
+        update_rate_hz: cell.update_rate_hz(),
+        update_energy_j: energy.as_joules(),
+        footprint_um2: 25.0, // a GST patch on a waveguide
+        non_volatile: true,
+        endurance: Some(100_000_000),
+    }
+}
+
+/// All three rows, this work first.
+#[must_use]
+pub fn weight_technologies(weight_bits: u32) -> Vec<WeightTechnology> {
+    vec![psram_mrr(weight_bits), mzi_mesh(), pcm_cell()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psram_updates_beat_pcm_by_orders_of_magnitude() {
+        let rows = weight_technologies(3);
+        let us = &rows[0];
+        let pcm = &rows[2];
+        assert!(us.update_rate_hz / pcm.update_rate_hz > 1e4);
+        assert!(us.update_energy_j < pcm.update_energy_j / 100.0);
+    }
+
+    #[test]
+    fn mzi_area_dwarfs_both() {
+        let rows = weight_technologies(3);
+        assert!(rows[1].footprint_um2 > 2.0 * rows[0].footprint_um2);
+        assert!(rows[1].footprint_um2 > 100.0 * rows[2].footprint_um2);
+    }
+
+    #[test]
+    fn only_pcm_is_non_volatile() {
+        let rows = weight_technologies(3);
+        assert!(!rows[0].non_volatile && !rows[1].non_volatile && rows[2].non_volatile);
+        assert!(rows[2].endurance.is_some());
+        assert!(rows[0].endurance.is_none());
+    }
+
+    #[test]
+    fn this_work_is_the_update_speed_compromise() {
+        // The §I narrative: MZI updates fastest but biggest; PCM smallest
+        // but slowest; pSRAM+MRR within 3× of MZI speed at a fraction of
+        // its area.
+        let rows = weight_technologies(3);
+        assert!(rows[1].update_rate_hz > rows[0].update_rate_hz);
+        assert!(rows[0].update_rate_hz > 1000.0 * rows[2].update_rate_hz);
+        assert!(rows[0].footprint_um2 < rows[1].footprint_um2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! 1-hot vs thermometer decoding, compute modes, weight-precision
+//! scaling, ADC resolution scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pic_circuit::{thermometer_decode, CeilingRomDecoder};
+use pic_eoadc::{EoAdc, EoAdcConfig};
+use pic_tensor::VectorComputeCore;
+use pic_units::{OpticalPower, Voltage, Wavelength};
+
+fn bench_decoders(c: &mut Criterion) {
+    let rom = CeilingRomDecoder::new(3);
+    let mut one_hot = [false; 8];
+    one_hot[4] = true;
+    let thermometer = [true, true, true, true, false, false, false];
+
+    let mut g = c.benchmark_group("ablation/decoder");
+    g.bench_function("one_hot_ceiling", |b| {
+        b.iter(|| rom.decode(black_box(&one_hot)).expect("legal"))
+    });
+    g.bench_function("thermometer", |b| {
+        b.iter(|| thermometer_decode(black_box(&thermometer)).expect("no bubble"))
+    });
+    g.finish();
+}
+
+fn bench_weight_precision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/weight_bits");
+    for bits in [1u32, 2, 3, 4, 6] {
+        let comb = pic_photonics::FrequencyComb::paper_compute_grid(
+            OpticalPower::from_milliwatts(1.0),
+        );
+        let core = VectorComputeCore::new(comb, bits, Voltage::from_volts(1.0));
+        let codes: Vec<u32> = (0..4).map(|i| i % (1 << bits)).collect();
+        let drives = core.drives_for_codes(&codes);
+        let x = [0.3, 0.7, 0.1, 0.9];
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| core.output_current(black_box(&x), black_box(&drives)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_adc_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/adc_bits");
+    for bits in [2u32, 3, 4, 5] {
+        let cfg = EoAdcConfig {
+            bits,
+            ..EoAdcConfig::paper()
+        };
+        let adc = EoAdc::new(cfg);
+        let v = Voltage::from_volts(1.97);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| adc.convert_static(black_box(v)).expect("legal"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/wdm_channels");
+    for channels in [2usize, 4, 8] {
+        let comb = pic_photonics::FrequencyComb::new(
+            Wavelength::from_nanometers(1310.0),
+            2.33,
+            channels,
+            OpticalPower::from_milliwatts(1.0),
+        );
+        let core = VectorComputeCore::new(comb, 3, Voltage::from_volts(1.0));
+        let x: Vec<f64> = (0..channels).map(|i| i as f64 / channels as f64).collect();
+        let codes: Vec<u32> = (0..channels as u32).map(|i| i % 8).collect();
+        let drives = core.drives_for_codes(&codes);
+        g.bench_with_input(BenchmarkId::from_parameter(channels), &channels, |b, _| {
+            b.iter(|| core.output_current(black_box(&x), black_box(&drives)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decoders,
+    bench_weight_precision,
+    bench_adc_resolution,
+    bench_channel_count
+);
+criterion_main!(benches);

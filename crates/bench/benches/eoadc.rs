@@ -1,0 +1,37 @@
+//! eoADC conversion throughput: quasi-static, transient, interleaved and
+//! cascaded paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pic_eoadc::{CascadedAdc, EoAdc, EoAdcConfig, TimeInterleavedAdc};
+use pic_units::Voltage;
+
+fn bench_eoadc(c: &mut Criterion) {
+    let adc = EoAdc::new(EoAdcConfig::paper());
+    let v = Voltage::from_volts(1.97);
+
+    c.bench_function("eoadc/convert_static", |b| {
+        b.iter(|| adc.convert_static(black_box(v)).expect("legal"))
+    });
+
+    let mut transient = EoAdc::new(EoAdcConfig::paper());
+    c.bench_function("eoadc/convert_transient_125ps", |b| {
+        b.iter(|| transient.convert_transient(black_box(v)))
+    });
+
+    let cascade = CascadedAdc::paper_pair();
+    c.bench_function("eoadc/cascaded_6bit_convert", |b| {
+        b.iter(|| cascade.convert(black_box(v)).expect("legal"))
+    });
+
+    let ti = TimeInterleavedAdc::new(EoAdcConfig::paper(), 4);
+    c.bench_function("eoadc/interleaved_slot_convert", |b| {
+        b.iter(|| ti.convert_slot(black_box(3), black_box(v)).expect("legal"))
+    });
+
+    c.bench_function("eoadc/build_calibrated", |b| {
+        b.iter(|| EoAdc::new(black_box(EoAdcConfig::paper())))
+    });
+}
+
+criterion_group!(benches, bench_eoadc);
+criterion_main!(benches);

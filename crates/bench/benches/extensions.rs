@@ -1,0 +1,69 @@
+//! Benchmarks for the extension subsystems: FFT/dynamic metrics,
+//! calibration, noise sampling, heater locking, streaming schedules.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pic_eoadc::{metrics::dynamic_test, CalibratedAdc, EoAdc, EoAdcConfig};
+use pic_photonics::{HeaterLock, Mrr, NoiseModel};
+use pic_tensor::{StreamingSchedule, TensorCoreConfig, WriteParallelism};
+use pic_units::{Current, Voltage, Wavelength};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_extensions(c: &mut Criterion) {
+    c.bench_function("ext/fft_power_spectrum_2048", |b| {
+        let samples: Vec<f64> = (0..2048)
+            .map(|i| (i as f64 * 0.2).sin() + 0.3 * (i as f64 * 0.7).sin())
+            .collect();
+        b.iter(|| pic_signal::fft::power_spectrum(black_box(&samples)))
+    });
+
+    c.bench_function("ext/adc_dynamic_test_2048", |b| {
+        let adc = EoAdc::new(EoAdcConfig::paper());
+        b.iter(|| dynamic_test(black_box(&adc), 67, 2048))
+    });
+
+    c.bench_function("ext/adc_foreground_calibration", |b| {
+        b.iter(|| CalibratedAdc::calibrate(EoAdc::new(EoAdcConfig::paper()), black_box(721)))
+    });
+
+    c.bench_function("ext/noise_sample", |b| {
+        let model = NoiseModel::paper_receiver();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| model.sample(black_box(Current::from_microamps(100.0)), &mut rng))
+    });
+
+    c.bench_function("ext/heater_lock_acquire_5k", |b| {
+        b.iter(|| {
+            let mut lock = HeaterLock::new(
+                Mrr::compute_ring_design().build(),
+                Wavelength::from_nanometers(1310.0),
+                10.0,
+            );
+            lock.lock(black_box(5.0), 300)
+        })
+    });
+
+    c.bench_function("ext/streaming_schedule_report", |b| {
+        let sched = StreamingSchedule::new(
+            TensorCoreConfig::paper(),
+            256,
+            256,
+            64,
+            WriteParallelism::PerRow,
+        );
+        b.iter(|| black_box(&sched).report())
+    });
+
+    c.bench_function("ext/noisy_conversion", |b| {
+        let adc = EoAdc::new(EoAdcConfig::paper());
+        let noise = NoiseModel::paper_receiver();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            adc.convert_static_noisy(black_box(Voltage::from_volts(1.97)), &noise, &mut rng)
+                .expect("legal")
+        })
+    });
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

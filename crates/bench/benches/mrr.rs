@@ -1,0 +1,42 @@
+//! Microring model evaluation throughput — the inner loop of every
+//! experiment in the workspace.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pic_photonics::{Mrr, OperatingPoint};
+use pic_units::{Voltage, Wavelength};
+
+fn bench_mrr(c: &mut Criterion) {
+    let ring = Mrr::compute_ring_design().build();
+    let wl = Wavelength::from_nanometers(1310.3);
+    let op = OperatingPoint::at_voltage(Voltage::from_volts(0.5));
+
+    c.bench_function("mrr/thru_transmission", |b| {
+        b.iter(|| ring.thru_transmission(black_box(wl), black_box(op)))
+    });
+
+    c.bench_function("mrr/drop_transmission", |b| {
+        b.iter(|| ring.drop_transmission(black_box(wl), black_box(op)))
+    });
+
+    c.bench_function("mrr/resonance_near", |b| {
+        b.iter(|| ring.resonance_near(black_box(wl), black_box(op)))
+    });
+
+    c.bench_function("mrr/thru_spectrum_1k_points", |b| {
+        b.iter(|| {
+            ring.thru_spectrum(
+                Wavelength::from_nanometers(1305.0),
+                Wavelength::from_nanometers(1315.0),
+                1000,
+                black_box(op),
+            )
+        })
+    });
+
+    c.bench_function("mrr/build_calibrated", |b| {
+        b.iter(|| Mrr::compute_ring_design().length_adjust_nm(black_box(68.0)).build())
+    });
+}
+
+criterion_group!(benches, bench_mrr);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! pSRAM bitcell co-simulation throughput: hold steps, full write
+//! transients, word/array operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pic_psram::{PsramBitcell, PsramConfig, PsramWord};
+use pic_units::{OpticalPower, Seconds};
+
+fn bench_psram(c: &mut Criterion) {
+    let config = PsramConfig::paper();
+
+    c.bench_function("psram/hold_step", |b| {
+        let mut cell = PsramBitcell::new(config);
+        b.iter(|| {
+            cell.step(
+                black_box(OpticalPower::ZERO),
+                black_box(OpticalPower::ZERO),
+                Seconds::from_picoseconds(0.25),
+            )
+        })
+    });
+
+    c.bench_function("psram/write_transient", |b| {
+        b.iter(|| {
+            let mut cell = PsramBitcell::new(config);
+            cell.write(black_box(true))
+        })
+    });
+
+    c.bench_function("psram/word_store_3bit", |b| {
+        b.iter(|| {
+            let mut word = PsramWord::new(config, 3);
+            word.store(black_box(5))
+        })
+    });
+
+    c.bench_function("psram/word_preset_3bit", |b| {
+        b.iter(|| PsramWord::preset(config, 3, black_box(5)))
+    });
+
+    c.bench_function("psram/snm_analysis", |b| {
+        b.iter(|| pic_psram::stability::static_noise_margin(black_box(&config)))
+    });
+}
+
+criterion_group!(benches, bench_psram);
+criterion_main!(benches);

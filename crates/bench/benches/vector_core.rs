@@ -1,0 +1,51 @@
+//! Vector-multiply macro and row evaluation throughput (Fig. 2 / Fig. 4
+//! datapath).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pic_tensor::{ComputeMode, TensorRow, VectorComputeCore};
+use pic_units::{OpticalPower, Voltage};
+
+fn bench_vector_core(c: &mut Criterion) {
+    let core = VectorComputeCore::paper_macro(OpticalPower::from_milliwatts(1.0));
+    let single = VectorComputeCore::paper_macro(OpticalPower::from_milliwatts(1.0))
+        .with_mode(ComputeMode::SingleChannelSuperposition);
+    let x = [0.3, 0.7, 0.1, 0.9];
+    let drives = core.drives_for_codes(&[3, 5, 1, 7]);
+
+    c.bench_function("vector_core/1x4_full_wdm", |b| {
+        b.iter(|| core.output_current(black_box(&x), black_box(&drives)))
+    });
+
+    c.bench_function("vector_core/1x4_single_channel_superposition", |b| {
+        b.iter(|| single.output_current(black_box(&x), black_box(&drives)))
+    });
+
+    let row = TensorRow::new(
+        4,
+        4,
+        3,
+        OpticalPower::from_milliwatts(1.0),
+        Voltage::from_volts(1.0),
+    );
+    let x16: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
+    let drives16: Vec<Vec<Voltage>> = (0..16)
+        .map(|i| {
+            (0..3)
+                .map(|b| {
+                    if (i >> b) & 1 == 1 {
+                        Voltage::from_volts(1.0)
+                    } else {
+                        Voltage::ZERO
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    c.bench_function("vector_core/1x16_row", |b| {
+        b.iter(|| row.output_current(black_box(&x16), black_box(&drives16)))
+    });
+}
+
+criterion_group!(benches, bench_vector_core);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! ADCE — eoADC energy/speed trade-off (§IV-C).
+//!
+//! Full converter: 8 GS/s at 2.32 pJ/conversion (7.58 mW optical wall-plug
+//! + 11 mW electrical). Amplifier-less variant: 416.7 MS/s at 58 % less
+//! electrical power. Also contrasts against the thermometer-coded flash
+//! baseline the 1-hot architecture is motivated by.
+
+use pic_bench::{check_against_paper, Artifact};
+use pic_eoadc::{AdcPowerModel, EoAdcConfig, FlashAdcModel};
+
+fn main() {
+    let full = AdcPowerModel::new(EoAdcConfig::paper());
+    let lean = AdcPowerModel::without_amplifiers(EoAdcConfig::paper());
+    let flash = FlashAdcModel::paper_equivalent();
+
+    let mut art = Artifact::new(
+        "adc_energy",
+        "eoADC energy/speed variants vs flash baseline",
+        &[
+            "variant",
+            "rate",
+            "optical (mW)",
+            "electrical (mW)",
+            "energy/conv (pJ)",
+        ],
+    );
+    art.push_row(vec![
+        "eoADC (TIA+amp)".into(),
+        format!("{:.1} GS/s", full.sample_rate().as_gigahertz()),
+        format!("{:.2}", full.optical_wall_plug().as_milliwatts()),
+        format!("{:.2}", full.electrical().as_milliwatts()),
+        format!("{:.3}", full.energy_per_conversion().as_picojoules()),
+    ]);
+    art.push_row(vec![
+        "eoADC (amp-less)".into(),
+        format!("{:.1} MS/s", lean.sample_rate().as_hertz() / 1e6),
+        format!("{:.2}", lean.optical_wall_plug().as_milliwatts()),
+        format!("{:.2}", lean.electrical().as_milliwatts()),
+        format!("{:.3}", lean.energy_per_conversion().as_picojoules()),
+    ]);
+    art.push_row(vec![
+        "electrical flash (thermometer)".into(),
+        "8.0 GS/s".into(),
+        "0.00".into(),
+        format!("{:.2}", flash.power().as_milliwatts()),
+        format!("{:.3}", flash.energy_per_conversion().as_picojoules()),
+    ]);
+
+    check_against_paper(
+        "energy per conversion (pJ)",
+        full.energy_per_conversion().as_picojoules(),
+        2.32,
+        0.01,
+    );
+    check_against_paper(
+        "optical wall-plug (mW)",
+        full.optical_wall_plug().as_milliwatts(),
+        7.58,
+        0.01,
+    );
+    check_against_paper("electrical power (mW)", full.electrical().as_milliwatts(), 11.0, 1e-9);
+    check_against_paper(
+        "amp-less electrical reduction",
+        1.0 - lean.electrical().as_watts() / full.electrical().as_watts(),
+        0.58,
+        1e-9,
+    );
+    check_against_paper(
+        "amp-less rate (MS/s)",
+        lean.sample_rate().as_hertz() / 1e6,
+        416.7,
+        1e-6,
+    );
+    assert!(
+        full.energy_per_conversion().as_joules() < flash.energy_per_conversion().as_joules(),
+        "1-hot must undercut the thermometer flash on conversion energy"
+    );
+
+    art.record_scalar(
+        "eoadc_energy_pj",
+        full.energy_per_conversion().as_picojoules(),
+    );
+    art.record_scalar(
+        "flash_energy_pj",
+        flash.energy_per_conversion().as_picojoules(),
+    );
+    art.record_scalar(
+        "electrical_saving_frac",
+        1.0 - lean.electrical().as_watts() / full.electrical().as_watts(),
+    );
+    art.finish();
+}

@@ -1,0 +1,52 @@
+//! FIG6 — MRR transmission spectra vs ring length adjustment (paper
+//! Fig. 6, §IV-B).
+//!
+//! The 7.5 µm compute ring with dL ∈ {0, 68, 136, 204} nm of circumference
+//! adjustment yields four resonances spaced by ≈2.33 nm inside a 9.36 nm
+//! FSR — the four WDM channels of the vector macro.
+
+use pic_bench::{check_against_paper, Artifact};
+use pic_photonics::{Mrr, OperatingPoint};
+use pic_units::Wavelength;
+
+fn main() {
+    let adjustments = [0.0, 68.0, 136.0, 204.0];
+    let mut art = Artifact::new(
+        "fig6",
+        "MRR spectra vs ring length adjustment dL",
+        &["dL (nm)", "resonance (nm)", "shift from base (nm)", "FSR (nm)"],
+    );
+
+    let mut resonances = Vec::new();
+    for &dl in &adjustments {
+        let ring = Mrr::compute_ring_design().length_adjust_nm(dl).build();
+        let guess = Wavelength::from_nanometers(1310.0 + 2.33 * (dl / 68.0));
+        let res = ring.resonance_near(guess, OperatingPoint::unbiased());
+        let fsr = ring.fsr_near(res).as_nanometers();
+        resonances.push(res.as_nanometers());
+        art.push_row(vec![
+            format!("{dl:.0}"),
+            format!("{:.4}", res.as_nanometers()),
+            format!("{:.4}", res.as_nanometers() - resonances[0]),
+            format!("{fsr:.3}"),
+        ]);
+    }
+
+    // Paper targets: 9.36 nm FSR, 2.33 nm channel spacing.
+    let base_ring = Mrr::compute_ring_design().build();
+    let fsr = base_ring
+        .fsr_near(Wavelength::from_nanometers(1310.0))
+        .as_nanometers();
+    check_against_paper("FSR (nm)", fsr, 9.36, 0.01);
+    for w in resonances.windows(2) {
+        check_against_paper("channel spacing (nm)", w[1] - w[0], 2.33, 0.03);
+    }
+
+    // All four channels must fit inside one FSR without wrap-around.
+    let span = resonances[3] - resonances[0];
+    assert!(span < fsr, "channel span {span} nm exceeds the FSR {fsr} nm");
+
+    art.record_scalar("fsr_nm", fsr);
+    art.record_scalar("mean_spacing_nm", span / 3.0);
+    art.finish();
+}

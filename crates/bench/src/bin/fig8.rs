@@ -1,0 +1,105 @@
+//! FIG8 — eoADC ring thru power versus analog input voltage for all eight
+//! reference channels (paper Fig. 8, §IV-C).
+//!
+//! Each channel's transmission dips below the reference power only inside
+//! its own input-voltage window: the 1-hot encoding characteristic.
+
+use pic_bench::Artifact;
+use pic_eoadc::{EoAdcConfig, MrrQuantizer};
+use pic_units::Voltage;
+
+fn main() {
+    let q = MrrQuantizer::new(EoAdcConfig::paper());
+    let cfg = *q.config();
+    let threshold = q.threshold_ratio();
+
+    let mut art = Artifact::new(
+        "fig8",
+        "eoADC thru transmission vs V_IN per reference channel",
+        &[
+            "channel",
+            "V_REF (V)",
+            "dip at V_IN (V)",
+            "dip T",
+            "window (V)",
+        ],
+    );
+
+    for i in 0..q.channel_count() {
+        let sweep = q.voltage_spectrum(i, 1441);
+        let (dip_v, dip_t) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty sweep");
+
+        // Width of the sub-threshold (activated) window.
+        let below: Vec<f64> = sweep
+            .iter()
+            .filter(|&&(_, t)| t < threshold)
+            .map(|&(v, _)| v)
+            .collect();
+        let window = below.last().map_or(0.0, |hi| hi - below[0]);
+
+        let v_ref = q.ladder().reference(i).as_volts();
+        assert!(
+            (dip_v - v_ref).abs() < 0.02,
+            "channel {i} dips at {dip_v} V, expected {v_ref} V"
+        );
+        assert!(dip_t < threshold, "channel {i} never crosses the threshold");
+        // The calibrated window: 2 × 0.26 V ≈ 0.52 V; the top channel's
+        // window is truncated at full scale (its reference *is* V_FS).
+        let expected_window = (v_ref + 0.26).min(cfg.vfs.as_volts()) - (v_ref - 0.26);
+        assert!(
+            (window - expected_window).abs() < 0.06,
+            "channel {i} window {window} V off the calibrated {expected_window} V"
+        );
+
+        art.push_row(vec![
+            format!("M{}", i + 1),
+            format!("{v_ref:.2}"),
+            format!("{dip_v:.3}"),
+            format!("{dip_t:.4}"),
+            format!("{window:.3}"),
+        ]);
+    }
+
+    // 1-hot global property: count activations across the sweep.
+    let mut max_simultaneous = 0usize;
+    let mut v = 0.0;
+    while v <= cfg.vfs.as_volts() {
+        let hot = q
+            .activations(Voltage::from_volts(v))
+            .iter()
+            .filter(|&&a| a)
+            .count();
+        max_simultaneous = max_simultaneous.max(hot);
+        v += 0.002;
+    }
+    assert_eq!(
+        max_simultaneous, 2,
+        "boundaries activate exactly two adjacent channels"
+    );
+
+    art.record_scalar("threshold_ratio", threshold);
+    art.record_scalar("max_simultaneous_activations", max_simultaneous as f64);
+    art.finish();
+
+    // Full plottable sweep: every channel's transmission vs V_IN.
+    let sweeps: Vec<Vec<(f64, f64)>> = (0..q.channel_count())
+        .map(|i| q.voltage_spectrum(i, 1441))
+        .collect();
+    let rows: Vec<(f64, Vec<f64>)> = (0..sweeps[0].len())
+        .map(|k| (sweeps[0][k].0, sweeps.iter().map(|s| s[k].1).collect()))
+        .collect();
+    let names: Vec<String> = (0..q.channel_count()).map(|i| format!("m{}", i + 1)).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    pic_signal::export::write_xy_csv(
+        &pic_bench::results_dir().join("fig8_traces.csv"),
+        "v_in",
+        &name_refs,
+        &rows,
+    )
+    .expect("export traces");
+    println!("  [written results/fig8_traces.csv]");
+}

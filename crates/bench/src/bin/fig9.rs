@@ -1,0 +1,95 @@
+//! FIG9 — eoADC transient verification (paper Fig. 9, §IV-C).
+//!
+//! Full co-simulated conversions for the paper's three inputs: 0.72 V and
+//! 3.3 V activate a single thresholding block (B2, B7 → codes 001, 110);
+//! 2.0 V sits on the B4/B5 boundary, activates both, and the ceiling
+//! priority ROM resolves it to 100 — at the 8 GS/s (125 ps) clock.
+
+use pic_bench::{check_against_paper, Artifact};
+use pic_eoadc::{EoAdc, EoAdcConfig};
+use pic_units::Voltage;
+
+fn main() {
+    let mut adc = EoAdc::new(EoAdcConfig::paper());
+
+    let cases: [(f64, u16, &[usize]); 3] = [
+        (0.72, 0b001, &[1]),
+        (3.30, 0b110, &[6]),
+        (2.00, 0b100, &[3, 4]),
+    ];
+
+    let mut art = Artifact::new(
+        "fig9",
+        "eoADC transient conversions at 8 GS/s",
+        &["V_IN (V)", "active blocks", "code", "B settle (ps)"],
+    );
+
+    for (v, expected_code, expected_hot) in cases {
+        let tc = adc.convert_transient(Voltage::from_volts(v));
+        let code = tc.code.expect("legal activation pattern");
+        assert_eq!(
+            code, expected_code,
+            "input {v} V decoded to {code:03b}, expected {expected_code:03b}"
+        );
+        let hot: Vec<usize> = tc
+            .activations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect();
+        assert_eq!(hot, expected_hot, "activation set at {v} V");
+
+        // When did the (first) active B output cross mid-rail?
+        let vdd = adc.config().vdd.as_volts();
+        let settle = tc.b_outputs[hot[0]]
+            .first_rising_crossing(0.5 * vdd)
+            .map_or(f64::NAN, |i| {
+                i as f64 * adc.config().time_step.as_picoseconds()
+            });
+        assert!(
+            settle < 125.0,
+            "B{} settles at {settle} ps, beyond the 125 ps window",
+            hot[0] + 1
+        );
+
+        art.push_row(vec![
+            format!("{v:.2}"),
+            hot.iter()
+                .map(|i| format!("B{}", i + 1))
+                .collect::<Vec<_>>()
+                .join("+"),
+            format!("{code:03b}"),
+            format!("{settle:.1}"),
+        ]);
+
+        // Full plottable traces: every B output and Q_p node.
+        let labels: Vec<String> = (0..tc.b_outputs.len())
+            .map(|i| format!("b{}_v", i + 1))
+            .chain((0..tc.qp_nodes.len()).map(|i| format!("qp{}_v", i + 1)))
+            .collect();
+        let traces: Vec<(&str, &pic_signal::Waveform)> = labels
+            .iter()
+            .map(String::as_str)
+            .zip(tc.b_outputs.iter().chain(tc.qp_nodes.iter()))
+            .collect();
+        let tag = format!("{:.2}", v).replace('.', "p");
+        pic_signal::export::write_waveforms_csv(
+            &pic_bench::results_dir().join(format!("fig9_vin{tag}_traces.csv")),
+            &traces,
+        )
+        .expect("export traces");
+    }
+
+    check_against_paper(
+        "sampling rate (GS/s)",
+        adc.sample_rate().as_gigahertz(),
+        8.0,
+        1e-9,
+    );
+    art.record_scalar("sample_rate_gsps", adc.sample_rate().as_gigahertz());
+    art.record_scalar(
+        "clock_period_ps",
+        adc.sample_rate().period().as_picoseconds(),
+    );
+    art.finish();
+}

@@ -1,0 +1,62 @@
+//! XMARG — pSRAM write margin, disturb immunity and bias-loss retention.
+//!
+//! Quantifies the §II-A operating conditions: "the write optical power
+//! must exceed the input bias laser power" (how much margin is there?)
+//! and data holds "as long as both the optical bias and electrical bias
+//! are maintained" (how long does a bias dropout take to kill it?).
+
+use pic_bench::Artifact;
+use pic_psram::{margins, PsramConfig};
+
+fn main() {
+    let cfg = PsramConfig::paper();
+    let report = margins::margin_report(cfg);
+    let retention = margins::bias_loss_retention(cfg);
+
+    let mut art = Artifact::new(
+        "margins",
+        "pSRAM write margin, disturb immunity, bias-loss retention",
+        &["quantity", "value"],
+    );
+    let mut row = |k: &str, v: String| art.push_row(vec![k.to_owned(), v]);
+    row("nominal write power", format!("{:.0} µW (0 dBm)", cfg.write_power.as_microwatts()));
+    row("optical bias power", format!("{:.0} µW (−20 dBm)", cfg.bias_power.as_microwatts()));
+    row(
+        "minimum flip power",
+        format!("{:.1} µW", report.minimum_flip_power_w * 1e6),
+    );
+    row(
+        "maximum safe disturb",
+        format!("{:.1} µW", report.maximum_safe_disturb_w * 1e6),
+    );
+    row("write margin (nominal/flip)", format!("{:.1}×", report.write_margin));
+    row("flip threshold / bias", format!("{:.1}×", report.flip_over_bias));
+    row(
+        "bias-loss retention",
+        format!(
+            "{:.1} ns ({:.0} update periods)",
+            retention.as_nanoseconds(),
+            retention.as_seconds() / cfg.update_rate.period().as_seconds()
+        ),
+    );
+
+    // The §II-A conditions, asserted.
+    assert!(
+        report.flip_over_bias > 1.0,
+        "writes must require more than the bias power"
+    );
+    assert!(report.write_margin > 5.0, "nominal drive must have headroom");
+    assert!(
+        report.maximum_safe_disturb_w < report.minimum_flip_power_w,
+        "threshold ordering"
+    );
+    assert!(
+        retention.as_nanoseconds() > 5.0,
+        "retention must span many 50 ps update periods"
+    );
+
+    art.record_scalar("write_margin", report.write_margin);
+    art.record_scalar("flip_over_bias", report.flip_over_bias);
+    art.record_scalar("retention_ns", retention.as_nanoseconds());
+    art.finish();
+}

@@ -1,0 +1,47 @@
+//! PERF — §IV-D headline performance analysis of the 16×16 core.
+//!
+//! 768 pSRAM bitcells at 3-bit precision, four wavelengths per macro,
+//! eoADC-limited cycle rate: 4.10 TOPS at 3.02 TOPS/W.
+
+use pic_bench::{check_against_paper, Artifact};
+use pic_tensor::performance::PerformanceModel;
+use pic_tensor::TensorCoreConfig;
+
+fn main() {
+    let cfg = TensorCoreConfig::paper();
+    let model = PerformanceModel::paper();
+    let report = model.report();
+    let b = report.breakdown;
+
+    let mut art = Artifact::new(
+        "perf",
+        "16×16 tensor core performance analysis",
+        &["quantity", "value"],
+    );
+    let mut row = |k: &str, v: String| art.push_row(vec![k.to_owned(), v]);
+    row("array", format!("{}×{}", cfg.rows, cfg.cols));
+    row("weight precision", format!("{}-bit", cfg.weight_bits));
+    row("pSRAM bitcells", format!("{}", cfg.bitcell_count()));
+    row("WDM channels/macro", format!("{}", cfg.wavelengths_per_macro));
+    row("cycle rate (eoADC-limited)", format!("{:.1} GS/s", cfg.adc.sample_rate.as_gigahertz()));
+    row("ops per cycle", format!("{}", model.ops_per_cycle()));
+    row("throughput", format!("{:.3} TOPS", report.tops));
+    row("power: input comb", format!("{:.1} mW", b.comb_w * 1e3));
+    row("power: row TIAs", format!("{:.1} mW", b.tia_w * 1e3));
+    row("power: eoADCs", format!("{:.1} mW", b.adc_w * 1e3));
+    row("power: pSRAM hold", format!("{:.1} mW", b.psram_hold_w * 1e3));
+    row("power: thermal tuning", format!("{:.1} mW", b.thermal_w * 1e3));
+    row("power: total", format!("{:.3} W", report.total_power_w));
+    row("efficiency", format!("{:.3} TOPS/W", report.tops_per_watt));
+    row("weight update", format!("{:.0} GHz", report.weight_update_ghz));
+
+    check_against_paper("throughput (TOPS)", report.tops, 4.10, 0.01);
+    check_against_paper("efficiency (TOPS/W)", report.tops_per_watt, 3.02, 0.03);
+    check_against_paper("bitcells", cfg.bitcell_count() as f64, 768.0, 1e-12);
+    check_against_paper("update rate (GHz)", report.weight_update_ghz, 20.0, 1e-12);
+
+    art.record_scalar("tops", report.tops);
+    art.record_scalar("tops_per_watt", report.tops_per_watt);
+    art.record_scalar("total_power_w", report.total_power_w);
+    art.finish();
+}

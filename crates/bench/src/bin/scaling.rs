@@ -1,0 +1,72 @@
+//! XSCALE — array-size scaling of throughput, power efficiency and
+//! streaming behaviour.
+//!
+//! §III claims the architecture "can be scaled by replicating the vector
+//! compute macro". This study sweeps the array from 4×4 to 64×64,
+//! reporting the performance model's TOPS and TOPS/W, plus the effective
+//! throughput of a weight-streaming workload on each size.
+
+use pic_bench::Artifact;
+use pic_tensor::performance::PerformanceModel;
+use pic_tensor::{StreamingSchedule, TensorCoreConfig, WriteParallelism};
+
+fn main() {
+    let sizes = [4usize, 8, 16, 32, 64];
+    let mut art = Artifact::new(
+        "scaling",
+        "array-size scaling: peak and streamed performance",
+        &[
+            "array",
+            "bitcells",
+            "TOPS",
+            "TOPS/W",
+            "power (W)",
+            "streamed TOPS (256×256, batch 64)",
+            "utilization",
+        ],
+    );
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let cfg = TensorCoreConfig {
+            rows: n,
+            cols: n,
+            ..TensorCoreConfig::paper()
+        };
+        let model = PerformanceModel::new(cfg);
+        let report = model.report();
+        let stream = StreamingSchedule::new(cfg, 256, 256, 64, WriteParallelism::PerRow).report();
+        art.push_row(vec![
+            format!("{n}×{n}"),
+            format!("{}", cfg.bitcell_count()),
+            format!("{:.3}", report.tops),
+            format!("{:.3}", report.tops_per_watt),
+            format!("{:.3}", report.total_power_w),
+            format!("{:.3}", stream.effective_tops),
+            format!("{:.3}", stream.compute_utilization),
+        ]);
+        rows.push((n, report.tops, report.tops_per_watt, stream.effective_tops));
+    }
+
+    // Shape claims: TOPS scales quadratically with edge length; TOPS/W
+    // improves with scale (fixed overheads amortise); the 16×16 point
+    // reproduces the paper's headline numbers.
+    for w in rows.windows(2) {
+        let area_ratio = (w[1].0 * w[1].0) as f64 / (w[0].0 * w[0].0) as f64;
+        let tops_ratio = w[1].1 / w[0].1;
+        assert!(
+            (tops_ratio - area_ratio).abs() < 1e-9,
+            "TOPS must scale with area"
+        );
+        assert!(w[1].2 > w[0].2, "efficiency must improve with scale");
+        assert!(w[1].3 > w[0].3, "streamed throughput must grow too");
+    }
+    let paper_point = rows.iter().find(|r| r.0 == 16).expect("16×16 in sweep");
+    assert!((paper_point.1 - 4.096).abs() < 0.01);
+    assert!((paper_point.2 - 3.01).abs() < 0.05);
+
+    art.record_scalar("tops_16x16", paper_point.1);
+    art.record_scalar("tops_per_watt_16x16", paper_point.2);
+    art.record_scalar("tops_per_watt_64x64", rows.last().expect("non-empty").2);
+    art.finish();
+}

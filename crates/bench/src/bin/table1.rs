@@ -1,0 +1,66 @@
+//! TAB1 — performance comparison of photonic IMC macros (paper Table I).
+//!
+//! The five baseline rows carry the cited works' published numbers; the
+//! "This Work" row is computed live from the reproduction's performance
+//! model. Shape assertions: this work wins every memory-backed
+//! weight-update path, and its throughput sits between \[48\] and \[49\].
+
+use pic_baselines::{rank_by, table1_baselines, this_work, Metric};
+use pic_bench::{check_against_paper, Artifact};
+use pic_tensor::performance::PerformanceModel;
+
+fn fmt_update(hz: f64) -> String {
+    if hz >= 1e9 {
+        format!("{:.1} GHz", hz / 1e9)
+    } else if hz >= 1e6 {
+        format!("{:.1} MHz", hz / 1e6)
+    } else {
+        format!("{hz:.0} Hz")
+    }
+}
+
+fn main() {
+    let model = PerformanceModel::paper();
+    let report = model.report();
+    let mut rows = table1_baselines();
+    rows.push(this_work(
+        report.tops,
+        report.tops_per_watt,
+        report.weight_update_ghz * 1e9,
+    ));
+
+    let mut art = Artifact::new(
+        "table1",
+        "performance comparison of photonic IMC macros",
+        &["reference", "throughput (TOPS)", "efficiency (TOPS/W)", "weight update"],
+    );
+    for r in &rows {
+        art.push_row(vec![
+            r.reference.to_owned(),
+            r.throughput_tops.map_or("–".into(), |v| format!("{v:.2}")),
+            r.tops_per_watt.map_or("–".into(), |v| format!("{v:.2}")),
+            fmt_update(r.weight_update_hz),
+        ]);
+    }
+
+    // Headline numbers vs the paper's printed row.
+    check_against_paper("this-work TOPS", report.tops, 4.10, 0.01);
+    check_against_paper("this-work TOPS/W", report.tops_per_watt, 3.02, 0.03);
+    check_against_paper("this-work update (GHz)", report.weight_update_ghz, 20.0, 1e-9);
+
+    // Shape: update-rate column winner-set, throughput ordering.
+    let ranked = rank_by(&rows, Metric::WeightUpdate);
+    assert_eq!(ranked[0].reference, "[33]", "modulator-only path is fastest");
+    assert_eq!(ranked[1].reference, "This Work", "we win every memory-backed path");
+    let by_tops = rank_by(&rows, Metric::Throughput);
+    let pos = |name: &str| by_tops.iter().position(|r| r.reference == name);
+    assert!(
+        pos("[49]") < pos("This Work") && pos("This Work") < pos("[48]"),
+        "throughput must fall between [49] and [48]"
+    );
+
+    art.record_scalar("this_work_tops", report.tops);
+    art.record_scalar("this_work_tops_per_watt", report.tops_per_watt);
+    art.record_scalar("this_work_update_ghz", report.weight_update_ghz);
+    art.finish();
+}

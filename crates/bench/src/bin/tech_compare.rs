@@ -1,0 +1,70 @@
+//! XTECH — weight-technology comparison (the quantified §I argument).
+//!
+//! The paper's introduction argues MRR + pSRAM against MZI meshes (fast
+//! but huge) and PCM cells (compact and non-volatile but slow and
+//! wear-limited). Every column here is computed from the corresponding
+//! device model rather than quoted.
+
+use pic_baselines::technology::weight_technologies;
+use pic_bench::Artifact;
+
+fn fmt_rate(hz: f64) -> String {
+    if hz >= 1e9 {
+        format!("{:.1} GHz", hz / 1e9)
+    } else if hz >= 1e6 {
+        format!("{:.1} MHz", hz / 1e6)
+    } else {
+        format!("{:.1} kHz", hz / 1e3)
+    }
+}
+
+fn main() {
+    let rows = weight_technologies(3);
+    let mut art = Artifact::new(
+        "tech_compare",
+        "weight technologies: update rate, energy, area, volatility",
+        &[
+            "technology",
+            "update rate",
+            "update energy (pJ)",
+            "area/weight (µm²)",
+            "non-volatile",
+            "endurance",
+        ],
+    );
+    for r in &rows {
+        art.push_row(vec![
+            r.name.to_owned(),
+            fmt_rate(r.update_rate_hz),
+            format!("{:.3}", r.update_energy_j * 1e12),
+            format!("{:.0}", r.footprint_um2),
+            if r.non_volatile { "yes" } else { "no" }.into(),
+            r.endurance
+                .map_or("unlimited".into(), |e| format!("{e:.0e}")),
+        ]);
+    }
+
+    // The §I narrative, asserted from the models:
+    let (us, mzi, pcm) = (&rows[0], &rows[1], &rows[2]);
+    assert!(
+        mzi.footprint_um2 > 2.0 * us.footprint_um2,
+        "MZI area must dominate"
+    );
+    assert!(
+        us.update_rate_hz > 1e4 * pcm.update_rate_hz,
+        "pSRAM writes must outpace PCM by orders of magnitude"
+    );
+    assert!(
+        us.update_energy_j < 0.01 * pcm.update_energy_j,
+        "pSRAM writes must undercut PCM programming energy"
+    );
+    assert!(pcm.non_volatile && !us.non_volatile);
+
+    art.record_scalar("psram_vs_pcm_rate_ratio", us.update_rate_hz / pcm.update_rate_hz);
+    art.record_scalar("mzi_vs_psram_area_ratio", mzi.footprint_um2 / us.footprint_um2);
+    art.record_scalar(
+        "pcm_vs_psram_energy_ratio",
+        pcm.update_energy_j / us.update_energy_j,
+    );
+    art.finish();
+}

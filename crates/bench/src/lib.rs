@@ -1,0 +1,168 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every experiment binary (`fig3a` … `table1`, `perf`, `adc_energy`)
+//! prints a human-readable table to stdout **and** writes a JSON artefact
+//! under `results/` so EXPERIMENTS.md can cite machine-checkable numbers.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A printable, serialisable experiment artefact.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Artifact {
+    /// Experiment id, e.g. `"fig7"`.
+    pub id: String,
+    /// What the paper artefact shows.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+    /// Headline scalars (name → value) asserted against the paper.
+    pub scalars: Vec<(String, f64)>,
+}
+
+impl Artifact {
+    /// Creates an empty artefact.
+    #[must_use]
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Artifact {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            scalars: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of numbers, formatted with 4 significant decimals.
+    pub fn push_numeric_row(&mut self, cells: &[f64]) {
+        self.push_row(cells.iter().map(|v| format!("{v:.4}")).collect());
+    }
+
+    /// Records a headline scalar.
+    pub fn record_scalar(&mut self, name: &str, value: f64) {
+        self.scalars.push((name.to_owned(), value));
+    }
+
+    /// Prints the artefact as an aligned text table.
+    pub fn print(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", joined.join("  "));
+        };
+        line(&self.headers);
+        for row in &self.rows {
+            line(row);
+        }
+        for (name, value) in &self.scalars {
+            println!("  {name} = {value:.4}");
+        }
+    }
+
+    /// Writes the artefact to `results/<id>.json` (creating the
+    /// directory), returning the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure — experiment binaries should fail loudly.
+    pub fn write_json(&self) -> PathBuf {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path).expect("create artefact file");
+        let json = serde_json::to_string_pretty(self).expect("serialise artefact");
+        f.write_all(json.as_bytes()).expect("write artefact");
+        println!("  [written {}]", path.display());
+        path
+    }
+
+    /// Prints and writes in one call.
+    pub fn finish(&self) {
+        self.print();
+        self.write_json();
+    }
+}
+
+/// The `results/` directory at the workspace root (falls back to the
+/// current directory when the workspace root cannot be located).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Asserts a measured value lies within `tol_frac` of the paper's value,
+/// with a uniform failure message.
+///
+/// # Panics
+///
+/// Panics when the check fails.
+pub fn check_against_paper(name: &str, measured: f64, paper: f64, tol_frac: f64) {
+    let rel = (measured - paper).abs() / paper.abs();
+    assert!(
+        rel <= tol_frac,
+        "{name}: measured {measured:.4} vs paper {paper:.4} \
+         ({:.1} % off, tolerance {:.1} %)",
+        rel * 100.0,
+        tol_frac * 100.0
+    );
+    println!("  [check] {name}: {measured:.4} (paper {paper:.4}) ok");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trip() {
+        let mut a = Artifact::new("test", "unit test artefact", &["x", "y"]);
+        a.push_numeric_row(&[1.0, 2.0]);
+        a.record_scalar("slope", 2.0);
+        assert_eq!(a.rows.len(), 1);
+        let json = serde_json::to_string(&a).expect("serialise");
+        assert!(json.contains("unit test artefact"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn artifact_checks_row_width() {
+        let mut a = Artifact::new("t", "t", &["x", "y"]);
+        a.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn paper_check_accepts_within_tolerance() {
+        check_against_paper("x", 4.096, 4.10, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn paper_check_rejects_outside_tolerance() {
+        check_against_paper("x", 5.0, 4.10, 0.05);
+    }
+}

@@ -1,0 +1,206 @@
+//! Single-pole gain stages and the eoADC's TIA + amplifier chain.
+
+use pic_units::{Frequency, Seconds, Voltage};
+
+/// A single-pole voltage gain stage: the output settles with bandwidth
+/// `bw` toward `clamp(V_mid + gain·(v_in − trip), 0, VDD)`.
+///
+/// Negative gain models the inverter-based TIA of Fig. 3(b) (Q_p
+/// discharging drives B_p high); a second positive-gain stage restores
+/// rail-to-rail swing.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GainStage {
+    gain: f64,
+    trip: Voltage,
+    vdd: Voltage,
+    bandwidth: Frequency,
+    output: Voltage,
+}
+
+impl GainStage {
+    /// Creates a stage with output initialised to its quiescent point for a
+    /// mid-rail input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is zero, or VDD/bandwidth are not positive.
+    #[must_use]
+    pub fn new(gain: f64, trip: Voltage, vdd: Voltage, bandwidth: Frequency) -> Self {
+        assert!(gain != 0.0, "gain must be non-zero");
+        assert!(vdd.as_volts() > 0.0, "VDD must be positive");
+        assert!(bandwidth.as_hertz() > 0.0, "bandwidth must be positive");
+        let mut stage = GainStage {
+            gain,
+            trip,
+            vdd,
+            bandwidth,
+            output: Voltage::ZERO,
+        };
+        stage.output = stage.target(trip);
+        stage
+    }
+
+    /// Small-signal gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Present output voltage.
+    #[must_use]
+    pub fn output(&self) -> Voltage {
+        self.output
+    }
+
+    /// The rail-clamped static transfer target for input `v_in`.
+    #[must_use]
+    pub fn target(&self, v_in: Voltage) -> Voltage {
+        let mid = 0.5 * self.vdd.as_volts();
+        let out = mid + self.gain * (v_in.as_volts() - self.trip.as_volts());
+        Voltage::from_volts(out.clamp(0.0, self.vdd.as_volts()))
+    }
+
+    /// Advances the stage one step toward its target with a first-order
+    /// bandwidth pole. Returns the new output.
+    pub fn step(&mut self, v_in: Voltage, dt: Seconds) -> Voltage {
+        let alpha = 1.0 - (-dt.as_seconds() * self.bandwidth.angular()).exp();
+        let target = self.target(v_in);
+        self.output = self.output + (target - self.output) * alpha;
+        self.output
+    }
+
+    /// Resets the output to the quiescent point.
+    pub fn reset(&mut self) {
+        self.output = self.target(self.trip);
+    }
+}
+
+/// A cascade of gain stages evaluated in order each step — the "TIA +
+/// cascaded voltage amplifier" block that turns the millivolt droop on Q_p
+/// into the rail-to-rail B_p (§II-C, ref. \[46\]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AmplifierChain {
+    stages: Vec<GainStage>,
+}
+
+impl AmplifierChain {
+    /// Creates a chain from the given stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    #[must_use]
+    pub fn new(stages: Vec<GainStage>) -> Self {
+        assert!(!stages.is_empty(), "amplifier chain needs at least one stage");
+        AmplifierChain { stages }
+    }
+
+    /// The paper's eoADC sense chain: an inverting TIA stage followed by a
+    /// non-inverting restoring amplifier, both clocked well above the
+    /// 8 GS/s conversion rate. `trip` is the Q_p quiescent voltage.
+    #[must_use]
+    pub fn eoadc_sense_chain(trip: Voltage, vdd: Voltage) -> Self {
+        AmplifierChain::new(vec![
+            GainStage::new(-40.0, trip, vdd, Frequency::from_gigahertz(42.0)),
+            GainStage::new(
+                8.0,
+                Voltage::from_volts(0.5 * vdd.as_volts()),
+                vdd,
+                Frequency::from_gigahertz(42.0),
+            ),
+        ])
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Present output of the final stage.
+    #[must_use]
+    pub fn output(&self) -> Voltage {
+        self.stages.last().expect("non-empty").output()
+    }
+
+    /// Advances every stage one step, feeding each stage's fresh output to
+    /// the next. Returns the final output.
+    pub fn step(&mut self, v_in: Voltage, dt: Seconds) -> Voltage {
+        let mut v = v_in;
+        for stage in &mut self.stages {
+            v = stage.step(v, dt);
+        }
+        v
+    }
+
+    /// Resets all stages to quiescence.
+    pub fn reset(&mut self) {
+        for stage in &mut self.stages {
+            stage.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vdd() -> Voltage {
+        Voltage::from_volts(1.8)
+    }
+
+    #[test]
+    fn inverting_stage_flips() {
+        let trip = Voltage::from_volts(1.0);
+        let mut s = GainStage::new(-40.0, trip, vdd(), Frequency::from_gigahertz(42.0));
+        // Drive well below trip for several time constants.
+        for _ in 0..200 {
+            s.step(Voltage::from_volts(0.8), Seconds::from_picoseconds(1.0));
+        }
+        assert!(s.output().as_volts() > 1.79, "saturates high, got {}", s.output());
+        for _ in 0..200 {
+            s.step(Voltage::from_volts(1.2), Seconds::from_picoseconds(1.0));
+        }
+        assert!(s.output().as_volts() < 0.01, "saturates low, got {}", s.output());
+    }
+
+    #[test]
+    fn bandwidth_pole_delays_response() {
+        let trip = Voltage::from_volts(1.0);
+        let mut s = GainStage::new(-40.0, trip, vdd(), Frequency::from_gigahertz(1.0));
+        let v1 = s.step(Voltage::from_volts(0.5), Seconds::from_picoseconds(1.0));
+        assert!(
+            v1.as_volts() < 1.0,
+            "1 GHz stage cannot reach the rail in 1 ps, got {v1}"
+        );
+    }
+
+    #[test]
+    fn chain_restores_rail_to_rail() {
+        let trip = Voltage::from_volts(1.2);
+        let mut chain = AmplifierChain::eoadc_sense_chain(trip, vdd());
+        // A 100 mV droop below trip must become a full logic high.
+        for _ in 0..120 {
+            chain.step(Voltage::from_volts(1.1), Seconds::from_picoseconds(1.0));
+        }
+        assert!(chain.output().as_volts() > 0.9 * 1.8, "B_p activated");
+        chain.reset();
+        // Q_p above trip (ring off resonance) must keep B_p low.
+        for _ in 0..120 {
+            chain.step(Voltage::from_volts(1.3), Seconds::from_picoseconds(1.0));
+        }
+        assert!(chain.output().as_volts() < 0.1 * 1.8, "B_p idle above trip");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn chain_rejects_empty() {
+        let _ = AmplifierChain::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn stage_rejects_zero_gain() {
+        let _ = GainStage::new(0.0, Voltage::ZERO, vdd(), Frequency::from_gigahertz(1.0));
+    }
+}

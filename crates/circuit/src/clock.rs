@@ -1,0 +1,155 @@
+//! Clocking and waveform recording for transient runs.
+
+use pic_signal::Waveform;
+use pic_units::{Frequency, Seconds};
+
+/// A square clock defined by frequency and duty cycle.
+///
+/// ```
+/// use pic_circuit::Clock;
+/// use pic_units::{Frequency, Seconds};
+///
+/// let adc_clk = Clock::new(Frequency::from_gigahertz(8.0), 0.5);
+/// assert!(adc_clk.is_high(Seconds::from_picoseconds(30.0)));
+/// assert!(!adc_clk.is_high(Seconds::from_picoseconds(100.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Clock {
+    frequency: Frequency,
+    duty: f64,
+}
+
+impl Clock {
+    /// Creates a clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive or duty is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(frequency: Frequency, duty: f64) -> Self {
+        assert!(frequency.as_hertz() > 0.0, "clock frequency must be positive");
+        assert!(duty > 0.0 && duty < 1.0, "duty cycle must be in (0, 1)");
+        Clock { frequency, duty }
+    }
+
+    /// Clock frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Clock period.
+    #[must_use]
+    pub fn period(&self) -> Seconds {
+        self.frequency.period()
+    }
+
+    /// Level at absolute time `t` (high during the first `duty` fraction of
+    /// each period).
+    #[must_use]
+    pub fn is_high(&self, t: Seconds) -> bool {
+        let phase = (t.as_seconds() * self.frequency.as_hertz()).fract();
+        phase < self.duty
+    }
+
+    /// Index of the period containing time `t`.
+    #[must_use]
+    pub fn cycle_of(&self, t: Seconds) -> u64 {
+        (t.as_seconds() * self.frequency.as_hertz()) as u64
+    }
+}
+
+/// Accumulates samples pushed once per simulation step into a [`Waveform`].
+///
+/// ```
+/// use pic_circuit::WaveformRecorder;
+/// use pic_units::Seconds;
+///
+/// let mut rec = WaveformRecorder::new(Seconds::from_picoseconds(1.0));
+/// for i in 0..10 {
+///     rec.push(i as f64);
+/// }
+/// let wf = rec.finish();
+/// assert_eq!(wf.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveformRecorder {
+    dt: Seconds,
+    samples: Vec<f64>,
+}
+
+impl WaveformRecorder {
+    /// Creates a recorder with the given sample period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    #[must_use]
+    pub fn new(dt: Seconds) -> Self {
+        assert!(dt.as_seconds() > 0.0, "sample period must be positive");
+        WaveformRecorder {
+            dt,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` before the first push.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Finishes recording, producing the waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was recorded.
+    #[must_use]
+    pub fn finish(self) -> Waveform {
+        assert!(!self.samples.is_empty(), "recorder captured no samples");
+        Waveform::new(self.dt, self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_shapes_high_time() {
+        let clk = Clock::new(Frequency::from_gigahertz(1.0), 0.25);
+        assert!(clk.is_high(Seconds::from_picoseconds(100.0)));
+        assert!(!clk.is_high(Seconds::from_picoseconds(400.0)));
+    }
+
+    #[test]
+    fn cycle_counter() {
+        let clk = Clock::new(Frequency::from_gigahertz(8.0), 0.5);
+        assert_eq!(clk.cycle_of(Seconds::from_picoseconds(100.0)), 0);
+        assert_eq!(clk.cycle_of(Seconds::from_picoseconds(130.0)), 1);
+        assert_eq!(clk.cycle_of(Seconds::from_picoseconds(260.0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn rejects_degenerate_duty() {
+        let _ = Clock::new(Frequency::from_gigahertz(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_recorder_panics_on_finish() {
+        let _ = WaveformRecorder::new(Seconds::from_picoseconds(1.0)).finish();
+    }
+}

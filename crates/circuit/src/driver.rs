@@ -1,0 +1,113 @@
+//! Thresholded, slew-limited digital driver.
+
+use pic_units::{Seconds, Voltage};
+
+/// The electrical driver (D1/D2 in Fig. 1) that buffers a pSRAM storage
+/// node onto a ring's pn junction: it compares its input against VDD/2 and
+/// slews its rail-to-rail output toward the corresponding rail.
+///
+/// # Examples
+///
+/// ```
+/// use pic_circuit::DigitalDriver;
+/// use pic_units::{Seconds, Voltage};
+///
+/// let mut d = DigitalDriver::new(Voltage::from_volts(1.0), 100e9); // 100 V/ns
+/// d.step(Voltage::from_volts(0.9), Seconds::from_picoseconds(20.0));
+/// assert!(d.output().as_volts() > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DigitalDriver {
+    vdd: Voltage,
+    slew_v_per_s: f64,
+    output: Voltage,
+}
+
+impl DigitalDriver {
+    /// Creates a driver with output initially at ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if VDD or the slew rate is not positive.
+    #[must_use]
+    pub fn new(vdd: Voltage, slew_v_per_s: f64) -> Self {
+        assert!(vdd.as_volts() > 0.0, "VDD must be positive");
+        assert!(slew_v_per_s > 0.0, "slew rate must be positive");
+        DigitalDriver {
+            vdd,
+            slew_v_per_s,
+            output: Voltage::ZERO,
+        }
+    }
+
+    /// Creates a driver with output preset to `v0` (clamped to the rails).
+    #[must_use]
+    pub fn with_initial(vdd: Voltage, slew_v_per_s: f64, v0: Voltage) -> Self {
+        let mut d = DigitalDriver::new(vdd, slew_v_per_s);
+        d.output = v0.clamp(Voltage::ZERO, vdd);
+        d
+    }
+
+    /// Present output voltage.
+    #[must_use]
+    pub fn output(&self) -> Voltage {
+        self.output
+    }
+
+    /// Advances the driver: output slews toward VDD if `input > VDD/2`,
+    /// toward ground otherwise. Returns the new output.
+    pub fn step(&mut self, input: Voltage, dt: Seconds) -> Voltage {
+        let target = if input.as_volts() > 0.5 * self.vdd.as_volts() {
+            self.vdd
+        } else {
+            Voltage::ZERO
+        };
+        let max_dv = self.slew_v_per_s * dt.as_seconds();
+        let dv = (target - self.output)
+            .as_volts()
+            .clamp(-max_dv, max_dv);
+        self.output = (self.output + Voltage::from_volts(dv)).clamp(Voltage::ZERO, self.vdd);
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slew_limits_transition() {
+        // 100 V/µs driver: 1 V transition takes 10 ns.
+        let mut d = DigitalDriver::new(Voltage::from_volts(1.0), 100e6);
+        d.step(Voltage::from_volts(1.0), Seconds::from_nanoseconds(1.0));
+        assert!((d.output().as_volts() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settles_at_rail() {
+        let mut d = DigitalDriver::new(Voltage::from_volts(1.0), 1e12);
+        for _ in 0..10 {
+            d.step(Voltage::from_volts(0.8), Seconds::from_picoseconds(1.0));
+        }
+        assert_eq!(d.output().as_volts(), 1.0);
+        for _ in 0..10 {
+            d.step(Voltage::from_volts(0.2), Seconds::from_picoseconds(1.0));
+        }
+        assert_eq!(d.output().as_volts(), 0.0);
+    }
+
+    #[test]
+    fn threshold_is_mid_rail() {
+        let mut hi = DigitalDriver::new(Voltage::from_volts(1.0), 1e15);
+        hi.step(Voltage::from_volts(0.51), Seconds::from_picoseconds(10.0));
+        assert_eq!(hi.output().as_volts(), 1.0);
+
+        let mut lo = DigitalDriver::with_initial(
+            Voltage::from_volts(1.0),
+            1e15,
+            Voltage::from_volts(1.0),
+        );
+        lo.step(Voltage::from_volts(0.49), Seconds::from_picoseconds(10.0));
+        assert_eq!(lo.output().as_volts(), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-component energy accounting.
+
+use pic_units::{ElectricalPower, Energy, Seconds};
+use std::collections::BTreeMap;
+
+/// Accumulates energy per named component — the bookkeeping behind every
+/// pJ-per-operation and TOPS/W figure the workspace reports.
+///
+/// # Examples
+///
+/// ```
+/// use pic_circuit::EnergyMeter;
+/// use pic_units::{ElectricalPower, Seconds};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.record_power("adc", ElectricalPower::from_milliwatts(18.58),
+///                    Seconds::from_picoseconds(125.0));
+/// assert!((meter.total().as_picojoules() - 2.3225).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    tallies: BTreeMap<String, Energy>,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Adds `energy` to the tally of `component`.
+    pub fn record(&mut self, component: &str, energy: Energy) {
+        *self
+            .tallies
+            .entry(component.to_owned())
+            .or_insert(Energy::ZERO) += energy;
+    }
+
+    /// Adds `power · dt` to the tally of `component`.
+    pub fn record_power(&mut self, component: &str, power: ElectricalPower, dt: Seconds) {
+        self.record(component, power.energy_over(dt));
+    }
+
+    /// Energy attributed to `component` so far (zero if never recorded).
+    #[must_use]
+    pub fn energy_of(&self, component: &str) -> Energy {
+        self.tallies.get(component).copied().unwrap_or(Energy::ZERO)
+    }
+
+    /// Total energy across all components.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.tallies.values().copied().sum()
+    }
+
+    /// Iterator over `(component, energy)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Energy)> + '_ {
+        self.tallies.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct components recorded.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.tallies.len()
+    }
+
+    /// Merges another meter's tallies into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for (k, v) in other.iter() {
+            self.record(k, v);
+        }
+    }
+
+    /// Clears all tallies.
+    pub fn reset(&mut self) {
+        self.tallies.clear();
+    }
+}
+
+impl std::fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "energy breakdown:")?;
+        for (k, v) in &self.tallies {
+            writeln!(f, "  {k:<24} {:>10.4} pJ", v.as_picojoules())?;
+        }
+        write!(f, "  {:<24} {:>10.4} pJ", "TOTAL", self.total().as_picojoules())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate_per_component() {
+        let mut m = EnergyMeter::new();
+        m.record("laser", Energy::from_picojoules(1.0));
+        m.record("laser", Energy::from_picojoules(2.0));
+        m.record("tia", Energy::from_picojoules(0.5));
+        assert!((m.energy_of("laser").as_picojoules() - 3.0).abs() < 1e-12);
+        assert!((m.total().as_picojoules() - 3.5).abs() < 1e-12);
+        assert_eq!(m.component_count(), 2);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = EnergyMeter::new();
+        a.record("x", Energy::from_picojoules(1.0));
+        let mut b = EnergyMeter::new();
+        b.record("x", Energy::from_picojoules(1.0));
+        b.record("y", Energy::from_picojoules(2.0));
+        a.merge(&b);
+        assert!((a.energy_of("x").as_picojoules() - 2.0).abs() < 1e-12);
+        assert!((a.energy_of("y").as_picojoules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_component_is_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.energy_of("nothing"), Energy::ZERO);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut m = EnergyMeter::new();
+        m.record("adc", Energy::from_picojoules(2.32));
+        let s = m.to_string();
+        assert!(s.contains("adc"));
+        assert!(s.contains("TOTAL"));
+    }
+}

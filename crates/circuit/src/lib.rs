@@ -1,0 +1,50 @@
+//! Behavioural electrical substrate for the mixed-signal co-simulation.
+//!
+//! The paper's electronics are small: storage nodes charged/discharged by
+//! photodiode pairs, digital drivers closing the pSRAM feedback loop, an
+//! inverter-based TIA plus a cascaded voltage amplifier in the eoADC chain,
+//! and a ROM decoder implementing the ceiling function between adjacent
+//! 1-hot channels. This crate models each behaviourally:
+//!
+//! * [`RcNode`] — explicit-integration capacitive node clamped to the rails;
+//! * [`DigitalDriver`] — thresholded, slew-limited rail driver (D1/D2 in
+//!   Fig. 1);
+//! * [`GainStage`] / [`AmplifierChain`] — single-pole gain stages for the
+//!   TIA + amplifier chain of Fig. 3(b);
+//! * [`CeilingRomDecoder`] — the 1-hot-to-binary ROM with ceiling priority;
+//! * [`Clock`] and [`WaveformRecorder`] — transient bookkeeping;
+//! * [`EnergyMeter`] — per-component energy accounting behind every
+//!   pJ/TOPS-per-watt number this workspace reports.
+//!
+//! # Example
+//!
+//! ```
+//! use pic_circuit::RcNode;
+//! use pic_units::{Capacitance, Current, Seconds, Voltage};
+//!
+//! let mut node = RcNode::new(Capacitance::from_femtofarads(2.0), Voltage::from_volts(1.0));
+//! // 100 µA charging 2 fF for 100 ps would reach 5 V; the node clamps at VDD.
+//! for _ in 0..100 {
+//!     node.step(Current::from_microamps(100.0), Seconds::from_picoseconds(1.0));
+//! }
+//! assert_eq!(node.voltage(), Voltage::from_volts(1.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod amplifier;
+mod clock;
+mod driver;
+mod energy;
+mod node;
+mod rom;
+mod testbench;
+
+pub use amplifier::{AmplifierChain, GainStage};
+pub use clock::{Clock, WaveformRecorder};
+pub use driver::DigitalDriver;
+pub use energy::EnergyMeter;
+pub use node::RcNode;
+pub use rom::{CeilingRomDecoder, DecodeError, thermometer_decode};
+pub use testbench::{run_transient, Probe};

@@ -1,0 +1,133 @@
+//! Rail-clamped capacitive node with explicit integration.
+
+use pic_units::{Capacitance, Current, Seconds, Voltage};
+
+/// A capacitive circuit node integrated explicitly: `C·dV/dt = ΣI`,
+/// clamped to `[0, VDD]` by the rail diodes/devices that bound every node
+/// in the paper's circuits.
+///
+/// The pSRAM storage nodes Q/QB and the eoADC thresholding node Q_p are all
+/// instances of this.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RcNode {
+    capacitance: Capacitance,
+    vdd: Voltage,
+    voltage: Voltage,
+}
+
+impl RcNode {
+    /// Creates a node at 0 V.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitance or VDD is not positive.
+    #[must_use]
+    pub fn new(capacitance: Capacitance, vdd: Voltage) -> Self {
+        assert!(capacitance.as_farads() > 0.0, "capacitance must be positive");
+        assert!(vdd.as_volts() > 0.0, "VDD must be positive");
+        RcNode {
+            capacitance,
+            vdd,
+            voltage: Voltage::ZERO,
+        }
+    }
+
+    /// Creates a node preset to `v0` (clamped to the rails).
+    #[must_use]
+    pub fn with_initial(capacitance: Capacitance, vdd: Voltage, v0: Voltage) -> Self {
+        let mut n = RcNode::new(capacitance, vdd);
+        n.voltage = v0.clamp(Voltage::ZERO, vdd);
+        n
+    }
+
+    /// Present node voltage.
+    #[must_use]
+    pub fn voltage(&self) -> Voltage {
+        self.voltage
+    }
+
+    /// Supply rail.
+    #[must_use]
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// Node capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Capacitance {
+        self.capacitance
+    }
+
+    /// Integrates one step with net charging current `i` (positive charges
+    /// toward VDD). Returns the new voltage.
+    pub fn step(&mut self, i: Current, dt: Seconds) -> Voltage {
+        let dv = self.capacitance.voltage_delta(i, dt);
+        self.voltage = (self.voltage + dv).clamp(Voltage::ZERO, self.vdd);
+        self.voltage
+    }
+
+    /// Forces the node to `v` (clamped), e.g. for initial conditions.
+    pub fn set_voltage(&mut self, v: Voltage) {
+        self.voltage = v.clamp(Voltage::ZERO, self.vdd);
+    }
+
+    /// Normalised voltage `v/VDD ∈ [0, 1]`.
+    #[must_use]
+    pub fn normalized(&self) -> f64 {
+        self.voltage.as_volts() / self.vdd.as_volts()
+    }
+
+    /// Digital interpretation against a VDD/2 threshold.
+    #[must_use]
+    pub fn as_bit(&self) -> bool {
+        self.normalized() > 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> RcNode {
+        RcNode::new(Capacitance::from_femtofarads(2.0), Voltage::from_volts(1.0))
+    }
+
+    #[test]
+    fn charges_linearly_until_clamp() {
+        let mut n = node();
+        // 2 µA into 2 fF → 1 V/ns → 1 mV/ps.
+        n.step(Current::from_microamps(2.0), Seconds::from_picoseconds(100.0));
+        assert!((n.voltage().as_volts() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_at_rails() {
+        let mut n = node();
+        n.step(Current::from_milliamps(1.0), Seconds::from_nanoseconds(1.0));
+        assert_eq!(n.voltage().as_volts(), 1.0);
+        n.step(Current::from_milliamps(-1.0), Seconds::from_nanoseconds(10.0));
+        assert_eq!(n.voltage().as_volts(), 0.0);
+    }
+
+    #[test]
+    fn bit_threshold_is_mid_rail() {
+        let mut n = node();
+        n.set_voltage(Voltage::from_volts(0.49));
+        assert!(!n.as_bit());
+        n.set_voltage(Voltage::from_volts(0.51));
+        assert!(n.as_bit());
+    }
+
+    #[test]
+    fn set_voltage_clamps() {
+        let mut n = node();
+        n.set_voltage(Voltage::from_volts(2.0));
+        assert_eq!(n.voltage().as_volts(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance")]
+    fn rejects_zero_capacitance() {
+        let _ = RcNode::new(Capacitance::ZERO, Voltage::from_volts(1.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! ROM-based decoders: ceiling-priority 1-hot and thermometer.
+
+/// Error produced when a decoder is handed an activation pattern it cannot
+/// interpret.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The activation vector length does not match `2^bits`.
+    WrongChannelCount {
+        /// Channels the decoder expects.
+        expected: usize,
+        /// Channels it received.
+        actual: usize,
+    },
+    /// More than two channels were active, or two non-adjacent ones — a
+    /// pattern the 1-hot quantiser can never legally produce.
+    IllegalActivation {
+        /// Indices of the active channels.
+        active: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::WrongChannelCount { expected, actual } => {
+                write!(f, "decoder expects {expected} channels, got {actual}")
+            }
+            DecodeError::IllegalActivation { active } => {
+                write!(f, "illegal activation pattern at channels {active:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The paper's ROM-based 1-hot decoder with *ceiling priority* (§II-C).
+///
+/// A legal input is all-dark, one hot channel, or two *adjacent* hot
+/// channels (input sitting on a code boundary, as the 2 V case of Fig. 9).
+/// The ceiling rule resolves a boundary upward: the higher channel wins.
+/// Channel `i` maps to output code `i` (B₁ → 000, B₂ → 001, …).
+///
+/// # Examples
+///
+/// ```
+/// use pic_circuit::CeilingRomDecoder;
+///
+/// let rom = CeilingRomDecoder::new(3);
+/// let mut b = [false; 8];
+/// b[4] = true; // B5 alone
+/// assert_eq!(rom.decode(&b), Ok(4));
+/// b[3] = true; // boundary: B4 and B5 both hot → ceiling picks B5
+/// assert_eq!(rom.decode(&b), Ok(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CeilingRomDecoder {
+    bits: u32,
+}
+
+impl CeilingRomDecoder {
+    /// Creates a decoder for a `bits`-bit converter (`2^bits` channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 16.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 16, "decoder supports 1..=16 bits");
+        CeilingRomDecoder { bits }
+    }
+
+    /// Output resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of thresholding channels (`2^bits`).
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Decodes an activation vector to a binary code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::WrongChannelCount`] for a wrong-length input
+    /// and [`DecodeError::IllegalActivation`] for patterns the quantiser
+    /// cannot legally produce (three or more hot channels, or two
+    /// non-adjacent ones).
+    pub fn decode(&self, activations: &[bool]) -> Result<u16, DecodeError> {
+        if activations.len() != self.channel_count() {
+            return Err(DecodeError::WrongChannelCount {
+                expected: self.channel_count(),
+                actual: activations.len(),
+            });
+        }
+        let active: Vec<usize> = activations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect();
+        match active.as_slice() {
+            // All dark: the input sits below the first channel's window —
+            // code 0, same as a lone B1.
+            [] => Ok(0),
+            [i] => Ok(*i as u16),
+            [i, j] if j - i == 1 => Ok(*j as u16), // ceiling: higher wins
+            _ => Err(DecodeError::IllegalActivation { active }),
+        }
+    }
+}
+
+/// Decodes a thermometer code (flash-ADC style): the output is the number
+/// of comparators that tripped. Used by the electrical flash baseline the
+/// eoADC is compared against.
+///
+/// Returns `None` if the pattern has a "bubble" (a zero below a one),
+/// which a monotone comparator ladder cannot produce.
+#[must_use]
+pub fn thermometer_decode(comparators: &[bool]) -> Option<u16> {
+    let count = comparators.iter().take_while(|&&c| c).count();
+    if comparators[count..].iter().any(|&c| c) {
+        return None; // bubble
+    }
+    Some(count as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig9_cases() {
+        // 0.72 V → B2 alone → 001; 3.3 V → B7 alone → 110;
+        // 2.0 V → B4+B5 → ceiling → 100.
+        let rom = CeilingRomDecoder::new(3);
+        let hot = |idx: &[usize]| {
+            let mut b = [false; 8];
+            for &i in idx {
+                b[i] = true;
+            }
+            b
+        };
+        assert_eq!(rom.decode(&hot(&[1])), Ok(0b001));
+        assert_eq!(rom.decode(&hot(&[6])), Ok(0b110));
+        assert_eq!(rom.decode(&hot(&[3, 4])), Ok(0b100));
+    }
+
+    #[test]
+    fn all_dark_is_code_zero() {
+        let rom = CeilingRomDecoder::new(3);
+        assert_eq!(rom.decode(&[false; 8]), Ok(0));
+    }
+
+    #[test]
+    fn rejects_non_adjacent_pair() {
+        let rom = CeilingRomDecoder::new(3);
+        let mut b = [false; 8];
+        b[1] = true;
+        b[5] = true;
+        assert!(matches!(
+            rom.decode(&b),
+            Err(DecodeError::IllegalActivation { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_triple() {
+        let rom = CeilingRomDecoder::new(3);
+        let mut b = [false; 8];
+        b[2] = true;
+        b[3] = true;
+        b[4] = true;
+        assert!(rom.decode(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let rom = CeilingRomDecoder::new(3);
+        assert!(matches!(
+            rom.decode(&[false; 4]),
+            Err(DecodeError::WrongChannelCount { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn thermometer_counts() {
+        assert_eq!(thermometer_decode(&[true, true, true, false, false]), Some(3));
+        assert_eq!(thermometer_decode(&[false; 5]), Some(0));
+        assert_eq!(thermometer_decode(&[true; 5]), Some(5));
+    }
+
+    #[test]
+    fn thermometer_detects_bubble() {
+        assert_eq!(thermometer_decode(&[true, false, true, false]), None);
+    }
+
+    #[test]
+    fn every_single_hot_code_round_trips() {
+        let rom = CeilingRomDecoder::new(4);
+        for i in 0..16 {
+            let mut b = vec![false; 16];
+            b[i] = true;
+            assert_eq!(rom.decode(&b), Ok(i as u16));
+        }
+    }
+}

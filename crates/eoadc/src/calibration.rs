@@ -1,0 +1,162 @@
+//! Foreground calibration of the eoADC.
+//!
+//! The 1-hot architecture's activation window places every code edge at
+//! `(k+1)·LSB − w`, a constant offset from the ideal `k·LSB` grid
+//! (≈0.42 LSB at the paper's operating point — visible in the Fig. 10
+//! transfer function, invisible to DNL). Real converters remove such
+//! static errors with a one-time foreground calibration: sweep a known
+//! ramp, record the edges, and trim the measured offset out with an
+//! input-referred correction (an offset DAC). [`CalibratedAdc`] does
+//! exactly that, so the corrected transfer function lands on the ideal
+//! grid.
+
+use crate::{metrics::TransferFunction, EoAdc};
+use pic_circuit::DecodeError;
+use pic_units::Voltage;
+
+/// An eoADC with a measured-edge digital correction stage.
+#[derive(Debug, Clone)]
+pub struct CalibratedAdc {
+    adc: EoAdc,
+    /// Measured input voltage of each code edge (code 1..levels−1).
+    edges: Vec<f64>,
+    /// Cached mean edge offset applied on every conversion.
+    offset: Voltage,
+}
+
+impl CalibratedAdc {
+    /// Calibrates `adc` with a `points`-step foreground ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw converter shows missing codes (it cannot be
+    /// edge-corrected) or `points < 2`.
+    #[must_use]
+    pub fn calibrate(adc: EoAdc, points: usize) -> Self {
+        let tf = TransferFunction::measure(&adc, points);
+        assert!(
+            tf.missing_codes().is_empty(),
+            "cannot edge-calibrate a converter with missing codes"
+        );
+        let edges: Vec<f64> = tf
+            .edges()
+            .into_iter()
+            .map(|e| e.expect("no missing codes, so every edge exists"))
+            .collect();
+        let mut cal = CalibratedAdc {
+            adc,
+            edges,
+            offset: Voltage::ZERO,
+        };
+        cal.offset = cal.corrected_offset();
+        cal
+    }
+
+    /// The underlying raw converter.
+    #[must_use]
+    pub fn raw(&self) -> &EoAdc {
+        &self.adc
+    }
+
+    /// The measured code-edge voltages (code 1 upward).
+    #[must_use]
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Input-referred offset removed by the calibration, volts
+    /// (mean deviation of the measured edges from the ideal grid).
+    #[must_use]
+    pub fn corrected_offset(&self) -> Voltage {
+        let lsb = self.adc.config().lsb().as_volts();
+        let mean_dev: f64 = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(k, &e)| e - (k + 1) as f64 * lsb)
+            .sum::<f64>()
+            / self.edges.len() as f64;
+        Voltage::from_volts(mean_dev)
+    }
+
+    /// Corrected conversion: the measured mean edge offset is applied to
+    /// the input before quantisation (an input-referred offset DAC — a
+    /// digital remap alone cannot move sub-LSB edges), so the corrected
+    /// edges land on the ideal `k·LSB` grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates raw-converter [`DecodeError`]s (none when calibrated
+    /// from a legal converter).
+    pub fn convert(&self, v_in: Voltage) -> Result<u16, DecodeError> {
+        self.adc.convert_static(v_in + self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EoAdcConfig;
+
+    fn calibrated() -> CalibratedAdc {
+        CalibratedAdc::calibrate(EoAdc::new(EoAdcConfig::paper()), 1801)
+    }
+
+    #[test]
+    fn measures_the_constant_offset() {
+        let cal = calibrated();
+        let off = cal.corrected_offset().as_volts() / 0.45;
+        assert!(
+            (off - 0.42).abs() < 0.05,
+            "expected ≈0.42 LSB of offset, measured {off}"
+        );
+    }
+
+    #[test]
+    fn corrected_codes_land_on_the_ideal_grid() {
+        let cal = calibrated();
+        // Bin centres of the ideal grid: (k + 0.5)·LSB.
+        let mut exact = 0;
+        let total = 8;
+        for k in 0..total {
+            let v = Voltage::from_volts((k as f64 + 0.5) * 0.45);
+            let code = cal.convert(v).expect("legal");
+            if code == k as u16 {
+                exact += 1;
+            }
+        }
+        assert!(
+            exact >= total - 1,
+            "only {exact}/{total} ideal bin centres decode to their own code"
+        );
+    }
+
+    #[test]
+    fn correction_beats_raw_against_ideal() {
+        let cal = calibrated();
+        let ladder = crate::ReferenceLadder::new(cal.raw().config().vfs, 3);
+        let (mut raw_err, mut cal_err) = (0i64, 0i64);
+        for k in 0..=360 {
+            let v = Voltage::from_volts(k as f64 * 0.01);
+            let ideal = i64::from(ladder.ideal_code(v));
+            raw_err += (i64::from(cal.raw().convert_static(v).expect("legal")) - ideal).abs();
+            cal_err += (i64::from(cal.convert(v).expect("legal")) - ideal).abs();
+        }
+        assert!(
+            cal_err < raw_err / 2,
+            "calibration should halve the code error: raw {raw_err}, cal {cal_err}"
+        );
+    }
+
+    #[test]
+    fn corrected_transfer_is_monotone() {
+        let cal = calibrated();
+        let mut last = 0u16;
+        for k in 0..=720 {
+            let v = Voltage::from_volts(k as f64 * 0.005);
+            let code = cal.convert(v).expect("legal");
+            assert!(code >= last, "non-monotone at {} V", v.as_volts());
+            last = code;
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Cascaded (coarse/fine, shift-and-add) eoADC for higher precision.
+//!
+//! §II-C: "higher precision can be achieved … by cascading multiple
+//! lower-bit ADCs with shift-and-add operations." The coarse stage
+//! resolves the top bits; its residue, amplified to the full scale, feeds
+//! the fine stage; the codes combine as `coarse·2^fine_bits + fine`.
+
+use crate::{EoAdc, EoAdcConfig};
+use pic_circuit::DecodeError;
+use pic_units::Voltage;
+
+/// A two-stage cascaded converter built from two eoADC slices.
+#[derive(Debug, Clone)]
+pub struct CascadedAdc {
+    coarse: EoAdc,
+    fine: EoAdc,
+    /// Relative gain error of the residue amplifier (0 = ideal).
+    residue_gain_error: f64,
+}
+
+impl CascadedAdc {
+    /// Creates a cascade of two slices with the given per-stage
+    /// configurations (both clamp to their own `vfs`; the residue amplifier
+    /// maps one coarse LSB onto the fine stage's full scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    #[must_use]
+    pub fn new(coarse: EoAdcConfig, fine: EoAdcConfig) -> Self {
+        CascadedAdc {
+            coarse: EoAdc::new(coarse),
+            fine: EoAdc::new(fine),
+            residue_gain_error: 0.0,
+        }
+    }
+
+    /// Two identical paper slices → a 6-bit converter.
+    #[must_use]
+    pub fn paper_pair() -> Self {
+        CascadedAdc::new(EoAdcConfig::paper(), EoAdcConfig::paper())
+    }
+
+    /// Injects a relative residue-amplifier gain error (e.g. `0.01` for
+    /// +1 %), the dominant cascade impairment.
+    #[must_use]
+    pub fn with_residue_gain_error(mut self, error: f64) -> Self {
+        self.residue_gain_error = error;
+        self
+    }
+
+    /// Combined resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.coarse.bits() + self.fine.bits()
+    }
+
+    /// Combined LSB referred to the coarse input range.
+    #[must_use]
+    pub fn lsb(&self) -> Voltage {
+        self.coarse.config().vfs / (1u64 << self.bits()) as f64
+    }
+
+    /// Converts `v_in` to a `coarse_bits + fine_bits`-wide code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`DecodeError`] from either stage.
+    pub fn convert(&self, v_in: Voltage) -> Result<u16, DecodeError> {
+        let coarse_cfg = self.coarse.config();
+        let v = v_in.clamp(Voltage::ZERO, coarse_cfg.vfs);
+        let coarse_code = self.coarse.convert_static(v)?;
+
+        // Residue within the coarse code's *actual* bin. The activation
+        // window places the edge of code k at (k+1)·LSB − w (w = the
+        // calibrated half-window), so the residue DAC subtracts that known
+        // offset — the digital correction every real pipeline stage does.
+        let coarse_lsb = coarse_cfg.lsb().as_volts();
+        let window = coarse_cfg.activation_halfwidth_lsb * coarse_lsb;
+        let bin_start = (coarse_code as f64 + 1.0) * coarse_lsb - window;
+        let residue = (v.as_volts() - bin_start).clamp(0.0, coarse_lsb);
+
+        // Residue amplifier: one coarse LSB → the fine stage's full scale.
+        let gain = self.fine.config().vfs.as_volts() / coarse_lsb
+            * (1.0 + self.residue_gain_error);
+        let fine_code = self
+            .fine
+            .convert_static(Voltage::from_volts(residue * gain))?;
+
+        Ok((coarse_code << self.fine.bits()) | fine_code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_is_six_bits() {
+        let c = CascadedAdc::paper_pair();
+        assert_eq!(c.bits(), 6);
+        assert!((c.lsb().as_volts() - 3.6 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade_resolves_finer_than_single_slice() {
+        let c = CascadedAdc::paper_pair();
+        let single = EoAdc::new(EoAdcConfig::paper());
+        // Two inputs inside the same coarse bin (code 2 spans
+        // ≈[1.09, 1.54) V) must separate in the cascade but not in the
+        // single slice.
+        let a = Voltage::from_volts(1.15);
+        let b = Voltage::from_volts(1.45);
+        assert_eq!(
+            single.convert_static(a).expect("legal"),
+            single.convert_static(b).expect("legal")
+        );
+        assert_ne!(c.convert(a).expect("legal"), c.convert(b).expect("legal"));
+    }
+
+    #[test]
+    fn cascade_codes_are_monotone() {
+        let c = CascadedAdc::paper_pair();
+        let mut last = 0u16;
+        for k in 0..=360 {
+            let v = Voltage::from_volts(k as f64 * 0.01);
+            let code = c.convert(v).expect("legal");
+            assert!(code + 1 >= last, "non-monotone at {} V", v.as_volts());
+            last = code.max(last);
+        }
+    }
+
+    #[test]
+    fn cascade_tracks_ideal_within_a_coarse_lsb() {
+        let c = CascadedAdc::paper_pair();
+        for k in 1..=71 {
+            let v = k as f64 * 0.05;
+            let code = c.convert(Voltage::from_volts(v)).expect("legal") as f64;
+            let ideal = (v / c.lsb().as_volts()).ceil() - 1.0;
+            assert!(
+                (code - ideal).abs() <= 8.0,
+                "cascade code {code} vs ideal {ideal} at {v} V"
+            );
+        }
+    }
+
+    #[test]
+    fn residue_gain_error_shifts_fine_codes() {
+        let ideal = CascadedAdc::paper_pair();
+        let skewed = CascadedAdc::paper_pair().with_residue_gain_error(0.10);
+        let mut diffs = 0;
+        for k in 0..=360 {
+            let v = Voltage::from_volts(k as f64 * 0.01);
+            if ideal.convert(v).expect("legal") != skewed.convert(v).expect("legal") {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 0, "a 10 % residue gain error must move some codes");
+    }
+}

@@ -1,0 +1,148 @@
+//! eoADC configuration.
+
+use pic_units::{Capacitance, Frequency, OpticalPower, Seconds, Voltage, Wavelength};
+
+/// Operating parameters of the electro-optic ADC.
+///
+/// [`EoAdcConfig::paper`] reproduces §IV-C: 3 bits, 200 µW of optical input
+/// per ring at 1310.5 nm, 18 µW reference per channel, 1.8 V supplies,
+/// 8 GS/s sampling.
+///
+/// The full-scale range is 3.6 V with references at `V_REF,i = i·V_FS/2^p`
+/// — the unique ladder consistent with all three transient cases of Fig. 9
+/// (0.72 V→B2→001, 3.3 V→B7→110, 2.0 V on the B4/B5 boundary→100).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EoAdcConfig {
+    /// Resolution in bits (`2^bits` rings/channels).
+    pub bits: u32,
+    /// Full-scale analog input range.
+    pub vfs: Voltage,
+    /// Analog/digital supply voltage.
+    pub vdd: Voltage,
+    /// Optical input power delivered to each quantiser ring.
+    pub input_power: OpticalPower,
+    /// Optical reference power per thresholding channel.
+    pub reference_power: OpticalPower,
+    /// Operating wavelength.
+    pub wavelength: Wavelength,
+    /// Sampling rate of the full converter (TIA + amplifier chain present).
+    pub sample_rate: Frequency,
+    /// Capacitance of each thresholding node Q_p.
+    pub threshold_capacitance: Capacitance,
+    /// Transient co-simulation time step.
+    pub time_step: Seconds,
+    /// Fraction of an LSB on either side of a reference voltage within
+    /// which that channel's ring activates. 0.578 (= 0.26 V at the paper's
+    /// 0.45 V LSB) reproduces every Fig. 9 activation pattern.
+    pub activation_halfwidth_lsb: f64,
+    /// Total electrical power of the TIA/amplifier/decoder chain (§IV-C
+    /// reports 11 mW).
+    pub electrical_power_watts: f64,
+}
+
+impl EoAdcConfig {
+    /// The paper's §IV-C operating point.
+    #[must_use]
+    pub fn paper() -> Self {
+        EoAdcConfig {
+            bits: 3,
+            vfs: Voltage::from_volts(3.6),
+            vdd: Voltage::from_volts(1.8),
+            input_power: OpticalPower::from_microwatts(200.0),
+            reference_power: OpticalPower::from_microwatts(18.0),
+            wavelength: Wavelength::from_nanometers(pic_units::constants::EOADC_WAVELENGTH_NM),
+            sample_rate: Frequency::from_gigahertz(8.0),
+            threshold_capacitance: Capacitance::from_femtofarads(1.0),
+            time_step: Seconds::from_picoseconds(0.5),
+            activation_halfwidth_lsb: 0.578,
+            electrical_power_watts: 11.0e-3,
+        }
+    }
+
+    /// Channels (`2^bits`).
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// One LSB of input range.
+    #[must_use]
+    pub fn lsb(&self) -> Voltage {
+        self.vfs / self.channel_count() as f64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive, `bits` is outside 1..=8, or
+    /// the reference power does not sit below the input power (the
+    /// thresholding block needs headroom on both sides).
+    pub fn validate(&self) {
+        assert!((1..=8).contains(&self.bits), "bits must be 1..=8");
+        assert!(self.vfs.as_volts() > 0.0, "full scale must be positive");
+        assert!(self.vdd.as_volts() > 0.0, "VDD must be positive");
+        assert!(
+            self.input_power.as_watts() > self.reference_power.as_watts(),
+            "reference power must be below the ring input power"
+        );
+        assert!(
+            self.reference_power.as_watts() > 0.0,
+            "reference power must be positive"
+        );
+        assert!(
+            self.sample_rate.as_hertz() > 0.0,
+            "sample rate must be positive"
+        );
+        assert!(
+            self.threshold_capacitance.as_farads() > 0.0,
+            "threshold capacitance must be positive"
+        );
+        assert!(self.time_step.as_seconds() > 0.0, "time step must be positive");
+        assert!(
+            self.activation_halfwidth_lsb > 0.5 && self.activation_halfwidth_lsb < 1.0,
+            "activation half-width must exceed half an LSB (full input \
+             coverage) and stay below one LSB (at most two channels hot)"
+        );
+        assert!(
+            self.electrical_power_watts > 0.0,
+            "electrical power must be positive"
+        );
+    }
+}
+
+impl Default for EoAdcConfig {
+    fn default() -> Self {
+        EoAdcConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        EoAdcConfig::paper().validate();
+    }
+
+    #[test]
+    fn paper_lsb_is_450_millivolts() {
+        assert!((EoAdcConfig::paper().lsb().as_volts() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_activation_window_is_260_millivolts() {
+        let c = EoAdcConfig::paper();
+        let w = c.activation_halfwidth_lsb * c.lsb().as_volts();
+        assert!((w - 0.26).abs() < 0.001, "window {w} V");
+    }
+
+    #[test]
+    #[should_panic(expected = "half-width")]
+    fn rejects_undersized_activation_window() {
+        let mut c = EoAdcConfig::paper();
+        c.activation_halfwidth_lsb = 0.4; // would leave dead zones
+        c.validate();
+    }
+}

@@ -1,0 +1,361 @@
+//! The assembled electro-optic ADC.
+
+use crate::{EoAdcConfig, MrrQuantizer, ThresholdBlock};
+use pic_circuit::{CeilingRomDecoder, DecodeError, WaveformRecorder};
+use pic_signal::Waveform;
+use pic_units::{Frequency, Seconds, Voltage};
+
+/// Result of one transient conversion — the traces of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct TransientConversion {
+    /// Decoded output code.
+    pub code: Result<u16, DecodeError>,
+    /// Per-channel `B_p` output waveforms, volts.
+    pub b_outputs: Vec<Waveform>,
+    /// Per-channel thresholding-node (Q_p) waveforms, volts.
+    pub qp_nodes: Vec<Waveform>,
+    /// Channels sampled as active at the decision instant.
+    pub activations: Vec<bool>,
+}
+
+/// The 1-hot encoding electro-optic ADC of Fig. 3(b).
+///
+/// See the [crate-level documentation](crate) for the architecture; use
+/// [`EoAdc::convert_static`] for fast quasi-static conversion (optics +
+/// decoder only) and [`EoAdc::convert_transient`] for the full
+/// co-simulation including thresholding-node and amplifier dynamics.
+#[derive(Debug, Clone)]
+pub struct EoAdc {
+    quantizer: MrrQuantizer,
+    decoder: CeilingRomDecoder,
+    blocks: Vec<ThresholdBlock>,
+    with_amplifiers: bool,
+}
+
+impl EoAdc {
+    /// Builds the full converter (TIA + amplifier chain present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: EoAdcConfig) -> Self {
+        Self::build(config, true)
+    }
+
+    /// Builds the §IV-C amplifier-less variant: 58 % lower electrical
+    /// power, conversion rate limited to 416.7 MS/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn without_amplifiers(config: EoAdcConfig) -> Self {
+        Self::build(config, false)
+    }
+
+    fn build(config: EoAdcConfig, with_amplifiers: bool) -> Self {
+        let quantizer = MrrQuantizer::new(config);
+        let blocks = (0..config.channel_count())
+            .map(|_| ThresholdBlock::new(&config, with_amplifiers))
+            .collect();
+        EoAdc {
+            quantizer,
+            decoder: CeilingRomDecoder::new(config.bits),
+            blocks,
+            with_amplifiers,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EoAdcConfig {
+        self.quantizer.config()
+    }
+
+    /// The quantiser ring bank.
+    #[must_use]
+    pub fn quantizer(&self) -> &MrrQuantizer {
+        &self.quantizer
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.config().bits
+    }
+
+    /// `true` when the TIA/amplifier chain is present.
+    #[must_use]
+    pub fn has_amplifiers(&self) -> bool {
+        self.with_amplifiers
+    }
+
+    /// Maximum conversion rate: the configured 8 GS/s with the amplifier
+    /// chain, or the paper's 416.7 MS/s without it (§IV-C).
+    #[must_use]
+    pub fn sample_rate(&self) -> Frequency {
+        if self.with_amplifiers {
+            self.config().sample_rate
+        } else {
+            Frequency::from_megahertz(416.7)
+        }
+    }
+
+    /// Quasi-static conversion: evaluates the ring bank's activation
+    /// pattern at `v_in` (clamped to the full-scale range) and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the activation pattern is illegal —
+    /// with a calibrated quantiser this cannot occur for any input, which
+    /// the test suite sweeps to confirm.
+    pub fn convert_static(&self, v_in: Voltage) -> Result<u16, DecodeError> {
+        let v = v_in.clamp(Voltage::ZERO, self.config().vfs);
+        self.decoder.decode(&self.quantizer.activations(v))
+    }
+
+    /// Full transient conversion over one sampling period: precharge,
+    /// integrate the thresholding blocks under the ring bank's optical
+    /// output, sample at the end of the window, decode.
+    pub fn convert_transient(&mut self, v_in: Voltage) -> TransientConversion {
+        let config = *self.config();
+        let v = v_in.clamp(Voltage::ZERO, config.vfs);
+        let period = self.sample_rate().period();
+        let dt = config.time_step;
+        let steps = (period.as_seconds() / dt.as_seconds()).ceil() as usize;
+
+        for block in &mut self.blocks {
+            block.reset();
+        }
+        let mut rec_b: Vec<WaveformRecorder> = (0..self.blocks.len())
+            .map(|_| WaveformRecorder::new(dt))
+            .collect();
+        let mut rec_qp: Vec<WaveformRecorder> = (0..self.blocks.len())
+            .map(|_| WaveformRecorder::new(dt))
+            .collect();
+
+        for _ in 0..steps {
+            for (i, block) in self.blocks.iter_mut().enumerate() {
+                let thru = self.quantizer.thru_power(i, v);
+                block.step(thru, config.reference_power, dt);
+                rec_b[i].push(block.output().as_volts());
+                rec_qp[i].push(block.qp_voltage().as_volts());
+            }
+        }
+
+        let activations: Vec<bool> = self.blocks.iter().map(ThresholdBlock::is_active).collect();
+        TransientConversion {
+            code: self.decoder.decode(&activations),
+            b_outputs: rec_b.into_iter().map(WaveformRecorder::finish).collect(),
+            qp_nodes: rec_qp.into_iter().map(WaveformRecorder::finish).collect(),
+            activations,
+        }
+    }
+
+    /// Quasi-static conversion with photodetection noise: each channel's
+    /// thresholding decision compares one noisy sample of the ring-thru
+    /// photocurrent against one noisy sample of the reference current
+    /// (shot + thermal + RIN from `noise`). Near code boundaries the
+    /// comparison can produce an illegal pattern — those surface as
+    /// decode errors, which is exactly the physical failure mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when noise yields a non-adjacent or
+    /// over-populated activation pattern.
+    pub fn convert_static_noisy<R: rand::Rng + ?Sized>(
+        &self,
+        v_in: Voltage,
+        noise: &pic_photonics::NoiseModel,
+        rng: &mut R,
+    ) -> Result<u16, DecodeError> {
+        let cfg = self.config();
+        let v = v_in.clamp(Voltage::ZERO, cfg.vfs);
+        let responsivity = pic_photonics::calib::PHOTODIODE_RESPONSIVITY_A_PER_W;
+        let i_ref = cfg.reference_power.photocurrent(responsivity);
+        let activations: Vec<bool> = (0..self.quantizer.channel_count())
+            .map(|i| {
+                let i_thru = self.quantizer.thru_power(i, v).photocurrent(responsivity);
+                let thru_sample = noise.sample(i_thru, rng);
+                let ref_sample = noise.sample(i_ref, rng);
+                thru_sample.as_amps() < ref_sample.as_amps()
+            })
+            .collect();
+        self.decoder.decode(&activations)
+    }
+
+    /// Digitises a voltage waveform by quasi-static sampling at the
+    /// converter's rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DecodeError`] (none occur for a calibrated
+    /// converter).
+    pub fn digitize(&self, input: &Waveform) -> Result<Vec<u16>, DecodeError> {
+        let period = self.sample_rate().period();
+        let n = (input.duration().as_seconds() / period.as_seconds() + 1e-9).floor() as usize;
+        (0..n)
+            .map(|k| {
+                // Sample mid-window, as the track-and-hold would.
+                let t = Seconds::from_seconds((k as f64 + 0.5) * period.as_seconds());
+                self.convert_static(Voltage::from_volts(input.value_at(t)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adc() -> EoAdc {
+        EoAdc::new(EoAdcConfig::paper())
+    }
+
+    #[test]
+    fn fig9_static_codes() {
+        let adc = adc();
+        assert_eq!(adc.convert_static(Voltage::from_volts(0.72)), Ok(0b001));
+        assert_eq!(adc.convert_static(Voltage::from_volts(3.30)), Ok(0b110));
+        assert_eq!(adc.convert_static(Voltage::from_volts(2.00)), Ok(0b100));
+    }
+
+    #[test]
+    fn fig9_transient_codes_and_one_hot() {
+        let mut adc = adc();
+        for (v, code, hot) in [(0.72, 0b001u16, 1usize), (3.30, 0b110, 1)] {
+            let tc = adc.convert_transient(Voltage::from_volts(v));
+            assert_eq!(tc.code, Ok(code), "input {v} V");
+            assert_eq!(
+                tc.activations.iter().filter(|&&a| a).count(),
+                hot,
+                "1-hot violated at {v} V"
+            );
+        }
+        // 2.0 V: boundary double-activation resolved by the ceiling ROM.
+        let tc = adc.convert_transient(Voltage::from_volts(2.0));
+        assert_eq!(tc.code, Ok(0b100));
+        assert_eq!(tc.activations.iter().filter(|&&a| a).count(), 2);
+    }
+
+    #[test]
+    fn static_sweep_never_yields_illegal_pattern() {
+        let adc = adc();
+        for k in 0..=3600 {
+            let v = Voltage::from_volts(k as f64 * 0.001);
+            adc.convert_static(v).unwrap_or_else(|e| {
+                panic!("illegal pattern at {} V: {e}", v.as_volts())
+            });
+        }
+    }
+
+    #[test]
+    fn codes_are_monotone_in_input() {
+        let adc = adc();
+        let mut last = 0u16;
+        for k in 0..=720 {
+            let v = Voltage::from_volts(k as f64 * 0.005);
+            let code = adc.convert_static(v).expect("legal");
+            assert!(code >= last, "non-monotone at {} V", v.as_volts());
+            last = code;
+        }
+        assert_eq!(last, 7, "full scale reaches the top code");
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamp() {
+        let adc = adc();
+        assert_eq!(adc.convert_static(Voltage::from_volts(-1.0)), Ok(0));
+        assert_eq!(adc.convert_static(Voltage::from_volts(99.0)), Ok(7));
+    }
+
+    #[test]
+    fn transient_matches_static_away_from_boundaries() {
+        let mut adc = adc();
+        // Mid-code inputs (at each reference voltage).
+        for i in 0..8u16 {
+            let v = Voltage::from_volts(0.45 * (i + 1) as f64);
+            let s = adc.convert_static(v).expect("legal");
+            let t = adc.convert_transient(v).code.expect("legal");
+            assert_eq!(s, t, "static/transient disagree at code {i}");
+        }
+    }
+
+    #[test]
+    fn digitize_follows_a_staircase() {
+        let adc = adc();
+        let wf = pic_signal::generate::staircase(
+            Seconds::from_picoseconds(5.0),
+            Seconds::from_picoseconds(125.0),
+            &[0.9, 1.8, 2.7, 3.6],
+        );
+        let codes = adc.digitize(&wf).expect("legal");
+        assert_eq!(codes, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn noisy_conversion_matches_nominal_at_paper_power() {
+        use rand::SeedableRng;
+        let adc = adc();
+        let noise = pic_photonics::NoiseModel::paper_receiver();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        // Mid-code inputs: 200 µW of ring power gives enormous margin.
+        let mut agree = 0;
+        let trials = 200;
+        for k in 0..trials {
+            let v = Voltage::from_volts(0.45 * ((k % 8) + 1) as f64);
+            let nominal = adc.convert_static(v).expect("legal");
+            if adc.convert_static_noisy(v, &noise, &mut rng) == Ok(nominal) {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / trials as f64 > 0.98,
+            "noise at 200 µW should barely matter: {agree}/{trials}"
+        );
+    }
+
+    #[test]
+    fn starved_optical_power_makes_noisy_codes_flaky() {
+        use rand::SeedableRng;
+        let mut cfg = EoAdcConfig::paper();
+        // 100× less light everywhere: thresholding margins shrink into
+        // the noise.
+        cfg.input_power = pic_units::OpticalPower::from_microwatts(2.0);
+        cfg.reference_power = pic_units::OpticalPower::from_microwatts(0.18);
+        let adc = EoAdc::new(cfg);
+        let noise = pic_photonics::NoiseModel::paper_receiver();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut disagree = 0;
+        let trials = 200;
+        for k in 0..trials {
+            let v = Voltage::from_volts(0.45 * ((k % 8) + 1) as f64);
+            let nominal = adc.convert_static(v).expect("legal");
+            if adc.convert_static_noisy(v, &noise, &mut rng) != Ok(nominal) {
+                disagree += 1;
+            }
+        }
+        assert!(
+            disagree > 5,
+            "2 µW of ring power must show noise-induced code errors, got {disagree}"
+        );
+    }
+
+    #[test]
+    fn amplifier_less_variant_reports_slow_rate() {
+        let slow = EoAdc::without_amplifiers(EoAdcConfig::paper());
+        assert!((slow.sample_rate().as_hertz() - 416.7e6).abs() < 1e3);
+        assert!(!slow.has_amplifiers());
+    }
+
+    #[test]
+    fn b_waveforms_swing_rail_to_rail_for_active_channel() {
+        let mut adc = adc();
+        let tc = adc.convert_transient(Voltage::from_volts(0.9)); // at V_REF2
+        let b2 = &tc.b_outputs[1];
+        assert!(b2.final_value() > 1.6, "active B2 reaches the high rail");
+        let b5 = &tc.b_outputs[4];
+        assert!(b5.final_value() < 0.2, "inactive B5 stays low");
+    }
+}

@@ -1,0 +1,128 @@
+//! Electrical flash-ADC baseline model.
+//!
+//! The paper motivates the 1-hot eoADC against thermometer-coded flash
+//! converters "which are power-intensive due to … numerous comparator
+//! activations" (§I, refs [39], [40]). This spec-level model captures that
+//! comparison: a `p`-bit flash fires `2^p − 1` comparators every
+//! conversion, while the eoADC activates a single thresholding block.
+
+use pic_circuit::thermometer_decode;
+use pic_units::{ElectricalPower, Energy, Frequency, Voltage};
+
+/// Comparator switching energy typical of multi-GS/s CMOS flash designs
+/// ([39]: 4 GS/s 4-bit at hundreds of mW ⇒ a few pJ per comparator per
+/// conversion), J.
+pub const DEFAULT_COMPARATOR_ENERGY_J: f64 = 1.0e-12;
+
+/// A behavioural electrical flash ADC with an energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashAdcModel {
+    bits: u32,
+    vfs: Voltage,
+    sample_rate: Frequency,
+    comparator_energy: Energy,
+}
+
+impl FlashAdcModel {
+    /// Creates a flash model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1..=8 or parameters are non-positive.
+    #[must_use]
+    pub fn new(bits: u32, vfs: Voltage, sample_rate: Frequency) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be 1..=8");
+        assert!(vfs.as_volts() > 0.0, "full scale must be positive");
+        assert!(sample_rate.as_hertz() > 0.0, "rate must be positive");
+        FlashAdcModel {
+            bits,
+            vfs,
+            sample_rate,
+            comparator_energy: Energy::from_joules(DEFAULT_COMPARATOR_ENERGY_J),
+        }
+    }
+
+    /// A flash at the eoADC's operating point (3 bits, 3.6 V, 8 GS/s).
+    #[must_use]
+    pub fn paper_equivalent() -> Self {
+        FlashAdcModel::new(3, Voltage::from_volts(3.6), Frequency::from_gigahertz(8.0))
+    }
+
+    /// Overrides the per-comparator energy.
+    #[must_use]
+    pub fn with_comparator_energy(mut self, e: Energy) -> Self {
+        self.comparator_energy = e;
+        self
+    }
+
+    /// Number of comparators (`2^bits − 1`).
+    #[must_use]
+    pub fn comparator_count(&self) -> usize {
+        (1usize << self.bits) - 1
+    }
+
+    /// Converts an input by the thermometer ladder.
+    #[must_use]
+    pub fn convert(&self, v_in: Voltage) -> u16 {
+        let lsb = self.vfs.as_volts() / (1u64 << self.bits) as f64;
+        let comparators: Vec<bool> = (1..=self.comparator_count())
+            .map(|i| v_in.as_volts() >= i as f64 * lsb)
+            .collect();
+        thermometer_decode(&comparators).expect("a voltage ladder cannot bubble")
+    }
+
+    /// Energy per conversion: every comparator evaluates every cycle.
+    #[must_use]
+    pub fn energy_per_conversion(&self) -> Energy {
+        self.comparator_energy * self.comparator_count() as f64
+    }
+
+    /// Average power at the sample rate.
+    #[must_use]
+    pub fn power(&self) -> ElectricalPower {
+        self.energy_per_conversion()
+            .average_power(self.sample_rate.period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_codes_match_floor_quantization() {
+        let flash = FlashAdcModel::paper_equivalent();
+        assert_eq!(flash.convert(Voltage::from_volts(0.0)), 0);
+        assert_eq!(flash.convert(Voltage::from_volts(0.46)), 1);
+        assert_eq!(flash.convert(Voltage::from_volts(3.59)), 7);
+    }
+
+    #[test]
+    fn flash_burns_all_comparators() {
+        let flash = FlashAdcModel::paper_equivalent();
+        assert_eq!(flash.comparator_count(), 7);
+        assert!(
+            (flash.energy_per_conversion().as_picojoules() - 7.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn eoadc_beats_flash_on_conversion_energy() {
+        let flash = FlashAdcModel::paper_equivalent();
+        let eoadc = crate::AdcPowerModel::new(crate::EoAdcConfig::paper());
+        assert!(
+            eoadc.energy_per_conversion().as_joules()
+                < flash.energy_per_conversion().as_joules(),
+            "the 1-hot architecture should undercut the thermometer flash"
+        );
+    }
+
+    #[test]
+    fn comparator_energy_scales_exponentially_with_bits() {
+        let e3 = FlashAdcModel::new(3, Voltage::from_volts(3.6), Frequency::from_gigahertz(8.0))
+            .energy_per_conversion();
+        let e6 = FlashAdcModel::new(6, Voltage::from_volts(3.6), Frequency::from_gigahertz(8.0))
+            .energy_per_conversion();
+        assert!(e6.as_joules() / e3.as_joules() > 8.0);
+    }
+}

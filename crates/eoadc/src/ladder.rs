@@ -1,0 +1,114 @@
+//! Reference voltage ladder.
+
+use pic_units::Voltage;
+
+/// The per-channel reference voltages `V_REF,i = i·V_FS/2^p` (1-based `i`),
+/// applied to the p-terminals of the quantiser rings (§II-C).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReferenceLadder {
+    vfs: Voltage,
+    bits: u32,
+}
+
+impl ReferenceLadder {
+    /// Creates a ladder for a `bits`-bit converter with full scale `vfs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1..=8 or `vfs` is not positive.
+    #[must_use]
+    pub fn new(vfs: Voltage, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be 1..=8");
+        assert!(vfs.as_volts() > 0.0, "full scale must be positive");
+        ReferenceLadder { vfs, bits }
+    }
+
+    /// Number of channels (`2^bits`).
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// One LSB.
+    #[must_use]
+    pub fn lsb(&self) -> Voltage {
+        self.vfs / self.channel_count() as f64
+    }
+
+    /// Reference voltage of channel `i` (0-based): `(i+1)·LSB`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn reference(&self, i: usize) -> Voltage {
+        assert!(i < self.channel_count(), "channel {i} out of range");
+        self.lsb() * (i + 1) as f64
+    }
+
+    /// All references, channel order.
+    #[must_use]
+    pub fn references(&self) -> Vec<Voltage> {
+        (0..self.channel_count()).map(|i| self.reference(i)).collect()
+    }
+
+    /// The channel whose reference is nearest `v` — the ideal 1-hot winner.
+    #[must_use]
+    pub fn nearest_channel(&self, v: Voltage) -> usize {
+        let lsb = self.lsb().as_volts();
+        let idx = (v.as_volts() / lsb - 1.0).round();
+        (idx.max(0.0) as usize).min(self.channel_count() - 1)
+    }
+
+    /// The ideal output code for input `v`: `ceil(v/LSB) − 1`, clamped —
+    /// i.e. what a perfect converter with this ladder and the ceiling
+    /// decoder produces.
+    #[must_use]
+    pub fn ideal_code(&self, v: Voltage) -> u16 {
+        let lsb = self.lsb().as_volts();
+        let code = (v.as_volts() / lsb).ceil() - 1.0;
+        (code.max(0.0) as u16).min((self.channel_count() - 1) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> ReferenceLadder {
+        ReferenceLadder::new(Voltage::from_volts(3.6), 3)
+    }
+
+    #[test]
+    fn references_are_uniform_multiples_of_lsb() {
+        let l = ladder();
+        assert!((l.lsb().as_volts() - 0.45).abs() < 1e-12);
+        for (i, r) in l.references().iter().enumerate() {
+            assert!((r.as_volts() - 0.45 * (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig9_nearest_channels() {
+        let l = ladder();
+        // 0.72 V nearest 0.9 V (B2); 3.3 V nearest 3.15 V (B7).
+        assert_eq!(l.nearest_channel(Voltage::from_volts(0.72)), 1);
+        assert_eq!(l.nearest_channel(Voltage::from_volts(3.30)), 6);
+    }
+
+    #[test]
+    fn ideal_code_is_ceiling_minus_one() {
+        let l = ladder();
+        assert_eq!(l.ideal_code(Voltage::from_volts(0.0)), 0);
+        assert_eq!(l.ideal_code(Voltage::from_volts(0.44)), 0);
+        assert_eq!(l.ideal_code(Voltage::from_volts(0.46)), 1);
+        assert_eq!(l.ideal_code(Voltage::from_volts(3.59)), 7);
+        assert_eq!(l.ideal_code(Voltage::from_volts(9.99)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reference_bounds_checked() {
+        let _ = ladder().reference(8);
+    }
+}

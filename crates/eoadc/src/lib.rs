@@ -1,0 +1,61 @@
+//! 1-hot encoding electro-optic ADC (eoADC).
+//!
+//! Implements the converter of Fig. 3(b): `2^p` microrings whose pn
+//! junctions see the analog input on the n-terminal and a per-channel
+//! reference on the p-terminal, so that exactly the ring whose reference is
+//! nearest the input resonates. The resonating ring starves its
+//! balanced-photodiode thresholding block of light, the node discharges,
+//! an inverter TIA + amplifier chain restores rail-to-rail swing, and a
+//! ROM decoder with ceiling priority emits the binary code.
+//!
+//! Paper headline behaviour reproduced here:
+//!
+//! * 1-hot activation with double activation only at code boundaries,
+//!   resolved upward (Figs. 8, 9);
+//! * 3-bit conversion at 8 GS/s and 2.32 pJ/conversion (§IV-C);
+//! * DNL far from −1 LSB — no missing codes (Fig. 10);
+//! * the amplifier-less variant at 416.7 MS/s with 58 % less electrical
+//!   power (§IV-C);
+//! * time-interleaved and cascaded (shift-and-add) extensions (§II-C).
+//!
+//! # Example
+//!
+//! ```
+//! use pic_eoadc::{EoAdc, EoAdcConfig};
+//! use pic_units::Voltage;
+//!
+//! let adc = EoAdc::new(EoAdcConfig::paper());
+//! // The three Fig. 9 cases:
+//! assert_eq!(adc.convert_static(Voltage::from_volts(0.72))?, 0b001);
+//! assert_eq!(adc.convert_static(Voltage::from_volts(3.30))?, 0b110);
+//! assert_eq!(adc.convert_static(Voltage::from_volts(2.00))?, 0b100);
+//! # Ok::<(), pic_circuit::DecodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibration;
+mod cascade;
+mod config;
+mod converter;
+mod flash;
+mod interleave;
+mod ladder;
+pub mod metrics;
+mod power;
+mod quantizer;
+mod threshold;
+pub mod variation;
+
+pub use calibration::CalibratedAdc;
+pub use cascade::CascadedAdc;
+pub use config::EoAdcConfig;
+pub use converter::{EoAdc, TransientConversion};
+pub use flash::FlashAdcModel;
+pub use interleave::TimeInterleavedAdc;
+pub use ladder::ReferenceLadder;
+pub use power::AdcPowerModel;
+pub use quantizer::MrrQuantizer;
+pub use threshold::ThresholdBlock;
+pub use variation::{monte_carlo, VariationReport, VariedAdc};

@@ -1,0 +1,260 @@
+//! Static ADC metrics: transfer function, DNL, INL, missing codes.
+
+use crate::EoAdc;
+use pic_units::Voltage;
+
+/// A measured code-vs-input transfer function (the left subplot of
+/// Fig. 10) with the derived static linearity metrics.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransferFunction {
+    /// Swept input voltages.
+    pub inputs: Vec<f64>,
+    /// Code at each swept input.
+    pub codes: Vec<u16>,
+    /// LSB size in volts.
+    pub lsb: f64,
+    /// Channels of the converter.
+    pub levels: usize,
+}
+
+impl TransferFunction {
+    /// Measures the converter with a `points`-step ramp over the full
+    /// scale (quasi-static).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` or the converter produces an illegal
+    /// activation pattern (impossible for a calibrated quantiser).
+    #[must_use]
+    pub fn measure(adc: &EoAdc, points: usize) -> Self {
+        assert!(points >= 2, "need at least two sweep points");
+        let vfs = adc.config().vfs.as_volts();
+        let mut inputs = Vec::with_capacity(points);
+        let mut codes = Vec::with_capacity(points);
+        for k in 0..points {
+            let v = vfs * k as f64 / (points - 1) as f64;
+            inputs.push(v);
+            codes.push(
+                adc.convert_static(Voltage::from_volts(v))
+                    .expect("calibrated converter produced an illegal pattern"),
+            );
+        }
+        TransferFunction {
+            inputs,
+            codes,
+            lsb: adc.config().lsb().as_volts(),
+            levels: adc.config().channel_count(),
+        }
+    }
+
+    /// First swept input voltage at which each code `1..levels` appears
+    /// (the code *edges*). `None` for a code that never appears.
+    #[must_use]
+    pub fn edges(&self) -> Vec<Option<f64>> {
+        (1..self.levels as u16)
+            .map(|code| {
+                self.codes
+                    .iter()
+                    .position(|&c| c >= code)
+                    .map(|i| self.inputs[i])
+            })
+            .collect()
+    }
+
+    /// Codes that never appear in the sweep.
+    #[must_use]
+    pub fn missing_codes(&self) -> Vec<u16> {
+        (0..self.levels as u16)
+            .filter(|code| !self.codes.contains(code))
+            .collect()
+    }
+
+    /// `true` if the measured code never decreases with input.
+    #[must_use]
+    pub fn is_monotonic(&self) -> bool {
+        self.codes.windows(2).all(|w| w[1] >= w[0])
+    }
+
+    /// Differential non-linearity per code, in LSB: `(width_k − LSB)/LSB`
+    /// for each fully-bounded code `k` (codes `1..levels−1`). Missing codes
+    /// report −1 LSB exactly.
+    #[must_use]
+    pub fn dnl(&self) -> Vec<f64> {
+        let edges = self.edges();
+        (0..edges.len().saturating_sub(1))
+            .map(|k| match (edges[k], edges[k + 1]) {
+                (Some(lo), Some(hi)) => (hi - lo) / self.lsb - 1.0,
+                _ => -1.0,
+            })
+            .collect()
+    }
+
+    /// Integral non-linearity per code edge, in LSB, relative to the
+    /// best-fit-free "end-point" line through the first edge.
+    #[must_use]
+    pub fn inl(&self) -> Vec<f64> {
+        let edges = self.edges();
+        let Some(Some(first)) = edges.first().copied() else {
+            return Vec::new();
+        };
+        edges
+            .iter()
+            .enumerate()
+            .map(|(k, e)| match e {
+                Some(v) => (v - first) / self.lsb - k as f64,
+                None => f64::NAN,
+            })
+            .collect()
+    }
+
+    /// Worst-case |DNL| in LSB.
+    #[must_use]
+    pub fn peak_dnl(&self) -> f64 {
+        self.dnl().iter().fold(0.0f64, |m, &d| m.max(d.abs()))
+    }
+
+    /// Worst-case |INL| in LSB.
+    #[must_use]
+    pub fn peak_inl(&self) -> f64 {
+        self.inl()
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, |m, &d| m.max(d.abs()))
+    }
+
+    /// Offset of the first code edge from the ideal 1-LSB point, in LSB.
+    #[must_use]
+    pub fn offset_lsb(&self) -> Option<f64> {
+        self.edges().first().copied().flatten().map(|e| e / self.lsb - 1.0)
+    }
+}
+
+/// Result of a coherent sine-wave dynamic test.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DynamicMetrics {
+    /// Signal-to-noise-and-distortion ratio, dB.
+    pub sndr_db: f64,
+    /// Effective number of bits.
+    pub enob: f64,
+    /// Test-tone cycles in the record.
+    pub cycles: usize,
+    /// Record length in samples.
+    pub record: usize,
+}
+
+/// Runs the standard dynamic converter test: a coherently sampled
+/// near-full-scale sine (`cycles` must be odd and coprime with `record`
+/// for coherent sampling), quantised by the converter, analysed by FFT.
+///
+/// The 3-bit nominal converter should land near the ideal
+/// `6.02·3 + 1.76 = 19.8 dB` SNDR.
+///
+/// # Panics
+///
+/// Panics if `record` is not a power of two, or the converter produces an
+/// illegal pattern (it cannot when calibrated).
+#[must_use]
+pub fn dynamic_test(adc: &EoAdc, cycles: usize, record: usize) -> DynamicMetrics {
+    assert!(record.is_power_of_two(), "record length must be a power of two");
+    let vfs = adc.config().vfs.as_volts();
+    let lsb = adc.config().lsb().as_volts();
+    // Keep the sine inside the converter's offset-shifted range.
+    let amplitude = 0.46 * vfs;
+    let mid = 0.5 * vfs;
+    let codes: Vec<f64> = (0..record)
+        .map(|k| {
+            let phase = 2.0 * std::f64::consts::PI * cycles as f64 * k as f64 / record as f64;
+            let v = mid + amplitude * phase.sin();
+            let code = adc
+                .convert_static(Voltage::from_volts(v))
+                .expect("calibrated converter is total");
+            // Reconstruct at bin centres.
+            (f64::from(code) + 0.5) * lsb
+        })
+        .collect();
+    let analysis = pic_signal::fft::analyze_sine(&codes, 6);
+    DynamicMetrics {
+        sndr_db: analysis.sndr_db,
+        enob: analysis.enob,
+        cycles,
+        record,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EoAdcConfig;
+
+    fn tf() -> TransferFunction {
+        TransferFunction::measure(&EoAdc::new(EoAdcConfig::paper()), 1441)
+    }
+
+    #[test]
+    fn no_missing_codes_and_monotone() {
+        let tf = tf();
+        assert!(tf.missing_codes().is_empty(), "missing: {:?}", tf.missing_codes());
+        assert!(tf.is_monotonic());
+    }
+
+    #[test]
+    fn dnl_far_from_minus_one() {
+        // Fig. 10: code width closely matches ideal, no DNL of −1 LSB.
+        let tf = tf();
+        let dnl = tf.dnl();
+        assert_eq!(dnl.len(), 6, "codes 1..=6 are fully bounded");
+        for (k, d) in dnl.iter().enumerate() {
+            assert!(d.abs() < 0.25, "DNL[{k}] = {d} LSB too large");
+            assert!(*d > -0.9, "code {k} nearly missing");
+        }
+    }
+
+    #[test]
+    fn inl_is_small() {
+        let tf = tf();
+        assert!(tf.peak_inl() < 0.3, "peak INL {} LSB", tf.peak_inl());
+    }
+
+    #[test]
+    fn offset_is_constant_fraction_of_lsb() {
+        // The ±window activation places every edge at (k·LSB + w − LSB);
+        // a pure offset, invisible to DNL — the mechanism behind the
+        // paper's near-ideal code widths.
+        let tf = tf();
+        let off = tf.offset_lsb().expect("first edge exists");
+        assert!(off.abs() < 0.6, "offset {off} LSB unexpectedly large");
+    }
+
+    #[test]
+    fn dynamic_enob_near_three_bits() {
+        let adc = EoAdc::new(EoAdcConfig::paper());
+        let m = dynamic_test(&adc, 67, 2048);
+        assert!(
+            m.enob > 2.4 && m.enob < 3.3,
+            "3-bit converter ENOB {} out of class",
+            m.enob
+        );
+        assert!(m.sndr_db > 16.0, "SNDR {} dB", m.sndr_db);
+    }
+
+    #[test]
+    fn more_cycles_same_enob() {
+        // Coherent sampling: the tone choice must not change the verdict.
+        let adc = EoAdc::new(EoAdcConfig::paper());
+        let a = dynamic_test(&adc, 67, 2048);
+        let b = dynamic_test(&adc, 129, 2048);
+        assert!((a.enob - b.enob).abs() < 0.5, "{} vs {}", a.enob, b.enob);
+    }
+
+    #[test]
+    fn edges_are_uniformly_spaced() {
+        let tf = tf();
+        let edges: Vec<f64> = tf.edges().into_iter().flatten().collect();
+        assert_eq!(edges.len(), 7);
+        let widths: Vec<f64> = edges.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = widths.iter().sum::<f64>() / widths.len() as f64;
+        for w in &widths {
+            assert!((w - mean).abs() / mean < 0.1, "ragged edge spacing");
+        }
+    }
+}

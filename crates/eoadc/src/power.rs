@@ -1,0 +1,128 @@
+//! eoADC power and energy model (§IV-C).
+
+use crate::EoAdcConfig;
+use pic_units::{ElectricalPower, Energy, Frequency};
+
+/// Fraction of the electrical power that remains when the TIA + amplifier
+/// chain is removed (§IV-C: "58 % less electrical power").
+pub const AMPLIFIER_LESS_ELECTRICAL_FRACTION: f64 = 0.42;
+
+/// Power/energy accounting for one eoADC slice.
+///
+/// The paper's arithmetic, reproduced exactly: per channel, 200 µW of ring
+/// input plus 18 µW of reference → 8 × 218 µW = 1.744 mW of optical power,
+/// 7.58 mW at the 0.23 wall plug; 11 mW of electrical power; 18.58 mW total
+/// at 8 GS/s → 2.32 pJ per conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcPowerModel {
+    config: EoAdcConfig,
+    with_amplifiers: bool,
+}
+
+impl AdcPowerModel {
+    /// Model for the full converter.
+    #[must_use]
+    pub fn new(config: EoAdcConfig) -> Self {
+        config.validate();
+        AdcPowerModel {
+            config,
+            with_amplifiers: true,
+        }
+    }
+
+    /// Model for the amplifier-less variant.
+    #[must_use]
+    pub fn without_amplifiers(config: EoAdcConfig) -> Self {
+        config.validate();
+        AdcPowerModel {
+            config,
+            with_amplifiers: false,
+        }
+    }
+
+    /// Wall-plug electrical power of all optical sources (ring inputs +
+    /// references).
+    #[must_use]
+    pub fn optical_wall_plug(&self) -> ElectricalPower {
+        let channels = self.config.channel_count() as f64;
+        let optical = self.config.input_power * channels
+            + self.config.reference_power * channels;
+        optical.wall_plug_power_default()
+    }
+
+    /// Electrical power of the TIA/amplifier/decoder chain.
+    #[must_use]
+    pub fn electrical(&self) -> ElectricalPower {
+        let full = ElectricalPower::from_watts(self.config.electrical_power_watts);
+        if self.with_amplifiers {
+            full
+        } else {
+            full * AMPLIFIER_LESS_ELECTRICAL_FRACTION
+        }
+    }
+
+    /// Total converter power.
+    #[must_use]
+    pub fn total(&self) -> ElectricalPower {
+        self.optical_wall_plug() + self.electrical()
+    }
+
+    /// Conversion rate of this variant.
+    #[must_use]
+    pub fn sample_rate(&self) -> Frequency {
+        if self.with_amplifiers {
+            self.config.sample_rate
+        } else {
+            Frequency::from_megahertz(416.7)
+        }
+    }
+
+    /// Energy per conversion at the variant's rate.
+    #[must_use]
+    pub fn energy_per_conversion(&self) -> Energy {
+        self.total().energy_over(self.sample_rate().period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_optical_wall_plug_is_7_58_mw() {
+        let m = AdcPowerModel::new(EoAdcConfig::paper());
+        assert!(
+            (m.optical_wall_plug().as_milliwatts() - 7.583).abs() < 0.01,
+            "got {} mW",
+            m.optical_wall_plug().as_milliwatts()
+        );
+    }
+
+    #[test]
+    fn paper_energy_per_conversion_is_2_32_pj() {
+        let m = AdcPowerModel::new(EoAdcConfig::paper());
+        let pj = m.energy_per_conversion().as_picojoules();
+        assert!((pj - 2.32).abs() < 0.01, "got {pj} pJ");
+    }
+
+    #[test]
+    fn amplifier_less_cuts_electrical_by_58_percent() {
+        let full = AdcPowerModel::new(EoAdcConfig::paper());
+        let lean = AdcPowerModel::without_amplifiers(EoAdcConfig::paper());
+        let ratio = lean.electrical().as_watts() / full.electrical().as_watts();
+        assert!((ratio - 0.42).abs() < 1e-9);
+        assert!((lean.sample_rate().as_hertz() - 416.7e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn amplifier_less_lowers_power_but_not_energy_per_conversion() {
+        let full = AdcPowerModel::new(EoAdcConfig::paper());
+        let lean = AdcPowerModel::without_amplifiers(EoAdcConfig::paper());
+        assert!(lean.total().as_watts() < full.total().as_watts());
+        // …but the 19× slower rate makes each conversion cost more.
+        assert!(
+            lean.energy_per_conversion().as_joules()
+                > full.energy_per_conversion().as_joules()
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! The microring quantiser bank with self-calibrating tuning.
+
+use crate::{EoAdcConfig, ReferenceLadder};
+use pic_photonics::{Mrr, OperatingPoint};
+use pic_signal::Spectrum;
+use pic_units::{OpticalPower, Voltage, Wavelength};
+
+/// The bank of `2^p` quantiser rings of Fig. 3(b).
+///
+/// Each ring's pn junction sees `V_pn = V_REF,i − V_IN`; the ring is
+/// calibrated to resonate at the operating wavelength when `V_pn = 0`, so
+/// the thru port of channel `i` dips exactly when the input is near its
+/// reference.
+///
+/// At construction the electro-optic tuning slope is *calibrated by
+/// bisection* so that the thru power crosses the reference-power threshold
+/// at `activation_halfwidth_lsb` LSBs of input detuning — the same
+/// design-time tuning the paper performs against the GF45SPCLO ring
+/// (§IV-C), done here against our analytic ring.
+#[derive(Debug, Clone)]
+pub struct MrrQuantizer {
+    config: EoAdcConfig,
+    ladder: ReferenceLadder,
+    ring: Mrr,
+    threshold_ratio: f64,
+}
+
+impl MrrQuantizer {
+    /// Builds and calibrates the quantiser bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the requested activation
+    /// window is unachievable for the platform ring (threshold never
+    /// crossed within one FSR).
+    #[must_use]
+    pub fn new(config: EoAdcConfig) -> Self {
+        config.validate();
+        let ladder = ReferenceLadder::new(config.vfs, config.bits);
+        let threshold_ratio =
+            config.reference_power.as_watts() / config.input_power.as_watts();
+
+        // Reference ring, resonant at λ with V_pn = 0.
+        let probe = Mrr::adc_ring_design()
+            .resonant_at(config.wavelength, Voltage::ZERO)
+            .build();
+
+        // Find the wavelength detuning δ* at which the thru transmission
+        // crosses the threshold ratio (bisection on the notch flank).
+        let fsr = probe.fsr_near(config.wavelength).as_nanometers();
+        let floor = probe.thru_transmission(config.wavelength, OperatingPoint::unbiased());
+        assert!(
+            floor < threshold_ratio,
+            "ring extinction ({floor:.4}) cannot reach below the threshold \
+             ratio ({threshold_ratio:.4}); increase reference power or ring Q"
+        );
+        let base_nm = config.wavelength.as_nanometers();
+        let trans_at = |delta_nm: f64| {
+            probe.thru_transmission(
+                Wavelength::from_nanometers(base_nm + delta_nm),
+                OperatingPoint::unbiased(),
+            )
+        };
+        let (mut lo, mut hi) = (0.0, 0.45 * fsr);
+        assert!(
+            trans_at(hi) > threshold_ratio,
+            "threshold never crossed within the FSR"
+        );
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if trans_at(mid) < threshold_ratio {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let delta_star_nm = 0.5 * (lo + hi);
+
+        // Calibrated slope: δ* of shift per activation-half-width of volts.
+        let halfwidth_v = config.activation_halfwidth_lsb * config.lsb().as_volts();
+        let tuning_nm_per_v = delta_star_nm / halfwidth_v;
+
+        let ring = Mrr::adc_ring_design()
+            .tuning_nm_per_v(tuning_nm_per_v)
+            .resonant_at(config.wavelength, Voltage::ZERO)
+            .build();
+
+        MrrQuantizer {
+            config,
+            ladder,
+            ring,
+            threshold_ratio,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EoAdcConfig {
+        &self.config
+    }
+
+    /// The reference ladder.
+    #[must_use]
+    pub fn ladder(&self) -> &ReferenceLadder {
+        &self.ladder
+    }
+
+    /// The calibrated ring (identical for all channels; only the reference
+    /// differs).
+    #[must_use]
+    pub fn ring(&self) -> &Mrr {
+        &self.ring
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.ladder.channel_count()
+    }
+
+    /// Thru-port optical power of channel `i` for analog input `v_in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn thru_power(&self, i: usize, v_in: Voltage) -> OpticalPower {
+        // Raising V_IN red-shifts the spectrum (Fig. 3a); the junction
+        // drive is referenced to this channel's ladder tap, so the notch
+        // returns to λ_IN exactly when V_IN ≈ V_REF,i.
+        let v_drive = v_in - self.ladder.reference(i);
+        let t = self
+            .ring
+            .thru_transmission(self.config.wavelength, OperatingPoint::at_voltage(v_drive));
+        self.config.input_power * t
+    }
+
+    /// Static activation pattern: channel `i` is hot when its thru power
+    /// falls below the reference power (1-hot away from boundaries, two
+    /// adjacent channels on a boundary).
+    #[must_use]
+    pub fn activations(&self, v_in: Voltage) -> Vec<bool> {
+        (0..self.channel_count())
+            .map(|i| self.thru_power(i, v_in).as_watts() < self.config.reference_power.as_watts())
+            .collect()
+    }
+
+    /// The Fig. 8 sweep for one channel: thru power (normalised to the
+    /// input power) versus analog input voltage, sampled at `points`.
+    #[must_use]
+    pub fn voltage_spectrum(&self, i: usize, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two points");
+        let vfs = self.config.vfs.as_volts();
+        (0..points)
+            .map(|k| {
+                let v = vfs * k as f64 / (points - 1) as f64;
+                let p = self.thru_power(i, Voltage::from_volts(v));
+                (v, p.as_watts() / self.config.input_power.as_watts())
+            })
+            .collect()
+    }
+
+    /// Optical (wavelength-domain) thru spectrum of one channel at a fixed
+    /// input — Fig. 3(a)'s view.
+    #[must_use]
+    pub fn wavelength_spectrum(
+        &self,
+        i: usize,
+        v_in: Voltage,
+        span_nm: f64,
+        points: usize,
+    ) -> Spectrum {
+        let center = self.config.wavelength.as_nanometers();
+        let v_drive = v_in - self.ladder.reference(i);
+        self.ring.thru_spectrum(
+            Wavelength::from_nanometers(center - span_nm / 2.0),
+            Wavelength::from_nanometers(center + span_nm / 2.0),
+            points,
+            OperatingPoint::at_voltage(v_drive),
+        )
+    }
+
+    /// The threshold ratio `P_REF / P_IN` the calibration targeted.
+    #[must_use]
+    pub fn threshold_ratio(&self) -> f64 {
+        self.threshold_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quantizer() -> MrrQuantizer {
+        MrrQuantizer::new(EoAdcConfig::paper())
+    }
+
+    fn hot(q: &MrrQuantizer, v: f64) -> Vec<usize> {
+        q.activations(Voltage::from_volts(v))
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn fig9_activation_patterns() {
+        let q = quantizer();
+        assert_eq!(hot(&q, 0.72), vec![1], "0.72 V → B2 alone");
+        assert_eq!(hot(&q, 3.30), vec![6], "3.3 V → B7 alone");
+        assert_eq!(hot(&q, 2.00), vec![3, 4], "2.0 V boundary → B4+B5");
+    }
+
+    #[test]
+    fn at_reference_exactly_one_hot() {
+        let q = quantizer();
+        for i in 0..8 {
+            let v = q.ladder().reference(i);
+            assert_eq!(hot(&q, v.as_volts()), vec![i], "at V_REF{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn no_dead_zones_above_first_window() {
+        // Any input within the coverage of the ladder activates at least
+        // one channel; below (ref1 − window) the all-dark pattern is legal
+        // and decodes to 0.
+        let q = quantizer();
+        let cfg = q.config();
+        // Margin past the exact activation boundary, where the bisection
+        // tolerance of the calibration decides hair-thin cases.
+        let first_on = cfg.lsb().as_volts() * (1.0 - cfg.activation_halfwidth_lsb) + 2e-3;
+        let mut v = first_on;
+        while v < cfg.vfs.as_volts() {
+            assert!(
+                !hot(&q, v).is_empty(),
+                "dead zone at {v} V — no channel active"
+            );
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn never_more_than_two_adjacent_hot() {
+        let q = quantizer();
+        let mut v = 0.0;
+        while v <= 3.6 {
+            let h = hot(&q, v);
+            assert!(h.len() <= 2, "{} channels hot at {v} V", h.len());
+            if h.len() == 2 {
+                assert_eq!(h[1] - h[0], 1, "non-adjacent pair at {v} V");
+            }
+            v += 0.005;
+        }
+    }
+
+    #[test]
+    fn voltage_spectrum_dips_at_reference() {
+        let q = quantizer();
+        let sweep = q.voltage_spectrum(3, 721); // B4, ref = 1.8 V
+        let (v_min, t_min) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        assert!((v_min - 1.8).abs() < 0.01, "dip at {v_min} V");
+        assert!(t_min < q.threshold_ratio());
+    }
+
+    #[test]
+    fn wavelength_spectrum_shifts_with_input() {
+        let q = quantizer();
+        // Fig. 3(a): raising V_IN red-shifts the spectrum of a ring
+        // referenced below it.
+        let at_ref = q.wavelength_spectrum(3, Voltage::from_volts(1.8), 0.6, 1201);
+        let above = q.wavelength_spectrum(3, Voltage::from_volts(2.2), 0.6, 1201);
+        let (dip_ref, _) = at_ref.minimum();
+        let (dip_above, _) = above.minimum();
+        assert!(
+            dip_above.as_nanometers() > dip_ref.as_nanometers(),
+            "V_IN above V_REF must red-shift the notch"
+        );
+    }
+
+    #[test]
+    fn calibrated_tuning_is_tens_of_picometers_per_volt() {
+        let q = quantizer();
+        // The calibration should land near the hand-derived ≈76 pm/V.
+        let probe = Voltage::from_volts(1.0);
+        let shift = q.ring().voltage_shift_nm(probe);
+        assert!(
+            shift > 0.04 && shift < 0.15,
+            "calibrated tuning {shift} nm/V outside the expected class"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Fabrication-mismatch Monte Carlo for the eoADC.
+//!
+//! The nominal converter's DNL is near zero because every channel uses an
+//! identically calibrated ring on a perfect reference ladder. Real dies
+//! disperse: ring resonances shift with waveguide-width variation and the
+//! ladder taps carry resistor mismatch. Both perturbations are
+//! *input-referred* — a resonance offset `δλ` is indistinguishable from a
+//! reference offset `δλ/(dλ/dV)` — so the model draws one Gaussian
+//! input-referred offset per channel and measures the resulting static
+//! linearity and failure modes (missing codes, illegal activation
+//! patterns, non-monotonicity).
+
+use crate::{EoAdcConfig, MrrQuantizer};
+use pic_circuit::{CeilingRomDecoder, DecodeError};
+use pic_units::Voltage;
+use rand::Rng;
+
+/// An eoADC instance with per-channel input-referred offsets.
+#[derive(Debug, Clone)]
+pub struct VariedAdc {
+    quantizer: MrrQuantizer,
+    decoder: CeilingRomDecoder,
+    offsets: Vec<Voltage>,
+}
+
+impl VariedAdc {
+    /// Creates a converter with explicit per-channel offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset count differs from the channel count.
+    #[must_use]
+    pub fn new(config: EoAdcConfig, offsets: Vec<Voltage>) -> Self {
+        let quantizer = MrrQuantizer::new(config);
+        assert_eq!(
+            offsets.len(),
+            quantizer.channel_count(),
+            "one offset per channel"
+        );
+        VariedAdc {
+            decoder: CeilingRomDecoder::new(config.bits),
+            quantizer,
+            offsets,
+        }
+    }
+
+    /// Draws offsets from a zero-mean Gaussian with `sigma` (volts,
+    /// input-referred).
+    #[must_use]
+    pub fn sampled<R: Rng + ?Sized>(config: EoAdcConfig, sigma: Voltage, rng: &mut R) -> Self {
+        let n = config.channel_count();
+        let offsets = (0..n)
+            .map(|_| {
+                // Box–Muller standard normal.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                sigma * z
+            })
+            .collect();
+        VariedAdc::new(config, offsets)
+    }
+
+    /// The per-channel offsets.
+    #[must_use]
+    pub fn offsets(&self) -> &[Voltage] {
+        &self.offsets
+    }
+
+    /// Static conversion with the mismatch applied.
+    ///
+    /// # Errors
+    ///
+    /// Unlike the nominal converter, heavy mismatch can produce genuinely
+    /// illegal activation patterns (non-adjacent double activation); those
+    /// surface as [`DecodeError`]s and count against yield.
+    pub fn convert_static(&self, v_in: Voltage) -> Result<u16, DecodeError> {
+        let cfg = self.quantizer.config();
+        let v = v_in.clamp(Voltage::ZERO, cfg.vfs);
+        let activations: Vec<bool> = (0..self.quantizer.channel_count())
+            .map(|i| {
+                let shifted = v + self.offsets[i];
+                self.quantizer.thru_power(i, shifted).as_watts()
+                    < cfg.reference_power.as_watts()
+            })
+            .collect();
+        self.decoder.decode(&activations)
+    }
+}
+
+/// Aggregate result of a Monte Carlo linearity run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VariationReport {
+    /// Input-referred mismatch sigma, volts.
+    pub sigma_v: f64,
+    /// Trials run.
+    pub trials: usize,
+    /// Mean of the per-die peak |DNL|, LSB.
+    pub mean_peak_dnl: f64,
+    /// Worst per-die peak |DNL| observed, LSB.
+    pub worst_peak_dnl: f64,
+    /// Fraction of dies with at least one missing code.
+    pub missing_code_rate: f64,
+    /// Fraction of dies producing any illegal activation pattern or
+    /// non-monotone transfer over the sweep.
+    pub failure_rate: f64,
+}
+
+/// Runs `trials` Monte Carlo dies at mismatch `sigma_v` and sweeps each
+/// die's transfer function with `points` steps.
+///
+/// # Panics
+///
+/// Panics if `trials` or `points` is zero.
+#[must_use]
+pub fn monte_carlo<R: Rng + ?Sized>(
+    config: EoAdcConfig,
+    sigma: Voltage,
+    trials: usize,
+    points: usize,
+    rng: &mut R,
+) -> VariationReport {
+    assert!(trials > 0 && points > 1, "need trials and sweep points");
+    let levels = config.channel_count() as u16;
+    let lsb = config.lsb().as_volts();
+    let vfs = config.vfs.as_volts();
+
+    let mut peak_dnls = Vec::with_capacity(trials);
+    let mut missing = 0usize;
+    let mut failures = 0usize;
+
+    for _ in 0..trials {
+        let die = VariedAdc::sampled(config, sigma, rng);
+        let mut codes = Vec::with_capacity(points);
+        let mut die_failed = false;
+        for k in 0..points {
+            let v = vfs * k as f64 / (points - 1) as f64;
+            match die.convert_static(Voltage::from_volts(v)) {
+                Ok(c) => codes.push(c),
+                Err(_) => {
+                    die_failed = true;
+                    break;
+                }
+            }
+        }
+        if !die_failed && codes.windows(2).any(|w| w[1] < w[0]) {
+            die_failed = true;
+        }
+        if die_failed {
+            failures += 1;
+            continue;
+        }
+
+        // Code edges → DNL.
+        let edges: Vec<Option<f64>> = (1..levels)
+            .map(|code| {
+                codes
+                    .iter()
+                    .position(|&c| c >= code)
+                    .map(|i| vfs * i as f64 / (points - 1) as f64)
+            })
+            .collect();
+        if edges.iter().any(Option::is_none)
+            || (0..levels).any(|c| !codes.contains(&c))
+        {
+            missing += 1;
+            peak_dnls.push(1.0); // a missing code is −1 LSB DNL
+            continue;
+        }
+        let peak = edges
+            .windows(2)
+            .map(|w| {
+                let (lo, hi) = (w[0].expect("checked"), w[1].expect("checked"));
+                ((hi - lo) / lsb - 1.0).abs()
+            })
+            .fold(0.0f64, f64::max);
+        peak_dnls.push(peak);
+    }
+
+    let measured = peak_dnls.len().max(1) as f64;
+    VariationReport {
+        sigma_v: sigma.as_volts(),
+        trials,
+        mean_peak_dnl: peak_dnls.iter().sum::<f64>() / measured,
+        worst_peak_dnl: peak_dnls.iter().fold(0.0f64, |m, &d| m.max(d)),
+        missing_code_rate: missing as f64 / trials as f64,
+        failure_rate: failures as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_mismatch_reproduces_nominal() {
+        let cfg = EoAdcConfig::paper();
+        let die = VariedAdc::new(cfg, vec![Voltage::ZERO; 8]);
+        let nominal = crate::EoAdc::new(cfg);
+        for k in 0..=72 {
+            let v = Voltage::from_volts(k as f64 * 0.05);
+            assert_eq!(die.convert_static(v).ok(), nominal.convert_static(v).ok());
+        }
+    }
+
+    #[test]
+    fn mismatch_degrades_dnl_monotonically() {
+        let cfg = EoAdcConfig::paper();
+        let mut rng = StdRng::seed_from_u64(11);
+        let small = monte_carlo(cfg, Voltage::from_millivolts(10.0), 24, 721, &mut rng);
+        let mut rng = StdRng::seed_from_u64(11);
+        let large = monte_carlo(cfg, Voltage::from_millivolts(80.0), 24, 721, &mut rng);
+        assert!(
+            large.mean_peak_dnl > small.mean_peak_dnl,
+            "more mismatch must mean more DNL ({} vs {})",
+            large.mean_peak_dnl,
+            small.mean_peak_dnl
+        );
+    }
+
+    #[test]
+    fn small_mismatch_keeps_all_codes() {
+        let cfg = EoAdcConfig::paper();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = monte_carlo(cfg, Voltage::from_millivolts(10.0), 24, 721, &mut rng);
+        assert_eq!(r.missing_code_rate, 0.0);
+        assert_eq!(r.failure_rate, 0.0);
+        assert!(r.mean_peak_dnl < 0.25, "mean peak DNL {}", r.mean_peak_dnl);
+    }
+
+    #[test]
+    fn extreme_mismatch_breaks_dies() {
+        let cfg = EoAdcConfig::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = monte_carlo(cfg, Voltage::from_volts(0.3), 32, 361, &mut rng);
+        assert!(
+            r.failure_rate + r.missing_code_rate > 0.2,
+            "0.3 V sigma should break dies: {r:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_offsets_shift_one_edge() {
+        let cfg = EoAdcConfig::paper();
+        let mut offsets = vec![Voltage::ZERO; 8];
+        offsets[3] = Voltage::from_millivolts(-100.0); // B4 activates 100 mV later
+        let die = VariedAdc::new(cfg, offsets);
+        let nominal = crate::EoAdc::new(cfg);
+        // Just above B4's nominal activation edge (1.8 − 0.26 = 1.54 V):
+        let v = Voltage::from_volts(1.58);
+        assert_eq!(nominal.convert_static(v), Ok(3));
+        assert_eq!(die.convert_static(v), Ok(2), "shifted channel lags");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests on the eoADC across configurations.
+
+use pic_eoadc::{EoAdc, EoAdcConfig, ReferenceLadder};
+use pic_units::{OpticalPower, Voltage};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arbitrary_config()(
+        bits in 2u32..=5,
+        vfs in 1.2f64..5.0,
+        input_uw in 100.0f64..400.0,
+    ) -> EoAdcConfig {
+        EoAdcConfig {
+            bits,
+            vfs: Voltage::from_volts(vfs),
+            input_power: OpticalPower::from_microwatts(input_uw),
+            reference_power: OpticalPower::from_microwatts(input_uw * 0.09),
+            ..EoAdcConfig::paper()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The calibration generalises: converters of any supported
+    /// resolution and full scale are total (never produce an illegal
+    /// pattern) and monotone over the whole input range.
+    #[test]
+    fn arbitrary_converters_are_total_and_monotone(cfg in arbitrary_config()) {
+        let adc = EoAdc::new(cfg);
+        let mut last = 0u16;
+        let steps = 160;
+        for k in 0..=steps {
+            let v = Voltage::from_volts(cfg.vfs.as_volts() * k as f64 / steps as f64);
+            let code = adc.convert_static(v);
+            prop_assert!(code.is_ok(), "illegal pattern at {} in {:?}", v, cfg);
+            let code = code.expect("checked");
+            prop_assert!(code >= last, "non-monotone at {}", v);
+            last = code;
+        }
+        prop_assert_eq!(last as usize, cfg.channel_count() - 1, "top code reached");
+    }
+
+    /// Codes always track the ideal ladder within one LSB, at any
+    /// configuration.
+    #[test]
+    fn arbitrary_converters_track_ideal(cfg in arbitrary_config(), frac in 0.0f64..1.0) {
+        let adc = EoAdc::new(cfg);
+        let ladder = ReferenceLadder::new(cfg.vfs, cfg.bits);
+        let v = Voltage::from_volts(cfg.vfs.as_volts() * frac);
+        let code = adc.convert_static(v).expect("legal");
+        let ideal = ladder.ideal_code(v);
+        prop_assert!(
+            (i32::from(code) - i32::from(ideal)).abs() <= 1,
+            "code {} vs ideal {} at {}",
+            code,
+            ideal,
+            v
+        );
+    }
+
+    /// The cascade's combined code equals `coarse·2^p + fine` and never
+    /// exceeds the combined range.
+    #[test]
+    fn cascade_code_structure(frac in 0.0f64..1.0) {
+        let cascade = pic_eoadc::CascadedAdc::paper_pair();
+        let v = Voltage::from_volts(3.6 * frac);
+        let code = cascade.convert(v).expect("legal");
+        prop_assert!(code < 64);
+        let coarse = pic_eoadc::EoAdc::new(EoAdcConfig::paper())
+            .convert_static(v)
+            .expect("legal");
+        prop_assert_eq!(code >> 3, coarse, "top bits must be the coarse code");
+    }
+
+    /// Transfer-function metrics agree with direct conversion: the code
+    /// at any input is at least the number of edges below it.
+    #[test]
+    fn edges_partition_the_input_range(frac in 0.01f64..0.99) {
+        let adc = EoAdc::new(EoAdcConfig::paper());
+        let tf = pic_eoadc::metrics::TransferFunction::measure(&adc, 721);
+        let v = 3.6 * frac;
+        let code = adc.convert_static(Voltage::from_volts(v)).expect("legal");
+        let edges_below = tf
+            .edges()
+            .into_iter()
+            .flatten()
+            .filter(|&e| e <= v)
+            .count() as u16;
+        prop_assert_eq!(code, edges_below, "at {} V", v);
+    }
+}

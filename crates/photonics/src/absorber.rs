@@ -1,0 +1,62 @@
+//! Passive optical absorber (stray-light termination).
+
+use pic_units::{Energy, OpticalPower, Seconds};
+
+/// A passive absorber terminating a waveguide, as used at the unused ports
+/// of the pSRAM bitcell (A1/A2 in Fig. 1) and at the binary ladder's
+/// remainder branch.
+///
+/// It swallows whatever power reaches it and keeps a tally, so power-budget
+/// audits can account for every photon.
+///
+/// ```
+/// use pic_photonics::Absorber;
+/// use pic_units::{OpticalPower, Seconds};
+///
+/// let mut a = Absorber::new();
+/// a.absorb(OpticalPower::from_milliwatts(1.0), Seconds::from_picoseconds(100.0));
+/// assert!((a.dissipated().as_femtojoules() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Absorber {
+    dissipated: Energy,
+}
+
+impl Absorber {
+    /// Creates an absorber with an empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Absorber::default()
+    }
+
+    /// Absorbs `power` for `dt`, accumulating the dissipated energy.
+    pub fn absorb(&mut self, power: OpticalPower, dt: Seconds) {
+        self.dissipated += Energy::from_joules(power.as_watts() * dt.as_seconds());
+    }
+
+    /// Total optical energy dissipated so far.
+    #[must_use]
+    pub fn dissipated(&self) -> Energy {
+        self.dissipated
+    }
+
+    /// Resets the tally.
+    pub fn reset(&mut self) {
+        self.dissipated = Energy::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets() {
+        let mut a = Absorber::new();
+        a.absorb(OpticalPower::from_milliwatts(2.0), Seconds::from_picoseconds(50.0));
+        a.absorb(OpticalPower::from_milliwatts(2.0), Seconds::from_picoseconds(50.0));
+        assert!((a.dissipated().as_femtojoules() - 200.0).abs() < 1e-9);
+        a.reset();
+        assert_eq!(a.dissipated(), Energy::ZERO);
+    }
+}

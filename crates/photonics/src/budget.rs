@@ -1,0 +1,143 @@
+//! Optical link budgets: source-to-detector power accounting.
+//!
+//! The performance model assumes each comb line arrives at every row's
+//! macros with enough power to compute (§IV-D's 10 mW/line budget). This
+//! module makes that assumption auditable: a [`LinkBudget`] chains named
+//! loss stages from the laser to a detector, and
+//! [`tensor_core_row_budget`] builds the paper core's distribution path —
+//! 1:N row split, routing waveguides, splitter excess and the multiplier
+//! ring's insertion loss.
+
+use pic_units::OpticalPower;
+
+/// A chain of named loss stages.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkBudget {
+    stages: Vec<(String, f64)>,
+}
+
+impl LinkBudget {
+    /// Creates an empty (lossless) budget.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkBudget { stages: Vec::new() }
+    }
+
+    /// Appends a stage with `loss_db ≥ 0` of power loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_db` is negative (budgets cannot contain gain).
+    #[must_use]
+    pub fn with_stage(mut self, name: &str, loss_db: f64) -> Self {
+        assert!(loss_db >= 0.0, "stage '{name}' would add gain");
+        self.stages.push((name.to_owned(), loss_db));
+        self
+    }
+
+    /// Appends an ideal 1:n power split (`10·log₁₀ n` dB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_split(self, name: &str, n: usize) -> Self {
+        assert!(n > 0, "cannot split {name} zero ways");
+        let loss = 10.0 * (n as f64).log10();
+        self.with_stage(name, loss)
+    }
+
+    /// The named stages and their losses, in order.
+    #[must_use]
+    pub fn stages(&self) -> &[(String, f64)] {
+        &self.stages
+    }
+
+    /// Total end-to-end loss, dB.
+    #[must_use]
+    pub fn total_loss_db(&self) -> f64 {
+        self.stages.iter().map(|(_, l)| l).sum()
+    }
+
+    /// Power delivered to the far end for a given launch power.
+    #[must_use]
+    pub fn deliver(&self, launch: OpticalPower) -> OpticalPower {
+        launch.attenuate(pic_units::Ratio::from_db(-self.total_loss_db()))
+    }
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        LinkBudget::new()
+    }
+}
+
+/// The paper core's comb-line-to-row-detector budget: one comb line,
+/// split across `rows` rows, routed ~`routing_cm` of waveguide, through a
+/// 1:2 distribution splitter's excess loss, the binary ladder's MSB tap
+/// (the *best-case* branch; deeper taps are accounted in the ladder
+/// fractions, not as loss), and one off-resonance multiplier ring.
+#[must_use]
+pub fn tensor_core_row_budget(rows: usize, routing_cm: f64) -> LinkBudget {
+    LinkBudget::new()
+        .with_split("row distribution", rows)
+        .with_stage(
+            "routing waveguide",
+            crate::calib::WAVEGUIDE_LOSS_DB_PER_CM * routing_cm,
+        )
+        .with_stage("splitter excess", 0.3)
+        .with_stage("multiplier ring insertion", 0.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoiseModel;
+    use pic_units::Current;
+
+    #[test]
+    fn split_loss_is_logarithmic() {
+        let b = LinkBudget::new().with_split("x", 16);
+        assert!((b.total_loss_db() - 12.041).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stages_compose_additively() {
+        let b = LinkBudget::new()
+            .with_stage("a", 1.0)
+            .with_stage("b", 2.0)
+            .with_split("c", 2);
+        assert!((b.total_loss_db() - (3.0 + 3.0103)).abs() < 1e-3);
+        assert_eq!(b.stages().len(), 3);
+    }
+
+    #[test]
+    fn paper_budget_delivers_sub_milliwatt_per_row() {
+        // 10 mW comb line across 16 rows with realistic losses lands in
+        // the 0.4–0.6 mW class at each row's macro — the right order for
+        // the 1 mW-class per-line assumption of the compute model.
+        let b = tensor_core_row_budget(16, 0.5);
+        let delivered = b.deliver(OpticalPower::from_milliwatts(10.0));
+        let mw = delivered.as_milliwatts();
+        assert!(mw > 0.3 && mw < 0.7, "delivered {mw} mW");
+    }
+
+    #[test]
+    fn delivered_power_clears_the_noise_floor() {
+        // Close the loop with the noise model: the delivered per-row power
+        // must support more resolvable levels than the 3-bit ADC needs.
+        let b = tensor_core_row_budget(16, 0.5);
+        let delivered = b.deliver(OpticalPower::from_milliwatts(10.0));
+        let full_scale = Current::from_amps(
+            delivered.as_watts() * 4.0 * crate::calib::PHOTODIODE_RESPONSIVITY_A_PER_W,
+        );
+        let levels = NoiseModel::paper_receiver().resolvable_levels(full_scale);
+        assert!(levels > 8.0, "only {levels} resolvable levels after the link");
+    }
+
+    #[test]
+    #[should_panic(expected = "gain")]
+    fn budgets_reject_gain() {
+        let _ = LinkBudget::new().with_stage("amp", -3.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Calibration constants fitted to the paper's reported device behaviour.
+//!
+//! The authors simulate foundry compact models (GF45SPCLO) that are not
+//! publicly available. These constants make the analytic models in this
+//! crate land on every number the paper *does* report:
+//!
+//! * compute-core ring: 7.5 µm radius, 200 nm thru gap, FSR = 9.36 nm,
+//!   resonance shift of 2.33 nm per 68 nm of circumference adjustment
+//!   (§IV-B / Fig. 6);
+//! * eoADC ring: 10 µm radius, 250 nm gap, operated at 1310.5 nm with
+//!   200 µW of input and an 18 µW reference (§IV-C / Figs. 8, 10).
+//!
+//! Fitting notes: the FSR pins the group index `n_g = λ²/(FSR·L)`; the
+//! dλ/dL slope pins the model's effective index through
+//! `dλ/dL = λ·n_eff/(L·n_g)`. Meeting both of the paper's numbers requires
+//! `n_eff > n_g`, which real strip silicon does not satisfy — we keep them
+//! as independent calibration constants and document the discrepancy here
+//! rather than silently missing one of the published targets.
+
+/// Nominal compute-core ring radius, µm (paper §IV-B).
+pub const COMPUTE_RING_RADIUS_UM: f64 = 7.5;
+
+/// Compute-ring effective index fitted to the 2.33 nm / 68 nm slope.
+pub const COMPUTE_RING_N_EFF: f64 = 4.7957;
+
+/// Compute-ring group index fitted to the 9.36 nm FSR.
+pub const COMPUTE_RING_N_G: f64 = 3.8907;
+
+/// Compute-ring field self-coupling at both couplers (200 nm gap class).
+pub const COMPUTE_RING_SELF_COUPLING: f64 = 0.95;
+
+/// Compute-ring round-trip amplitude (loss).
+pub const COMPUTE_RING_ROUND_TRIP: f64 = 0.999;
+
+/// pSRAM/multiplier ring electro-optic tuning, nm of red shift per volt of
+/// forward drive. Sized so a full 0→VDD swing moves the ring several
+/// linewidths (on/off extinction for 1-bit multiplication, §II-B).
+pub const COMPUTE_RING_TUNING_NM_PER_V: f64 = 0.60;
+
+/// eoADC ring radius, µm (paper §IV-C).
+pub const ADC_RING_RADIUS_UM: f64 = 10.0;
+
+/// eoADC ring effective index (same platform fit as the compute ring).
+pub const ADC_RING_N_EFF: f64 = 4.7957;
+
+/// eoADC ring group index.
+pub const ADC_RING_N_G: f64 = 3.8907;
+
+/// eoADC ring field self-coupling (250 nm gap → weaker coupling, higher Q).
+pub const ADC_RING_SELF_COUPLING: f64 = 0.9736;
+
+/// eoADC ring round-trip amplitude.
+pub const ADC_RING_ROUND_TRIP: f64 = 0.995;
+
+/// Thermo-optic tuning of all rings, nm per kelvin (standard silicon
+/// ~70–80 pm/K; used by the thermal-drift experiments).
+pub const RING_THERMAL_NM_PER_K: f64 = 0.075;
+
+/// Waveguide propagation loss, dB/cm (typical monolithic silicon platform).
+pub const WAVEGUIDE_LOSS_DB_PER_CM: f64 = 1.5;
+
+/// Photodiode responsivity at the O-band, A/W.
+pub const PHOTODIODE_RESPONSIVITY_A_PER_W: f64 = 0.9;
+
+/// Photodiode dark current, A.
+pub const PHOTODIODE_DARK_CURRENT_A: f64 = 10e-9;
+
+/// Photodiode opto-electrical bandwidth, GHz (the paper's PDs support
+/// multi-GHz operation; the eoADC, not the PD, limits speed).
+pub const PHOTODIODE_BANDWIDTH_GHZ: f64 = 50.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn couplings_are_physical() {
+        for t in [COMPUTE_RING_SELF_COUPLING, ADC_RING_SELF_COUPLING] {
+            assert!(t > 0.0 && t < 1.0);
+        }
+        for a in [COMPUTE_RING_ROUND_TRIP, ADC_RING_ROUND_TRIP] {
+            assert!(a > 0.9 && a <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fsr_fit_recovers_paper_value() {
+        let circumference = 2.0 * std::f64::consts::PI * COMPUTE_RING_RADIUS_UM * 1e-6;
+        let fsr_nm = (1.31e-6_f64).powi(2) / (COMPUTE_RING_N_G * circumference) * 1e9;
+        assert!((fsr_nm - 9.36).abs() < 0.05, "FSR fit drifted: {fsr_nm}");
+    }
+
+    #[test]
+    fn dlambda_dl_fit_recovers_paper_value() {
+        let circumference = 2.0 * std::f64::consts::PI * COMPUTE_RING_RADIUS_UM * 1e-6;
+        // dλ/dL = λ n_eff / (L n_g); paper: 2.33 nm per 68 nm.
+        let slope = 1.31e-6 * COMPUTE_RING_N_EFF / (circumference * COMPUTE_RING_N_G);
+        assert!((slope * 68.0 - 2.33).abs() < 0.03, "dλ/dL fit drifted");
+    }
+}

@@ -1,0 +1,66 @@
+//! Silicon-photonics device models for the GF45SPCLO-class platform.
+//!
+//! The paper builds everything from five "fabrication-friendly" primitives
+//! (§II): waveguides, microring resonators (MRRs), photodiodes, optical
+//! power splitters, and passive absorbers. This crate models each of them
+//! behaviourally:
+//!
+//! * [`Mrr`] — an add-drop microring with first-order dispersion, round-trip
+//!   loss, pn-junction (plasma-dispersion) tuning and thermo-optic tuning.
+//!   Its thru/drop power transfer functions generate the paper's spectral
+//!   figures (Figs. 3a, 6, 8) and implement both the pSRAM latch optics and
+//!   the multiplier/quantiser rings.
+//! * [`Photodiode`] — responsivity + dark current + bandwidth pole.
+//! * [`PowerSplitter`] / [`splitter::binary_ladder`] — including the
+//!   cascaded binary-scaling ladder of §II-B.
+//! * [`Waveguide`] and [`Absorber`] — propagation loss and stray-light
+//!   termination.
+//! * [`Laser`] and [`FrequencyComb`] — sources with wall-plug accounting.
+//! * [`bus`] — WDM propagation of a [`pic_signal::WdmSignal`] past a chain
+//!   of rings, which is where inter-channel crosstalk arises.
+//!
+//! # Example: a notch at the design wavelength
+//!
+//! ```
+//! use pic_photonics::{Mrr, OperatingPoint};
+//! use pic_units::Wavelength;
+//!
+//! let ring = Mrr::compute_ring_design().build();
+//! let on_res = ring.thru_transmission(ring.design_wavelength(), OperatingPoint::on_state());
+//! let off_res = ring.thru_transmission(
+//!     Wavelength::from_nanometers(ring.design_wavelength().as_nanometers() + 1.0),
+//!     OperatingPoint::on_state(),
+//! );
+//! assert!(on_res < 0.05, "deep notch on resonance");
+//! assert!(off_res > 0.8, "high transmission off resonance");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod absorber;
+pub mod budget;
+pub mod bus;
+pub mod calib;
+pub mod coupler;
+mod mrr;
+mod mzi;
+pub mod noise;
+mod pcm;
+mod photodiode;
+pub mod splitter;
+mod source;
+pub mod thermal;
+mod waveguide;
+
+pub use absorber::Absorber;
+pub use budget::LinkBudget;
+pub use mrr::{Mrr, MrrBuilder, OperatingPoint};
+pub use mzi::Mzi;
+pub use noise::NoiseModel;
+pub use pcm::PcmCell;
+pub use photodiode::{BalancedPhotodiodePair, Photodiode};
+pub use source::{FrequencyComb, Laser};
+pub use splitter::PowerSplitter;
+pub use thermal::HeaterLock;
+pub use waveguide::Waveguide;

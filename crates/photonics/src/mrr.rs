@@ -1,0 +1,589 @@
+//! Add-drop microring resonator model.
+//!
+//! Power transfer functions follow the standard coupled-mode result (e.g.
+//! Bogaerts et al., *Silicon microring resonators*, 2012): with field
+//! self-coupling `t1` (input bus), `t2` (drop bus), single-round-trip
+//! amplitude `a` and round-trip phase `φ`,
+//!
+//! ```text
+//! T_thru(φ) = (t2²a² − 2·t1·t2·a·cosφ + t1²) / (1 − 2·t1·t2·a·cosφ + (t1·t2·a)²)
+//! T_drop(φ) = ((1 − t1²)(1 − t2²)·a)        / (1 − 2·t1·t2·a·cosφ + (t1·t2·a)²)
+//! ```
+//!
+//! The phase includes first-order dispersion (independent `n_eff`/`n_g`),
+//! plasma-dispersion tuning from the pn-junction voltage, and thermo-optic
+//! tuning — the three knobs the paper uses (Figs. 3a, 6, 8).
+
+use pic_signal::Spectrum;
+use pic_units::{Voltage, Wavelength};
+
+/// Electrical/thermal operating point of a ring.
+///
+/// ```
+/// use pic_photonics::OperatingPoint;
+/// use pic_units::Voltage;
+///
+/// let op = OperatingPoint::at_voltage(Voltage::from_volts(0.45));
+/// assert_eq!(op.delta_temp_k, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct OperatingPoint {
+    /// Voltage across the pn junction (sign convention chosen by the
+    /// subsystem; positive shifts the resonance red by `tuning_nm_per_v`).
+    pub voltage: Voltage,
+    /// Temperature offset from the calibration point, K.
+    pub delta_temp_k: f64,
+}
+
+impl OperatingPoint {
+    /// No electrical bias, no thermal offset.
+    #[must_use]
+    pub fn unbiased() -> Self {
+        OperatingPoint::default()
+    }
+
+    /// Alias of [`OperatingPoint::unbiased`]: the state in which a ring
+    /// built with default calibration sits exactly on resonance.
+    #[must_use]
+    pub fn on_state() -> Self {
+        OperatingPoint::default()
+    }
+
+    /// Only an electrical bias.
+    #[must_use]
+    pub fn at_voltage(voltage: Voltage) -> Self {
+        OperatingPoint {
+            voltage,
+            delta_temp_k: 0.0,
+        }
+    }
+
+    /// Electrical bias plus thermal offset.
+    #[must_use]
+    pub fn new(voltage: Voltage, delta_temp_k: f64) -> Self {
+        OperatingPoint {
+            voltage,
+            delta_temp_k,
+        }
+    }
+}
+
+/// An add-drop microring resonator.
+///
+/// Construct through [`MrrBuilder`] (see [`Mrr::builder`]), or start from the
+/// paper-calibrated design points [`Mrr::compute_ring_design`] /
+/// [`Mrr::adc_ring_design`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mrr {
+    circumference_m: f64,
+    n_eff0: f64,
+    n_g: f64,
+    lambda_ref_m: f64,
+    t1: f64,
+    t2: f64,
+    round_trip: f64,
+    tuning_nm_per_v: f64,
+    thermal_nm_per_k: f64,
+    design_wavelength_m: f64,
+    design_voltage: Voltage,
+}
+
+impl Mrr {
+    /// Starts building a ring from scratch.
+    #[must_use]
+    pub fn builder() -> MrrBuilder {
+        MrrBuilder::default()
+    }
+
+    /// Builder preloaded with the paper's compute-core ring
+    /// (7.5 µm radius, 200 nm gap class; §IV-B), resonant at 1310 nm when
+    /// unbiased.
+    #[must_use]
+    pub fn compute_ring_design() -> MrrBuilder {
+        use crate::calib::*;
+        MrrBuilder::default()
+            .radius_um(COMPUTE_RING_RADIUS_UM)
+            .indices(COMPUTE_RING_N_EFF, COMPUTE_RING_N_G)
+            .self_coupling(COMPUTE_RING_SELF_COUPLING, COMPUTE_RING_SELF_COUPLING)
+            .round_trip(COMPUTE_RING_ROUND_TRIP)
+            .tuning_nm_per_v(COMPUTE_RING_TUNING_NM_PER_V)
+            .thermal_nm_per_k(RING_THERMAL_NM_PER_K)
+            .resonant_at(
+                Wavelength::from_nanometers(pic_units::constants::O_BAND_NM),
+                Voltage::ZERO,
+            )
+    }
+
+    /// Builder preloaded with the paper's eoADC quantiser ring
+    /// (10 µm radius, 250 nm gap class; §IV-C), resonant at 1310.5 nm when
+    /// unbiased.
+    #[must_use]
+    pub fn adc_ring_design() -> MrrBuilder {
+        use crate::calib::*;
+        MrrBuilder::default()
+            .radius_um(ADC_RING_RADIUS_UM)
+            .indices(ADC_RING_N_EFF, ADC_RING_N_G)
+            .self_coupling(ADC_RING_SELF_COUPLING, ADC_RING_SELF_COUPLING)
+            .round_trip(ADC_RING_ROUND_TRIP)
+            // The eoADC tuning constant is re-derived by the eoADC crate's
+            // ladder calibration; this default matches its result.
+            .tuning_nm_per_v(0.076)
+            .thermal_nm_per_k(RING_THERMAL_NM_PER_K)
+            .resonant_at(
+                Wavelength::from_nanometers(pic_units::constants::EOADC_WAVELENGTH_NM),
+                Voltage::ZERO,
+            )
+    }
+
+    /// The wavelength this ring was calibrated to resonate at (at its
+    /// design voltage).
+    #[must_use]
+    pub fn design_wavelength(&self) -> Wavelength {
+        Wavelength::from_meters(self.design_wavelength_m)
+    }
+
+    /// Ring circumference in meters (after calibration and length
+    /// adjustment).
+    #[must_use]
+    pub fn circumference_m(&self) -> f64 {
+        self.circumference_m
+    }
+
+    /// Effective index at the operating point and wavelength.
+    fn n_eff(&self, wl: Wavelength, op: OperatingPoint) -> f64 {
+        let lam = wl.as_meters();
+        let dispersion =
+            (self.n_eff0 - self.n_g) * (lam - self.lambda_ref_m) / self.lambda_ref_m;
+        // Convert the tuning specs (nm shift per volt / per kelvin) into
+        // index shifts: dλ = λ·dn/n_g  ⇒  dn = dλ·n_g/λ.
+        let dn_per_nm = self.n_g / (self.lambda_ref_m * 1e9);
+        let electro = self.tuning_nm_per_v * op.voltage.as_volts() * dn_per_nm;
+        let thermal = self.thermal_nm_per_k * op.delta_temp_k * dn_per_nm;
+        self.n_eff0 + dispersion + electro + thermal
+    }
+
+    /// Round-trip phase at `wl` under `op`.
+    #[must_use]
+    pub fn round_trip_phase(&self, wl: Wavelength, op: OperatingPoint) -> f64 {
+        2.0 * std::f64::consts::PI * self.n_eff(wl, op) * self.circumference_m / wl.as_meters()
+    }
+
+    /// Thru-port power transmission in `[0, 1]`.
+    #[must_use]
+    pub fn thru_transmission(&self, wl: Wavelength, op: OperatingPoint) -> f64 {
+        let (t1, t2, a) = (self.t1, self.t2, self.round_trip);
+        let cphi = self.round_trip_phase(wl, op).cos();
+        let num = t2 * t2 * a * a - 2.0 * t1 * t2 * a * cphi + t1 * t1;
+        let den = 1.0 - 2.0 * t1 * t2 * a * cphi + (t1 * t2 * a).powi(2);
+        (num / den).clamp(0.0, 1.0)
+    }
+
+    /// Drop-port power transmission in `[0, 1]`.
+    #[must_use]
+    pub fn drop_transmission(&self, wl: Wavelength, op: OperatingPoint) -> f64 {
+        let (t1, t2, a) = (self.t1, self.t2, self.round_trip);
+        let cphi = self.round_trip_phase(wl, op).cos();
+        let num = (1.0 - t1 * t1) * (1.0 - t2 * t2) * a;
+        let den = 1.0 - 2.0 * t1 * t2 * a * cphi + (t1 * t2 * a).powi(2);
+        (num / den).clamp(0.0, 1.0)
+    }
+
+    /// Free spectral range near `wl`.
+    #[must_use]
+    pub fn fsr_near(&self, wl: Wavelength) -> Wavelength {
+        Wavelength::from_meters(wl.as_meters().powi(2) / (self.n_g * self.circumference_m))
+    }
+
+    /// Full-width-half-maximum linewidth of the resonance near `wl`.
+    #[must_use]
+    pub fn linewidth_fwhm(&self, wl: Wavelength) -> Wavelength {
+        let ta = self.t1 * self.t2 * self.round_trip;
+        let lam = wl.as_meters();
+        Wavelength::from_meters(
+            (1.0 - ta) * lam * lam
+                / (std::f64::consts::PI * self.n_g * self.circumference_m * ta.sqrt()),
+        )
+    }
+
+    /// Loaded quality factor near `wl`.
+    #[must_use]
+    pub fn loaded_q(&self, wl: Wavelength) -> f64 {
+        wl.as_meters() / self.linewidth_fwhm(wl).as_meters()
+    }
+
+    /// Resonance red-shift produced by voltage `v`, in nanometers (signed).
+    #[must_use]
+    pub fn voltage_shift_nm(&self, v: Voltage) -> f64 {
+        self.tuning_nm_per_v * (v.as_volts() - self.design_voltage.as_volts())
+    }
+
+    /// All resonance wavelengths inside `[start, end]` under `op`, found by
+    /// bisection on the (monotone) round-trip phase.
+    #[must_use]
+    pub fn resonances_in(
+        &self,
+        start: Wavelength,
+        end: Wavelength,
+        op: OperatingPoint,
+    ) -> Vec<Wavelength> {
+        let phi_hi = self.round_trip_phase(start, op); // phase decreases with λ
+        let phi_lo = self.round_trip_phase(end, op);
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let m_max = (phi_hi / two_pi).floor() as i64;
+        let m_min = (phi_lo / two_pi).ceil() as i64;
+        let mut out = Vec::new();
+        for m in m_min..=m_max {
+            let target = m as f64 * two_pi;
+            let (mut lo, mut hi) = (start.as_meters(), end.as_meters());
+            for _ in 0..80 {
+                let mid = 0.5 * (lo + hi);
+                let phi = self.round_trip_phase(Wavelength::from_meters(mid), op);
+                if phi > target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            out.push(Wavelength::from_meters(0.5 * (lo + hi)));
+        }
+        // Higher order m means shorter wavelength; report ascending in λ.
+        out.sort_by(|a, b| a.partial_cmp(b).expect("finite wavelengths"));
+        out
+    }
+
+    /// The resonance wavelength closest to `near` under `op`.
+    #[must_use]
+    pub fn resonance_near(&self, near: Wavelength, op: OperatingPoint) -> Wavelength {
+        let fsr = self.fsr_near(near).as_meters();
+        let start = Wavelength::from_meters(near.as_meters() - fsr);
+        let end = Wavelength::from_meters(near.as_meters() + fsr);
+        self.resonances_in(start, end, op)
+            .into_iter()
+            .min_by(|a, b| {
+                let da = (a.as_meters() - near.as_meters()).abs();
+                let db = (b.as_meters() - near.as_meters()).abs();
+                da.partial_cmp(&db).expect("finite wavelengths")
+            })
+            .expect("an FSR-wide window always contains a resonance")
+    }
+
+    /// Samples the thru-port transmission spectrum.
+    #[must_use]
+    pub fn thru_spectrum(
+        &self,
+        start: Wavelength,
+        end: Wavelength,
+        points: usize,
+        op: OperatingPoint,
+    ) -> Spectrum {
+        Spectrum::sample(start, end, points, |wl| self.thru_transmission(wl, op))
+    }
+
+    /// Samples the drop-port transmission spectrum.
+    #[must_use]
+    pub fn drop_spectrum(
+        &self,
+        start: Wavelength,
+        end: Wavelength,
+        points: usize,
+        op: OperatingPoint,
+    ) -> Spectrum {
+        Spectrum::sample(start, end, points, |wl| self.drop_transmission(wl, op))
+    }
+}
+
+/// Builder for [`Mrr`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug, Clone)]
+pub struct MrrBuilder {
+    radius_um: f64,
+    n_eff: f64,
+    n_g: f64,
+    t1: f64,
+    t2: f64,
+    round_trip: f64,
+    tuning_nm_per_v: f64,
+    thermal_nm_per_k: f64,
+    resonant_at: Option<(Wavelength, Voltage)>,
+    length_adjust_nm: f64,
+}
+
+impl Default for MrrBuilder {
+    fn default() -> Self {
+        MrrBuilder {
+            radius_um: crate::calib::COMPUTE_RING_RADIUS_UM,
+            n_eff: crate::calib::COMPUTE_RING_N_EFF,
+            n_g: crate::calib::COMPUTE_RING_N_G,
+            t1: crate::calib::COMPUTE_RING_SELF_COUPLING,
+            t2: crate::calib::COMPUTE_RING_SELF_COUPLING,
+            round_trip: crate::calib::COMPUTE_RING_ROUND_TRIP,
+            tuning_nm_per_v: crate::calib::COMPUTE_RING_TUNING_NM_PER_V,
+            thermal_nm_per_k: crate::calib::RING_THERMAL_NM_PER_K,
+            resonant_at: None,
+            length_adjust_nm: 0.0,
+        }
+    }
+}
+
+impl MrrBuilder {
+    /// Sets the ring radius in micrometers.
+    #[must_use]
+    pub fn radius_um(mut self, radius_um: f64) -> Self {
+        self.radius_um = radius_um;
+        self
+    }
+
+    /// Sets the effective and group indices of the ring waveguide.
+    #[must_use]
+    pub fn indices(mut self, n_eff: f64, n_g: f64) -> Self {
+        self.n_eff = n_eff;
+        self.n_g = n_g;
+        self
+    }
+
+    /// Sets the field self-coupling coefficients of the thru (`t1`) and
+    /// drop (`t2`) couplers.
+    #[must_use]
+    pub fn self_coupling(mut self, t1: f64, t2: f64) -> Self {
+        self.t1 = t1;
+        self.t2 = t2;
+        self
+    }
+
+    /// Sets both couplers by their physical gaps (nm), through the
+    /// calibrated evanescent model in [`crate::coupler`] — the way the
+    /// paper specifies its rings ("200 nm gap at the thru-port").
+    #[must_use]
+    pub fn coupling_gaps_nm(self, thru_gap_nm: f64, drop_gap_nm: f64) -> Self {
+        self.self_coupling(
+            crate::coupler::self_coupling(thru_gap_nm),
+            crate::coupler::self_coupling(drop_gap_nm),
+        )
+    }
+
+    /// Sets the single-round-trip field amplitude (loss).
+    #[must_use]
+    pub fn round_trip(mut self, a: f64) -> Self {
+        self.round_trip = a;
+        self
+    }
+
+    /// Sets the electro-optic tuning: nm of resonance red-shift per volt.
+    #[must_use]
+    pub fn tuning_nm_per_v(mut self, nm_per_v: f64) -> Self {
+        self.tuning_nm_per_v = nm_per_v;
+        self
+    }
+
+    /// Sets the thermo-optic tuning: nm of red-shift per kelvin.
+    #[must_use]
+    pub fn thermal_nm_per_k(mut self, nm_per_k: f64) -> Self {
+        self.thermal_nm_per_k = nm_per_k;
+        self
+    }
+
+    /// Trims the circumference so a resonance lands exactly on `wl` when
+    /// the junction is biased at `v` — the design-time tuning the paper
+    /// applies to every ring.
+    #[must_use]
+    pub fn resonant_at(mut self, wl: Wavelength, v: Voltage) -> Self {
+        self.resonant_at = Some((wl, v));
+        self
+    }
+
+    /// Adds `dl` nanometers of circumference on top of the calibrated
+    /// length — the paper's WDM channel-selection knob (Fig. 6 uses
+    /// 0/68/136/204 nm).
+    #[must_use]
+    pub fn length_adjust_nm(mut self, dl: f64) -> Self {
+        self.length_adjust_nm = dl;
+        self
+    }
+
+    /// Builds the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is unphysical: non-positive radius or
+    /// indices, couplings outside `(0, 1)`, round-trip outside `(0, 1]`.
+    #[must_use]
+    pub fn build(self) -> Mrr {
+        assert!(self.radius_um > 0.0, "radius must be positive");
+        assert!(self.n_eff > 0.0 && self.n_g > 0.0, "indices must be positive");
+        assert!(
+            self.t1 > 0.0 && self.t1 < 1.0 && self.t2 > 0.0 && self.t2 < 1.0,
+            "self-couplings must be in (0, 1)"
+        );
+        assert!(
+            self.round_trip > 0.0 && self.round_trip <= 1.0,
+            "round-trip amplitude must be in (0, 1]"
+        );
+
+        let base_circumference = 2.0 * std::f64::consts::PI * self.radius_um * 1e-6;
+        let (lambda_ref, design_v) = self
+            .resonant_at
+            .unwrap_or((Wavelength::from_nanometers(1310.0), Voltage::ZERO));
+
+        // Index at the design point (including the electro-optic offset of
+        // the design voltage), used to pick the resonance order m.
+        let dn_per_nm = self.n_g / (lambda_ref.as_meters() * 1e9);
+        let n_design = self.n_eff + self.tuning_nm_per_v * design_v.as_volts() * dn_per_nm;
+        let m = (n_design * base_circumference / lambda_ref.as_meters()).round();
+        assert!(m >= 1.0, "ring too small to support a resonance");
+        let calibrated = m * lambda_ref.as_meters() / n_design;
+
+        Mrr {
+            circumference_m: calibrated + self.length_adjust_nm * 1e-9,
+            n_eff0: self.n_eff,
+            n_g: self.n_g,
+            lambda_ref_m: lambda_ref.as_meters(),
+            t1: self.t1,
+            t2: self.t2,
+            round_trip: self.round_trip,
+            tuning_nm_per_v: self.tuning_nm_per_v,
+            thermal_nm_per_k: self.thermal_nm_per_k,
+            design_wavelength_m: lambda_ref.as_meters(),
+            design_voltage: design_v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(v: f64) -> Wavelength {
+        Wavelength::from_nanometers(v)
+    }
+
+    #[test]
+    fn calibrated_ring_is_resonant_at_design_point() {
+        let ring = Mrr::compute_ring_design().build();
+        let t = ring.thru_transmission(nm(1310.0), OperatingPoint::unbiased());
+        assert!(t < 0.01, "thru at resonance should be extinguished, got {t}");
+        let d = ring.drop_transmission(nm(1310.0), OperatingPoint::unbiased());
+        assert!(d > 0.8, "drop at resonance should be high, got {d}");
+    }
+
+    #[test]
+    fn off_resonance_passes_thru() {
+        let ring = Mrr::compute_ring_design().build();
+        let t = ring.thru_transmission(nm(1311.0), OperatingPoint::unbiased());
+        assert!(t > 0.85, "thru off resonance should be high, got {t}");
+        let d = ring.drop_transmission(nm(1311.0), OperatingPoint::unbiased());
+        assert!(d < 0.1, "drop off resonance should be low, got {d}");
+    }
+
+    #[test]
+    fn fsr_matches_paper() {
+        let ring = Mrr::compute_ring_design().build();
+        let fsr = ring.fsr_near(nm(1310.0)).as_nanometers();
+        assert!((fsr - 9.36).abs() < 0.05, "FSR {fsr} nm");
+    }
+
+    #[test]
+    fn resonances_found_by_bisection_match_fsr() {
+        let ring = Mrr::compute_ring_design().build();
+        let rs = ring.resonances_in(nm(1300.0), nm(1325.0), OperatingPoint::unbiased());
+        assert!(rs.len() >= 2);
+        let spacing = rs[1].as_nanometers() - rs[0].as_nanometers();
+        assert!((spacing - 9.36).abs() < 0.15, "spacing {spacing}");
+        // One of them is the design wavelength.
+        assert!(rs.iter().any(|r| (r.as_nanometers() - 1310.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn length_adjust_shifts_resonance_by_paper_slope() {
+        // Paper Fig. 6: +68 nm circumference → +2.33 nm resonance shift.
+        let base = Mrr::compute_ring_design().build();
+        let adjusted = Mrr::compute_ring_design().length_adjust_nm(68.0).build();
+        let r0 = base.resonance_near(nm(1310.0), OperatingPoint::unbiased());
+        let r1 = adjusted.resonance_near(nm(1312.5), OperatingPoint::unbiased());
+        let shift = r1.as_nanometers() - r0.as_nanometers();
+        assert!((shift - 2.33).abs() < 0.05, "shift {shift} nm");
+    }
+
+    #[test]
+    fn voltage_red_shifts_resonance() {
+        let ring = Mrr::compute_ring_design().build();
+        let v = Voltage::from_volts(0.5);
+        let shifted = ring.resonance_near(nm(1310.5), OperatingPoint::at_voltage(v));
+        let expected = 1310.0 + ring.voltage_shift_nm(v);
+        assert!(
+            (shifted.as_nanometers() - expected).abs() < 5e-3,
+            "resonance {shifted} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn thermal_drift_red_shifts_resonance() {
+        let ring = Mrr::compute_ring_design().build();
+        let hot = OperatingPoint::new(Voltage::ZERO, 10.0);
+        let shifted = ring.resonance_near(nm(1310.75), hot);
+        assert!(
+            (shifted.as_nanometers() - (1310.0 + 0.75)).abs() < 0.01,
+            "10 K should shift ≈0.75 nm, got {shifted}"
+        );
+    }
+
+    #[test]
+    fn transmissions_conserve_power() {
+        let ring = Mrr::compute_ring_design().build();
+        for i in 0..200 {
+            let wl = nm(1308.0 + i as f64 * 0.02);
+            let sum = ring.thru_transmission(wl, OperatingPoint::unbiased())
+                + ring.drop_transmission(wl, OperatingPoint::unbiased());
+            assert!(sum <= 1.0 + 1e-9, "passive device gained power at {wl}: {sum}");
+        }
+    }
+
+    #[test]
+    fn adc_ring_is_higher_q_than_compute_ring() {
+        let adc = Mrr::adc_ring_design().build();
+        let compute = Mrr::compute_ring_design().build();
+        assert!(adc.loaded_q(nm(1310.5)) > compute.loaded_q(nm(1310.0)));
+        // Roughly the Q class needed for sub-LSB quantisation windows.
+        assert!(adc.loaded_q(nm(1310.5)) > 5_000.0);
+    }
+
+    #[test]
+    fn linewidth_matches_spectrum_width() {
+        let ring = Mrr::adc_ring_design().build();
+        let fwhm = ring.linewidth_fwhm(nm(1310.5)).as_nanometers();
+        let sp = ring.thru_spectrum(nm(1310.2), nm(1310.8), 6001, OperatingPoint::unbiased());
+        // Half-max level between the dip floor and the off-resonance top.
+        let (_, dip) = sp.minimum();
+        let top = sp.values()[0];
+        let measured = sp.width_below(0.5 * (dip + top));
+        assert!(
+            (measured - fwhm).abs() / fwhm < 0.15,
+            "analytic {fwhm} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn gap_specified_ring_matches_calibrated_one() {
+        // Building the compute ring from its published 200 nm gap gives
+        // the same device as the spectrally calibrated coupling.
+        let by_gap = Mrr::compute_ring_design().coupling_gaps_nm(200.0, 200.0).build();
+        let by_cal = Mrr::compute_ring_design().build();
+        let wl = nm(1310.15);
+        let dt = (by_gap.thru_transmission(wl, OperatingPoint::unbiased())
+            - by_cal.thru_transmission(wl, OperatingPoint::unbiased()))
+        .abs();
+        assert!(dt < 0.05, "gap-specified ring diverges by {dt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-couplings")]
+    fn builder_rejects_bad_coupling() {
+        let _ = Mrr::builder().self_coupling(1.5, 0.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn builder_rejects_bad_radius() {
+        let _ = Mrr::builder().radius_um(-1.0).build();
+    }
+}

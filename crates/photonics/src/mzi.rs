@@ -1,0 +1,134 @@
+//! Mach–Zehnder interferometer weight element.
+//!
+//! The paper's §I positions MRR cores against MZI meshes: MZIs "allow
+//! rapid weight updates [but] their large device area limits scalability".
+//! This model supplies the device so that trade-off can be computed
+//! instead of asserted: a thermo-/electro-optically phase-tuned 2×2 MZI
+//! used as an amplitude weight.
+
+use pic_units::{OpticalPower, Voltage};
+
+/// A 2×2 MZI with ideal 50:50 couplers and a phase shifter of efficiency
+/// `rad_per_volt` in one arm; used single-input/single-output as an
+/// amplitude weight `T = cos²(φ/2)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mzi {
+    rad_per_volt: f64,
+    insertion_loss: f64,
+    length_um: f64,
+    width_um: f64,
+}
+
+impl Mzi {
+    /// Creates an MZI weight element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase efficiency or footprint is not positive, or
+    /// the insertion loss leaves `[0, 1)`.
+    #[must_use]
+    pub fn new(rad_per_volt: f64, insertion_loss: f64, length_um: f64, width_um: f64) -> Self {
+        assert!(rad_per_volt > 0.0, "phase efficiency must be positive");
+        assert!(
+            (0.0..1.0).contains(&insertion_loss),
+            "insertion loss must be in [0, 1)"
+        );
+        assert!(length_um > 0.0 && width_um > 0.0, "footprint must be positive");
+        Mzi {
+            rad_per_volt,
+            insertion_loss,
+            length_um,
+            width_um,
+        }
+    }
+
+    /// A typical silicon thermo-optic MZI weight: π at ~2 V, 0.5 dB loss,
+    /// 300 µm × 50 µm (the device-class the MZI-mesh literature uses).
+    #[must_use]
+    pub fn silicon_thermo_optic() -> Self {
+        Mzi::new(std::f64::consts::PI / 2.0, 0.109, 300.0, 50.0)
+    }
+
+    /// Power transmission at drive voltage `v`: `(1 − IL)·cos²(φ/2)` with
+    /// `φ = rad_per_volt · v`.
+    #[must_use]
+    pub fn transmission(&self, v: Voltage) -> f64 {
+        let phi = self.rad_per_volt * v.as_volts();
+        (1.0 - self.insertion_loss) * (0.5 * phi).cos().powi(2)
+    }
+
+    /// Output power for `input` at drive `v`.
+    #[must_use]
+    pub fn weight(&self, input: OpticalPower, v: Voltage) -> OpticalPower {
+        input * self.transmission(v)
+    }
+
+    /// Drive voltage that programs transmission fraction `t ∈ [0, 1]` of
+    /// the maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` leaves `[0, 1]`.
+    #[must_use]
+    pub fn voltage_for(&self, t: f64) -> Voltage {
+        assert!((0.0..=1.0).contains(&t), "weight fraction in [0, 1]");
+        let phi = 2.0 * t.sqrt().acos();
+        Voltage::from_volts(phi / self.rad_per_volt)
+    }
+
+    /// Device footprint, µm².
+    #[must_use]
+    pub fn footprint_um2(&self) -> f64 {
+        self.length_um * self.width_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_volts_is_maximum_transmission() {
+        let mzi = Mzi::silicon_thermo_optic();
+        let t0 = mzi.transmission(Voltage::ZERO);
+        assert!((t0 - (1.0 - 0.109)).abs() < 1e-12);
+        assert!(mzi.transmission(Voltage::from_volts(1.0)) < t0);
+    }
+
+    #[test]
+    fn pi_phase_extinguishes() {
+        let mzi = Mzi::silicon_thermo_optic();
+        // π at 2 V for this device.
+        let t = mzi.transmission(Voltage::from_volts(2.0));
+        assert!(t < 1e-12, "π drive must extinguish: {t}");
+    }
+
+    #[test]
+    fn voltage_for_round_trips() {
+        let mzi = Mzi::silicon_thermo_optic();
+        for t in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let v = mzi.voltage_for(t);
+            let measured = mzi.transmission(v) / (1.0 - 0.109);
+            assert!((measured - t).abs() < 1e-9, "t={t} gave {measured}");
+        }
+    }
+
+    #[test]
+    fn mzi_dwarfs_the_microring() {
+        let mzi = Mzi::silicon_thermo_optic();
+        let ring_footprint =
+            std::f64::consts::PI * (crate::calib::COMPUTE_RING_RADIUS_UM + 5.0).powi(2);
+        assert!(
+            mzi.footprint_um2() > 10.0 * ring_footprint,
+            "the §I area argument: MZI {} µm² vs ring ~{} µm²",
+            mzi.footprint_um2(),
+            ring_footprint
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "insertion loss")]
+    fn rejects_gain() {
+        let _ = Mzi::new(1.0, -0.1, 100.0, 50.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Photodetection noise models: shot, thermal (Johnson) and laser RIN.
+//!
+//! The paper's simulations are noiseless; a physical implementation of the
+//! eoADC's thresholding blocks and the compute core's summing photodiodes
+//! sees three classic contributions, all modelled here as white Gaussian
+//! current noise over a detection bandwidth:
+//!
+//! * **shot noise** — `σ² = 2·q·I·B`;
+//! * **thermal noise** — `σ² = 4·k_B·T·B / R_load`;
+//! * **relative intensity noise** — `σ² = RIN·I²·B`.
+//!
+//! Used by the `ablation_noise` study to find where the analog dot product
+//! runs out of effective resolution.
+
+use pic_units::constants::{BOLTZMANN, ELEMENTARY_CHARGE};
+use pic_units::{Current, Frequency, OpticalPower, Resistance};
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+
+/// Minimal Box–Muller standard-normal sampler so the workspace does not
+/// need a full distributions crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard-normal draw by Box–Muller.
+    pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Noise operating point of a photodetection front end.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NoiseModel {
+    /// Detection (noise) bandwidth.
+    pub bandwidth: Frequency,
+    /// Temperature, K.
+    pub temperature_k: f64,
+    /// Effective load/transimpedance input resistance.
+    pub load: Resistance,
+    /// Laser relative intensity noise, 1/Hz (linear, not dB).
+    pub rin_per_hz: f64,
+}
+
+impl NoiseModel {
+    /// A typical receiver at the paper's operating point: 8 GHz noise
+    /// bandwidth, 300 K, 10 kΩ transimpedance input, −150 dB/Hz RIN.
+    #[must_use]
+    pub fn paper_receiver() -> Self {
+        NoiseModel {
+            bandwidth: Frequency::from_gigahertz(8.0),
+            temperature_k: 300.0,
+            load: Resistance::from_ohms(10_000.0),
+            rin_per_hz: 10f64.powf(-150.0 / 10.0),
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive (RIN may be zero).
+    pub fn validate(&self) {
+        assert!(self.bandwidth.as_hertz() > 0.0, "bandwidth must be positive");
+        assert!(self.temperature_k > 0.0, "temperature must be positive");
+        assert!(self.load.as_ohms() > 0.0, "load must be positive");
+        assert!(self.rin_per_hz >= 0.0, "RIN must be non-negative");
+    }
+
+    /// Shot-noise RMS current for mean photocurrent `i`.
+    #[must_use]
+    pub fn shot_rms(&self, i: Current) -> Current {
+        Current::from_amps(
+            (2.0 * ELEMENTARY_CHARGE * i.as_amps().abs() * self.bandwidth.as_hertz()).sqrt(),
+        )
+    }
+
+    /// Thermal (Johnson) RMS current of the load.
+    #[must_use]
+    pub fn thermal_rms(&self) -> Current {
+        Current::from_amps(
+            (4.0 * BOLTZMANN * self.temperature_k * self.bandwidth.as_hertz()
+                / self.load.as_ohms())
+            .sqrt(),
+        )
+    }
+
+    /// RIN-induced RMS current for mean photocurrent `i`.
+    #[must_use]
+    pub fn rin_rms(&self, i: Current) -> Current {
+        Current::from_amps(
+            (self.rin_per_hz * i.as_amps() * i.as_amps() * self.bandwidth.as_hertz()).sqrt(),
+        )
+    }
+
+    /// Total RMS noise current at mean photocurrent `i` (contributions add
+    /// in power).
+    #[must_use]
+    pub fn total_rms(&self, i: Current) -> Current {
+        let s = self.shot_rms(i).as_amps();
+        let t = self.thermal_rms().as_amps();
+        let r = self.rin_rms(i).as_amps();
+        Current::from_amps((s * s + t * t + r * r).sqrt())
+    }
+
+    /// Draws one noisy sample of the photocurrent.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, mean: Current, rng: &mut R) -> Current {
+        let sigma = self.total_rms(mean).as_amps();
+        Current::from_amps(mean.as_amps() + sigma * sample_standard_normal(rng))
+    }
+
+    /// Signal-to-noise ratio (dB) of a photocurrent step of size
+    /// `signal` riding on mean current `mean`.
+    #[must_use]
+    pub fn snr_db(&self, signal: Current, mean: Current) -> f64 {
+        20.0 * (signal.as_amps().abs() / self.total_rms(mean).as_amps()).log10()
+    }
+
+    /// The number of distinguishable levels (at 1σ separation) a detector
+    /// with full-scale current `full_scale` supports — an effective
+    /// resolution bound for the analog dot product.
+    #[must_use]
+    pub fn resolvable_levels(&self, full_scale: Current) -> f64 {
+        full_scale.as_amps() / self.total_rms(full_scale).as_amps()
+    }
+}
+
+/// Convenience: the mean photocurrent and noise of a detector watching
+/// `power` with the platform responsivity.
+#[must_use]
+pub fn detect_with_noise<R: Rng + ?Sized>(
+    power: OpticalPower,
+    model: &NoiseModel,
+    rng: &mut R,
+) -> Current {
+    let mean = power.photocurrent(crate::calib::PHOTODIODE_RESPONSIVITY_A_PER_W);
+    model.sample(mean, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> NoiseModel {
+        NoiseModel::paper_receiver()
+    }
+
+    #[test]
+    fn shot_noise_scales_with_sqrt_current() {
+        let m = model();
+        let a = m.shot_rms(Current::from_microamps(1.0)).as_amps();
+        let b = m.shot_rms(Current::from_microamps(4.0)).as_amps();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_noise_is_current_independent() {
+        let m = model();
+        assert_eq!(m.thermal_rms(), m.thermal_rms());
+        // ~0.115 µA for 10 kΩ at 8 GHz — sanity of magnitude.
+        let ua = m.thermal_rms().as_microamps();
+        assert!(ua > 0.01 && ua < 1.0, "thermal rms {ua} µA");
+    }
+
+    #[test]
+    fn sampled_statistics_match_model() {
+        let m = model();
+        let mean = Current::from_microamps(100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| m.sample(mean, &mut rng).as_amps()).collect();
+        let emp_mean = draws.iter().sum::<f64>() / n as f64;
+        let emp_var = draws.iter().map(|d| (d - emp_mean).powi(2)).sum::<f64>() / n as f64;
+        let sigma = m.total_rms(mean).as_amps();
+        assert!((emp_mean - mean.as_amps()).abs() < 4.0 * sigma / (n as f64).sqrt());
+        assert!((emp_var.sqrt() / sigma - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn snr_improves_with_optical_power() {
+        let m = model();
+        let low = m.snr_db(Current::from_microamps(1.0), Current::from_microamps(10.0));
+        let high = m.snr_db(Current::from_microamps(10.0), Current::from_microamps(100.0));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn resolvable_levels_monotone_in_full_scale() {
+        let m = model();
+        let small = m.resolvable_levels(Current::from_microamps(10.0));
+        let large = m.resolvable_levels(Current::from_microamps(1000.0));
+        assert!(large > small);
+        // The paper's ~µA-scale dot products support a few hundred levels.
+        assert!(small > 3.0);
+    }
+
+    #[test]
+    fn detect_with_noise_centres_on_responsivity() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 5_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                detect_with_noise(OpticalPower::from_microwatts(100.0), &m, &mut rng).as_amps()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 90e-6).abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn validate_rejects_zero_bandwidth() {
+        let mut m = model();
+        m.bandwidth = Frequency::ZERO;
+        m.validate();
+    }
+}

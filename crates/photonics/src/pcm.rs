@@ -1,0 +1,178 @@
+//! Phase-change-material (PCM) photonic weight cell.
+//!
+//! The paper's §I second comparison class: PCM patches on waveguides
+//! "offer scalability by controlling transmittance as a weight; however,
+//! they demand high write latency and energy" (refs [28], [30], [31],
+//! [36]). This model captures a multi-level GST-on-waveguide cell: the
+//! crystalline fraction sets transmittance; programming takes a train of
+//! energy-hungry melt/recrystallise pulses with bounded endurance.
+
+use pic_units::{Energy, OpticalPower, Seconds};
+
+/// A multi-level PCM weight cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PcmCell {
+    /// Crystalline fraction in `[0, 1]` (1 = fully crystalline = most
+    /// absorbing for GST-on-Si).
+    state: f64,
+    levels: u32,
+    transmission_amorphous: f64,
+    transmission_crystalline: f64,
+    write_pulse: Seconds,
+    write_energy_per_pulse: Energy,
+    writes_done: u64,
+    endurance: u64,
+}
+
+impl PcmCell {
+    /// A GST-class cell: 5-bit multi-level, T from 0.95 (amorphous) down
+    /// to 0.30 (crystalline), 100 ns programming pulses at ~0.4 nJ
+    /// (Ríos et al. / Feldmann et al. device class), 10⁸ write endurance.
+    #[must_use]
+    pub fn gst_on_waveguide() -> Self {
+        PcmCell {
+            state: 0.0,
+            levels: 32,
+            transmission_amorphous: 0.95,
+            transmission_crystalline: 0.30,
+            write_pulse: Seconds::from_nanoseconds(100.0),
+            write_energy_per_pulse: Energy::from_picojoules(400.0),
+            writes_done: 0,
+            endurance: 100_000_000,
+        }
+    }
+
+    /// Present crystalline fraction.
+    #[must_use]
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Number of programmable levels.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Power transmission at the present state (linear interpolation
+    /// between the amorphous and crystalline extremes).
+    #[must_use]
+    pub fn transmission(&self) -> f64 {
+        self.transmission_amorphous
+            + (self.transmission_crystalline - self.transmission_amorphous) * self.state
+    }
+
+    /// Output power for `input` at the present state.
+    #[must_use]
+    pub fn weight(&self, input: OpticalPower) -> OpticalPower {
+        input * self.transmission()
+    }
+
+    /// Programs the cell to level `level` (0 = amorphous). Returns the
+    /// `(time, energy)` cost: one pulse per level stepped through, the
+    /// incremental-recrystallisation programming scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the level count or endurance is
+    /// exhausted.
+    pub fn program(&mut self, level: u32) -> (Seconds, Energy) {
+        assert!(level < self.levels, "level {level} out of range");
+        let target = f64::from(level) / f64::from(self.levels - 1);
+        let steps = ((target - self.state).abs() * f64::from(self.levels - 1)).round() as u64;
+        if steps == 0 {
+            return (Seconds::ZERO, Energy::ZERO);
+        }
+        self.writes_done += steps;
+        assert!(
+            self.writes_done <= self.endurance,
+            "PCM endurance exhausted after {} writes",
+            self.writes_done
+        );
+        self.state = target;
+        (
+            Seconds::from_seconds(self.write_pulse.as_seconds() * steps as f64),
+            self.write_energy_per_pulse * steps as f64,
+        )
+    }
+
+    /// Writes consumed so far against the endurance budget.
+    #[must_use]
+    pub fn wear(&self) -> f64 {
+        self.writes_done as f64 / self.endurance as f64
+    }
+
+    /// Worst-case reprogram time (full amorphous↔crystalline excursion).
+    #[must_use]
+    pub fn worst_case_program_time(&self) -> Seconds {
+        Seconds::from_seconds(self.write_pulse.as_seconds() * f64::from(self.levels - 1))
+    }
+
+    /// Effective update rate for worst-case programming.
+    #[must_use]
+    pub fn update_rate_hz(&self) -> f64 {
+        1.0 / self.worst_case_program_time().as_seconds()
+    }
+}
+
+impl Default for PcmCell {
+    fn default() -> Self {
+        PcmCell::gst_on_waveguide()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_spans_the_extremes() {
+        let mut cell = PcmCell::gst_on_waveguide();
+        assert!((cell.transmission() - 0.95).abs() < 1e-12);
+        cell.program(31);
+        assert!((cell.transmission() - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn programming_costs_scale_with_distance() {
+        let mut cell = PcmCell::gst_on_waveguide();
+        let (t_full, e_full) = cell.program(31);
+        let mut cell2 = PcmCell::gst_on_waveguide();
+        let (t_one, e_one) = cell2.program(1);
+        assert!((t_full.as_seconds() / t_one.as_seconds() - 31.0).abs() < 1e-9);
+        assert!((e_full.as_joules() / e_one.as_joules() - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reprogramming_same_level_is_free() {
+        let mut cell = PcmCell::gst_on_waveguide();
+        cell.program(10);
+        let (t, e) = cell.program(10);
+        assert_eq!(t, Seconds::ZERO);
+        assert_eq!(e, Energy::ZERO);
+    }
+
+    #[test]
+    fn update_rate_is_sub_gigahertz() {
+        // The Table I footnote class: "~1 GHz PCM write speed" is per
+        // pulse; a full multi-level excursion is far slower.
+        let cell = PcmCell::gst_on_waveguide();
+        assert!(cell.update_rate_hz() < 1e9);
+        assert!(cell.update_rate_hz() > 1e4);
+    }
+
+    #[test]
+    fn wear_accumulates() {
+        let mut cell = PcmCell::gst_on_waveguide();
+        cell.program(31);
+        cell.program(0);
+        assert!((cell.wear() - 62.0 / 1e8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_bounds_checked() {
+        let mut cell = PcmCell::gst_on_waveguide();
+        cell.program(32);
+    }
+}

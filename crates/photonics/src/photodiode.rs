@@ -1,0 +1,174 @@
+//! Photodiode and balanced-pair models.
+
+use pic_units::{Current, Frequency, OpticalPower};
+
+/// A broadband photodiode: responsivity, dark current and an opto-electrical
+/// bandwidth pole.
+///
+/// The paper relies on the PDs' broadband response (write light at a
+/// different wavelength still detects, §II-A) and on their high bandwidth
+/// (the eoADC, not the PD, limits core speed, §IV-D).
+///
+/// # Examples
+///
+/// ```
+/// use pic_photonics::Photodiode;
+/// use pic_units::OpticalPower;
+///
+/// let pd = Photodiode::gf45spclo();
+/// let i = pd.photocurrent(OpticalPower::from_microwatts(10.0));
+/// assert!(i.as_microamps() > 8.9 && i.as_microamps() < 9.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Photodiode {
+    responsivity_a_per_w: f64,
+    dark_current: Current,
+    bandwidth: Frequency,
+}
+
+impl Photodiode {
+    /// Creates a photodiode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `responsivity_a_per_w` is not positive.
+    #[must_use]
+    pub fn new(responsivity_a_per_w: f64, dark_current: Current, bandwidth: Frequency) -> Self {
+        assert!(
+            responsivity_a_per_w > 0.0,
+            "responsivity must be positive, got {responsivity_a_per_w}"
+        );
+        Photodiode {
+            responsivity_a_per_w,
+            dark_current,
+            bandwidth,
+        }
+    }
+
+    /// The platform-calibrated photodiode (see [`crate::calib`]).
+    #[must_use]
+    pub fn gf45spclo() -> Self {
+        Photodiode::new(
+            crate::calib::PHOTODIODE_RESPONSIVITY_A_PER_W,
+            Current::from_amps(crate::calib::PHOTODIODE_DARK_CURRENT_A),
+            Frequency::from_gigahertz(crate::calib::PHOTODIODE_BANDWIDTH_GHZ),
+        )
+    }
+
+    /// Responsivity in A/W.
+    #[must_use]
+    pub fn responsivity(&self) -> f64 {
+        self.responsivity_a_per_w
+    }
+
+    /// Dark current.
+    #[must_use]
+    pub fn dark_current(&self) -> Current {
+        self.dark_current
+    }
+
+    /// Opto-electrical bandwidth.
+    #[must_use]
+    pub fn bandwidth(&self) -> Frequency {
+        self.bandwidth
+    }
+
+    /// Steady-state photocurrent for the given incident power (includes the
+    /// dark-current floor).
+    #[must_use]
+    pub fn photocurrent(&self, power: OpticalPower) -> Current {
+        power.photocurrent(self.responsivity_a_per_w) + self.dark_current
+    }
+
+    /// First-order low-pass step applied to a current that is slewing from
+    /// `present` toward the steady-state response of `power`, over `dt_s`
+    /// seconds — the PD's bandwidth pole in transient co-simulation.
+    #[must_use]
+    pub fn filtered_step(&self, present: Current, power: OpticalPower, dt_s: f64) -> Current {
+        let target = self.photocurrent(power);
+        let alpha = 1.0 - (-dt_s * self.bandwidth.angular()).exp();
+        present + (target - present) * alpha
+    }
+}
+
+impl Default for Photodiode {
+    fn default() -> Self {
+        Photodiode::gf45spclo()
+    }
+}
+
+/// Two photodiodes in series between the rails, output taken at the
+/// midpoint — the paper's storage-node arrangement (pSRAM, §II-A) and the
+/// eoADC's opto-electric thresholding block (§II-C).
+///
+/// Positive [`BalancedPhotodiodePair::net_current`] charges the midpoint
+/// node toward VDD, negative discharges it toward ground.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct BalancedPhotodiodePair {
+    /// PD between VDD and the midpoint (pull-up when illuminated).
+    pub pull_up: Photodiode,
+    /// PD between the midpoint and ground (pull-down when illuminated).
+    pub pull_down: Photodiode,
+}
+
+impl BalancedPhotodiodePair {
+    /// A matched pair of platform photodiodes.
+    #[must_use]
+    pub fn matched() -> Self {
+        BalancedPhotodiodePair::default()
+    }
+
+    /// Net midpoint current for the given illuminations: pull-up minus
+    /// pull-down photocurrent.
+    #[must_use]
+    pub fn net_current(&self, up_power: OpticalPower, down_power: OpticalPower) -> Current {
+        self.pull_up.photocurrent(up_power) - self.pull_down.photocurrent(down_power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photocurrent_includes_dark_floor() {
+        let pd = Photodiode::gf45spclo();
+        let dark = pd.photocurrent(OpticalPower::ZERO);
+        assert!((dark.as_amps() - 10e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn filtered_step_converges() {
+        let pd = Photodiode::gf45spclo();
+        let target = pd.photocurrent(OpticalPower::from_microwatts(100.0));
+        let mut i = Current::ZERO;
+        // 10 ps ≫ 1/(2π·50 GHz) ≈ 3.2 ps, stepped finely.
+        for _ in 0..100 {
+            i = pd.filtered_step(i, OpticalPower::from_microwatts(100.0), 0.1e-12);
+        }
+        assert!((i.as_amps() - target.as_amps()).abs() / target.as_amps() < 0.05);
+    }
+
+    #[test]
+    fn filtered_step_is_causal_slew() {
+        let pd = Photodiode::gf45spclo();
+        let i1 = pd.filtered_step(Current::ZERO, OpticalPower::from_microwatts(100.0), 0.1e-12);
+        let steady = pd.photocurrent(OpticalPower::from_microwatts(100.0));
+        assert!(i1.as_amps() > 0.0 && i1.as_amps() < steady.as_amps());
+    }
+
+    #[test]
+    fn balanced_pair_sign_convention() {
+        let pair = BalancedPhotodiodePair::matched();
+        let up = pair.net_current(OpticalPower::from_microwatts(10.0), OpticalPower::ZERO);
+        assert!(up.as_amps() > 0.0, "illuminating pull-up charges the node");
+        let down = pair.net_current(OpticalPower::ZERO, OpticalPower::from_microwatts(10.0));
+        assert!(down.as_amps() < 0.0, "illuminating pull-down discharges");
+    }
+
+    #[test]
+    #[should_panic(expected = "responsivity")]
+    fn rejects_nonpositive_responsivity() {
+        let _ = Photodiode::new(0.0, Current::ZERO, Frequency::from_gigahertz(50.0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Optical sources: single-wavelength lasers and frequency combs.
+
+use pic_signal::WdmSignal;
+use pic_units::{ElectricalPower, OpticalPower, Wavelength};
+
+/// A continuous-wave laser with wall-plug accounting.
+///
+/// ```
+/// use pic_photonics::Laser;
+/// use pic_units::{OpticalPower, Wavelength};
+///
+/// let bias = Laser::new(Wavelength::from_nanometers(1310.0), OpticalPower::from_dbm(-20.0));
+/// assert!((bias.wall_plug_draw().as_microwatts() - 43.478).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Laser {
+    wavelength: Wavelength,
+    power: OpticalPower,
+    wall_plug_efficiency: f64,
+}
+
+impl Laser {
+    /// Creates a laser with the paper's default wall-plug efficiency
+    /// ([`pic_units::constants::WALL_PLUG_EFFICIENCY`]).
+    #[must_use]
+    pub fn new(wavelength: Wavelength, power: OpticalPower) -> Self {
+        Laser {
+            wavelength,
+            power,
+            wall_plug_efficiency: pic_units::constants::WALL_PLUG_EFFICIENCY,
+        }
+    }
+
+    /// Overrides the wall-plug efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_wall_plug(mut self, eta: f64) -> Self {
+        assert!(eta > 0.0 && eta <= 1.0, "wall-plug efficiency in (0, 1]");
+        self.wall_plug_efficiency = eta;
+        self
+    }
+
+    /// Emission wavelength.
+    #[must_use]
+    pub fn wavelength(&self) -> Wavelength {
+        self.wavelength
+    }
+
+    /// Emitted optical power.
+    #[must_use]
+    pub fn power(&self) -> OpticalPower {
+        self.power
+    }
+
+    /// Electrical power drawn from the supply.
+    #[must_use]
+    pub fn wall_plug_draw(&self) -> ElectricalPower {
+        self.power.wall_plug_power(self.wall_plug_efficiency)
+    }
+}
+
+/// An optical frequency comb: equally spaced wavelength channels each
+/// carrying the same power — the paper's WDM input source (§II-B cites
+/// Feldmann et al. for this).
+///
+/// ```
+/// use pic_photonics::FrequencyComb;
+/// use pic_units::{OpticalPower, Wavelength};
+///
+/// let comb = FrequencyComb::new(
+///     Wavelength::from_nanometers(1310.0),
+///     2.33,
+///     4,
+///     OpticalPower::from_milliwatts(1.0),
+/// );
+/// assert_eq!(comb.wavelengths().len(), 4);
+/// let grid = comb.wavelengths();
+/// assert!((grid[3].as_nanometers() - 1316.99).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrequencyComb {
+    start: Wavelength,
+    spacing_nm: f64,
+    lines: usize,
+    per_line_power: OpticalPower,
+    wall_plug_efficiency: f64,
+}
+
+impl FrequencyComb {
+    /// Creates a comb of `lines` channels starting at `start`, spaced by
+    /// `spacing_nm`, each emitting `per_line_power`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or `spacing_nm` is not positive.
+    #[must_use]
+    pub fn new(
+        start: Wavelength,
+        spacing_nm: f64,
+        lines: usize,
+        per_line_power: OpticalPower,
+    ) -> Self {
+        assert!(lines > 0, "comb needs at least one line");
+        assert!(spacing_nm > 0.0, "channel spacing must be positive");
+        FrequencyComb {
+            start,
+            spacing_nm,
+            lines,
+            per_line_power,
+            wall_plug_efficiency: pic_units::constants::WALL_PLUG_EFFICIENCY,
+        }
+    }
+
+    /// The paper's 4-channel compute grid: 1310 nm start, 2.33 nm spacing.
+    #[must_use]
+    pub fn paper_compute_grid(per_line_power: OpticalPower) -> Self {
+        FrequencyComb::new(
+            Wavelength::from_nanometers(pic_units::constants::O_BAND_NM),
+            2.33,
+            4,
+            per_line_power,
+        )
+    }
+
+    /// Channel wavelengths, ascending.
+    #[must_use]
+    pub fn wavelengths(&self) -> Vec<Wavelength> {
+        (0..self.lines)
+            .map(|i| {
+                Wavelength::from_nanometers(
+                    self.start.as_nanometers() + self.spacing_nm * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Channel spacing in nanometers.
+    #[must_use]
+    pub fn spacing_nm(&self) -> f64 {
+        self.spacing_nm
+    }
+
+    /// Number of comb lines.
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.lines
+    }
+
+    /// Power per comb line.
+    #[must_use]
+    pub fn per_line_power(&self) -> OpticalPower {
+        self.per_line_power
+    }
+
+    /// A [`WdmSignal`] with each channel at an intensity-encoded fraction
+    /// of the per-line power (`values[i] ∈ [0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per line or any value is
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn encode(&self, values: &[f64]) -> WdmSignal {
+        assert_eq!(values.len(), self.lines, "one value per comb line");
+        assert!(
+            values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "intensity-encoded inputs must be in [0, 1]"
+        );
+        let powers = values
+            .iter()
+            .map(|&v| self.per_line_power * v)
+            .collect();
+        WdmSignal::with_powers(self.wavelengths(), powers)
+    }
+
+    /// A signal with every channel at full power.
+    #[must_use]
+    pub fn full_power_signal(&self) -> WdmSignal {
+        self.encode(&vec![1.0; self.lines])
+    }
+
+    /// Total electrical power drawn by the comb source.
+    #[must_use]
+    pub fn wall_plug_draw(&self) -> ElectricalPower {
+        (self.per_line_power * self.lines as f64).wall_plug_power(self.wall_plug_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comb_grid_is_uniform() {
+        let comb = FrequencyComb::paper_compute_grid(OpticalPower::from_milliwatts(1.0));
+        let grid = comb.wavelengths();
+        for w in grid.windows(2) {
+            let d = w[1].as_nanometers() - w[0].as_nanometers();
+            assert!((d - 2.33).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn encode_scales_power() {
+        let comb = FrequencyComb::paper_compute_grid(OpticalPower::from_milliwatts(1.0));
+        let sig = comb.encode(&[0.0, 0.25, 0.5, 1.0]);
+        assert!((sig.power(1).as_milliwatts() - 0.25).abs() < 1e-12);
+        assert!((sig.total_power().as_milliwatts() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn encode_rejects_overrange() {
+        let comb = FrequencyComb::paper_compute_grid(OpticalPower::from_milliwatts(1.0));
+        let _ = comb.encode(&[0.0, 0.25, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn laser_wall_plug_uses_efficiency() {
+        let l = Laser::new(
+            Wavelength::from_nanometers(1310.0),
+            OpticalPower::from_milliwatts(1.0),
+        )
+        .with_wall_plug(0.5);
+        assert!((l.wall_plug_draw().as_milliwatts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comb_wall_plug_sums_lines() {
+        let comb = FrequencyComb::paper_compute_grid(OpticalPower::from_milliwatts(1.0));
+        // 4 mW optical / 0.23
+        assert!((comb.wall_plug_draw().as_milliwatts() - 17.391).abs() < 0.01);
+    }
+}

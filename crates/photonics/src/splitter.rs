@@ -1,0 +1,147 @@
+//! Optical power splitters, including the binary-scaling ladder of §II-B.
+
+use pic_units::{OpticalPower, Ratio};
+
+/// A 1×2 optical power splitter with a programmable split ratio and excess
+/// loss.
+///
+/// # Examples
+///
+/// ```
+/// use pic_photonics::PowerSplitter;
+/// use pic_units::OpticalPower;
+///
+/// let ps = PowerSplitter::balanced();
+/// let (a, b) = ps.split(OpticalPower::from_milliwatts(1.0));
+/// assert!((a.as_milliwatts() - 0.5).abs() < 1e-9);
+/// assert!((b.as_milliwatts() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerSplitter {
+    tap_fraction: f64,
+    excess_loss: Ratio,
+}
+
+impl PowerSplitter {
+    /// Creates a splitter directing `tap_fraction` of the input power to the
+    /// first output, with the given excess (insertion) loss applied to both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(tap_fraction: f64, excess_loss: Ratio) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&tap_fraction),
+            "tap fraction must be in [0, 1], got {tap_fraction}"
+        );
+        PowerSplitter {
+            tap_fraction,
+            excess_loss: excess_loss.clamp_passive(),
+        }
+    }
+
+    /// An ideal lossless 50:50 splitter.
+    #[must_use]
+    pub fn balanced() -> Self {
+        PowerSplitter::new(0.5, Ratio::UNITY)
+    }
+
+    /// Fraction of power routed to the first output.
+    #[must_use]
+    pub fn tap_fraction(&self) -> f64 {
+        self.tap_fraction
+    }
+
+    /// Splits the input into `(tap, remainder)`.
+    #[must_use]
+    pub fn split(&self, input: OpticalPower) -> (OpticalPower, OpticalPower) {
+        let after_loss = input.attenuate(self.excess_loss);
+        (
+            after_loss * self.tap_fraction,
+            after_loss * (1.0 - self.tap_fraction),
+        )
+    }
+}
+
+/// Power fractions produced by the paper's cascade of 50:50 splitters that
+/// feeds an n-bit multiplier column (§II-B): branch `j` (MSB first) carries
+/// `IN/2^(j+1)`, and the final `IN/2^n` remainder is dumped into an
+/// absorber.
+///
+/// Returned MSB-first: `[1/2, 1/4, …, 1/2^n]`, plus the absorbed remainder.
+///
+/// ```
+/// use pic_photonics::splitter::binary_ladder;
+/// let (branches, rem) = binary_ladder(3);
+/// assert_eq!(branches, vec![0.5, 0.25, 0.125]);
+/// assert!((rem - 0.125).abs() < 1e-15);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+#[must_use]
+pub fn binary_ladder(bits: u32) -> (Vec<f64>, f64) {
+    assert!(bits > 0, "a weight needs at least one bit");
+    let branches: Vec<f64> = (1..=bits).map(|j| 0.5f64.powi(j as i32)).collect();
+    let remainder = 0.5f64.powi(bits as i32);
+    (branches, remainder)
+}
+
+/// Splits one input power across the binary ladder, returning the per-branch
+/// powers MSB-first (the absorbed remainder is dropped).
+#[must_use]
+pub fn split_binary(input: OpticalPower, bits: u32) -> Vec<OpticalPower> {
+    let (fractions, _) = binary_ladder(bits);
+    fractions.into_iter().map(|f| input * f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_conserves_power() {
+        for bits in 1..=8 {
+            let (branches, rem) = binary_ladder(bits);
+            let total: f64 = branches.iter().sum::<f64>() + rem;
+            assert!((total - 1.0).abs() < 1e-12, "{bits}-bit ladder leaks power");
+        }
+    }
+
+    #[test]
+    fn ladder_is_binary_weighted() {
+        let (branches, _) = binary_ladder(4);
+        for w in branches.windows(2) {
+            assert!((w[0] / w[1] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_binary_scales_input() {
+        let parts = split_binary(OpticalPower::from_milliwatts(1.0), 3);
+        assert!((parts[0].as_milliwatts() - 0.5).abs() < 1e-12);
+        assert!((parts[2].as_milliwatts() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_splitter_attenuates() {
+        let ps = PowerSplitter::new(0.5, Ratio::from_db(-0.5));
+        let (a, b) = ps.split(OpticalPower::from_milliwatts(1.0));
+        let total = a.as_milliwatts() + b.as_milliwatts();
+        assert!(total < 1.0 && total > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "tap fraction")]
+    fn rejects_bad_tap() {
+        let _ = PowerSplitter::new(1.2, Ratio::UNITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn rejects_zero_bits() {
+        let _ = binary_ladder(0);
+    }
+}

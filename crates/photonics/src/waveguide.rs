@@ -1,0 +1,85 @@
+//! Waveguide propagation loss.
+
+use pic_units::{OpticalPower, Ratio};
+
+/// A straight/routed waveguide segment with length-proportional loss.
+///
+/// ```
+/// use pic_photonics::Waveguide;
+/// use pic_units::OpticalPower;
+///
+/// let wg = Waveguide::new(1.0, 1.5); // 1 cm at 1.5 dB/cm
+/// let out = wg.propagate(OpticalPower::from_milliwatts(1.0));
+/// assert!((out.as_dbm() + 1.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Waveguide {
+    length_cm: f64,
+    loss_db_per_cm: f64,
+}
+
+impl Waveguide {
+    /// Creates a waveguide of `length_cm` with the given propagation loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if length or loss is negative.
+    #[must_use]
+    pub fn new(length_cm: f64, loss_db_per_cm: f64) -> Self {
+        assert!(length_cm >= 0.0, "length must be non-negative");
+        assert!(loss_db_per_cm >= 0.0, "loss must be non-negative");
+        Waveguide {
+            length_cm,
+            loss_db_per_cm,
+        }
+    }
+
+    /// A waveguide of `length_cm` with the platform's calibrated loss.
+    #[must_use]
+    pub fn platform(length_cm: f64) -> Self {
+        Waveguide::new(length_cm, crate::calib::WAVEGUIDE_LOSS_DB_PER_CM)
+    }
+
+    /// Segment length in centimeters.
+    #[must_use]
+    pub fn length_cm(&self) -> f64 {
+        self.length_cm
+    }
+
+    /// End-to-end power transmission ratio.
+    #[must_use]
+    pub fn transmission(&self) -> Ratio {
+        Ratio::from_db(-self.loss_db_per_cm * self.length_cm)
+    }
+
+    /// Power at the far end of the segment.
+    #[must_use]
+    pub fn propagate(&self, input: OpticalPower) -> OpticalPower {
+        input.attenuate(self.transmission())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_is_lossless() {
+        let wg = Waveguide::platform(0.0);
+        let p = OpticalPower::from_milliwatts(1.0);
+        assert_eq!(wg.propagate(p), p);
+    }
+
+    #[test]
+    fn loss_compounds_with_length() {
+        let one = Waveguide::new(1.0, 2.0).transmission().as_db();
+        let two = Waveguide::new(2.0, 2.0).transmission().as_db();
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_length() {
+        let _ = Waveguide::new(-1.0, 1.0);
+    }
+}

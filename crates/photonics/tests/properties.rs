@@ -1,0 +1,120 @@
+//! Property-based tests on the photonic device models.
+
+use pic_photonics::{coupler, FrequencyComb, Mrr, OperatingPoint, PowerSplitter};
+use pic_units::{OpticalPower, Ratio, Voltage, Wavelength};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any buildable ring is passive at any wavelength/operating point.
+    #[test]
+    fn arbitrary_rings_are_passive(
+        radius_um in 3.0f64..20.0,
+        t in 0.8f64..0.999,
+        a in 0.95f64..1.0,
+        wl_nm in 1300.0f64..1320.0,
+        v in -3.0f64..3.0,
+        dt_k in -20.0f64..20.0,
+    ) {
+        let ring = Mrr::builder()
+            .radius_um(radius_um)
+            .self_coupling(t, t)
+            .round_trip(a)
+            .resonant_at(Wavelength::from_nanometers(1310.0), Voltage::ZERO)
+            .build();
+        let op = OperatingPoint::new(Voltage::from_volts(v), dt_k);
+        let wl = Wavelength::from_nanometers(wl_nm);
+        let thru = ring.thru_transmission(wl, op);
+        let drop = ring.drop_transmission(wl, op);
+        prop_assert!((0.0..=1.0).contains(&thru));
+        prop_assert!((0.0..=1.0).contains(&drop));
+        prop_assert!(thru + drop <= 1.0 + 1e-9);
+    }
+
+    /// The bisection resonance finder agrees with the analytic FSR: two
+    /// adjacent resonances are one FSR apart.
+    #[test]
+    fn resonance_spacing_matches_fsr(
+        radius_um in 5.0f64..15.0,
+    ) {
+        let ring = Mrr::builder()
+            .radius_um(radius_um)
+            .resonant_at(Wavelength::from_nanometers(1310.0), Voltage::ZERO)
+            .build();
+        let rs = ring.resonances_in(
+            Wavelength::from_nanometers(1295.0),
+            Wavelength::from_nanometers(1325.0),
+            OperatingPoint::unbiased(),
+        );
+        prop_assert!(rs.len() >= 2);
+        let spacing = rs[1].as_nanometers() - rs[0].as_nanometers();
+        let fsr = ring.fsr_near(rs[0]).as_nanometers();
+        prop_assert!((spacing - fsr).abs() / fsr < 0.05, "spacing {spacing} vs FSR {fsr}");
+    }
+
+    /// Calibration invariant: `resonant_at` always puts a deep notch at
+    /// the requested wavelength/voltage.
+    #[test]
+    fn resonant_at_is_honoured(
+        wl_nm in 1305.0f64..1315.0,
+        v in 0.0f64..1.0,
+        dl in 0.0f64..200.0,
+    ) {
+        let wl = Wavelength::from_nanometers(wl_nm);
+        let bias = Voltage::from_volts(v);
+        let ring = Mrr::compute_ring_design()
+            .resonant_at(wl, bias)
+            .length_adjust_nm(0.0)
+            .build();
+        prop_assert!(ring.thru_transmission(wl, OperatingPoint::at_voltage(bias)) < 0.02);
+        // Length adjustment moves the notch away again.
+        if dl > 30.0 {
+            let moved = Mrr::compute_ring_design()
+                .resonant_at(wl, bias)
+                .length_adjust_nm(dl)
+                .build();
+            prop_assert!(
+                moved.thru_transmission(wl, OperatingPoint::at_voltage(bias)) > 0.2
+            );
+        }
+    }
+
+    /// Splitters conserve power for any tap fraction and loss.
+    #[test]
+    fn splitters_conserve_power(tap in 0.0f64..1.0, loss_db in 0.0f64..3.0) {
+        let ps = PowerSplitter::new(tap, Ratio::from_db(-loss_db));
+        let (a, b) = ps.split(OpticalPower::from_milliwatts(1.0));
+        let total = a.as_milliwatts() + b.as_milliwatts();
+        prop_assert!(total <= 1.0 + 1e-12);
+        let expected = 10f64.powf(-loss_db / 10.0);
+        prop_assert!((total - expected).abs() < 1e-9);
+    }
+
+    /// Comb encoding is linear: scaling every input scales every channel.
+    #[test]
+    fn comb_encoding_is_linear(
+        values in proptest::collection::vec(0.0f64..0.5, 4),
+    ) {
+        let comb = FrequencyComb::paper_compute_grid(OpticalPower::from_milliwatts(1.0));
+        let single = comb.encode(&values);
+        let doubled: Vec<f64> = values.iter().map(|v| 2.0 * v).collect();
+        let double = comb.encode(&doubled);
+        for ch in 0..4 {
+            let ratio = double.power(ch).as_watts() / single.power(ch).as_watts().max(1e-30);
+            if single.power(ch).as_watts() > 1e-15 {
+                prop_assert!((ratio - 2.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Coupler gap ↔ coupling inversion round-trips across the design
+    /// range.
+    #[test]
+    fn coupler_round_trip(gap in 100.0f64..450.0) {
+        let t = coupler::self_coupling(gap);
+        prop_assert!((0.0..1.0).contains(&t));
+        let back = coupler::gap_for_self_coupling(t);
+        prop_assert!((back - gap).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,387 @@
+//! Multi-bit words and 2D arrays of pSRAM bitcells.
+
+use crate::{HoldPowerModel, PsramBitcell, PsramConfig, WriteEnergyModel};
+use pic_units::{ElectricalPower, Energy, Voltage};
+
+/// An n-bit weight word backed by n pSRAM bitcells, MSB first — the
+/// per-weight storage column of §II-B.
+#[derive(Debug, Clone)]
+pub struct PsramWord {
+    cells: Vec<PsramBitcell>,
+}
+
+impl PsramWord {
+    /// Creates a word of `bits` cells, all holding zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 16, or the config is invalid.
+    #[must_use]
+    pub fn new(config: PsramConfig, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "word width must be 1..=16 bits");
+        PsramWord {
+            cells: (0..bits).map(|_| PsramBitcell::new(config)).collect(),
+        }
+    }
+
+    /// Creates a word preset to `value` (cells constructed already
+    /// latched, no write transient) — the fast path for loading large
+    /// weight matrices whose write dynamics are not under study.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`PsramWord::new`], or if `value` does not fit.
+    #[must_use]
+    pub fn preset(config: PsramConfig, bits: u32, value: u32) -> Self {
+        assert!((1..=16).contains(&bits), "word width must be 1..=16 bits");
+        assert!(
+            value < (1u32 << bits),
+            "value {value} does not fit in {bits} bits"
+        );
+        let cells = (0..bits)
+            .map(|i| {
+                let bit = (value >> (bits - 1 - i)) & 1 == 1;
+                PsramBitcell::with_stored(config, bit)
+            })
+            .collect();
+        PsramWord { cells }
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    /// Stored value, or `None` if any cell is mid-transition.
+    #[must_use]
+    pub fn value(&self) -> Option<u32> {
+        let mut v = 0u32;
+        for cell in &self.cells {
+            v = (v << 1) | u32::from(cell.stored_bit()?);
+        }
+        Some(v)
+    }
+
+    /// Writes `value` by running the full optical write transient on every
+    /// cell whose bit differs. Returns the switching energy spent and the
+    /// number of cells flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the word, or any write transient
+    /// fails to latch (which would indicate a broken operating point).
+    pub fn store(&mut self, value: u32) -> (Energy, usize) {
+        assert!(
+            value < (1u32 << self.bits()),
+            "value {value} does not fit in {} bits",
+            self.bits()
+        );
+        let mut energy = Energy::ZERO;
+        let mut flips = 0;
+        let width = self.bits();
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            let bit = (value >> (width - 1 - i as u32)) & 1 == 1;
+            if cell.stored_bit() == Some(bit) {
+                continue;
+            }
+            let report = cell.write(bit);
+            assert!(report.success, "pSRAM write transient failed to latch");
+            energy += report.energy;
+            flips += 1;
+        }
+        (energy, flips)
+    }
+
+    /// The ring-drive voltages of the cells, MSB first — what the
+    /// multiplier rings of a compute column see.
+    #[must_use]
+    pub fn weight_drives(&self) -> Vec<Voltage> {
+        self.cells.iter().map(PsramBitcell::weight_drive).collect()
+    }
+
+    /// Immutable access to the backing cells, MSB first.
+    #[must_use]
+    pub fn cells(&self) -> &[PsramBitcell] {
+        &self.cells
+    }
+}
+
+/// A 2D array of n-bit pSRAM words: `rows × cols` weights, as tiled in the
+/// paper's 16×16 tensor core (768 bitcells at 3-bit precision, §IV-D).
+#[derive(Debug, Clone)]
+pub struct PsramArray {
+    config: PsramConfig,
+    bits: u32,
+    rows: usize,
+    cols: usize,
+    words: Vec<PsramWord>,
+}
+
+impl PsramArray {
+    /// Creates an all-zero array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`/`cols` are zero or word construction panics.
+    #[must_use]
+    pub fn new(config: PsramConfig, rows: usize, cols: usize, bits: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "array must be non-empty");
+        let words = (0..rows * cols)
+            .map(|_| PsramWord::new(config, bits))
+            .collect();
+        PsramArray {
+            config,
+            bits,
+            rows,
+            cols,
+            words,
+        }
+    }
+
+    /// Array rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Weight precision in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Total number of bitcells (`rows × cols × bits`).
+    #[must_use]
+    pub fn bitcell_count(&self) -> usize {
+        self.rows * self.cols * self.bits as usize
+    }
+
+    /// The word at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn word(&self, row: usize, col: usize) -> &PsramWord {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        &self.words[row * self.cols + col]
+    }
+
+    /// Mutable word access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn word_mut(&mut self, row: usize, col: usize) -> &mut PsramWord {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        &mut self.words[row * self.cols + col]
+    }
+
+    /// Writes an entire weight matrix with *row-parallel* timing: all
+    /// cells of one array row share a write slot (their WBL/WBLB pulses
+    /// fire together), rows sequence at the update rate. Returns the
+    /// switching energy, flip count, and the wall-clock write time —
+    /// `rows-with-changes × update period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`PsramArray::store_matrix`].
+    pub fn store_matrix_row_parallel(
+        &mut self,
+        matrix: &[Vec<u32>],
+    ) -> (Energy, usize, pic_units::Seconds) {
+        assert_eq!(matrix.len(), self.rows, "row count mismatch");
+        let mut energy = Energy::ZERO;
+        let mut flips = 0;
+        let mut busy_rows = 0;
+        for (r, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
+            let mut row_flipped = false;
+            for (c, &v) in row.iter().enumerate() {
+                let (e, f) = self.word_mut(r, c).store(v);
+                energy += e;
+                flips += f;
+                row_flipped |= f > 0;
+            }
+            busy_rows += usize::from(row_flipped);
+        }
+        let slot = self.config.update_rate.period().as_seconds();
+        (
+            energy,
+            flips,
+            pic_units::Seconds::from_seconds(busy_rows as f64 * slot),
+        )
+    }
+
+    /// Writes an entire weight matrix (row-major), returning total
+    /// switching energy and flip count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` dimensions do not match the array, or any value
+    /// does not fit the word width.
+    pub fn store_matrix(&mut self, matrix: &[Vec<u32>]) -> (Energy, usize) {
+        assert_eq!(matrix.len(), self.rows, "row count mismatch");
+        let mut energy = Energy::ZERO;
+        let mut flips = 0;
+        for (r, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
+            for (c, &v) in row.iter().enumerate() {
+                let (e, f) = self.word_mut(r, c).store(v);
+                energy += e;
+                flips += f;
+            }
+        }
+        (energy, flips)
+    }
+
+    /// Presets the whole array from a row-major matrix without running
+    /// write transients (see [`PsramWord::preset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch or any value does not fit.
+    pub fn preset_matrix(&mut self, matrix: &[Vec<u32>]) {
+        assert_eq!(matrix.len(), self.rows, "row count mismatch");
+        for (r, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
+            for (c, &v) in row.iter().enumerate() {
+                self.words[r * self.cols + c] = PsramWord::preset(self.config, self.bits, v);
+            }
+        }
+    }
+
+    /// Reads the whole array back as a row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word is mid-transition.
+    #[must_use]
+    pub fn read_matrix(&self) -> Vec<Vec<u32>> {
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.word(r, c).value().expect("settled word"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Static hold power of the whole array.
+    #[must_use]
+    pub fn hold_power(&self) -> ElectricalPower {
+        HoldPowerModel::new(self.config).power_for(self.bitcell_count())
+    }
+
+    /// Analytic energy for updating every cell once at the configured
+    /// update rate (big-data streaming workloads, contribution 2 of the
+    /// paper).
+    #[must_use]
+    pub fn full_refresh_energy(&self) -> Energy {
+        WriteEnergyModel::new(self.config).energy_per_switch() * self.bitcell_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PsramConfig {
+        PsramConfig::paper()
+    }
+
+    #[test]
+    fn word_round_trips_all_3bit_values() {
+        let mut w = PsramWord::new(cfg(), 3);
+        for v in 0..8 {
+            w.store(v);
+            assert_eq!(w.value(), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn store_skips_unchanged_bits() {
+        let mut w = PsramWord::new(cfg(), 3);
+        w.store(0b101);
+        let (_, flips) = w.store(0b100); // only the LSB flips
+        assert_eq!(flips, 1);
+        let (e, flips) = w.store(0b100); // nothing flips
+        assert_eq!(flips, 0);
+        assert_eq!(e, Energy::ZERO);
+    }
+
+    #[test]
+    fn word_drives_match_bits() {
+        let mut w = PsramWord::new(cfg(), 3);
+        w.store(0b110);
+        let drives = w.weight_drives();
+        assert!(drives[0].as_volts() > 0.9);
+        assert!(drives[1].as_volts() > 0.9);
+        assert!(drives[2].as_volts() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn word_rejects_overflow() {
+        let mut w = PsramWord::new(cfg(), 3);
+        w.store(8);
+    }
+
+    #[test]
+    fn paper_array_has_768_bitcells() {
+        let arr = PsramArray::new(cfg(), 16, 16, 3);
+        assert_eq!(arr.bitcell_count(), 768);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let mut arr = PsramArray::new(cfg(), 2, 3, 3);
+        let m = vec![vec![1, 7, 0], vec![5, 2, 6]];
+        let (energy, flips) = arr.store_matrix(&m);
+        assert_eq!(arr.read_matrix(), m);
+        assert!(flips > 0);
+        assert!(energy.as_picojoules() > 0.0);
+    }
+
+    #[test]
+    fn row_parallel_write_times_busy_rows_only() {
+        let mut arr = PsramArray::new(cfg(), 4, 2, 3);
+        // Change rows 0 and 2 only.
+        let m = vec![vec![5, 2], vec![0, 0], vec![7, 1], vec![0, 0]];
+        let (energy, flips, time) = arr.store_matrix_row_parallel(&m);
+        assert!(flips > 0 && energy.as_picojoules() > 0.0);
+        // Two busy rows at the 50 ps update slot.
+        assert!((time.as_picoseconds() - 100.0).abs() < 1e-9);
+        assert_eq!(arr.read_matrix(), m);
+    }
+
+    #[test]
+    fn row_parallel_write_of_unchanged_matrix_is_instant() {
+        let mut arr = PsramArray::new(cfg(), 2, 2, 3);
+        let m = vec![vec![0, 0], vec![0, 0]];
+        let (_, flips, time) = arr.store_matrix_row_parallel(&m);
+        assert_eq!(flips, 0);
+        assert_eq!(time.as_seconds(), 0.0);
+    }
+
+    #[test]
+    fn hold_power_matches_model() {
+        let arr = PsramArray::new(cfg(), 4, 4, 3);
+        let per_cell = HoldPowerModel::new(cfg()).power_per_cell().as_watts();
+        assert!((arr.hold_power().as_watts() - 48.0 * per_cell).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn array_bounds_checked() {
+        let arr = PsramArray::new(cfg(), 2, 2, 3);
+        let _ = arr.word(2, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! pSRAM bitcell configuration.
+
+use pic_units::{Capacitance, Frequency, OpticalPower, Seconds, Voltage, Wavelength};
+
+/// Electrical/optical operating parameters of a pSRAM bitcell.
+///
+/// [`PsramConfig::paper`] reproduces §IV-A: −20 dBm optical bias, 0 dBm /
+/// 50 ps write pulses, 20 GHz update rate.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PsramConfig {
+    /// Core supply voltage (the latch's logic swing).
+    pub vdd: Voltage,
+    /// Capacitance of each storage node (Q, QB).
+    pub node_capacitance: Capacitance,
+    /// CW optical bias power delivered to the input splitter PS1.
+    pub bias_power: OpticalPower,
+    /// Operating wavelength λ_IN (rings resonate here at VDD drive).
+    pub wavelength: Wavelength,
+    /// Peak optical power of a write pulse on WBL/WBLB.
+    pub write_power: OpticalPower,
+    /// Width of a write pulse.
+    pub write_pulse_width: Seconds,
+    /// Slew rate of the cross-coupling drivers D1/D2, V/s.
+    pub driver_slew_v_per_s: f64,
+    /// Co-simulation time step.
+    pub time_step: Seconds,
+    /// Memory update (write) rate.
+    pub update_rate: Frequency,
+}
+
+impl PsramConfig {
+    /// The paper's §IV-A operating point.
+    #[must_use]
+    pub fn paper() -> Self {
+        PsramConfig {
+            vdd: Voltage::from_volts(1.0),
+            node_capacitance: Capacitance::from_femtofarads(2.0),
+            bias_power: OpticalPower::from_dbm(-20.0),
+            wavelength: Wavelength::from_nanometers(pic_units::constants::O_BAND_NM),
+            write_power: OpticalPower::from_dbm(0.0),
+            write_pulse_width: Seconds::from_picoseconds(50.0),
+            driver_slew_v_per_s: 1.0e11, // full swing in 10 ps
+            time_step: Seconds::from_picoseconds(0.25),
+            update_rate: Frequency::from_gigahertz(20.0),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive, or if the write power does
+    /// not exceed the bias power (the paper's write condition, §II-A).
+    pub fn validate(&self) {
+        assert!(self.vdd.as_volts() > 0.0, "VDD must be positive");
+        assert!(
+            self.node_capacitance.as_farads() > 0.0,
+            "node capacitance must be positive"
+        );
+        assert!(
+            self.bias_power.as_watts() > 0.0,
+            "optical bias must be positive (the latch needs light to hold)"
+        );
+        assert!(
+            self.write_power.as_watts() > self.bias_power.as_watts(),
+            "write optical power must exceed the input bias power for a \
+             successful data flip (paper §II-A)"
+        );
+        assert!(
+            self.write_pulse_width.as_seconds() > 0.0,
+            "write pulse width must be positive"
+        );
+        assert!(self.driver_slew_v_per_s > 0.0, "driver slew must be positive");
+        assert!(self.time_step.as_seconds() > 0.0, "time step must be positive");
+        assert!(
+            self.update_rate.as_hertz() > 0.0,
+            "update rate must be positive"
+        );
+        assert!(
+            self.write_pulse_width.as_seconds() <= self.update_rate.period().as_seconds(),
+            "write pulse must fit within one update period"
+        );
+    }
+}
+
+impl Default for PsramConfig {
+    fn default() -> Self {
+        PsramConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        PsramConfig::paper().validate();
+    }
+
+    #[test]
+    fn paper_write_window_matches_update_rate() {
+        let c = PsramConfig::paper();
+        // 20 GHz → 50 ps period, exactly one write pulse wide.
+        assert!((c.update_rate.period().as_picoseconds() - 50.0).abs() < 1e-9);
+        assert!(
+            c.write_pulse_width.as_seconds() <= c.update_rate.period().as_seconds()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the input bias")]
+    fn rejects_weak_write_power() {
+        let mut c = PsramConfig::paper();
+        c.write_power = OpticalPower::from_dbm(-30.0);
+        c.validate();
+    }
+}

@@ -1,0 +1,137 @@
+//! Analytic energy/power models for the pSRAM (§IV-A).
+
+use crate::PsramConfig;
+use pic_units::{ElectricalPower, Energy};
+
+/// pn-junction capacitance presented by each ring to its driver, fF.
+pub const RING_JUNCTION_CAPACITANCE_FF: f64 = 12.0;
+
+/// Closed-form model of the energy of one pSRAM switching event,
+/// mirroring exactly what [`crate::PsramBitcell::write`] meters:
+///
+/// * both differential write-line lasers armed for the pulse width, at
+///   wall plug;
+/// * the bias laser (wall plug) over pulse + settle window;
+/// * `CV²` on both storage nodes and both ring junctions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteEnergyModel {
+    config: PsramConfig,
+}
+
+impl WriteEnergyModel {
+    /// Creates the model for a configuration.
+    #[must_use]
+    pub fn new(config: PsramConfig) -> Self {
+        config.validate();
+        WriteEnergyModel { config }
+    }
+
+    /// Energy of the write lasers (both lines armed) per switching event.
+    #[must_use]
+    pub fn laser_energy(&self) -> Energy {
+        let one_line = self
+            .config
+            .write_power
+            .wall_plug_power_default()
+            .energy_over(self.config.write_pulse_width);
+        one_line * 2.0
+    }
+
+    /// Bias-laser energy over one write window (pulse + settle period).
+    #[must_use]
+    pub fn bias_energy(&self) -> Energy {
+        let window = pic_units::Seconds::from_seconds(
+            self.config.write_pulse_width.as_seconds()
+                + self.config.update_rate.period().as_seconds(),
+        );
+        self.config
+            .bias_power
+            .wall_plug_power_default()
+            .energy_over(window)
+    }
+
+    /// Electrical `CV²` on the storage nodes and ring junctions (two of
+    /// each transition per flip).
+    #[must_use]
+    pub fn switching_cv2(&self) -> Energy {
+        let node = self.config.node_capacitance.stored_energy(self.config.vdd) * 4.0;
+        let ring = pic_units::Capacitance::from_femtofarads(RING_JUNCTION_CAPACITANCE_FF)
+            .stored_energy(self.config.vdd)
+            * 4.0;
+        node + ring
+    }
+
+    /// Total per-switch energy — the paper's headline 0.5 pJ (§IV-A).
+    #[must_use]
+    pub fn energy_per_switch(&self) -> Energy {
+        self.laser_energy() + self.bias_energy() + self.switching_cv2()
+    }
+}
+
+/// Static power of a holding bitcell: the CW bias laser at wall plug plus
+/// photocurrent drawn from the supply by the conducting pull-up photodiode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldPowerModel {
+    config: PsramConfig,
+}
+
+impl HoldPowerModel {
+    /// Creates the model for a configuration.
+    #[must_use]
+    pub fn new(config: PsramConfig) -> Self {
+        config.validate();
+        HoldPowerModel { config }
+    }
+
+    /// Hold power per bitcell.
+    #[must_use]
+    pub fn power_per_cell(&self) -> ElectricalPower {
+        let laser = self.config.bias_power.wall_plug_power_default();
+        // One pull-up PD conducts roughly half the bias power's worth of
+        // photocurrent from VDD in steady state.
+        let responsivity = pic_photonics::calib::PHOTODIODE_RESPONSIVITY_A_PER_W;
+        let i = (self.config.bias_power * 0.5).photocurrent(responsivity);
+        laser + self.config.vdd * i
+    }
+
+    /// Hold power of an array of `cells` bitcells.
+    #[must_use]
+    pub fn power_for(&self, cells: usize) -> ElectricalPower {
+        self.power_per_cell() * cells as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_switch_energy_is_half_picojoule_class() {
+        let e = WriteEnergyModel::new(PsramConfig::paper()).energy_per_switch();
+        let pj = e.as_picojoules();
+        assert!(pj > 0.35 && pj < 0.65, "analytic per-switch energy {pj} pJ");
+    }
+
+    #[test]
+    fn laser_term_dominates() {
+        let m = WriteEnergyModel::new(PsramConfig::paper());
+        assert!(m.laser_energy().as_joules() > m.switching_cv2().as_joules());
+        assert!(m.laser_energy().as_joules() > m.bias_energy().as_joules());
+    }
+
+    #[test]
+    fn hold_power_is_tens_of_microwatts() {
+        let p = HoldPowerModel::new(PsramConfig::paper()).power_per_cell();
+        let uw = p.as_microwatts();
+        // −20 dBm / 0.23 ≈ 43.5 µW dominates.
+        assert!(uw > 40.0 && uw < 60.0, "hold power {uw} µW");
+    }
+
+    #[test]
+    fn array_hold_power_scales_linearly() {
+        let m = HoldPowerModel::new(PsramConfig::paper());
+        let one = m.power_per_cell().as_watts();
+        let many = m.power_for(768).as_watts();
+        assert!((many - 768.0 * one).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! Differential cross-coupled photonic SRAM (pSRAM).
+//!
+//! Implements the bitcell of Fig. 1: two microrings (M1/M2) and four
+//! photodiodes (P1–P4) arranged so that each storage node (Q, QB) sits
+//! between a pull-up and a pull-down photodiode, and each node drives the
+//! *other* ring's pn junction through an electrical driver — a positive
+//! feedback loop held up by an optical bias and torn over by differential
+//! optical write pulses on WBL/WBLB.
+//!
+//! Paper headline behaviour reproduced here:
+//!
+//! * hold stability while optical + electrical bias persist (§II-A);
+//! * optical writes with 50 ps, 0 dBm pulses against a −20 dBm bias
+//!   (§IV-A, Fig. 5);
+//! * 20 GHz update rate at ≈0.5 pJ per switching event (§IV-A).
+//!
+//! # Example
+//!
+//! ```
+//! use pic_psram::{PsramBitcell, PsramConfig};
+//!
+//! let mut cell = PsramBitcell::new(PsramConfig::paper());
+//! let report = cell.write(true);
+//! assert!(report.success);
+//! assert_eq!(cell.stored_bit(), Some(true));
+//! let report = cell.write(false);
+//! assert!(report.success);
+//! assert_eq!(cell.stored_bit(), Some(false));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod array;
+mod bitcell;
+mod config;
+mod energy;
+pub mod margins;
+pub mod stability;
+
+pub use array::{PsramArray, PsramWord};
+pub use bitcell::{PsramBitcell, WriteReport};
+pub use config::PsramConfig;
+pub use energy::{HoldPowerModel, WriteEnergyModel};

@@ -1,0 +1,321 @@
+//! Write-margin, disturb and retention analysis of the pSRAM bitcell.
+//!
+//! The paper states the write condition qualitatively ("the write optical
+//! power must exceed the input bias laser power for successful data
+//! flipping", §II-A) and the hold condition ("as long as both the optical
+//! bias and electrical bias are maintained"). This module measures both:
+//!
+//! * the **minimum flip power** — the smallest one-sided optical pulse
+//!   that overturns the latch (bisection over the full write transient);
+//! * the **disturb margin** — how much stray light a *hold*-state line can
+//!   tolerate (pulses below the flip threshold must never corrupt data);
+//! * **retention after bias loss** — how long stored data survives a bias
+//!   laser dropout before the dark-current droop erases it.
+
+use crate::{PsramBitcell, PsramConfig};
+use pic_units::{OpticalPower, Seconds};
+
+/// Result of the write/disturb margin analysis.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MarginReport {
+    /// Smallest pulse power that flips the cell, W.
+    pub minimum_flip_power_w: f64,
+    /// Largest pulse power a held cell settles back from, W. Between this
+    /// and the flip threshold lies a metastable band where the outcome is
+    /// indeterminate within one update period.
+    pub maximum_safe_disturb_w: f64,
+    /// Nominal write power over minimum flip power.
+    pub write_margin: f64,
+    /// Minimum flip power over bias power (the paper requires > 1).
+    pub flip_over_bias: f64,
+}
+
+/// Finds the smallest one-sided pulse (at the configured width) that flips
+/// a cell holding `false` to `true`, by bisection over the full transient.
+///
+/// # Panics
+///
+/// Panics if the nominal write power itself fails to flip the cell (a
+/// broken operating point).
+#[must_use]
+pub fn minimum_flip_power(config: PsramConfig) -> OpticalPower {
+    let flips = |power: OpticalPower| -> bool {
+        let mut cell = PsramBitcell::with_stored(config, false);
+        cell.apply_pulse(true, power, config.write_pulse_width) == Some(true)
+    };
+    assert!(
+        flips(config.write_power),
+        "nominal write power must flip the cell"
+    );
+
+    let (mut lo, mut hi) = (0.0f64, config.write_power.as_watts());
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if flips(OpticalPower::from_watts(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    OpticalPower::from_watts(hi)
+}
+
+/// Largest disturb pulse a holding cell reliably settles back from, found
+/// by bisection below the flip threshold.
+#[must_use]
+pub fn maximum_safe_disturb(config: PsramConfig) -> OpticalPower {
+    let ceiling = minimum_flip_power(config).as_watts();
+    let (mut lo, mut hi) = (0.0f64, ceiling);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if survives_disturb(config, OpticalPower::from_watts(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    OpticalPower::from_watts(lo)
+}
+
+/// Full margin analysis at a configuration.
+#[must_use]
+pub fn margin_report(config: PsramConfig) -> MarginReport {
+    let min_flip = minimum_flip_power(config);
+    let safe = maximum_safe_disturb(config);
+    MarginReport {
+        minimum_flip_power_w: min_flip.as_watts(),
+        maximum_safe_disturb_w: safe.as_watts(),
+        write_margin: config.write_power.as_watts() / min_flip.as_watts(),
+        flip_over_bias: min_flip.as_watts() / config.bias_power.as_watts(),
+    }
+}
+
+/// `true` if a disturb pulse of `power` on the *opposing* line (WBLB while
+/// the cell holds `true`) fails to corrupt the cell — it should, for any
+/// power below the flip threshold.
+#[must_use]
+pub fn survives_disturb(config: PsramConfig, power: OpticalPower) -> bool {
+    let mut cell = PsramBitcell::with_stored(config, true);
+    // Pulse pushes toward `false`; survival means still `true` after.
+    cell.apply_pulse(false, power, config.write_pulse_width) == Some(true)
+}
+
+/// How long stored data survives a total bias-laser dropout.
+///
+/// With the light off, the photodiodes only conduct their dark current;
+/// the high node droops toward ground at `I_dark / C_node` until it can no
+/// longer win the restore when light returns. Returns the longest dropout
+/// (bisection) after which the cell still holds its data once the bias is
+/// restored for ten update periods.
+#[must_use]
+pub fn bias_loss_retention(config: PsramConfig) -> Seconds {
+    let survives = |dropout: Seconds| -> bool {
+        // Dark interval: no optical input at all. The balanced dark
+        // currents cancel in the ideal model; apply the physical droop
+        // explicitly — the high node leaks its charge through the
+        // reverse-biased pull-down junction at the dark-current rate.
+        let dark = pic_units::Current::from_amps(pic_photonics::calib::PHOTODIODE_DARK_CURRENT_A);
+        let droop = config.node_capacitance.voltage_delta(dark, dropout);
+        let vq = (config.vdd - droop).max(pic_units::Voltage::ZERO);
+
+        // Resume from the drooped state with the light restored and let
+        // the feedback loop settle; survival = the original bit returns.
+        let mut cell = PsramBitcell::with_stored(config, true);
+        cell.set_node_voltages(vq, pic_units::Voltage::ZERO);
+        let dt = config.time_step;
+        let settle_steps = (10.0 * config.update_rate.period().as_seconds()
+            / dt.as_seconds()) as usize;
+        for _ in 0..settle_steps {
+            cell.step(OpticalPower::ZERO, OpticalPower::ZERO, dt);
+        }
+        cell.stored_bit() == Some(true)
+    };
+
+    let (mut lo, mut hi) = (Seconds::ZERO, Seconds::from_nanoseconds(2000.0));
+    if survives(hi) {
+        return hi; // retention beyond the search window
+    }
+    for _ in 0..40 {
+        let mid = Seconds::from_seconds(0.5 * (lo.as_seconds() + hi.as_seconds()));
+        if survives(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// One point of the write-speed characterisation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WriteSpeedPoint {
+    /// Pulse power, W.
+    pub power_w: f64,
+    /// Time for the rising node to cross VDD/2, seconds (`NaN` if the
+    /// pulse failed to flip the cell).
+    pub switch_time_s: f64,
+    /// Whether the cell latched the new value.
+    pub flipped: bool,
+}
+
+/// Sweeps the write-pulse power and records the switching time at each
+/// point — the curve behind the 20 GHz update-rate claim: at the nominal
+/// 0 dBm drive the flip completes in a small fraction of the 50 ps slot.
+///
+/// # Panics
+///
+/// Panics if `powers` is empty.
+#[must_use]
+pub fn write_speed_profile(config: PsramConfig, powers: &[OpticalPower]) -> Vec<WriteSpeedPoint> {
+    assert!(!powers.is_empty(), "need at least one power point");
+    powers
+        .iter()
+        .map(|&p| {
+            let mut cell = PsramBitcell::with_stored(config, false);
+            let before = cell.q_voltage();
+            debug_assert!(before.as_volts() < 0.1);
+            // Drive and watch the transient directly for the crossing.
+            let dt = config.time_step;
+            let total = config.write_pulse_width.as_seconds()
+                + config.update_rate.period().as_seconds();
+            let steps = (total / dt.as_seconds()).ceil() as usize;
+            let mut switch_time = f64::NAN;
+            for i in 0..steps {
+                let t = i as f64 * dt.as_seconds();
+                let pulse_on = t < config.write_pulse_width.as_seconds();
+                cell.step(
+                    if pulse_on { p } else { OpticalPower::ZERO },
+                    OpticalPower::ZERO,
+                    dt,
+                );
+                if switch_time.is_nan()
+                    && cell.q_voltage().as_volts() > 0.5 * config.vdd.as_volts()
+                {
+                    switch_time = t + dt.as_seconds();
+                }
+            }
+            let flipped = cell.stored_bit() == Some(true);
+            WriteSpeedPoint {
+                power_w: p.as_watts(),
+                switch_time_s: if flipped { switch_time } else { f64::NAN },
+                flipped,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PsramConfig {
+        PsramConfig::paper()
+    }
+
+    #[test]
+    fn stronger_pulses_flip_faster() {
+        let powers: Vec<OpticalPower> = [0.1, 0.3, 1.0]
+            .iter()
+            .map(|&mw| OpticalPower::from_milliwatts(mw))
+            .collect();
+        let profile = write_speed_profile(cfg(), &powers);
+        assert!(profile.iter().all(|p| p.flipped));
+        for w in profile.windows(2) {
+            assert!(
+                w[1].switch_time_s < w[0].switch_time_s,
+                "more power must flip faster: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_drive_flips_in_a_fraction_of_the_slot() {
+        let profile = write_speed_profile(cfg(), &[cfg().write_power]);
+        let t = profile[0].switch_time_s;
+        assert!(profile[0].flipped);
+        assert!(
+            t < 0.2 * cfg().update_rate.period().as_seconds(),
+            "nominal flip takes {t} s of the 50 ps slot"
+        );
+    }
+
+    #[test]
+    fn sub_threshold_points_report_no_flip() {
+        let profile =
+            write_speed_profile(cfg(), &[OpticalPower::from_microwatts(20.0)]);
+        assert!(!profile[0].flipped);
+        assert!(profile[0].switch_time_s.is_nan());
+    }
+
+    #[test]
+    fn paper_write_condition_holds() {
+        // §II-A: flipping requires more optical power than the bias.
+        let report = margin_report(cfg());
+        assert!(
+            report.flip_over_bias > 1.0,
+            "flip threshold {}× bias must exceed 1",
+            report.flip_over_bias
+        );
+    }
+
+    #[test]
+    fn nominal_write_has_generous_margin() {
+        // 0 dBm against a −20 dBm bias: the flip threshold sits far below
+        // the nominal drive.
+        let report = margin_report(cfg());
+        assert!(
+            report.write_margin > 5.0,
+            "write margin {} too thin",
+            report.write_margin
+        );
+    }
+
+    #[test]
+    fn sub_threshold_disturb_is_harmless() {
+        let safe = maximum_safe_disturb(cfg());
+        for frac in [0.1, 0.5, 0.95] {
+            let p = OpticalPower::from_watts(safe.as_watts() * frac);
+            assert!(
+                survives_disturb(cfg(), p),
+                "disturb at {frac}× the safe ceiling corrupted the cell"
+            );
+        }
+    }
+
+    #[test]
+    fn metastable_band_is_narrow() {
+        // Between "settles back" and "cleanly flips" lies an indeterminate
+        // band; it should be a small fraction of the flip threshold.
+        let report = margin_report(cfg());
+        let band = report.minimum_flip_power_w - report.maximum_safe_disturb_w;
+        assert!(band >= 0.0, "thresholds out of order");
+        // Measured ≈28 % at the paper's operating point: the one-update-
+        // period settle window (50 ps) only lets the µW-scale bias restore
+        // a fraction of the swing, so near-threshold outcomes stay
+        // indeterminate. A longer settle narrows the band.
+        assert!(
+            band / report.minimum_flip_power_w < 0.4,
+            "metastable band spans {} of the flip threshold",
+            band / report.minimum_flip_power_w
+        );
+    }
+
+    #[test]
+    fn above_threshold_pulse_flips() {
+        let min_flip = minimum_flip_power(cfg());
+        assert!(
+            !survives_disturb(cfg(), OpticalPower::from_watts(min_flip.as_watts() * 1.5)),
+            "a pulse 1.5× the flip threshold must overturn the latch"
+        );
+    }
+
+    #[test]
+    fn retention_is_finite_but_spans_many_cycles() {
+        let t = bias_loss_retention(cfg());
+        let cycles = t.as_seconds() / cfg().update_rate.period().as_seconds();
+        assert!(
+            cycles > 100.0,
+            "retention should cover many update periods, got {cycles}"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Static stability analysis of the pSRAM latch.
+//!
+//! The cross-coupled electro-optic loop can be analysed like an SRAM
+//! butterfly plot: each half of the latch is a voltage transfer curve (VTC)
+//! from one storage node, through a driver, a ring and a photodiode pair,
+//! onto the other node. For a continuous curve we load each node with a
+//! small linear conductance (models PD shunt/leakage), so the node settles
+//! where photocurrent balances leakage instead of slamming to a rail.
+//!
+//! The static noise margin (SNM) is found with the usual maximum-square
+//! method between the two mirrored VTCs.
+
+use crate::PsramConfig;
+use pic_photonics::{Mrr, OperatingPoint, Photodiode};
+use pic_units::Voltage;
+
+/// Node load conductance used to continuise the VTC, siemens.
+///
+/// The −20 dBm bias yields ≈4.4 µA of full-scale differential
+/// photocurrent; 5 µS turns that into just under a rail-to-rail swing.
+const NODE_LOAD_SIEMENS: f64 = 5.0e-6;
+
+/// One half-latch VTC: voltage that the *output* node settles to when the
+/// *input* node is held at `v_in`.
+///
+/// The input node drives a ring (through its slew-limited driver, taken at
+/// DC ⇒ rail decision at VDD/2 with a linear transition band of ±10 % VDD
+/// around it to keep the curve continuous); the ring steers bias light
+/// between the output node's pull-up and pull-down photodiodes.
+#[must_use]
+pub fn half_latch_vtc(config: &PsramConfig, v_in: Voltage) -> Voltage {
+    config.validate();
+    let ring = Mrr::compute_ring_design()
+        .resonant_at(config.wavelength, config.vdd)
+        .build();
+    let pd = Photodiode::gf45spclo();
+    let vdd = config.vdd.as_volts();
+
+    // DC driver: rail decision with a narrow linear band (driver gain ≈ 5).
+    let x = (v_in.as_volts() - 0.5 * vdd) / (0.2 * vdd) + 0.5;
+    let v_ring = Voltage::from_volts((x * vdd).clamp(0.0, vdd));
+
+    let half_bias = config.bias_power * 0.5;
+    let op = OperatingPoint::at_voltage(v_ring);
+    // Output node: thru → pull-up PD, drop → pull-down PD (the M2→Q path).
+    let up = pd.photocurrent(half_bias * ring.thru_transmission(config.wavelength, op));
+    let down = pd.photocurrent(half_bias * ring.drop_transmission(config.wavelength, op));
+    let v = 0.5 * vdd + (up - down).as_amps() / NODE_LOAD_SIEMENS;
+    Voltage::from_volts(v.clamp(0.0, vdd))
+}
+
+/// Samples both butterfly lobes: returns `(v, F(v), F⁻¹ lobe)` triples
+/// where `F` is the half-latch VTC. With two identical halves, the second
+/// lobe is the mirror of the first.
+#[must_use]
+pub fn butterfly(config: &PsramConfig, points: usize) -> Vec<(f64, f64, f64)> {
+    assert!(points >= 2, "need at least two points");
+    let vdd = config.vdd.as_volts();
+    (0..points)
+        .map(|i| {
+            let v = vdd * i as f64 / (points - 1) as f64;
+            let fwd = half_latch_vtc(config, Voltage::from_volts(v)).as_volts();
+            // The mirrored lobe swaps the axes of the same curve.
+            (v, fwd, v)
+        })
+        .collect()
+}
+
+/// Static noise margin by the maximum-square method: the side of the
+/// largest axis-aligned square inscribed in a butterfly eye.
+///
+/// The eye is bounded by curve A (`y = F(x)`) and its mirror, curve B
+/// (`y = F⁻¹(x)`). A maximal square has its bottom-left corner on B and its
+/// top-right corner on A: for each `x₁`, take `y₁ = F⁻¹(x₁)` and grow `s`
+/// until `y₁ + s` meets the (decreasing) `F(x₁ + s)`.
+#[must_use]
+pub fn static_noise_margin(config: &PsramConfig) -> Voltage {
+    let n = 801usize;
+    let vdd = config.vdd.as_volts();
+    let grid: Vec<f64> = (0..n).map(|i| vdd * i as f64 / (n - 1) as f64).collect();
+    let f: Vec<f64> = grid
+        .iter()
+        .map(|&v| half_latch_vtc(config, Voltage::from_volts(v)).as_volts())
+        .collect();
+
+    let interp_f = |x: f64| -> f64 {
+        let pos = (x / vdd * (n - 1) as f64).clamp(0.0, (n - 1) as f64);
+        let i = pos.floor() as usize;
+        if i + 1 >= n {
+            return f[n - 1];
+        }
+        let frac = pos - i as f64;
+        f[i] * (1.0 - frac) + f[i + 1] * frac
+    };
+    // F is monotone decreasing; invert by scanning for the crossing.
+    let f_inverse = |y: f64| -> Option<f64> {
+        for i in 0..n - 1 {
+            if (f[i] - y) * (f[i + 1] - y) <= 0.0 {
+                let denom = f[i + 1] - f[i];
+                if denom.abs() < 1e-15 {
+                    return Some(grid[i]);
+                }
+                return Some(grid[i] + (y - f[i]) * (grid[i + 1] - grid[i]) / denom);
+            }
+        }
+        None
+    };
+
+    let ds = vdd / n as f64;
+    let mut best = 0.0f64;
+    for &x1 in &grid {
+        let Some(y1) = f_inverse(x1) else { continue };
+        let mut s = 0.0;
+        while x1 + s <= vdd && interp_f(x1 + s) > y1 + s {
+            s += ds;
+        }
+        if s > ds {
+            best = best.max(s - ds);
+        }
+    }
+    Voltage::from_volts(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PsramConfig {
+        PsramConfig::paper()
+    }
+
+    #[test]
+    fn vtc_is_inverting() {
+        // Input high → ring resonant → thru dark → output pulled low.
+        let lo = half_latch_vtc(&cfg(), Voltage::from_volts(1.0));
+        let hi = half_latch_vtc(&cfg(), Voltage::from_volts(0.0));
+        assert!(lo.as_volts() < 0.2, "high input gives low output, got {lo}");
+        assert!(hi.as_volts() > 0.8, "low input gives high output, got {hi}");
+    }
+
+    #[test]
+    fn vtc_endpoints_are_rails() {
+        let c = cfg();
+        let vdd = c.vdd.as_volts();
+        let out0 = half_latch_vtc(&c, Voltage::ZERO).as_volts();
+        let out1 = half_latch_vtc(&c, c.vdd).as_volts();
+        assert!(out0 > 0.9 * vdd && out1 < 0.1 * vdd);
+    }
+
+    #[test]
+    fn butterfly_has_three_crossings_structure() {
+        // Inverting curve crossing the diagonal exactly once (the
+        // metastable point) — together with its mirror that yields the
+        // classic two stable + one metastable structure.
+        let pts = butterfly(&cfg(), 101);
+        let crossings = pts
+            .windows(2)
+            .filter(|w| (w[0].1 - w[0].0) * (w[1].1 - w[1].0) <= 0.0)
+            .count();
+        assert_eq!(crossings, 1, "expected a single diagonal crossing");
+    }
+
+    #[test]
+    fn snm_is_a_healthy_fraction_of_vdd() {
+        let snm = static_noise_margin(&cfg());
+        let frac = snm.as_volts() / cfg().vdd.as_volts();
+        assert!(
+            frac > 0.15 && frac < 0.6,
+            "SNM {frac} of VDD outside the plausible latch range"
+        );
+    }
+
+    #[test]
+    fn weaker_bias_light_reduces_snm() {
+        let strong = static_noise_margin(&cfg());
+        let mut weak_cfg = cfg();
+        weak_cfg.bias_power = pic_units::OpticalPower::from_dbm(-32.0);
+        let weak = static_noise_margin(&weak_cfg);
+        assert!(
+            weak.as_volts() < strong.as_volts(),
+            "less light must mean less restoring margin ({weak} vs {strong})"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Waveform analysis: edges, settling, swing classification.
+
+use crate::Waveform;
+use pic_units::Seconds;
+
+/// 10–90 % rise time of the first rising edge, if one exists.
+///
+/// `lo` and `hi` are the logical rail values the edge transitions between.
+#[must_use]
+pub fn rise_time(wf: &Waveform, lo: f64, hi: f64) -> Option<Seconds> {
+    let t10 = lo + 0.1 * (hi - lo);
+    let t90 = lo + 0.9 * (hi - lo);
+    let i10 = wf.first_rising_crossing(t10)?;
+    let rest = Waveform::new(wf.dt(), wf.samples()[i10..].to_vec());
+    let i90 = rest.first_rising_crossing(t90)?;
+    Some(Seconds::from_seconds(i90 as f64 * wf.dt().as_seconds()))
+}
+
+/// 90–10 % fall time of the first falling edge, if one exists.
+#[must_use]
+pub fn fall_time(wf: &Waveform, lo: f64, hi: f64) -> Option<Seconds> {
+    let t90 = lo + 0.9 * (hi - lo);
+    let t10 = lo + 0.1 * (hi - lo);
+    let i90 = wf.first_falling_crossing(t90)?;
+    let rest = Waveform::new(wf.dt(), wf.samples()[i90..].to_vec());
+    let i10 = rest.first_falling_crossing(t10)?;
+    Some(Seconds::from_seconds(i10 as f64 * wf.dt().as_seconds()))
+}
+
+/// Time at which the waveform last leaves the ±`tolerance` band around its
+/// final value — i.e. the settling instant.
+#[must_use]
+pub fn settling_time(wf: &Waveform, tolerance: f64) -> Seconds {
+    let target = wf.final_value();
+    let last_out = wf
+        .samples()
+        .iter()
+        .rposition(|&v| (v - target).abs() > tolerance)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    Seconds::from_seconds(last_out as f64 * wf.dt().as_seconds())
+}
+
+/// `true` if, after `from`, the waveform stays within `tolerance` of `level`.
+#[must_use]
+pub fn holds_level(wf: &Waveform, from: Seconds, level: f64, tolerance: f64) -> bool {
+    let start = (from.as_seconds() / wf.dt().as_seconds()).ceil() as usize;
+    if start >= wf.len() {
+        return false;
+    }
+    wf.samples()[start..]
+        .iter()
+        .all(|&v| (v - level).abs() <= tolerance)
+}
+
+/// Classifies the final sample as logic 0/1 against the given rails,
+/// returning `None` for a mid-rail (metastable) value.
+///
+/// A value is a valid logic level when it sits within 30 % of a rail, the
+/// usual VIL/VIH static-discipline split.
+#[must_use]
+pub fn logic_level(value: f64, vss: f64, vdd: f64) -> Option<bool> {
+    let x = (value - vss) / (vdd - vss);
+    if x <= 0.3 {
+        Some(false)
+    } else if x >= 0.7 {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+/// Peak-to-peak swing of the waveform.
+#[must_use]
+pub fn swing(wf: &Waveform) -> f64 {
+    wf.max_value() - wf.min_value()
+}
+
+/// Root-mean-square deviation between two equally sampled waveforms.
+///
+/// # Panics
+///
+/// Panics if the waveforms differ in length.
+#[must_use]
+pub fn rms_error(a: &Waveform, b: &Waveform) -> f64 {
+    assert_eq!(a.len(), b.len(), "waveform lengths differ");
+    let sum: f64 = a
+        .samples()
+        .iter()
+        .zip(b.samples())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn ps(v: f64) -> Seconds {
+        Seconds::from_picoseconds(v)
+    }
+
+    #[test]
+    fn rise_time_of_rc_edge() {
+        // Exponential charge toward 1.0 with τ = 10 ps.
+        let wf = Waveform::from_fn(ps(0.1), 1000, |t| 1.0 - (-t.as_picoseconds() / 10.0).exp());
+        let tr = rise_time(&wf, 0.0, 1.0).expect("edge exists");
+        // Analytic 10–90 % rise time of an RC is 2.197 τ ≈ 22 ps.
+        assert!((tr.as_picoseconds() - 22.0).abs() < 1.0, "{tr}");
+    }
+
+    #[test]
+    fn fall_time_detected() {
+        let wf = Waveform::from_fn(ps(0.1), 1000, |t| (-t.as_picoseconds() / 10.0).exp());
+        let tf = fall_time(&wf, 0.0, 1.0).expect("edge exists");
+        assert!((tf.as_picoseconds() - 22.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn settling_time_of_step() {
+        let wf = generate::step(ps(1.0), ps(100.0), ps(40.0), 0.0, 1.0);
+        let ts = settling_time(&wf, 0.01);
+        assert!((ts.as_picoseconds() - 40.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn holds_level_checks_tail() {
+        let wf = generate::step(ps(1.0), ps(100.0), ps(40.0), 0.0, 1.0);
+        assert!(holds_level(&wf, ps(50.0), 1.0, 0.01));
+        assert!(!holds_level(&wf, ps(10.0), 1.0, 0.01));
+    }
+
+    #[test]
+    fn logic_levels() {
+        assert_eq!(logic_level(0.1, 0.0, 1.0), Some(false));
+        assert_eq!(logic_level(0.95, 0.0, 1.0), Some(true));
+        assert_eq!(logic_level(0.5, 0.0, 1.0), None);
+    }
+
+    #[test]
+    fn rms_error_zero_for_identical() {
+        let wf = generate::ramp(ps(1.0), ps(10.0), 0.0, 1.0);
+        assert_eq!(rms_error(&wf, &wf), 0.0);
+    }
+}

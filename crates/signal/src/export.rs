@@ -1,0 +1,191 @@
+//! CSV export of waveforms and spectra for external plotting.
+//!
+//! The figure-regeneration binaries print summary tables, but the paper's
+//! artefacts are *plots*; these helpers dump the full traces so any
+//! plotting tool can redraw them.
+
+use crate::{Spectrum, Waveform};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes a set of equally-sampled waveforms as CSV: a time column
+/// (seconds) followed by one named column per trace.
+///
+/// # Errors
+///
+/// Returns any I/O error; also fails if the traces differ in length or
+/// sample period.
+pub fn write_waveforms_csv(
+    path: &Path,
+    traces: &[(&str, &Waveform)],
+) -> std::io::Result<()> {
+    let Some((_, first)) = traces.first() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "no traces to export",
+        ));
+    };
+    for (name, wf) in traces {
+        if wf.len() != first.len()
+            || (wf.dt().as_seconds() - first.dt().as_seconds()).abs() > 1e-18
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("trace '{name}' is not on the shared time base"),
+            ));
+        }
+    }
+
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "time_s")?;
+    for (name, _) in traces {
+        write!(f, ",{name}")?;
+    }
+    writeln!(f)?;
+    for i in 0..first.len() {
+        write!(f, "{:e}", first.time_of(i).as_seconds())?;
+        for (_, wf) in traces {
+            write!(f, ",{:e}", wf.samples()[i])?;
+        }
+        writeln!(f)?;
+    }
+    f.flush()
+}
+
+/// Writes a set of spectra sharing one wavelength grid as CSV: a
+/// wavelength column (nm) followed by one named column per spectrum.
+///
+/// # Errors
+///
+/// Returns any I/O error; fails on mismatched grids.
+pub fn write_spectra_csv(path: &Path, spectra: &[(&str, &Spectrum)]) -> std::io::Result<()> {
+    let Some((_, first)) = spectra.first() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "no spectra to export",
+        ));
+    };
+    for (name, sp) in spectra {
+        if sp.len() != first.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("spectrum '{name}' is not on the shared grid"),
+            ));
+        }
+    }
+
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "wavelength_nm")?;
+    for (name, _) in spectra {
+        write!(f, ",{name}")?;
+    }
+    writeln!(f)?;
+    for i in 0..first.len() {
+        write!(f, "{:.6}", first.wavelength_of(i).as_nanometers())?;
+        for (_, sp) in spectra {
+            write!(f, ",{:e}", sp.values()[i])?;
+        }
+        writeln!(f)?;
+    }
+    f.flush()
+}
+
+/// Writes generic `(x, columns…)` rows as CSV — for sweeps that are
+/// neither time- nor wavelength-based (e.g. voltage sweeps).
+///
+/// # Errors
+///
+/// Returns any I/O error; fails on ragged rows.
+pub fn write_xy_csv(
+    path: &Path,
+    x_name: &str,
+    col_names: &[&str],
+    rows: &[(f64, Vec<f64>)],
+) -> std::io::Result<()> {
+    for (x, cols) in rows {
+        if cols.len() != col_names.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("row at x={x} has {} columns, expected {}", cols.len(), col_names.len()),
+            ));
+        }
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "{x_name}")?;
+    for name in col_names {
+        write!(f, ",{name}")?;
+    }
+    writeln!(f)?;
+    for (x, cols) in rows {
+        write!(f, "{x:e}")?;
+        for c in cols {
+            write!(f, ",{c:e}")?;
+        }
+        writeln!(f)?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_units::{Seconds, Wavelength};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pic_signal_export_{name}.csv"))
+    }
+
+    #[test]
+    fn waveform_csv_round_trip() {
+        let dt = Seconds::from_picoseconds(1.0);
+        let a = Waveform::new(dt, vec![0.0, 1.0, 2.0]);
+        let b = Waveform::new(dt, vec![3.0, 4.0, 5.0]);
+        let path = tmp("wf");
+        write_waveforms_csv(&path, &[("a", &a), ("b", &b)]).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains(",1e0,4e0"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn waveform_csv_rejects_mismatched_traces() {
+        let a = Waveform::new(Seconds::from_picoseconds(1.0), vec![0.0; 3]);
+        let b = Waveform::new(Seconds::from_picoseconds(1.0), vec![0.0; 4]);
+        let err = write_waveforms_csv(&tmp("bad"), &[("a", &a), ("b", &b)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn spectrum_csv_has_grid_column() {
+        let sp = Spectrum::sample(
+            Wavelength::from_nanometers(1310.0),
+            Wavelength::from_nanometers(1311.0),
+            3,
+            |_| 0.5,
+        );
+        let path = tmp("sp");
+        write_spectra_csv(&path, &[("thru", &sp)]).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.starts_with("wavelength_nm,thru"));
+        assert!(text.contains("1310.500000"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn xy_csv_checks_row_width() {
+        let rows = vec![(0.0, vec![1.0]), (1.0, vec![2.0, 3.0])];
+        assert!(write_xy_csv(&tmp("xy"), "v", &["y"], &rows).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Stimulus generators for the paper's transient experiments.
+
+use crate::Waveform;
+use pic_units::Seconds;
+
+/// A single rectangular pulse of the given amplitude; zero elsewhere.
+///
+/// This is the shape of the paper's 50 ps optical write pulses (Fig. 5) and
+/// of the eoADC sampling windows (Fig. 9).
+#[must_use]
+pub fn rectangular_pulse(
+    dt: Seconds,
+    duration: Seconds,
+    start: Seconds,
+    width: Seconds,
+    amplitude: f64,
+) -> Waveform {
+    let n = samples_for(dt, duration);
+    let mut wf = Waveform::zeros(dt, n);
+    wf.fill_range(start, Seconds::from_seconds(start.as_seconds() + width.as_seconds()), amplitude);
+    wf
+}
+
+/// A step from `low` to `high` at `edge`.
+#[must_use]
+pub fn step(dt: Seconds, duration: Seconds, edge: Seconds, low: f64, high: f64) -> Waveform {
+    Waveform::from_fn(dt, samples_for(dt, duration), |t| {
+        if t.as_seconds() < edge.as_seconds() {
+            low
+        } else {
+            high
+        }
+    })
+}
+
+/// A linear ramp from `v0` at `t = 0` to `v1` at `duration`.
+///
+/// The ADC transfer-function sweep (Fig. 10) drives the converter with this.
+#[must_use]
+pub fn ramp(dt: Seconds, duration: Seconds, v0: f64, v1: f64) -> Waveform {
+    let n = samples_for(dt, duration);
+    Waveform::from_fn(dt, n, |t| {
+        let x = t.as_seconds() / duration.as_seconds();
+        v0 + (v1 - v0) * x.min(1.0)
+    })
+}
+
+/// A repeating square clock with the given period and 50 % duty cycle,
+/// toggling between `low` and `high`, starting low.
+#[must_use]
+pub fn clock(dt: Seconds, duration: Seconds, period: Seconds, low: f64, high: f64) -> Waveform {
+    Waveform::from_fn(dt, samples_for(dt, duration), |t| {
+        let phase = (t.as_seconds() / period.as_seconds()).fract();
+        if phase < 0.5 {
+            low
+        } else {
+            high
+        }
+    })
+}
+
+/// A piecewise-constant waveform holding `levels[i]` for the i-th interval
+/// of width `hold`; used to feed symbol streams into the compute core.
+#[must_use]
+pub fn staircase(dt: Seconds, hold: Seconds, levels: &[f64]) -> Waveform {
+    assert!(!levels.is_empty(), "staircase needs at least one level");
+    let duration = Seconds::from_seconds(hold.as_seconds() * levels.len() as f64);
+    Waveform::from_fn(dt, samples_for(dt, duration), |t| {
+        let idx = (t.as_seconds() / hold.as_seconds()) as usize;
+        levels[idx.min(levels.len() - 1)]
+    })
+}
+
+/// Pseudo-random binary sequence using a 16-bit Fibonacci LFSR
+/// (taps 16, 15, 13, 4), one symbol per `hold` interval.
+///
+/// Deterministic for a given seed so tests and benches are reproducible.
+///
+/// # Panics
+///
+/// Panics if `seed` is zero (an LFSR stuck state).
+#[must_use]
+pub fn prbs(dt: Seconds, hold: Seconds, symbols: usize, seed: u16, low: f64, high: f64) -> Waveform {
+    assert!(seed != 0, "LFSR seed must be non-zero");
+    let mut state = seed;
+    let levels: Vec<f64> = (0..symbols)
+        .map(|_| {
+            let bit = ((state >> 15) ^ (state >> 14) ^ (state >> 12) ^ (state >> 3)) & 1;
+            state = (state << 1) | bit;
+            if state & 1 == 1 {
+                high
+            } else {
+                low
+            }
+        })
+        .collect();
+    staircase(dt, hold, &levels)
+}
+
+fn samples_for(dt: Seconds, duration: Seconds) -> usize {
+    assert!(dt.as_seconds() > 0.0, "sample period must be positive");
+    let n = (duration.as_seconds() / dt.as_seconds()).round() as usize;
+    assert!(n > 0, "duration must cover at least one sample");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: f64) -> Seconds {
+        Seconds::from_picoseconds(v)
+    }
+
+    #[test]
+    fn pulse_energy_matches_width() {
+        let wf = rectangular_pulse(ps(1.0), ps(500.0), ps(100.0), ps(50.0), 1e-3);
+        // 50 ps at 1 mW → 50 fJ of optical energy
+        assert!((wf.integral() - 50e-15).abs() < 1e-18);
+    }
+
+    #[test]
+    fn step_edge_location() {
+        let wf = step(ps(1.0), ps(10.0), ps(5.0), 0.0, 1.0);
+        assert_eq!(wf.value_at(ps(4.0)), 0.0);
+        assert_eq!(wf.value_at(ps(5.0)), 1.0);
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        let wf = ramp(ps(1.0), ps(100.0), 0.0, 3.6);
+        assert_eq!(wf.samples()[0], 0.0);
+        assert!((wf.final_value() - 3.6 * 99.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_toggles() {
+        let wf = clock(ps(1.0), ps(20.0), ps(10.0), 0.0, 1.0);
+        assert_eq!(wf.value_at(ps(2.0)), 0.0);
+        assert_eq!(wf.value_at(ps(7.0)), 1.0);
+        assert_eq!(wf.value_at(ps(12.0)), 0.0);
+    }
+
+    #[test]
+    fn staircase_holds_levels() {
+        let wf = staircase(ps(1.0), ps(4.0), &[0.1, 0.9, 0.5]);
+        assert_eq!(wf.value_at(ps(1.0)), 0.1);
+        assert_eq!(wf.value_at(ps(5.0)), 0.9);
+        assert_eq!(wf.value_at(ps(9.0)), 0.5);
+    }
+
+    #[test]
+    fn prbs_is_deterministic_and_binary() {
+        let a = prbs(ps(1.0), ps(2.0), 64, 0xACE1, 0.0, 1.0);
+        let b = prbs(ps(1.0), ps(2.0), 64, 0xACE1, 0.0, 1.0);
+        assert_eq!(a, b);
+        assert!(a.samples().iter().all(|&v| v == 0.0 || v == 1.0));
+        // Both symbols appear.
+        assert!(a.samples().iter().any(|&v| v == 0.0));
+        assert!(a.samples().iter().any(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn prbs_rejects_zero_seed() {
+        let _ = prbs(ps(1.0), ps(2.0), 8, 0, 0.0, 1.0);
+    }
+}

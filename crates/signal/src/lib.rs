@@ -1,0 +1,41 @@
+//! Waveforms, pulse generators and WDM signal containers.
+//!
+//! This crate provides the time-domain and spectral-domain data carriers for
+//! the mixed-signal co-simulation: uniformly sampled [`Waveform`]s for
+//! electrical nodes and optical envelopes, generator helpers for the pulse
+//! shapes used in the paper's transients (Figs. 5 and 9), analysis helpers
+//! (edges, settling, rail detection), and [`WdmSignal`] — the per-channel
+//! optical power vector that travels down a bus waveguide.
+//!
+//! # Examples
+//!
+//! ```
+//! use pic_signal::{generate, Waveform};
+//! use pic_units::Seconds;
+//!
+//! // The paper's 50 ps, 0 dBm write pulse starting at 100 ps.
+//! let wf = generate::rectangular_pulse(
+//!     Seconds::from_picoseconds(1.0),   // sample period
+//!     Seconds::from_picoseconds(500.0), // total duration
+//!     Seconds::from_picoseconds(100.0), // pulse start
+//!     Seconds::from_picoseconds(50.0),  // pulse width
+//!     1.0e-3,                           // 0 dBm in watts
+//! );
+//! assert_eq!(wf.len(), 500);
+//! assert!(wf.value_at(Seconds::from_picoseconds(120.0)) > 0.5e-3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod export;
+pub mod fft;
+pub mod generate;
+mod spectrum;
+mod waveform;
+mod wdm;
+
+pub use spectrum::Spectrum;
+pub use waveform::Waveform;
+pub use wdm::{ChannelId, WdmSignal};

@@ -1,0 +1,216 @@
+//! Sampled optical spectra (transmission or power vs wavelength).
+
+use pic_units::Wavelength;
+
+/// A sampled spectrum: values (transmission ratios or powers) on a uniform
+/// wavelength grid. Produced by the MRR model when regenerating the paper's
+/// spectral figures (Figs. 3a, 6, 8).
+///
+/// # Examples
+///
+/// ```
+/// use pic_signal::Spectrum;
+/// use pic_units::Wavelength;
+///
+/// let sp = Spectrum::sample(
+///     Wavelength::from_nanometers(1309.0),
+///     Wavelength::from_nanometers(1311.0),
+///     201,
+///     |wl| (wl.as_nanometers() - 1310.0).abs(), // a V-shaped notch at 1310
+/// );
+/// let (dip, _) = sp.minimum();
+/// assert!((dip.as_nanometers() - 1310.0).abs() < 0.011);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Spectrum {
+    start: Wavelength,
+    step_nm: f64,
+    values: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Samples `f` on a uniform grid of `n` points spanning `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `end <= start`.
+    #[must_use]
+    pub fn sample<F: FnMut(Wavelength) -> f64>(
+        start: Wavelength,
+        end: Wavelength,
+        n: usize,
+        mut f: F,
+    ) -> Self {
+        assert!(n >= 2, "spectrum needs at least two points");
+        assert!(
+            end.as_nanometers() > start.as_nanometers(),
+            "spectral range must be increasing"
+        );
+        let step_nm = (end.as_nanometers() - start.as_nanometers()) / (n - 1) as f64;
+        let values = (0..n)
+            .map(|i| {
+                f(Wavelength::from_nanometers(
+                    start.as_nanometers() + step_nm * i as f64,
+                ))
+            })
+            .collect();
+        Spectrum {
+            start,
+            step_nm,
+            values,
+        }
+    }
+
+    /// Number of sample points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if there are no points (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Wavelength of point `i`.
+    #[must_use]
+    pub fn wavelength_of(&self, i: usize) -> Wavelength {
+        Wavelength::from_nanometers(self.start.as_nanometers() + self.step_nm * i as f64)
+    }
+
+    /// Sampled values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(wavelength, value)` pairs.
+    pub fn iter_points(&self) -> impl Iterator<Item = (Wavelength, f64)> + '_ {
+        (0..self.values.len()).map(move |i| (self.wavelength_of(i), self.values[i]))
+    }
+
+    /// The grid point with the smallest value (resonance dip locator).
+    #[must_use]
+    pub fn minimum(&self) -> (Wavelength, f64) {
+        let (i, &v) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite spectrum"))
+            .expect("spectrum is never empty");
+        (self.wavelength_of(i), v)
+    }
+
+    /// The grid point with the largest value.
+    #[must_use]
+    pub fn maximum(&self) -> (Wavelength, f64) {
+        let (i, &v) = self
+            .values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite spectrum"))
+            .expect("spectrum is never empty");
+        (self.wavelength_of(i), v)
+    }
+
+    /// All local minima deeper than `threshold` (value below it), as
+    /// `(wavelength, value)` — one per resonance notch.
+    #[must_use]
+    pub fn dips_below(&self, threshold: f64) -> Vec<(Wavelength, f64)> {
+        let v = &self.values;
+        (1..v.len() - 1)
+            .filter(|&i| v[i] < threshold && v[i] <= v[i - 1] && v[i] <= v[i + 1])
+            // Keep only the first point of any flat-bottomed dip.
+            .filter(|&i| v[i] < v[i - 1] || v[i - 1] >= threshold)
+            .map(|i| (self.wavelength_of(i), v[i]))
+            .collect()
+    }
+
+    /// Full width of the region around the global minimum where the value
+    /// stays below `level`, in nanometers — a linewidth estimator.
+    #[must_use]
+    pub fn width_below(&self, level: f64) -> f64 {
+        let (min_wl, _) = self.minimum();
+        let min_idx =
+            ((min_wl.as_nanometers() - self.start.as_nanometers()) / self.step_nm).round() as usize;
+        let mut lo = min_idx;
+        while lo > 0 && self.values[lo - 1] < level {
+            lo -= 1;
+        }
+        let mut hi = min_idx;
+        while hi + 1 < self.values.len() && self.values[hi + 1] < level {
+            hi += 1;
+        }
+        (hi - lo) as f64 * self.step_nm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn notch(center: f64) -> impl Fn(Wavelength) -> f64 {
+        move |wl: Wavelength| {
+            let x = (wl.as_nanometers() - center) / 0.05;
+            x * x / (1.0 + x * x)
+        }
+    }
+
+    fn sample_notch(center: f64) -> Spectrum {
+        Spectrum::sample(
+            Wavelength::from_nanometers(center - 1.0),
+            Wavelength::from_nanometers(center + 1.0),
+            2001,
+            notch(center),
+        )
+    }
+
+    #[test]
+    fn minimum_finds_notch() {
+        let sp = sample_notch(1310.5);
+        let (wl, v) = sp.minimum();
+        assert!((wl.as_nanometers() - 1310.5).abs() < 2e-3);
+        assert!(v < 1e-3);
+    }
+
+    #[test]
+    fn width_below_matches_lorentzian() {
+        let sp = sample_notch(1310.0);
+        // T < 0.5 when |x| < 1 → width = 2 × 0.05 nm.
+        let w = sp.width_below(0.5);
+        assert!((w - 0.1).abs() < 0.005, "width {w}");
+    }
+
+    #[test]
+    fn dips_below_finds_single_notch() {
+        let sp = sample_notch(1310.0);
+        let dips = sp.dips_below(0.1);
+        assert_eq!(dips.len(), 1);
+        assert!((dips[0].0.as_nanometers() - 1310.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn iter_points_cover_range() {
+        let sp = Spectrum::sample(
+            Wavelength::from_nanometers(1300.0),
+            Wavelength::from_nanometers(1301.0),
+            11,
+            |_| 1.0,
+        );
+        let pts: Vec<_> = sp.iter_points().collect();
+        assert_eq!(pts.len(), 11);
+        assert!((pts[10].0.as_nanometers() - 1301.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn rejects_reversed_range() {
+        let _ = Spectrum::sample(
+            Wavelength::from_nanometers(1311.0),
+            Wavelength::from_nanometers(1310.0),
+            10,
+            |_| 0.0,
+        );
+    }
+}

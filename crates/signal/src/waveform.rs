@@ -1,0 +1,392 @@
+//! Uniformly sampled scalar waveform.
+
+use pic_units::Seconds;
+
+/// A uniformly sampled real-valued waveform starting at `t = 0`.
+///
+/// Used for electrical node voltages, photocurrents and optical power
+/// envelopes. Values are dimensionless `f64`; the producing module documents
+/// the unit (this keeps hot simulation loops free of per-sample newtype
+/// shuffling while the module boundaries stay typed).
+///
+/// # Examples
+///
+/// ```
+/// use pic_signal::Waveform;
+/// use pic_units::Seconds;
+///
+/// let mut wf = Waveform::zeros(Seconds::from_picoseconds(1.0), 100);
+/// wf.fill_range(Seconds::from_picoseconds(10.0), Seconds::from_picoseconds(20.0), 1.0);
+/// assert_eq!(wf.value_at(Seconds::from_picoseconds(15.0)), 1.0);
+/// assert_eq!(wf.value_at(Seconds::from_picoseconds(50.0)), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Waveform {
+    dt: Seconds,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from an explicit sample vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive or `samples` is empty.
+    #[must_use]
+    pub fn new(dt: Seconds, samples: Vec<f64>) -> Self {
+        assert!(dt.as_seconds() > 0.0, "sample period must be positive");
+        assert!(!samples.is_empty(), "waveform must contain samples");
+        Waveform { dt, samples }
+    }
+
+    /// Creates an all-zero waveform with `n` samples.
+    #[must_use]
+    pub fn zeros(dt: Seconds, n: usize) -> Self {
+        Waveform::new(dt, vec![0.0; n])
+    }
+
+    /// Creates a constant waveform with `n` samples.
+    #[must_use]
+    pub fn constant(dt: Seconds, n: usize, value: f64) -> Self {
+        Waveform::new(dt, vec![value; n])
+    }
+
+    /// Samples a closure of time at each sample instant.
+    #[must_use]
+    pub fn from_fn<F: FnMut(Seconds) -> f64>(dt: Seconds, n: usize, mut f: F) -> Self {
+        let samples = (0..n)
+            .map(|i| f(Seconds::from_seconds(i as f64 * dt.as_seconds())))
+            .collect();
+        Waveform::new(dt, samples)
+    }
+
+    /// Sample period.
+    #[must_use]
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the waveform has no samples (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total spanned duration (`len · dt`).
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        Seconds::from_seconds(self.samples.len() as f64 * self.dt.as_seconds())
+    }
+
+    /// Immutable view of the samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable view of the samples.
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// The sample instant of index `i`.
+    #[must_use]
+    pub fn time_of(&self, i: usize) -> Seconds {
+        Seconds::from_seconds(i as f64 * self.dt.as_seconds())
+    }
+
+    /// Zero-order-hold value at time `t`; clamps beyond either end.
+    #[must_use]
+    pub fn value_at(&self, t: Seconds) -> f64 {
+        let idx = (t.as_seconds() / self.dt.as_seconds()).floor();
+        if idx <= 0.0 {
+            self.samples[0]
+        } else {
+            let i = (idx as usize).min(self.samples.len() - 1);
+            self.samples[i]
+        }
+    }
+
+    /// Iterator over `(time, value)` pairs.
+    pub fn iter_points(&self) -> impl Iterator<Item = (Seconds, f64)> + '_ {
+        let dt = self.dt.as_seconds();
+        self.samples
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (Seconds::from_seconds(i as f64 * dt), v))
+    }
+
+    /// Sets all samples with `start <= t < end` to `value`.
+    pub fn fill_range(&mut self, start: Seconds, end: Seconds, value: f64) {
+        let dt = self.dt.as_seconds();
+        let lo = (start.as_seconds() / dt).ceil().max(0.0) as usize;
+        let hi = ((end.as_seconds() / dt).ceil() as usize).min(self.samples.len());
+        for s in &mut self.samples[lo..hi.max(lo)] {
+            *s = value;
+        }
+    }
+
+    /// Minimum sample value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean of all samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Trapezoidal integral of the waveform over its duration
+    /// (value·seconds).
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return self.samples[0] * self.dt.as_seconds();
+        }
+        let dt = self.dt.as_seconds();
+        let inner: f64 = self.samples[1..self.samples.len() - 1].iter().sum();
+        dt * (inner + 0.5 * (self.samples[0] + self.samples[self.samples.len() - 1]))
+    }
+
+    /// Applies `f` to every sample, returning a new waveform.
+    #[must_use]
+    pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> Self {
+        Waveform::new(self.dt, self.samples.iter().copied().map(f).collect())
+    }
+
+    /// Pointwise combination of two equally sampled waveforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveforms differ in sample period or length.
+    #[must_use]
+    pub fn zip_with<F: FnMut(f64, f64) -> f64>(&self, other: &Waveform, mut f: F) -> Self {
+        assert_eq!(
+            self.samples.len(),
+            other.samples.len(),
+            "waveform lengths differ"
+        );
+        assert!(
+            (self.dt.as_seconds() - other.dt.as_seconds()).abs() < 1e-18,
+            "waveform sample periods differ"
+        );
+        let samples = self
+            .samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Waveform::new(self.dt, samples)
+    }
+
+    /// Sum of two waveforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Waveform::zip_with`].
+    #[must_use]
+    pub fn add(&self, other: &Waveform) -> Self {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Scales every sample by `k`.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Self {
+        self.map(|v| v * k)
+    }
+
+    /// Index of the first sample where the waveform crosses `threshold`
+    /// rising (previous sample below, this sample at or above).
+    #[must_use]
+    pub fn first_rising_crossing(&self, threshold: f64) -> Option<usize> {
+        self.samples
+            .windows(2)
+            .position(|w| w[0] < threshold && w[1] >= threshold)
+            .map(|i| i + 1)
+    }
+
+    /// Index of the first sample where the waveform crosses `threshold`
+    /// falling (previous sample above, this sample at or below).
+    #[must_use]
+    pub fn first_falling_crossing(&self, threshold: f64) -> Option<usize> {
+        self.samples
+            .windows(2)
+            .position(|w| w[0] > threshold && w[1] <= threshold)
+            .map(|i| i + 1)
+    }
+
+    /// Last sample value.
+    #[must_use]
+    pub fn final_value(&self) -> f64 {
+        *self.samples.last().expect("waveform is never empty")
+    }
+
+    /// Keeps every `factor`-th sample, multiplying the sample period — a
+    /// zero-order decimator for reducing trace sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or at least the waveform length.
+    #[must_use]
+    pub fn decimate(&self, factor: usize) -> Waveform {
+        assert!(factor > 0, "decimation factor must be positive");
+        assert!(
+            factor < self.samples.len(),
+            "decimation by {factor} would empty the waveform"
+        );
+        Waveform::new(
+            Seconds::from_seconds(self.dt.as_seconds() * factor as f64),
+            self.samples.iter().copied().step_by(factor).collect(),
+        )
+    }
+
+    /// Uniform mid-rise quantisation to `levels` steps across
+    /// `[lo, hi]` — an ideal-ADC helper for reference comparisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or the range is empty.
+    #[must_use]
+    pub fn quantize(&self, lo: f64, hi: f64, levels: usize) -> Waveform {
+        assert!(levels >= 2, "need at least two quantisation levels");
+        assert!(hi > lo, "quantisation range must be non-empty");
+        let step = (hi - lo) / levels as f64;
+        self.map(|v| {
+            let idx = ((v - lo) / step).floor().clamp(0.0, (levels - 1) as f64);
+            lo + (idx + 0.5) * step
+        })
+    }
+
+    /// A view of samples with `start <= t < end` as a new waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window contains no samples.
+    #[must_use]
+    pub fn window(&self, start: Seconds, end: Seconds) -> Waveform {
+        let dt = self.dt.as_seconds();
+        let lo = (start.as_seconds() / dt).ceil().max(0.0) as usize;
+        let hi = ((end.as_seconds() / dt).ceil() as usize).min(self.samples.len());
+        assert!(hi > lo, "window contains no samples");
+        Waveform::new(self.dt, self.samples[lo..hi].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: f64) -> Seconds {
+        Seconds::from_picoseconds(v)
+    }
+
+    #[test]
+    fn from_fn_samples_time() {
+        let wf = Waveform::from_fn(ps(2.0), 5, |t| t.as_picoseconds());
+        assert_eq!(wf.samples(), &[0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn value_at_clamps() {
+        let wf = Waveform::new(ps(1.0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(wf.value_at(ps(-5.0)), 1.0);
+        assert_eq!(wf.value_at(ps(100.0)), 3.0);
+        assert_eq!(wf.value_at(ps(1.5)), 2.0);
+    }
+
+    #[test]
+    fn integral_of_constant() {
+        let wf = Waveform::constant(ps(1.0), 101, 2.0);
+        // 100 intervals × 1 ps × 2.0
+        assert!((wf.integral() - 200e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fill_range_is_half_open() {
+        let mut wf = Waveform::zeros(ps(1.0), 10);
+        wf.fill_range(ps(2.0), ps(5.0), 1.0);
+        assert_eq!(wf.samples(), &[0., 0., 1., 1., 1., 0., 0., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn crossings() {
+        let wf = Waveform::new(ps(1.0), vec![0.0, 0.2, 0.8, 1.0, 0.6, 0.1]);
+        assert_eq!(wf.first_rising_crossing(0.5), Some(2));
+        assert_eq!(wf.first_falling_crossing(0.5), Some(5));
+        assert_eq!(wf.first_rising_crossing(2.0), None);
+    }
+
+    #[test]
+    fn zip_with_adds() {
+        let a = Waveform::constant(ps(1.0), 4, 1.0);
+        let b = Waveform::constant(ps(1.0), 4, 2.0);
+        assert_eq!(a.add(&b).samples(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn zip_with_rejects_mismatch() {
+        let a = Waveform::zeros(ps(1.0), 4);
+        let b = Waveform::zeros(ps(1.0), 5);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn decimate_halves_length_and_doubles_dt() {
+        let wf = Waveform::from_fn(ps(1.0), 10, |t| t.as_picoseconds());
+        let d = wf.decimate(2);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.samples(), &[0.0, 2.0, 4.0, 6.0, 8.0]);
+        assert!((d.dt().as_picoseconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_snaps_to_bin_centres() {
+        let wf = Waveform::new(ps(1.0), vec![0.0, 0.3, 0.6, 0.99]);
+        let q = wf.quantize(0.0, 1.0, 4);
+        assert_eq!(q.samples(), &[0.125, 0.375, 0.625, 0.875]);
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let wf = Waveform::new(ps(1.0), vec![-1.0, 2.0]);
+        let q = wf.quantize(0.0, 1.0, 4);
+        assert_eq!(q.samples(), &[0.125, 0.875]);
+    }
+
+    #[test]
+    fn window_extracts_half_open_range() {
+        let wf = Waveform::from_fn(ps(1.0), 10, |t| t.as_picoseconds());
+        let w = wf.window(ps(3.0), ps(6.0));
+        assert_eq!(w.samples(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_window_rejected() {
+        let wf = Waveform::zeros(ps(1.0), 10);
+        let _ = wf.window(ps(5.0), ps(5.0));
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let wf = Waveform::new(ps(1.0), vec![1.0, 3.0, 2.0]);
+        assert_eq!(wf.min_value(), 1.0);
+        assert_eq!(wf.max_value(), 3.0);
+        assert!((wf.mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Wavelength-division-multiplexed signal containers.
+
+use pic_units::{OpticalPower, Wavelength};
+
+/// Identifier of a WDM channel within a bus (0-based).
+///
+/// ```
+/// use pic_signal::ChannelId;
+/// let ch = ChannelId::new(2);
+/// assert_eq!(ch.index(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct ChannelId(usize);
+
+impl ChannelId {
+    /// Creates a channel id.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        ChannelId(index)
+    }
+
+    /// Zero-based index of the channel.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "λ{}", self.0 + 1)
+    }
+}
+
+/// The instantaneous optical state of a bus waveguide: one power value per
+/// WDM channel, with the channels' carrier wavelengths.
+///
+/// The paper transmits a full input vector through a single waveguide with
+/// each element intensity-encoded on its own wavelength (§II-B); this type is
+/// that vector.
+///
+/// # Examples
+///
+/// ```
+/// use pic_signal::WdmSignal;
+/// use pic_units::{OpticalPower, Wavelength};
+///
+/// let mut sig = WdmSignal::new(vec![
+///     Wavelength::from_nanometers(1310.00),
+///     Wavelength::from_nanometers(1312.33),
+/// ]);
+/// sig.set_power(0, OpticalPower::from_milliwatts(0.5));
+/// assert!((sig.total_power().as_milliwatts() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WdmSignal {
+    wavelengths: Vec<Wavelength>,
+    powers: Vec<OpticalPower>,
+}
+
+impl WdmSignal {
+    /// Creates a dark (zero-power) signal on the given channel grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths` is empty.
+    #[must_use]
+    pub fn new(wavelengths: Vec<Wavelength>) -> Self {
+        assert!(!wavelengths.is_empty(), "WDM signal needs at least one channel");
+        let n = wavelengths.len();
+        WdmSignal {
+            wavelengths,
+            powers: vec![OpticalPower::ZERO; n],
+        }
+    }
+
+    /// Creates a signal with explicit per-channel powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or are empty.
+    #[must_use]
+    pub fn with_powers(wavelengths: Vec<Wavelength>, powers: Vec<OpticalPower>) -> Self {
+        assert_eq!(
+            wavelengths.len(),
+            powers.len(),
+            "wavelength and power counts differ"
+        );
+        assert!(!wavelengths.is_empty(), "WDM signal needs at least one channel");
+        WdmSignal { wavelengths, powers }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.wavelengths.len()
+    }
+
+    /// Carrier wavelength of channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn wavelength(&self, i: usize) -> Wavelength {
+        self.wavelengths[i]
+    }
+
+    /// All carrier wavelengths.
+    #[must_use]
+    pub fn wavelengths(&self) -> &[Wavelength] {
+        &self.wavelengths
+    }
+
+    /// Power on channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn power(&self, i: usize) -> OpticalPower {
+        self.powers[i]
+    }
+
+    /// All channel powers.
+    #[must_use]
+    pub fn powers(&self) -> &[OpticalPower] {
+        &self.powers
+    }
+
+    /// Sets the power on channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_power(&mut self, i: usize, power: OpticalPower) {
+        self.powers[i] = power;
+    }
+
+    /// Total power summed over channels — what a broadband photodiode at the
+    /// end of the bus detects.
+    #[must_use]
+    pub fn total_power(&self) -> OpticalPower {
+        self.powers.iter().copied().sum()
+    }
+
+    /// Applies a per-channel transmission function `t(λ) ∈ [0, 1]`,
+    /// producing the signal after a passive device.
+    #[must_use]
+    pub fn transmit<F: Fn(Wavelength) -> f64>(&self, t: F) -> Self {
+        let powers = self
+            .wavelengths
+            .iter()
+            .zip(&self.powers)
+            .map(|(&wl, &p)| {
+                let tr = t(wl).clamp(0.0, 1.0);
+                OpticalPower::from_watts(p.as_watts() * tr)
+            })
+            .collect();
+        WdmSignal {
+            wavelengths: self.wavelengths.clone(),
+            powers,
+        }
+    }
+
+    /// Splits the signal into `n` equal copies (ideal 1:n power splitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn split_equal(&self, n: usize) -> Vec<WdmSignal> {
+        assert!(n > 0, "cannot split into zero ways");
+        let scaled = WdmSignal {
+            wavelengths: self.wavelengths.clone(),
+            powers: self
+                .powers
+                .iter()
+                .map(|&p| OpticalPower::from_watts(p.as_watts() / n as f64))
+                .collect(),
+        };
+        vec![scaled; n]
+    }
+
+    /// Pointwise sum of two signals on the same grid (waveguide combiner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel grids differ.
+    #[must_use]
+    pub fn combine(&self, other: &WdmSignal) -> Self {
+        assert_eq!(
+            self.wavelengths, other.wavelengths,
+            "cannot combine signals on different channel grids"
+        );
+        let powers = self
+            .powers
+            .iter()
+            .zip(&other.powers)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        WdmSignal {
+            wavelengths: self.wavelengths.clone(),
+            powers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Wavelength> {
+        (0..4)
+            .map(|i| Wavelength::from_nanometers(1310.0 + 2.33 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn total_power_sums_channels() {
+        let mut sig = WdmSignal::new(grid());
+        for i in 0..4 {
+            sig.set_power(i, OpticalPower::from_microwatts(10.0 * (i + 1) as f64));
+        }
+        assert!((sig.total_power().as_microwatts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_conserves_power() {
+        let sig = WdmSignal::with_powers(grid(), vec![OpticalPower::from_milliwatts(1.0); 4]);
+        let parts = sig.split_equal(4);
+        let recombined: f64 = parts.iter().map(|p| p.total_power().as_watts()).sum();
+        assert!((recombined - sig.total_power().as_watts()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transmit_clamps_gain() {
+        let sig = WdmSignal::with_powers(grid(), vec![OpticalPower::from_milliwatts(1.0); 4]);
+        let out = sig.transmit(|_| 5.0);
+        assert!((out.total_power().as_watts() - sig.total_power().as_watts()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn combine_adds() {
+        let a = WdmSignal::with_powers(grid(), vec![OpticalPower::from_microwatts(1.0); 4]);
+        let b = WdmSignal::with_powers(grid(), vec![OpticalPower::from_microwatts(2.0); 4]);
+        assert!((a.combine(&b).total_power().as_microwatts() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different channel grids")]
+    fn combine_rejects_grid_mismatch() {
+        let a = WdmSignal::new(grid());
+        let b = WdmSignal::new(vec![Wavelength::from_nanometers(1550.0)]);
+        let _ = a.combine(&b);
+    }
+
+    #[test]
+    fn channel_display() {
+        assert_eq!(ChannelId::new(0).to_string(), "λ1");
+    }
+}

@@ -1,0 +1,192 @@
+//! Error decomposition of the mixed-signal matrix engine.
+//!
+//! A photonic matvec differs from the float reference through three
+//! distinct mechanisms, and knowing *which* dominates decides what to fix
+//! (more weight bits? better rings? a finer ADC?):
+//!
+//! 1. **weight quantisation** — float weights snapped to n-bit codes;
+//! 2. **analog physics** — ring insertion loss and inter-channel
+//!    crosstalk between the ideal quantised product and the photocurrent;
+//! 3. **ADC quantisation** — the p-bit read-out of the analog value.
+//!
+//! [`ErrorBreakdown::measure`] separates the three on a given core and
+//! input set.
+
+use crate::{quant, TensorCore};
+
+/// RMS error attributed to each pipeline stage, in normalised output
+/// units (fractions of the row full scale).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorBreakdown {
+    /// Float reference → ideal product with quantised weights.
+    pub weight_quantization_rms: f64,
+    /// Ideal quantised product → analog photocurrent (normalised).
+    pub analog_physics_rms: f64,
+    /// Analog value → dequantised ADC code.
+    pub adc_quantization_rms: f64,
+    /// Float reference → final digital output (end-to-end).
+    pub total_rms: f64,
+    /// Inputs × rows evaluated.
+    pub samples: usize,
+}
+
+impl ErrorBreakdown {
+    /// Measures the decomposition of `core` against float weights
+    /// `float_weights` (the values the stored codes were quantised from)
+    /// over the given input vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch the core, inputs leave `[0, 1]`, or any
+    /// pSRAM word is mid-transition.
+    #[must_use]
+    pub fn measure(core: &TensorCore, float_weights: &[Vec<f64>], inputs: &[Vec<f64>]) -> Self {
+        let cfg = core.config();
+        assert_eq!(float_weights.len(), cfg.rows, "one weight row per core row");
+        assert!(!inputs.is_empty(), "need at least one input vector");
+
+        let levels = (cfg.adc.channel_count() - 1) as f64;
+        let gain = core.readout_gain();
+
+        let mut sq_wq = 0.0;
+        let mut sq_phys = 0.0;
+        let mut sq_adc = 0.0;
+        let mut sq_total = 0.0;
+        let mut n = 0usize;
+
+        for x in inputs {
+            // Stage values per row, all in normalised output units.
+            let float_ref: Vec<f64> = float_weights
+                .iter()
+                .map(|row| {
+                    row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>()
+                        / cfg.cols as f64
+                })
+                .collect();
+            let ideal_q = core.matvec_ideal(x);
+            let analog = core.matvec_analog(x);
+            let codes = core.matvec(x);
+
+            for r in 0..cfg.rows {
+                let dequant = f64::from(codes[r]) / levels / gain;
+                sq_wq += (ideal_q[r] - float_ref[r]).powi(2);
+                sq_phys += (analog[r] - ideal_q[r]).powi(2);
+                sq_adc += (dequant - analog[r]).powi(2);
+                sq_total += (dequant - float_ref[r]).powi(2);
+                n += 1;
+            }
+        }
+
+        let rms = |s: f64| (s / n as f64).sqrt();
+        ErrorBreakdown {
+            weight_quantization_rms: rms(sq_wq),
+            analog_physics_rms: rms(sq_phys),
+            adc_quantization_rms: rms(sq_adc),
+            total_rms: rms(sq_total),
+            samples: n,
+        }
+    }
+
+    /// The dominant error source's name.
+    #[must_use]
+    pub fn dominant(&self) -> &'static str {
+        let (mut name, mut best) = ("weight quantization", self.weight_quantization_rms);
+        if self.analog_physics_rms > best {
+            name = "analog physics";
+            best = self.analog_physics_rms;
+        }
+        if self.adc_quantization_rms > best {
+            name = "adc quantization";
+        }
+        name
+    }
+}
+
+/// Convenience: quantises `float_weights`, loads them into a fresh clone
+/// of `core`'s configuration, and measures the breakdown on `inputs`.
+#[must_use]
+pub fn measure_with_weights(
+    core_template: &TensorCore,
+    float_weights: &[Vec<f64>],
+    inputs: &[Vec<f64>],
+) -> ErrorBreakdown {
+    let mut core = TensorCore::new(*core_template.config());
+    core.set_readout_gain(core_template.readout_gain());
+    core.load_weight_codes(&quant::quantize_matrix(
+        float_weights,
+        core_template.config().weight_bits,
+    ));
+    ErrorBreakdown::measure(&core, float_weights, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorCoreConfig;
+
+    fn setup() -> (TensorCore, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let w: Vec<Vec<f64>> = vec![
+            vec![0.93, 0.11, 0.47, 0.71],
+            vec![0.05, 0.88, 0.33, 0.59],
+            vec![0.62, 0.41, 0.97, 0.13],
+            vec![0.27, 0.76, 0.08, 0.91],
+        ];
+        let x: Vec<Vec<f64>> = vec![
+            vec![0.9, 0.1, 0.5, 0.7],
+            vec![0.2, 0.8, 0.4, 0.6],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ];
+        let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+        core.load_weights(&w);
+        (core, w, x)
+    }
+
+    #[test]
+    fn stage_errors_compose_sensibly() {
+        let (core, w, x) = setup();
+        let b = ErrorBreakdown::measure(&core, &w, &x);
+        assert_eq!(b.samples, 12);
+        // Every stage contributes something on generic values…
+        assert!(b.weight_quantization_rms > 0.0);
+        assert!(b.analog_physics_rms > 0.0);
+        assert!(b.adc_quantization_rms > 0.0);
+        // …and the total is bounded by the stage sum (triangle
+        // inequality in RMS).
+        let sum = b.weight_quantization_rms + b.analog_physics_rms + b.adc_quantization_rms;
+        assert!(b.total_rms <= sum + 1e-12);
+    }
+
+    #[test]
+    fn three_bit_adc_dominates_the_paper_pipeline() {
+        // At 3-bit read-out the ADC step (1/7 ≈ 0.14 of full scale)
+        // dwarfs both the 3-bit weight step on a 4-element average and
+        // the few-percent physics error.
+        let (core, w, x) = setup();
+        let b = ErrorBreakdown::measure(&core, &w, &x);
+        assert_eq!(b.dominant(), "adc quantization");
+    }
+
+    #[test]
+    fn more_adc_bits_shift_the_bottleneck() {
+        let w: Vec<Vec<f64>> = vec![vec![0.93, 0.11, 0.47, 0.71]; 4];
+        let x = vec![vec![0.9, 0.1, 0.5, 0.7], vec![0.3, 0.6, 0.2, 0.8]];
+        let mut cfg = TensorCoreConfig::small_demo();
+        cfg.adc.bits = 6;
+        let mut core = TensorCore::new(cfg);
+        core.load_weights(&w);
+        let b = ErrorBreakdown::measure(&core, &w, &x);
+        assert_ne!(
+            b.dominant(),
+            "adc quantization",
+            "a 6-bit ADC should no longer dominate: {b:?}"
+        );
+    }
+
+    #[test]
+    fn convenience_wrapper_matches_direct_measurement() {
+        let (core, w, x) = setup();
+        let direct = ErrorBreakdown::measure(&core, &w, &x);
+        let wrapped = measure_with_weights(&core, &w, &x);
+        assert!((direct.total_rms - wrapped.total_rms).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,310 @@
+//! 2D convolution on the photonic tensor core.
+//!
+//! The paper's motivating workloads include convolutional networks (its
+//! WDM approach follows Feldmann et al.'s photonic convolution engine,
+//! ref. \[30\]). This module lowers a convolution to the core's native
+//! matrix–vector product by **im2col**: every output pixel gathers its
+//! receptive field into a patch vector, and all kernels multiply that
+//! patch at once — one eoADC conversion per (pixel, differential pair).
+
+use crate::{quant, TensorCore, TensorCoreConfig};
+
+/// Kernel/layout geometry of a [`Conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Output channels (number of kernels).
+    pub out_channels: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same both axes).
+    pub stride: usize,
+}
+
+impl Conv2dSpec {
+    /// Flattened patch length (`in_channels · kernel_h · kernel_w`).
+    #[must_use]
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero.
+    pub fn validate(&self) {
+        assert!(self.out_channels > 0, "need at least one kernel");
+        assert!(self.in_channels > 0, "need at least one input channel");
+        assert!(self.kernel_h > 0 && self.kernel_w > 0, "kernel must be non-empty");
+        assert!(self.stride > 0, "stride must be positive");
+    }
+}
+
+/// A convolution layer executed on a photonic tensor core.
+///
+/// Signed kernels use the same differential-row scheme as
+/// [`crate::nn::DenseLayer`]; patches shorter than a whole number of WDM
+/// macros are zero-padded (dark channels multiply to zero exactly).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    core: TensorCore,
+    padded_len: usize,
+}
+
+impl Conv2d {
+    /// Builds the layer. `kernels[oc]` is the flattened patch-order weight
+    /// vector of output channel `oc` (channel-major, then row, then
+    /// column), values in `[−1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid, a kernel has the wrong length,
+    /// or weights leave `[−1, 1]`.
+    #[must_use]
+    pub fn new(spec: Conv2dSpec, kernels: &[Vec<f64>], base: TensorCoreConfig) -> Self {
+        spec.validate();
+        assert_eq!(kernels.len(), spec.out_channels, "one kernel per output channel");
+        let patch = spec.patch_len();
+        for (oc, k) in kernels.iter().enumerate() {
+            assert_eq!(k.len(), patch, "kernel {oc} length != patch length {patch}");
+        }
+
+        // Pad the patch up to a whole number of WDM macros.
+        let lam = base.wavelengths_per_macro;
+        let padded_len = patch.div_ceil(lam) * lam;
+        let config = TensorCoreConfig {
+            rows: spec.out_channels * 2,
+            cols: padded_len,
+            ..base
+        };
+        let mut core = TensorCore::new(config);
+
+        let bits = config.weight_bits;
+        let mut codes = Vec::with_capacity(spec.out_channels * 2);
+        for k in kernels {
+            let (mut pos, mut neg) = (Vec::new(), Vec::new());
+            for &w in k {
+                let (p, n) = quant::signed_to_differential(w, bits);
+                pos.push(p);
+                neg.push(n);
+            }
+            pos.resize(padded_len, 0);
+            neg.resize(padded_len, 0);
+            codes.push(pos);
+            codes.push(neg);
+        }
+        core.load_weight_codes(&codes);
+        core.set_readout_gain((patch as f64 / 4.0).max(1.0));
+        Conv2d {
+            spec,
+            core,
+            padded_len,
+        }
+    }
+
+    /// The geometry.
+    #[must_use]
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// The backing tensor core.
+    #[must_use]
+    pub fn core(&self) -> &TensorCore {
+        &self.core
+    }
+
+    /// Output spatial size for an `h × w` input (valid padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the kernel.
+    #[must_use]
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.spec.kernel_h && w >= self.spec.kernel_w,
+            "input {h}×{w} smaller than the kernel"
+        );
+        (
+            (h - self.spec.kernel_h) / self.spec.stride + 1,
+            (w - self.spec.kernel_w) / self.spec.stride + 1,
+        )
+    }
+
+    /// Gathers the im2col patch at output position `(oy, ox)`.
+    fn patch(&self, image: &[Vec<Vec<f64>>], oy: usize, ox: usize) -> Vec<f64> {
+        let mut p = Vec::with_capacity(self.padded_len);
+        for chan in image.iter().take(self.spec.in_channels) {
+            for ky in 0..self.spec.kernel_h {
+                for kx in 0..self.spec.kernel_w {
+                    p.push(chan[oy * self.spec.stride + ky][ox * self.spec.stride + kx]);
+                }
+            }
+        }
+        p.resize(self.padded_len, 0.0);
+        p
+    }
+
+    /// Valid-padding forward pass over `image[channel][y][x] ∈ [0, 1]`,
+    /// returning signed dequantised activations `[oc][oy][ox]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image has the wrong channel count, ragged rows, or
+    /// out-of-range pixels.
+    #[must_use]
+    pub fn forward(&self, image: &[Vec<Vec<f64>>]) -> Vec<Vec<Vec<f64>>> {
+        assert_eq!(image.len(), self.spec.in_channels, "channel count mismatch");
+        let h = image[0].len();
+        let w = image[0][0].len();
+        for chan in image {
+            assert!(
+                chan.len() == h && chan.iter().all(|r| r.len() == w),
+                "ragged image"
+            );
+        }
+        let (oh, ow) = self.output_size(h, w);
+        let levels = (self.core.adc().config().channel_count() - 1) as f64;
+        let gain = self.core.readout_gain();
+
+        let mut out =
+            vec![vec![vec![0.0f64; ow]; oh]; self.spec.out_channels];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let patch = self.patch(image, oy, ox);
+                let codes = self.core.matvec(&patch);
+                for oc in 0..self.spec.out_channels {
+                    let pos = codes[2 * oc] as f64 / levels;
+                    let neg = codes[2 * oc + 1] as f64 / levels;
+                    out[oc][oy][ox] = (pos - neg) / gain;
+                }
+            }
+        }
+        out
+    }
+
+    /// Conversions (eoADC samples) needed per image of `h × w` — the
+    /// quantity the throughput model charges.
+    #[must_use]
+    pub fn conversions_per_image(&self, h: usize, w: usize) -> usize {
+        let (oh, ow) = self.output_size(h, w);
+        oh * ow * self.spec.out_channels * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_detector() -> Conv2d {
+        // Two 3×3 kernels on one input channel: horizontal and vertical
+        // edge detectors (Sobel-ish, scaled into [−1, 1]).
+        let horiz = vec![
+            -0.5, -1.0, -0.5, //
+            0.0, 0.0, 0.0, //
+            0.5, 1.0, 0.5,
+        ];
+        let vert = vec![
+            -0.5, 0.0, 0.5, //
+            -1.0, 0.0, 1.0, //
+            -0.5, 0.0, 0.5,
+        ];
+        Conv2d::new(
+            Conv2dSpec {
+                out_channels: 2,
+                in_channels: 1,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+            },
+            &[horiz, vert],
+            TensorCoreConfig::paper(),
+        )
+    }
+
+    fn horizontal_edge_image() -> Vec<Vec<Vec<f64>>> {
+        // 8×8, top half dark, bottom half bright.
+        vec![(0..8)
+            .map(|y| vec![if y < 4 { 0.0 } else { 1.0 }; 8])
+            .collect()]
+    }
+
+    #[test]
+    fn geometry_checks() {
+        let conv = edge_detector();
+        assert_eq!(conv.spec().patch_len(), 9);
+        assert_eq!(conv.output_size(8, 8), (6, 6));
+        // Patch 9 pads to 12 (3 × 4-λ macros); 4 physical rows.
+        assert_eq!(conv.core().config().cols, 12);
+        assert_eq!(conv.core().config().rows, 4);
+        assert_eq!(conv.conversions_per_image(8, 8), 6 * 6 * 2 * 2);
+    }
+
+    #[test]
+    fn horizontal_edge_excites_horizontal_kernel() {
+        let conv = edge_detector();
+        let out = conv.forward(&horizontal_edge_image());
+        // The edge row (output y=2 sees input rows 2..5 spanning the step).
+        let h_response = out[0][2][3];
+        let v_response = out[1][2][3];
+        assert!(h_response > 0.05, "horizontal kernel fires: {h_response}");
+        assert!(
+            v_response.abs() < h_response / 2.0,
+            "vertical kernel stays quiet: {v_response}"
+        );
+    }
+
+    #[test]
+    fn flat_regions_give_zero() {
+        let conv = edge_detector();
+        let out = conv.forward(&horizontal_edge_image());
+        // Far from the edge everything is flat.
+        assert!(out[0][0][0].abs() < 0.05);
+        assert!(out[1][0][0].abs() < 0.05);
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let spec = Conv2dSpec {
+            out_channels: 1,
+            in_channels: 1,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 2,
+        };
+        let conv = Conv2d::new(
+            spec,
+            &[vec![0.25, 0.25, 0.25, 0.25]],
+            TensorCoreConfig::paper(),
+        );
+        assert_eq!(conv.output_size(8, 8), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "length != patch")]
+    fn kernel_length_checked() {
+        let _ = Conv2d::new(
+            Conv2dSpec {
+                out_channels: 1,
+                in_channels: 1,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+            },
+            &[vec![0.0; 8]],
+            TensorCoreConfig::paper(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the kernel")]
+    fn undersized_image_rejected() {
+        let conv = edge_detector();
+        let _ = conv.output_size(2, 2);
+    }
+}

@@ -1,0 +1,459 @@
+//! The full m×n photonic tensor core with pSRAM weights and eoADC read-out.
+
+use crate::{quant, TensorRow};
+use pic_eoadc::{EoAdc, EoAdcConfig};
+use pic_psram::{PsramArray, PsramConfig};
+use pic_units::{Energy, OpticalPower, Voltage};
+
+/// Architectural parameters of a [`TensorCore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorCoreConfig {
+    /// Output rows (one eoADC each).
+    pub rows: usize,
+    /// Input columns (= weights per row).
+    pub cols: usize,
+    /// Weight precision in bits.
+    pub weight_bits: u32,
+    /// WDM channels per vector macro (4 in the paper: 9.36 nm FSR at
+    /// 2.33 nm spacing, §III).
+    pub wavelengths_per_macro: usize,
+    /// Optical power per comb line delivered to each row's macros.
+    pub per_line_power: OpticalPower,
+    /// pSRAM operating point.
+    pub psram: PsramConfig,
+    /// eoADC operating point.
+    pub adc: EoAdcConfig,
+}
+
+impl TensorCoreConfig {
+    /// The paper's §IV-D evaluation core: 16×16, 3-bit weights, 4 λ per
+    /// macro (768 pSRAM bitcells).
+    #[must_use]
+    pub fn paper() -> Self {
+        TensorCoreConfig {
+            rows: 16,
+            cols: 16,
+            weight_bits: 3,
+            wavelengths_per_macro: 4,
+            per_line_power: OpticalPower::from_milliwatts(1.0),
+            psram: PsramConfig::paper(),
+            adc: EoAdcConfig::paper(),
+        }
+    }
+
+    /// A 4×4 single-macro-per-row core for quick demos and doc examples.
+    #[must_use]
+    pub fn small_demo() -> Self {
+        TensorCoreConfig {
+            rows: 4,
+            cols: 4,
+            ..TensorCoreConfig::paper()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero, `cols` is not a multiple of
+    /// `wavelengths_per_macro`, or sub-configurations are invalid.
+    pub fn validate(&self) {
+        assert!(self.rows > 0 && self.cols > 0, "core must be non-empty");
+        assert!(
+            self.wavelengths_per_macro > 0
+                && self.cols % self.wavelengths_per_macro == 0,
+            "cols ({}) must be a whole number of {}-wavelength macros",
+            self.cols,
+            self.wavelengths_per_macro
+        );
+        self.psram.validate();
+        self.adc.validate();
+    }
+
+    /// pSRAM bitcells in the core (`rows × cols × weight_bits`).
+    #[must_use]
+    pub fn bitcell_count(&self) -> usize {
+        self.rows * self.cols * self.weight_bits as usize
+    }
+}
+
+/// The scalable mixed-signal photonic tensor core (Fig. 4).
+///
+/// Weights live in a [`PsramArray`]; each row is a [`TensorRow`] of WDM
+/// vector macros whose summed photocurrent is normalised to the eoADC's
+/// full scale and digitised. See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct TensorCore {
+    config: TensorCoreConfig,
+    weights: PsramArray,
+    rows: Vec<TensorRow>,
+    adc: EoAdc,
+    readout_gain: f64,
+}
+
+impl TensorCore {
+    /// Builds a core with all weights zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: TensorCoreConfig) -> Self {
+        config.validate();
+        let weights = PsramArray::new(config.psram, config.rows, config.cols, config.weight_bits);
+        let rows = (0..config.rows)
+            .map(|_| {
+                TensorRow::new(
+                    config.cols / config.wavelengths_per_macro,
+                    config.wavelengths_per_macro,
+                    config.weight_bits,
+                    config.per_line_power,
+                    config.psram.vdd,
+                )
+            })
+            .collect();
+        TensorCore {
+            weights,
+            rows,
+            adc: EoAdc::new(config.adc),
+            readout_gain: 1.0,
+            config,
+        }
+    }
+
+    /// Sets the read-out gain: the TIA transimpedance scaling between the
+    /// row photocurrent (normalised to full scale) and the eoADC input.
+    /// Long dot products rarely approach full scale, so sizing the TIA up
+    /// (gain > 1) spends the ADC's codes on the populated part of the
+    /// range — exactly how a physical read-out chain is biased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not positive and finite.
+    pub fn set_readout_gain(&mut self, gain: f64) {
+        assert!(
+            gain.is_finite() && gain > 0.0,
+            "read-out gain must be positive, got {gain}"
+        );
+        self.readout_gain = gain;
+    }
+
+    /// Present read-out gain.
+    #[must_use]
+    pub fn readout_gain(&self) -> f64 {
+        self.readout_gain
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TensorCoreConfig {
+        &self.config
+    }
+
+    /// The pSRAM weight array.
+    #[must_use]
+    pub fn weights(&self) -> &PsramArray {
+        &self.weights
+    }
+
+    /// The per-row eoADC.
+    #[must_use]
+    pub fn adc(&self) -> &EoAdc {
+        &self.adc
+    }
+
+    /// Loads a matrix of integer weight codes (row-major, `rows × cols`)
+    /// via the fast preset path (no write transients).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or codes that do not fit.
+    pub fn load_weight_codes(&mut self, codes: &[Vec<u32>]) {
+        self.weights.preset_matrix(codes);
+    }
+
+    /// Quantises and loads real-valued weights in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or out-of-range weights.
+    pub fn load_weights(&mut self, weights: &[Vec<f64>]) {
+        let codes = quant::quantize_matrix(weights, self.config.weight_bits);
+        self.load_weight_codes(&codes);
+    }
+
+    /// Writes weight codes through the full optical pSRAM write transient
+    /// at the 20 GHz update rate, returning the switching energy and flip
+    /// count — the paper's streaming-update story (contribution 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, unfitting codes, or a failed latch.
+    pub fn write_weights_transient(&mut self, codes: &[Vec<u32>]) -> (Energy, usize) {
+        self.weights.store_matrix(codes)
+    }
+
+    /// Analog matrix-vector product: per-row photocurrents normalised to
+    /// the full-scale current, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` length ≠ `cols` or values leave `[0, 1]`.
+    #[must_use]
+    pub fn matvec_analog(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.config.cols, "one input per column");
+        (0..self.config.rows)
+            .map(|r| {
+                let drives: Vec<Vec<Voltage>> = (0..self.config.cols)
+                    .map(|c| self.weights.word(r, c).weight_drives())
+                    .collect();
+                let row = &self.rows[r];
+                let i = row.output_current(input, &drives);
+                (i.as_amps() / row.full_scale_current().as_amps()).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Digital matrix-vector product: each row's analog output is mapped
+    /// onto the eoADC full scale and converted (the end-to-end §III path).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`TensorCore::matvec_analog`], or if the calibrated
+    /// converter produced an illegal pattern (it cannot).
+    #[must_use]
+    pub fn matvec(&self, input: &[f64]) -> Vec<u16> {
+        let vfs = self.config.adc.vfs;
+        self.matvec_analog(input)
+            .into_iter()
+            .map(|y| {
+                let scaled = (y * self.readout_gain).min(1.0);
+                self.adc
+                    .convert_static(vfs * scaled)
+                    .expect("calibrated eoADC cannot produce an illegal pattern")
+            })
+            .collect()
+    }
+
+    /// Batch matrix multiplication: one [`TensorCore::matvec`] per input
+    /// column of `inputs` (each of length `cols`).
+    #[must_use]
+    pub fn matmul(&self, inputs: &[Vec<f64>]) -> Vec<Vec<u16>> {
+        inputs.iter().map(|x| self.matvec(x)).collect()
+    }
+
+    /// Digital matrix-vector product with photodetection noise on every
+    /// row's summing photodiode: one noisy sample of the row current per
+    /// conversion, then the usual scaled eoADC read-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`TensorCore::matvec`].
+    #[must_use]
+    pub fn matvec_noisy<R: rand::Rng + ?Sized>(
+        &self,
+        input: &[f64],
+        noise: &pic_photonics::NoiseModel,
+        rng: &mut R,
+    ) -> Vec<u16> {
+        assert_eq!(input.len(), self.config.cols, "one input per column");
+        let vfs = self.config.adc.vfs;
+        (0..self.config.rows)
+            .map(|r| {
+                let drives: Vec<Vec<Voltage>> = (0..self.config.cols)
+                    .map(|c| self.weights.word(r, c).weight_drives())
+                    .collect();
+                let row = &self.rows[r];
+                let i = noise.sample(row.output_current(input, &drives), rng);
+                let y = (i.as_amps() / row.full_scale_current().as_amps()).clamp(0.0, 1.0);
+                let scaled = (y * self.readout_gain).min(1.0);
+                self.adc
+                    .convert_static(vfs * scaled)
+                    .expect("calibrated eoADC cannot produce an illegal pattern")
+            })
+            .collect()
+    }
+
+    /// The ideal (float) normalised product for error analysis:
+    /// `y_r = Σ_c x_c·w_rc / (cols·max_code)` with `w` the stored codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` length ≠ `cols` or any word is mid-transition.
+    #[must_use]
+    pub fn matvec_ideal(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.config.cols, "one input per column");
+        let max_code = ((1u32 << self.config.weight_bits) - 1) as f64;
+        (0..self.config.rows)
+            .map(|r| {
+                let dot: f64 = (0..self.config.cols)
+                    .map(|c| {
+                        let w = self.weights.word(r, c).value().expect("settled word") as f64;
+                        input[c] * w
+                    })
+                    .sum();
+                dot / (self.config.cols as f64 * max_code)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_core() -> TensorCore {
+        let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+        core.load_weight_codes(&[
+            vec![7, 0, 0, 0],
+            vec![0, 7, 0, 0],
+            vec![3, 3, 3, 3],
+            vec![0, 0, 0, 0],
+        ]);
+        core
+    }
+
+    #[test]
+    fn paper_config_validates_and_counts_bitcells() {
+        let cfg = TensorCoreConfig::paper();
+        cfg.validate();
+        assert_eq!(cfg.bitcell_count(), 768);
+    }
+
+    #[test]
+    fn identity_rows_select_their_input() {
+        let core = demo_core();
+        let y = core.matvec_analog(&[1.0, 0.0, 0.0, 0.0]);
+        assert!(y[0] > 0.15, "row 0 passes input 0, got {}", y[0]);
+        assert!(y[1] < 0.03, "row 1 blocks input 0, got {}", y[1]);
+        assert!(y[3] < 0.02, "zero row stays dark");
+    }
+
+    #[test]
+    fn analog_output_tracks_ideal() {
+        let core = demo_core();
+        let x = [0.9, 0.1, 0.5, 0.7];
+        let got = core.matvec_analog(&x);
+        let ideal = core.matvec_ideal(&x);
+        for (r, (g, i)) in got.iter().zip(&ideal).enumerate() {
+            assert!(
+                (g - i).abs() < 0.08,
+                "row {r}: analog {g} vs ideal {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn digital_codes_are_quantized_analog() {
+        let core = demo_core();
+        let x = [1.0, 1.0, 1.0, 1.0];
+        let analog = core.matvec_analog(&x);
+        let codes = core.matvec(&x);
+        for (r, (&a, &code)) in analog.iter().zip(&codes).enumerate() {
+            // The ADC's offset and quantisation allow ±1 code of slack.
+            let ideal_code = (a * 8.0).ceil().max(1.0) as i32 - 1;
+            assert!(
+                (code as i32 - ideal_code).abs() <= 1,
+                "row {r}: code {code} vs ideal {ideal_code} (analog {a})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_batches_matvec() {
+        let core = demo_core();
+        let batch = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]];
+        let out = core.matmul(&batch);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], core.matvec(&batch[0]));
+    }
+
+    #[test]
+    fn transient_weight_write_consumes_energy() {
+        let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+        let codes = vec![vec![5u32; 4]; 4];
+        let (energy, flips) = core.write_weights_transient(&codes);
+        assert!(flips > 0);
+        // 0.5 pJ class per flip.
+        let per_flip = energy.as_picojoules() / flips as f64;
+        assert!(per_flip > 0.3 && per_flip < 0.7, "per-flip {per_flip} pJ");
+        assert_eq!(core.weights().read_matrix(), codes);
+    }
+
+    #[test]
+    fn noisy_matvec_matches_clean_at_operating_power() {
+        use rand::SeedableRng;
+        let core = demo_core();
+        let noise = pic_photonics::NoiseModel::paper_receiver();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = [0.9, 0.1, 0.5, 0.7];
+        let clean = core.matvec(&x);
+        let mut agree = 0;
+        for _ in 0..50 {
+            if core.matvec_noisy(&x, &noise, &mut rng) == clean {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 45, "noise flipped codes too often: {agree}/50");
+    }
+
+    #[test]
+    fn noisy_matvec_degrades_at_starved_power() {
+        use rand::SeedableRng;
+        let mut cfg = TensorCoreConfig::small_demo();
+        cfg.per_line_power = pic_units::OpticalPower::from_microwatts(1.0);
+        let mut core = TensorCore::new(cfg);
+        core.load_weight_codes(&[
+            vec![7, 0, 0, 0],
+            vec![0, 7, 0, 0],
+            vec![3, 3, 3, 3],
+            vec![0, 0, 0, 0],
+        ]);
+        let noise = pic_photonics::NoiseModel::paper_receiver();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = [0.9, 0.1, 0.5, 0.7];
+        let clean = core.matvec(&x);
+        let mut disagree = 0;
+        for _ in 0..50 {
+            if core.matvec_noisy(&x, &noise, &mut rng) != clean {
+                disagree += 1;
+            }
+        }
+        assert!(
+            disagree > 5,
+            "1 µW lines should show noisy read-out: {disagree}/50 differ"
+        );
+    }
+
+    #[test]
+    fn paper_scale_core_runs_end_to_end() {
+        let mut core = TensorCore::new(TensorCoreConfig::paper());
+        let w: Vec<Vec<u32>> = (0..16)
+            .map(|r| (0..16).map(|c| ((r + c) % 8) as u32).collect())
+            .collect();
+        core.load_weight_codes(&w);
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) / 15.0).collect();
+        let codes = core.matvec(&x);
+        assert_eq!(codes.len(), 16);
+        // Shape check against the ideal ordering.
+        let ideal = core.matvec_ideal(&x);
+        let max_row = ideal
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        let max_code = *codes.iter().max().expect("non-empty");
+        assert_eq!(codes[max_row], max_code, "largest ideal row wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn config_rejects_ragged_macro_split() {
+        let cfg = TensorCoreConfig {
+            cols: 6,
+            ..TensorCoreConfig::paper()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,58 @@
+//! Mixed-signal multi-bit scalable photonic tensor core.
+//!
+//! The paper's primary contribution (§II-B, §III): analog inputs are
+//! intensity-encoded on WDM wavelengths and multiplied by n-bit weights
+//! held in photonic SRAM. Per weight column, a cascade of power splitters
+//! produces binary-scaled copies of the input light; each copy passes a
+//! microring driven by one pSRAM bit (off-resonance = pass = 1,
+//! on-resonance = absorb = 0); photodiode current summation performs the
+//! accumulation; and a 1-hot electro-optic ADC digitises each row.
+//!
+//! Crate layout:
+//!
+//! * [`quant`] — fixed-point weight/input quantisation helpers;
+//! * [`VectorComputeCore`] — one 1×m WDM vector-multiply macro (Fig. 2);
+//! * [`TensorRow`] — macros tiled by current summation into a 1×m row of
+//!   arbitrary width (Fig. 4);
+//! * [`TensorCore`] — the full m×n matrix engine with pSRAM-backed weights
+//!   and per-row eoADC read-out;
+//! * [`performance`] — the §IV-D throughput/power model (4.10 TOPS,
+//!   3.02 TOPS/W);
+//! * [`nn`] — a quantised dense-layer inference helper built on the core.
+//!
+//! # Example
+//!
+//! ```
+//! use pic_tensor::{TensorCore, TensorCoreConfig};
+//!
+//! let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+//! core.load_weight_codes(&[
+//!     vec![7, 0, 0, 0],
+//!     vec![0, 7, 0, 0],
+//!     vec![0, 0, 7, 0],
+//!     vec![0, 0, 0, 7],
+//! ]);
+//! // Identity-times-seven: the largest input lands the largest code.
+//! let codes = core.matvec(&[0.2, 0.4, 0.6, 1.0]);
+//! assert!(codes[3] > codes[0]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod conv;
+mod core_engine;
+pub mod nn;
+pub mod performance;
+pub mod pipeline;
+pub mod quant;
+mod row;
+mod vector_core;
+
+pub use accuracy::ErrorBreakdown;
+pub use conv::{Conv2d, Conv2dSpec};
+pub use core_engine::{TensorCore, TensorCoreConfig};
+pub use pipeline::{ScheduleReport, StreamingSchedule, WriteParallelism};
+pub use row::TensorRow;
+pub use vector_core::{ComputeMode, VectorComputeCore};

@@ -1,0 +1,193 @@
+//! Throughput and power model of the tensor core (§IV-D, Table I).
+
+use crate::TensorCoreConfig;
+use pic_eoadc::AdcPowerModel;
+use pic_psram::HoldPowerModel;
+use pic_units::{ElectricalPower, Frequency, OpticalPower};
+
+/// Optical power of each input comb line at the laser, mW. Covers the
+/// distribution losses of feeding all rows (calibrated so the total power
+/// envelope lands on the paper's 1.36 W).
+pub const INPUT_CHANNEL_OPTICAL_POWER_MW: f64 = 10.0;
+
+/// Per-row transimpedance amplifier power, mW (42 GHz class, ref. \[52\]).
+pub const ROW_TIA_POWER_MW: f64 = 20.0;
+
+/// Total thermal-tuning (heater) power for ring stabilisation, mW.
+pub const THERMAL_TUNING_POWER_MW: f64 = 10.0;
+
+/// Power breakdown of the core, by subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerBreakdown {
+    /// Input comb lasers at wall plug, W.
+    pub comb_w: f64,
+    /// Row TIAs, W.
+    pub tia_w: f64,
+    /// Per-row eoADCs (optical + electrical), W.
+    pub adc_w: f64,
+    /// pSRAM hold (bias lasers + photocurrent), W.
+    pub psram_hold_w: f64,
+    /// Ring thermal stabilisation, W.
+    pub thermal_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in watts.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.comb_w + self.tia_w + self.adc_w + self.psram_hold_w + self.thermal_w
+    }
+}
+
+/// Headline performance figures.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerformanceReport {
+    /// Computational throughput, TOPS (1 op = one n-bit multiply or add).
+    pub tops: f64,
+    /// Power efficiency, TOPS/W.
+    pub tops_per_watt: f64,
+    /// Total power, W.
+    pub total_power_w: f64,
+    /// Weight update rate, GHz.
+    pub weight_update_ghz: f64,
+    /// Power breakdown.
+    pub breakdown: PowerBreakdown,
+}
+
+/// The analytic §IV-D model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerformanceModel {
+    config: TensorCoreConfig,
+}
+
+impl PerformanceModel {
+    /// Creates the model for a core configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: TensorCoreConfig) -> Self {
+        config.validate();
+        PerformanceModel { config }
+    }
+
+    /// The paper's 16×16 evaluation point.
+    #[must_use]
+    pub fn paper() -> Self {
+        PerformanceModel::new(TensorCoreConfig::paper())
+    }
+
+    /// Operations per conversion cycle: one multiply and one add per
+    /// weight (`2·rows·cols`).
+    #[must_use]
+    pub fn ops_per_cycle(&self) -> u64 {
+        2 * self.config.rows as u64 * self.config.cols as u64
+    }
+
+    /// The rate-limiting clock — the eoADC (§IV-D: "latency from the
+    /// electro-optic ADC limits the overall speed").
+    #[must_use]
+    pub fn cycle_rate(&self) -> Frequency {
+        self.config.adc.sample_rate
+    }
+
+    /// Computational throughput in TOPS.
+    #[must_use]
+    pub fn throughput_tops(&self) -> f64 {
+        self.ops_per_cycle() as f64 * self.cycle_rate().as_hertz() / 1e12
+    }
+
+    /// Power breakdown across subsystems.
+    #[must_use]
+    pub fn power_breakdown(&self) -> PowerBreakdown {
+        let rows = self.config.rows as f64;
+        let comb = OpticalPower::from_milliwatts(
+            INPUT_CHANNEL_OPTICAL_POWER_MW * self.config.cols as f64,
+        )
+        .wall_plug_power_default();
+        let tia = ElectricalPower::from_milliwatts(ROW_TIA_POWER_MW) * rows;
+        let adc = AdcPowerModel::new(self.config.adc).total() * rows;
+        let hold = HoldPowerModel::new(self.config.psram)
+            .power_for(self.config.bitcell_count());
+        PowerBreakdown {
+            comb_w: comb.as_watts(),
+            tia_w: tia.as_watts(),
+            adc_w: adc.as_watts(),
+            psram_hold_w: hold.as_watts(),
+            thermal_w: THERMAL_TUNING_POWER_MW * 1e-3,
+        }
+    }
+
+    /// Power efficiency in TOPS/W.
+    #[must_use]
+    pub fn tops_per_watt(&self) -> f64 {
+        self.throughput_tops() / self.power_breakdown().total_w()
+    }
+
+    /// The full report.
+    #[must_use]
+    pub fn report(&self) -> PerformanceReport {
+        let breakdown = self.power_breakdown();
+        PerformanceReport {
+            tops: self.throughput_tops(),
+            tops_per_watt: self.throughput_tops() / breakdown.total_w(),
+            total_power_w: breakdown.total_w(),
+            weight_update_ghz: self.config.psram.update_rate.as_gigahertz(),
+            breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_throughput_is_4_1_tops() {
+        let tops = PerformanceModel::paper().throughput_tops();
+        assert!((tops - 4.096).abs() < 0.01, "got {tops} TOPS");
+    }
+
+    #[test]
+    fn paper_efficiency_is_3_tops_per_watt() {
+        let eff = PerformanceModel::paper().tops_per_watt();
+        assert!(
+            (eff - 3.02).abs() < 0.1,
+            "got {eff} TOPS/W vs the paper's 3.02"
+        );
+    }
+
+    #[test]
+    fn paper_total_power_is_1_36_w() {
+        let p = PerformanceModel::paper().power_breakdown().total_w();
+        assert!((p - 1.36).abs() < 0.05, "got {p} W");
+    }
+
+    #[test]
+    fn weight_update_rate_is_20_ghz() {
+        assert!((PerformanceModel::paper().report().weight_update_ghz - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comb_dominates_the_power_budget() {
+        let b = PerformanceModel::paper().power_breakdown();
+        assert!(b.comb_w > b.tia_w && b.comb_w > b.adc_w && b.comb_w > b.psram_hold_w);
+    }
+
+    #[test]
+    fn throughput_scales_with_array_area() {
+        let small = PerformanceModel::new(crate::TensorCoreConfig::small_demo());
+        let big = PerformanceModel::paper();
+        let ratio = big.throughput_tops() / small.throughput_tops();
+        assert!((ratio - 16.0).abs() < 1e-9, "16×16 vs 4×4 → ×16 ops");
+    }
+
+    #[test]
+    fn efficiency_improves_with_scale() {
+        // Fixed overheads amortise across a bigger array.
+        let small = PerformanceModel::new(crate::TensorCoreConfig::small_demo());
+        let big = PerformanceModel::paper();
+        assert!(big.tops_per_watt() > small.tops_per_watt());
+    }
+}

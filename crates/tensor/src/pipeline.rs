@@ -1,0 +1,243 @@
+//! Weight-streaming schedules for workloads larger than the array.
+//!
+//! Contribution 2 of the paper: 20 GHz pSRAM updates make the core usable
+//! "for big data applications where datasets exceed memory array capacity
+//! and require frequent, rapid updates". This module models exactly that
+//! trade: tiling an `out × in` weight matrix over the physical array,
+//! streaming tiles through the optical write path, and charging both the
+//! write and compute phases for time and energy.
+
+use crate::TensorCoreConfig;
+use pic_psram::WriteEnergyModel;
+use pic_units::{Energy, Seconds};
+
+/// How many bitcells the write datapath can update simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteParallelism {
+    /// Every cell has its own write waveguide pair: a whole tile per slot
+    /// (the paper's WDM-broadcast ambition).
+    FullArray,
+    /// One array row's cells write together, rows sequence.
+    PerRow,
+    /// One word (weight) at a time.
+    PerWord,
+}
+
+/// A tiled schedule for `y = W·x` with `W : out × in` streamed through a
+/// physical core, processing `batch` input vectors per tile residency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSchedule {
+    config: TensorCoreConfig,
+    out_dim: usize,
+    in_dim: usize,
+    batch: usize,
+    parallelism: WriteParallelism,
+    /// Expected fraction of bitcells flipping per tile load (0.5 for
+    /// uncorrelated tiles).
+    flip_fraction: f64,
+}
+
+/// Time/energy outcome of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduleReport {
+    /// Weight tiles streamed.
+    pub tiles: usize,
+    /// Total write slots (at the pSRAM update period).
+    pub write_slots: usize,
+    /// Wall-clock time spent writing weights.
+    pub write_time_s: f64,
+    /// Wall-clock time spent computing (eoADC conversions).
+    pub compute_time_s: f64,
+    /// Weight-write energy.
+    pub write_energy_j: f64,
+    /// Compute energy (core power × compute time).
+    pub compute_energy_j: f64,
+    /// Achieved throughput including write stalls, TOPS.
+    pub effective_tops: f64,
+    /// Fraction of time the optics compute (vs. waiting on writes).
+    pub compute_utilization: f64,
+}
+
+impl StreamingSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions/batch are zero, the flip fraction leaves
+    /// `[0, 1]`, or the core configuration is invalid.
+    #[must_use]
+    pub fn new(
+        config: TensorCoreConfig,
+        out_dim: usize,
+        in_dim: usize,
+        batch: usize,
+        parallelism: WriteParallelism,
+    ) -> Self {
+        config.validate();
+        assert!(out_dim > 0 && in_dim > 0 && batch > 0, "workload must be non-empty");
+        StreamingSchedule {
+            config,
+            out_dim,
+            in_dim,
+            batch,
+            parallelism,
+            flip_fraction: 0.5,
+        }
+    }
+
+    /// Overrides the expected flip fraction per tile load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` leaves `[0, 1]`.
+    #[must_use]
+    pub fn with_flip_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "flip fraction in [0, 1]");
+        self.flip_fraction = f;
+        self
+    }
+
+    /// Number of weight tiles (`⌈out/rows⌉ · ⌈in/cols⌉`).
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.out_dim.div_ceil(self.config.rows) * self.in_dim.div_ceil(self.config.cols)
+    }
+
+    /// Write slots needed to load one tile at the chosen parallelism.
+    #[must_use]
+    pub fn slots_per_tile(&self) -> usize {
+        match self.parallelism {
+            WriteParallelism::FullArray => 1,
+            WriteParallelism::PerRow => self.config.rows,
+            WriteParallelism::PerWord => self.config.rows * self.config.cols,
+        }
+    }
+
+    /// Evaluates the schedule.
+    #[must_use]
+    pub fn report(&self) -> ScheduleReport {
+        let perf = crate::performance::PerformanceModel::new(self.config);
+        let tiles = self.tiles();
+        let write_slots = tiles * self.slots_per_tile();
+        let write_time =
+            write_slots as f64 * self.config.psram.update_rate.period().as_seconds();
+
+        // Each tile residency digitises `batch` vectors, one conversion
+        // cycle each (all rows convert in parallel).
+        let conversions = tiles * self.batch;
+        let compute_time =
+            conversions as f64 * self.config.adc.sample_rate.period().as_seconds();
+
+        let per_switch = WriteEnergyModel::new(self.config.psram).energy_per_switch();
+        let flips =
+            (tiles * self.config.bitcell_count()) as f64 * self.flip_fraction;
+        let write_energy = per_switch.as_joules() * flips;
+
+        let power = perf.power_breakdown().total_w();
+        let compute_energy = power * compute_time;
+
+        // Useful ops: the real matrix size, not the padded tiles.
+        let ops = 2.0 * self.out_dim as f64 * self.in_dim as f64 * self.batch as f64;
+        let total_time = write_time + compute_time;
+
+        ScheduleReport {
+            tiles,
+            write_slots,
+            write_time_s: write_time,
+            compute_time_s: compute_time,
+            write_energy_j: write_energy,
+            compute_energy_j: compute_energy,
+            effective_tops: ops / total_time / 1e12,
+            compute_utilization: compute_time / total_time,
+        }
+    }
+
+    /// Total streamed-write energy as a typed quantity.
+    #[must_use]
+    pub fn write_energy(&self) -> Energy {
+        Energy::from_joules(self.report().write_energy_j)
+    }
+
+    /// Total wall-clock time as a typed quantity.
+    #[must_use]
+    pub fn total_time(&self) -> Seconds {
+        let r = self.report();
+        Seconds::from_seconds(r.write_time_s + r.compute_time_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(batch: usize, par: WriteParallelism) -> StreamingSchedule {
+        StreamingSchedule::new(TensorCoreConfig::paper(), 64, 64, batch, par)
+    }
+
+    #[test]
+    fn tile_count_covers_the_matrix() {
+        assert_eq!(sched(1, WriteParallelism::PerRow).tiles(), 16);
+        let ragged =
+            StreamingSchedule::new(TensorCoreConfig::paper(), 65, 17, 1, WriteParallelism::PerRow);
+        assert_eq!(ragged.tiles(), 5 * 2);
+    }
+
+    #[test]
+    fn bigger_batches_amortize_writes() {
+        let small = sched(1, WriteParallelism::PerRow).report();
+        let large = sched(1024, WriteParallelism::PerRow).report();
+        assert!(large.compute_utilization > small.compute_utilization);
+        assert!(large.effective_tops > small.effective_tops);
+    }
+
+    #[test]
+    fn batch_saturates_toward_peak_throughput() {
+        let peak = crate::performance::PerformanceModel::paper().throughput_tops();
+        let r = sched(100_000, WriteParallelism::PerRow).report();
+        assert!(
+            r.effective_tops > 0.95 * peak,
+            "large batches should approach {peak} TOPS, got {}",
+            r.effective_tops
+        );
+        assert!(r.effective_tops <= peak * 1.001);
+    }
+
+    #[test]
+    fn more_write_parallelism_cuts_stall_time() {
+        let word = sched(64, WriteParallelism::PerWord).report();
+        let row = sched(64, WriteParallelism::PerRow).report();
+        let full = sched(64, WriteParallelism::FullArray).report();
+        assert!(full.write_time_s < row.write_time_s);
+        assert!(row.write_time_s < word.write_time_s);
+        // Parallelism changes time, not energy.
+        assert!((full.write_energy_j - word.write_energy_j).abs() < 1e-18);
+    }
+
+    #[test]
+    fn flip_fraction_scales_write_energy() {
+        let half = sched(1, WriteParallelism::PerRow).report();
+        let all = sched(1, WriteParallelism::PerRow)
+            .with_flip_fraction(1.0)
+            .report();
+        assert!((all.write_energy_j / half.write_energy_j - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn twenty_gigahertz_updates_make_streaming_cheap() {
+        // The paper's point: at 20 GHz, even batch-16 streaming keeps the
+        // optics busy most of the time.
+        let r = sched(16, WriteParallelism::PerRow).report();
+        assert!(
+            r.compute_utilization > 0.5,
+            "20 GHz updates should not dominate: utilization {}",
+            r.compute_utilization
+        );
+        // At a [48]-class 0.5 GHz update rate, the same schedule stalls.
+        let mut slow_cfg = TensorCoreConfig::paper();
+        slow_cfg.psram.update_rate = pic_units::Frequency::from_gigahertz(0.5);
+        // Keep the write pulse inside the slower slot.
+        let slow =
+            StreamingSchedule::new(slow_cfg, 64, 64, 16, WriteParallelism::PerRow).report();
+        assert!(slow.compute_utilization < r.compute_utilization / 2.0);
+    }
+}

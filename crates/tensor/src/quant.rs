@@ -1,0 +1,121 @@
+//! Fixed-point quantisation of weights and inputs.
+//!
+//! Weights are unsigned n-bit codes (`w/2^n ∈ [0, 1)` of transmission);
+//! inputs are analog intensities in `[0, 1]`. Signed arithmetic, when a
+//! network needs it, is handled the way analog IMC macros usually do it —
+//! by differential weight pairs (see [`signed_to_differential`]).
+
+/// Quantises `x ∈ [0, 1]` to the nearest n-bit code.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or above 16, or `x` is outside `[0, 1]`.
+///
+/// ```
+/// use pic_tensor::quant::quantize_unsigned;
+/// assert_eq!(quantize_unsigned(0.99, 3), 7);
+/// assert_eq!(quantize_unsigned(0.5, 3), 4);
+/// assert_eq!(quantize_unsigned(0.0, 3), 0);
+/// ```
+#[must_use]
+pub fn quantize_unsigned(x: f64, bits: u32) -> u32 {
+    assert!((1..=16).contains(&bits), "bits must be 1..=16");
+    assert!((0.0..=1.0).contains(&x), "value {x} outside [0, 1]");
+    let max = (1u32 << bits) - 1;
+    ((x * max as f64).round() as u32).min(max)
+}
+
+/// The value an n-bit code represents: `code / (2^n − 1)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is invalid or `code` does not fit.
+#[must_use]
+pub fn dequantize_unsigned(code: u32, bits: u32) -> f64 {
+    assert!((1..=16).contains(&bits), "bits must be 1..=16");
+    let max = (1u32 << bits) - 1;
+    assert!(code <= max, "code {code} does not fit in {bits} bits");
+    code as f64 / max as f64
+}
+
+/// Quantises a whole matrix of `[0, 1]` weights.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`quantize_unsigned`].
+#[must_use]
+pub fn quantize_matrix(weights: &[Vec<f64>], bits: u32) -> Vec<Vec<u32>> {
+    weights
+        .iter()
+        .map(|row| row.iter().map(|&w| quantize_unsigned(w, bits)).collect())
+        .collect()
+}
+
+/// Splits a signed weight `x ∈ [−1, 1]` into a `(positive, negative)`
+/// pair of unsigned codes such that `x ≈ deq(pos) − deq(neg)` — the
+/// differential-column trick for signed MACs on an intensity (non-negative)
+/// substrate.
+///
+/// # Panics
+///
+/// Panics if `x` is outside `[−1, 1]` or `bits` is invalid.
+#[must_use]
+pub fn signed_to_differential(x: f64, bits: u32) -> (u32, u32) {
+    assert!((-1.0..=1.0).contains(&x), "value {x} outside [-1, 1]");
+    if x >= 0.0 {
+        (quantize_unsigned(x, bits), 0)
+    } else {
+        (0, quantize_unsigned(-x, bits))
+    }
+}
+
+/// Worst-case quantisation error of an n-bit code, in value units.
+#[must_use]
+pub fn quantization_step(bits: u32) -> f64 {
+    assert!((1..=16).contains(&bits), "bits must be 1..=16");
+    1.0 / ((1u32 << bits) - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        for bits in [1u32, 3, 8] {
+            for k in 0..=100 {
+                let x = k as f64 / 100.0;
+                let err = (dequantize_unsigned(quantize_unsigned(x, bits), bits) - x).abs();
+                assert!(err <= 0.5 * quantization_step(bits) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_map_to_extremes() {
+        assert_eq!(quantize_unsigned(1.0, 3), 7);
+        assert_eq!(quantize_unsigned(0.0, 3), 0);
+        assert!((dequantize_unsigned(7, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differential_reconstructs_sign() {
+        for &x in &[-1.0, -0.4, 0.0, 0.7, 1.0] {
+            let (p, n) = signed_to_differential(x, 3);
+            let back = dequantize_unsigned(p, 3) - dequantize_unsigned(n, 3);
+            assert!((back - x).abs() <= 0.5 * quantization_step(3) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_quantisation_preserves_shape() {
+        let m = quantize_matrix(&[vec![0.0, 1.0], vec![0.5, 0.25]], 3);
+        assert_eq!(m, vec![vec![0, 7], vec![4, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_overrange_weight() {
+        let _ = quantize_unsigned(1.2, 3);
+    }
+}

@@ -1,0 +1,366 @@
+//! The 1×m mixed-signal WDM vector-multiply macro (Fig. 2).
+
+use pic_photonics::{bus, splitter, FrequencyComb, Mrr, OperatingPoint, Photodiode};
+use pic_units::{Current, Voltage};
+
+/// How the WDM multiplication is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComputeMode {
+    /// All channels propagate together down each branch bus — the physical
+    /// operation.
+    #[default]
+    FullWdm,
+    /// One wavelength at a time with all rings present, photocurrents
+    /// summed afterwards — the paper's §IV-B methodology (the GF45SPCLO
+    /// testbench simulates a single wavelength per run). Identical to
+    /// [`ComputeMode::FullWdm`] when channels superpose linearly; the test
+    /// suite checks the two agree, validating the paper's approach.
+    SingleChannelSuperposition,
+}
+
+/// One vector-multiply macro: `m` WDM inputs × `m` n-bit weights.
+///
+/// Per §II-B, the input bus fans out through a binary splitter ladder into
+/// `n` branch buses (powers `1/2 … 1/2ⁿ` of the input, MSB first). Branch
+/// `b` carries `m` multiplier rings, one per wavelength, each driven by
+/// bit `b` of the corresponding weight: driven to VDD the ring detunes and
+/// passes its channel (weight bit 1), at 0 V it resonates and strips it
+/// (bit 0). Each branch ends in a photodiode; the summed photocurrent is
+/// the analog dot product.
+#[derive(Debug, Clone)]
+pub struct VectorComputeCore {
+    comb: FrequencyComb,
+    weight_bits: u32,
+    vdd: Voltage,
+    /// `rings[branch][channel]`, identical across branches.
+    rings: Vec<Vec<Mrr>>,
+    pd: Photodiode,
+    mode: ComputeMode,
+}
+
+impl VectorComputeCore {
+    /// Builds a macro on the given comb grid with `weight_bits`-bit
+    /// weights, ring drive swing `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_bits` is outside 1..=8.
+    #[must_use]
+    pub fn new(comb: FrequencyComb, weight_bits: u32, vdd: Voltage) -> Self {
+        assert!(
+            (1..=8).contains(&weight_bits),
+            "weight precision must be 1..=8 bits"
+        );
+        let grid = comb.wavelengths();
+        let rings: Vec<Vec<Mrr>> = (0..weight_bits)
+            .map(|_| {
+                grid.iter()
+                    .map(|&wl| {
+                        // Resonant (absorbing) at 0 V; VDD detunes it off
+                        // resonance so the channel passes (§II-B polarity).
+                        Mrr::compute_ring_design()
+                            .resonant_at(wl, Voltage::ZERO)
+                            .build()
+                    })
+                    .collect()
+            })
+            .collect();
+        VectorComputeCore {
+            comb,
+            weight_bits,
+            vdd,
+            rings,
+            pd: Photodiode::gf45spclo(),
+            mode: ComputeMode::FullWdm,
+        }
+    }
+
+    /// The paper's macro: 4 wavelengths at 2.33 nm spacing, 3-bit weights.
+    #[must_use]
+    pub fn paper_macro(per_line_power: pic_units::OpticalPower) -> Self {
+        VectorComputeCore::new(
+            FrequencyComb::paper_compute_grid(per_line_power),
+            3,
+            Voltage::from_volts(1.0),
+        )
+    }
+
+    /// Switches the evaluation mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ComputeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Vector length `m` (= wavelength channels).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.comb.line_count()
+    }
+
+    /// Weight precision in bits.
+    #[must_use]
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// The comb source feeding this macro.
+    #[must_use]
+    pub fn comb(&self) -> &FrequencyComb {
+        &self.comb
+    }
+
+    /// Analog dot-product photocurrent for `inputs ∈ [0,1]^m` and one
+    /// drive voltage per (weight, bit), MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `drives` have the wrong shape, or inputs
+    /// leave `[0, 1]`.
+    #[must_use]
+    pub fn output_current(&self, inputs: &[f64], drives: &[Vec<Voltage>]) -> Current {
+        self.output_current_at_drift(inputs, drives, 0.0)
+    }
+
+    /// Like [`VectorComputeCore::output_current`] but with every
+    /// multiplier ring detuned by a uniform ambient temperature offset —
+    /// the free-running half of the thermal study (the mitigation lives in
+    /// [`pic_photonics::thermal`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`VectorComputeCore::output_current`].
+    #[must_use]
+    pub fn output_current_at_drift(
+        &self,
+        inputs: &[f64],
+        drives: &[Vec<Voltage>],
+        ambient_drift_k: f64,
+    ) -> Current {
+        assert_eq!(inputs.len(), self.width(), "one input per channel");
+        assert_eq!(drives.len(), self.width(), "one drive set per weight");
+        for d in drives {
+            assert_eq!(
+                d.len(),
+                self.weight_bits as usize,
+                "one drive per weight bit"
+            );
+        }
+
+        let encoded = self.comb.encode(inputs);
+        let (fractions, _) = splitter::binary_ladder(self.weight_bits);
+
+        let mut total = Current::ZERO;
+        match self.mode {
+            ComputeMode::FullWdm => {
+                for (b, &frac) in fractions.iter().enumerate() {
+                    let branch_in = encoded.transmit(|_| frac);
+                    let stages: Vec<(&Mrr, OperatingPoint)> = self.rings[b]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            (r, OperatingPoint::new(drives[i][b], ambient_drift_k))
+                        })
+                        .collect();
+                    let thru = bus::propagate_thru(&branch_in, &stages);
+                    total += self.pd.photocurrent(thru.total_power());
+                }
+            }
+            ComputeMode::SingleChannelSuperposition => {
+                for (b, &frac) in fractions.iter().enumerate() {
+                    let stages: Vec<(&Mrr, OperatingPoint)> = self.rings[b]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            (r, OperatingPoint::new(drives[i][b], ambient_drift_k))
+                        })
+                        .collect();
+                    for ch in 0..self.width() {
+                        let mut lone = self.comb.encode(
+                            &(0..self.width())
+                                .map(|i| if i == ch { inputs[i] } else { 0.0 })
+                                .collect::<Vec<_>>(),
+                        );
+                        lone = lone.transmit(|_| frac);
+                        let thru = bus::propagate_thru(&lone, &stages);
+                        total += self.pd.photocurrent(thru.total_power());
+                    }
+                    // The per-channel runs each add a dark-current floor;
+                    // remove the duplicates so the superposition matches
+                    // the single physical photodiode.
+                    total -= self.pd.dark_current() * (self.width() as f64 - 1.0);
+                }
+            }
+        }
+        total
+    }
+
+    /// Convenience: drive voltages derived from integer weight codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a code does not fit the weight precision.
+    #[must_use]
+    pub fn drives_for_codes(&self, codes: &[u32]) -> Vec<Vec<Voltage>> {
+        codes
+            .iter()
+            .map(|&code| {
+                assert!(
+                    code < (1u32 << self.weight_bits),
+                    "code {code} does not fit in {} bits",
+                    self.weight_bits
+                );
+                (0..self.weight_bits)
+                    .map(|b| {
+                        let bit = (code >> (self.weight_bits - 1 - b)) & 1 == 1;
+                        if bit { self.vdd } else { Voltage::ZERO }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Ideal (lossless, crosstalk-free) dot-product current for comparison
+    /// with [`VectorComputeCore::output_current`].
+    #[must_use]
+    pub fn ideal_current(&self, inputs: &[f64], codes: &[u32]) -> Current {
+        assert_eq!(inputs.len(), codes.len(), "inputs and codes must pair up");
+        let p0 = self.comb.per_line_power();
+        let scale = 1.0 / (1u64 << self.weight_bits) as f64;
+        let watts: f64 = inputs
+            .iter()
+            .zip(codes)
+            .map(|(&x, &w)| x * w as f64 * scale * p0.as_watts())
+            .sum();
+        pic_units::OpticalPower::from_watts(watts).photocurrent(self.pd.responsivity())
+    }
+
+    /// Photocurrent when every input is 1.0 and every weight is full scale
+    /// — the normalisation reference for ADC read-out.
+    #[must_use]
+    pub fn full_scale_current(&self) -> Current {
+        let max_code = (1u32 << self.weight_bits) - 1;
+        self.ideal_current(&vec![1.0; self.width()], &vec![max_code; self.width()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_units::OpticalPower;
+
+    fn core() -> VectorComputeCore {
+        VectorComputeCore::paper_macro(OpticalPower::from_milliwatts(1.0))
+    }
+
+    #[test]
+    fn zero_weights_extinguish_output() {
+        let c = core();
+        let drives = c.drives_for_codes(&[0, 0, 0, 0]);
+        let i = c.output_current(&[1.0, 1.0, 1.0, 1.0], &drives);
+        let fs = c.full_scale_current();
+        assert!(
+            i.as_amps() < 0.02 * fs.as_amps(),
+            "all-zero weights leak {} of full scale",
+            i.as_amps() / fs.as_amps()
+        );
+    }
+
+    #[test]
+    fn full_weights_reach_near_full_scale() {
+        let c = core();
+        let drives = c.drives_for_codes(&[7, 7, 7, 7]);
+        let i = c.output_current(&[1.0, 1.0, 1.0, 1.0], &drives);
+        let fs = c.full_scale_current();
+        let ratio = i.as_amps() / fs.as_amps();
+        assert!(
+            ratio > 0.85 && ratio <= 1.0,
+            "full-scale ratio {ratio} (ring insertion loss should cost <15 %)"
+        );
+    }
+
+    #[test]
+    fn output_scales_linearly_with_input() {
+        let c = core();
+        let drives = c.drives_for_codes(&[5, 5, 5, 5]);
+        let i1 = c.output_current(&[0.25, 0.25, 0.25, 0.25], &drives);
+        let i2 = c.output_current(&[0.5, 0.5, 0.5, 0.5], &drives);
+        let ratio = (i2.as_amps() - c.dark_floor()) / (i1.as_amps() - c.dark_floor());
+        assert!((ratio - 2.0).abs() < 0.05, "nonlinear in input: ×{ratio}");
+    }
+
+    #[test]
+    fn output_scales_binary_with_weight_code() {
+        let c = core();
+        let x = [1.0, 0.0, 0.0, 0.0];
+        let mut prev = 0.0;
+        for code in [1u32, 2, 4] {
+            let drives = c.drives_for_codes(&[code, 0, 0, 0]);
+            let i = c.output_current(&x, &drives).as_amps() - c.dark_floor();
+            if prev > 0.0 {
+                let ratio = i / prev;
+                assert!(
+                    (ratio - 2.0).abs() < 0.15,
+                    "code doubling gave ×{ratio}, not ×2"
+                );
+            }
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn tracks_ideal_product_within_ten_percent() {
+        // The Fig. 7 shape: measured vs ideal stays near the identity.
+        let c = core();
+        let cases = [
+            ([0.3, 0.7, 0.1, 0.9], [3u32, 5, 1, 7]),
+            ([1.0, 1.0, 0.0, 0.0], [7, 7, 7, 7]),
+            ([0.5, 0.5, 0.5, 0.5], [2, 4, 6, 1]),
+        ];
+        let fs = c.full_scale_current().as_amps();
+        for (x, w) in cases {
+            let drives = c.drives_for_codes(&w);
+            let got = c.output_current(&x, &drives).as_amps() / fs;
+            let ideal = c.ideal_current(&x, &w).as_amps() / fs;
+            assert!(
+                (got - ideal).abs() < 0.1,
+                "normalised output {got} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn superposition_mode_matches_full_wdm() {
+        // Validates the paper's one-wavelength-at-a-time methodology.
+        let full = core();
+        let single = core().with_mode(ComputeMode::SingleChannelSuperposition);
+        let x = [0.8, 0.2, 0.6, 0.4];
+        let w = [6u32, 3, 7, 1];
+        let a = full.output_current(&x, &full.drives_for_codes(&w));
+        let b = single.output_current(&x, &single.drives_for_codes(&w));
+        let rel = (a.as_amps() - b.as_amps()).abs() / a.as_amps().max(1e-18);
+        assert!(rel < 1e-6, "modes disagree by {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per channel")]
+    fn input_length_checked() {
+        let c = core();
+        let drives = c.drives_for_codes(&[0, 0, 0, 0]);
+        let _ = c.output_current(&[1.0], &drives);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn code_range_checked() {
+        let _ = core().drives_for_codes(&[8, 0, 0, 0]);
+    }
+}
+
+#[cfg(test)]
+impl VectorComputeCore {
+    /// Total dark-current floor across the branch photodiodes (test aid).
+    fn dark_floor(&self) -> f64 {
+        self.pd.dark_current().as_amps() * self.weight_bits as f64
+    }
+}

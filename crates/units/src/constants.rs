@@ -1,0 +1,35 @@
+//! Physical constants and paper-wide calibration constants.
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Planck constant, J·s.
+pub const PLANCK: f64 = 6.626_070_15e-34;
+
+/// Laser wall-plug efficiency assumed throughout the paper
+/// (Blokhin et al., 1300 nm superlattice VCSEL, ref. \[47\]).
+pub const WALL_PLUG_EFFICIENCY: f64 = 0.23;
+
+/// Nominal O-band operating wavelength of the GF45SPCLO devices, nm.
+pub const O_BAND_NM: f64 = 1310.0;
+
+/// eoADC operating wavelength reported in §IV-C, nm.
+pub const EOADC_WAVELENGTH_NM: f64 = 1310.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_sane() {
+        assert!(SPEED_OF_LIGHT > 2.9e8 && SPEED_OF_LIGHT < 3.0e8);
+        assert!(WALL_PLUG_EFFICIENCY > 0.0 && WALL_PLUG_EFFICIENCY < 1.0);
+        assert!(EOADC_WAVELENGTH_NM > O_BAND_NM);
+    }
+}

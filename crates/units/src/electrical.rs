@@ -1,0 +1,173 @@
+//! Electrical quantities: voltage, current, charge, capacitance, resistance.
+
+use crate::{Energy, Seconds};
+
+quantity! {
+    /// Electrical potential.
+    ///
+    /// ```
+    /// use pic_units::Voltage;
+    /// let vdd = Voltage::from_volts(1.0);
+    /// assert_eq!((vdd * 0.5).as_volts(), 0.5);
+    /// ```
+    Voltage, base = volts, from = from_volts, as_ = as_volts, unit = "V"
+}
+
+quantity! {
+    /// Electrical current.
+    ///
+    /// ```
+    /// use pic_units::Current;
+    /// let photocurrent = Current::from_microamps(12.0);
+    /// assert!((photocurrent.as_amps() - 12.0e-6).abs() < 1e-18);
+    /// ```
+    Current, base = amps, from = from_amps, as_ = as_amps, unit = "A"
+}
+
+quantity! {
+    /// Electrical charge.
+    Charge, base = coulombs, from = from_coulombs, as_ = as_coulombs, unit = "C"
+}
+
+quantity! {
+    /// Capacitance.
+    ///
+    /// ```
+    /// use pic_units::Capacitance;
+    /// let node = Capacitance::from_femtofarads(2.0);
+    /// assert!((node.as_farads() - 2.0e-15).abs() < 1e-27);
+    /// ```
+    Capacitance, base = farads, from = from_farads, as_ = as_farads, unit = "F"
+}
+
+quantity! {
+    /// Resistance.
+    Resistance, base = ohms, from = from_ohms, as_ = as_ohms, unit = "Ω"
+}
+
+impl Voltage {
+    /// Creates a voltage from millivolts.
+    #[must_use]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Voltage::from_volts(mv * 1e-3)
+    }
+
+    /// Value in millivolts.
+    #[must_use]
+    pub fn as_millivolts(self) -> f64 {
+        self.as_volts() * 1e3
+    }
+}
+
+impl Current {
+    /// Creates a current from microamps.
+    #[must_use]
+    pub fn from_microamps(ua: f64) -> Self {
+        Current::from_amps(ua * 1e-6)
+    }
+
+    /// Value in microamps.
+    #[must_use]
+    pub fn as_microamps(self) -> f64 {
+        self.as_amps() * 1e6
+    }
+
+    /// Creates a current from milliamps.
+    #[must_use]
+    pub fn from_milliamps(ma: f64) -> Self {
+        Current::from_amps(ma * 1e-3)
+    }
+
+    /// Charge delivered over `dt`.
+    #[must_use]
+    pub fn charge_over(self, dt: Seconds) -> Charge {
+        Charge::from_coulombs(self.as_amps() * dt.as_seconds())
+    }
+}
+
+impl Capacitance {
+    /// Creates a capacitance from femtofarads.
+    #[must_use]
+    pub fn from_femtofarads(ff: f64) -> Self {
+        Capacitance::from_farads(ff * 1e-15)
+    }
+
+    /// Value in femtofarads.
+    #[must_use]
+    pub fn as_femtofarads(self) -> f64 {
+        self.as_farads() * 1e15
+    }
+
+    /// Energy stored at voltage `v`: `½CV²`.
+    #[must_use]
+    pub fn stored_energy(self, v: Voltage) -> Energy {
+        Energy::from_joules(0.5 * self.as_farads() * v.as_volts() * v.as_volts())
+    }
+
+    /// Voltage change produced by net current `i` over `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is zero.
+    #[must_use]
+    pub fn voltage_delta(self, i: Current, dt: Seconds) -> Voltage {
+        assert!(self.as_farads() > 0.0, "capacitance must be positive");
+        Voltage::from_volts(i.as_amps() * dt.as_seconds() / self.as_farads())
+    }
+}
+
+impl std::ops::Div<Resistance> for Voltage {
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::from_amps(self.as_volts() / rhs.as_ohms())
+    }
+}
+
+impl std::ops::Mul<Current> for Voltage {
+    type Output = crate::ElectricalPower;
+    fn mul(self, rhs: Current) -> crate::ElectricalPower {
+        crate::ElectricalPower::from_watts(self.as_volts() * rhs.as_amps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law() {
+        let i = Voltage::from_volts(1.0) / Resistance::from_ohms(1000.0);
+        assert!((i.as_amps() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_charging() {
+        // 10 µA into 2 fF for 1 ps → 5 mV
+        let dv = Capacitance::from_femtofarads(2.0)
+            .voltage_delta(Current::from_microamps(10.0), Seconds::from_picoseconds(1.0));
+        assert!((dv.as_millivolts() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stored_energy_quadratic() {
+        let c = Capacitance::from_femtofarads(4.0);
+        let e1 = c.stored_energy(Voltage::from_volts(1.0));
+        let e2 = c.stored_energy(Voltage::from_volts(2.0));
+        assert!((e2.as_joules() / e1.as_joules() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_from_iv() {
+        let p = Voltage::from_volts(1.8) * Current::from_milliamps(2.0);
+        assert!((p.as_watts() - 3.6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantity_ordering_and_sum() {
+        let a = Voltage::from_volts(0.3);
+        let b = Voltage::from_volts(0.7);
+        assert!(a < b);
+        let total: Voltage = [a, b].into_iter().sum();
+        assert!((total.as_volts() - 1.0).abs() < 1e-12);
+    }
+}

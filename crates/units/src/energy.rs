@@ -1,0 +1,69 @@
+//! Energy quantity.
+
+use crate::{ElectricalPower, Seconds};
+
+quantity! {
+    /// Energy.
+    ///
+    /// ```
+    /// use pic_units::Energy;
+    /// let per_switch = Energy::from_picojoules(0.5);
+    /// assert!((per_switch.as_joules() - 0.5e-12).abs() < 1e-24);
+    /// ```
+    Energy, base = joules, from = from_joules, as_ = as_joules, unit = "J"
+}
+
+impl Energy {
+    /// Creates an energy from picojoules.
+    #[must_use]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Energy::from_joules(pj * 1e-12)
+    }
+
+    /// Value in picojoules.
+    #[must_use]
+    pub fn as_picojoules(self) -> f64 {
+        self.as_joules() * 1e12
+    }
+
+    /// Creates an energy from femtojoules.
+    #[must_use]
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Energy::from_joules(fj * 1e-15)
+    }
+
+    /// Value in femtojoules.
+    #[must_use]
+    pub fn as_femtojoules(self) -> f64 {
+        self.as_joules() * 1e15
+    }
+
+    /// Average power when this energy is spent every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or negative.
+    #[must_use]
+    pub fn average_power(self, period: Seconds) -> ElectricalPower {
+        assert!(period.as_seconds() > 0.0, "period must be positive");
+        ElectricalPower::from_watts(self.as_joules() / period.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Frequency;
+
+    #[test]
+    fn average_power_round_trip() {
+        // 2.32 pJ at 8 GS/s → 18.56 mW.
+        let p = Energy::from_picojoules(2.32).average_power(Frequency::from_gigahertz(8.0).period());
+        assert!((p.as_milliwatts() - 18.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn femtojoule_conversions() {
+        assert!((Energy::from_femtojoules(500.0).as_picojoules() - 0.5).abs() < 1e-12);
+    }
+}

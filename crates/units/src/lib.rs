@@ -1,0 +1,139 @@
+//! Typed physical quantities for photonic/electronic co-simulation.
+//!
+//! Every quantity that crosses a module boundary in this workspace is a
+//! newtype over `f64` ([C-NEWTYPE]): a [`Wavelength`] cannot be confused
+//! with a [`Voltage`], and optical power carries its dBm/mW conversion with
+//! it instead of leaving the log/linear distinction to comments.
+//!
+//! # Examples
+//!
+//! ```
+//! use pic_units::{OpticalPower, Wavelength};
+//!
+//! let bias = OpticalPower::from_dbm(-20.0);
+//! assert!((bias.as_milliwatts() - 0.01).abs() < 1e-12);
+//!
+//! let o_band = Wavelength::from_nanometers(1310.0);
+//! assert!(o_band.frequency().as_hertz() > 2.0e14);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#[macro_use]
+mod macros;
+
+pub mod constants;
+mod electrical;
+mod energy;
+mod power;
+mod time;
+mod wavelength;
+
+pub use electrical::{Capacitance, Charge, Current, Resistance, Voltage};
+pub use energy::Energy;
+pub use power::{ElectricalPower, OpticalPower};
+pub use time::{Frequency, Seconds};
+pub use wavelength::Wavelength;
+
+/// Ratio of two like quantities; dimensionless, convertible to decibels.
+///
+/// ```
+/// use pic_units::Ratio;
+/// let half = Ratio::new(0.5);
+/// assert!((half.as_db() + 3.0103).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// Unity ratio (0 dB).
+    pub const UNITY: Ratio = Ratio(1.0);
+    /// Zero ratio (fully extinguished).
+    pub const ZERO: Ratio = Ratio(0.0);
+
+    /// Creates a ratio from a linear value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is negative or not finite.
+    #[must_use]
+    pub fn new(linear: f64) -> Self {
+        assert!(
+            linear.is_finite() && linear >= 0.0,
+            "ratio must be finite and non-negative, got {linear}"
+        );
+        Ratio(linear)
+    }
+
+    /// Creates a ratio from a decibel value.
+    #[must_use]
+    pub fn from_db(db: f64) -> Self {
+        Ratio(10f64.powf(db / 10.0))
+    }
+
+    /// Linear value of the ratio.
+    #[must_use]
+    pub fn as_linear(self) -> f64 {
+        self.0
+    }
+
+    /// Decibel value of the ratio (`-inf` for zero).
+    #[must_use]
+    pub fn as_db(self) -> f64 {
+        10.0 * self.0.log10()
+    }
+
+    /// Clamps the ratio into `[0, 1]`, useful for passive transmissions.
+    #[must_use]
+    pub fn clamp_passive(self) -> Self {
+        Ratio(self.0.clamp(0.0, 1.0))
+    }
+}
+
+impl std::ops::Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 * rhs.0)
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ({:.2} dB)", self.0, self.as_db())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_db_round_trip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0] {
+            let r = Ratio::from_db(db);
+            assert!((r.as_db() - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ratio_multiplication_adds_db() {
+        let a = Ratio::from_db(-3.0);
+        let b = Ratio::from_db(-7.0);
+        assert!(((a * b).as_db() + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn ratio_rejects_negative() {
+        let _ = Ratio::new(-0.1);
+    }
+
+    #[test]
+    fn clamp_passive_bounds() {
+        assert_eq!(Ratio::new(1.5).clamp_passive().as_linear(), 1.0);
+        assert_eq!(Ratio::new(0.5).clamp_passive().as_linear(), 0.5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Internal boilerplate for `f64`-backed quantity newtypes.
+
+/// Implements the shared surface of a scalar quantity newtype: constructors
+/// from/to the SI base unit, ordering, arithmetic with `Self` and scaling by
+/// `f64`, `Display` with the given unit suffix, and serde passthrough.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base:ident, from = $from:ident, as_ = $as_:ident, unit = $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug,
+            Clone,
+            Copy,
+            PartialEq,
+            PartialOrd,
+            Default,
+            serde::Serialize,
+            serde::Deserialize,
+        )]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            #[doc = concat!("Creates the quantity from a value in ", $unit, ".")]
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is not finite.
+            #[must_use]
+            pub fn $from(value: f64) -> Self {
+                assert!(
+                    value.is_finite(),
+                    concat!(stringify!($name), " must be finite, got {}"),
+                    value
+                );
+                $name(value)
+            }
+
+            #[doc = concat!("Value in ", $unit, ".")]
+            #[must_use]
+            pub fn $as_(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// The larger of the two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// The smaller of the two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Clamps the quantity between `lo` and `hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Dimensionless ratio of `self` to `other`.
+            #[must_use]
+            pub fn ratio_to(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!("{:.6e} ", $unit), self.0)
+            }
+        }
+    };
+}

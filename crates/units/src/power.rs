@@ -1,0 +1,165 @@
+//! Optical and electrical power quantities.
+
+use crate::constants::WALL_PLUG_EFFICIENCY;
+use crate::{Current, Energy, Ratio, Seconds};
+
+quantity! {
+    /// Optical power carried by light in a waveguide or fibre.
+    ///
+    /// Stored linearly in watts; dBm conversions are provided because the
+    /// paper specifies every source in dBm.
+    ///
+    /// ```
+    /// use pic_units::OpticalPower;
+    /// let write = OpticalPower::from_dbm(0.0);
+    /// assert!((write.as_milliwatts() - 1.0).abs() < 1e-12);
+    /// ```
+    OpticalPower, base = watts, from = from_watts, as_ = as_watts, unit = "W (optical)"
+}
+
+quantity! {
+    /// Electrical power drawn from a supply.
+    ElectricalPower, base = watts, from = from_watts, as_ = as_watts, unit = "W"
+}
+
+impl OpticalPower {
+    /// Creates an optical power from a dBm value (0 dBm = 1 mW).
+    #[must_use]
+    pub fn from_dbm(dbm: f64) -> Self {
+        OpticalPower::from_watts(1e-3 * 10f64.powf(dbm / 10.0))
+    }
+
+    /// Value in dBm (`-inf` for zero power).
+    #[must_use]
+    pub fn as_dbm(self) -> f64 {
+        10.0 * (self.as_watts() / 1e-3).log10()
+    }
+
+    /// Creates an optical power from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        OpticalPower::from_watts(mw * 1e-3)
+    }
+
+    /// Value in milliwatts.
+    #[must_use]
+    pub fn as_milliwatts(self) -> f64 {
+        self.as_watts() * 1e3
+    }
+
+    /// Creates an optical power from microwatts.
+    #[must_use]
+    pub fn from_microwatts(uw: f64) -> Self {
+        OpticalPower::from_watts(uw * 1e-6)
+    }
+
+    /// Value in microwatts.
+    #[must_use]
+    pub fn as_microwatts(self) -> f64 {
+        self.as_watts() * 1e6
+    }
+
+    /// Attenuates the power by a passive transmission ratio.
+    #[must_use]
+    pub fn attenuate(self, transmission: Ratio) -> Self {
+        OpticalPower::from_watts(self.as_watts() * transmission.clamp_passive().as_linear())
+    }
+
+    /// Electrical wall-plug power required to generate this optical power
+    /// with a laser of efficiency `wall_plug` (see
+    /// [`constants::WALL_PLUG_EFFICIENCY`](crate::constants::WALL_PLUG_EFFICIENCY)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wall_plug` is not in `(0, 1]`.
+    #[must_use]
+    pub fn wall_plug_power(self, wall_plug: f64) -> ElectricalPower {
+        assert!(
+            wall_plug > 0.0 && wall_plug <= 1.0,
+            "wall-plug efficiency must be in (0, 1], got {wall_plug}"
+        );
+        ElectricalPower::from_watts(self.as_watts() / wall_plug)
+    }
+
+    /// Wall-plug power using the paper's assumed 0.23 efficiency.
+    #[must_use]
+    pub fn wall_plug_power_default(self) -> ElectricalPower {
+        self.wall_plug_power(WALL_PLUG_EFFICIENCY)
+    }
+
+    /// Photocurrent produced by a detector of the given responsivity (A/W).
+    #[must_use]
+    pub fn photocurrent(self, responsivity_a_per_w: f64) -> Current {
+        Current::from_amps(self.as_watts() * responsivity_a_per_w)
+    }
+}
+
+impl ElectricalPower {
+    /// Creates an electrical power from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        ElectricalPower::from_watts(mw * 1e-3)
+    }
+
+    /// Value in milliwatts.
+    #[must_use]
+    pub fn as_milliwatts(self) -> f64 {
+        self.as_watts() * 1e3
+    }
+
+    /// Value in microwatts.
+    #[must_use]
+    pub fn as_microwatts(self) -> f64 {
+        self.as_watts() * 1e6
+    }
+
+    /// Energy consumed over a duration.
+    #[must_use]
+    pub fn energy_over(self, dt: Seconds) -> Energy {
+        Energy::from_joules(self.as_watts() * dt.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        for dbm in [-20.0, -3.0, 0.0, 10.0] {
+            let p = OpticalPower::from_dbm(dbm);
+            assert!((p.as_dbm() - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_bias_power_is_ten_microwatts() {
+        let bias = OpticalPower::from_dbm(-20.0);
+        assert!((bias.as_microwatts() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_plug_scales_power() {
+        let p = OpticalPower::from_milliwatts(2.3).wall_plug_power_default();
+        assert!((p.as_milliwatts() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuation_is_passive() {
+        let p = OpticalPower::from_milliwatts(1.0).attenuate(Ratio::new(2.0));
+        assert!(p.as_milliwatts() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn photocurrent_linear_in_power() {
+        let i = OpticalPower::from_microwatts(10.0).photocurrent(0.9);
+        assert!((i.as_microamps() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_integration() {
+        // 18.58 mW for 125 ps ≈ 2.32 pJ (paper's eoADC energy/conversion).
+        let e = ElectricalPower::from_milliwatts(18.58).energy_over(Seconds::from_picoseconds(125.0));
+        assert!((e.as_picojoules() - 2.3225).abs() < 1e-3);
+    }
+}

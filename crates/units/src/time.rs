@@ -1,0 +1,121 @@
+//! Time and frequency quantities.
+
+quantity! {
+    /// A duration in seconds.
+    ///
+    /// ```
+    /// use pic_units::Seconds;
+    /// let write_pulse = Seconds::from_picoseconds(50.0);
+    /// assert!((write_pulse.as_seconds() - 50.0e-12).abs() < 1e-24);
+    /// ```
+    Seconds, base = seconds, from = from_seconds, as_ = as_seconds, unit = "s"
+}
+
+quantity! {
+    /// A rate in hertz.
+    ///
+    /// ```
+    /// use pic_units::Frequency;
+    /// let adc_rate = Frequency::from_gigahertz(8.0);
+    /// assert!((adc_rate.period().as_picoseconds() - 125.0).abs() < 1e-9);
+    /// ```
+    Frequency, base = hertz, from = from_hertz, as_ = as_hertz, unit = "Hz"
+}
+
+impl Seconds {
+    /// Creates a duration from picoseconds.
+    #[must_use]
+    pub fn from_picoseconds(ps: f64) -> Self {
+        Seconds::from_seconds(ps * 1e-12)
+    }
+
+    /// Value in picoseconds.
+    #[must_use]
+    pub fn as_picoseconds(self) -> f64 {
+        self.as_seconds() * 1e12
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub fn from_nanoseconds(ns: f64) -> Self {
+        Seconds::from_seconds(ns * 1e-9)
+    }
+
+    /// Value in nanoseconds.
+    #[must_use]
+    pub fn as_nanoseconds(self) -> f64 {
+        self.as_seconds() * 1e9
+    }
+
+    /// The repetition rate whose period is this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero or negative.
+    #[must_use]
+    pub fn rate(self) -> Frequency {
+        assert!(self.as_seconds() > 0.0, "period must be positive");
+        Frequency::from_hertz(1.0 / self.as_seconds())
+    }
+}
+
+impl Frequency {
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Frequency::from_hertz(ghz * 1e9)
+    }
+
+    /// Value in gigahertz.
+    #[must_use]
+    pub fn as_gigahertz(self) -> f64 {
+        self.as_hertz() * 1e-9
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Frequency::from_hertz(mhz * 1e6)
+    }
+
+    /// The period of one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        assert!(self.as_hertz() > 0.0, "frequency must be positive");
+        Seconds::from_seconds(1.0 / self.as_hertz())
+    }
+
+    /// Angular frequency `2πf` in rad/s.
+    #[must_use]
+    pub fn angular(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.as_hertz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_rate_round_trip() {
+        let f = Frequency::from_gigahertz(20.0);
+        let back = f.period().rate();
+        assert!((back.as_gigahertz() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picosecond_conversions() {
+        let t = Seconds::from_picoseconds(125.0);
+        assert!((t.as_nanoseconds() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_has_no_period() {
+        let _ = Frequency::ZERO.period();
+    }
+}

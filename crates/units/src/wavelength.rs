@@ -1,0 +1,78 @@
+//! Optical wavelength quantity.
+
+use crate::constants::SPEED_OF_LIGHT;
+use crate::Frequency;
+
+quantity! {
+    /// Vacuum wavelength of an optical carrier.
+    ///
+    /// ```
+    /// use pic_units::Wavelength;
+    /// let ch = Wavelength::from_nanometers(1310.0);
+    /// assert!((ch.as_micrometers() - 1.31).abs() < 1e-12);
+    /// ```
+    Wavelength, base = meters, from = from_meters, as_ = as_meters, unit = "m"
+}
+
+impl Wavelength {
+    /// Creates a wavelength from nanometers.
+    #[must_use]
+    pub fn from_nanometers(nm: f64) -> Self {
+        Wavelength::from_meters(nm * 1e-9)
+    }
+
+    /// Value in nanometers.
+    #[must_use]
+    pub fn as_nanometers(self) -> f64 {
+        self.as_meters() * 1e9
+    }
+
+    /// Creates a wavelength from micrometers.
+    #[must_use]
+    pub fn from_micrometers(um: f64) -> Self {
+        Wavelength::from_meters(um * 1e-6)
+    }
+
+    /// Value in micrometers.
+    #[must_use]
+    pub fn as_micrometers(self) -> f64 {
+        self.as_meters() * 1e6
+    }
+
+    /// Optical carrier frequency `c/λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wavelength is zero or negative.
+    #[must_use]
+    pub fn frequency(self) -> Frequency {
+        assert!(self.as_meters() > 0.0, "wavelength must be positive");
+        Frequency::from_hertz(SPEED_OF_LIGHT / self.as_meters())
+    }
+
+    /// Detuning of `self` from `reference` in nanometers (signed).
+    #[must_use]
+    pub fn detuning_nm(self, reference: Wavelength) -> f64 {
+        self.as_nanometers() - reference.as_nanometers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o_band_frequency() {
+        let f = Wavelength::from_nanometers(1310.0).frequency();
+        // ≈ 228.85 THz
+        assert!((f.as_hertz() / 1e12 - 228.85).abs() < 0.1);
+    }
+
+    #[test]
+    fn detuning_sign() {
+        let a = Wavelength::from_nanometers(1312.33);
+        let b = Wavelength::from_nanometers(1310.0);
+        assert!((a.detuning_nm(b) - 2.33).abs() < 1e-9);
+        assert!((b.detuning_nm(a) + 2.33).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Characterise the 1-hot electro-optic ADC the way a test bench would:
+//! transfer function, DNL/INL, the Fig. 9 transient cases, the
+//! amplifier-less trade-off, and the time-interleaved/cascaded extensions.
+//!
+//! Run with: `cargo run --example adc_characterization`
+
+use photonic_tensor_core::eoadc::{
+    metrics::TransferFunction, AdcPowerModel, CascadedAdc, EoAdc, EoAdcConfig,
+    TimeInterleavedAdc,
+};
+use photonic_tensor_core::units::Voltage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = EoAdcConfig::paper();
+    let mut adc = EoAdc::new(config);
+    println!(
+        "eoADC: {} bits, V_FS = {} V, {} GS/s, λ = {} nm",
+        config.bits,
+        config.vfs.as_volts(),
+        config.sample_rate.as_gigahertz(),
+        config.wavelength.as_nanometers()
+    );
+
+    // Static transfer function and linearity.
+    let tf = TransferFunction::measure(&adc, 1801);
+    println!("\n transfer function ({} sweep points):", tf.inputs.len());
+    for (k, edge) in tf.edges().iter().enumerate() {
+        match edge {
+            Some(v) => println!("   code {:03b} edge at {v:.3} V", k + 1),
+            None => println!("   code {:03b} missing!", k + 1),
+        }
+    }
+    println!(
+        "   peak DNL {:.3} LSB, peak INL {:.3} LSB, offset {:.3} LSB, missing codes: {:?}",
+        tf.peak_dnl(),
+        tf.peak_inl(),
+        tf.offset_lsb().unwrap_or(f64::NAN),
+        tf.missing_codes()
+    );
+
+    // The paper's three transient verification points.
+    println!("\n transient conversions (125 ps window):");
+    for v in [0.72, 3.30, 2.00] {
+        let tc = adc.convert_transient(Voltage::from_volts(v));
+        let hot: Vec<String> = tc
+            .activations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then(|| format!("B{}", i + 1)))
+            .collect();
+        println!("   V_IN = {v:.2} V → {} → code {:03b}", hot.join("+"), tc.code?);
+    }
+
+    // Energy/speed variants.
+    let full = AdcPowerModel::new(config);
+    let lean = AdcPowerModel::without_amplifiers(config);
+    println!("\n power model:");
+    println!(
+        "   full:     {:.2} GS/s, {:.2} mW total, {:.2} pJ/conv",
+        full.sample_rate().as_gigahertz(),
+        full.total().as_milliwatts(),
+        full.energy_per_conversion().as_picojoules()
+    );
+    println!(
+        "   amp-less: {:.3} GS/s, {:.2} mW total ({:.0} % electrical saving)",
+        lean.sample_rate().as_gigahertz(),
+        lean.total().as_milliwatts(),
+        100.0 * (1.0 - lean.electrical().as_watts() / full.electrical().as_watts())
+    );
+
+    // Extensions: ×4 interleaving and 6-bit cascading.
+    let ti = TimeInterleavedAdc::new(config, 4);
+    println!(
+        "   ×4 interleaved: {:.0} GS/s aggregate at {:.1} mW",
+        ti.aggregate_rate().as_gigahertz(),
+        ti.total_power().as_milliwatts()
+    );
+    let cascade = CascadedAdc::paper_pair();
+    let v = Voltage::from_volts(1.23);
+    println!(
+        "   6-bit cascade: code({} V) = {:06b} (LSB {:.1} mV)",
+        v.as_volts(),
+        cascade.convert(v)?,
+        cascade.lsb().as_volts() * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Neural-network inference on the photonic tensor core — the workload
+//! class the paper's introduction motivates.
+//!
+//! Trains a tiny linear classifier (perceptron rule, plain Rust, offline)
+//! on a synthetic 16-dimensional pattern task, quantises the weights to
+//! the core's 3-bit precision, and compares float inference against the
+//! photonic mixed-signal pipeline (WDM multiply → PD summation → eoADC).
+//!
+//! Run with: `cargo run --example nn_inference`
+
+use photonic_tensor_core::tensor::nn::DenseLayer;
+use photonic_tensor_core::tensor::TensorCoreConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 16;
+const CLASSES: usize = 4;
+
+/// Four class prototypes: bumps centred on different quarters of the
+/// 16-element input vector.
+fn prototype(class: usize) -> Vec<f64> {
+    (0..DIM)
+        .map(|i| {
+            let center = class * 4 + 2;
+            let d = i as f64 - center as f64;
+            (-d * d / 4.0).exp()
+        })
+        .collect()
+}
+
+fn sample(class: usize, noise: f64, rng: &mut StdRng) -> Vec<f64> {
+    prototype(class)
+        .into_iter()
+        .map(|v| (v + rng.gen_range(-noise..noise)).clamp(0.0, 1.0))
+        .collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Offline training: one-vs-rest perceptron with unit-norm rows.
+    let mut w = vec![vec![0.0f64; DIM]; CLASSES];
+    for _ in 0..400 {
+        let class = rng.gen_range(0..CLASSES);
+        let x = sample(class, 0.15, &mut rng);
+        for (c, row) in w.iter_mut().enumerate() {
+            let y: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            let target = if c == class { 1.0 } else { 0.0 };
+            let err = target - y.clamp(0.0, 1.0);
+            for (wi, xi) in row.iter_mut().zip(&x) {
+                *wi = (*wi + 0.05 * err * xi).clamp(-1.0, 1.0);
+            }
+        }
+    }
+
+    // Deploy on the photonic core: 16 inputs → four 1×4 macros per row,
+    // differential rows for the signed weights.
+    let base = TensorCoreConfig {
+        cols: DIM,
+        ..TensorCoreConfig::paper()
+    };
+    let layer = DenseLayer::new(&w, base);
+    println!(
+        "photonic dense layer: {} inputs → {} classes ({} physical rows, {} pSRAM bitcells)",
+        layer.input_count(),
+        layer.output_count(),
+        layer.core().config().rows,
+        layer.core().config().bitcell_count()
+    );
+
+    // Evaluate float vs photonic on a held-out set.
+    let float_classify = |x: &[f64]| -> usize {
+        (0..CLASSES)
+            .map(|c| w[c].iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty")
+            .0
+    };
+
+    let trials = 200;
+    let (mut float_ok, mut photonic_ok, mut agree) = (0, 0, 0);
+    for _ in 0..trials {
+        let class = rng.gen_range(0..CLASSES);
+        let x = sample(class, 0.15, &mut rng);
+        let f = float_classify(&x);
+        let p = layer.classify(&x);
+        float_ok += usize::from(f == class);
+        photonic_ok += usize::from(p == class);
+        agree += usize::from(f == p);
+    }
+
+    println!("\n accuracy over {trials} noisy samples:");
+    println!("   float reference : {:.1} %", 100.0 * float_ok as f64 / trials as f64);
+    println!("   photonic (3-bit weights + 3-bit eoADC): {:.1} %",
+        100.0 * photonic_ok as f64 / trials as f64);
+    println!("   agreement       : {:.1} %", 100.0 * agree as f64 / trials as f64);
+
+    assert!(
+        photonic_ok as f64 >= 0.8 * float_ok as f64,
+        "photonic pipeline lost too much accuracy"
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a small photonic tensor core, store weights in the
+//! photonic SRAM, run a matrix–vector product through the WDM optics, and
+//! read the result out of the 1-hot electro-optic ADC.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use photonic_tensor_core::tensor::{TensorCore, TensorCoreConfig};
+
+fn main() {
+    // A 4×4 core: one 4-wavelength vector macro per row, 3-bit weights,
+    // the paper's pSRAM and eoADC operating points.
+    let config = TensorCoreConfig::small_demo();
+    let mut core = TensorCore::new(config);
+
+    println!("photonic tensor core: {}x{} @ {}-bit weights, {} pSRAM bitcells",
+        config.rows, config.cols, config.weight_bits, config.bitcell_count());
+
+    // Weights in [0, 1]; the core quantises them to 3-bit codes and
+    // presets the pSRAM array.
+    let weights = vec![
+        vec![1.00, 0.00, 0.00, 0.00], // row 0 passes input 0
+        vec![0.00, 0.50, 0.50, 0.00], // row 1 averages inputs 1 and 2
+        vec![0.25, 0.25, 0.25, 0.25], // row 2 averages everything
+        vec![0.00, 0.00, 0.00, 1.00], // row 3 passes input 3
+    ];
+    core.load_weights(&weights);
+    println!("stored weight codes: {:?}", core.weights().read_matrix());
+
+    // One inference: intensity-encoded inputs in [0, 1].
+    let x = [0.9, 0.2, 0.6, 0.4];
+    let analog = core.matvec_analog(&x);
+    let codes = core.matvec(&x);
+    let ideal = core.matvec_ideal(&x);
+
+    println!("\n input vector: {x:?}");
+    println!(" {:>5} {:>10} {:>10} {:>6}", "row", "ideal", "analog", "code");
+    for r in 0..4 {
+        println!(
+            " {r:>5} {:>10.4} {:>10.4} {:>6}",
+            ideal[r], analog[r], codes[r]
+        );
+    }
+
+    // Update the weights through the actual 20 GHz optical write path and
+    // rerun — the paper's in-situ weight streaming.
+    let new_codes = vec![
+        vec![0, 0, 0, 7],
+        vec![0, 0, 7, 0],
+        vec![0, 7, 0, 0],
+        vec![7, 0, 0, 0],
+    ];
+    let (energy, flips) = core.write_weights_transient(&new_codes);
+    println!(
+        "\n reloaded weights through {} optical writes ({:.2} pJ total, {:.2} pJ/flip)",
+        flips,
+        energy.as_picojoules(),
+        energy.as_picojoules() / flips as f64
+    );
+    println!(" flipped matvec: {:?}", core.matvec(&x));
+}

@@ -1,0 +1,48 @@
+//! # photonic-tensor-core
+//!
+//! A full-system simulation of the DAC 2025 paper *"A Mixed-Signal
+//! Photonic SRAM-based High-Speed Energy-Efficient Photonic Tensor Core
+//! with Novel Electro-Optic ADC"* (Kaiser, Sunder, Jacob, Jaiswal).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`units`] | `pic-units` | typed physical quantities |
+//! | [`signal`] | `pic-signal` | waveforms, WDM signals, spectra |
+//! | [`photonics`] | `pic-photonics` | MRRs, photodiodes, splitters, sources |
+//! | [`circuit`] | `pic-circuit` | RC nodes, drivers, TIA chain, ROM decoders |
+//! | [`psram`] | `pic-psram` | the differential photonic SRAM bitcell/arrays |
+//! | [`eoadc`] | `pic-eoadc` | the 1-hot electro-optic ADC |
+//! | [`tensor`] | `pic-tensor` | the mixed-signal photonic tensor core |
+//! | [`baselines`] | `pic-baselines` | Table I comparator specs |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use photonic_tensor_core::tensor::{TensorCore, TensorCoreConfig};
+//!
+//! let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+//! core.load_weights(&[
+//!     vec![1.0, 0.0, 0.0, 0.0],
+//!     vec![0.0, 1.0, 0.0, 0.0],
+//!     vec![0.0, 0.0, 1.0, 0.0],
+//!     vec![0.0, 0.0, 0.0, 1.0],
+//! ]);
+//! let codes = core.matvec(&[0.1, 0.4, 0.7, 1.0]);
+//! assert!(codes[3] >= codes[0]);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench/src/bin/`
+//! for the binaries that regenerate every figure and table of the paper.
+
+#![warn(missing_docs)]
+
+pub use pic_baselines as baselines;
+pub use pic_circuit as circuit;
+pub use pic_eoadc as eoadc;
+pub use pic_photonics as photonics;
+pub use pic_psram as psram;
+pub use pic_signal as signal;
+pub use pic_tensor as tensor;
+pub use pic_units as units;

@@ -1,0 +1,135 @@
+//! Cross-crate integration: the full §III pipeline from optical weight
+//! writes through WDM multiplication to eoADC read-out.
+
+use photonic_tensor_core::tensor::{quant, TensorCore, TensorCoreConfig};
+use photonic_tensor_core::units::Voltage;
+
+#[test]
+fn transient_writes_and_preset_weights_compute_identically() {
+    let codes: Vec<Vec<u32>> = (0..4)
+        .map(|r| (0..4).map(|c| ((3 * r + c) % 8) as u32).collect())
+        .collect();
+    let x = [0.9, 0.3, 0.6, 0.1];
+
+    let mut preset = TensorCore::new(TensorCoreConfig::small_demo());
+    preset.load_weight_codes(&codes);
+
+    let mut written = TensorCore::new(TensorCoreConfig::small_demo());
+    let (energy, flips) = written.write_weights_transient(&codes);
+    assert!(flips > 0 && energy.as_picojoules() > 0.0);
+
+    assert_eq!(preset.weights().read_matrix(), written.weights().read_matrix());
+    let a = preset.matvec_analog(&x);
+    let b = written.matvec_analog(&x);
+    for (ya, yb) in a.iter().zip(&b) {
+        assert!(
+            (ya - yb).abs() < 1e-9,
+            "transiently-written weights compute differently: {ya} vs {yb}"
+        );
+    }
+    assert_eq!(preset.matvec(&x), written.matvec(&x));
+}
+
+#[test]
+fn rewriting_weights_changes_the_product() {
+    let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+    core.load_weight_codes(&[
+        vec![7, 0, 0, 0],
+        vec![0, 7, 0, 0],
+        vec![0, 0, 7, 0],
+        vec![0, 0, 0, 7],
+    ]);
+    let x = [1.0, 0.0, 0.0, 0.0];
+    let before = core.matvec_analog(&x);
+    core.write_weights_transient(&[
+        vec![0, 0, 0, 7],
+        vec![0, 0, 7, 0],
+        vec![0, 7, 0, 0],
+        vec![7, 0, 0, 0],
+    ]);
+    let after = core.matvec_analog(&x);
+    assert!(before[0] > 0.15 && after[0] < 0.03, "row 0 flipped off");
+    assert!(before[3] < 0.03 && after[3] > 0.15, "row 3 flipped on");
+}
+
+#[test]
+fn quantized_float_weights_round_trip_through_psram() {
+    let w: Vec<Vec<f64>> = vec![
+        vec![0.0, 0.33, 0.66, 1.0],
+        vec![1.0, 0.66, 0.33, 0.0],
+        vec![0.5, 0.5, 0.5, 0.5],
+        vec![0.15, 0.85, 0.15, 0.85],
+    ];
+    let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+    core.load_weights(&w);
+    let expected = quant::quantize_matrix(&w, 3);
+    assert_eq!(core.weights().read_matrix(), expected);
+}
+
+#[test]
+fn adc_codes_follow_analog_ordering_on_the_paper_core() {
+    let mut core = TensorCore::new(TensorCoreConfig::paper());
+    let w: Vec<Vec<u32>> = (0..16)
+        .map(|r| (0..16).map(|c| ((r + 2 * c) % 8) as u32).collect())
+        .collect();
+    core.load_weight_codes(&w);
+    core.set_readout_gain(2.0);
+    let x: Vec<f64> = (0..16).map(|i| ((i * 7) % 16) as f64 / 15.0).collect();
+
+    let analog = core.matvec_analog(&x);
+    let codes = core.matvec(&x);
+    // Codes must be a monotone function of the analog values.
+    let mut pairs: Vec<(f64, u16)> = analog.into_iter().zip(codes).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for w in pairs.windows(2) {
+        assert!(
+            w[1].1 >= w[0].1,
+            "ADC codes out of order: analog {} → {} but {} → {}",
+            w[0].0,
+            w[0].1,
+            w[1].0,
+            w[1].1
+        );
+    }
+}
+
+#[test]
+fn readout_gain_trades_range_for_resolution() {
+    let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+    core.load_weight_codes(&[
+        vec![1, 1, 1, 1],
+        vec![2, 2, 2, 2],
+        vec![1, 2, 1, 2],
+        vec![2, 1, 2, 1],
+    ]);
+    let x = [0.5, 0.5, 0.5, 0.5];
+    let low_gain = core.matvec(&x);
+    core.set_readout_gain(6.0);
+    let high_gain = core.matvec(&x);
+    // Small products are indistinguishable at unit gain but resolve with
+    // the TIA sized up.
+    assert!(low_gain.iter().all(|&c| c <= 1), "tiny codes at unit gain");
+    assert!(
+        high_gain.iter().any(|&c| c > 1),
+        "gain must move the products into the ADC's range: {high_gain:?}"
+    );
+}
+
+#[test]
+fn eoadc_standalone_matches_core_readout_mapping() {
+    // The code the core reports equals converting the scaled analog value
+    // through a standalone converter.
+    let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+    core.load_weight_codes(&vec![vec![5, 3, 6, 2]; 4]);
+    let x = [0.8, 0.6, 0.4, 0.2];
+    let analog = core.matvec_analog(&x);
+    let codes = core.matvec(&x);
+    let adc = photonic_tensor_core::eoadc::EoAdc::new(*core.adc().config());
+    for (y, code) in analog.iter().zip(&codes) {
+        let v = core.adc().config().vfs * y.min(1.0);
+        assert_eq!(
+            adc.convert_static(Voltage::from_volts(v.as_volts())).expect("legal"),
+            *code
+        );
+    }
+}

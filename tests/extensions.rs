@@ -1,0 +1,146 @@
+//! Integration tests for the extension subsystems: thermal locking with
+//! the compute core, noise with the eoADC, calibration with the tensor
+//! read-out, streaming schedules against the metered write path.
+
+use photonic_tensor_core::eoadc::{CalibratedAdc, EoAdc, EoAdcConfig};
+use photonic_tensor_core::photonics::{HeaterLock, Mrr, NoiseModel};
+use photonic_tensor_core::psram::WriteEnergyModel;
+use photonic_tensor_core::tensor::{
+    StreamingSchedule, TensorCore, TensorCoreConfig, VectorComputeCore, WriteParallelism,
+};
+use photonic_tensor_core::units::{OpticalPower, Voltage, Wavelength};
+
+#[test]
+fn heater_lock_restores_compute_accuracy_end_to_end() {
+    // Free-running at +4 K the multiply is badly wrong; with the residual
+    // detuning a heater lock achieves, it is indistinguishable from cold.
+    let core = VectorComputeCore::paper_macro(OpticalPower::from_milliwatts(1.0));
+    let x = [1.0, 1.0, 1.0, 1.0];
+    let w = [7u32, 0, 7, 0];
+    let drives = core.drives_for_codes(&w);
+    let fs = core.full_scale_current().as_amps();
+    let ideal = core.ideal_current(&x, &w).as_amps() / fs;
+
+    let hot = core.output_current_at_drift(&x, &drives, 4.0).as_amps() / fs;
+    assert!((hot - ideal).abs() > 0.2, "4 K must visibly corrupt: {hot} vs {ideal}");
+
+    let mut lock = HeaterLock::new(
+        Mrr::compute_ring_design().build(),
+        Wavelength::from_nanometers(1310.0),
+        10.0,
+    );
+    let residual_nm = lock.lock(4.0, 300).abs();
+    let residual_k = residual_nm / photonic_tensor_core::photonics::calib::RING_THERMAL_NM_PER_K;
+    let locked = core
+        .output_current_at_drift(&x, &drives, residual_k)
+        .as_amps()
+        / fs;
+    let cold = core.output_current(&x, &drives).as_amps() / fs;
+    assert!(
+        (locked - cold).abs() < 0.01,
+        "locked compute ({locked}) should match cold ({cold})"
+    );
+}
+
+#[test]
+fn calibrated_adc_tightens_core_readout() {
+    // Replace the core's raw read-out by the calibrated converter and
+    // compare quantisation error against the ideal products.
+    let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+    core.load_weight_codes(&[
+        vec![7, 7, 7, 7],
+        vec![5, 5, 5, 5],
+        vec![3, 3, 3, 3],
+        vec![1, 1, 1, 1],
+    ]);
+    core.set_readout_gain(1.0);
+    let cal = CalibratedAdc::calibrate(EoAdc::new(*core.adc().config()), 1801);
+    let vfs = core.adc().config().vfs;
+
+    let x = [1.0, 1.0, 1.0, 1.0];
+    let analog = core.matvec_analog(&x);
+    let raw_codes = core.matvec(&x);
+    let mut raw_err = 0.0;
+    let mut cal_err = 0.0;
+    for (r, &y) in analog.iter().enumerate() {
+        let ideal_code = (y * 8.0).floor().min(7.0);
+        raw_err += (f64::from(raw_codes[r]) - ideal_code).abs();
+        let c = cal.convert(vfs * y).expect("legal");
+        cal_err += (f64::from(c) - ideal_code).abs();
+    }
+    assert!(
+        cal_err <= raw_err,
+        "calibration must not worsen the read-out: raw {raw_err}, cal {cal_err}"
+    );
+}
+
+#[test]
+fn noise_model_is_negligible_at_core_operating_point() {
+    // The eoADC sees 200 µW per ring; noisy conversion agrees with the
+    // noiseless one essentially always at mid-code inputs.
+    use rand::SeedableRng;
+    let adc = EoAdc::new(EoAdcConfig::paper());
+    let noise = NoiseModel::paper_receiver();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for k in 1..=8 {
+        let v = Voltage::from_volts(0.45 * k as f64);
+        let nominal = adc.convert_static(v).expect("legal");
+        for _ in 0..20 {
+            assert_eq!(
+                adc.convert_static_noisy(v, &noise, &mut rng),
+                Ok(nominal),
+                "noise flipped a mid-code conversion at {} V",
+                v.as_volts()
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_schedule_energy_matches_metered_writes() {
+    // The analytic schedule's per-flip energy must equal what the
+    // transient co-simulation actually meters.
+    let cfg = TensorCoreConfig::small_demo();
+    let sched = StreamingSchedule::new(cfg, 4, 4, 1, WriteParallelism::PerWord)
+        .with_flip_fraction(1.0);
+    let analytic_per_flip = sched.report().write_energy_j / cfg.bitcell_count() as f64;
+
+    let mut core = TensorCore::new(cfg);
+    // All-ones → every bit flips from the power-up zeros.
+    let codes = vec![vec![7u32; 4]; 4];
+    let (metered, flips) = core.write_weights_transient(&codes);
+    assert_eq!(flips, cfg.bitcell_count(), "every bitcell must flip");
+    let metered_per_flip = metered.as_joules() / flips as f64;
+
+    let rel = (metered_per_flip - analytic_per_flip).abs() / analytic_per_flip;
+    assert!(
+        rel < 0.05,
+        "metered {metered_per_flip} vs analytic {analytic_per_flip} J/flip ({rel})"
+    );
+    // Both agree with the standalone energy model.
+    let model = WriteEnergyModel::new(cfg.psram).energy_per_switch().as_joules();
+    assert!((metered_per_flip - model).abs() / model < 0.05);
+}
+
+#[test]
+fn interleaved_adc_speeds_up_the_performance_model() {
+    use photonic_tensor_core::tensor::performance::PerformanceModel;
+    use photonic_tensor_core::units::Frequency;
+    // Swapping the 8 GS/s ADC for a ×4 interleaved bank raises the
+    // cycle rate and throughput proportionally (at proportionally more
+    // ADC power).
+    let base = PerformanceModel::paper();
+    let mut fast_cfg = TensorCoreConfig::paper();
+    fast_cfg.adc.sample_rate = Frequency::from_gigahertz(32.0);
+    // Four slices → four times the ADC's optical and electrical budget.
+    fast_cfg.adc.input_power = fast_cfg.adc.input_power * 4.0;
+    fast_cfg.adc.reference_power = fast_cfg.adc.reference_power * 4.0;
+    fast_cfg.adc.electrical_power_watts *= 4.0;
+    let fast = PerformanceModel::new(fast_cfg);
+    let ratio = fast.throughput_tops() / base.throughput_tops();
+    assert!((ratio - 4.0).abs() < 1e-9);
+    // Efficiency moves less than 4× because only the conversion energy
+    // amortises; the static optical budget stays.
+    assert!(fast.tops_per_watt() > base.tops_per_watt());
+    assert!(fast.tops_per_watt() < 4.0 * base.tops_per_watt());
+}

@@ -1,0 +1,132 @@
+//! Every headline number the paper prints, asserted in one place.
+//!
+//! | claim | paper | source |
+//! |---|---|---|
+//! | tensor core throughput | 4.10 TOPS | §IV-D |
+//! | power efficiency | 3.02 TOPS/W | §IV-D |
+//! | pSRAM update rate | 20 GHz | §IV-A |
+//! | pSRAM switch energy | 0.5 pJ | §IV-A |
+//! | eoADC rate | 8 GS/s | §IV-C |
+//! | eoADC energy | 2.32 pJ/conv | §IV-C |
+//! | eoADC optical power | 7.58 mW | §IV-C |
+//! | eoADC electrical power | 11 mW | §IV-C |
+//! | amp-less variant | 416.7 MS/s, −58 % | §IV-C |
+//! | compute-ring FSR | 9.36 nm | §IV-B |
+//! | channel spacing | 2.33 nm / 68 nm dL | §IV-B |
+//! | bitcells in 16×16 core | 768 | §IV-D |
+
+use photonic_tensor_core::eoadc::{AdcPowerModel, EoAdc, EoAdcConfig};
+use photonic_tensor_core::photonics::{Mrr, OperatingPoint};
+use photonic_tensor_core::psram::{PsramConfig, WriteEnergyModel};
+use photonic_tensor_core::tensor::performance::PerformanceModel;
+use photonic_tensor_core::tensor::TensorCoreConfig;
+use photonic_tensor_core::units::{Voltage, Wavelength};
+
+fn close(measured: f64, paper: f64, tol_frac: f64, what: &str) {
+    let rel = (measured - paper).abs() / paper.abs();
+    assert!(
+        rel <= tol_frac,
+        "{what}: measured {measured} vs paper {paper} ({:.2} % off)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn throughput_4_10_tops() {
+    close(PerformanceModel::paper().throughput_tops(), 4.10, 0.01, "TOPS");
+}
+
+#[test]
+fn efficiency_3_02_tops_per_watt() {
+    close(PerformanceModel::paper().tops_per_watt(), 3.02, 0.03, "TOPS/W");
+}
+
+#[test]
+fn psram_updates_at_20_ghz_and_half_picojoule() {
+    let cfg = PsramConfig::paper();
+    close(cfg.update_rate.as_gigahertz(), 20.0, 1e-12, "update rate");
+    close(
+        WriteEnergyModel::new(cfg).energy_per_switch().as_picojoules(),
+        0.5,
+        0.15,
+        "switch energy (pJ)",
+    );
+}
+
+#[test]
+fn eoadc_8_gsps_at_2_32_picojoules() {
+    let m = AdcPowerModel::new(EoAdcConfig::paper());
+    close(m.sample_rate().as_gigahertz(), 8.0, 1e-12, "eoADC rate");
+    close(
+        m.energy_per_conversion().as_picojoules(),
+        2.32,
+        0.005,
+        "eoADC energy",
+    );
+    close(m.optical_wall_plug().as_milliwatts(), 7.58, 0.005, "optical power");
+    close(m.electrical().as_milliwatts(), 11.0, 1e-12, "electrical power");
+}
+
+#[test]
+fn amplifier_less_eoadc_tradeoff() {
+    let full = AdcPowerModel::new(EoAdcConfig::paper());
+    let lean = AdcPowerModel::without_amplifiers(EoAdcConfig::paper());
+    close(lean.sample_rate().as_hertz() / 1e6, 416.7, 1e-6, "amp-less rate");
+    close(
+        1.0 - lean.electrical().as_watts() / full.electrical().as_watts(),
+        0.58,
+        1e-9,
+        "electrical saving",
+    );
+}
+
+#[test]
+fn compute_ring_fsr_and_channel_spacing() {
+    let ring = Mrr::compute_ring_design().build();
+    close(
+        ring.fsr_near(Wavelength::from_nanometers(1310.0)).as_nanometers(),
+        9.36,
+        0.01,
+        "FSR",
+    );
+    let shifted = Mrr::compute_ring_design().length_adjust_nm(68.0).build();
+    let base_res = ring.resonance_near(
+        Wavelength::from_nanometers(1310.0),
+        OperatingPoint::unbiased(),
+    );
+    let new_res = shifted.resonance_near(
+        Wavelength::from_nanometers(1312.4),
+        OperatingPoint::unbiased(),
+    );
+    close(
+        new_res.as_nanometers() - base_res.as_nanometers(),
+        2.33,
+        0.03,
+        "channel spacing per 68 nm dL",
+    );
+}
+
+#[test]
+fn paper_core_has_768_bitcells_and_four_lambda_macros() {
+    let cfg = TensorCoreConfig::paper();
+    assert_eq!(cfg.bitcell_count(), 768);
+    assert_eq!(cfg.wavelengths_per_macro, 4);
+    assert_eq!(cfg.cols / cfg.wavelengths_per_macro, 4, "four macros per 1×16 row");
+}
+
+#[test]
+fn fig9_codes_from_full_transient() {
+    let mut adc = EoAdc::new(EoAdcConfig::paper());
+    for (v, code) in [(0.72, 0b001u16), (3.30, 0b110), (2.00, 0b100)] {
+        let tc = adc.convert_transient(Voltage::from_volts(v));
+        assert_eq!(tc.code.expect("legal"), code, "input {v} V");
+    }
+}
+
+#[test]
+fn ops_accounting_matches_paper_arithmetic() {
+    // 16 rows × 16 MACs × 2 ops at 8 GS/s = 4.096 TOPS.
+    let model = PerformanceModel::paper();
+    assert_eq!(model.ops_per_cycle(), 512);
+    close(model.cycle_rate().as_gigahertz(), 8.0, 1e-12, "cycle rate");
+}

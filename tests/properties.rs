@@ -1,0 +1,130 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use photonic_tensor_core::circuit::CeilingRomDecoder;
+use photonic_tensor_core::eoadc::{EoAdc, EoAdcConfig, ReferenceLadder};
+use photonic_tensor_core::photonics::{Mrr, OperatingPoint};
+use photonic_tensor_core::psram::{PsramConfig, PsramWord};
+use photonic_tensor_core::tensor::{quant, VectorComputeCore};
+use photonic_tensor_core::units::{OpticalPower, Voltage, Wavelength};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The add-drop ring never creates energy at any wavelength/bias.
+    #[test]
+    fn mrr_is_passive(
+        wl_nm in 1300.0f64..1320.0,
+        v in -2.0f64..2.0,
+        dl in 0.0f64..250.0,
+    ) {
+        let ring = Mrr::compute_ring_design().length_adjust_nm(dl).build();
+        let op = OperatingPoint::at_voltage(Voltage::from_volts(v));
+        let wl = Wavelength::from_nanometers(wl_nm);
+        let t = ring.thru_transmission(wl, op);
+        let d = ring.drop_transmission(wl, op);
+        prop_assert!(t >= 0.0 && d >= 0.0);
+        prop_assert!(t + d <= 1.0 + 1e-9, "gain at {wl_nm} nm, {v} V: {}", t + d);
+    }
+
+    /// Static eoADC conversion is monotone and total over the full range.
+    #[test]
+    fn eoadc_monotone_everywhere(step in 1usize..40) {
+        let adc = EoAdc::new(EoAdcConfig::paper());
+        let mut last = 0u16;
+        let mut v = 0.0;
+        while v <= 3.6 {
+            let code = adc.convert_static(Voltage::from_volts(v))
+                .expect("calibrated converter is total");
+            prop_assert!(code >= last, "code dropped at {v} V");
+            last = code;
+            v += step as f64 * 0.005;
+        }
+    }
+
+    /// The eoADC code always matches the ideal ladder code within one LSB.
+    #[test]
+    fn eoadc_tracks_ideal_within_one_code(v in 0.0f64..3.6) {
+        let adc = EoAdc::new(EoAdcConfig::paper());
+        let ladder = ReferenceLadder::new(Voltage::from_volts(3.6), 3);
+        let code = adc.convert_static(Voltage::from_volts(v)).expect("legal");
+        let ideal = ladder.ideal_code(Voltage::from_volts(v));
+        prop_assert!(
+            (i32::from(code) - i32::from(ideal)).abs() <= 1,
+            "code {code} vs ideal {ideal} at {v} V"
+        );
+    }
+
+    /// Any sequence of pSRAM writes leaves the cell holding the last bit.
+    #[test]
+    fn psram_holds_last_write(bits in proptest::collection::vec(any::<bool>(), 1..6)) {
+        let mut word = PsramWord::new(PsramConfig::paper(), 1);
+        for &b in &bits {
+            word.store(u32::from(b));
+        }
+        prop_assert_eq!(word.value(), Some(u32::from(*bits.last().unwrap())));
+    }
+
+    /// Word storage round-trips every value at every width.
+    #[test]
+    fn psram_word_round_trips(bits in 1u32..5, raw in any::<u32>()) {
+        let value = raw % (1u32 << bits);
+        let word = PsramWord::preset(PsramConfig::paper(), bits, value);
+        prop_assert_eq!(word.value(), Some(value));
+    }
+
+    /// The vector macro's analog output tracks the ideal product within
+    /// 10 % of full scale for arbitrary inputs and weights.
+    #[test]
+    fn vector_macro_tracks_ideal(
+        x in proptest::collection::vec(0.0f64..1.0, 4),
+        w in proptest::collection::vec(0u32..8, 4),
+    ) {
+        let core = VectorComputeCore::paper_macro(OpticalPower::from_milliwatts(1.0));
+        let drives = core.drives_for_codes(&w);
+        let fs = core.full_scale_current().as_amps();
+        let got = core.output_current(&x, &drives).as_amps() / fs;
+        let ideal = core.ideal_current(&x, &w).as_amps() / fs;
+        prop_assert!((got - ideal).abs() < 0.1, "got {got}, ideal {ideal}");
+    }
+
+    /// Quantise→dequantise error is within half a step at any precision.
+    #[test]
+    fn quantization_error_bounded(x in 0.0f64..1.0, bits in 1u32..12) {
+        let code = quant::quantize_unsigned(x, bits);
+        let back = quant::dequantize_unsigned(code, bits);
+        prop_assert!((back - x).abs() <= 0.5 * quant::quantization_step(bits) + 1e-12);
+    }
+
+    /// The ceiling decoder accepts every legal pattern and rejects every
+    /// illegal one, at any supported width.
+    #[test]
+    fn rom_decoder_totality(bits in 1u32..6, seed in any::<u64>()) {
+        let rom = CeilingRomDecoder::new(bits);
+        let n = rom.channel_count();
+        // Legal: one hot.
+        let i = (seed as usize) % n;
+        let mut pattern = vec![false; n];
+        pattern[i] = true;
+        prop_assert_eq!(rom.decode(&pattern), Ok(i as u16));
+        // Legal: adjacent pair resolves upward.
+        if i + 1 < n {
+            pattern[i + 1] = true;
+            prop_assert_eq!(rom.decode(&pattern), Ok((i + 1) as u16));
+        }
+        // Illegal: non-adjacent pair.
+        if i + 2 < n {
+            pattern[i + 1] = false;
+            pattern[i + 2] = true;
+            prop_assert!(rom.decode(&pattern).is_err());
+        }
+    }
+
+    /// Signed differential weights reconstruct the signed value.
+    #[test]
+    fn differential_weights_reconstruct(x in -1.0f64..1.0, bits in 1u32..9) {
+        let (p, n) = quant::signed_to_differential(x, bits);
+        let back = quant::dequantize_unsigned(p, bits) - quant::dequantize_unsigned(n, bits);
+        prop_assert!((back - x).abs() <= 0.5 * quant::quantization_step(bits) + 1e-12);
+    }
+}
