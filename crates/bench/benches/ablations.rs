@@ -27,9 +27,8 @@ fn bench_decoders(c: &mut Criterion) {
 fn bench_weight_precision(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/weight_bits");
     for bits in [1u32, 2, 3, 4, 6] {
-        let comb = pic_photonics::FrequencyComb::paper_compute_grid(
-            OpticalPower::from_milliwatts(1.0),
-        );
+        let comb =
+            pic_photonics::FrequencyComb::paper_compute_grid(OpticalPower::from_milliwatts(1.0));
         let core = VectorComputeCore::new(comb, bits, Voltage::from_volts(1.0));
         let codes: Vec<u32> = (0..4).map(|i| i % (1 << bits)).collect();
         let drives = core.drives_for_codes(&codes);

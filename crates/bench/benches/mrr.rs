@@ -34,7 +34,11 @@ fn bench_mrr(c: &mut Criterion) {
     });
 
     c.bench_function("mrr/build_calibrated", |b| {
-        b.iter(|| Mrr::compute_ring_design().length_adjust_nm(black_box(68.0)).build())
+        b.iter(|| {
+            Mrr::compute_ring_design()
+                .length_adjust_nm(black_box(68.0))
+                .build()
+        })
     });
 }
 

@@ -39,11 +39,23 @@ fn bench_tensor_core(c: &mut Criterion) {
         b.iter(|| core.matvec_analog(black_box(&x16)))
     });
 
+    // The uncached per-call optical walk: the baseline the cached engine's
+    // ≥3× speed-up target is measured against.
+    c.bench_function("tensor/matvec_analog_uncached_16x16", |b| {
+        b.iter(|| core.matvec_analog_uncached(black_box(&x16)))
+    });
+
     let batch: Vec<Vec<f64>> = (0..16)
         .map(|k| (0..16).map(|i| ((i + k) % 16) as f64 / 15.0).collect())
         .collect();
     c.bench_function("tensor/matmul_16x16_batch16", |b| {
         b.iter(|| core.matmul(black_box(&batch)))
+    });
+
+    let mut serial = paper_core();
+    serial.set_parallel(false);
+    c.bench_function("tensor/matmul_16x16_batch16_serial", |b| {
+        b.iter(|| serial.matmul(black_box(&batch)))
     });
 
     let w: Vec<Vec<u32>> = (0..16)

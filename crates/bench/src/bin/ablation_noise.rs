@@ -79,7 +79,10 @@ fn main() {
     for w in rows.windows(2) {
         assert!(w[1].1 > w[0].1, "SNR must grow with power");
     }
-    let at_1mw = rows.iter().find(|r| (r.0 - 1.0).abs() < 1e-9).expect("1 mW row");
+    let at_1mw = rows
+        .iter()
+        .find(|r| (r.0 - 1.0).abs() < 1e-9)
+        .expect("1 mW row");
     assert!(
         at_1mw.2 > 8.0,
         "at 1 mW the analog path must out-resolve the 3-bit ADC ({} levels)",

@@ -86,10 +86,17 @@ fn main() {
             "crosstalk must fall with spacing inside the FSR"
         );
     }
-    let at_233 = results.iter().find(|r| (r.0 - 2.33).abs() < 1e-9).expect("2.33 in sweep");
+    let at_233 = results
+        .iter()
+        .find(|r| (r.0 - 2.33).abs() < 1e-9)
+        .expect("2.33 in sweep");
     let at_050 = results.first().expect("non-empty");
     let at_300 = results.last().expect("non-empty");
-    assert!(at_233.1 < 0.05, "paper spacing is low-crosstalk: {}", at_233.1);
+    assert!(
+        at_233.1 < 0.05,
+        "paper spacing is low-crosstalk: {}",
+        at_233.1
+    );
     assert!(
         at_050.1 > 4.0 * at_233.1,
         "halving spacing repeatedly must cost real crosstalk"

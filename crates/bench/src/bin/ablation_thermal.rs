@@ -78,7 +78,10 @@ fn main() {
     // catastrophic within a few kelvin (75 pm/K against a ~0.3 nm
     // linewidth); the heater lock pins the error near its 0 K value.
     let base = rows[0].1;
-    let at_5k = rows.iter().find(|r| (r.0 - 5.0).abs() < 1e-9).expect("5 K row");
+    let at_5k = rows
+        .iter()
+        .find(|r| (r.0 - 5.0).abs() < 1e-9)
+        .expect("5 K row");
     assert!(
         at_5k.1 > 5.0 * base.max(0.02),
         "5 K of drift must wreck the free-running multiply: {} vs base {base}",

@@ -64,7 +64,10 @@ fn main() {
         .iter()
         .filter(|r| r.failure_rate == 0.0 && r.missing_code_rate == 0.0)
         .collect();
-    assert!(clean.len() >= 3, "expected several fully-clean sigma points");
+    assert!(
+        clean.len() >= 3,
+        "expected several fully-clean sigma points"
+    );
     for w in clean.windows(2) {
         assert!(
             w[1].mean_peak_dnl >= w[0].mean_peak_dnl - 0.02,

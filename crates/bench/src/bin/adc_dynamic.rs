@@ -14,7 +14,12 @@ fn main() {
     let mut art = Artifact::new(
         "adc_dynamic",
         "dynamic eoADC characterisation (coherent sine, FFT)",
-        &["converter", "tone (cycles/record)", "SNDR (dB)", "ENOB (bits)"],
+        &[
+            "converter",
+            "tone (cycles/record)",
+            "SNDR (dB)",
+            "ENOB (bits)",
+        ],
     );
 
     let mut enobs = Vec::new();

@@ -1,9 +1,9 @@
 //! ADCE — eoADC energy/speed trade-off (§IV-C).
 //!
 //! Full converter: 8 GS/s at 2.32 pJ/conversion (7.58 mW optical wall-plug
-//! + 11 mW electrical). Amplifier-less variant: 416.7 MS/s at 58 % less
+//! plus 11 mW electrical). Amplifier-less variant: 416.7 MS/s at 58 % less
 //! electrical power. Also contrasts against the thermometer-coded flash
-//! baseline the 1-hot architecture is motivated by.
+//! baseline that the 1-hot architecture is motivated by.
 
 use pic_bench::{check_against_paper, Artifact};
 use pic_eoadc::{AdcPowerModel, EoAdcConfig, FlashAdcModel};
@@ -58,7 +58,12 @@ fn main() {
         7.58,
         0.01,
     );
-    check_against_paper("electrical power (mW)", full.electrical().as_milliwatts(), 11.0, 1e-9);
+    check_against_paper(
+        "electrical power (mW)",
+        full.electrical().as_milliwatts(),
+        11.0,
+        1e-9,
+    );
     check_against_paper(
         "amp-less electrical reduction",
         1.0 - lean.electrical().as_watts() / full.electrical().as_watts(),

@@ -1,0 +1,141 @@
+//! BENCH_tensor — wall-clock throughput of the cached compute engine.
+//!
+//! Times the cached matvec/matmul paths against the uncached per-call
+//! optical walk at the demo (4×4) and paper (16×16) scales, and writes
+//! `BENCH_tensor.json` at the workspace root. The cached 16×16 matvec
+//! must clear a 3× speed-up over the uncached baseline.
+
+use pic_tensor::{TensorCore, TensorCoreConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Nanoseconds per call: warm up, then double the iteration count until
+/// the timed window is long enough to trust.
+fn ns_per_call<F: FnMut()>(mut f: F) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t.elapsed();
+        if dt.as_millis() >= 50 || iters >= 1 << 24 {
+            return dt.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+#[derive(serde::Serialize)]
+struct SizeReport {
+    size: String,
+    matvec_cached_ns: f64,
+    matvec_per_s: f64,
+    matvec_uncached_ns: f64,
+    cached_speedup: f64,
+    matmul_batch: usize,
+    matmul_ns: f64,
+    matmul_samples_per_s: f64,
+    matmul_serial_ns: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    id: String,
+    title: String,
+    sizes: Vec<SizeReport>,
+}
+
+fn loaded_core(cfg: TensorCoreConfig) -> TensorCore {
+    let mut core = TensorCore::new(cfg);
+    let codes: Vec<Vec<u32>> = (0..core.config().rows)
+        .map(|r| {
+            (0..core.config().cols)
+                .map(|c| ((r * 3 + c) % 8) as u32)
+                .collect()
+        })
+        .collect();
+    core.load_weight_codes(&codes);
+    core
+}
+
+fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
+    let core = loaded_core(cfg);
+    let mut serial = core.clone();
+    serial.set_parallel(false);
+    let n = core.config().cols;
+    let x: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1).max(1) as f64).collect();
+    let batch: Vec<Vec<f64>> = (0..32)
+        .map(|k| (0..n).map(|i| ((i + k) % n) as f64 / n as f64).collect())
+        .collect();
+
+    let matvec_cached_ns = ns_per_call(|| {
+        std::hint::black_box(core.matvec_analog(std::hint::black_box(&x)));
+    });
+    let matvec_uncached_ns = ns_per_call(|| {
+        std::hint::black_box(core.matvec_analog_uncached(std::hint::black_box(&x)));
+    });
+    let matmul_ns = ns_per_call(|| {
+        std::hint::black_box(core.matmul(std::hint::black_box(&batch)));
+    });
+    let matmul_serial_ns = ns_per_call(|| {
+        std::hint::black_box(serial.matmul(std::hint::black_box(&batch)));
+    });
+
+    let report = SizeReport {
+        size: label.to_owned(),
+        matvec_cached_ns,
+        matvec_per_s: 1e9 / matvec_cached_ns,
+        matvec_uncached_ns,
+        cached_speedup: matvec_uncached_ns / matvec_cached_ns,
+        matmul_batch: batch.len(),
+        matmul_ns,
+        matmul_samples_per_s: batch.len() as f64 * 1e9 / matmul_ns,
+        matmul_serial_ns,
+    };
+    println!(
+        "  {label:>6}: matvec {:.0} ns cached / {:.0} ns uncached ({:.1}×), \
+         matmul({}) {:.1} µs ({:.0} samples/s)",
+        report.matvec_cached_ns,
+        report.matvec_uncached_ns,
+        report.cached_speedup,
+        report.matmul_batch,
+        report.matmul_ns / 1e3,
+        report.matmul_samples_per_s,
+    );
+    report
+}
+
+fn main() {
+    println!("BENCH_tensor — cached compute-engine throughput");
+    let sizes = vec![
+        measure("4x4", TensorCoreConfig::small_demo()),
+        measure("16x16", TensorCoreConfig::paper()),
+    ];
+
+    let speedup_16 = sizes[1].cached_speedup;
+    assert!(
+        speedup_16 >= 3.0,
+        "cached 16×16 matvec must be ≥3× the uncached walk, got {speedup_16:.1}×"
+    );
+    println!("  [check] 16×16 cached speed-up: {speedup_16:.1}× (≥3× required) ok");
+
+    let report = BenchReport {
+        id: "bench_tensor".to_owned(),
+        title: "Cached tensor-core compute engine throughput".to_owned(),
+        sizes,
+    };
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let path = root
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|r| r.join("BENCH_tensor.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_tensor.json"));
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&path, json).expect("write BENCH_tensor.json");
+    println!("  [written {}]", path.display());
+}

@@ -26,7 +26,12 @@ fn main() {
     let mut art = Artifact::new(
         "fig3a",
         "MRR thru spectra vs pn junction voltage",
-        &["trace", "dip wavelength (nm)", "dip transmission", "T at λ_IN"],
+        &[
+            "trace",
+            "dip wavelength (nm)",
+            "dip transmission",
+            "T at λ_IN",
+        ],
     );
 
     let mut dips = Vec::new();
@@ -63,12 +68,14 @@ fn main() {
         "rising V_IN (falling V_REF) must red-shift the notch"
     );
 
-    art.record_scalar("extinction_ratio_db", 10.0 * (dips[0].2 / t_in_matched).log10());
+    art.record_scalar(
+        "extinction_ratio_db",
+        10.0 * (dips[0].2 / t_in_matched).log10(),
+    );
     art.finish();
 
     // Full plottable traces.
-    let named: Vec<(&str, &pic_signal::Spectrum)> =
-        spectra.iter().map(|(l, s)| (*l, s)).collect();
+    let named: Vec<(&str, &pic_signal::Spectrum)> = spectra.iter().map(|(l, s)| (*l, s)).collect();
     pic_signal::export::write_spectra_csv(
         &pic_bench::results_dir().join("fig3a_traces.csv"),
         &named,

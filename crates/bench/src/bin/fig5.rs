@@ -42,7 +42,12 @@ fn main() {
             .switch_time
             .map_or(f64::NAN, |t| t.as_picoseconds());
         art.push_row(vec![
-            if bit { "Q ← 1 (WBL)" } else { "Q ← 0 (WBLB)" }.to_owned(),
+            if bit {
+                "Q ← 1 (WBL)"
+            } else {
+                "Q ← 0 (WBLB)"
+            }
+            .to_owned(),
             format!(
                 "{:.0} @ {:.0}",
                 config.write_pulse_width.as_picoseconds(),

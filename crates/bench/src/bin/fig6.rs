@@ -14,7 +14,12 @@ fn main() {
     let mut art = Artifact::new(
         "fig6",
         "MRR spectra vs ring length adjustment dL",
-        &["dL (nm)", "resonance (nm)", "shift from base (nm)", "FSR (nm)"],
+        &[
+            "dL (nm)",
+            "resonance (nm)",
+            "shift from base (nm)",
+            "FSR (nm)",
+        ],
     );
 
     let mut resonances = Vec::new();
@@ -44,7 +49,10 @@ fn main() {
 
     // All four channels must fit inside one FSR without wrap-around.
     let span = resonances[3] - resonances[0];
-    assert!(span < fsr, "channel span {span} nm exceeds the FSR {fsr} nm");
+    assert!(
+        span < fsr,
+        "channel span {span} nm exceeds the FSR {fsr} nm"
+    );
 
     art.record_scalar("fsr_nm", fsr);
     art.record_scalar("mean_spacing_nm", span / 3.0);

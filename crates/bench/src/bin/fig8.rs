@@ -92,7 +92,9 @@ fn main() {
     let rows: Vec<(f64, Vec<f64>)> = (0..sweeps[0].len())
         .map(|k| (sweeps[0][k].0, sweeps.iter().map(|s| s[k].1).collect()))
         .collect();
-    let names: Vec<String> = (0..q.channel_count()).map(|i| format!("m{}", i + 1)).collect();
+    let names: Vec<String> = (0..q.channel_count())
+        .map(|i| format!("m{}", i + 1))
+        .collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
     pic_signal::export::write_xy_csv(
         &pic_bench::results_dir().join("fig8_traces.csv"),

@@ -19,8 +19,14 @@ fn main() {
         &["quantity", "value"],
     );
     let mut row = |k: &str, v: String| art.push_row(vec![k.to_owned(), v]);
-    row("nominal write power", format!("{:.0} µW (0 dBm)", cfg.write_power.as_microwatts()));
-    row("optical bias power", format!("{:.0} µW (−20 dBm)", cfg.bias_power.as_microwatts()));
+    row(
+        "nominal write power",
+        format!("{:.0} µW (0 dBm)", cfg.write_power.as_microwatts()),
+    );
+    row(
+        "optical bias power",
+        format!("{:.0} µW (−20 dBm)", cfg.bias_power.as_microwatts()),
+    );
     row(
         "minimum flip power",
         format!("{:.1} µW", report.minimum_flip_power_w * 1e6),
@@ -29,8 +35,14 @@ fn main() {
         "maximum safe disturb",
         format!("{:.1} µW", report.maximum_safe_disturb_w * 1e6),
     );
-    row("write margin (nominal/flip)", format!("{:.1}×", report.write_margin));
-    row("flip threshold / bias", format!("{:.1}×", report.flip_over_bias));
+    row(
+        "write margin (nominal/flip)",
+        format!("{:.1}×", report.write_margin),
+    );
+    row(
+        "flip threshold / bias",
+        format!("{:.1}×", report.flip_over_bias),
+    );
     row(
         "bias-loss retention",
         format!(
@@ -45,7 +57,10 @@ fn main() {
         report.flip_over_bias > 1.0,
         "writes must require more than the bias power"
     );
-    assert!(report.write_margin > 5.0, "nominal drive must have headroom");
+    assert!(
+        report.write_margin > 5.0,
+        "nominal drive must have headroom"
+    );
     assert!(
         report.maximum_safe_disturb_w < report.minimum_flip_power_w,
         "threshold ordering"

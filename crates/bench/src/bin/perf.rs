@@ -22,18 +22,33 @@ fn main() {
     row("array", format!("{}×{}", cfg.rows, cfg.cols));
     row("weight precision", format!("{}-bit", cfg.weight_bits));
     row("pSRAM bitcells", format!("{}", cfg.bitcell_count()));
-    row("WDM channels/macro", format!("{}", cfg.wavelengths_per_macro));
-    row("cycle rate (eoADC-limited)", format!("{:.1} GS/s", cfg.adc.sample_rate.as_gigahertz()));
+    row(
+        "WDM channels/macro",
+        format!("{}", cfg.wavelengths_per_macro),
+    );
+    row(
+        "cycle rate (eoADC-limited)",
+        format!("{:.1} GS/s", cfg.adc.sample_rate.as_gigahertz()),
+    );
     row("ops per cycle", format!("{}", model.ops_per_cycle()));
     row("throughput", format!("{:.3} TOPS", report.tops));
     row("power: input comb", format!("{:.1} mW", b.comb_w * 1e3));
     row("power: row TIAs", format!("{:.1} mW", b.tia_w * 1e3));
     row("power: eoADCs", format!("{:.1} mW", b.adc_w * 1e3));
-    row("power: pSRAM hold", format!("{:.1} mW", b.psram_hold_w * 1e3));
-    row("power: thermal tuning", format!("{:.1} mW", b.thermal_w * 1e3));
+    row(
+        "power: pSRAM hold",
+        format!("{:.1} mW", b.psram_hold_w * 1e3),
+    );
+    row(
+        "power: thermal tuning",
+        format!("{:.1} mW", b.thermal_w * 1e3),
+    );
     row("power: total", format!("{:.3} W", report.total_power_w));
     row("efficiency", format!("{:.3} TOPS/W", report.tops_per_watt));
-    row("weight update", format!("{:.0} GHz", report.weight_update_ghz));
+    row(
+        "weight update",
+        format!("{:.0} GHz", report.weight_update_ghz),
+    );
 
     check_against_paper("throughput (TOPS)", report.tops, 4.10, 0.01);
     check_against_paper("efficiency (TOPS/W)", report.tops_per_watt, 3.02, 0.03);

@@ -32,7 +32,12 @@ fn main() {
     let mut art = Artifact::new(
         "table1",
         "performance comparison of photonic IMC macros",
-        &["reference", "throughput (TOPS)", "efficiency (TOPS/W)", "weight update"],
+        &[
+            "reference",
+            "throughput (TOPS)",
+            "efficiency (TOPS/W)",
+            "weight update",
+        ],
     );
     for r in &rows {
         art.push_row(vec![
@@ -46,12 +51,23 @@ fn main() {
     // Headline numbers vs the paper's printed row.
     check_against_paper("this-work TOPS", report.tops, 4.10, 0.01);
     check_against_paper("this-work TOPS/W", report.tops_per_watt, 3.02, 0.03);
-    check_against_paper("this-work update (GHz)", report.weight_update_ghz, 20.0, 1e-9);
+    check_against_paper(
+        "this-work update (GHz)",
+        report.weight_update_ghz,
+        20.0,
+        1e-9,
+    );
 
     // Shape: update-rate column winner-set, throughput ordering.
     let ranked = rank_by(&rows, Metric::WeightUpdate);
-    assert_eq!(ranked[0].reference, "[33]", "modulator-only path is fastest");
-    assert_eq!(ranked[1].reference, "This Work", "we win every memory-backed path");
+    assert_eq!(
+        ranked[0].reference, "[33]",
+        "modulator-only path is fastest"
+    );
+    assert_eq!(
+        ranked[1].reference, "This Work",
+        "we win every memory-backed path"
+    );
     let by_tops = rank_by(&rows, Metric::Throughput);
     let pos = |name: &str| by_tops.iter().position(|r| r.reference == name);
     assert!(

@@ -60,8 +60,14 @@ fn main() {
     );
     assert!(pcm.non_volatile && !us.non_volatile);
 
-    art.record_scalar("psram_vs_pcm_rate_ratio", us.update_rate_hz / pcm.update_rate_hz);
-    art.record_scalar("mzi_vs_psram_area_ratio", mzi.footprint_um2 / us.footprint_um2);
+    art.record_scalar(
+        "psram_vs_pcm_rate_ratio",
+        us.update_rate_hz / pcm.update_rate_hz,
+    );
+    art.record_scalar(
+        "mzi_vs_psram_area_ratio",
+        mzi.footprint_um2 / us.footprint_um2,
+    );
     art.record_scalar(
         "pcm_vs_psram_energy_ratio",
         pcm.update_energy_j / us.update_energy_j,

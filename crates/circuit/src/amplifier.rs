@@ -91,7 +91,10 @@ impl AmplifierChain {
     /// Panics if `stages` is empty.
     #[must_use]
     pub fn new(stages: Vec<GainStage>) -> Self {
-        assert!(!stages.is_empty(), "amplifier chain needs at least one stage");
+        assert!(
+            !stages.is_empty(),
+            "amplifier chain needs at least one stage"
+        );
         AmplifierChain { stages }
     }
 
@@ -157,11 +160,19 @@ mod tests {
         for _ in 0..200 {
             s.step(Voltage::from_volts(0.8), Seconds::from_picoseconds(1.0));
         }
-        assert!(s.output().as_volts() > 1.79, "saturates high, got {}", s.output());
+        assert!(
+            s.output().as_volts() > 1.79,
+            "saturates high, got {}",
+            s.output()
+        );
         for _ in 0..200 {
             s.step(Voltage::from_volts(1.2), Seconds::from_picoseconds(1.0));
         }
-        assert!(s.output().as_volts() < 0.01, "saturates low, got {}", s.output());
+        assert!(
+            s.output().as_volts() < 0.01,
+            "saturates low, got {}",
+            s.output()
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl Clock {
     /// Panics if the frequency is not positive or duty is outside `(0, 1)`.
     #[must_use]
     pub fn new(frequency: Frequency, duty: f64) -> Self {
-        assert!(frequency.as_hertz() > 0.0, "clock frequency must be positive");
+        assert!(
+            frequency.as_hertz() > 0.0,
+            "clock frequency must be positive"
+        );
         assert!(duty > 0.0 && duty < 1.0, "duty cycle must be in (0, 1)");
         Clock { frequency, duty }
     }

@@ -63,9 +63,7 @@ impl DigitalDriver {
             Voltage::ZERO
         };
         let max_dv = self.slew_v_per_s * dt.as_seconds();
-        let dv = (target - self.output)
-            .as_volts()
-            .clamp(-max_dv, max_dv);
+        let dv = (target - self.output).as_volts().clamp(-max_dv, max_dv);
         self.output = (self.output + Voltage::from_volts(dv)).clamp(Voltage::ZERO, self.vdd);
         self.output
     }
@@ -102,11 +100,8 @@ mod tests {
         hi.step(Voltage::from_volts(0.51), Seconds::from_picoseconds(10.0));
         assert_eq!(hi.output().as_volts(), 1.0);
 
-        let mut lo = DigitalDriver::with_initial(
-            Voltage::from_volts(1.0),
-            1e15,
-            Voltage::from_volts(1.0),
-        );
+        let mut lo =
+            DigitalDriver::with_initial(Voltage::from_volts(1.0), 1e15, Voltage::from_volts(1.0));
         lo.step(Voltage::from_volts(0.49), Seconds::from_picoseconds(10.0));
         assert_eq!(lo.output().as_volts(), 0.0);
     }

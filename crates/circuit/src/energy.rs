@@ -84,7 +84,12 @@ impl std::fmt::Display for EnergyMeter {
         for (k, v) in &self.tallies {
             writeln!(f, "  {k:<24} {:>10.4} pJ", v.as_picojoules())?;
         }
-        write!(f, "  {:<24} {:>10.4} pJ", "TOTAL", self.total().as_picojoules())
+        write!(
+            f,
+            "  {:<24} {:>10.4} pJ",
+            "TOTAL",
+            self.total().as_picojoules()
+        )
     }
 }
 

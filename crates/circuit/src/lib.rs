@@ -46,5 +46,5 @@ pub use clock::{Clock, WaveformRecorder};
 pub use driver::DigitalDriver;
 pub use energy::EnergyMeter;
 pub use node::RcNode;
-pub use rom::{CeilingRomDecoder, DecodeError, thermometer_decode};
+pub use rom::{thermometer_decode, CeilingRomDecoder, DecodeError};
 pub use testbench::{run_transient, Probe};

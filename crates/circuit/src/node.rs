@@ -23,7 +23,10 @@ impl RcNode {
     /// Panics if capacitance or VDD is not positive.
     #[must_use]
     pub fn new(capacitance: Capacitance, vdd: Voltage) -> Self {
-        assert!(capacitance.as_farads() > 0.0, "capacitance must be positive");
+        assert!(
+            capacitance.as_farads() > 0.0,
+            "capacitance must be positive"
+        );
         assert!(vdd.as_volts() > 0.0, "VDD must be positive");
         RcNode {
             capacitance,
@@ -96,7 +99,10 @@ mod tests {
     fn charges_linearly_until_clamp() {
         let mut n = node();
         // 2 µA into 2 fF → 1 V/ns → 1 mV/ps.
-        n.step(Current::from_microamps(2.0), Seconds::from_picoseconds(100.0));
+        n.step(
+            Current::from_microamps(2.0),
+            Seconds::from_picoseconds(100.0),
+        );
         assert!((n.voltage().as_volts() - 0.1).abs() < 1e-12);
     }
 
@@ -105,7 +111,10 @@ mod tests {
         let mut n = node();
         n.step(Current::from_milliamps(1.0), Seconds::from_nanoseconds(1.0));
         assert_eq!(n.voltage().as_volts(), 1.0);
-        n.step(Current::from_milliamps(-1.0), Seconds::from_nanoseconds(10.0));
+        n.step(
+            Current::from_milliamps(-1.0),
+            Seconds::from_nanoseconds(10.0),
+        );
         assert_eq!(n.voltage().as_volts(), 0.0);
     }
 

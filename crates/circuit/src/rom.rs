@@ -66,7 +66,7 @@ impl CeilingRomDecoder {
     /// Panics if `bits` is zero or above 16.
     #[must_use]
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 16, "decoder supports 1..=16 bits");
+        assert!((1..=16).contains(&bits), "decoder supports 1..=16 bits");
         CeilingRomDecoder { bits }
     }
 
@@ -182,13 +182,19 @@ mod tests {
         let rom = CeilingRomDecoder::new(3);
         assert!(matches!(
             rom.decode(&[false; 4]),
-            Err(DecodeError::WrongChannelCount { expected: 8, actual: 4 })
+            Err(DecodeError::WrongChannelCount {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 
     #[test]
     fn thermometer_counts() {
-        assert_eq!(thermometer_decode(&[true, true, true, false, false]), Some(3));
+        assert_eq!(
+            thermometer_decode(&[true, true, true, false, false]),
+            Some(3)
+        );
         assert_eq!(thermometer_decode(&[false; 5]), Some(0));
         assert_eq!(thermometer_decode(&[true; 5]), Some(5));
     }

@@ -81,8 +81,7 @@ impl CascadedAdc {
         let residue = (v.as_volts() - bin_start).clamp(0.0, coarse_lsb);
 
         // Residue amplifier: one coarse LSB → the fine stage's full scale.
-        let gain = self.fine.config().vfs.as_volts() / coarse_lsb
-            * (1.0 + self.residue_gain_error);
+        let gain = self.fine.config().vfs.as_volts() / coarse_lsb * (1.0 + self.residue_gain_error);
         let fine_code = self
             .fine
             .convert_static(Voltage::from_volts(residue * gain))?;

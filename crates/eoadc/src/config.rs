@@ -98,7 +98,10 @@ impl EoAdcConfig {
             self.threshold_capacitance.as_farads() > 0.0,
             "threshold capacitance must be positive"
         );
-        assert!(self.time_step.as_seconds() > 0.0, "time step must be positive");
+        assert!(
+            self.time_step.as_seconds() > 0.0,
+            "time step must be positive"
+        );
         assert!(
             self.activation_halfwidth_lsb > 0.5 && self.activation_halfwidth_lsb < 1.0,
             "activation half-width must exceed half an LSB (full input \

@@ -194,7 +194,18 @@ impl EoAdc {
     /// converter).
     pub fn digitize(&self, input: &Waveform) -> Result<Vec<u16>, DecodeError> {
         let period = self.sample_rate().period();
-        let n = (input.duration().as_seconds() / period.as_seconds() + 1e-9).floor() as usize;
+        let ratio = input.duration().as_seconds() / period.as_seconds();
+        // Durations meant as a whole number of periods can land a few ulp
+        // below that integer after the division; snap to it when within a
+        // *relative* tolerance. (An absolute `+ 1e-9` fudge breaks both
+        // ways: it is invisible next to large ratios, and for sub-period
+        // waveforms it conjures a sample out of nothing.)
+        let nearest = ratio.round();
+        let n = if (ratio - nearest).abs() <= 1e-9 * nearest.abs().max(1.0) {
+            nearest
+        } else {
+            ratio.floor()
+        } as usize;
         (0..n)
             .map(|k| {
                 // Sample mid-window, as the track-and-hold would.
@@ -244,9 +255,8 @@ mod tests {
         let adc = adc();
         for k in 0..=3600 {
             let v = Voltage::from_volts(k as f64 * 0.001);
-            adc.convert_static(v).unwrap_or_else(|e| {
-                panic!("illegal pattern at {} V: {e}", v.as_volts())
-            });
+            adc.convert_static(v)
+                .unwrap_or_else(|e| panic!("illegal pattern at {} V: {e}", v.as_volts()));
         }
     }
 
@@ -292,6 +302,32 @@ mod tests {
         );
         let codes = adc.digitize(&wf).expect("legal");
         assert_eq!(codes, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn digitize_sample_count_boundaries() {
+        let adc = adc();
+        let period_s = adc.sample_rate().period().as_seconds();
+
+        // Exactly four periods → exactly four samples.
+        let dt = Seconds::from_seconds(period_s / 5.0);
+        let wf = Waveform::constant(dt, 20, 1.0);
+        assert_eq!(adc.digitize(&wf).expect("legal").len(), 4);
+
+        // period/3 is not representable, so 12·dt only lands near four
+        // periods — integer intent must still win over rounding error.
+        let dt = Seconds::from_seconds(period_s / 3.0);
+        let wf = Waveform::constant(dt, 12, 1.0);
+        assert_eq!(adc.digitize(&wf).expect("legal").len(), 4);
+
+        // A genuinely partial trailing window is truncated, not invented.
+        let dt = Seconds::from_seconds(period_s / 2.0);
+        let wf = Waveform::constant(dt, 7, 1.0); // 3.5 periods
+        assert_eq!(adc.digitize(&wf).expect("legal").len(), 3);
+
+        // A sub-period capture yields no samples at all.
+        let wf = Waveform::constant(dt, 1, 1.0); // 0.5 period
+        assert_eq!(adc.digitize(&wf).expect("legal").len(), 0);
     }
 
     #[test]

@@ -101,9 +101,7 @@ mod tests {
     fn flash_burns_all_comparators() {
         let flash = FlashAdcModel::paper_equivalent();
         assert_eq!(flash.comparator_count(), 7);
-        assert!(
-            (flash.energy_per_conversion().as_picojoules() - 7.0).abs() < 1e-9
-        );
+        assert!((flash.energy_per_conversion().as_picojoules() - 7.0).abs() < 1e-9);
     }
 
     #[test]
@@ -111,8 +109,7 @@ mod tests {
         let flash = FlashAdcModel::paper_equivalent();
         let eoadc = crate::AdcPowerModel::new(crate::EoAdcConfig::paper());
         assert!(
-            eoadc.energy_per_conversion().as_joules()
-                < flash.energy_per_conversion().as_joules(),
+            eoadc.energy_per_conversion().as_joules() < flash.energy_per_conversion().as_joules(),
             "the 1-hot architecture should undercut the thermometer flash"
         );
     }

@@ -54,9 +54,7 @@ impl TimeInterleavedAdc {
     /// Aggregate sample rate (`n` × slice rate).
     #[must_use]
     pub fn aggregate_rate(&self) -> Frequency {
-        Frequency::from_hertz(
-            self.slices[0].sample_rate().as_hertz() * self.slices.len() as f64,
-        )
+        Frequency::from_hertz(self.slices[0].sample_rate().as_hertz() * self.slices.len() as f64)
     }
 
     /// Total power (`n` × slice power).

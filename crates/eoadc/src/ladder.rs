@@ -49,7 +49,9 @@ impl ReferenceLadder {
     /// All references, channel order.
     #[must_use]
     pub fn references(&self) -> Vec<Voltage> {
-        (0..self.channel_count()).map(|i| self.reference(i)).collect()
+        (0..self.channel_count())
+            .map(|i| self.reference(i))
+            .collect()
     }
 
     /// The channel whose reference is nearest `v` — the ideal 1-hot winner.

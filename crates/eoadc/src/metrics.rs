@@ -125,7 +125,11 @@ impl TransferFunction {
     /// Offset of the first code edge from the ideal 1-LSB point, in LSB.
     #[must_use]
     pub fn offset_lsb(&self) -> Option<f64> {
-        self.edges().first().copied().flatten().map(|e| e / self.lsb - 1.0)
+        self.edges()
+            .first()
+            .copied()
+            .flatten()
+            .map(|e| e / self.lsb - 1.0)
     }
 }
 
@@ -155,7 +159,10 @@ pub struct DynamicMetrics {
 /// illegal pattern (it cannot when calibrated).
 #[must_use]
 pub fn dynamic_test(adc: &EoAdc, cycles: usize, record: usize) -> DynamicMetrics {
-    assert!(record.is_power_of_two(), "record length must be a power of two");
+    assert!(
+        record.is_power_of_two(),
+        "record length must be a power of two"
+    );
     let vfs = adc.config().vfs.as_volts();
     let lsb = adc.config().lsb().as_volts();
     // Keep the sine inside the converter's offset-shifted range.
@@ -193,7 +200,11 @@ mod tests {
     #[test]
     fn no_missing_codes_and_monotone() {
         let tf = tf();
-        assert!(tf.missing_codes().is_empty(), "missing: {:?}", tf.missing_codes());
+        assert!(
+            tf.missing_codes().is_empty(),
+            "missing: {:?}",
+            tf.missing_codes()
+        );
         assert!(tf.is_monotonic());
     }
 

@@ -45,8 +45,7 @@ impl AdcPowerModel {
     #[must_use]
     pub fn optical_wall_plug(&self) -> ElectricalPower {
         let channels = self.config.channel_count() as f64;
-        let optical = self.config.input_power * channels
-            + self.config.reference_power * channels;
+        let optical = self.config.input_power * channels + self.config.reference_power * channels;
         optical.wall_plug_power_default()
     }
 
@@ -121,8 +120,7 @@ mod tests {
         assert!(lean.total().as_watts() < full.total().as_watts());
         // …but the 19× slower rate makes each conversion cost more.
         assert!(
-            lean.energy_per_conversion().as_joules()
-                > full.energy_per_conversion().as_joules()
+            lean.energy_per_conversion().as_joules() > full.energy_per_conversion().as_joules()
         );
     }
 }

@@ -37,8 +37,7 @@ impl MrrQuantizer {
     pub fn new(config: EoAdcConfig) -> Self {
         config.validate();
         let ladder = ReferenceLadder::new(config.vfs, config.bits);
-        let threshold_ratio =
-            config.reference_power.as_watts() / config.input_power.as_watts();
+        let threshold_ratio = config.reference_power.as_watts() / config.input_power.as_watts();
 
         // Reference ring, resonant at λ with V_pn = 0.
         let probe = Mrr::adc_ring_design()

@@ -27,10 +27,10 @@ impl ThresholdBlock {
         config.validate();
         let mut qp = RcNode::new(config.threshold_capacitance, config.vdd);
         qp.set_voltage(config.vdd); // precharged: ring off resonance
-        // The inverter TIA self-biases near the precharged Q_p level
-        // (Mehta et al. [46]), so a ~100 mV droop already trips it — that
-        // is exactly where the chain's speed advantage over raw half-rail
-        // sensing comes from.
+                                    // The inverter TIA self-biases near the precharged Q_p level
+                                    // (Mehta et al. [46]), so a ~100 mV droop already trips it — that
+                                    // is exactly where the chain's speed advantage over raw half-rail
+                                    // sensing comes from.
         let chain = with_amplifiers.then(|| {
             AmplifierChain::eoadc_sense_chain(
                 Voltage::from_volts(config.vdd.as_volts() - 0.1),

@@ -80,8 +80,7 @@ impl VariedAdc {
         let activations: Vec<bool> = (0..self.quantizer.channel_count())
             .map(|i| {
                 let shifted = v + self.offsets[i];
-                self.quantizer.thru_power(i, shifted).as_watts()
-                    < cfg.reference_power.as_watts()
+                self.quantizer.thru_power(i, shifted).as_watts() < cfg.reference_power.as_watts()
             })
             .collect();
         self.decoder.decode(&activations)
@@ -160,9 +159,7 @@ pub fn monte_carlo<R: Rng + ?Sized>(
                     .map(|i| vfs * i as f64 / (points - 1) as f64)
             })
             .collect();
-        if edges.iter().any(Option::is_none)
-            || (0..levels).any(|c| !codes.contains(&c))
-        {
+        if edges.iter().any(Option::is_none) || (0..levels).any(|c| !codes.contains(&c)) {
             missing += 1;
             peak_dnls.push(1.0); // a missing code is −1 LSB DNL
             continue;

@@ -53,8 +53,14 @@ mod tests {
     #[test]
     fn accumulates_and_resets() {
         let mut a = Absorber::new();
-        a.absorb(OpticalPower::from_milliwatts(2.0), Seconds::from_picoseconds(50.0));
-        a.absorb(OpticalPower::from_milliwatts(2.0), Seconds::from_picoseconds(50.0));
+        a.absorb(
+            OpticalPower::from_milliwatts(2.0),
+            Seconds::from_picoseconds(50.0),
+        );
+        a.absorb(
+            OpticalPower::from_milliwatts(2.0),
+            Seconds::from_picoseconds(50.0),
+        );
         assert!((a.dissipated().as_femtojoules() - 200.0).abs() < 1e-9);
         a.reset();
         assert_eq!(a.dissipated(), Energy::ZERO);

@@ -132,7 +132,10 @@ mod tests {
             delivered.as_watts() * 4.0 * crate::calib::PHOTODIODE_RESPONSIVITY_A_PER_W,
         );
         let levels = NoiseModel::paper_receiver().resolvable_levels(full_scale);
-        assert!(levels > 8.0, "only {levels} resolvable levels after the link");
+        assert!(
+            levels > 8.0,
+            "only {levels} resolvable levels after the link"
+        );
     }
 
     #[test]

@@ -23,6 +23,29 @@ pub fn propagate_thru(signal: &WdmSignal, stages: &[(&Mrr, OperatingPoint)]) -> 
     out
 }
 
+/// End-to-end thru transmission of the bus at each grid wavelength: element
+/// `ch` is the product of every ring's thru response at `grid[ch]`.
+///
+/// This is the linear-map view of [`propagate_thru`]: since each ring acts
+/// multiplicatively per channel, the whole bus collapses to one gain per
+/// wavelength that can be computed once for a fixed set of operating points
+/// and reused for any input powers — the basis of the tensor core's cached
+/// weight path.
+#[must_use]
+pub fn channel_path_transmissions(
+    grid: &[Wavelength],
+    stages: &[(&Mrr, OperatingPoint)],
+) -> Vec<f64> {
+    grid.iter()
+        .map(|&wl| {
+            stages
+                .iter()
+                .map(|&(ring, op)| ring.thru_transmission(wl, op))
+                .product()
+        })
+        .collect()
+}
+
 /// Power each ring's drop port extracts while `signal` propagates down the
 /// bus, plus the surviving thru signal. Element `i` of the returned vector
 /// is what ring `i` dropped (summed over channels, in watts).
@@ -147,9 +170,41 @@ mod tests {
     }
 
     #[test]
+    fn channel_path_transmissions_match_propagation() {
+        let (rings, grid) = paper_bank();
+        let comb = FrequencyComb::paper_compute_grid(OpticalPower::from_milliwatts(1.0));
+        let sig = comb.full_power_signal();
+        let stages: Vec<_> = rings
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let op = if i % 2 == 0 {
+                    OperatingPoint::unbiased()
+                } else {
+                    OperatingPoint::at_voltage(pic_units::Voltage::from_volts(1.0))
+                };
+                (r, op)
+            })
+            .collect();
+        let walked = propagate_thru(&sig, &stages);
+        let gains = channel_path_transmissions(&grid, &stages);
+        for (ch, &gain) in gains.iter().enumerate() {
+            let expected = sig.power(ch).as_watts() * gain;
+            let got = walked.power(ch).as_watts();
+            assert!(
+                (got - expected).abs() <= 1e-12 * expected.max(1e-18),
+                "channel {ch}: walked {got} W vs linear-map {expected} W"
+            );
+        }
+    }
+
+    #[test]
     fn paper_spacing_keeps_crosstalk_low() {
         let (rings, grid) = paper_bank();
         let xt = adjacent_channel_crosstalk(&rings, &grid);
-        assert!(xt < 0.05, "2.33 nm spacing should give <5 % crosstalk, got {xt}");
+        assert!(
+            xt < 0.05,
+            "2.33 nm spacing should give <5 % crosstalk, got {xt}"
+        );
     }
 }

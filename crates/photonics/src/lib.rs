@@ -48,8 +48,8 @@ mod mzi;
 pub mod noise;
 mod pcm;
 mod photodiode;
-pub mod splitter;
 mod source;
+pub mod splitter;
 pub mod thermal;
 mod waveguide;
 

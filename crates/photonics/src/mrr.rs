@@ -152,8 +152,7 @@ impl Mrr {
     /// Effective index at the operating point and wavelength.
     fn n_eff(&self, wl: Wavelength, op: OperatingPoint) -> f64 {
         let lam = wl.as_meters();
-        let dispersion =
-            (self.n_eff0 - self.n_g) * (lam - self.lambda_ref_m) / self.lambda_ref_m;
+        let dispersion = (self.n_eff0 - self.n_g) * (lam - self.lambda_ref_m) / self.lambda_ref_m;
         // Convert the tuning specs (nm shift per volt / per kelvin) into
         // index shifts: dλ = λ·dn/n_g  ⇒  dn = dλ·n_g/λ.
         let dn_per_nm = self.n_g / (self.lambda_ref_m * 1e9);
@@ -410,7 +409,10 @@ impl MrrBuilder {
     #[must_use]
     pub fn build(self) -> Mrr {
         assert!(self.radius_um > 0.0, "radius must be positive");
-        assert!(self.n_eff > 0.0 && self.n_g > 0.0, "indices must be positive");
+        assert!(
+            self.n_eff > 0.0 && self.n_g > 0.0,
+            "indices must be positive"
+        );
         assert!(
             self.t1 > 0.0 && self.t1 < 1.0 && self.t2 > 0.0 && self.t2 < 1.0,
             "self-couplings must be in (0, 1)"
@@ -461,7 +463,10 @@ mod tests {
     fn calibrated_ring_is_resonant_at_design_point() {
         let ring = Mrr::compute_ring_design().build();
         let t = ring.thru_transmission(nm(1310.0), OperatingPoint::unbiased());
-        assert!(t < 0.01, "thru at resonance should be extinguished, got {t}");
+        assert!(
+            t < 0.01,
+            "thru at resonance should be extinguished, got {t}"
+        );
         let d = ring.drop_transmission(nm(1310.0), OperatingPoint::unbiased());
         assert!(d > 0.8, "drop at resonance should be high, got {d}");
     }
@@ -534,7 +539,10 @@ mod tests {
             let wl = nm(1308.0 + i as f64 * 0.02);
             let sum = ring.thru_transmission(wl, OperatingPoint::unbiased())
                 + ring.drop_transmission(wl, OperatingPoint::unbiased());
-            assert!(sum <= 1.0 + 1e-9, "passive device gained power at {wl}: {sum}");
+            assert!(
+                sum <= 1.0 + 1e-9,
+                "passive device gained power at {wl}: {sum}"
+            );
         }
     }
 
@@ -566,7 +574,9 @@ mod tests {
     fn gap_specified_ring_matches_calibrated_one() {
         // Building the compute ring from its published 200 nm gap gives
         // the same device as the spectrally calibrated coupling.
-        let by_gap = Mrr::compute_ring_design().coupling_gaps_nm(200.0, 200.0).build();
+        let by_gap = Mrr::compute_ring_design()
+            .coupling_gaps_nm(200.0, 200.0)
+            .build();
         let by_cal = Mrr::compute_ring_design().build();
         let wl = nm(1310.15);
         let dt = (by_gap.thru_transmission(wl, OperatingPoint::unbiased())

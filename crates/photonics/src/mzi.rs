@@ -33,7 +33,10 @@ impl Mzi {
             (0.0..1.0).contains(&insertion_loss),
             "insertion loss must be in [0, 1)"
         );
-        assert!(length_um > 0.0 && width_um > 0.0, "footprint must be positive");
+        assert!(
+            length_um > 0.0 && width_um > 0.0,
+            "footprint must be positive"
+        );
         Mzi {
             rad_per_volt,
             insertion_loss,

@@ -62,7 +62,10 @@ impl NoiseModel {
     ///
     /// Panics if any parameter is non-positive (RIN may be zero).
     pub fn validate(&self) {
-        assert!(self.bandwidth.as_hertz() > 0.0, "bandwidth must be positive");
+        assert!(
+            self.bandwidth.as_hertz() > 0.0,
+            "bandwidth must be positive"
+        );
         assert!(self.temperature_k > 0.0, "temperature must be positive");
         assert!(self.load.as_ohms() > 0.0, "load must be positive");
         assert!(self.rin_per_hz >= 0.0, "RIN must be non-negative");
@@ -184,7 +187,10 @@ mod tests {
     fn snr_improves_with_optical_power() {
         let m = model();
         let low = m.snr_db(Current::from_microamps(1.0), Current::from_microamps(10.0));
-        let high = m.snr_db(Current::from_microamps(10.0), Current::from_microamps(100.0));
+        let high = m.snr_db(
+            Current::from_microamps(10.0),
+            Current::from_microamps(100.0),
+        );
         assert!(high > low);
     }
 

@@ -130,9 +130,7 @@ impl FrequencyComb {
     pub fn wavelengths(&self) -> Vec<Wavelength> {
         (0..self.lines)
             .map(|i| {
-                Wavelength::from_nanometers(
-                    self.start.as_nanometers() + self.spacing_nm * i as f64,
-                )
+                Wavelength::from_nanometers(self.start.as_nanometers() + self.spacing_nm * i as f64)
             })
             .collect()
     }
@@ -169,10 +167,7 @@ impl FrequencyComb {
             values.iter().all(|v| (0.0..=1.0).contains(v)),
             "intensity-encoded inputs must be in [0, 1]"
         );
-        let powers = values
-            .iter()
-            .map(|&v| self.per_line_power * v)
-            .collect();
+        let powers = values.iter().map(|&v| self.per_line_power * v).collect();
         WdmSignal::with_powers(self.wavelengths(), powers)
     }
 

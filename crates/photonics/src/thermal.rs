@@ -143,7 +143,10 @@ mod tests {
     fn no_drift_means_no_correction() {
         let mut lock = locked();
         let residual = lock.lock(0.0, 50);
-        assert!(residual.abs() < 1e-3, "residual {residual} nm at zero drift");
+        assert!(
+            residual.abs() < 1e-3,
+            "residual {residual} nm at zero drift"
+        );
         assert!((lock.heater_k() - lock.bias_k()).abs() < 0.5);
     }
 

@@ -116,6 +116,9 @@ pub struct PsramArray {
     rows: usize,
     cols: usize,
     words: Vec<PsramWord>,
+    /// Bumped on every mutable access path; lets read-side caches (e.g.
+    /// the tensor core's weight cache) detect staleness cheaply.
+    generation: u64,
 }
 
 impl PsramArray {
@@ -136,7 +139,18 @@ impl PsramArray {
             rows,
             cols,
             words,
+            generation: 0,
         }
+    }
+
+    /// Monotone write-generation counter: incremented whenever the array
+    /// is reached through any mutable path ([`PsramArray::word_mut`],
+    /// the `store_matrix` family, [`PsramArray::preset_matrix`]). Two
+    /// equal readings guarantee the stored weights have not changed in
+    /// between.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Array rows.
@@ -181,6 +195,8 @@ impl PsramArray {
     /// Panics if the indices are out of range.
     pub fn word_mut(&mut self, row: usize, col: usize) -> &mut PsramWord {
         assert!(row < self.rows && col < self.cols, "index out of range");
+        // Handing out `&mut` counts as a (potential) write.
+        self.generation += 1;
         &mut self.words[row * self.cols + col]
     }
 
@@ -250,6 +266,7 @@ impl PsramArray {
     /// Panics if dimensions mismatch or any value does not fit.
     pub fn preset_matrix(&mut self, matrix: &[Vec<u32>]) {
         assert_eq!(matrix.len(), self.rows, "row count mismatch");
+        self.generation += 1;
         for (r, row) in matrix.iter().enumerate() {
             assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
             for (c, &v) in row.iter().enumerate() {
@@ -376,6 +393,27 @@ mod tests {
         let arr = PsramArray::new(cfg(), 4, 4, 3);
         let per_cell = HoldPowerModel::new(cfg()).power_per_cell().as_watts();
         assert!((arr.hold_power().as_watts() - 48.0 * per_cell).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_tracks_every_mutable_path() {
+        let mut arr = PsramArray::new(cfg(), 2, 2, 3);
+        let g0 = arr.generation();
+        let _ = arr.word(0, 0);
+        let _ = arr.read_matrix();
+        assert_eq!(arr.generation(), g0, "reads must not bump the counter");
+        let m = vec![vec![1, 2], vec![3, 4]];
+        arr.preset_matrix(&m);
+        let g1 = arr.generation();
+        assert!(g1 > g0, "preset_matrix must bump");
+        let _ = arr.store_matrix(&m);
+        let g2 = arr.generation();
+        assert!(g2 > g1, "store_matrix must bump");
+        let _ = arr.store_matrix_row_parallel(&m);
+        let g3 = arr.generation();
+        assert!(g3 > g2, "store_matrix_row_parallel must bump");
+        arr.word_mut(1, 1).store(6);
+        assert!(arr.generation() > g3, "word_mut must bump");
     }
 
     #[test]

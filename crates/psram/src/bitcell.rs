@@ -155,11 +155,8 @@ impl PsramBitcell {
                 Voltage::ZERO
             }
         };
-        self.d2 = DigitalDriver::with_initial(
-            self.config.vdd,
-            self.config.driver_slew_v_per_s,
-            rail(vq),
-        );
+        self.d2 =
+            DigitalDriver::with_initial(self.config.vdd, self.config.driver_slew_v_per_s, rail(vq));
         self.d1 = DigitalDriver::with_initial(
             self.config.vdd,
             self.config.driver_slew_v_per_s,
@@ -231,11 +228,8 @@ impl PsramBitcell {
         }
         let write_total = wbl + wblb;
         if write_total.as_watts() > 0.0 {
-            self.meter.record_power(
-                "write_laser",
-                write_total.wall_plug_power_default(),
-                dt,
-            );
+            self.meter
+                .record_power("write_laser", write_total.wall_plug_power_default(), dt);
         }
         self.elapsed += dt;
     }

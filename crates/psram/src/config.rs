@@ -70,8 +70,14 @@ impl PsramConfig {
             self.write_pulse_width.as_seconds() > 0.0,
             "write pulse width must be positive"
         );
-        assert!(self.driver_slew_v_per_s > 0.0, "driver slew must be positive");
-        assert!(self.time_step.as_seconds() > 0.0, "time step must be positive");
+        assert!(
+            self.driver_slew_v_per_s > 0.0,
+            "driver slew must be positive"
+        );
+        assert!(
+            self.time_step.as_seconds() > 0.0,
+            "time step must be positive"
+        );
         assert!(
             self.update_rate.as_hertz() > 0.0,
             "update rate must be positive"
@@ -103,9 +109,7 @@ mod tests {
         let c = PsramConfig::paper();
         // 20 GHz → 50 ps period, exactly one write pulse wide.
         assert!((c.update_rate.period().as_picoseconds() - 50.0).abs() < 1e-9);
-        assert!(
-            c.write_pulse_width.as_seconds() <= c.update_rate.period().as_seconds()
-        );
+        assert!(c.write_pulse_width.as_seconds() <= c.update_rate.period().as_seconds());
     }
 
     #[test]

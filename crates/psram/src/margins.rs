@@ -123,8 +123,8 @@ pub fn bias_loss_retention(config: PsramConfig) -> Seconds {
         let mut cell = PsramBitcell::with_stored(config, true);
         cell.set_node_voltages(vq, pic_units::Voltage::ZERO);
         let dt = config.time_step;
-        let settle_steps = (10.0 * config.update_rate.period().as_seconds()
-            / dt.as_seconds()) as usize;
+        let settle_steps =
+            (10.0 * config.update_rate.period().as_seconds() / dt.as_seconds()) as usize;
         for _ in 0..settle_steps {
             cell.step(OpticalPower::ZERO, OpticalPower::ZERO, dt);
         }
@@ -176,8 +176,8 @@ pub fn write_speed_profile(config: PsramConfig, powers: &[OpticalPower]) -> Vec<
             debug_assert!(before.as_volts() < 0.1);
             // Drive and watch the transient directly for the crossing.
             let dt = config.time_step;
-            let total = config.write_pulse_width.as_seconds()
-                + config.update_rate.period().as_seconds();
+            let total =
+                config.write_pulse_width.as_seconds() + config.update_rate.period().as_seconds();
             let steps = (total / dt.as_seconds()).ceil() as usize;
             let mut switch_time = f64::NAN;
             for i in 0..steps {
@@ -188,8 +188,7 @@ pub fn write_speed_profile(config: PsramConfig, powers: &[OpticalPower]) -> Vec<
                     OpticalPower::ZERO,
                     dt,
                 );
-                if switch_time.is_nan()
-                    && cell.q_voltage().as_volts() > 0.5 * config.vdd.as_volts()
+                if switch_time.is_nan() && cell.q_voltage().as_volts() > 0.5 * config.vdd.as_volts()
                 {
                     switch_time = t + dt.as_seconds();
                 }
@@ -241,8 +240,7 @@ mod tests {
 
     #[test]
     fn sub_threshold_points_report_no_flip() {
-        let profile =
-            write_speed_profile(cfg(), &[OpticalPower::from_microwatts(20.0)]);
+        let profile = write_speed_profile(cfg(), &[OpticalPower::from_microwatts(20.0)]);
         assert!(!profile[0].flipped);
         assert!(profile[0].switch_time_s.is_nan());
     }

@@ -15,10 +15,7 @@ use std::path::Path;
 ///
 /// Returns any I/O error; also fails if the traces differ in length or
 /// sample period.
-pub fn write_waveforms_csv(
-    path: &Path,
-    traces: &[(&str, &Waveform)],
-) -> std::io::Result<()> {
+pub fn write_waveforms_csv(path: &Path, traces: &[(&str, &Waveform)]) -> std::io::Result<()> {
     let Some((_, first)) = traces.first() else {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -26,8 +23,7 @@ pub fn write_waveforms_csv(
         ));
     };
     for (name, wf) in traces {
-        if wf.len() != first.len()
-            || (wf.dt().as_seconds() - first.dt().as_seconds()).abs() > 1e-18
+        if wf.len() != first.len() || (wf.dt().as_seconds() - first.dt().as_seconds()).abs() > 1e-18
         {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -112,7 +108,11 @@ pub fn write_xy_csv(
         if cols.len() != col_names.len() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
-                format!("row at x={x} has {} columns, expected {}", cols.len(), col_names.len()),
+                format!(
+                    "row at x={x} has {} columns, expected {}",
+                    cols.len(),
+                    col_names.len()
+                ),
             ));
         }
     }

@@ -16,7 +16,10 @@ pub type Complex = (f64, f64);
 /// Panics if the length is not a power of two (or is zero).
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two"
+    );
 
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -109,7 +112,10 @@ pub struct SineAnalysis {
 /// Panics if the record length is not a power of two or below 16.
 #[must_use]
 pub fn analyze_sine(samples: &[f64], skirt: usize) -> SineAnalysis {
-    assert!(samples.len() >= 16, "record too short for spectral analysis");
+    assert!(
+        samples.len() >= 16,
+        "record too short for spectral analysis"
+    );
     let spec = power_spectrum(samples);
     // Skip the DC/offset skirt entirely.
     let dc_guard = skirt + 1;

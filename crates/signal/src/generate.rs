@@ -17,7 +17,11 @@ pub fn rectangular_pulse(
 ) -> Waveform {
     let n = samples_for(dt, duration);
     let mut wf = Waveform::zeros(dt, n);
-    wf.fill_range(start, Seconds::from_seconds(start.as_seconds() + width.as_seconds()), amplitude);
+    wf.fill_range(
+        start,
+        Seconds::from_seconds(start.as_seconds() + width.as_seconds()),
+        amplitude,
+    );
     wf
 }
 
@@ -80,7 +84,14 @@ pub fn staircase(dt: Seconds, hold: Seconds, levels: &[f64]) -> Waveform {
 ///
 /// Panics if `seed` is zero (an LFSR stuck state).
 #[must_use]
-pub fn prbs(dt: Seconds, hold: Seconds, symbols: usize, seed: u16, low: f64, high: f64) -> Waveform {
+pub fn prbs(
+    dt: Seconds,
+    hold: Seconds,
+    symbols: usize,
+    seed: u16,
+    low: f64,
+    high: f64,
+) -> Waveform {
     assert!(seed != 0, "LFSR seed must be non-zero");
     let mut state = seed;
     let levels: Vec<f64> = (0..symbols)
@@ -156,8 +167,8 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.samples().iter().all(|&v| v == 0.0 || v == 1.0));
         // Both symbols appear.
-        assert!(a.samples().iter().any(|&v| v == 0.0));
-        assert!(a.samples().iter().any(|&v| v == 1.0));
+        assert!(a.samples().contains(&0.0));
+        assert!(a.samples().contains(&1.0));
     }
 
     #[test]

@@ -141,7 +141,10 @@ impl Waveform {
     /// Maximum sample value.
     #[must_use]
     pub fn max_value(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean of all samples.

@@ -68,7 +68,10 @@ impl WdmSignal {
     /// Panics if `wavelengths` is empty.
     #[must_use]
     pub fn new(wavelengths: Vec<Wavelength>) -> Self {
-        assert!(!wavelengths.is_empty(), "WDM signal needs at least one channel");
+        assert!(
+            !wavelengths.is_empty(),
+            "WDM signal needs at least one channel"
+        );
         let n = wavelengths.len();
         WdmSignal {
             wavelengths,
@@ -88,8 +91,14 @@ impl WdmSignal {
             powers.len(),
             "wavelength and power counts differ"
         );
-        assert!(!wavelengths.is_empty(), "WDM signal needs at least one channel");
-        WdmSignal { wavelengths, powers }
+        assert!(
+            !wavelengths.is_empty(),
+            "WDM signal needs at least one channel"
+        );
+        WdmSignal {
+            wavelengths,
+            powers,
+        }
     }
 
     /// Number of channels.

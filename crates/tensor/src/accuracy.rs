@@ -58,10 +58,7 @@ impl ErrorBreakdown {
             // Stage values per row, all in normalised output units.
             let float_ref: Vec<f64> = float_weights
                 .iter()
-                .map(|row| {
-                    row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>()
-                        / cfg.cols as f64
-                })
+                .map(|row| row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() / cfg.cols as f64)
                 .collect();
             let ideal_q = core.matvec_ideal(x);
             let analog = core.matvec_analog(x);

@@ -39,7 +39,10 @@ impl Conv2dSpec {
     pub fn validate(&self) {
         assert!(self.out_channels > 0, "need at least one kernel");
         assert!(self.in_channels > 0, "need at least one input channel");
-        assert!(self.kernel_h > 0 && self.kernel_w > 0, "kernel must be non-empty");
+        assert!(
+            self.kernel_h > 0 && self.kernel_w > 0,
+            "kernel must be non-empty"
+        );
         assert!(self.stride > 0, "stride must be positive");
     }
 }
@@ -68,7 +71,11 @@ impl Conv2d {
     #[must_use]
     pub fn new(spec: Conv2dSpec, kernels: &[Vec<f64>], base: TensorCoreConfig) -> Self {
         spec.validate();
-        assert_eq!(kernels.len(), spec.out_channels, "one kernel per output channel");
+        assert_eq!(
+            kernels.len(),
+            spec.out_channels,
+            "one kernel per output channel"
+        );
         let patch = spec.patch_len();
         for (oc, k) in kernels.iter().enumerate() {
             assert_eq!(k.len(), patch, "kernel {oc} length != patch length {patch}");
@@ -172,17 +179,14 @@ impl Conv2d {
         let levels = (self.core.adc().config().channel_count() - 1) as f64;
         let gain = self.core.readout_gain();
 
-        let mut out =
-            vec![vec![vec![0.0f64; ow]; oh]; self.spec.out_channels];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let patch = self.patch(image, oy, ox);
-                let codes = self.core.matvec(&patch);
-                for oc in 0..self.spec.out_channels {
-                    let pos = codes[2 * oc] as f64 / levels;
-                    let neg = codes[2 * oc + 1] as f64 / levels;
-                    out[oc][oy][ox] = (pos - neg) / gain;
-                }
+        let mut out = vec![vec![vec![0.0f64; ow]; oh]; self.spec.out_channels];
+        for (oy, ox) in (0..oh).flat_map(|oy| (0..ow).map(move |ox| (oy, ox))) {
+            let patch = self.patch(image, oy, ox);
+            let codes = self.core.matvec(&patch);
+            for oc in 0..self.spec.out_channels {
+                let pos = codes[2 * oc] as f64 / levels;
+                let neg = codes[2 * oc + 1] as f64 / levels;
+                out[oc][oy][ox] = (pos - neg) / gain;
             }
         }
         out

@@ -3,7 +3,9 @@
 use crate::{quant, TensorRow};
 use pic_eoadc::{EoAdc, EoAdcConfig};
 use pic_psram::{PsramArray, PsramConfig};
-use pic_units::{Energy, OpticalPower, Voltage};
+use pic_units::{Current, Energy, OpticalPower, Voltage};
+use rand::{RngCore, SeedableRng};
+use rayon::prelude::*;
 
 /// Architectural parameters of a [`TensorCore`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,8 +62,7 @@ impl TensorCoreConfig {
     pub fn validate(&self) {
         assert!(self.rows > 0 && self.cols > 0, "core must be non-empty");
         assert!(
-            self.wavelengths_per_macro > 0
-                && self.cols % self.wavelengths_per_macro == 0,
+            self.wavelengths_per_macro > 0 && self.cols.is_multiple_of(self.wavelengths_per_macro),
             "cols ({}) must be a whole number of {}-wavelength macros",
             self.cols,
             self.wavelengths_per_macro
@@ -77,11 +78,60 @@ impl TensorCoreConfig {
     }
 }
 
+/// One row's slice of the [`WeightCache`]: the steady-state optical path
+/// collapsed to a dense linear map (see [`TensorRow::channel_gains`]).
+#[derive(Debug, Clone)]
+struct RowCache {
+    /// Per-column photocurrent gain, A per unit input.
+    gains: Vec<f64>,
+    /// Constant dark-current floor of the row's photodiodes, A.
+    dark_amps: f64,
+    /// Normalisation reference, A.
+    full_scale_amps: f64,
+}
+
+impl RowCache {
+    /// Normalised analog row output for one input vector.
+    fn analog(&self, input: &[f64]) -> f64 {
+        let dot: f64 = self.gains.iter().zip(input).map(|(g, x)| g * x).sum();
+        ((dot + self.dark_amps) / self.full_scale_amps).clamp(0.0, 1.0)
+    }
+
+    /// Mean (noise-free) row photocurrent for one input vector.
+    fn mean_current(&self, input: &[f64]) -> Current {
+        let dot: f64 = self.gains.iter().zip(input).map(|(g, x)| g * x).sum();
+        Current::from_amps(dot + self.dark_amps)
+    }
+}
+
+/// Cached per-row linear maps derived from the stored weights, tagged
+/// with the [`PsramArray::generation`] they were built from. Rebuilt
+/// eagerly by every weight-mutating method of [`TensorCore`], so the
+/// read paths can stay `&self` (and thread-safe) with a cheap staleness
+/// assert instead of interior mutability.
+#[derive(Debug, Clone)]
+struct WeightCache {
+    generation: u64,
+    rows: Vec<RowCache>,
+}
+
 /// The scalable mixed-signal photonic tensor core (Fig. 4).
 ///
 /// Weights live in a [`PsramArray`]; each row is a [`TensorRow`] of WDM
 /// vector macros whose summed photocurrent is normalised to the eoADC's
 /// full scale and digitised. See the [crate docs](crate) for an example.
+///
+/// # Compute engine
+///
+/// Loading weights collapses each row's optical path into cached
+/// per-column gains ([`TensorRow::channel_gains`]), so the steady-state
+/// products ([`TensorCore::matvec_analog`], [`TensorCore::matvec`],
+/// [`TensorCore::matvec_noisy`], [`TensorCore::matmul`]) are dense
+/// multiplies rather than per-call optical walks; the walk itself stays
+/// available as [`TensorCore::matvec_analog_uncached`]. Rows (and batch
+/// inputs in [`TensorCore::matmul`]) evaluate in parallel unless
+/// [`TensorCore::set_parallel`] turns it off — outputs are bit-identical
+/// either way, including the seeded noisy path.
 #[derive(Debug, Clone)]
 pub struct TensorCore {
     config: TensorCoreConfig,
@@ -89,6 +139,8 @@ pub struct TensorCore {
     rows: Vec<TensorRow>,
     adc: EoAdc,
     readout_gain: f64,
+    cache: WeightCache,
+    parallel: bool,
 }
 
 impl TensorCore {
@@ -112,13 +164,83 @@ impl TensorCore {
                 )
             })
             .collect();
-        TensorCore {
+        let mut core = TensorCore {
             weights,
             rows,
             adc: EoAdc::new(config.adc),
             readout_gain: 1.0,
             config,
+            cache: WeightCache {
+                generation: u64::MAX,
+                rows: Vec::new(),
+            },
+            parallel: true,
+        };
+        core.rebuild_cache();
+        core
+    }
+
+    /// Collapses the stored weights into per-row linear maps. Called by
+    /// every weight-mutating method so the cache never goes stale.
+    fn rebuild_cache(&mut self) {
+        let cols = self.config.cols;
+        let weights = &self.weights;
+        let row_cache = |(r, row): (usize, &TensorRow)| {
+            let drives: Vec<Vec<Voltage>> = (0..cols)
+                .map(|c| weights.word(r, c).weight_drives())
+                .collect();
+            let (gains, dark) = row.channel_gains(&drives);
+            RowCache {
+                gains,
+                dark_amps: dark.as_amps(),
+                full_scale_amps: row.full_scale_current().as_amps(),
+            }
+        };
+        let indexed: Vec<(usize, &TensorRow)> = self.rows.iter().enumerate().collect();
+        let rows: Vec<RowCache> = if self.parallel {
+            indexed.into_par_iter().map(row_cache).collect()
+        } else {
+            indexed.into_iter().map(row_cache).collect()
+        };
+        self.cache = WeightCache {
+            generation: self.weights.generation(),
+            rows,
+        };
+    }
+
+    /// The cache the read paths are about to use, checked for staleness.
+    fn cache(&self) -> &WeightCache {
+        assert_eq!(
+            self.cache.generation,
+            self.weights.generation(),
+            "weight cache is stale — weights were mutated outside TensorCore"
+        );
+        &self.cache
+    }
+
+    /// Validates one input vector: length `cols`, every value finite and
+    /// in `[0, 1]` (the intensity-encoding contract of the comb source).
+    fn check_input(&self, input: &[f64]) {
+        assert_eq!(input.len(), self.config.cols, "one input per column");
+        for (c, &x) in input.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&x),
+                "intensity-encoded inputs must be in [0, 1]: input[{c}] = {x}"
+            );
         }
+    }
+
+    /// Whether row and batch loops run on the rayon thread pool.
+    #[must_use]
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Enables or disables parallel evaluation. Results are bit-identical
+    /// either way (same per-row arithmetic, deterministic per-row seeds in
+    /// the noisy path); this only trades threads for throughput.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
     }
 
     /// Sets the read-out gain: the TIA transimpedance scaling between the
@@ -170,6 +292,7 @@ impl TensorCore {
     /// Panics on shape mismatch or codes that do not fit.
     pub fn load_weight_codes(&mut self, codes: &[Vec<u32>]) {
         self.weights.preset_matrix(codes);
+        self.rebuild_cache();
     }
 
     /// Quantises and loads real-valued weights in `[0, 1]`.
@@ -190,18 +313,52 @@ impl TensorCore {
     ///
     /// Panics on shape mismatch, unfitting codes, or a failed latch.
     pub fn write_weights_transient(&mut self, codes: &[Vec<u32>]) -> (Energy, usize) {
-        self.weights.store_matrix(codes)
+        let result = self.weights.store_matrix(codes);
+        self.rebuild_cache();
+        result
+    }
+
+    /// Maps one row's normalised analog output through the TIA gain and
+    /// the eoADC.
+    fn digitize_row(&self, y: f64) -> u16 {
+        let scaled = (y * self.readout_gain).min(1.0);
+        self.adc
+            .convert_static(self.config.adc.vfs * scaled)
+            .expect("calibrated eoADC cannot produce an illegal pattern")
     }
 
     /// Analog matrix-vector product: per-row photocurrents normalised to
     /// the full-scale current, in `[0, 1]`.
+    ///
+    /// Uses the cached per-row linear maps (a dense multiply) and runs
+    /// rows in parallel when [`TensorCore::parallel`] is on.
     ///
     /// # Panics
     ///
     /// Panics if `input` length ≠ `cols` or values leave `[0, 1]`.
     #[must_use]
     pub fn matvec_analog(&self, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), self.config.cols, "one input per column");
+        self.check_input(input);
+        let cache = self.cache();
+        if self.parallel {
+            cache.rows.par_iter().map(|rc| rc.analog(input)).collect()
+        } else {
+            cache.rows.iter().map(|rc| rc.analog(input)).collect()
+        }
+    }
+
+    /// Analog matrix-vector product via the full per-call optical walk
+    /// (drive look-up, splitter ladder, ring-by-ring WDM propagation),
+    /// bypassing the weight cache. Kept as the reference implementation:
+    /// the cached path must agree with this to floating-point accuracy,
+    /// and the benchmark suite uses it as the speed-up baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`TensorCore::matvec_analog`].
+    #[must_use]
+    pub fn matvec_analog_uncached(&self, input: &[f64]) -> Vec<f64> {
+        self.check_input(input);
         (0..self.config.rows)
             .map(|r| {
                 let drives: Vec<Vec<Voltage>> = (0..self.config.cols)
@@ -223,28 +380,45 @@ impl TensorCore {
     /// converter produced an illegal pattern (it cannot).
     #[must_use]
     pub fn matvec(&self, input: &[f64]) -> Vec<u16> {
-        let vfs = self.config.adc.vfs;
-        self.matvec_analog(input)
-            .into_iter()
-            .map(|y| {
-                let scaled = (y * self.readout_gain).min(1.0);
-                self.adc
-                    .convert_static(vfs * scaled)
-                    .expect("calibrated eoADC cannot produce an illegal pattern")
-            })
-            .collect()
+        self.check_input(input);
+        let cache = self.cache();
+        let row = |rc: &RowCache| self.digitize_row(rc.analog(input));
+        if self.parallel {
+            cache.rows.par_iter().map(row).collect()
+        } else {
+            cache.rows.iter().map(row).collect()
+        }
     }
 
     /// Batch matrix multiplication: one [`TensorCore::matvec`] per input
-    /// column of `inputs` (each of length `cols`).
+    /// column of `inputs` (each of length `cols`), parallelised over the
+    /// batch (rows evaluate serially inside each sample, so the per-sample
+    /// results are bit-identical to [`TensorCore::matvec`]).
     #[must_use]
     pub fn matmul(&self, inputs: &[Vec<f64>]) -> Vec<Vec<u16>> {
-        inputs.iter().map(|x| self.matvec(x)).collect()
+        let sample = |x: &Vec<f64>| {
+            self.check_input(x);
+            let cache = self.cache();
+            cache
+                .rows
+                .iter()
+                .map(|rc| self.digitize_row(rc.analog(x)))
+                .collect::<Vec<u16>>()
+        };
+        if self.parallel {
+            inputs.par_iter().map(sample).collect()
+        } else {
+            inputs.iter().map(sample).collect()
+        }
     }
 
     /// Digital matrix-vector product with photodetection noise on every
     /// row's summing photodiode: one noisy sample of the row current per
     /// conversion, then the usual scaled eoADC read-out.
+    ///
+    /// Each row gets its own child RNG seeded from one `u64` drawn
+    /// sequentially from `rng`, so the output is a pure function of the
+    /// caller's RNG state regardless of thread count or evaluation order.
     ///
     /// # Panics
     ///
@@ -256,22 +430,55 @@ impl TensorCore {
         noise: &pic_photonics::NoiseModel,
         rng: &mut R,
     ) -> Vec<u16> {
-        assert_eq!(input.len(), self.config.cols, "one input per column");
-        let vfs = self.config.adc.vfs;
-        (0..self.config.rows)
-            .map(|r| {
-                let drives: Vec<Vec<Voltage>> = (0..self.config.cols)
-                    .map(|c| self.weights.word(r, c).weight_drives())
-                    .collect();
-                let row = &self.rows[r];
-                let i = noise.sample(row.output_current(input, &drives), rng);
-                let y = (i.as_amps() / row.full_scale_current().as_amps()).clamp(0.0, 1.0);
-                let scaled = (y * self.readout_gain).min(1.0);
-                self.adc
-                    .convert_static(vfs * scaled)
-                    .expect("calibrated eoADC cannot produce an illegal pattern")
-            })
-            .collect()
+        self.check_input(input);
+        let cache = self.cache();
+        let seeded: Vec<(u64, &RowCache)> =
+            cache.rows.iter().map(|rc| (rng.next_u64(), rc)).collect();
+        let row = |(seed, rc): (u64, &RowCache)| {
+            let mut row_rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let i = noise.sample(rc.mean_current(input), &mut row_rng);
+            let y = (i.as_amps() / rc.full_scale_amps).clamp(0.0, 1.0);
+            self.digitize_row(y)
+        };
+        if self.parallel {
+            seeded.into_par_iter().map(row).collect()
+        } else {
+            seeded.into_iter().map(row).collect()
+        }
+    }
+
+    /// Batch noisy matrix multiplication: one [`TensorCore::matvec_noisy`]
+    /// per input, parallelised over the batch. Per-sample seeds are drawn
+    /// sequentially from `rng` up front, so the result matches a serial
+    /// loop of `matvec_noisy` calls seeded the same way.
+    #[must_use]
+    pub fn matmul_noisy<R: rand::Rng + ?Sized>(
+        &self,
+        inputs: &[Vec<f64>],
+        noise: &pic_photonics::NoiseModel,
+        rng: &mut R,
+    ) -> Vec<Vec<u16>> {
+        let seeded: Vec<(u64, &Vec<f64>)> = inputs.iter().map(|x| (rng.next_u64(), x)).collect();
+        let sample = |(seed, x): (u64, &Vec<f64>)| {
+            self.check_input(x);
+            let cache = self.cache();
+            let mut sample_rng = rand::rngs::StdRng::seed_from_u64(seed);
+            cache
+                .rows
+                .iter()
+                .map(|rc| {
+                    let mut row_rng = rand::rngs::StdRng::seed_from_u64(sample_rng.next_u64());
+                    let i = noise.sample(rc.mean_current(x), &mut row_rng);
+                    let y = (i.as_amps() / rc.full_scale_amps).clamp(0.0, 1.0);
+                    self.digitize_row(y)
+                })
+                .collect::<Vec<u16>>()
+        };
+        if self.parallel {
+            seeded.into_par_iter().map(sample).collect()
+        } else {
+            seeded.into_iter().map(sample).collect()
+        }
     }
 
     /// The ideal (float) normalised product for error analysis:
@@ -336,10 +543,7 @@ mod tests {
         let got = core.matvec_analog(&x);
         let ideal = core.matvec_ideal(&x);
         for (r, (g, i)) in got.iter().zip(&ideal).enumerate() {
-            assert!(
-                (g - i).abs() < 0.08,
-                "row {r}: analog {g} vs ideal {i}"
-            );
+            assert!((g - i).abs() < 0.08, "row {r}: analog {g} vs ideal {i}");
         }
     }
 
@@ -445,6 +649,124 @@ mod tests {
             .0;
         let max_code = *codes.iter().max().expect("non-empty");
         assert_eq!(codes[max_row], max_code, "largest ideal row wins");
+    }
+
+    #[test]
+    fn cached_matvec_matches_uncached_walk() {
+        let core = demo_core();
+        for x in [
+            [0.0, 0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0, 1.0],
+            [0.9, 0.1, 0.5, 0.7],
+            [0.25, 0.75, 0.33, 0.02],
+        ] {
+            let cached = core.matvec_analog(&x);
+            let walked = core.matvec_analog_uncached(&x);
+            for (r, (c, w)) in cached.iter().zip(&walked).enumerate() {
+                assert!(
+                    (c - w).abs() <= 1e-9 * w.abs().max(1e-12),
+                    "row {r}: cached {c} vs walked {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn matvec_analog_rejects_out_of_range_input() {
+        let core = demo_core();
+        let _ = core.matvec_analog(&[0.5, 1.2, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn matvec_analog_rejects_nan_input() {
+        let core = demo_core();
+        let _ = core.matvec_analog(&[0.5, f64::NAN, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_bitwise() {
+        use rand::SeedableRng;
+        let mut par = demo_core();
+        par.set_parallel(true);
+        let mut seq = par.clone();
+        seq.set_parallel(false);
+        assert!(par.parallel() && !seq.parallel());
+
+        let x = [0.9, 0.1, 0.5, 0.7];
+        assert_eq!(par.matvec_analog(&x), seq.matvec_analog(&x));
+        assert_eq!(par.matvec(&x), seq.matvec(&x));
+
+        let batch: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..4).map(|c| ((i * 4 + c) % 11) as f64 / 10.0).collect())
+            .collect();
+        assert_eq!(par.matmul(&batch), seq.matmul(&batch));
+
+        let noise = pic_photonics::NoiseModel::paper_receiver();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(17);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(17);
+        assert_eq!(
+            par.matvec_noisy(&x, &noise, &mut rng_a),
+            seq.matvec_noisy(&x, &noise, &mut rng_b)
+        );
+        assert_eq!(
+            par.matmul_noisy(&batch, &noise, &mut rng_a),
+            seq.matmul_noisy(&batch, &noise, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn matmul_noisy_matches_per_sample_matvec_noisy() {
+        use rand::SeedableRng;
+        let core = demo_core();
+        let noise = pic_photonics::NoiseModel::paper_receiver();
+        let batch = vec![vec![0.9, 0.1, 0.5, 0.7], vec![0.2, 0.8, 0.4, 0.6]];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let batched = core.matmul_noisy(&batch, &noise, &mut rng);
+        // Replay the same seed stream one sample at a time.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for (x, want) in batch.iter().zip(&batched) {
+            let mut sample_rng =
+                rand::rngs::StdRng::seed_from_u64(rand::RngCore::next_u64(&mut rng));
+            let got = core.matvec_noisy(x, &noise, &mut sample_rng);
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[test]
+    fn cache_follows_every_weight_mutation_path() {
+        let x = [0.9, 0.1, 0.5, 0.7];
+        let codes = vec![
+            vec![1, 2, 3, 4],
+            vec![5, 6, 7, 0],
+            vec![7, 7, 7, 7],
+            vec![0, 1, 0, 1],
+        ];
+
+        // Preset path.
+        let mut core = demo_core();
+        core.load_weight_codes(&codes);
+        let mut fresh = TensorCore::new(TensorCoreConfig::small_demo());
+        fresh.load_weight_codes(&codes);
+        assert_eq!(core.matvec(&x), fresh.matvec(&x));
+
+        // Full transient-write path.
+        let mut core = demo_core();
+        let _ = core.write_weights_transient(&codes);
+        assert_eq!(core.matvec(&x), fresh.matvec(&x));
+
+        // Real-valued load path.
+        let mut core = demo_core();
+        core.load_weights(&[
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![0.5, 0.6, 0.7, 0.8],
+            vec![0.9, 1.0, 0.0, 0.5],
+            vec![0.25, 0.75, 0.5, 0.0],
+        ]);
+        let mut fresh = TensorCore::new(TensorCoreConfig::small_demo());
+        fresh.load_weight_codes(&core.weights().read_matrix());
+        assert_eq!(core.matvec(&x), fresh.matvec(&x));
     }
 
     #[test]

@@ -154,10 +154,7 @@ impl Mlp {
     #[must_use]
     pub fn new(layers: &[Vec<Vec<f64>>], base: TensorCoreConfig) -> Self {
         assert!(!layers.is_empty(), "MLP needs at least one layer");
-        let built: Vec<DenseLayer> = layers
-            .iter()
-            .map(|w| DenseLayer::new(w, base))
-            .collect();
+        let built: Vec<DenseLayer> = layers.iter().map(|w| DenseLayer::new(w, base)).collect();
         Mlp::from_layers(built)
     }
 
@@ -242,10 +239,7 @@ mod tests {
         // Two detectors over 4 inputs: one prefers the left half, one the
         // right half.
         DenseLayer::new(
-            &[
-                vec![1.0, 1.0, -1.0, -1.0],
-                vec![-1.0, -1.0, 1.0, 1.0],
-            ],
+            &[vec![1.0, 1.0, -1.0, -1.0], vec![-1.0, -1.0, 1.0, 1.0]],
             TensorCoreConfig::small_demo(),
         )
     }
@@ -288,10 +282,7 @@ mod tests {
         // Hidden layer takes 4 inputs (two used, two zero-padded to a
         // whole macro); output layer takes the 2 hidden activations padded
         // core-side is not possible — widen to 4 with zero weights.
-        let output_padded = vec![
-            vec![1.0, 1.0, 0.0, 0.0],
-            vec![-1.0, -1.0, 0.0, 0.0],
-        ];
+        let output_padded = vec![vec![1.0, 1.0, 0.0, 0.0], vec![-1.0, -1.0, 0.0, 0.0]];
         let hidden_padded: Vec<Vec<f64>> = {
             // hidden produces 2 outputs; pad to 4 so shapes chain.
             let mut h = hidden;
@@ -302,10 +293,8 @@ mod tests {
         // Small activations need the TIA sized up to clear the ADC's
         // first code edge.
         let mlp = Mlp::from_layers(vec![
-            DenseLayer::new(&hidden_padded, TensorCoreConfig::small_demo())
-                .with_readout_gain(4.0),
-            DenseLayer::new(&output_padded, TensorCoreConfig::small_demo())
-                .with_readout_gain(4.0),
+            DenseLayer::new(&hidden_padded, TensorCoreConfig::small_demo()).with_readout_gain(4.0),
+            DenseLayer::new(&output_padded, TensorCoreConfig::small_demo()).with_readout_gain(4.0),
         ]);
         assert_eq!(mlp.depth(), 2);
         // class 0 = "inputs differ" (XOR true), class 1 = "same". The
@@ -337,9 +326,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "rectangular")]
     fn rejects_ragged_weights() {
-        let _ = DenseLayer::new(
-            &[vec![0.1, 0.2], vec![0.3]],
-            TensorCoreConfig::small_demo(),
-        );
+        let _ = DenseLayer::new(&[vec![0.1, 0.2], vec![0.3]], TensorCoreConfig::small_demo());
     }
 }

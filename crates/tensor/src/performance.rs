@@ -102,14 +102,12 @@ impl PerformanceModel {
     #[must_use]
     pub fn power_breakdown(&self) -> PowerBreakdown {
         let rows = self.config.rows as f64;
-        let comb = OpticalPower::from_milliwatts(
-            INPUT_CHANNEL_OPTICAL_POWER_MW * self.config.cols as f64,
-        )
-        .wall_plug_power_default();
+        let comb =
+            OpticalPower::from_milliwatts(INPUT_CHANNEL_OPTICAL_POWER_MW * self.config.cols as f64)
+                .wall_plug_power_default();
         let tia = ElectricalPower::from_milliwatts(ROW_TIA_POWER_MW) * rows;
         let adc = AdcPowerModel::new(self.config.adc).total() * rows;
-        let hold = HoldPowerModel::new(self.config.psram)
-            .power_for(self.config.bitcell_count());
+        let hold = HoldPowerModel::new(self.config.psram).power_for(self.config.bitcell_count());
         PowerBreakdown {
             comb_w: comb.as_watts(),
             tia_w: tia.as_watts(),

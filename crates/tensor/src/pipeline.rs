@@ -74,7 +74,10 @@ impl StreamingSchedule {
         parallelism: WriteParallelism,
     ) -> Self {
         config.validate();
-        assert!(out_dim > 0 && in_dim > 0 && batch > 0, "workload must be non-empty");
+        assert!(
+            out_dim > 0 && in_dim > 0 && batch > 0,
+            "workload must be non-empty"
+        );
         StreamingSchedule {
             config,
             out_dim,
@@ -119,18 +122,15 @@ impl StreamingSchedule {
         let perf = crate::performance::PerformanceModel::new(self.config);
         let tiles = self.tiles();
         let write_slots = tiles * self.slots_per_tile();
-        let write_time =
-            write_slots as f64 * self.config.psram.update_rate.period().as_seconds();
+        let write_time = write_slots as f64 * self.config.psram.update_rate.period().as_seconds();
 
         // Each tile residency digitises `batch` vectors, one conversion
         // cycle each (all rows convert in parallel).
         let conversions = tiles * self.batch;
-        let compute_time =
-            conversions as f64 * self.config.adc.sample_rate.period().as_seconds();
+        let compute_time = conversions as f64 * self.config.adc.sample_rate.period().as_seconds();
 
         let per_switch = WriteEnergyModel::new(self.config.psram).energy_per_switch();
-        let flips =
-            (tiles * self.config.bitcell_count()) as f64 * self.flip_fraction;
+        let flips = (tiles * self.config.bitcell_count()) as f64 * self.flip_fraction;
         let write_energy = per_switch.as_joules() * flips;
 
         let power = perf.power_breakdown().total_w();
@@ -177,8 +177,13 @@ mod tests {
     #[test]
     fn tile_count_covers_the_matrix() {
         assert_eq!(sched(1, WriteParallelism::PerRow).tiles(), 16);
-        let ragged =
-            StreamingSchedule::new(TensorCoreConfig::paper(), 65, 17, 1, WriteParallelism::PerRow);
+        let ragged = StreamingSchedule::new(
+            TensorCoreConfig::paper(),
+            65,
+            17,
+            1,
+            WriteParallelism::PerRow,
+        );
         assert_eq!(ragged.tiles(), 5 * 2);
     }
 
@@ -236,8 +241,7 @@ mod tests {
         let mut slow_cfg = TensorCoreConfig::paper();
         slow_cfg.psram.update_rate = pic_units::Frequency::from_gigahertz(0.5);
         // Keep the write pulse inside the slower slot.
-        let slow =
-            StreamingSchedule::new(slow_cfg, 64, 64, 16, WriteParallelism::PerRow).report();
+        let slow = StreamingSchedule::new(slow_cfg, 64, 64, 16, WriteParallelism::PerRow).report();
         assert!(slow.compute_utilization < r.compute_utilization / 2.0);
     }
 }

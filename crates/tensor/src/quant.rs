@@ -1,7 +1,10 @@
 //! Fixed-point quantisation of weights and inputs.
 //!
-//! Weights are unsigned n-bit codes (`w/2^n ∈ [0, 1)` of transmission);
-//! inputs are analog intensities in `[0, 1]`. Signed arithmetic, when a
+//! Weights are unsigned n-bit codes on the full-scale-1.0 convention:
+//! code `w` represents `w / (2^n − 1) ∈ [0, 1]` of transmission, so the
+//! all-ones code means *fully on* (see [`quantize_unsigned`] /
+//! [`dequantize_unsigned`], whose round trip maps 1.0 ↔ `2^n − 1`).
+//! Inputs are analog intensities in `[0, 1]`. Signed arithmetic, when a
 //! network needs it, is handled the way analog IMC macros usually do it —
 //! by differential weight pairs (see [`signed_to_differential`]).
 

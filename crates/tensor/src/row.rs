@@ -29,7 +29,10 @@ impl TensorRow {
         vdd: Voltage,
     ) -> Self {
         assert!(macro_count > 0, "row needs at least one macro");
-        assert!(wavelengths_per_macro > 0, "macro needs at least one channel");
+        assert!(
+            wavelengths_per_macro > 0,
+            "macro needs at least one channel"
+        );
         let macros = (0..macro_count)
             .map(|_| {
                 let comb = pic_photonics::FrequencyComb::new(
@@ -84,6 +87,28 @@ impl TensorRow {
                 m.output_current(&inputs[lo..hi], &drives[lo..hi])
             })
             .sum()
+    }
+
+    /// The row's steady-state linear map for fixed drives: per-column
+    /// gains (A per unit input) and the summed dark-current floor, so
+    /// `output_current(x, drives) = Σ_c gains[c]·x_c + dark`. See
+    /// [`VectorComputeCore::channel_gains`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    #[must_use]
+    pub fn channel_gains(&self, drives: &[Vec<Voltage>]) -> (Vec<f64>, Current) {
+        assert_eq!(drives.len(), self.width(), "one drive set per weight");
+        let mut gains = Vec::with_capacity(self.width());
+        let mut dark = Current::ZERO;
+        for (k, m) in self.macros.iter().enumerate() {
+            let lo = k * self.chunk;
+            let (g, d) = m.channel_gains(&drives[lo..lo + self.chunk]);
+            gains.extend(g);
+            dark += d;
+        }
+        (gains, dark)
     }
 
     /// Full-scale current of the row (all macros at full scale).
@@ -145,7 +170,7 @@ mod tests {
         for v in &mut x[4..8] {
             *v = 1.0;
         }
-        let codes = vec![7u32; 16];
+        let codes = [7u32; 16];
         let drives: Vec<_> = codes
             .iter()
             .map(|_| vec![Voltage::from_volts(1.0); 3])

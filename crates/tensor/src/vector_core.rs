@@ -158,9 +158,7 @@ impl VectorComputeCore {
                     let stages: Vec<(&Mrr, OperatingPoint)> = self.rings[b]
                         .iter()
                         .enumerate()
-                        .map(|(i, r)| {
-                            (r, OperatingPoint::new(drives[i][b], ambient_drift_k))
-                        })
+                        .map(|(i, r)| (r, OperatingPoint::new(drives[i][b], ambient_drift_k)))
                         .collect();
                     let thru = bus::propagate_thru(&branch_in, &stages);
                     total += self.pd.photocurrent(thru.total_power());
@@ -171,9 +169,7 @@ impl VectorComputeCore {
                     let stages: Vec<(&Mrr, OperatingPoint)> = self.rings[b]
                         .iter()
                         .enumerate()
-                        .map(|(i, r)| {
-                            (r, OperatingPoint::new(drives[i][b], ambient_drift_k))
-                        })
+                        .map(|(i, r)| (r, OperatingPoint::new(drives[i][b], ambient_drift_k)))
                         .collect();
                     for ch in 0..self.width() {
                         let mut lone = self.comb.encode(
@@ -195,6 +191,52 @@ impl VectorComputeCore {
         total
     }
 
+    /// Collapses the macro's steady-state optical path into one linear
+    /// map: returns per-channel gains `g` (A per unit input) and the
+    /// constant dark-current floor so that for any inputs `x ∈ [0,1]^m`
+    ///
+    /// `output_current(x, drives) = Σ_ch g[ch]·x_ch + dark`.
+    ///
+    /// Valid because every element of the [`ComputeMode::FullWdm`] path
+    /// is linear in the input powers: the comb encodes `P0·x`, the
+    /// splitter ladder and each ring's thru response scale channels
+    /// multiplicatively, and the photodiode is affine (`R·P + I_dark`).
+    /// Computing the gains costs one full optical walk; reusing them
+    /// turns each evaluation into a dense dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives` has the wrong shape.
+    #[must_use]
+    pub fn channel_gains(&self, drives: &[Vec<Voltage>]) -> (Vec<f64>, Current) {
+        assert_eq!(drives.len(), self.width(), "one drive set per weight");
+        for d in drives {
+            assert_eq!(
+                d.len(),
+                self.weight_bits as usize,
+                "one drive per weight bit"
+            );
+        }
+        let grid = self.comb.wavelengths();
+        let (fractions, _) = splitter::binary_ladder(self.weight_bits);
+        let watts_per_input = self.comb.per_line_power().as_watts();
+        let responsivity = self.pd.responsivity();
+        let mut gains = vec![0.0; self.width()];
+        for (b, &frac) in fractions.iter().enumerate() {
+            let stages: Vec<(&Mrr, OperatingPoint)> = self.rings[b]
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r, OperatingPoint::new(drives[i][b], 0.0)))
+                .collect();
+            let path = bus::channel_path_transmissions(&grid, &stages);
+            for (gain, t) in gains.iter_mut().zip(path) {
+                *gain += responsivity * watts_per_input * frac * t;
+            }
+        }
+        let dark = self.pd.dark_current() * self.weight_bits as f64;
+        (gains, dark)
+    }
+
     /// Convenience: drive voltages derived from integer weight codes.
     ///
     /// # Panics
@@ -213,7 +255,11 @@ impl VectorComputeCore {
                 (0..self.weight_bits)
                     .map(|b| {
                         let bit = (code >> (self.weight_bits - 1 - b)) & 1 == 1;
-                        if bit { self.vdd } else { Voltage::ZERO }
+                        if bit {
+                            self.vdd
+                        } else {
+                            Voltage::ZERO
+                        }
                     })
                     .collect()
             })
@@ -241,6 +287,14 @@ impl VectorComputeCore {
     pub fn full_scale_current(&self) -> Current {
         let max_code = (1u32 << self.weight_bits) - 1;
         self.ideal_current(&vec![1.0; self.width()], &vec![max_code; self.width()])
+    }
+}
+
+#[cfg(test)]
+impl VectorComputeCore {
+    /// Total dark-current floor across the branch photodiodes (test aid).
+    fn dark_floor(&self) -> f64 {
+        self.pd.dark_current().as_amps() * self.weight_bits as f64
     }
 }
 
@@ -343,6 +397,31 @@ mod tests {
     }
 
     #[test]
+    fn channel_gains_reproduce_the_optical_walk() {
+        let c = core();
+        let cases = [[3u32, 5, 1, 7], [7, 7, 7, 7], [0, 0, 0, 0], [2, 4, 6, 1]];
+        let inputs = [0.3, 0.7, 0.1, 0.9];
+        for w in cases {
+            let drives = c.drives_for_codes(&w);
+            let walked = c.output_current(&inputs, &drives).as_amps();
+            let (gains, dark) = c.channel_gains(&drives);
+            let mapped: f64 =
+                gains.iter().zip(&inputs).map(|(g, x)| g * x).sum::<f64>() + dark.as_amps();
+            assert!(
+                (walked - mapped).abs() <= 1e-12 * walked.abs().max(1e-18),
+                "codes {w:?}: walk {walked} A vs linear map {mapped} A"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one drive per weight bit")]
+    fn channel_gains_check_drive_shape() {
+        let c = core();
+        let _ = c.channel_gains(&vec![vec![Voltage::ZERO; 2]; 4]);
+    }
+
+    #[test]
     #[should_panic(expected = "one input per channel")]
     fn input_length_checked() {
         let c = core();
@@ -354,13 +433,5 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn code_range_checked() {
         let _ = core().drives_for_codes(&[8, 0, 0, 0]);
-    }
-}
-
-#[cfg(test)]
-impl VectorComputeCore {
-    /// Total dark-current floor across the branch photodiodes (test aid).
-    fn dark_floor(&self) -> f64 {
-        self.pd.dark_current().as_amps() * self.weight_bits as f64
     }
 }

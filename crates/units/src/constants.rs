@@ -27,6 +27,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-checking the constants is the point
     fn constants_are_sane() {
         assert!(SPEED_OF_LIGHT > 2.9e8 && SPEED_OF_LIGHT < 3.0e8);
         assert!(WALL_PLUG_EFFICIENCY > 0.0 && WALL_PLUG_EFFICIENCY < 1.0);

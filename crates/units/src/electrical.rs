@@ -143,8 +143,10 @@ mod tests {
     #[test]
     fn capacitor_charging() {
         // 10 µA into 2 fF for 1 ps → 5 mV
-        let dv = Capacitance::from_femtofarads(2.0)
-            .voltage_delta(Current::from_microamps(10.0), Seconds::from_picoseconds(1.0));
+        let dv = Capacitance::from_femtofarads(2.0).voltage_delta(
+            Current::from_microamps(10.0),
+            Seconds::from_picoseconds(1.0),
+        );
         assert!((dv.as_millivolts() - 5.0).abs() < 1e-9);
     }
 

@@ -58,7 +58,8 @@ mod tests {
     #[test]
     fn average_power_round_trip() {
         // 2.32 pJ at 8 GS/s → 18.56 mW.
-        let p = Energy::from_picojoules(2.32).average_power(Frequency::from_gigahertz(8.0).period());
+        let p =
+            Energy::from_picojoules(2.32).average_power(Frequency::from_gigahertz(8.0).period());
         assert!((p.as_milliwatts() - 18.56).abs() < 1e-9);
     }
 

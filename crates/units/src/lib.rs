@@ -45,7 +45,9 @@ pub use wavelength::Wavelength;
 /// let half = Ratio::new(0.5);
 /// assert!((half.as_db() + 3.0103).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Ratio(f64);
 
 impl Ratio {

@@ -159,7 +159,8 @@ mod tests {
     #[test]
     fn energy_integration() {
         // 18.58 mW for 125 ps ≈ 2.32 pJ (paper's eoADC energy/conversion).
-        let e = ElectricalPower::from_milliwatts(18.58).energy_over(Seconds::from_picoseconds(125.0));
+        let e =
+            ElectricalPower::from_milliwatts(18.58).energy_over(Seconds::from_picoseconds(125.0));
         assert!((e.as_picojoules() - 2.3225).abs() < 1e-3);
     }
 }

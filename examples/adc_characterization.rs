@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example adc_characterization`
 
 use photonic_tensor_core::eoadc::{
-    metrics::TransferFunction, AdcPowerModel, CascadedAdc, EoAdc, EoAdcConfig,
-    TimeInterleavedAdc,
+    metrics::TransferFunction, AdcPowerModel, CascadedAdc, EoAdc, EoAdcConfig, TimeInterleavedAdc,
 };
 use photonic_tensor_core::units::Voltage;
 
@@ -46,9 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .activations
             .iter()
             .enumerate()
-            .filter_map(|(i, &a)| a.then(|| format!("B{}", i + 1)))
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| format!("B{}", i + 1))
             .collect();
-        println!("   V_IN = {v:.2} V → {} → code {:03b}", hot.join("+"), tc.code?);
+        println!(
+            "   V_IN = {v:.2} V → {} → code {:03b}",
+            hot.join("+"),
+            tc.code?
+        );
     }
 
     // Energy/speed variants.

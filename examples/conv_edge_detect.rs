@@ -19,7 +19,11 @@ fn synthetic_image() -> Vec<Vec<Vec<f64>>> {
             (0..SIZE)
                 .map(|x| {
                     let inside = (4..12).contains(&y) && (4..12).contains(&x);
-                    if inside { 0.15 } else { 0.85 }
+                    if inside {
+                        0.15
+                    } else {
+                        0.85
+                    }
                 })
                 .collect()
         })

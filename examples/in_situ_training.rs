@@ -27,7 +27,11 @@ fn main() {
         let left_heavy = rng.gen_bool(0.5);
         let x: Vec<f64> = (0..DIM)
             .map(|i| {
-                let base: f64 = if (i < DIM / 2) == left_heavy { 0.8 } else { 0.2 };
+                let base: f64 = if (i < DIM / 2) == left_heavy {
+                    0.8
+                } else {
+                    0.2
+                };
                 (base + rng.gen_range(-0.15..0.15)).clamp(0.0, 1.0)
             })
             .collect();
@@ -85,7 +89,11 @@ fn main() {
     let final_acc = *history.last().expect("non-empty");
     let first_acc = history[0];
     println!("\n training summary:");
-    println!("   accuracy: {:.0} % → {:.0} %", first_acc * 100.0, final_acc * 100.0);
+    println!(
+        "   accuracy: {:.0} % → {:.0} %",
+        first_acc * 100.0,
+        final_acc * 100.0
+    );
     println!("   pSRAM bit flips during training: {writes}");
     println!(
         "   total weight-write energy: {:.2} pJ ({:.3} pJ/flip)",
@@ -97,6 +105,9 @@ fn main() {
         writes as f64 * 0.05
     );
 
-    assert!(final_acc >= 0.9, "training through the photonic loop failed");
+    assert!(
+        final_acc >= 0.9,
+        "training through the photonic loop failed"
+    );
     assert!(final_acc > first_acc - 0.05, "accuracy regressed");
 }

@@ -91,10 +91,18 @@ fn main() {
     }
 
     println!("\n accuracy over {trials} noisy samples:");
-    println!("   float reference : {:.1} %", 100.0 * float_ok as f64 / trials as f64);
-    println!("   photonic (3-bit weights + 3-bit eoADC): {:.1} %",
-        100.0 * photonic_ok as f64 / trials as f64);
-    println!("   agreement       : {:.1} %", 100.0 * agree as f64 / trials as f64);
+    println!(
+        "   float reference : {:.1} %",
+        100.0 * float_ok as f64 / trials as f64
+    );
+    println!(
+        "   photonic (3-bit weights + 3-bit eoADC): {:.1} %",
+        100.0 * photonic_ok as f64 / trials as f64
+    );
+    println!(
+        "   agreement       : {:.1} %",
+        100.0 * agree as f64 / trials as f64
+    );
 
     assert!(
         photonic_ok as f64 >= 0.8 * float_ok as f64,

@@ -12,8 +12,13 @@ fn main() {
     let config = TensorCoreConfig::small_demo();
     let mut core = TensorCore::new(config);
 
-    println!("photonic tensor core: {}x{} @ {}-bit weights, {} pSRAM bitcells",
-        config.rows, config.cols, config.weight_bits, config.bitcell_count());
+    println!(
+        "photonic tensor core: {}x{} @ {}-bit weights, {} pSRAM bitcells",
+        config.rows,
+        config.cols,
+        config.weight_bits,
+        config.bitcell_count()
+    );
 
     // Weights in [0, 1]; the core quantises them to 3-bit codes and
     // presets the pSRAM array.
@@ -33,7 +38,10 @@ fn main() {
     let ideal = core.matvec_ideal(&x);
 
     println!("\n input vector: {x:?}");
-    println!(" {:>5} {:>10} {:>10} {:>6}", "row", "ideal", "analog", "code");
+    println!(
+        " {:>5} {:>10} {:>10} {:>6}",
+        "row", "ideal", "analog", "code"
+    );
     for r in 0..4 {
         println!(
             " {r:>5} {:>10.4} {:>10.4} {:>6}",

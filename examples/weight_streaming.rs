@@ -74,8 +74,8 @@ fn main() {
         .map(|r| {
             (0..BIG)
                 .map(|c| {
-                    let q = quant::quantize_unsigned(big_w[r][c], config.weight_bits) as f64
-                        / max_code;
+                    let q =
+                        quant::quantize_unsigned(big_w[r][c], config.weight_bits) as f64 / max_code;
                     q * x[c]
                 })
                 .sum::<f64>()
@@ -90,8 +90,7 @@ fn main() {
         .sum::<f64>()
         / y_ref.iter().sum::<f64>();
 
-    let update_window = config.psram.update_rate.period().as_seconds()
-        * (total_flips as f64);
+    let update_window = config.psram.update_rate.period().as_seconds() * (total_flips as f64);
     println!(" tiles streamed      : {tiles}");
     println!(" bitcell flips       : {total_flips}");
     println!(
@@ -103,7 +102,10 @@ fn main() {
         " write wall-time     : {:.2} ns at the 20 GHz update rate",
         update_window * 1e9
     );
-    println!(" mean relative error : {:.2} % (analog path vs quantised float)", rel_err * 100.0);
+    println!(
+        " mean relative error : {:.2} % (analog path vs quantised float)",
+        rel_err * 100.0
+    );
 
     assert!(rel_err < 0.1, "streamed result drifted from the reference");
 }

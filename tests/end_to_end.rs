@@ -18,7 +18,10 @@ fn transient_writes_and_preset_weights_compute_identically() {
     let (energy, flips) = written.write_weights_transient(&codes);
     assert!(flips > 0 && energy.as_picojoules() > 0.0);
 
-    assert_eq!(preset.weights().read_matrix(), written.weights().read_matrix());
+    assert_eq!(
+        preset.weights().read_matrix(),
+        written.weights().read_matrix()
+    );
     let a = preset.matvec_analog(&x);
     let b = written.matvec_analog(&x);
     for (ya, yb) in a.iter().zip(&b) {
@@ -128,7 +131,8 @@ fn eoadc_standalone_matches_core_readout_mapping() {
     for (y, code) in analog.iter().zip(&codes) {
         let v = core.adc().config().vfs * y.min(1.0);
         assert_eq!(
-            adc.convert_static(Voltage::from_volts(v.as_volts())).expect("legal"),
+            adc.convert_static(Voltage::from_volts(v.as_volts()))
+                .expect("legal"),
             *code
         );
     }

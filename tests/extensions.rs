@@ -22,7 +22,10 @@ fn heater_lock_restores_compute_accuracy_end_to_end() {
     let ideal = core.ideal_current(&x, &w).as_amps() / fs;
 
     let hot = core.output_current_at_drift(&x, &drives, 4.0).as_amps() / fs;
-    assert!((hot - ideal).abs() > 0.2, "4 K must visibly corrupt: {hot} vs {ideal}");
+    assert!(
+        (hot - ideal).abs() > 0.2,
+        "4 K must visibly corrupt: {hot} vs {ideal}"
+    );
 
     let mut lock = HeaterLock::new(
         Mrr::compute_ring_design().build(),
@@ -101,8 +104,8 @@ fn streaming_schedule_energy_matches_metered_writes() {
     // The analytic schedule's per-flip energy must equal what the
     // transient co-simulation actually meters.
     let cfg = TensorCoreConfig::small_demo();
-    let sched = StreamingSchedule::new(cfg, 4, 4, 1, WriteParallelism::PerWord)
-        .with_flip_fraction(1.0);
+    let sched =
+        StreamingSchedule::new(cfg, 4, 4, 1, WriteParallelism::PerWord).with_flip_fraction(1.0);
     let analytic_per_flip = sched.report().write_energy_j / cfg.bitcell_count() as f64;
 
     let mut core = TensorCore::new(cfg);
@@ -118,7 +121,9 @@ fn streaming_schedule_energy_matches_metered_writes() {
         "metered {metered_per_flip} vs analytic {analytic_per_flip} J/flip ({rel})"
     );
     // Both agree with the standalone energy model.
-    let model = WriteEnergyModel::new(cfg.psram).energy_per_switch().as_joules();
+    let model = WriteEnergyModel::new(cfg.psram)
+        .energy_per_switch()
+        .as_joules();
     assert!((metered_per_flip - model).abs() / model < 0.05);
 }
 

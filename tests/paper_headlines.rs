@@ -33,12 +33,22 @@ fn close(measured: f64, paper: f64, tol_frac: f64, what: &str) {
 
 #[test]
 fn throughput_4_10_tops() {
-    close(PerformanceModel::paper().throughput_tops(), 4.10, 0.01, "TOPS");
+    close(
+        PerformanceModel::paper().throughput_tops(),
+        4.10,
+        0.01,
+        "TOPS",
+    );
 }
 
 #[test]
 fn efficiency_3_02_tops_per_watt() {
-    close(PerformanceModel::paper().tops_per_watt(), 3.02, 0.03, "TOPS/W");
+    close(
+        PerformanceModel::paper().tops_per_watt(),
+        3.02,
+        0.03,
+        "TOPS/W",
+    );
 }
 
 #[test]
@@ -46,7 +56,9 @@ fn psram_updates_at_20_ghz_and_half_picojoule() {
     let cfg = PsramConfig::paper();
     close(cfg.update_rate.as_gigahertz(), 20.0, 1e-12, "update rate");
     close(
-        WriteEnergyModel::new(cfg).energy_per_switch().as_picojoules(),
+        WriteEnergyModel::new(cfg)
+            .energy_per_switch()
+            .as_picojoules(),
         0.5,
         0.15,
         "switch energy (pJ)",
@@ -63,15 +75,30 @@ fn eoadc_8_gsps_at_2_32_picojoules() {
         0.005,
         "eoADC energy",
     );
-    close(m.optical_wall_plug().as_milliwatts(), 7.58, 0.005, "optical power");
-    close(m.electrical().as_milliwatts(), 11.0, 1e-12, "electrical power");
+    close(
+        m.optical_wall_plug().as_milliwatts(),
+        7.58,
+        0.005,
+        "optical power",
+    );
+    close(
+        m.electrical().as_milliwatts(),
+        11.0,
+        1e-12,
+        "electrical power",
+    );
 }
 
 #[test]
 fn amplifier_less_eoadc_tradeoff() {
     let full = AdcPowerModel::new(EoAdcConfig::paper());
     let lean = AdcPowerModel::without_amplifiers(EoAdcConfig::paper());
-    close(lean.sample_rate().as_hertz() / 1e6, 416.7, 1e-6, "amp-less rate");
+    close(
+        lean.sample_rate().as_hertz() / 1e6,
+        416.7,
+        1e-6,
+        "amp-less rate",
+    );
     close(
         1.0 - lean.electrical().as_watts() / full.electrical().as_watts(),
         0.58,
@@ -84,7 +111,8 @@ fn amplifier_less_eoadc_tradeoff() {
 fn compute_ring_fsr_and_channel_spacing() {
     let ring = Mrr::compute_ring_design().build();
     close(
-        ring.fsr_near(Wavelength::from_nanometers(1310.0)).as_nanometers(),
+        ring.fsr_near(Wavelength::from_nanometers(1310.0))
+            .as_nanometers(),
         9.36,
         0.01,
         "FSR",
@@ -111,7 +139,11 @@ fn paper_core_has_768_bitcells_and_four_lambda_macros() {
     let cfg = TensorCoreConfig::paper();
     assert_eq!(cfg.bitcell_count(), 768);
     assert_eq!(cfg.wavelengths_per_macro, 4);
-    assert_eq!(cfg.cols / cfg.wavelengths_per_macro, 4, "four macros per 1×16 row");
+    assert_eq!(
+        cfg.cols / cfg.wavelengths_per_macro,
+        4,
+        "four macros per 1×16 row"
+    );
 }
 
 #[test]

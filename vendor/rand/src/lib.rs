@@ -1,0 +1,236 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no crates.io mirror, so
+//! the workspace vendors the small slice of `rand` 0.8 it actually uses:
+//! [`RngCore`] / [`Rng`] with `gen_range` and `gen_bool`, [`SeedableRng`]
+//! with `seed_from_u64`, and [`rngs::StdRng`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the
+//! ChaCha12 of upstream `StdRng`, but every consumer in this workspace
+//! only relies on *seeded determinism*, never on a specific stream.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Generates a value uniformly distributed in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53 bits of precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can produce a uniform sample (mirrors `rand::distributions::uniform::SampleRange`).
+///
+/// Implemented as one blanket impl per range shape over [`SampleUniform`]
+/// — like upstream — so `{float}` literals in `gen_range(-0.15..0.15)`
+/// still fall back to `f64`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types a range can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[start, end)`.
+    fn sample_half_open<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = start + (end - start) * u;
+                // Floating rounding may land exactly on `end`; fold back.
+                if v >= end {
+                    start
+                } else {
+                    v
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                start + (end - start) * u
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f64, f32);
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + draw) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ready-made generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let i = rng.gen_range(2u32..=5);
+            assert!((2..=5).contains(&i));
+            let n = rng.gen_range(0..7usize);
+            assert!(n < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2300..2700).contains(&hits), "got {hits}");
+    }
+}

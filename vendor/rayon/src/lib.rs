@@ -1,0 +1,181 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Provides the small slice of the rayon API this workspace uses —
+//! `par_iter` / `into_par_iter` / `map` / `for_each` / `collect` — backed
+//! by order-preserving chunked `std::thread::scope` workers instead of a
+//! work-stealing pool. Parallel iterators here are eager: each `map`
+//! stage materialises its results, which is fine for the coarse-grained
+//! row/sample fan-outs this workspace runs.
+
+#![warn(missing_docs)]
+
+/// The traits a `use rayon::prelude::*;` import is expected to bring in.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads to use for a fan-out of `len` items.
+///
+/// `available_parallelism()` re-reads cgroup limits on every call (it
+/// costs microseconds), so probe it once and cache the answer.
+fn workers_for(len: usize) -> usize {
+    static PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cores = *PARALLELISM.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    cores.min(len).max(1)
+}
+
+/// Order-preserving parallel map: chunks `items`, maps each chunk on a
+/// scoped worker thread, and concatenates results in chunk order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// An eager parallel iterator over an already-materialised item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collects the items into a container.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_iter_vec(self.items)
+    }
+}
+
+/// Containers a [`ParIter`] can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the container from the ordered item list.
+    fn from_par_iter_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// By-value conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The element type produced.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// By-reference conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type produced (a reference into `self`).
+    type Item: Send;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let squares: Vec<u64> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| (i * i) as u64)
+            .collect();
+        let expected: Vec<u64> = (0..1000usize).map(|i| (i * i) as u64).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn par_iter_yields_references() {
+        let data = [1.0f64, 2.0, 4.0];
+        let doubled: Vec<f64> = data.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 8.0]);
+    }
+}

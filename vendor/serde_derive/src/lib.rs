@@ -1,0 +1,225 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the shapes this workspace serialises: non-generic structs
+//! with named fields (rendered as a `serde::Value::Object`) and tuple
+//! structs (newtypes are transparent like upstream serde; wider tuples
+//! render as arrays). The impls recurse through the field types' own
+//! `Serialize`/`Deserialize` impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The field block of a derive input.
+enum Fields {
+    /// Named fields of a `struct Name { .. }`.
+    Named(Vec<String>),
+    /// Arity of a `struct Name( .. );`.
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` for a struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let body = match &fields {
+        Fields::Named(names) => {
+            let inserts: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), \
+                         ::serde::Serialize::serialize_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!("let mut map = ::serde::Map::new();\n{inserts}::serde::Value::Object(map)")
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let body = match &fields {
+        Fields::Named(names) => {
+            let builds: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\n\
+                             obj.get({f:?}).ok_or_else(|| ::serde::Error::custom(\
+                                 concat!(\"missing field `\", {f:?}, \"`\")))?,\n\
+                         )?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object()\
+                     .ok_or_else(|| ::serde::Error::custom(\"expected object\"))?;\n\
+                 Ok({name} {{\n{builds}}})"
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array()\
+                     .ok_or_else(|| ::serde::Error::custom(\"expected array\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(\"expected array of length {n}\"));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Extracts `(struct name, fields)` from a derive input stream.
+///
+/// Panics (compile error) on enums, unions, or generic structs —
+/// nothing in this workspace derives serde on those shapes.
+fn parse_struct(input: TokenStream) -> (String, Fields) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            if s == "enum" || s == "union" {
+                panic!("vendored serde derive supports only structs with named fields");
+            }
+        }
+    }
+    let name = name.expect("derive input must contain a struct");
+    // The next group is the field block: braces for named fields, parens
+    // for a tuple struct. Generics would appear first as `<`; reject them.
+    let fields = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break Fields::Named(parse_fields(g.stream()));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break Fields::Tuple(tuple_arity(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde derive does not support generic structs")
+            }
+            Some(_) => continue,
+            None => panic!("struct `{name}` has no field block"),
+        }
+    };
+    (name, fields)
+}
+
+/// Counts the fields of a tuple-struct body (top-level commas plus one,
+/// angle-bracket aware, ignoring a trailing comma).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for tt in stream {
+        saw_tokens = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    assert!(saw_tokens, "tuple struct must have at least one field");
+    arity + usize::from(pending)
+}
+
+/// Collects field names from a named-field block, skipping attributes,
+/// visibility, and type tokens (angle-bracket aware).
+fn parse_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes: `#[...]`.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the bracket group
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility: `pub` (+ optional `(crate)` group).
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break; // end of fields (or trailing comma already consumed)
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        // Skip the type until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+    }
+    fields
+}
