@@ -1,0 +1,280 @@
+//! BENCH_runtime — end-to-end serving demo of the `pic-runtime` stack.
+//!
+//! Drives a mixed-shape request stream through a four-device pool of
+//! paper-scale (16×16) cores: mostly-hot single-tile matrices that stay
+//! resident on their devices, plus cold multi-tile matrices that stream
+//! weights on every pass, plus a slice of pre-expired deadlines that
+//! must come back as typed rejections. Verifies conservation (every
+//! request answered exactly once), spot-checks served results against a
+//! fresh single-device executor bit-for-bit, and writes
+//! `BENCH_runtime.json` at the workspace root.
+//!
+//! `--smoke` shrinks the stream for CI; `--requests N` overrides the
+//! stream length explicitly.
+
+use pic_runtime::{MatmulRequest, Runtime, RuntimeConfig, TileExecutor, TileShape, TiledMatrix};
+use pic_tensor::TensorCoreConfig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The mixed model set: two hot single-tile matrices (the steady serving
+/// set — sticky routing pins each to its own device, so repeat traffic
+/// runs write-free), one single-tile "evictor" that churns residency,
+/// and two cold multi-tile matrices that stream weights on every pass.
+fn model_set(cfg: TensorCoreConfig, rng: &mut StdRng) -> Vec<Arc<TiledMatrix>> {
+    let shape = TileShape::new(cfg.rows, cfg.cols);
+    let max_code = (1u32 << cfg.weight_bits) - 1;
+    let shapes: &[(usize, usize)] = &[
+        (16, 16), // hot, single tile
+        (16, 16),
+        (16, 12), // evictor: still one tile, ragged input edge
+        (32, 32), // cold: 2×2 tile grid
+        (40, 24), // cold: 3×2 tile grid
+    ];
+    shapes
+        .iter()
+        .map(|&(out, inp)| {
+            let codes: Vec<Vec<u32>> = (0..out)
+                .map(|_| (0..inp).map(|_| rng.gen_range(0..=max_code)).collect())
+                .collect();
+            Arc::new(TiledMatrix::from_codes(&codes, cfg.weight_bits, shape))
+        })
+        .collect()
+}
+
+/// Picks a model index with the 70/10/20 hot/evictor/cold skew.
+fn pick_model(rng: &mut StdRng) -> usize {
+    let roll = rng.gen_range(0..100);
+    if roll < 70 {
+        rng.gen_range(0..2) // hot
+    } else if roll < 80 {
+        2 // evictor
+    } else {
+        3 + rng.gen_range(0..2) // cold multi-tile
+    }
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    id: String,
+    title: String,
+    smoke: bool,
+    devices: usize,
+    queue_depth: usize,
+    max_batch: usize,
+    requests: usize,
+    completed: u64,
+    rejected_deadline: u64,
+    rejected_queue_full: u64,
+    rejected_invalid: u64,
+    lost: u64,
+    wall_time_s: f64,
+    throughput_req_per_s: f64,
+    latency_mean_s: f64,
+    latency_p50_s: f64,
+    latency_p99_s: f64,
+    energy_per_request_j: f64,
+    device_time_per_request_s: f64,
+    tile_writes: u64,
+    tile_hits: u64,
+    residency_hit_rate: f64,
+    batches_dispatched: u64,
+    requests_batched: u64,
+    spot_checks: usize,
+    spot_check_mismatches: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let requests = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse().expect("--requests takes a count"))
+        .unwrap_or(if smoke { 500 } else { 10_000 });
+
+    let config = RuntimeConfig::paper();
+    println!(
+        "BENCH_runtime — serving {requests} mixed-shape requests through \
+         {} paper-scale devices (batch ≤ {})",
+        config.devices, config.max_batch
+    );
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let models = model_set(config.core, &mut rng);
+    let rt = Runtime::start(config);
+
+    // Build the stream up front so spot checks can replay it exactly.
+    let stream: Vec<(usize, Vec<Vec<f64>>, bool)> = (0..requests)
+        .map(|i| {
+            let which = pick_model(&mut rng);
+            let samples = rng.gen_range(1..=2);
+            let inputs: Vec<Vec<f64>> = (0..samples)
+                .map(|_| {
+                    (0..models[which].in_dim())
+                        .map(|_| rng.gen_range(0.0..=1.0))
+                        .collect()
+                })
+                .collect();
+            // Every 50th request carries an already-expired deadline: the
+            // runtime must reject it with a typed error, not serve it.
+            let expired = i % 50 == 17;
+            (which, inputs, expired)
+        })
+        .collect();
+
+    // Closed-loop driver with a bounded in-flight window, so the latency
+    // histogram measures service + bounded queueing rather than the time
+    // to drain a fully pre-loaded backlog.
+    const WINDOW: usize = 64;
+    let mut completed_ok = 0u64;
+    let mut typed_deadline = 0u64;
+    let mut lost = 0u64;
+    let mut served: Vec<Option<pic_runtime::Response>> = (0..requests).map(|_| None).collect();
+    let mut inflight: std::collections::VecDeque<(usize, pic_runtime::ResponseHandle)> =
+        std::collections::VecDeque::new();
+    let mut reap = |i: usize,
+                    h: pic_runtime::ResponseHandle,
+                    served: &mut Vec<Option<pic_runtime::Response>>| {
+        let expired = stream[i].2;
+        match h.wait() {
+            Ok(resp) => {
+                assert!(!expired, "pre-expired request must not be served");
+                completed_ok += 1;
+                served[i] = Some(resp);
+            }
+            Err(pic_runtime::RuntimeError::DeadlineExpired) => {
+                assert!(expired, "live request rejected on deadline");
+                typed_deadline += 1;
+            }
+            Err(other) => {
+                println!("  [lost] {other}");
+                lost += 1;
+            }
+        }
+    };
+
+    let started = Instant::now();
+    for (i, (which, inputs, expired)) in stream.iter().enumerate() {
+        let mut req = MatmulRequest::new(Arc::clone(&models[*which]), inputs.clone());
+        if *expired {
+            req = req.with_deadline(Instant::now() - Duration::from_millis(1));
+        }
+        let h = rt.submit_blocking(req).expect("stream is pre-validated");
+        inflight.push_back((i, h));
+        if inflight.len() >= WINDOW {
+            let (j, h) = inflight.pop_front().expect("non-empty window");
+            reap(j, h, &mut served);
+        }
+    }
+    for (j, h) in inflight {
+        reap(j, h, &mut served);
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    // Conservation: every request answered exactly once (handles are
+    // single-shot channels, so duplicates are structurally impossible;
+    // loss would show up here).
+    let expired_count = stream.iter().filter(|(_, _, e)| *e).count() as u64;
+    assert_eq!(lost, 0, "no request may go unanswered");
+    assert_eq!(
+        typed_deadline, expired_count,
+        "every expired deadline rejects"
+    );
+    assert_eq!(
+        completed_ok,
+        requests as u64 - expired_count,
+        "every live request completes"
+    );
+
+    // Spot-check served results bit-for-bit against a fresh single
+    // executor replaying the same (matrix, inputs).
+    let mut solo = TileExecutor::new(rt.config().core, 900);
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    let stride = (requests / 32).max(1);
+    for (i, ((which, inputs, _), resp)) in stream.iter().zip(&served).enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        let Some(resp) = resp else { continue };
+        let (want, _) = solo
+            .execute(&models[*which], inputs)
+            .expect("replay is valid");
+        checked += 1;
+        if resp.outputs != want {
+            mismatches += 1;
+            println!("  [mismatch] request {i} differs from solo replay");
+        }
+    }
+    assert!(checked > 0, "spot checks must sample something");
+    assert_eq!(mismatches, 0, "served results must match solo execution");
+
+    let s = rt.metrics().snapshot();
+    let hit_rate = s.tile_hits as f64 / (s.tile_hits + s.tile_writes).max(1) as f64;
+    let report = BenchReport {
+        id: "bench_runtime".to_owned(),
+        title: "Concurrent serving runtime over a photonic device pool".to_owned(),
+        smoke,
+        devices: rt.config().devices,
+        queue_depth: rt.config().queue_depth,
+        max_batch: rt.config().max_batch,
+        requests,
+        completed: s.completed,
+        rejected_deadline: s.rejected_deadline,
+        rejected_queue_full: s.rejected_queue_full,
+        rejected_invalid: s.rejected_invalid,
+        lost,
+        wall_time_s: wall,
+        throughput_req_per_s: s.completed as f64 / wall,
+        latency_mean_s: s.latency_mean_s,
+        latency_p50_s: s.latency_p50_s,
+        latency_p99_s: s.latency_p99_s,
+        energy_per_request_j: s.energy_j / s.completed.max(1) as f64,
+        device_time_per_request_s: s.device_time_s / s.completed.max(1) as f64,
+        tile_writes: s.tile_writes,
+        tile_hits: s.tile_hits,
+        residency_hit_rate: hit_rate,
+        batches_dispatched: s.batches_dispatched,
+        requests_batched: s.requests_batched,
+        spot_checks: checked,
+        spot_check_mismatches: mismatches,
+    };
+
+    println!(
+        "  served {} ok + {} deadline-rejected in {:.2} s → {:.0} req/s",
+        report.completed, report.rejected_deadline, wall, report.throughput_req_per_s
+    );
+    println!(
+        "  latency p50 {:.1} ms, p99 {:.1} ms; {:.2} nJ and {:.1} ns of modeled \
+         device time per request",
+        report.latency_p50_s * 1e3,
+        report.latency_p99_s * 1e3,
+        report.energy_per_request_j * 1e9,
+        report.device_time_per_request_s * 1e9,
+    );
+    println!(
+        "  residency: {} writes / {} hits ({:.0}% hit rate); {} batches, \
+         {} requests shared one",
+        report.tile_writes,
+        report.tile_hits,
+        hit_rate * 100.0,
+        report.batches_dispatched,
+        report.requests_batched,
+    );
+    println!("  [check] conservation ok, {checked} spot checks bit-identical");
+
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let path = root
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|r| r.join("BENCH_runtime.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_runtime.json"));
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&path, json).expect("write BENCH_runtime.json");
+    println!("  [written {}]", path.display());
+}

@@ -1,0 +1,377 @@
+//! Tile-level execution of arbitrary-size matmuls on one physical core.
+//!
+//! A [`TileExecutor`] owns one calibrated [`TensorCore`], streams a
+//! [`TiledMatrix`]'s tiles through the optical write path, digitises each
+//! tile's partial products with the per-row eoADCs, and accumulates the
+//! ADC codes digitally — the post-ADC partial-sum reduction of a tiled
+//! photonic accelerator. Residency tracking (which tile the array
+//! currently holds, pinned to the pSRAM write-generation counter) lets a
+//! device that keeps serving the same matrix skip the rewrite entirely.
+
+use crate::request::{OutputElement, RequestCost, RuntimeError};
+use crate::tile::{TileKey, TiledMatrix};
+use pic_tensor::{StreamingSchedule, TensorCore, TensorCoreConfig, WriteParallelism};
+
+/// One calibrated device executing tiled matmuls.
+#[derive(Debug)]
+pub struct TileExecutor {
+    core: TensorCore,
+    device_id: usize,
+    /// The tile the physical array currently holds, with the weight
+    /// generation observed right after it was written. A residency hit
+    /// requires both the key and the generation to match — any mutation
+    /// of the array in between invalidates the claim.
+    resident: Option<(TileKey, u64)>,
+    /// Measured analog/ideal ratio the read-out gain compensates.
+    insertion_ratio: f64,
+}
+
+impl TileExecutor {
+    /// Builds and calibrates a device.
+    ///
+    /// Calibration measures the core's flat insertion loss (the
+    /// analog/ideal ratio is constant across rows and weights — it is a
+    /// property of the splitter ladder, not the stored pattern) with an
+    /// all-max weight load and a ones input, then sets the read-out gain
+    /// to its inverse. After this the per-tile ADC codes match ideal
+    /// quantisation to within the converter's own step, which is what
+    /// makes digital accumulation across tiles agree with a whole-matrix
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: TensorCoreConfig, device_id: usize) -> Self {
+        let mut core = TensorCore::new(config);
+        let max_code = (1u32 << config.weight_bits) - 1;
+        core.load_weight_codes(&vec![vec![max_code; config.cols]; config.rows]);
+        let ones = vec![1.0; config.cols];
+        let analog = core.matvec_analog(&ones);
+        let ideal = core.matvec_ideal(&ones);
+        let ratio = analog.iter().zip(&ideal).map(|(a, i)| a / i).sum::<f64>() / config.rows as f64;
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "calibration measured a non-physical insertion ratio {ratio}"
+        );
+        core.set_readout_gain(1.0 / ratio);
+        TileExecutor {
+            core,
+            device_id,
+            resident: None,
+            insertion_ratio: ratio,
+        }
+    }
+
+    /// The device's id within its pool.
+    #[must_use]
+    pub fn device_id(&self) -> usize {
+        self.device_id
+    }
+
+    /// The measured insertion ratio the read-out gain compensates.
+    #[must_use]
+    pub fn insertion_ratio(&self) -> f64 {
+        self.insertion_ratio
+    }
+
+    /// The tile currently resident on the array, if its residency claim
+    /// is still valid against the weight-generation counter.
+    #[must_use]
+    pub fn resident_tile(&self) -> Option<TileKey> {
+        match self.resident {
+            Some((key, gen)) if gen == self.core.weight_generation() => Some(key),
+            _ => None,
+        }
+    }
+
+    /// Read access to the underlying core (for accuracy cross-checks).
+    #[must_use]
+    pub fn core(&self) -> &TensorCore {
+        &self.core
+    }
+
+    /// Makes `tile` resident, streaming it through the optical write path
+    /// unless it already is. Returns the write energy charged (zero on a
+    /// residency hit) and whether a write happened.
+    fn ensure_resident(&mut self, matrix: &TiledMatrix, key: TileKey) -> (f64, bool) {
+        if self.resident_tile() == Some(key) {
+            return (0.0, false);
+        }
+        let tile = matrix.tile(key.block_row, key.block_col);
+        let (energy, _flips) = self.core.write_weights_transient(tile.codes());
+        self.resident = Some((key, self.core.weight_generation()));
+        (energy.as_joules(), true)
+    }
+
+    /// Executes `matrix · inputsᵀ` by streaming tiles and accumulating
+    /// per-tile ADC codes digitally.
+    ///
+    /// Each output element reports the raw `code_sum` and a dequantised
+    /// `value` comparable to a whole-matrix
+    /// [`TensorCore::matvec_ideal`](pic_tensor::TensorCore::matvec_ideal)
+    /// result. The returned [`RequestCost`] charges compute time/energy
+    /// from the [`StreamingSchedule`] hardware model and write energy
+    /// from the actual transients (scaled down by residency hits).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidRequest`] on shape or input-range
+    /// violations — the serving path never panics on request data.
+    pub fn execute(
+        &mut self,
+        matrix: &TiledMatrix,
+        inputs: &[Vec<f64>],
+    ) -> Result<(Vec<Vec<OutputElement>>, RequestCost), RuntimeError> {
+        let config = *self.core.config();
+        if matrix.shape().rows != config.rows || matrix.shape().cols != config.cols {
+            return Err(RuntimeError::InvalidRequest(format!(
+                "matrix tiled for {}×{} arrays but the device is {}×{}",
+                matrix.shape().rows,
+                matrix.shape().cols,
+                config.rows,
+                config.cols
+            )));
+        }
+        if inputs.is_empty() {
+            return Err(RuntimeError::InvalidRequest(
+                "request batch is empty".to_owned(),
+            ));
+        }
+        for (s, x) in inputs.iter().enumerate() {
+            if x.len() != matrix.in_dim() {
+                return Err(RuntimeError::InvalidRequest(format!(
+                    "input {s} has length {} but the matrix takes {}",
+                    x.len(),
+                    matrix.in_dim()
+                )));
+            }
+            if !x.iter().all(|v| (0.0..=1.0).contains(v)) {
+                return Err(RuntimeError::InvalidRequest(format!(
+                    "input {s} leaves the [0, 1] intensity range"
+                )));
+            }
+        }
+
+        // Split every input into its per-tile-column slices once.
+        let splits: Vec<Vec<Vec<f64>>> = inputs.iter().map(|x| matrix.split_input(x)).collect();
+
+        let mut code_sums = vec![vec![0u32; matrix.out_dim()]; inputs.len()];
+        let mut write_energy = 0.0;
+        let mut written = 0usize;
+        for br in 0..matrix.block_rows() {
+            let rows_here = (matrix.out_dim() - br * config.rows).min(config.rows);
+            for bc in 0..matrix.block_cols() {
+                let key = matrix.tile(br, bc).key();
+                let (energy, wrote) = self.ensure_resident(matrix, key);
+                write_energy += energy;
+                written += usize::from(wrote);
+
+                let batch: Vec<Vec<f64>> = splits.iter().map(|s| s[bc].clone()).collect();
+                let codes = self.core.matmul(&batch);
+                for (s, sample) in codes.iter().enumerate() {
+                    for (r, &code) in sample.iter().take(rows_here).enumerate() {
+                        code_sums[s][br * config.rows + r] += u32::from(code);
+                    }
+                }
+            }
+        }
+
+        // Dequantise: each tile code estimates `dot_tile/(tile_cols·max)`
+        // on a `levels−1` scale, so the whole-matrix estimate rescales the
+        // code sum by the tile-to-matrix width ratio.
+        let levels = config.adc.channel_count() as f64;
+        let scale = config.cols as f64 / matrix.in_dim() as f64 / (levels - 1.0);
+        let outputs: Vec<Vec<OutputElement>> = code_sums
+            .into_iter()
+            .map(|sample| {
+                sample
+                    .into_iter()
+                    .map(|code_sum| OutputElement {
+                        code_sum,
+                        value: f64::from(code_sum) * scale,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let report = StreamingSchedule::new(
+            config,
+            matrix.out_dim(),
+            matrix.in_dim(),
+            inputs.len(),
+            WriteParallelism::PerRow,
+        )
+        .report();
+        let tiles = matrix.tile_count();
+        let cost = RequestCost {
+            tiles,
+            tiles_written: written,
+            tiles_resident: tiles - written,
+            write_time_s: report.write_time_s * written as f64 / tiles as f64,
+            compute_time_s: report.compute_time_s,
+            write_energy_j: write_energy,
+            compute_energy_j: report.compute_energy_j,
+        };
+        Ok((outputs, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileShape;
+
+    fn small() -> TensorCoreConfig {
+        TensorCoreConfig::small_demo()
+    }
+
+    fn codes(out: usize, inp: usize) -> Vec<Vec<u32>> {
+        (0..out)
+            .map(|r| (0..inp).map(|c| ((r * 5 + c * 3) % 8) as u32).collect())
+            .collect()
+    }
+
+    /// The whole-matrix reference: ideal normalised product, digitised
+    /// per tile through the same quantisation the calibrated core applies.
+    fn reference_code_sums(m: &TiledMatrix, x: &[f64], levels: u32) -> Vec<u32> {
+        let shape = m.shape();
+        let max_code = f64::from((1u32 << 3) - 1);
+        let parts = m.split_input(x);
+        (0..m.out_dim())
+            .map(|gr| {
+                let (br, lr) = (gr / shape.rows, gr % shape.rows);
+                (0..m.block_cols())
+                    .map(|bc| {
+                        let tile = m.tile(br, bc);
+                        let dot: f64 = tile.codes()[lr]
+                            .iter()
+                            .zip(&parts[bc])
+                            .map(|(&w, &xv)| f64::from(w) * xv)
+                            .sum();
+                        let ideal = dot / (shape.cols as f64 * max_code);
+                        // Round-to-nearest quantisation on a levels−1 scale.
+                        ((ideal * f64::from(levels - 1)).round() as u32).min(levels - 1)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_compensates_insertion_loss() {
+        let exec = TileExecutor::new(small(), 0);
+        let ratio = exec.insertion_ratio();
+        assert!(ratio > 0.5 && ratio < 1.0, "insertion ratio {ratio}");
+        assert!((exec.core().readout_gain() * ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tile_matmul_matches_the_core_directly() {
+        let cfg = small();
+        let mut exec = TileExecutor::new(cfg, 0);
+        let m = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(4, 4));
+        let x = vec![vec![0.9, 0.1, 0.5, 0.7]];
+        let (out, cost) = exec.execute(&m, &x).expect("valid request");
+
+        let mut core = TensorCore::new(cfg);
+        core.load_weight_codes(&codes(4, 4));
+        core.set_readout_gain(exec.core().readout_gain());
+        let want = core.matvec(&x[0]);
+        let got: Vec<u16> = out[0].iter().map(|e| e.code_sum as u16).collect();
+        assert_eq!(got, want);
+        assert_eq!((cost.tiles, cost.tiles_written), (1, 1));
+    }
+
+    #[test]
+    fn multi_tile_accumulation_tracks_the_reference() {
+        let cfg = small();
+        let mut exec = TileExecutor::new(cfg, 0);
+        let m = TiledMatrix::from_codes(&codes(10, 9), 3, TileShape::new(4, 4));
+        assert_eq!(m.tile_count(), 9);
+        let x: Vec<f64> = (0..9).map(|i| f64::from(i as u32) / 9.0).collect();
+        let (out, cost) = exec
+            .execute(&m, std::slice::from_ref(&x))
+            .expect("valid request");
+        let levels = cfg.adc.channel_count() as u32;
+        let want = reference_code_sums(&m, &x, levels);
+        for (gr, (got, want)) in out[0].iter().zip(&want).enumerate() {
+            let diff = i64::from(got.code_sum) - i64::from(*want);
+            assert!(
+                diff.abs() <= i64::from(m.block_cols() as u32),
+                "row {gr}: accumulated {} vs reference {want}",
+                got.code_sum
+            );
+        }
+        assert_eq!(cost.tiles_written, 9, "cold device writes every tile");
+    }
+
+    #[test]
+    fn residency_skips_rewrites_on_repeat_requests() {
+        let mut exec = TileExecutor::new(small(), 0);
+        let m = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(4, 4));
+        let x = vec![vec![0.5; 4]];
+        let (_, first) = exec.execute(&m, &x).expect("valid");
+        assert_eq!(first.tiles_written, 1);
+        assert!(first.write_energy_j > 0.0);
+        let (_, second) = exec.execute(&m, &x).expect("valid");
+        assert_eq!(second.tiles_written, 0, "tile already resident");
+        assert_eq!(second.tiles_resident, 1);
+        assert_eq!(second.write_energy_j, 0.0);
+        assert!(second.write_time_s == 0.0);
+        assert_eq!(exec.resident_tile(), Some(m.tile(0, 0).key()));
+    }
+
+    #[test]
+    fn residency_claim_dies_with_external_mutation() {
+        let m = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(4, 4));
+        let mut exec = TileExecutor::new(small(), 0);
+        let x = vec![vec![0.5; 4]];
+        let _ = exec.execute(&m, &x).expect("valid");
+        assert!(exec.resident_tile().is_some());
+        // Another matrix takes the array over; the first claim must die.
+        let other = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(4, 4));
+        let _ = exec.execute(&other, &x).expect("valid");
+        assert_eq!(exec.resident_tile(), Some(other.tile(0, 0).key()));
+        let (_, cost) = exec.execute(&m, &x).expect("valid");
+        assert_eq!(cost.tiles_written, 1, "evicted tile must be rewritten");
+    }
+
+    #[test]
+    fn execute_rejects_bad_requests_with_typed_errors() {
+        let mut exec = TileExecutor::new(small(), 0);
+        let m = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(4, 4));
+        assert!(matches!(
+            exec.execute(&m, &[]),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            exec.execute(&m, &[vec![0.5; 3]]),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            exec.execute(&m, &[vec![2.0; 4]]),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+        let wrong_shape = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(2, 2));
+        assert!(matches!(
+            exec.execute(&wrong_shape, &[vec![0.5; 4]]),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn cost_scales_write_time_with_hits() {
+        let mut exec = TileExecutor::new(small(), 0);
+        let m = TiledMatrix::from_codes(&codes(8, 4), 3, TileShape::new(4, 4));
+        let x = vec![vec![0.25; 4]];
+        let (_, cold) = exec.execute(&m, &x).expect("valid");
+        assert_eq!((cold.tiles, cold.tiles_written), (2, 2));
+        assert!(cold.write_time_s > 0.0 && cold.compute_time_s > 0.0);
+        assert!(cold.total_time_s() > cold.compute_time_s);
+        // The second pass still rewrites (two tiles fight over one array),
+        // so written stays 2 — but the accounting must stay consistent.
+        let (_, warm) = exec.execute(&m, &x).expect("valid");
+        assert_eq!(warm.tiles_written + warm.tiles_resident, warm.tiles);
+    }
+}

@@ -1,0 +1,55 @@
+//! `pic-runtime` — a concurrent serving runtime for the photonic tensor
+//! core.
+//!
+//! The hardware crates model one 16×16 mixed-signal photonic core
+//! (pSRAM weights, WDM vector macros, per-row electro-optic ADCs). This
+//! crate turns that single device into a *service*:
+//!
+//! * [`TiledMatrix`] decomposes arbitrary `out × in` weight matrices
+//!   into core-sized tiles;
+//! * [`TileExecutor`] streams tiles through the optical write path,
+//!   digitises per-tile partial products, and accumulates the ADC codes
+//!   digitally — charging modeled time/energy for every step;
+//! * [`DevicePool`] shares N calibrated devices with residency-affine
+//!   checkout, so hot matrices keep landing on arrays that already hold
+//!   their weights;
+//! * [`Runtime`] adds bounded intake, dynamic same-matrix batching,
+//!   per-request deadlines, typed rejections, and graceful shutdown —
+//!   all on std threads and channels;
+//! * [`MetricsRegistry`] counts everything and snapshots to JSON.
+//!
+//! ```
+//! use pic_runtime::{MatmulRequest, Runtime, RuntimeConfig, TileShape, TiledMatrix};
+//! use pic_tensor::TensorCoreConfig;
+//! use std::sync::Arc;
+//!
+//! let mut config = RuntimeConfig::paper();
+//! config.core = TensorCoreConfig::small_demo();
+//! config.devices = 2;
+//! let rt = Runtime::start(config);
+//!
+//! // A 10×7 matrix tiles onto the 4×4 demo core as a 3×2 grid.
+//! let weights = vec![vec![0.5; 7]; 10];
+//! let matrix = Arc::new(TiledMatrix::from_weights(&weights, 3, TileShape::new(4, 4)));
+//! let handle = rt
+//!     .submit(MatmulRequest::new(matrix, vec![vec![0.25; 7]]))
+//!     .expect("accepted");
+//! let response = handle.wait().expect("served");
+//! assert_eq!(response.outputs[0].len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod executor;
+mod metrics;
+mod pool;
+mod request;
+mod scheduler;
+mod tile;
+
+pub use executor::TileExecutor;
+pub use metrics::{AtomicF64, LatencyHistogram, MetricsRegistry, MetricsSnapshot};
+pub use pool::{DeviceGuard, DevicePool};
+pub use request::{MatmulRequest, OutputElement, RequestCost, Response, RuntimeError};
+pub use scheduler::{ResponseHandle, Runtime, RuntimeConfig};
+pub use tile::{Tile, TileKey, TileShape, TiledMatrix};

@@ -1,0 +1,265 @@
+//! Lock-free serving metrics: counters, latency histograms, energy.
+//!
+//! Workers record into atomics (no locks on the hot path); a
+//! [`MetricsRegistry::snapshot`] collapses everything into a serialisable
+//! [`MetricsSnapshot`] for the benchmark JSON and operator dashboards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Power-of-two bucket count of the latency histogram: bucket `i` holds
+/// samples in `[2^i, 2^{i+1})` nanoseconds, which covers ~584 years in
+/// the last bucket — nothing saturates.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, nanos: u64) {
+        let bucket = (63 - nanos.max(1).leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    #[must_use]
+    pub fn mean_s(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1e9
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]`, in seconds, resolved to the
+    /// upper edge of its log₂ bucket (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` leaves `[0, 1]`.
+    #[must_use]
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0, 1], got {q}");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 2f64.powi(i as i32 + 1) / 1e9;
+            }
+        }
+        2f64.powi(BUCKETS as i32) / 1e9
+    }
+}
+
+/// An `f64` accumulator built on atomic compare-and-swap of the bit
+/// pattern (std has no `AtomicF64`).
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Adds `v` atomically.
+    pub fn add(&self, v: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The accumulated value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The runtime's metrics registry; one per [`Runtime`](crate::Runtime).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Requests accepted into the intake queue.
+    pub submitted: AtomicU64,
+    /// Requests completed with a response.
+    pub completed: AtomicU64,
+    /// Requests rejected because their deadline expired pre-execution.
+    pub rejected_deadline: AtomicU64,
+    /// Requests rejected by intake backpressure.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests rejected by validation.
+    pub rejected_invalid: AtomicU64,
+    /// Batches dispatched to workers.
+    pub batches_dispatched: AtomicU64,
+    /// Requests that shared a batch with at least one other request.
+    pub requests_batched: AtomicU64,
+    /// Tiles streamed through the optical write path.
+    pub tile_writes: AtomicU64,
+    /// Tile loads avoided by residency.
+    pub tile_hits: AtomicU64,
+    /// End-to-end request latency (submit → response).
+    pub latency: LatencyHistogram,
+    /// Modeled hardware energy charged to completed requests, J.
+    pub energy_j: AtomicF64,
+    /// Modeled hardware time charged to completed requests, s.
+    pub device_time_s: AtomicF64,
+}
+
+/// A serialisable point-in-time view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the intake queue.
+    pub submitted: u64,
+    /// Requests completed with a response.
+    pub completed: u64,
+    /// Requests rejected because their deadline expired pre-execution.
+    pub rejected_deadline: u64,
+    /// Requests rejected by intake backpressure.
+    pub rejected_queue_full: u64,
+    /// Requests rejected by validation.
+    pub rejected_invalid: u64,
+    /// Batches dispatched to workers.
+    pub batches_dispatched: u64,
+    /// Requests that shared a batch with at least one other request.
+    pub requests_batched: u64,
+    /// Tiles streamed through the optical write path.
+    pub tile_writes: u64,
+    /// Tile loads avoided by residency.
+    pub tile_hits: u64,
+    /// Mean submit→response latency, s.
+    pub latency_mean_s: f64,
+    /// Median submit→response latency, s.
+    pub latency_p50_s: f64,
+    /// 99th-percentile submit→response latency, s.
+    pub latency_p99_s: f64,
+    /// Modeled hardware energy charged to completed requests, J.
+    pub energy_j: f64,
+    /// Modeled hardware time charged to completed requests, s.
+    pub device_time_s: f64,
+}
+
+impl MetricsRegistry {
+    /// Collapses the registry into a serialisable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            requests_batched: self.requests_batched.load(Ordering::Relaxed),
+            tile_writes: self.tile_writes.load(Ordering::Relaxed),
+            tile_hits: self.tile_hits.load(Ordering::Relaxed),
+            latency_mean_s: self.latency.mean_s(),
+            latency_p50_s: self.latency.quantile_s(0.5),
+            latency_p99_s: self.latency.quantile_s(0.99),
+            energy_j: self.energy_j.get(),
+            device_time_s: self.device_time_s.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1_000); // ~1 µs
+        }
+        h.record(1_000_000_000); // 1 s outlier
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_s(0.5);
+        assert!(p50 < 3e-6, "p50 {p50} should sit at the µs cluster");
+        let p99 = h.quantile_s(0.99);
+        assert!(p99 < 3e-6, "p99 {p99} still inside the cluster of 99");
+        let p100 = h.quantile_s(1.0);
+        assert!(p100 >= 1.0, "max must see the outlier, got {p100}");
+        assert!(h.mean_s() > 0.009 && h.mean_s() < 0.011);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_s(0.99), 0.0);
+        assert_eq!(h.mean_s(), 0.0);
+    }
+
+    #[test]
+    fn atomic_f64_accumulates_across_threads() {
+        let acc = Arc::new(AtomicF64::default());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let acc = Arc::clone(&acc);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        acc.add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("thread finishes");
+        }
+        assert!((acc.get() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_registry() {
+        let m = MetricsRegistry::default();
+        m.submitted.fetch_add(5, Ordering::Relaxed);
+        m.completed.fetch_add(4, Ordering::Relaxed);
+        m.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        m.tile_writes.fetch_add(7, Ordering::Relaxed);
+        m.tile_hits.fetch_add(3, Ordering::Relaxed);
+        m.energy_j.add(1.5e-9);
+        m.latency.record(2_000);
+        let s = m.snapshot();
+        assert_eq!((s.submitted, s.completed, s.rejected_deadline), (5, 4, 1));
+        assert_eq!((s.tile_writes, s.tile_hits), (7, 3));
+        assert!((s.energy_j - 1.5e-9).abs() < 1e-21);
+        assert!(s.latency_p50_s > 0.0);
+        let json = serde_json::to_string(&s).expect("serialises");
+        assert!(json.contains("latency_p99_s"));
+    }
+}

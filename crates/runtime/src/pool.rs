@@ -1,0 +1,202 @@
+//! A pool of calibrated devices with residency-aware checkout.
+//!
+//! The pool hands out [`TileExecutor`]s to worker threads. Checkout
+//! prefers a device whose resident tile belongs to the requested matrix
+//! ([`DevicePool::acquire_for`]), so a stream of requests against the
+//! same hot matrix keeps landing on the device that already holds its
+//! weights and skips the (slow, energy-hungry) optical rewrite.
+
+use crate::executor::TileExecutor;
+use pic_tensor::TensorCoreConfig;
+use std::sync::{Condvar, Mutex};
+
+/// A fixed-size pool of calibrated [`TileExecutor`]s.
+#[derive(Debug)]
+pub struct DevicePool {
+    idle: Mutex<Vec<TileExecutor>>,
+    available: Condvar,
+    size: usize,
+}
+
+impl DevicePool {
+    /// Builds and calibrates `devices` executors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero or the configuration is invalid.
+    #[must_use]
+    pub fn new(config: TensorCoreConfig, devices: usize) -> Self {
+        assert!(devices > 0, "a pool needs at least one device");
+        let idle = (0..devices)
+            .map(|id| TileExecutor::new(config, id))
+            .collect();
+        DevicePool {
+            idle: Mutex::new(idle),
+            available: Condvar::new(),
+            size: devices,
+        }
+    }
+
+    /// Total devices in the pool (idle or checked out).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Devices currently idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool mutex is poisoned.
+    #[must_use]
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().expect("pool lock").len()
+    }
+
+    /// Checks out any device, blocking until one is idle.
+    #[must_use]
+    pub fn acquire(&self) -> DeviceGuard<'_> {
+        self.acquire_with(|_| false)
+    }
+
+    /// Checks out a device, preferring one whose resident tile belongs to
+    /// `matrix_id` (a residency hit); blocks until any device is idle.
+    #[must_use]
+    pub fn acquire_for(&self, matrix_id: u64) -> DeviceGuard<'_> {
+        self.acquire_with(|dev| {
+            dev.resident_tile()
+                .is_some_and(|key| key.matrix == matrix_id)
+        })
+    }
+
+    /// Checks out a device only if one is idle right now.
+    #[must_use]
+    pub fn try_acquire(&self) -> Option<DeviceGuard<'_>> {
+        let mut idle = self.idle.lock().expect("pool lock");
+        idle.pop().map(|device| DeviceGuard {
+            pool: self,
+            device: Some(device),
+        })
+    }
+
+    fn acquire_with(&self, prefer: impl Fn(&TileExecutor) -> bool) -> DeviceGuard<'_> {
+        let mut idle = self.idle.lock().expect("pool lock");
+        loop {
+            if let Some(pos) = idle.iter().position(&prefer) {
+                let device = idle.swap_remove(pos);
+                return DeviceGuard {
+                    pool: self,
+                    device: Some(device),
+                };
+            }
+            if let Some(device) = idle.pop() {
+                return DeviceGuard {
+                    pool: self,
+                    device: Some(device),
+                };
+            }
+            idle = self.available.wait(idle).expect("pool lock");
+        }
+    }
+
+    fn check_in(&self, device: TileExecutor) {
+        self.idle.lock().expect("pool lock").push(device);
+        self.available.notify_one();
+    }
+}
+
+/// RAII checkout of one device; returns it to the pool on drop.
+#[derive(Debug)]
+pub struct DeviceGuard<'a> {
+    pool: &'a DevicePool,
+    device: Option<TileExecutor>,
+}
+
+impl std::ops::Deref for DeviceGuard<'_> {
+    type Target = TileExecutor;
+
+    fn deref(&self) -> &TileExecutor {
+        self.device.as_ref().expect("device present until drop")
+    }
+}
+
+impl std::ops::DerefMut for DeviceGuard<'_> {
+    fn deref_mut(&mut self) -> &mut TileExecutor {
+        self.device.as_mut().expect("device present until drop")
+    }
+}
+
+impl Drop for DeviceGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(device) = self.device.take() {
+            self.pool.check_in(device);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{TileShape, TiledMatrix};
+    use pic_tensor::TensorCoreConfig;
+    use std::sync::Arc;
+
+    fn pool(n: usize) -> DevicePool {
+        DevicePool::new(TensorCoreConfig::small_demo(), n)
+    }
+
+    #[test]
+    fn checkout_and_return_cycle_the_pool() {
+        let p = pool(2);
+        assert_eq!((p.size(), p.idle_count()), (2, 2));
+        let a = p.acquire();
+        let b = p.acquire();
+        assert_eq!(p.idle_count(), 0);
+        assert!(p.try_acquire().is_none());
+        assert_ne!(a.device_id(), b.device_id());
+        drop(a);
+        assert_eq!(p.idle_count(), 1);
+        drop(b);
+        assert_eq!(p.idle_count(), 2);
+    }
+
+    #[test]
+    fn affinity_checkout_finds_the_resident_device() {
+        let p = pool(3);
+        let m = TiledMatrix::from_codes(&vec![vec![3u32; 4]; 4], 3, TileShape::new(4, 4));
+        // Warm exactly one device with the matrix's only tile.
+        let warmed_id = {
+            let mut dev = p.acquire();
+            let _ = dev.execute(&m, &[vec![0.5; 4]]).expect("valid");
+            dev.device_id()
+        };
+        // Shuffle checkout order by cycling the other devices through.
+        let (a, b) = (p.acquire(), p.acquire());
+        drop(a);
+        drop(b);
+        let dev = p.acquire_for(m.id());
+        assert_eq!(
+            dev.device_id(),
+            warmed_id,
+            "affinity must find the warm device"
+        );
+        let other = p.acquire_for(m.id() + 1000);
+        assert_ne!(other.device_id(), warmed_id);
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_check_in() {
+        let p = Arc::new(pool(1));
+        let guard = p.acquire();
+        let p2 = Arc::clone(&p);
+        let waiter = std::thread::spawn(move || {
+            let dev = p2.acquire();
+            dev.device_id()
+        });
+        // Give the waiter time to block, then release.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard);
+        let id = waiter.join().expect("waiter finishes");
+        assert_eq!(id, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Request, response, cost, and error types of the serving runtime.
+
+use crate::tile::TiledMatrix;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A matmul request: one shared weight matrix applied to a batch of
+/// input vectors.
+#[derive(Debug, Clone)]
+pub struct MatmulRequest {
+    /// The (pre-tiled, immutable) weight matrix.
+    pub matrix: Arc<TiledMatrix>,
+    /// Input vectors, each of length `matrix.in_dim()`, values in `[0, 1]`.
+    pub inputs: Vec<Vec<f64>>,
+    /// Optional absolute deadline; an expired request is rejected with
+    /// [`RuntimeError::DeadlineExpired`] instead of executed.
+    pub deadline: Option<Instant>,
+}
+
+impl MatmulRequest {
+    /// A request with no deadline.
+    #[must_use]
+    pub fn new(matrix: Arc<TiledMatrix>, inputs: Vec<Vec<f64>>) -> Self {
+        MatmulRequest {
+            matrix,
+            inputs,
+            deadline: None,
+        }
+    }
+
+    /// Attaches an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Validates shapes and input ranges, returning a typed error instead
+    /// of panicking (the serving path must never bring a worker down on
+    /// bad user input).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidRequest`] on empty batches, length
+    /// mismatches, or non-`[0, 1]` input values.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        if self.inputs.is_empty() {
+            return Err(RuntimeError::InvalidRequest(
+                "request batch is empty".to_owned(),
+            ));
+        }
+        for (s, x) in self.inputs.iter().enumerate() {
+            if x.len() != self.matrix.in_dim() {
+                return Err(RuntimeError::InvalidRequest(format!(
+                    "input {s} has length {} but the matrix takes {}",
+                    x.len(),
+                    self.matrix.in_dim()
+                )));
+            }
+            for (c, &v) in x.iter().enumerate() {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(RuntimeError::InvalidRequest(format!(
+                        "input {s}[{c}] = {v} outside the [0, 1] intensity range"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One accumulated output element: the digital sum of per-tile ADC codes
+/// and its dequantised estimate of the whole-matrix product.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OutputElement {
+    /// Sum of per-tile ADC codes along the input (tile-column) direction.
+    pub code_sum: u32,
+    /// Dequantised estimate of `Σ_c w·x / (in_dim · max_code) ∈ [0, ~1]`
+    /// — comparable to a whole-matrix `matvec_ideal` value.
+    pub value: f64,
+}
+
+/// Modeled time/energy charged to a request, from the
+/// [`pic_tensor::StreamingSchedule`] hardware model plus the measured
+/// write transients.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RequestCost {
+    /// Tiles in the matrix's grid.
+    pub tiles: usize,
+    /// Tiles actually streamed through the optical write path.
+    pub tiles_written: usize,
+    /// Tiles already resident on the device (writes skipped).
+    pub tiles_resident: usize,
+    /// Modeled wall-clock time spent writing weights, s.
+    pub write_time_s: f64,
+    /// Modeled wall-clock time converting (eoADC cycles), s.
+    pub compute_time_s: f64,
+    /// Measured pSRAM switching energy of the streamed tiles, J.
+    pub write_energy_j: f64,
+    /// Modeled compute energy (core power × compute time), J.
+    pub compute_energy_j: f64,
+}
+
+impl RequestCost {
+    /// Total modeled hardware time, s.
+    #[must_use]
+    pub fn total_time_s(&self) -> f64 {
+        self.write_time_s + self.compute_time_s
+    }
+
+    /// Total modeled energy, J.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.write_energy_j + self.compute_energy_j
+    }
+}
+
+/// A completed request's result.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Per input sample, per logical output row.
+    pub outputs: Vec<Vec<OutputElement>>,
+    /// This request's share of the modeled hardware cost.
+    pub cost: RequestCost,
+    /// Device that executed the request.
+    pub device: usize,
+    /// How many requests shared the dispatch batch (1 = unbatched).
+    pub batched_with: usize,
+}
+
+/// Typed failures of the serving runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The request's deadline passed before execution started.
+    DeadlineExpired,
+    /// The bounded intake queue is full (backpressure); retry later.
+    QueueFull,
+    /// The runtime is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The request failed validation (shape or input-range violation).
+    InvalidRequest(String),
+    /// The executing worker disappeared before responding.
+    WorkerLost,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::DeadlineExpired => write!(f, "deadline expired before execution"),
+            RuntimeError::QueueFull => write!(f, "intake queue full (backpressure)"),
+            RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            RuntimeError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            RuntimeError::WorkerLost => write!(f, "worker lost before responding"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileShape;
+
+    fn matrix() -> Arc<TiledMatrix> {
+        Arc::new(TiledMatrix::from_codes(
+            &vec![vec![3u32; 8]; 8],
+            3,
+            TileShape::new(4, 4),
+        ))
+    }
+
+    #[test]
+    fn validate_accepts_a_legal_request() {
+        let req = MatmulRequest::new(matrix(), vec![vec![0.5; 8]]);
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty_batch_and_bad_shapes() {
+        let m = matrix();
+        assert!(matches!(
+            MatmulRequest::new(m.clone(), vec![]).validate(),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            MatmulRequest::new(m.clone(), vec![vec![0.5; 7]]).validate(),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            MatmulRequest::new(m, vec![vec![1.5; 8]]).validate(),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn cost_totals_sum_components() {
+        let cost = RequestCost {
+            tiles: 4,
+            tiles_written: 3,
+            tiles_resident: 1,
+            write_time_s: 1e-9,
+            compute_time_s: 2e-9,
+            write_energy_j: 3e-12,
+            compute_energy_j: 4e-12,
+        };
+        assert!((cost.total_time_s() - 3e-9).abs() < 1e-18);
+        assert!((cost.total_energy_j() - 7e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn errors_display_their_kind() {
+        assert!(RuntimeError::QueueFull.to_string().contains("backpressure"));
+        assert!(RuntimeError::InvalidRequest("x".into())
+            .to_string()
+            .contains("invalid"));
+    }
+}

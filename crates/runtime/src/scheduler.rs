@@ -1,0 +1,586 @@
+//! The concurrent serving runtime: intake queue, dynamic batcher,
+//! worker threads over a shared device pool.
+//!
+//! ```text
+//! submit() ──▶ bounded intake ──▶ dispatcher ──▶ bounded worker queues
+//!                (backpressure)     (groups same-matrix requests,
+//!                                    routes to least-loaded worker)
+//!                                        │
+//!                                        ▼
+//!                              worker: DevicePool::acquire_for
+//!                                 (residency-affine checkout)
+//!                                        │
+//!                                        ▼
+//!                              TileExecutor::execute ──▶ ResponseHandle
+//! ```
+//!
+//! Everything is std threads and `mpsc` channels — no async runtime, no
+//! external dependencies. Queues are bounded end to end, so overload
+//! surfaces as a typed [`RuntimeError::QueueFull`] at the edge instead
+//! of unbounded memory growth; deadlines are enforced at dispatch time
+//! with [`RuntimeError::DeadlineExpired`]; dropping the [`Runtime`]
+//! drains in-flight work and joins every thread.
+
+use crate::metrics::MetricsRegistry;
+use crate::pool::DevicePool;
+use crate::request::{MatmulRequest, RequestCost, Response, RuntimeError};
+use pic_tensor::TensorCoreConfig;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sizing of a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// The device architecture every pool member is built from.
+    pub core: TensorCoreConfig,
+    /// Devices in the pool (= worker threads).
+    pub devices: usize,
+    /// Bound of the intake queue; beyond it [`Runtime::submit`] returns
+    /// [`RuntimeError::QueueFull`].
+    pub queue_depth: usize,
+    /// Most requests merged into one device pass (same matrix only).
+    pub max_batch: usize,
+    /// Bound of each worker's queue; keeps the dispatcher from running
+    /// far ahead of slow devices.
+    pub worker_queue_depth: usize,
+}
+
+impl RuntimeConfig {
+    /// The evaluation setup: four paper-scale cores, a 1024-deep intake
+    /// queue, batches of up to 8 same-matrix requests.
+    #[must_use]
+    pub fn paper() -> Self {
+        RuntimeConfig {
+            core: TensorCoreConfig::paper(),
+            devices: 4,
+            queue_depth: 1024,
+            max_batch: 8,
+            worker_queue_depth: 2,
+        }
+    }
+
+    /// Validates the sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is zero or the core configuration is invalid.
+    pub fn validate(&self) {
+        self.core.validate();
+        assert!(self.devices > 0, "runtime needs at least one device");
+        assert!(self.queue_depth > 0, "intake queue must have capacity");
+        assert!(self.max_batch > 0, "batches hold at least one request");
+        assert!(self.worker_queue_depth > 0, "worker queues need capacity");
+    }
+}
+
+/// One accepted request travelling through the runtime.
+struct Submission {
+    request: MatmulRequest,
+    respond: SyncSender<Result<Response, RuntimeError>>,
+    submitted_at: Instant,
+}
+
+/// A same-matrix group of submissions bound for one worker.
+struct Batch {
+    group: Vec<Submission>,
+}
+
+/// Waits for one request's response.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: std::sync::mpsc::Receiver<Result<Response, RuntimeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// The request's typed rejection, or [`RuntimeError::WorkerLost`] if
+    /// the runtime dropped the request without responding.
+    pub fn wait(self) -> Result<Response, RuntimeError> {
+        self.rx.recv().map_err(|_| RuntimeError::WorkerLost)?
+    }
+
+    /// Returns the response if it already arrived, `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Like [`ResponseHandle::wait`] once the response is in.
+    pub fn try_wait(&self) -> Option<Result<Response, RuntimeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::TryRecvError::Empty) => None,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(RuntimeError::WorkerLost)),
+        }
+    }
+}
+
+/// The serving runtime. See the [module docs](self) for the data path.
+#[derive(Debug)]
+pub struct Runtime {
+    intake: Option<SyncSender<Submission>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<MetricsRegistry>,
+    pool: Arc<DevicePool>,
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Builds the device pool, spawns the dispatcher and one worker per
+    /// device, and opens the intake queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or threads cannot spawn.
+    #[must_use]
+    pub fn start(config: RuntimeConfig) -> Self {
+        config.validate();
+        let metrics = Arc::new(MetricsRegistry::default());
+        let pool = Arc::new(DevicePool::new(config.core, config.devices));
+        let (intake_tx, intake_rx) = std::sync::mpsc::sync_channel(config.queue_depth);
+        let dispatcher = {
+            let metrics = Arc::clone(&metrics);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("pic-dispatcher".to_owned())
+                .spawn(move || dispatcher_loop(&config, &intake_rx, &pool, &metrics))
+                .expect("spawn dispatcher")
+        };
+        Runtime {
+            intake: Some(intake_tx),
+            dispatcher: Some(dispatcher),
+            metrics,
+            pool,
+            config,
+        }
+    }
+
+    /// The runtime's sizing.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The shared device pool (for introspection).
+    #[must_use]
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidRequest`] on validation failure,
+    /// [`RuntimeError::QueueFull`] under backpressure,
+    /// [`RuntimeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, request: MatmulRequest) -> Result<ResponseHandle, RuntimeError> {
+        let (submission, handle) = self.admit(request)?;
+        let intake = self.intake.as_ref().ok_or(RuntimeError::ShuttingDown)?;
+        match intake.try_send(submission) {
+            Ok(()) => {
+                self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(RuntimeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(RuntimeError::ShuttingDown),
+        }
+    }
+
+    /// Submits a request, blocking while the intake queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Runtime::submit`], except backpressure blocks instead of
+    /// returning [`RuntimeError::QueueFull`].
+    pub fn submit_blocking(&self, request: MatmulRequest) -> Result<ResponseHandle, RuntimeError> {
+        let (submission, handle) = self.admit(request)?;
+        let intake = self.intake.as_ref().ok_or(RuntimeError::ShuttingDown)?;
+        intake
+            .send(submission)
+            .map_err(|_| RuntimeError::ShuttingDown)?;
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Validates a request and pairs it with its response channel.
+    fn admit(&self, request: MatmulRequest) -> Result<(Submission, ResponseHandle), RuntimeError> {
+        if let Err(e) = request.validate() {
+            self.metrics
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        Ok((
+            Submission {
+                request,
+                respond: tx,
+                submitted_at: Instant::now(),
+            },
+            ResponseHandle { rx },
+        ))
+    }
+
+    /// Stops intake, drains every queued request, and joins all threads.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.intake = None;
+        if let Some(dispatcher) = self.dispatcher.take() {
+            dispatcher.join().expect("dispatcher exits cleanly");
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Groups same-matrix submissions and routes them to the least-loaded
+/// worker; drains everything already accepted before exiting.
+fn dispatcher_loop(
+    config: &RuntimeConfig,
+    intake: &Receiver<Submission>,
+    pool: &Arc<DevicePool>,
+    metrics: &Arc<MetricsRegistry>,
+) {
+    let outstanding: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..config.devices).map(|_| AtomicUsize::new(0)).collect());
+    let mut senders = Vec::with_capacity(config.devices);
+    let mut workers = Vec::with_capacity(config.devices);
+    for w in 0..config.devices {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(config.worker_queue_depth);
+        senders.push(tx);
+        let pool = Arc::clone(pool);
+        let metrics = Arc::clone(metrics);
+        let outstanding = Arc::clone(&outstanding);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("pic-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        let size = batch.group.len();
+                        process_batch(batch, &pool, &metrics);
+                        outstanding[w].fetch_sub(size, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    // Sticky matrix→worker affinity: keep routing a matrix to the worker
+    // that last served it (whose device likely still holds its tile), and
+    // fall back to the least-loaded worker only when the sticky one has a
+    // real backlog. Combined with the pool's residency-affine checkout
+    // this is what turns repeat traffic into write-free passes.
+    let mut affinity: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut sticky_count = vec![0usize; config.devices];
+    let sticky_limit = 2 * config.max_batch;
+    let mut pending: VecDeque<Submission> = VecDeque::new();
+    let mut open = true;
+    while open || !pending.is_empty() {
+        if pending.is_empty() {
+            match intake.recv() {
+                Ok(s) => pending.push_back(s),
+                Err(_) => {
+                    open = false;
+                    continue;
+                }
+            }
+        }
+        // Pull everything already queued so the batcher sees the full
+        // backlog, not one request at a time.
+        if open {
+            while let Ok(s) = intake.try_recv() {
+                pending.push_back(s);
+            }
+        }
+        let first = pending.pop_front().expect("checked non-empty");
+        let matrix_id = first.request.matrix.id();
+        let mut group = vec![first];
+        let mut i = 0;
+        while group.len() < config.max_batch && i < pending.len() {
+            if pending[i].request.matrix.id() == matrix_id {
+                group.push(pending.remove(i).expect("index in range"));
+            } else {
+                i += 1;
+            }
+        }
+        metrics.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        if group.len() > 1 {
+            metrics
+                .requests_batched
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+        }
+        let worker = match affinity.get(&matrix_id) {
+            Some(&w) if outstanding[w].load(Ordering::Relaxed) <= sticky_limit => w,
+            // New (or rerouted) matrices go to the least-loaded worker,
+            // ties broken toward the one serving the fewest matrices so
+            // an idle fleet spreads the working set across all devices.
+            _ => (0..config.devices)
+                .min_by_key(|&w| (outstanding[w].load(Ordering::Relaxed), sticky_count[w]))
+                .expect("at least one worker"),
+        };
+        match affinity.insert(matrix_id, worker) {
+            Some(old) if old != worker => {
+                sticky_count[old] -= 1;
+                sticky_count[worker] += 1;
+            }
+            None => sticky_count[worker] += 1,
+            _ => {}
+        }
+        outstanding[worker].fetch_add(group.len(), Ordering::Relaxed);
+        if let Err(std::sync::mpsc::SendError(batch)) = senders[worker].send(Batch { group }) {
+            // The worker died (it cannot under normal operation); fail
+            // the batch loudly rather than dropping it silently.
+            outstanding[worker].fetch_sub(batch.group.len(), Ordering::Relaxed);
+            for sub in batch.group {
+                let _ = sub.respond.send(Err(RuntimeError::WorkerLost));
+            }
+        }
+    }
+    drop(senders);
+    for worker in workers {
+        worker.join().expect("worker exits cleanly");
+    }
+}
+
+/// Executes one same-matrix batch on a residency-affine device and fans
+/// the outputs back out to the individual requests.
+fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry) {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.group.len());
+    for sub in batch.group {
+        if sub.request.deadline.is_some_and(|d| d <= now) {
+            metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            let _ = sub.respond.send(Err(RuntimeError::DeadlineExpired));
+        } else {
+            live.push(sub);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let matrix = Arc::clone(&live[0].request.matrix);
+    let merged: Vec<Vec<f64>> = live
+        .iter()
+        .flat_map(|sub| sub.request.inputs.iter().cloned())
+        .collect();
+    let total_samples = merged.len();
+
+    let mut device = pool.acquire_for(matrix.id());
+    let executed = device.execute(&matrix, &merged);
+    let device_id = device.device_id();
+    drop(device);
+
+    match executed {
+        Ok((mut outputs, cost)) => {
+            metrics
+                .tile_writes
+                .fetch_add(cost.tiles_written as u64, Ordering::Relaxed);
+            metrics
+                .tile_hits
+                .fetch_add(cost.tiles_resident as u64, Ordering::Relaxed);
+            metrics.energy_j.add(cost.total_energy_j());
+            metrics.device_time_s.add(cost.total_time_s());
+            let batched_with = live.len();
+            let finished = Instant::now();
+            for sub in live {
+                let samples = sub.request.inputs.len();
+                let rest = outputs.split_off(samples);
+                let mine = std::mem::replace(&mut outputs, rest);
+                let share = samples as f64 / total_samples as f64;
+                let cost = RequestCost {
+                    // Write effort is a property of the batch's single
+                    // matrix pass; split it evenly across the sharers.
+                    write_time_s: cost.write_time_s / batched_with as f64,
+                    write_energy_j: cost.write_energy_j / batched_with as f64,
+                    // Compute scales with this request's samples.
+                    compute_time_s: cost.compute_time_s * share,
+                    compute_energy_j: cost.compute_energy_j * share,
+                    ..cost
+                };
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .latency
+                    .record(finished.duration_since(sub.submitted_at).as_nanos() as u64);
+                let _ = sub.respond.send(Ok(Response {
+                    outputs: mine,
+                    cost,
+                    device: device_id,
+                    batched_with,
+                }));
+            }
+        }
+        Err(e) => {
+            // Per-request validation happens at submit, so this is a
+            // configuration-level mismatch; every sharer gets the error.
+            for sub in live {
+                metrics.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+                let _ = sub.respond.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{TileShape, TiledMatrix};
+    use std::time::Duration;
+
+    fn small_runtime(devices: usize) -> Runtime {
+        Runtime::start(RuntimeConfig {
+            core: TensorCoreConfig::small_demo(),
+            devices,
+            queue_depth: 64,
+            max_batch: 4,
+            worker_queue_depth: 2,
+        })
+    }
+
+    fn matrix(out: usize, inp: usize) -> Arc<TiledMatrix> {
+        let codes: Vec<Vec<u32>> = (0..out)
+            .map(|r| (0..inp).map(|c| ((r + 2 * c) % 8) as u32).collect())
+            .collect();
+        Arc::new(TiledMatrix::from_codes(&codes, 3, TileShape::new(4, 4)))
+    }
+
+    #[test]
+    fn starts_and_shuts_down_cleanly_without_work() {
+        let mut rt = small_runtime(2);
+        rt.shutdown();
+        rt.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn serves_mixed_matrices_with_no_lost_responses() {
+        let rt = small_runtime(2);
+        let (a, b) = (matrix(4, 4), matrix(10, 7));
+        let handles: Vec<ResponseHandle> = (0..40)
+            .map(|i| {
+                let m = if i % 2 == 0 { &a } else { &b };
+                let x = vec![vec![0.5; m.in_dim()]; 1 + i % 3];
+                rt.submit_blocking(MatmulRequest::new(Arc::clone(m), x))
+                    .expect("accepted")
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let resp = h.wait().expect("completed");
+            let m = if i % 2 == 0 { &a } else { &b };
+            assert_eq!(resp.outputs.len(), 1 + i % 3, "request {i} batch size");
+            assert_eq!(resp.outputs[0].len(), m.out_dim(), "request {i} rows");
+            assert!(resp.cost.total_energy_j() > 0.0);
+        }
+        let s = rt.metrics().snapshot();
+        assert_eq!(s.submitted, 40);
+        assert_eq!(s.completed, 40);
+        assert_eq!(
+            s.rejected_deadline + s.rejected_invalid + s.rejected_queue_full,
+            0
+        );
+    }
+
+    #[test]
+    fn batched_responses_match_solo_execution() {
+        // Force batching deterministically: one worker, and the first
+        // (multi-tile, slow) request occupies it while the rest queue up.
+        let rt = small_runtime(1);
+        let m = matrix(8, 8);
+        let inputs: Vec<Vec<Vec<f64>>> = (0..6)
+            .map(|i| {
+                vec![(0..8)
+                    .map(|c| f64::from((i + c) as u32 % 9) / 9.0)
+                    .collect()]
+            })
+            .collect();
+        let handles: Vec<ResponseHandle> = inputs
+            .iter()
+            .map(|x| {
+                rt.submit_blocking(MatmulRequest::new(Arc::clone(&m), x.clone()))
+                    .expect("accepted")
+            })
+            .collect();
+        let mut solo = crate::executor::TileExecutor::new(TensorCoreConfig::small_demo(), 99);
+        for (x, h) in inputs.iter().zip(handles) {
+            let resp = h.wait().expect("completed");
+            let (want, _) = solo.execute(&m, x).expect("reference");
+            assert_eq!(resp.outputs, want, "batched result must equal solo");
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_reject_with_typed_errors() {
+        let rt = small_runtime(1);
+        let m = matrix(4, 4);
+        let expired = MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; 4]])
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        let h = rt.submit(expired).expect("accepted at intake");
+        assert!(matches!(h.wait(), Err(RuntimeError::DeadlineExpired)));
+        let generous = MatmulRequest::new(m, vec![vec![0.5; 4]])
+            .with_deadline(Instant::now() + Duration::from_secs(60));
+        let h = rt.submit(generous).expect("accepted");
+        assert!(h.wait().is_ok(), "future deadline must not reject");
+        let s = rt.metrics().snapshot();
+        assert_eq!((s.rejected_deadline, s.completed), (1, 1));
+    }
+
+    #[test]
+    fn invalid_requests_bounce_at_the_front_door() {
+        let rt = small_runtime(1);
+        let m = matrix(4, 4);
+        let bad = MatmulRequest::new(m, vec![vec![1.5; 4]]);
+        assert!(matches!(
+            rt.submit(bad),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+        assert_eq!(rt.metrics().snapshot().rejected_invalid, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_error() {
+        let mut rt = small_runtime(1);
+        rt.shutdown();
+        let m = matrix(4, 4);
+        assert!(matches!(
+            rt.submit(MatmulRequest::new(m, vec![vec![0.5; 4]])),
+            Err(RuntimeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn drop_drains_accepted_work() {
+        let m = matrix(8, 8);
+        let handles: Vec<ResponseHandle> = {
+            let rt = small_runtime(2);
+            (0..10)
+                .map(|_| {
+                    rt.submit_blocking(MatmulRequest::new(Arc::clone(&m), vec![vec![0.25; 8]]))
+                        .expect("accepted")
+                })
+                .collect()
+            // rt drops here: shutdown must drain, not discard.
+        };
+        for h in handles {
+            assert!(h.wait().is_ok(), "accepted work survives shutdown");
+        }
+    }
+}

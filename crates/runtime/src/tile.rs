@@ -1,0 +1,323 @@
+//! Tiling of arbitrary `out × in` weight matrices onto a fixed-size core.
+//!
+//! The physical array is `rows × cols` (16×16 in the paper); a larger
+//! matrix is decomposed into a grid of zero-padded tiles that stream
+//! through the array one at a time (§II-A's "datasets exceed memory
+//! array capacity" scenario). Each tile carries a globally unique
+//! [`TileKey`] so device-side residency tracking can recognise a tile it
+//! already holds and skip the rewrite.
+
+use pic_tensor::quant;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The physical array shape tiles are cut to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileShape {
+    /// Physical array rows.
+    pub rows: usize,
+    /// Physical array columns.
+    pub cols: usize,
+}
+
+impl TileShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "tile shape must be non-empty");
+        TileShape { rows, cols }
+    }
+}
+
+/// Globally unique identity of one weight tile: which matrix it belongs
+/// to and where it sits in that matrix's tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    /// The owning [`TiledMatrix`]'s id.
+    pub matrix: u64,
+    /// Tile row in the grid (`out` direction).
+    pub block_row: usize,
+    /// Tile column in the grid (`in` direction).
+    pub block_col: usize,
+}
+
+/// One zero-padded weight tile, ready to load into the array.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    key: TileKey,
+    codes: Vec<Vec<u32>>,
+}
+
+impl Tile {
+    /// The tile's identity.
+    #[must_use]
+    pub fn key(&self) -> TileKey {
+        self.key
+    }
+
+    /// The padded `rows × cols` weight codes.
+    #[must_use]
+    pub fn codes(&self) -> &[Vec<u32>] {
+        &self.codes
+    }
+}
+
+/// Source of unique matrix ids (process-wide, never reused).
+static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An `out × in` weight-code matrix decomposed into core-sized tiles.
+///
+/// Construction quantises/validates once; the result is immutable and is
+/// shared across requests via `Arc`, which is what makes device-side
+/// residency tracking sound: a [`TileKey`] always refers to the same
+/// codes.
+#[derive(Debug)]
+pub struct TiledMatrix {
+    id: u64,
+    out_dim: usize,
+    in_dim: usize,
+    shape: TileShape,
+    block_rows: usize,
+    block_cols: usize,
+    /// Row-major tile grid (`block_rows × block_cols`).
+    tiles: Vec<Tile>,
+}
+
+impl TiledMatrix {
+    /// Tiles a matrix of integer weight codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty or ragged, or any code does not fit in
+    /// `weight_bits`.
+    #[must_use]
+    pub fn from_codes(codes: &[Vec<u32>], weight_bits: u32, shape: TileShape) -> Self {
+        let out_dim = codes.len();
+        assert!(out_dim > 0, "matrix needs at least one row");
+        let in_dim = codes[0].len();
+        assert!(in_dim > 0, "matrix needs at least one column");
+        assert!(
+            codes.iter().all(|r| r.len() == in_dim),
+            "weight matrix must be rectangular"
+        );
+        let max_code = (1u32 << weight_bits) - 1;
+        for (r, row) in codes.iter().enumerate() {
+            for (c, &w) in row.iter().enumerate() {
+                assert!(
+                    w <= max_code,
+                    "code {w} at ({r}, {c}) does not fit in {weight_bits} bits"
+                );
+            }
+        }
+
+        let id = NEXT_MATRIX_ID.fetch_add(1, Ordering::Relaxed);
+        let block_rows = out_dim.div_ceil(shape.rows);
+        let block_cols = in_dim.div_ceil(shape.cols);
+        let mut tiles = Vec::with_capacity(block_rows * block_cols);
+        for br in 0..block_rows {
+            for bc in 0..block_cols {
+                let tile_codes: Vec<Vec<u32>> = (0..shape.rows)
+                    .map(|r| {
+                        (0..shape.cols)
+                            .map(|c| {
+                                let (gr, gc) = (br * shape.rows + r, bc * shape.cols + c);
+                                if gr < out_dim && gc < in_dim {
+                                    codes[gr][gc]
+                                } else {
+                                    0
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                tiles.push(Tile {
+                    key: TileKey {
+                        matrix: id,
+                        block_row: br,
+                        block_col: bc,
+                    },
+                    codes: tile_codes,
+                });
+            }
+        }
+        TiledMatrix {
+            id,
+            out_dim,
+            in_dim,
+            shape,
+            block_rows,
+            block_cols,
+            tiles,
+        }
+    }
+
+    /// Quantises real-valued weights in `[0, 1]` and tiles the codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`TiledMatrix::from_codes`], or if any weight leaves
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn from_weights(weights: &[Vec<f64>], weight_bits: u32, shape: TileShape) -> Self {
+        TiledMatrix::from_codes(
+            &quant::quantize_matrix(weights, weight_bits),
+            weight_bits,
+            shape,
+        )
+    }
+
+    /// The matrix's unique id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Logical output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Logical input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// The physical tile shape.
+    #[must_use]
+    pub fn shape(&self) -> TileShape {
+        self.shape
+    }
+
+    /// Tile-grid rows (`⌈out/rows⌉`).
+    #[must_use]
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Tile-grid columns (`⌈in/cols⌉`).
+    #[must_use]
+    pub fn block_cols(&self) -> usize {
+        self.block_cols
+    }
+
+    /// Total tiles in the grid.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The tile at grid position (`block_row`, `block_col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the grid.
+    #[must_use]
+    pub fn tile(&self, block_row: usize, block_col: usize) -> &Tile {
+        assert!(
+            block_row < self.block_rows && block_col < self.block_cols,
+            "tile ({block_row}, {block_col}) outside {}×{} grid",
+            self.block_rows,
+            self.block_cols
+        );
+        &self.tiles[block_row * self.block_cols + block_col]
+    }
+
+    /// Splits one input vector of length `in_dim` into per-tile-column
+    /// zero-padded slices of length `shape.cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong length.
+    #[must_use]
+    pub fn split_input(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(input.len(), self.in_dim, "one input per matrix column");
+        (0..self.block_cols)
+            .map(|bc| {
+                (0..self.shape.cols)
+                    .map(|c| {
+                        let gc = bc * self.shape.cols + c;
+                        if gc < self.in_dim {
+                            input[gc]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(out: usize, inp: usize) -> Vec<Vec<u32>> {
+        (0..out)
+            .map(|r| (0..inp).map(|c| ((r * 3 + c) % 8) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exact_grid_has_no_padding() {
+        let m = TiledMatrix::from_codes(&codes(32, 32), 3, TileShape::new(16, 16));
+        assert_eq!((m.block_rows(), m.block_cols()), (2, 2));
+        assert_eq!(m.tile_count(), 4);
+        let t = m.tile(1, 1);
+        assert_eq!(t.codes()[0][0], codes(32, 32)[16][16]);
+        assert_eq!(t.key().matrix, m.id());
+    }
+
+    #[test]
+    fn ragged_grid_zero_pads() {
+        let m = TiledMatrix::from_codes(&codes(17, 20), 3, TileShape::new(16, 16));
+        assert_eq!((m.block_rows(), m.block_cols()), (2, 2));
+        // Bottom-right tile: only (0..1, 0..4) are real.
+        let t = m.tile(1, 1);
+        assert_eq!(t.codes()[0][3], codes(17, 20)[16][19]);
+        assert_eq!(t.codes()[0][4], 0, "padded column");
+        assert_eq!(t.codes()[1][0], 0, "padded row");
+    }
+
+    #[test]
+    fn matrix_ids_are_unique() {
+        let a = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(16, 16));
+        let b = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(16, 16));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn split_input_pads_the_tail() {
+        let m = TiledMatrix::from_codes(&codes(16, 20), 3, TileShape::new(16, 16));
+        let x: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        let parts = m.split_input(&x);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], x[..16].to_vec());
+        assert_eq!(parts[1][..4], x[16..]);
+        assert!(parts[1][4..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_weights_quantises() {
+        let w = vec![vec![0.0, 1.0, 0.5, 0.25]; 2];
+        let m = TiledMatrix::from_weights(&w, 3, TileShape::new(4, 4));
+        assert_eq!(m.tile(0, 0).codes()[0], vec![0, 7, 4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_codes() {
+        let _ = TiledMatrix::from_codes(&[vec![9u32; 4]], 3, TileShape::new(4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn rejects_ragged_matrices() {
+        let _ = TiledMatrix::from_codes(&[vec![1, 2], vec![3]], 3, TileShape::new(4, 4));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: tiled execution agrees with the whole-matrix
+//! ideal-quantised reference at arbitrary shapes.
+
+use pic_runtime::{TileExecutor, TileShape, TiledMatrix};
+use pic_tensor::{TensorCore, TensorCoreConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Deterministic random weight codes and inputs from one seed.
+fn workload(seed: u64, out: usize, inp: usize, max_code: u32) -> (Vec<Vec<u32>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let codes = (0..out)
+        .map(|_| (0..inp).map(|_| rng.gen_range(0..=max_code)).collect())
+        .collect();
+    let x = (0..inp).map(|_| rng.gen_range(0.0..=1.0)).collect();
+    (codes, x)
+}
+
+/// The whole-matrix reference: each output row's ideal normalised
+/// partial product per tile, quantised to the ADC's `levels − 1` scale
+/// and accumulated digitally — what a perfectly calibrated device chain
+/// would produce.
+fn reference_code_sums(m: &TiledMatrix, x: &[f64], levels: u32, max_code: u32) -> Vec<u32> {
+    let shape = m.shape();
+    let parts = m.split_input(x);
+    (0..m.out_dim())
+        .map(|gr| {
+            let (br, lr) = (gr / shape.rows, gr % shape.rows);
+            (0..m.block_cols())
+                .map(|bc| {
+                    let dot: f64 = m.tile(br, bc).codes()[lr]
+                        .iter()
+                        .zip(&parts[bc])
+                        .map(|(&w, &xv)| f64::from(w) * xv)
+                        .sum();
+                    let ideal = dot / (shape.cols as f64 * f64::from(max_code));
+                    ((ideal * f64::from(levels - 1)).round() as u32).min(levels - 1)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+fn check_against_reference(seed: u64, out: usize, inp: usize) {
+    let cfg = TensorCoreConfig::small_demo();
+    let max_code = (1u32 << cfg.weight_bits) - 1;
+    let levels = cfg.adc.channel_count() as u32;
+    let (codes, x) = workload(seed, out, inp, max_code);
+    let m = TiledMatrix::from_codes(&codes, cfg.weight_bits, TileShape::new(cfg.rows, cfg.cols));
+
+    let mut exec = TileExecutor::new(cfg, 0);
+    let (outputs, cost) = exec
+        .execute(&m, std::slice::from_ref(&x))
+        .expect("valid request");
+    assert_eq!(outputs[0].len(), out);
+    assert_eq!(cost.tiles, m.tile_count());
+
+    let want = reference_code_sums(&m, &x, levels, max_code);
+    // Each accumulated tile contributes at most one LSB of quantisation
+    // disagreement (the calibrated read-out and the rounded reference can
+    // land on opposite sides of a code edge), so the per-element bound is
+    // one LSB per tile column.
+    let lsb_budget = i64::try_from(m.block_cols()).expect("fits");
+    let scale = cfg.cols as f64 / inp as f64 / f64::from(levels - 1);
+    for (gr, (got, want)) in outputs[0].iter().zip(&want).enumerate() {
+        let diff = i64::from(got.code_sum) - i64::from(*want);
+        assert!(
+            diff.abs() <= lsb_budget,
+            "{out}×{inp} seed {seed} row {gr}: accumulated {} vs reference {want} \
+             (budget {lsb_budget})",
+            got.code_sum
+        );
+        let dequant = f64::from(got.code_sum) * scale;
+        assert!(
+            (got.value - dequant).abs() < 1e-12,
+            "row {gr}: reported value {} vs dequantised {dequant}",
+            got.value
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random shapes up to 64×64: the tiled, calibrated, digitally
+    /// accumulated result stays within one LSB per accumulated tile of
+    /// the whole-matrix ideal-quantised reference.
+    #[test]
+    fn tiled_matmul_tracks_ideal_reference(
+        seed in 0u64..1_000_000,
+        out in 1usize..=64,
+        inp in 1usize..=64,
+    ) {
+        check_against_reference(seed, out, inp);
+    }
+
+    /// Shapes that fit the array in one tile reproduce the single-core
+    /// digital read-out exactly — tiling must be a no-op overhead-wise.
+    #[test]
+    fn single_tile_shapes_match_the_core_exactly(seed in 0u64..1_000_000) {
+        let cfg = TensorCoreConfig::small_demo();
+        let max_code = (1u32 << cfg.weight_bits) - 1;
+        let (codes, x) = workload(seed, cfg.rows, cfg.cols, max_code);
+        let m = TiledMatrix::from_codes(
+            &codes,
+            cfg.weight_bits,
+            TileShape::new(cfg.rows, cfg.cols),
+        );
+        let mut exec = TileExecutor::new(cfg, 0);
+        let (outputs, cost) = exec.execute(&m, std::slice::from_ref(&x)).expect("valid request");
+        prop_assert_eq!(cost.tiles, 1);
+
+        let mut core = TensorCore::new(cfg);
+        core.load_weight_codes(&codes);
+        core.set_readout_gain(exec.core().readout_gain());
+        let want = core.matvec(&x);
+        let got: Vec<u16> = outputs[0].iter().map(|e| e.code_sum as u16).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// The acceptance shape, pinned: a full 64×64 matmul on the 4×4 demo
+/// core (256 streamed tiles) stays within the per-element LSB budget.
+#[test]
+fn full_64_by_64_decomposition_is_accurate() {
+    check_against_reference(2025, 64, 64);
+}

@@ -278,6 +278,16 @@ impl TensorCore {
         &self.weights
     }
 
+    /// The write-generation counter of the stored weights (see
+    /// [`PsramArray::generation`]). Every weight mutation bumps it, so a
+    /// caller that remembers the generation at which it loaded a tile can
+    /// later prove the tile is still resident — the hook the runtime's
+    /// device pool uses to skip redundant weight rewrites.
+    #[must_use]
+    pub fn weight_generation(&self) -> u64 {
+        self.weights.generation()
+    }
+
     /// The per-row eoADC.
     #[must_use]
     pub fn adc(&self) -> &EoAdc {
@@ -318,13 +328,30 @@ impl TensorCore {
         result
     }
 
-    /// Maps one row's normalised analog output through the TIA gain and
-    /// the eoADC.
-    fn digitize_row(&self, y: f64) -> u16 {
+    /// The row read-out transfer function: maps a normalised analog row
+    /// output `y ∈ [0, 1]` through the TIA gain and the eoADC to a digital
+    /// code — exactly what every digital read path applies per row.
+    ///
+    /// Exposed so external layers (the serving runtime's tiler, accuracy
+    /// references) can digitise ideal or reconstructed values through the
+    /// same transfer without reimplementing the gain/clamp/ADC chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is not finite and non-negative.
+    #[must_use]
+    pub fn digitize(&self, y: f64) -> u16 {
+        assert!(y.is_finite() && y >= 0.0, "row output must be ≥ 0, got {y}");
         let scaled = (y * self.readout_gain).min(1.0);
         self.adc
             .convert_static(self.config.adc.vfs * scaled)
             .expect("calibrated eoADC cannot produce an illegal pattern")
+    }
+
+    /// Maps one row's normalised analog output through the TIA gain and
+    /// the eoADC.
+    fn digitize_row(&self, y: f64) -> u16 {
+        self.digitize(y)
     }
 
     /// Analog matrix-vector product: per-row photocurrents normalised to
@@ -767,6 +794,36 @@ mod tests {
         let mut fresh = TensorCore::new(TensorCoreConfig::small_demo());
         fresh.load_weight_codes(&core.weights().read_matrix());
         assert_eq!(core.matvec(&x), fresh.matvec(&x));
+    }
+
+    #[test]
+    fn weight_generation_tracks_every_mutation_path() {
+        let mut core = TensorCore::new(TensorCoreConfig::small_demo());
+        let g0 = core.weight_generation();
+        core.load_weight_codes(&[vec![1; 4], vec![2; 4], vec![3; 4], vec![4; 4]]);
+        let g1 = core.weight_generation();
+        assert!(g1 > g0, "preset load must bump the generation");
+        let _ = core.write_weights_transient(&vec![vec![5; 4]; 4]);
+        let g2 = core.weight_generation();
+        assert!(g2 > g1, "transient write must bump the generation");
+        assert_eq!(core.weight_generation(), core.weights().generation());
+    }
+
+    #[test]
+    fn digitize_matches_matvec_read_out() {
+        let core = demo_core();
+        let x = [0.9, 0.1, 0.5, 0.7];
+        let analog = core.matvec_analog(&x);
+        let codes = core.matvec(&x);
+        for (a, code) in analog.iter().zip(&codes) {
+            assert_eq!(core.digitize(*a), *code);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn digitize_rejects_negative_input() {
+        let _ = demo_core().digitize(-0.1);
     }
 
     #[test]

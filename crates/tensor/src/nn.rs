@@ -113,10 +113,20 @@ impl DenseLayer {
             .collect()
     }
 
-    /// Forward pass with ReLU.
+    /// Forward pass with ReLU, clamped to `[0, 1]`.
+    ///
+    /// The activation this returns is what the next photonic layer will
+    /// intensity-encode, and the matvec input contract requires `[0, 1]`.
+    /// A read-out gain below 1 lets [`DenseLayer::forward`] legitimately
+    /// exceed 1.0 (the differential codes are divided by the gain), so the
+    /// upper clamp is part of the activation, not an afterthought —
+    /// without it, manually chained layers panic on hot activations.
     #[must_use]
     pub fn forward_relu(&self, x: &[f64]) -> Vec<f64> {
-        self.forward(x).into_iter().map(|v| v.max(0.0)).collect()
+        self.forward(x)
+            .into_iter()
+            .map(|v| v.clamp(0.0, 1.0))
+            .collect()
     }
 
     /// Classifies `x` as the index of the largest pre-activation.
@@ -200,11 +210,10 @@ impl Mlp {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         let mut activ = x.to_vec();
         for (k, layer) in self.layers.iter().enumerate() {
-            let out = layer.forward(&activ);
             activ = if k + 1 == self.layers.len() {
-                out
+                layer.forward(&activ)
             } else {
-                out.into_iter().map(|v| v.clamp(0.0, 1.0)).collect()
+                layer.forward_relu(&activ)
             };
         }
         activ
@@ -272,6 +281,47 @@ mod tests {
         let l = xor_ish_layer();
         let y = l.forward_relu(&[1.0, 1.0, 0.0, 0.0]);
         assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    /// A configuration whose dequantised outputs genuinely exceed 1.0: a
+    /// coarse 2-bit read-out (as swept by the precision ablations) with a
+    /// sub-unit TIA gain. `code/(levels·gain)` reaches ≈ 1.08 on
+    /// saturated weights.
+    fn hot_layer() -> DenseLayer {
+        let mut cfg = TensorCoreConfig::small_demo();
+        cfg.adc.bits = 2;
+        let w = vec![vec![1.0; 4]; 2];
+        DenseLayer::new(&w, cfg).with_readout_gain(0.928)
+    }
+
+    #[test]
+    fn relu_activation_stays_encodable_at_coarse_read_out() {
+        let l = hot_layer();
+        let raw = l.forward(&[1.0; 4]);
+        assert!(
+            raw.iter().any(|&v| v > 1.0),
+            "precondition: raw output exceeds 1.0 on a 2-bit ADC, got {raw:?}"
+        );
+        let act = l.forward_relu(&[1.0; 4]);
+        assert!(act.iter().all(|&v| (0.0..=1.0).contains(&v)), "{act:?}");
+    }
+
+    #[test]
+    fn mlp_with_hot_hidden_activations_does_not_panic() {
+        // Regression: the hidden layer's dequantised outputs exceed 1.0
+        // (see `hot_layer`); before the inter-layer activation clamped its
+        // upper end this tripped the matvec [0, 1] input assert.
+        let mut cfg = TensorCoreConfig::small_demo();
+        cfg.adc.bits = 2;
+        let output = vec![vec![0.5; 4]; 2];
+        let hidden = vec![vec![1.0; 4]; 4];
+        let mlp = Mlp::from_layers(vec![
+            DenseLayer::new(&hidden, cfg).with_readout_gain(0.928),
+            DenseLayer::new(&output, cfg),
+        ]);
+        let y = mlp.forward(&[1.0; 4]);
+        assert_eq!(y.len(), 2);
+        assert!(y.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -58,6 +58,20 @@ pub struct ScheduleReport {
     pub compute_utilization: f64,
 }
 
+impl ScheduleReport {
+    /// Total wall-clock time of the schedule: write stalls plus compute.
+    #[must_use]
+    pub fn total_time_s(&self) -> f64 {
+        self.write_time_s + self.compute_time_s
+    }
+
+    /// Total energy of the schedule: weight writes plus compute.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.write_energy_j + self.compute_energy_j
+    }
+}
+
 impl StreamingSchedule {
     /// Creates a schedule.
     ///
@@ -225,6 +239,37 @@ mod tests {
             .with_flip_fraction(1.0)
             .report();
         assert!((all.write_energy_j / half.write_energy_j - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_sum_their_components() {
+        let r = sched(64, WriteParallelism::PerRow).report();
+        assert!((r.total_time_s() - (r.write_time_s + r.compute_time_s)).abs() < 1e-18);
+        assert!((r.total_energy_j() - (r.write_energy_j + r.compute_energy_j)).abs() < 1e-24);
+        assert!(r.total_time_s() > 0.0 && r.total_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn utilization_stays_in_unit_interval() {
+        // Degenerate and extreme schedules must keep the utilization a
+        // well-defined fraction — the total time can never be zero because
+        // the smallest legal workload (1×1, batch 1) still writes one tile
+        // and converts once.
+        for (out, inp, batch, par) in [
+            (1, 1, 1, WriteParallelism::FullArray),
+            (1, 1, 1, WriteParallelism::PerWord),
+            (16, 16, 1, WriteParallelism::PerRow),
+            (1024, 1024, 100_000, WriteParallelism::FullArray),
+        ] {
+            let r =
+                StreamingSchedule::new(TensorCoreConfig::paper(), out, inp, batch, par).report();
+            assert!(
+                (0.0..=1.0).contains(&r.compute_utilization),
+                "utilization {} out of [0, 1] for {out}×{inp} batch {batch}",
+                r.compute_utilization
+            );
+            assert!(r.compute_utilization.is_finite());
+        }
     }
 
     #[test]
