@@ -1,41 +1,92 @@
-//! BENCH_runtime — end-to-end serving demo of the `pic-runtime` stack.
+//! BENCH_runtime — admission-policy comparison on a Zipf-skewed serving
+//! workload.
 //!
-//! Drives a mixed-shape request stream through a four-device pool of
-//! paper-scale (16×16) cores: mostly-hot single-tile matrices that stay
-//! resident on their devices, plus cold multi-tile matrices that stream
-//! weights on every pass, plus a slice of pre-expired deadlines that
-//! must come back as typed rejections. Verifies conservation (every
-//! request answered exactly once), spot-checks served results against a
-//! fresh single-device executor bit-for-bit, and writes
-//! `BENCH_runtime.json` at the workspace root.
+//! Generates one synthetic request stream — matrix popularity drawn
+//! from a Zipf distribution over a mixed single/multi-tile model set,
+//! plus a slice of pre-expired deadlines that must come back as typed
+//! rejections — and replays it through a fresh four-device runtime once
+//! per admission policy (`fifo` baseline, `residency`, `edf`). The
+//! driver is open-loop by default (a driver thread submits as fast as
+//! intake backpressure allows while the main thread reaps responses),
+//! so measured throughput is the runtime's, not the driver's;
+//! `--window N` switches to a closed-loop driver with `N` requests in
+//! flight and deadlines tight enough to be meaningful.
 //!
-//! `--smoke` shrinks the stream for CI; `--requests N` overrides the
-//! stream length explicitly.
+//! Per policy the run verifies conservation (every request answered
+//! exactly once, expired deadlines rejected with the typed error) and
+//! spot-checks results bit-for-bit against a fresh single-device
+//! executor; across policies it asserts bit-identical served outputs —
+//! admission order must never change what a request computes. The
+//! side-by-side report — residency hit rate, tile writes, throughput,
+//! p50/p99 latency, energy per request — lands in `BENCH_runtime.json`.
+//!
+//! Flags: `--smoke` (CI-sized stream), `--requests N` (per policy),
+//! `--policies a,b,c`, `--models M`, `--zipf S`, `--window N`,
+//! `--max-delay-ms D`.
 
-use pic_runtime::{MatmulRequest, Runtime, RuntimeConfig, TileExecutor, TileShape, TiledMatrix};
+use pic_runtime::{
+    AdmissionPolicyKind, MatmulRequest, Response, ResponseHandle, Runtime, RuntimeConfig,
+    TileExecutor, TileShape, TiledMatrix,
+};
 use pic_tensor::TensorCoreConfig;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// The mixed model set: two hot single-tile matrices (the steady serving
-/// set — sticky routing pins each to its own device, so repeat traffic
-/// runs write-free), one single-tile "evictor" that churns residency,
-/// and two cold multi-tile matrices that stream weights on every pass.
-fn model_set(cfg: TensorCoreConfig, rng: &mut StdRng) -> Vec<Arc<TiledMatrix>> {
+/// Ranked model shapes: hot ranks are single-tile (they fit the 16×16
+/// array), with a ragged-edge single-tile model and cold multi-tile
+/// models (2×2, 3×2, 3×1 grids) mixed through the tail — the shape mix
+/// a shared serving fleet actually sees.
+const SHAPE_MIX: &[(usize, usize)] = &[
+    (16, 16),
+    (16, 16),
+    (16, 16),
+    (16, 12),
+    (32, 32),
+    (16, 16),
+    (40, 24),
+    (16, 16),
+    (48, 16),
+    (16, 16),
+    (16, 16),
+    (32, 32),
+];
+
+/// A Zipf sampler over ranks `0..n`: rank `k` carries weight
+/// `1/(k+1)^s`, sampled by inverse CDF lookup.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0 && s >= 0.0, "Zipf needs ranks and skew >= 0");
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = rng.gen_range(0.0..=1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn model_set(cfg: TensorCoreConfig, models: usize, rng: &mut StdRng) -> Vec<Arc<TiledMatrix>> {
     let shape = TileShape::new(cfg.rows, cfg.cols);
     let max_code = (1u32 << cfg.weight_bits) - 1;
-    let shapes: &[(usize, usize)] = &[
-        (16, 16), // hot, single tile
-        (16, 16),
-        (16, 12), // evictor: still one tile, ragged input edge
-        (32, 32), // cold: 2×2 tile grid
-        (40, 24), // cold: 3×2 tile grid
-    ];
-    shapes
-        .iter()
-        .map(|&(out, inp)| {
+    (0..models)
+        .map(|rank| {
+            let (out, inp) = SHAPE_MIX[rank % SHAPE_MIX.len()];
             let codes: Vec<Vec<u32>> = (0..out)
                 .map(|_| (0..inp).map(|_| rng.gen_range(0..=max_code)).collect())
                 .collect();
@@ -44,73 +95,19 @@ fn model_set(cfg: TensorCoreConfig, rng: &mut StdRng) -> Vec<Arc<TiledMatrix>> {
         .collect()
 }
 
-/// Picks a model index with the 70/10/20 hot/evictor/cold skew.
-fn pick_model(rng: &mut StdRng) -> usize {
-    let roll = rng.gen_range(0..100);
-    if roll < 70 {
-        rng.gen_range(0..2) // hot
-    } else if roll < 80 {
-        2 // evictor
-    } else {
-        3 + rng.gen_range(0..2) // cold multi-tile
-    }
-}
+/// One pre-generated request: (model rank, input batch, pre-expired?).
+type StreamItem = (usize, Vec<Vec<f64>>, bool);
 
-#[derive(serde::Serialize)]
-struct BenchReport {
-    id: String,
-    title: String,
-    smoke: bool,
-    devices: usize,
-    queue_depth: usize,
-    max_batch: usize,
+fn build_stream(
+    models: &[Arc<TiledMatrix>],
     requests: usize,
-    completed: u64,
-    rejected_deadline: u64,
-    rejected_queue_full: u64,
-    rejected_invalid: u64,
-    lost: u64,
-    wall_time_s: f64,
-    throughput_req_per_s: f64,
-    latency_mean_s: f64,
-    latency_p50_s: f64,
-    latency_p99_s: f64,
-    energy_per_request_j: f64,
-    device_time_per_request_s: f64,
-    tile_writes: u64,
-    tile_hits: u64,
-    residency_hit_rate: f64,
-    batches_dispatched: u64,
-    requests_batched: u64,
-    spot_checks: usize,
-    spot_check_mismatches: usize,
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let requests = args
-        .iter()
-        .position(|a| a == "--requests")
-        .and_then(|i| args.get(i + 1))
-        .map(|n| n.parse().expect("--requests takes a count"))
-        .unwrap_or(if smoke { 500 } else { 10_000 });
-
-    let config = RuntimeConfig::paper();
-    println!(
-        "BENCH_runtime — serving {requests} mixed-shape requests through \
-         {} paper-scale devices (batch ≤ {})",
-        config.devices, config.max_batch
-    );
-
-    let mut rng = StdRng::seed_from_u64(42);
-    let models = model_set(config.core, &mut rng);
-    let rt = Runtime::start(config);
-
-    // Build the stream up front so spot checks can replay it exactly.
-    let stream: Vec<(usize, Vec<Vec<f64>>, bool)> = (0..requests)
+    zipf_s: f64,
+    rng: &mut StdRng,
+) -> Vec<StreamItem> {
+    let zipf = Zipf::new(models.len(), zipf_s);
+    (0..requests)
         .map(|i| {
-            let which = pick_model(&mut rng);
+            let which = zipf.sample(rng);
             let samples = rng.gen_range(1..=2);
             let inputs: Vec<Vec<f64>> = (0..samples)
                 .map(|_| {
@@ -121,24 +118,91 @@ fn main() {
                 .collect();
             // Every 50th request carries an already-expired deadline: the
             // runtime must reject it with a typed error, not serve it.
-            let expired = i % 50 == 17;
-            (which, inputs, expired)
+            (which, inputs, i % 50 == 17)
         })
-        .collect();
+        .collect()
+}
 
-    // Closed-loop driver with a bounded in-flight window, so the latency
-    // histogram measures service + bounded queueing rather than the time
-    // to drain a fully pre-loaded backlog.
-    const WINDOW: usize = 64;
+#[derive(serde::Serialize)]
+struct PolicyReport {
+    policy: String,
+    completed: u64,
+    rejected_deadline: u64,
+    /// Deadline rejections beyond the stream's pre-expired slice — a
+    /// policy-induced miss. Must not regress vs the fifo baseline.
+    deadline_misses: u64,
+    lost: u64,
+    wall_time_s: f64,
+    throughput_req_per_s: f64,
+    latency_mean_s: f64,
+    latency_p50_s: f64,
+    latency_p99_s: f64,
+    energy_per_request_j: f64,
+    write_energy_per_request_j: f64,
+    device_time_per_request_s: f64,
+    tile_writes: u64,
+    tile_hits: u64,
+    residency_hit_rate: f64,
+    tile_writes_per_request: f64,
+    batches_dispatched: u64,
+    requests_batched: u64,
+    admission_reorders: u64,
+    spot_checks: usize,
+    spot_check_mismatches: usize,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    id: String,
+    title: String,
+    smoke: bool,
+    devices: usize,
+    queue_depth: usize,
+    max_batch: usize,
+    max_delay_ms: u64,
+    requests_per_policy: usize,
+    models: usize,
+    zipf_s: f64,
+    open_loop: bool,
+    window: usize,
+    policies: Vec<PolicyReport>,
+    /// `residency_hit_rate(residency) / residency_hit_rate(fifo)`.
+    hit_rate_gain_residency_over_fifo: f64,
+    /// `write_energy_per_request(fifo) / write_energy_per_request(residency)`.
+    write_energy_cut_residency_over_fifo: f64,
+    cross_policy_outputs_identical: bool,
+}
+
+struct RunOutcome {
+    report: PolicyReport,
+    served: Vec<Option<Response>>,
+}
+
+fn run_policy(
+    config: RuntimeConfig,
+    models: &[Arc<TiledMatrix>],
+    stream: &[StreamItem],
+    window: usize,
+    deadline_horizon: Duration,
+) -> RunOutcome {
+    let rt = Runtime::start(config);
+    let requests = stream.len();
     let mut completed_ok = 0u64;
     let mut typed_deadline = 0u64;
     let mut lost = 0u64;
-    let mut served: Vec<Option<pic_runtime::Response>> = (0..requests).map(|_| None).collect();
-    let mut inflight: std::collections::VecDeque<(usize, pic_runtime::ResponseHandle)> =
-        std::collections::VecDeque::new();
-    let mut reap = |i: usize,
-                    h: pic_runtime::ResponseHandle,
-                    served: &mut Vec<Option<pic_runtime::Response>>| {
+    let mut served: Vec<Option<Response>> = (0..requests).map(|_| None).collect();
+
+    let submit = |i: usize, rt: &Runtime| -> ResponseHandle {
+        let (which, inputs, expired) = &stream[i];
+        let req = MatmulRequest::new(Arc::clone(&models[*which]), inputs.clone());
+        let req = if *expired {
+            req.with_deadline(Instant::now() - Duration::from_millis(1))
+        } else {
+            req.with_deadline(Instant::now() + deadline_horizon)
+        };
+        rt.submit_blocking(req).expect("stream is pre-validated")
+    };
+    let mut reap = |i: usize, h: ResponseHandle, served: &mut Vec<Option<Response>>| {
         let expired = stream[i].2;
         match h.wait() {
             Ok(resp) => {
@@ -147,7 +211,6 @@ fn main() {
                 served[i] = Some(resp);
             }
             Err(pic_runtime::RuntimeError::DeadlineExpired) => {
-                assert!(expired, "live request rejected on deadline");
                 typed_deadline += 1;
             }
             Err(other) => {
@@ -158,41 +221,61 @@ fn main() {
     };
 
     let started = Instant::now();
-    for (i, (which, inputs, expired)) in stream.iter().enumerate() {
-        let mut req = MatmulRequest::new(Arc::clone(&models[*which]), inputs.clone());
-        if *expired {
-            req = req.with_deadline(Instant::now() - Duration::from_millis(1));
+    if window == 0 {
+        // Open loop: the driver thread submits flat out (throttled only
+        // by intake backpressure); the main thread reaps in submission
+        // order. Throughput is whatever the runtime sustains, not what
+        // the driver paces.
+        std::thread::scope(|scope| {
+            let (htx, hrx) = std::sync::mpsc::sync_channel::<(usize, ResponseHandle)>(requests);
+            let rt = &rt;
+            scope.spawn(move || {
+                for i in 0..requests {
+                    let h = submit(i, rt);
+                    htx.send((i, h)).expect("reaper outlives the driver");
+                }
+            });
+            for (i, h) in hrx {
+                reap(i, h, &mut served);
+            }
+        });
+    } else {
+        // Closed loop: a bounded in-flight window, so latency measures
+        // service + bounded queueing rather than backlog drain.
+        let mut inflight: std::collections::VecDeque<(usize, ResponseHandle)> =
+            std::collections::VecDeque::new();
+        for i in 0..requests {
+            inflight.push_back((i, submit(i, &rt)));
+            if inflight.len() >= window {
+                let (j, h) = inflight.pop_front().expect("non-empty window");
+                reap(j, h, &mut served);
+            }
         }
-        let h = rt.submit_blocking(req).expect("stream is pre-validated");
-        inflight.push_back((i, h));
-        if inflight.len() >= WINDOW {
-            let (j, h) = inflight.pop_front().expect("non-empty window");
+        for (j, h) in inflight {
             reap(j, h, &mut served);
         }
-    }
-    for (j, h) in inflight {
-        reap(j, h, &mut served);
     }
     let wall = started.elapsed().as_secs_f64();
 
     // Conservation: every request answered exactly once (handles are
     // single-shot channels, so duplicates are structurally impossible;
-    // loss would show up here).
+    // loss would show up here). Deadline rejections beyond the
+    // pre-expired slice are policy-induced misses — tracked, not lost.
     let expired_count = stream.iter().filter(|(_, _, e)| *e).count() as u64;
     assert_eq!(lost, 0, "no request may go unanswered");
-    assert_eq!(
-        typed_deadline, expired_count,
-        "every expired deadline rejects"
+    assert!(
+        typed_deadline >= expired_count,
+        "every pre-expired deadline rejects"
     );
     assert_eq!(
-        completed_ok,
-        requests as u64 - expired_count,
-        "every live request completes"
+        completed_ok + typed_deadline,
+        requests as u64,
+        "every request completes or rejects, never vanishes"
     );
 
     // Spot-check served results bit-for-bit against a fresh single
     // executor replaying the same (matrix, inputs).
-    let mut solo = TileExecutor::new(rt.config().core, 900);
+    let mut solo = TileExecutor::new(config.core, 900);
     let mut checked = 0usize;
     let mut mismatches = 0usize;
     let stride = (requests / 32).max(1);
@@ -215,18 +298,11 @@ fn main() {
 
     let s = rt.metrics().snapshot();
     let hit_rate = s.tile_hits as f64 / (s.tile_hits + s.tile_writes).max(1) as f64;
-    let report = BenchReport {
-        id: "bench_runtime".to_owned(),
-        title: "Concurrent serving runtime over a photonic device pool".to_owned(),
-        smoke,
-        devices: rt.config().devices,
-        queue_depth: rt.config().queue_depth,
-        max_batch: rt.config().max_batch,
-        requests,
+    let report = PolicyReport {
+        policy: config.policy.label().to_owned(),
         completed: s.completed,
         rejected_deadline: s.rejected_deadline,
-        rejected_queue_full: s.rejected_queue_full,
-        rejected_invalid: s.rejected_invalid,
+        deadline_misses: typed_deadline - expired_count,
         lost,
         wall_time_s: wall,
         throughput_req_per_s: s.completed as f64 / wall,
@@ -234,38 +310,184 @@ fn main() {
         latency_p50_s: s.latency_p50_s,
         latency_p99_s: s.latency_p99_s,
         energy_per_request_j: s.energy_j / s.completed.max(1) as f64,
+        write_energy_per_request_j: s.write_energy_j / s.completed.max(1) as f64,
         device_time_per_request_s: s.device_time_s / s.completed.max(1) as f64,
         tile_writes: s.tile_writes,
         tile_hits: s.tile_hits,
         residency_hit_rate: hit_rate,
+        tile_writes_per_request: s.tile_writes as f64 / s.completed.max(1) as f64,
         batches_dispatched: s.batches_dispatched,
         requests_batched: s.requests_batched,
+        admission_reorders: s.admission_reorders,
         spot_checks: checked,
         spot_check_mismatches: mismatches,
     };
+    RunOutcome { report, served }
+}
+
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T>
+where
+    T::Err: std::fmt::Debug,
+{
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{flag}: {e:?}")))
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let requests: usize = arg_value(&args, "--requests").unwrap_or(if smoke { 400 } else { 4_000 });
+    let models_n: usize = arg_value(&args, "--models").unwrap_or(12);
+    let zipf_s: f64 = arg_value(&args, "--zipf").unwrap_or(1.1);
+    // 0 = open loop (default); N = closed loop with N requests in flight.
+    let window: usize = arg_value(&args, "--window").unwrap_or(0);
+    let policies: Vec<AdmissionPolicyKind> = arg_value::<String>(&args, "--policies")
+        .map(|csv| {
+            csv.split(',')
+                .map(|p| {
+                    AdmissionPolicyKind::parse(p.trim())
+                        .unwrap_or_else(|| panic!("unknown policy {p:?}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| AdmissionPolicyKind::ALL.to_vec());
+
+    let mut config = RuntimeConfig::paper();
+    if let Some(ms) = arg_value::<u64>(&args, "--max-delay-ms") {
+        config.max_delay = Duration::from_millis(ms);
+    }
+    // Open loop drains a deep backlog, so live requests get a horizon
+    // far past the full run; closed loop keeps queueing bounded, so
+    // deadlines can be tight enough to mean something.
+    let deadline_horizon = if window == 0 {
+        Duration::from_secs(600)
+    } else {
+        Duration::from_millis(2_500)
+    };
 
     println!(
-        "  served {} ok + {} deadline-rejected in {:.2} s → {:.0} req/s",
-        report.completed, report.rejected_deadline, wall, report.throughput_req_per_s
+        "BENCH_runtime — {requests} requests/policy over {models_n} Zipf(s={zipf_s}) models, \
+         {} devices (batch ≤ {}), {} driver, policies: {}",
+        config.devices,
+        config.max_batch,
+        if window == 0 {
+            "open-loop".to_owned()
+        } else {
+            format!("closed-loop({window})")
+        },
+        policies
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(","),
     );
-    println!(
-        "  latency p50 {:.1} ms, p99 {:.1} ms; {:.2} nJ and {:.1} ns of modeled \
-         device time per request",
-        report.latency_p50_s * 1e3,
-        report.latency_p99_s * 1e3,
-        report.energy_per_request_j * 1e9,
-        report.device_time_per_request_s * 1e9,
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let models = model_set(config.core, models_n, &mut rng);
+    let stream = build_stream(&models, requests, zipf_s, &mut rng);
+
+    let mut reports: Vec<PolicyReport> = Vec::new();
+    let mut baseline_outputs: Option<Vec<Option<Response>>> = None;
+    let mut cross_identical = true;
+    for &kind in &policies {
+        let outcome = run_policy(
+            config.with_policy(kind),
+            &models,
+            &stream,
+            window,
+            deadline_horizon,
+        );
+        let r = &outcome.report;
+        println!(
+            "  {:>9}: {:>6.0} req/s | hit rate {:>5.1}% ({} writes, {} hits) | \
+             p50 {:>7.1} ms, p99 {:>8.1} ms | {:.2} nJ/req ({:.3} nJ writes) | \
+             {} reorders, {} misses",
+            r.policy,
+            r.throughput_req_per_s,
+            r.residency_hit_rate * 100.0,
+            r.tile_writes,
+            r.tile_hits,
+            r.latency_p50_s * 1e3,
+            r.latency_p99_s * 1e3,
+            r.energy_per_request_j * 1e9,
+            r.write_energy_per_request_j * 1e9,
+            r.admission_reorders,
+            r.deadline_misses,
+        );
+        // Admission order must never change what a request computes:
+        // every policy's served outputs are bit-identical to the
+        // first's (only pairs served under both are comparable — a miss
+        // under one policy is an ordering difference, not a compute
+        // difference).
+        match &baseline_outputs {
+            None => baseline_outputs = Some(outcome.served),
+            Some(base) => {
+                let same = base.iter().zip(&outcome.served).all(|(a, b)| match (a, b) {
+                    (Some(x), Some(y)) => x.outputs == y.outputs,
+                    _ => true,
+                });
+                cross_identical &= same;
+            }
+        }
+        reports.push(outcome.report);
+    }
+    assert!(
+        cross_identical,
+        "policies disagreed on served outputs — accumulation must be order-independent"
     );
-    println!(
-        "  residency: {} writes / {} hits ({:.0}% hit rate); {} batches, \
-         {} requests shared one",
-        report.tile_writes,
-        report.tile_hits,
-        hit_rate * 100.0,
-        report.batches_dispatched,
-        report.requests_batched,
-    );
-    println!("  [check] conservation ok, {checked} spot checks bit-identical");
+
+    let fifo = reports.iter().find(|r| r.policy == "fifo");
+    let residency = reports.iter().find(|r| r.policy == "residency");
+    let (hit_gain, write_cut) = match (fifo, residency) {
+        (Some(f), Some(r)) => (
+            r.residency_hit_rate / f.residency_hit_rate.max(f64::MIN_POSITIVE),
+            f.write_energy_per_request_j / r.write_energy_per_request_j.max(f64::MIN_POSITIVE),
+        ),
+        _ => (f64::NAN, f64::NAN),
+    };
+    if let (Some(f), Some(r)) = (fifo, residency) {
+        println!(
+            "  residency vs fifo: {hit_gain:.2}x hit rate, {write_cut:.2}x lower write energy, \
+             misses {} vs {}",
+            r.deadline_misses, f.deadline_misses
+        );
+        assert!(
+            r.deadline_misses <= f.deadline_misses,
+            "residency-aware admission must not add deadline misses \
+             ({} vs fifo's {})",
+            r.deadline_misses,
+            f.deadline_misses
+        );
+        if !smoke {
+            assert!(
+                hit_gain >= 1.5,
+                "acceptance: residency hit rate must be >= 1.5x fifo, got {hit_gain:.2}x"
+            );
+        }
+    }
+    println!("  [check] conservation, spot checks, and cross-policy bit-identity ok");
+
+    let report = BenchReport {
+        id: "bench_runtime".to_owned(),
+        title: "Admission-policy comparison on a Zipf-skewed photonic serving pool".to_owned(),
+        smoke,
+        devices: config.devices,
+        queue_depth: config.queue_depth,
+        max_batch: config.max_batch,
+        max_delay_ms: u64::try_from(config.max_delay.as_millis()).unwrap_or(u64::MAX),
+        requests_per_policy: requests,
+        models: models_n,
+        zipf_s,
+        open_loop: window == 0,
+        window,
+        policies: reports,
+        hit_rate_gain_residency_over_fifo: hit_gain,
+        write_energy_cut_residency_over_fifo: write_cut,
+        cross_policy_outputs_identical: cross_identical,
+    };
 
     // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 mod executor;
 mod metrics;
 mod pool;
@@ -47,6 +48,10 @@ mod request;
 mod scheduler;
 mod tile;
 
+pub use admission::{
+    AdmissionPolicy, AdmissionPolicyKind, DispatchContext, EarliestDeadlineFirst, Fifo, GroupView,
+    PendingItem, PendingQueues, ResidencyAware,
+};
 pub use executor::TileExecutor;
 pub use metrics::{AtomicF64, LatencyHistogram, MetricsRegistry, MetricsSnapshot};
 pub use pool::{DeviceGuard, DevicePool};

@@ -54,8 +54,14 @@ impl LatencyHistogram {
         self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1e9
     }
 
-    /// The latency at quantile `q ∈ [0, 1]`, in seconds, resolved to the
-    /// upper edge of its log₂ bucket (0 when empty).
+    /// The latency at quantile `q ∈ [0, 1]`, in seconds, interpolated
+    /// linearly within its log₂ bucket (0 when empty).
+    ///
+    /// Bucket `i` spans `[2^i, 2^{i+1})` ns; the rank's position among
+    /// the bucket's samples places the estimate between those edges, so
+    /// quantiles no longer snap to powers of two (a bucket holding the
+    /// single top-ranked sample still reports its upper edge, matching
+    /// the pre-interpolation behaviour).
     ///
     /// # Panics
     ///
@@ -70,9 +76,13 @@ impl LatencyHistogram {
         let rank = (q * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
+            let here = bucket.load(Ordering::Relaxed);
+            seen += here;
             if seen >= rank {
-                return 2f64.powi(i as i32 + 1) / 1e9;
+                let lower = 2f64.powi(i as i32);
+                let upper = 2f64.powi(i as i32 + 1);
+                let position = (rank - (seen - here)) as f64 / here as f64;
+                return (lower + (upper - lower) * position) / 1e9;
             }
         }
         2f64.powi(BUCKETS as i32) / 1e9
@@ -128,6 +138,9 @@ pub struct MetricsRegistry {
     pub batches_dispatched: AtomicU64,
     /// Requests that shared a batch with at least one other request.
     pub requests_batched: AtomicU64,
+    /// Batches the admission policy dispatched out of strict arrival
+    /// order (0 under FIFO).
+    pub admission_reorders: AtomicU64,
     /// Tiles streamed through the optical write path.
     pub tile_writes: AtomicU64,
     /// Tile loads avoided by residency.
@@ -136,6 +149,9 @@ pub struct MetricsRegistry {
     pub latency: LatencyHistogram,
     /// Modeled hardware energy charged to completed requests, J.
     pub energy_j: AtomicF64,
+    /// The pSRAM tile-write share of [`MetricsRegistry::energy_j`] — the
+    /// component residency-aware admission exists to cut.
+    pub write_energy_j: AtomicF64,
     /// Modeled hardware time charged to completed requests, s.
     pub device_time_s: AtomicF64,
 }
@@ -157,6 +173,8 @@ pub struct MetricsSnapshot {
     pub batches_dispatched: u64,
     /// Requests that shared a batch with at least one other request.
     pub requests_batched: u64,
+    /// Batches dispatched out of strict arrival order (0 under FIFO).
+    pub admission_reorders: u64,
     /// Tiles streamed through the optical write path.
     pub tile_writes: u64,
     /// Tile loads avoided by residency.
@@ -169,6 +187,8 @@ pub struct MetricsSnapshot {
     pub latency_p99_s: f64,
     /// Modeled hardware energy charged to completed requests, J.
     pub energy_j: f64,
+    /// The pSRAM tile-write share of `energy_j`.
+    pub write_energy_j: f64,
     /// Modeled hardware time charged to completed requests, s.
     pub device_time_s: f64,
 }
@@ -185,12 +205,14 @@ impl MetricsRegistry {
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
             requests_batched: self.requests_batched.load(Ordering::Relaxed),
+            admission_reorders: self.admission_reorders.load(Ordering::Relaxed),
             tile_writes: self.tile_writes.load(Ordering::Relaxed),
             tile_hits: self.tile_hits.load(Ordering::Relaxed),
             latency_mean_s: self.latency.mean_s(),
             latency_p50_s: self.latency.quantile_s(0.5),
             latency_p99_s: self.latency.quantile_s(0.99),
             energy_j: self.energy_j.get(),
+            write_energy_j: self.write_energy_j.get(),
             device_time_s: self.device_time_s.get(),
         }
     }
@@ -216,6 +238,32 @@ mod tests {
         let p100 = h.quantile_s(1.0);
         assert!(p100 >= 1.0, "max must see the outlier, got {p100}");
         assert!(h.mean_s() > 0.009 && h.mean_s() < 0.011);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_their_bucket() {
+        // 100 identical 1000 ns samples all land in bucket 9
+        // ([512, 1024) ns): rank r interpolates to 512 + 512·(r/100).
+        let h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        assert!((h.quantile_s(0.5) - 768e-9).abs() < 1e-15, "mid-bucket p50");
+        assert!(
+            (h.quantile_s(0.25) - 640e-9).abs() < 1e-15,
+            "quarter-bucket p25"
+        );
+        assert!((h.quantile_s(1.0) - 1024e-9).abs() < 1e-15, "full bucket");
+        // A single top-ranked sample still resolves to its bucket's
+        // upper edge (the pre-interpolation convention).
+        let h = LatencyHistogram::default();
+        h.record(1_000);
+        h.record(1_000_000_000); // bucket 29: [2^29, 2^30) ns
+        let p100 = h.quantile_s(1.0);
+        assert!((p100 - 2f64.powi(30) / 1e9).abs() < 1e-12);
+        // And the two-sample median sits at bucket 9's upper edge, not
+        // snapped to a whole power of two of seconds.
+        assert!((h.quantile_s(0.5) - 1024e-9).abs() < 1e-15);
     }
 
     #[test]

@@ -35,6 +35,14 @@ impl MatmulRequest {
         self
     }
 
+    /// The remaining slack until the deadline at `now`: `None` for a
+    /// deadline-free request, `Some(ZERO)` once the deadline has passed.
+    /// Admission policies reorder only within this slack.
+    #[must_use]
+    pub fn deadline_slack(&self, now: Instant) -> Option<std::time::Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(now))
+    }
+
     /// Validates shapes and input ranges, returning a typed error instead
     /// of panicking (the serving path must never bring a worker down on
     /// bad user input).
@@ -191,6 +199,21 @@ mod tests {
             MatmulRequest::new(m, vec![vec![1.5; 8]]).validate(),
             Err(RuntimeError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn deadline_slack_saturates_at_zero() {
+        use std::time::Duration;
+        let now = Instant::now();
+        let req = MatmulRequest::new(matrix(), vec![vec![0.5; 8]]);
+        assert_eq!(req.deadline_slack(now), None, "no deadline, no slack");
+        let req = req.with_deadline(now + Duration::from_secs(2));
+        assert_eq!(req.deadline_slack(now), Some(Duration::from_secs(2)));
+        assert_eq!(
+            req.deadline_slack(now + Duration::from_secs(3)),
+            Some(Duration::ZERO),
+            "expired deadlines report zero slack, not a panic"
+        );
     }
 
     #[test]

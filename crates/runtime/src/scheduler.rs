@@ -21,15 +21,15 @@
 //! with [`RuntimeError::DeadlineExpired`]; dropping the [`Runtime`]
 //! drains in-flight work and joins every thread.
 
+use crate::admission::{AdmissionPolicyKind, DispatchContext, PendingItem, PendingQueues};
 use crate::metrics::MetricsRegistry;
 use crate::pool::DevicePool;
 use crate::request::{MatmulRequest, RequestCost, Response, RuntimeError};
 use pic_tensor::TensorCoreConfig;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Sizing of a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,11 +46,19 @@ pub struct RuntimeConfig {
     /// Bound of each worker's queue; keeps the dispatcher from running
     /// far ahead of slow devices.
     pub worker_queue_depth: usize,
+    /// Which admission policy orders pending groups at dispatch.
+    pub policy: AdmissionPolicyKind,
+    /// The [`ResidencyAware`](crate::admission::ResidencyAware) policy's
+    /// starvation bound: no pending group is delayed more than this past
+    /// its strict-FIFO turn, and deadlines within this horizon are never
+    /// reordered behind warm traffic. Ignored by the other policies.
+    pub max_delay: Duration,
 }
 
 impl RuntimeConfig {
     /// The evaluation setup: four paper-scale cores, a 1024-deep intake
-    /// queue, batches of up to 8 same-matrix requests.
+    /// queue, batches of up to 8 same-matrix requests, residency-aware
+    /// admission bounded at 400 ms of reordering slack.
     #[must_use]
     pub fn paper() -> Self {
         RuntimeConfig {
@@ -59,7 +67,16 @@ impl RuntimeConfig {
             queue_depth: 1024,
             max_batch: 8,
             worker_queue_depth: 2,
+            policy: AdmissionPolicyKind::ResidencyAware,
+            max_delay: Duration::from_millis(400),
         }
+    }
+
+    /// The same sizing with a different admission policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: AdmissionPolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Validates the sizing.
@@ -73,6 +90,10 @@ impl RuntimeConfig {
         assert!(self.queue_depth > 0, "intake queue must have capacity");
         assert!(self.max_batch > 0, "batches hold at least one request");
         assert!(self.worker_queue_depth > 0, "worker queues need capacity");
+        assert!(
+            self.max_delay > Duration::ZERO,
+            "a zero starvation bound degenerates to FIFO; configure Fifo instead"
+        );
     }
 }
 
@@ -81,6 +102,20 @@ struct Submission {
     request: MatmulRequest,
     respond: SyncSender<Result<Response, RuntimeError>>,
     submitted_at: Instant,
+}
+
+impl PendingItem for Submission {
+    fn matrix_id(&self) -> u64 {
+        self.request.matrix.id()
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.request.deadline
+    }
+
+    fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
 }
 
 /// A same-matrix group of submissions bound for one worker.
@@ -115,6 +150,23 @@ impl ResponseHandle {
             Ok(result) => Some(result),
             Err(std::sync::mpsc::TryRecvError::Empty) => None,
             Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(RuntimeError::WorkerLost)),
+        }
+    }
+
+    /// Blocks up to `timeout` for the response; `None` if it has not
+    /// arrived by then (the handle stays usable — no busy-spinning
+    /// [`ResponseHandle::try_wait`] loops needed).
+    ///
+    /// # Errors
+    ///
+    /// Like [`ResponseHandle::wait`] once the response is in.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, RuntimeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(RuntimeError::WorkerLost))
+            }
         }
     }
 }
@@ -293,12 +345,18 @@ fn dispatcher_loop(
     let mut affinity: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     let mut sticky_count = vec![0usize; config.devices];
     let sticky_limit = 2 * config.max_batch;
-    let mut pending: VecDeque<Submission> = VecDeque::new();
+    // Pending work lives in per-matrix indexed queues; the configured
+    // admission policy picks which group dispatches next, and forming a
+    // batch is an O(batch) pop from that group — never a scan over the
+    // whole backlog.
+    let mut policy = config.policy.build(config.max_delay);
+    let mut pending: PendingQueues<Submission> = PendingQueues::new();
+    let mut last_dispatched: Option<u64> = None;
     let mut open = true;
     while open || !pending.is_empty() {
         if pending.is_empty() {
             match intake.recv() {
-                Ok(s) => pending.push_back(s),
+                Ok(s) => pending.push(s),
                 Err(_) => {
                     open = false;
                     continue;
@@ -309,20 +367,30 @@ fn dispatcher_loop(
         // backlog, not one request at a time.
         if open {
             while let Ok(s) = intake.try_recv() {
-                pending.push_back(s);
+                pending.push(s);
             }
         }
-        let first = pending.pop_front().expect("checked non-empty");
-        let matrix_id = first.request.matrix.id();
-        let mut group = vec![first];
-        let mut i = 0;
-        while group.len() < config.max_batch && i < pending.len() {
-            if pending[i].request.matrix.id() == matrix_id {
-                group.push(pending.remove(i).expect("index in range"));
-            } else {
-                i += 1;
-            }
+        let views = pending.views();
+        let backlog: Vec<usize> = outstanding
+            .iter()
+            .map(|o| o.load(Ordering::Relaxed))
+            .collect();
+        let ctx = DispatchContext {
+            worker_backlog: &backlog,
+            affinity: &affinity,
+            sticky_limit,
+            last_dispatched,
+        };
+        let picked = policy
+            .select(&views, &ctx, Instant::now())
+            .min(views.len() - 1);
+        if picked != 0 {
+            metrics.admission_reorders.fetch_add(1, Ordering::Relaxed);
         }
+        let matrix_id = views[picked].matrix_id;
+        let group = pending.take(matrix_id, config.max_batch);
+        debug_assert!(!group.is_empty(), "selected group has pending work");
+        last_dispatched = Some(matrix_id);
         metrics.batches_dispatched.fetch_add(1, Ordering::Relaxed);
         if group.len() > 1 {
             metrics
@@ -400,6 +468,7 @@ fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry) {
                 .tile_hits
                 .fetch_add(cost.tiles_resident as u64, Ordering::Relaxed);
             metrics.energy_j.add(cost.total_energy_j());
+            metrics.write_energy_j.add(cost.write_energy_j);
             metrics.device_time_s.add(cost.total_time_s());
             let batched_with = live.len();
             let finished = Instant::now();
@@ -454,6 +523,8 @@ mod tests {
             queue_depth: 64,
             max_batch: 4,
             worker_queue_depth: 2,
+            policy: AdmissionPolicyKind::ResidencyAware,
+            max_delay: Duration::from_millis(100),
         })
     }
 
@@ -553,6 +624,41 @@ mod tests {
             Err(RuntimeError::InvalidRequest(_))
         ));
         assert_eq!(rt.metrics().snapshot().rejected_invalid, 1);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_delivers() {
+        // A handle wired to a raw channel: nothing arrives within the
+        // timeout, then the response does.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let handle = ResponseHandle { rx };
+        assert!(
+            handle.wait_timeout(Duration::from_millis(10)).is_none(),
+            "timeout before anything is sent"
+        );
+        tx.send(Err(RuntimeError::QueueFull)).expect("send");
+        match handle.wait_timeout(Duration::from_millis(10)) {
+            Some(Err(RuntimeError::QueueFull)) => {}
+            other => panic!("expected the queued response, got {other:?}"),
+        }
+        // A dropped sender surfaces as WorkerLost, not a hang.
+        drop(tx);
+        assert!(matches!(
+            handle.wait_timeout(Duration::from_millis(10)),
+            Some(Err(RuntimeError::WorkerLost))
+        ));
+        // And against a live runtime: a served request arrives within a
+        // generous timeout.
+        let rt = small_runtime(1);
+        let m = matrix(4, 4);
+        let h = rt
+            .submit_blocking(MatmulRequest::new(m, vec![vec![0.5; 4]]))
+            .expect("accepted");
+        let resp = h
+            .wait_timeout(Duration::from_secs(30))
+            .expect("served within timeout")
+            .expect("request succeeds");
+        assert_eq!(resp.outputs.len(), 1);
     }
 
     #[test]

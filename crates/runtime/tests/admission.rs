@@ -1,0 +1,247 @@
+//! Property tests on admission policies: the starvation bound, deadline
+//! safety within slack, FIFO degeneration, and cross-policy
+//! bit-identity of served results (order-independence of the digital
+//! post-ADC accumulation).
+
+use pic_runtime::{
+    AdmissionPolicy, AdmissionPolicyKind, DispatchContext, GroupView, MatmulRequest,
+    ResidencyAware, Runtime, RuntimeConfig, TileShape, TiledMatrix,
+};
+use pic_tensor::TensorCoreConfig;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_DELAY: Duration = Duration::from_millis(200);
+
+/// A synthetic pending-group population at a fixed observation instant.
+/// `deadline_ms[i]`: 0 = no deadline, else deadline at `t0 + that - 250 ms`
+/// (so some groups are urgent, some comfortable).
+fn build_views(t0: Instant, deadline_ms: &[u32]) -> Vec<GroupView> {
+    deadline_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| GroupView {
+            matrix_id: 100 + i as u64,
+            head_seq: i as u64,
+            len: 1 + i % 3,
+            oldest_submitted_at: t0,
+            earliest_deadline: (d > 0)
+                .then(|| t0 + Duration::from_millis(u64::from(d)) - Duration::from_millis(250)),
+        })
+        .collect()
+}
+
+fn context<'a>(
+    affinity: &'a HashMap<u64, usize>,
+    backlog: &'a [usize],
+    last: Option<u64>,
+) -> DispatchContext<'a> {
+    DispatchContext {
+        worker_backlog: backlog,
+        affinity,
+        sticky_limit: 16,
+        last_dispatched: last,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Starvation bound: once the arrival-order front group has been the
+    /// front for `max_delay`, ResidencyAware serves it — no matter how
+    /// warm or urgent the rest of the population looks.
+    #[test]
+    fn residency_never_starves_the_front_past_max_delay(
+        deadlines in proptest::collection::vec(0u32..800, 2..7),
+        warm_mask in proptest::collection::vec(0u32..2, 2..7),
+    ) {
+        let t0 = Instant::now();
+        let views = build_views(t0, &deadlines);
+        let affinity: HashMap<u64, usize> = views
+            .iter()
+            .zip(&warm_mask)
+            .filter(|(_, &w)| w == 1)
+            .map(|(v, _)| (v.matrix_id, 0usize))
+            .collect();
+        let backlog = [0usize];
+        let last = views.last().map(|v| v.matrix_id);
+        let ctx = context(&affinity, &backlog, last);
+        let mut policy = ResidencyAware::new(MAX_DELAY);
+        // First observation arms the starvation clock for the front…
+        let _ = policy.select(&views, &ctx, t0);
+        // …and past max_delay the front must win unconditionally.
+        let late = t0 + MAX_DELAY + Duration::from_millis(1);
+        prop_assert_eq!(policy.select(&views, &ctx, late), 0);
+    }
+
+    /// Deadline safety: while nothing is starving, any group due within
+    /// the reorder horizon is served most-urgent-first — a group with
+    /// slack is never dispatched ahead of one without.
+    #[test]
+    fn residency_serves_the_most_urgent_group_within_slack(
+        deadlines in proptest::collection::vec(0u32..800, 2..7),
+        warm_mask in proptest::collection::vec(0u32..2, 2..7),
+    ) {
+        let t0 = Instant::now();
+        let views = build_views(t0, &deadlines);
+        let affinity: HashMap<u64, usize> = views
+            .iter()
+            .zip(&warm_mask)
+            .filter(|(_, &w)| w == 1)
+            .map(|(v, _)| (v.matrix_id, 0usize))
+            .collect();
+        let backlog = [0usize];
+        let ctx = context(&affinity, &backlog, views.last().map(|v| v.matrix_id));
+        let mut policy = ResidencyAware::new(MAX_DELAY);
+        let picked = policy.select(&views, &ctx, t0);
+        let horizon = t0 + MAX_DELAY;
+        let urgent: Vec<&GroupView> = views
+            .iter()
+            .filter(|v| v.earliest_deadline.is_some_and(|d| d <= horizon))
+            .collect();
+        if let Some(most_urgent) = urgent
+            .iter()
+            .min_by_key(|v| (v.earliest_deadline, v.head_seq))
+        {
+            prop_assert_eq!(
+                views[picked].matrix_id,
+                most_urgent.matrix_id,
+                "urgent deadlines dispatch most-urgent-first"
+            );
+        }
+    }
+
+    /// With no deadlines and no warm workers, ResidencyAware degenerates
+    /// to strict FIFO (and Fifo itself is FIFO by construction).
+    #[test]
+    fn residency_without_context_is_fifo(
+        group_count in 1usize..7,
+    ) {
+        let t0 = Instant::now();
+        let views = build_views(t0, &vec![0u32; group_count]);
+        let affinity = HashMap::new();
+        let backlog = [0usize];
+        let ctx = context(&affinity, &backlog, None);
+        let mut policy = ResidencyAware::new(MAX_DELAY);
+        prop_assert_eq!(policy.select(&views, &ctx, t0), 0);
+        let mut fifo = AdmissionPolicyKind::Fifo.build(MAX_DELAY);
+        prop_assert_eq!(fifo.select(&views, &ctx, t0), 0);
+    }
+
+    /// EDF picks the globally tightest deadline; deadline-free groups
+    /// rank behind every deadlined one.
+    #[test]
+    fn edf_picks_the_tightest_deadline(
+        deadlines in proptest::collection::vec(0u32..800, 1..7),
+    ) {
+        let t0 = Instant::now();
+        let views = build_views(t0, &deadlines);
+        let affinity = HashMap::new();
+        let backlog = [0usize];
+        let ctx = context(&affinity, &backlog, None);
+        let mut edf = AdmissionPolicyKind::EarliestDeadlineFirst.build(MAX_DELAY);
+        let picked = &views[edf.select(&views, &ctx, t0)];
+        match views
+            .iter()
+            .filter(|v| v.earliest_deadline.is_some())
+            .min_by_key(|v| (v.earliest_deadline, v.head_seq))
+        {
+            Some(want) => prop_assert_eq!(picked.matrix_id, want.matrix_id),
+            None => prop_assert_eq!(picked.head_seq, 0, "all deadline-free: FIFO"),
+        }
+    }
+}
+
+/// A request against one of the shared matrices: (matrix index, inputs).
+type WorkItem = (usize, Vec<Vec<f64>>);
+
+/// A small mixed workload: a few shared matrices, Zipf-flavoured skew.
+fn workload(seed: u64) -> (Vec<Arc<TiledMatrix>>, Vec<WorkItem>) {
+    let cfg = TensorCoreConfig::small_demo();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shapes = [(4, 4), (4, 4), (10, 7), (8, 8)];
+    let matrices: Vec<Arc<TiledMatrix>> = shapes
+        .iter()
+        .map(|&(out, inp)| {
+            let codes: Vec<Vec<u32>> = (0..out)
+                .map(|_| (0..inp).map(|_| rng.gen_range(0..=7u32)).collect())
+                .collect();
+            Arc::new(TiledMatrix::from_codes(
+                &codes,
+                cfg.weight_bits,
+                TileShape::new(cfg.rows, cfg.cols),
+            ))
+        })
+        .collect();
+    let requests = (0..36)
+        .map(|_| {
+            // Skew toward the first two matrices, like real serving.
+            let which = if rng.gen_range(0..10) < 7 {
+                rng.gen_range(0..2)
+            } else {
+                rng.gen_range(2..matrices.len())
+            };
+            let inputs = (0..rng.gen_range(1..=2))
+                .map(|_| {
+                    (0..matrices[which].in_dim())
+                        .map(|_| rng.gen_range(0.0..=1.0))
+                        .collect()
+                })
+                .collect();
+            (which, inputs)
+        })
+        .collect();
+    (matrices, requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// End-to-end: every policy serves the same workload with
+    /// bit-identical per-request outputs (the digital accumulation is
+    /// order-independent), and ResidencyAware never expires a request
+    /// whose deadline had comfortable slack at admission.
+    #[test]
+    fn policies_are_bit_identical_and_deadline_safe(seed in 0u64..1000) {
+        let (matrices, requests) = workload(seed);
+        let mut per_policy: Vec<Vec<Vec<Vec<pic_runtime::OutputElement>>>> = Vec::new();
+        for kind in AdmissionPolicyKind::ALL {
+            let rt = Runtime::start(RuntimeConfig {
+                core: TensorCoreConfig::small_demo(),
+                devices: 2,
+                queue_depth: 64,
+                max_batch: 4,
+                worker_queue_depth: 2,
+                policy: kind,
+                max_delay: Duration::from_millis(50),
+            });
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|(which, inputs)| {
+                    // Slack far beyond the drain time of 36 tiny requests:
+                    // reordering must never turn it into a miss.
+                    let req = MatmulRequest::new(Arc::clone(&matrices[*which]), inputs.clone())
+                        .with_deadline(Instant::now() + Duration::from_secs(120));
+                    rt.submit_blocking(req).expect("accepted")
+                })
+                .collect();
+            let outputs: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    h.wait()
+                        .unwrap_or_else(|e| panic!("{} lost a slack-rich request: {e}", kind.label()))
+                        .outputs
+                })
+                .collect();
+            let s = rt.metrics().snapshot();
+            prop_assert_eq!(s.rejected_deadline, 0, "no deadline miss under {}", kind.label());
+            prop_assert_eq!(s.completed, requests.len() as u64);
+            per_policy.push(outputs);
+        }
+        prop_assert_eq!(&per_policy[0], &per_policy[1], "fifo vs residency");
+        prop_assert_eq!(&per_policy[0], &per_policy[2], "fifo vs edf");
+    }
+}

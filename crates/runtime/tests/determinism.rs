@@ -56,6 +56,8 @@ fn serve(
         queue_depth: 128,
         max_batch: 8,
         worker_queue_depth: 2,
+        policy: pic_runtime::AdmissionPolicyKind::ResidencyAware,
+        max_delay: std::time::Duration::from_millis(100),
     });
     let handles: Vec<_> = requests
         .iter()
