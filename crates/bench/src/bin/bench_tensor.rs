@@ -4,8 +4,15 @@
 //! optical walk at the demo (4×4) and paper (16×16) scales, and writes
 //! `BENCH_tensor.json` at the workspace root. The cached 16×16 matvec
 //! must clear a 3× speed-up over the uncached baseline.
+//!
+//! Passing `--check <baseline.json>` turns the run into a regression
+//! gate: after measuring, the throughput metrics are compared against
+//! the committed baseline and the process exits non-zero if any metric
+//! falls more than `--tolerance` (default 0.30) below it. The baseline
+//! is read *before* the report is written, so the gate can point at the
+//! same `BENCH_tensor.json` the run refreshes.
 
-use pic_tensor::{TensorCore, TensorCoreConfig};
+use pic_tensor::{FlatBatch, FlatCodes, TensorCore, TensorCoreConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -29,7 +36,7 @@ fn ns_per_call<F: FnMut()>(mut f: F) -> f64 {
     }
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct SizeReport {
     size: String,
     matvec_cached_ns: f64,
@@ -40,9 +47,13 @@ struct SizeReport {
     matmul_ns: f64,
     matmul_samples_per_s: f64,
     matmul_serial_ns: f64,
+    /// The allocation-free path: `matmul_into` over a reused
+    /// [`FlatBatch`]/[`FlatCodes`] pair.
+    matmul_flat_ns: f64,
+    matmul_flat_samples_per_s: f64,
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct BenchReport {
     id: String,
     title: String,
@@ -71,6 +82,9 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
     let batch: Vec<Vec<f64>> = (0..32)
         .map(|k| (0..n).map(|i| ((i + k) % n) as f64 / n as f64).collect())
         .collect();
+    let mut flat_in = FlatBatch::new();
+    flat_in.fill_from_rows(&batch, n);
+    let mut flat_out = FlatCodes::new();
 
     let matvec_cached_ns = ns_per_call(|| {
         std::hint::black_box(core.matvec_analog(std::hint::black_box(&x)));
@@ -84,6 +98,10 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
     let matmul_serial_ns = ns_per_call(|| {
         std::hint::black_box(serial.matmul(std::hint::black_box(&batch)));
     });
+    let matmul_flat_ns = ns_per_call(|| {
+        core.matmul_into(std::hint::black_box(flat_in.view()), &mut flat_out);
+        std::hint::black_box(flat_out.as_slice());
+    });
 
     let report = SizeReport {
         size: label.to_owned(),
@@ -95,21 +113,92 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
         matmul_ns,
         matmul_samples_per_s: batch.len() as f64 * 1e9 / matmul_ns,
         matmul_serial_ns,
+        matmul_flat_ns,
+        matmul_flat_samples_per_s: batch.len() as f64 * 1e9 / matmul_flat_ns,
     };
     println!(
         "  {label:>6}: matvec {:.0} ns cached / {:.0} ns uncached ({:.1}×), \
-         matmul({}) {:.1} µs ({:.0} samples/s)",
+         matmul({}) {:.1} µs ({:.0} samples/s), flat {:.1} µs ({:.0} samples/s)",
         report.matvec_cached_ns,
         report.matvec_uncached_ns,
         report.cached_speedup,
         report.matmul_batch,
         report.matmul_ns / 1e3,
         report.matmul_samples_per_s,
+        report.matmul_flat_ns / 1e3,
+        report.matmul_flat_samples_per_s,
     );
     report
 }
 
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T>
+where
+    T::Err: std::fmt::Debug,
+{
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{flag}: {e:?}")))
+}
+
+/// Every throughput metric that must not regress, `(name, baseline,
+/// current)`, for one size.
+fn throughput_metrics<'a>(
+    base: &'a SizeReport,
+    now: &'a SizeReport,
+) -> [(&'static str, f64, f64); 3] {
+    [
+        ("matvec_per_s", base.matvec_per_s, now.matvec_per_s),
+        (
+            "matmul_samples_per_s",
+            base.matmul_samples_per_s,
+            now.matmul_samples_per_s,
+        ),
+        (
+            "matmul_flat_samples_per_s",
+            base.matmul_flat_samples_per_s,
+            now.matmul_flat_samples_per_s,
+        ),
+    ]
+}
+
+/// Compares the run against a committed baseline; returns one line per
+/// metric that fell more than `tolerance` below it.
+fn regressions(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in &baseline.sizes {
+        let Some(now) = current.sizes.iter().find(|s| s.size == base.size) else {
+            failures.push(format!("size {} missing from the current run", base.size));
+            continue;
+        };
+        for (metric, was, is) in throughput_metrics(base, now) {
+            if is < was * (1.0 - tolerance) {
+                failures.push(format!(
+                    "{} {metric}: {is:.0}/s is {:.0}% below the {was:.0}/s baseline \
+                     (tolerance {:.0}%)",
+                    base.size,
+                    (1.0 - is / was) * 100.0,
+                    tolerance * 100.0,
+                ));
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check: Option<String> = arg_value(&args, "--check");
+    let tolerance: f64 = arg_value(&args, "--tolerance").unwrap_or(0.30);
+    // Read the baseline up front: `--check` may (and in CI does) point at
+    // the very file this run is about to overwrite.
+    let baseline: Option<BenchReport> = check.as_ref().map(|path| {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check {path}: cannot read baseline: {e}"));
+        serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("--check {path}: baseline does not parse: {e:?}"))
+    });
+
     println!("BENCH_tensor — cached compute-engine throughput");
     let sizes = vec![
         measure("4x4", TensorCoreConfig::small_demo()),
@@ -138,4 +227,19 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write(&path, json).expect("write BENCH_tensor.json");
     println!("  [written {}]", path.display());
+
+    if let Some(baseline) = baseline {
+        let failures = regressions(&baseline, &report, tolerance);
+        if failures.is_empty() {
+            println!(
+                "  [check] all throughput metrics within {:.0}% of the baseline ok",
+                tolerance * 100.0
+            );
+        } else {
+            for f in &failures {
+                println!("  [REGRESSION] {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

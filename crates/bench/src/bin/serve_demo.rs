@@ -22,7 +22,11 @@
 //!
 //! Flags: `--smoke` (CI-sized stream), `--requests N` (per policy),
 //! `--policies a,b,c`, `--models M`, `--zipf S`, `--window N`,
-//! `--max-delay-ms D`.
+//! `--max-delay-ms D`. `--check <baseline.json>` compares each
+//! policy's throughput against the committed baseline (read before this
+//! run overwrites it) and exits non-zero when one falls more than
+//! `--tolerance` (default 0.30) below it; a baseline recorded under a
+//! different workload shape is skipped with a note, never compared.
 
 use pic_runtime::{
     AdmissionPolicyKind, MatmulRequest, Response, ResponseHandle, Runtime, RuntimeConfig,
@@ -123,7 +127,7 @@ fn build_stream(
         .collect()
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct PolicyReport {
     policy: String,
     completed: u64,
@@ -151,7 +155,7 @@ struct PolicyReport {
     spot_check_mismatches: usize,
 }
 
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 struct BenchReport {
     id: String,
     title: String,
@@ -335,6 +339,40 @@ where
         .map(|v| v.parse().unwrap_or_else(|e| panic!("{flag}: {e:?}")))
 }
 
+/// Whether a baseline report measured the same workload shape as this
+/// run — only then are its throughput numbers comparable.
+fn same_workload(base: &BenchReport, now: &BenchReport) -> bool {
+    base.requests_per_policy == now.requests_per_policy
+        && base.models == now.models
+        && (base.zipf_s - now.zipf_s).abs() < f64::EPSILON
+        && base.open_loop == now.open_loop
+        && base.window == now.window
+}
+
+/// Per-policy throughputs that fell more than `tolerance` below the
+/// baseline, one line each. Policies absent from either report are
+/// skipped — a policy not rerun is an ordering difference, not a
+/// regression.
+fn regressions(base: &BenchReport, now: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in &base.policies {
+        let Some(n) = now.policies.iter().find(|p| p.policy == b.policy) else {
+            continue;
+        };
+        if n.throughput_req_per_s < b.throughput_req_per_s * (1.0 - tolerance) {
+            failures.push(format!(
+                "{}: {:.0} req/s is {:.0}% below the {:.0} req/s baseline (tolerance {:.0}%)",
+                b.policy,
+                n.throughput_req_per_s,
+                (1.0 - n.throughput_req_per_s / b.throughput_req_per_s) * 100.0,
+                b.throughput_req_per_s,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -354,6 +392,16 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| AdmissionPolicyKind::ALL.to_vec());
+    let check: Option<String> = arg_value(&args, "--check");
+    let tolerance: f64 = arg_value(&args, "--tolerance").unwrap_or(0.30);
+    // Read the baseline up front: `--check` may point at the very file
+    // this run is about to overwrite.
+    let baseline: Option<BenchReport> = check.as_ref().map(|path| {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check {path}: cannot read baseline: {e}"));
+        serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("--check {path}: baseline does not parse: {e:?}"))
+    });
 
     let mut config = RuntimeConfig::paper();
     if let Some(ms) = arg_value::<u64>(&args, "--max-delay-ms") {
@@ -490,13 +538,41 @@ fn main() {
     };
 
     // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    // Smoke runs land in their own file so a quick CI-sized run never
+    // clobbers the committed full-size baseline.
+    let file = if smoke {
+        "BENCH_runtime_smoke.json"
+    } else {
+        "BENCH_runtime.json"
+    };
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let path = root
         .parent()
         .and_then(std::path::Path::parent)
-        .map(|r| r.join("BENCH_runtime.json"))
-        .unwrap_or_else(|| PathBuf::from("BENCH_runtime.json"));
+        .map(|r| r.join(file))
+        .unwrap_or_else(|| PathBuf::from(file));
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write(&path, json).expect("write BENCH_runtime.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
     println!("  [written {}]", path.display());
+
+    if let Some(baseline) = baseline {
+        if !same_workload(&baseline, &report) {
+            println!(
+                "  [check] baseline measured a different workload shape — throughput not compared"
+            );
+        } else {
+            let failures = regressions(&baseline, &report, tolerance);
+            if failures.is_empty() {
+                println!(
+                    "  [check] per-policy throughput within {:.0}% of the baseline ok",
+                    tolerance * 100.0
+                );
+            } else {
+                for f in &failures {
+                    println!("  [REGRESSION] {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -10,7 +10,28 @@
 
 use crate::request::{OutputElement, RequestCost, RuntimeError};
 use crate::tile::{TileKey, TiledMatrix};
-use pic_tensor::{StreamingSchedule, TensorCore, TensorCoreConfig, WriteParallelism};
+use pic_tensor::{
+    FlatBatch, FlatCodes, StreamingSchedule, TensorCore, TensorCoreConfig, WriteParallelism,
+};
+
+/// Reusable per-executor working memory for the tiled execute path.
+///
+/// Every buffer is `reset` (keeping its arena) at the top of a request
+/// and only ever grows to the largest request shape seen, so a device in
+/// steady state performs zero heap allocations per request: input splits,
+/// per-tile ADC codes, and digital accumulators all live here.
+#[derive(Debug, Default)]
+struct ExecScratch {
+    /// Split inputs, tile-column-major: tile column `bc` of a
+    /// `samples`-row batch occupies rows `bc·samples .. (bc+1)·samples`,
+    /// each `shape.cols` wide — so each tile pass reads one contiguous
+    /// zero-copy window.
+    splits: FlatBatch,
+    /// One tile pass's ADC codes (`samples × rows`).
+    codes: FlatCodes,
+    /// Flat `samples × out_dim` digital code accumulators.
+    code_sums: Vec<u32>,
+}
 
 /// One calibrated device executing tiled matmuls.
 #[derive(Debug)]
@@ -24,6 +45,8 @@ pub struct TileExecutor {
     resident: Option<(TileKey, u64)>,
     /// Measured analog/ideal ratio the read-out gain compensates.
     insertion_ratio: f64,
+    /// Reusable request-scoped working memory.
+    scratch: ExecScratch,
 }
 
 impl TileExecutor {
@@ -60,6 +83,7 @@ impl TileExecutor {
             device_id,
             resident: None,
             insertion_ratio: ratio,
+            scratch: ExecScratch::default(),
         }
     }
 
@@ -89,6 +113,18 @@ impl TileExecutor {
     #[must_use]
     pub fn core(&self) -> &TensorCore {
         &self.core
+    }
+
+    /// Bytes of reusable scratch currently held (input splits, per-tile
+    /// codes, digital accumulators) — the steady-state allocation
+    /// high-water mark of the execute path. Stable across repeated
+    /// requests of the same shape, which is exactly the zero-allocation
+    /// contract the tests pin down.
+    #[must_use]
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.splits.capacity() * size_of::<f64>()
+            + self.scratch.codes.capacity() * size_of::<u16>()
+            + self.scratch.code_sums.capacity() * size_of::<u32>()
     }
 
     /// Makes `tile` resident, streaming it through the optical write path
@@ -123,6 +159,28 @@ impl TileExecutor {
         matrix: &TiledMatrix,
         inputs: &[Vec<f64>],
     ) -> Result<(Vec<Vec<OutputElement>>, RequestCost), RuntimeError> {
+        let slices: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        self.execute_slices(matrix, &slices)
+    }
+
+    /// Slice-based form of [`TileExecutor::execute`] — the scheduler's
+    /// entry point, which lets a dispatch batch merge several requests'
+    /// inputs without copying any sample data. All per-request working
+    /// memory comes from the executor's reusable scratch: inputs are
+    /// split once into a tile-column-major flat arena, each tile pass
+    /// reads a contiguous window of it through the core's
+    /// zero-allocation kernel, and code sums accumulate into a flat
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidRequest`] on shape or input-range
+    /// violations — the serving path never panics on request data.
+    pub fn execute_slices(
+        &mut self,
+        matrix: &TiledMatrix,
+        inputs: &[&[f64]],
+    ) -> Result<(Vec<Vec<OutputElement>>, RequestCost), RuntimeError> {
         let config = *self.core.config();
         if matrix.shape().rows != config.rows || matrix.shape().cols != config.cols {
             return Err(RuntimeError::InvalidRequest(format!(
@@ -146,32 +204,59 @@ impl TileExecutor {
                     matrix.in_dim()
                 )));
             }
-            if !x.iter().all(|v| (0.0..=1.0).contains(v)) {
+            // The range check alone happens to reject NaN (comparisons on
+            // NaN are false), but the analog model's safety must not hinge
+            // on comparison semantics — reject non-finite values explicitly.
+            if !x.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)) {
                 return Err(RuntimeError::InvalidRequest(format!(
                     "input {s} leaves the [0, 1] intensity range"
                 )));
             }
         }
 
-        // Split every input into its per-tile-column slices once.
-        let splits: Vec<Vec<Vec<f64>>> = inputs.iter().map(|x| matrix.split_input(x)).collect();
+        // Split every input into its per-tile-column slices once, into the
+        // reusable scratch. Tile-column-major layout: the whole batch for
+        // tile column `bc` is one contiguous run of rows.
+        let samples = inputs.len();
+        let out_dim = matrix.out_dim();
+        self.scratch
+            .splits
+            .reset(matrix.block_cols() * samples, config.cols);
+        for bc in 0..matrix.block_cols() {
+            for (s, x) in inputs.iter().enumerate() {
+                matrix.split_column_into(x, bc, self.scratch.splits.row_mut(bc * samples + s));
+            }
+        }
+        self.scratch.code_sums.clear();
+        self.scratch.code_sums.resize(samples * out_dim, 0);
 
-        let mut code_sums = vec![vec![0u32; matrix.out_dim()]; inputs.len()];
         let mut write_energy = 0.0;
         let mut written = 0usize;
+        let mut written_row_slots = 0usize;
         for br in 0..matrix.block_rows() {
-            let rows_here = (matrix.out_dim() - br * config.rows).min(config.rows);
+            let rows_here = (out_dim - br * config.rows).min(config.rows);
             for bc in 0..matrix.block_cols() {
                 let key = matrix.tile(br, bc).key();
                 let (energy, wrote) = self.ensure_resident(matrix, key);
                 write_energy += energy;
                 written += usize::from(wrote);
+                if wrote {
+                    // Under the per-row write schedule a streamed tile
+                    // costs one slot per row that carries real weights —
+                    // tiles on a ragged last block-row hold fewer.
+                    written_row_slots += rows_here;
+                }
 
-                let batch: Vec<Vec<f64>> = splits.iter().map(|s| s[bc].clone()).collect();
-                let codes = self.core.matmul(&batch);
-                for (s, sample) in codes.iter().enumerate() {
-                    for (r, &code) in sample.iter().take(rows_here).enumerate() {
-                        code_sums[s][br * config.rows + r] += u32::from(code);
+                let batch = self.scratch.splits.view_rows(bc * samples, samples);
+                self.core.matmul_into(batch, &mut self.scratch.codes);
+                for s in 0..samples {
+                    let codes = self.scratch.codes.row(s);
+                    let acc_start = s * out_dim + br * config.rows;
+                    for (acc, &code) in self.scratch.code_sums[acc_start..acc_start + rows_here]
+                        .iter_mut()
+                        .zip(codes)
+                    {
+                        *acc += u32::from(code);
                     }
                 }
             }
@@ -182,12 +267,11 @@ impl TileExecutor {
         // code sum by the tile-to-matrix width ratio.
         let levels = config.adc.channel_count() as f64;
         let scale = config.cols as f64 / matrix.in_dim() as f64 / (levels - 1.0);
-        let outputs: Vec<Vec<OutputElement>> = code_sums
-            .into_iter()
-            .map(|sample| {
-                sample
-                    .into_iter()
-                    .map(|code_sum| OutputElement {
+        let outputs: Vec<Vec<OutputElement>> = (0..samples)
+            .map(|s| {
+                self.scratch.code_sums[s * out_dim..(s + 1) * out_dim]
+                    .iter()
+                    .map(|&code_sum| OutputElement {
                         code_sum,
                         value: f64::from(code_sum) * scale,
                     })
@@ -197,9 +281,9 @@ impl TileExecutor {
 
         let report = StreamingSchedule::new(
             config,
-            matrix.out_dim(),
+            out_dim,
             matrix.in_dim(),
-            inputs.len(),
+            samples,
             WriteParallelism::PerRow,
         )
         .report();
@@ -208,7 +292,11 @@ impl TileExecutor {
             tiles,
             tiles_written: written,
             tiles_resident: tiles - written,
-            write_time_s: report.write_time_s * written as f64 / tiles as f64,
+            // Charged from the per-tile write schedule of the tiles that
+            // actually streamed: `rows_here` update slots each. (Scaling
+            // the full-schedule time by `written/tiles` misattributed
+            // time whenever a ragged last block-row made tiles unequal.)
+            write_time_s: written_row_slots as f64 * config.psram.update_rate.period().as_seconds(),
             compute_time_s: report.compute_time_s,
             write_energy_j: write_energy,
             compute_energy_j: report.compute_energy_j,
@@ -358,6 +446,86 @@ mod tests {
             exec.execute(&wrong_shape, &[vec![0.5; 4]]),
             Err(RuntimeError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn execute_rejects_non_finite_inputs() {
+        let mut exec = TileExecutor::new(small(), 0);
+        let m = TiledMatrix::from_codes(&codes(4, 4), 3, TileShape::new(4, 4));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut x = vec![0.5; 4];
+            x[2] = bad;
+            assert!(
+                matches!(exec.execute(&m, &[x]), Err(RuntimeError::InvalidRequest(_))),
+                "{bad} must be a typed rejection, not a panic in the analog model"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_slices_matches_execute() {
+        let mut a = TileExecutor::new(small(), 0);
+        let mut b = TileExecutor::new(small(), 1);
+        let m = TiledMatrix::from_codes(&codes(10, 9), 3, TileShape::new(4, 4));
+        let batch: Vec<Vec<f64>> = (0..3)
+            .map(|s| (0..9).map(|c| ((s * 9 + c) % 10) as f64 / 10.0).collect())
+            .collect();
+        let slices: Vec<&[f64]> = batch.iter().map(Vec::as_slice).collect();
+        let (out_a, cost_a) = a.execute(&m, &batch).expect("valid");
+        let (out_b, cost_b) = b.execute_slices(&m, &slices).expect("valid");
+        assert_eq!(out_a, out_b);
+        assert_eq!(cost_a, cost_b);
+    }
+
+    #[test]
+    fn ragged_write_time_charges_only_real_rows() {
+        // A 20×16 matrix on the paper's 16×16 array: two tiles stacked in
+        // one tile column, the second holding only 4 real rows. Each
+        // streamed tile is charged per real row under the per-row write
+        // schedule, so a cold pass costs 16 + 4 = 20 update slots — not
+        // the 32 the old full-schedule `written/tiles` scaling implied.
+        let cfg = TensorCoreConfig::paper();
+        let mut exec = TileExecutor::new(cfg, 0);
+        let m = TiledMatrix::from_codes(&codes(20, 16), 3, TileShape::new(16, 16));
+        assert_eq!((m.block_rows(), m.block_cols()), (2, 1));
+        let x = vec![vec![0.5; 16]];
+        let (_, cost) = exec.execute(&m, &x).expect("valid");
+        assert_eq!(cost.tiles_written, 2);
+        let period = cfg.psram.update_rate.period().as_seconds();
+        let want = 20.0 * period;
+        assert!(
+            (cost.write_time_s - want).abs() < 1e-18,
+            "ragged write time {} s, want {} s (20 row slots)",
+            cost.write_time_s,
+            want
+        );
+        assert!(
+            cost.write_time_s < 0.7 * 32.0 * period,
+            "old scaling would charge 32 slots"
+        );
+    }
+
+    #[test]
+    fn steady_state_execute_reuses_scratch() {
+        let mut exec = TileExecutor::new(small(), 0);
+        let m = TiledMatrix::from_codes(&codes(10, 9), 3, TileShape::new(4, 4));
+        let batch: Vec<Vec<f64>> = (0..2)
+            .map(|s| (0..9).map(|c| ((s + c) % 7) as f64 / 7.0).collect())
+            .collect();
+        let _ = exec.execute(&m, &batch).expect("valid");
+        let bytes = exec.scratch_bytes();
+        assert!(bytes > 0, "first request must size the scratch");
+        for _ in 0..10 {
+            let _ = exec.execute(&m, &batch).expect("valid");
+            assert_eq!(
+                exec.scratch_bytes(),
+                bytes,
+                "steady-state requests must not regrow the scratch"
+            );
+        }
+        // A smaller request reuses the same arenas without shrinking them.
+        let _ = exec.execute(&m, &batch[..1]).expect("valid");
+        assert_eq!(exec.scratch_bytes(), bytes);
     }
 
     #[test]

@@ -221,6 +221,24 @@ mod tests {
     }
 
     #[test]
+    fn warm_checkout_keeps_executor_scratch() {
+        let p = pool(1);
+        let m = TiledMatrix::from_codes(&vec![vec![3u32; 4]; 4], 3, TileShape::new(4, 4));
+        let bytes = {
+            let mut dev = p.acquire_for(m.id());
+            let _ = dev.execute(&m, &[vec![0.5; 4]]).expect("valid");
+            dev.scratch_bytes()
+        };
+        assert!(bytes > 0);
+        // Check-in/check-out must hand back the same warmed executor:
+        // residency AND its sized scratch both survive the pool cycle.
+        let mut dev = p.acquire_for(m.id());
+        assert_eq!(dev.scratch_bytes(), bytes, "pool dropped the warm scratch");
+        let _ = dev.execute(&m, &[vec![0.25; 4]]).expect("valid");
+        assert_eq!(dev.scratch_bytes(), bytes);
+    }
+
+    #[test]
     fn affinity_checkout_finds_the_resident_device() {
         let p = pool(3);
         let m = TiledMatrix::from_codes(&vec![vec![3u32; 4]; 4], 3, TileShape::new(4, 4));

@@ -66,7 +66,10 @@ impl MatmulRequest {
                 )));
             }
             for (c, &v) in x.iter().enumerate() {
-                if !(0.0..=1.0).contains(&v) {
+                // `contains` happens to reject NaN/±inf through comparison
+                // semantics, but the analog model's safety must not hinge
+                // on that — check finiteness explicitly.
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
                     return Err(RuntimeError::InvalidRequest(format!(
                         "input {s}[{c}] = {v} outside the [0, 1] intensity range"
                     )));
@@ -199,6 +202,22 @@ mod tests {
             MatmulRequest::new(m, vec![vec![1.5; 8]]).validate(),
             Err(RuntimeError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_inputs() {
+        let m = matrix();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut x = vec![0.5; 8];
+            x[3] = bad;
+            assert!(
+                matches!(
+                    MatmulRequest::new(m.clone(), vec![x]).validate(),
+                    Err(RuntimeError::InvalidRequest(_))
+                ),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -448,14 +448,16 @@ fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry) {
     }
 
     let matrix = Arc::clone(&live[0].request.matrix);
-    let merged: Vec<Vec<f64>> = live
+    // Merge the sharers' batches as borrowed slices — the executor splits
+    // them straight into its own scratch, so no sample data is copied.
+    let merged: Vec<&[f64]> = live
         .iter()
-        .flat_map(|sub| sub.request.inputs.iter().cloned())
+        .flat_map(|sub| sub.request.inputs.iter().map(Vec::as_slice))
         .collect();
     let total_samples = merged.len();
 
     let mut device = pool.acquire_for(matrix.id());
-    let executed = device.execute(&matrix, &merged);
+    let executed = device.execute_slices(&matrix, &merged);
     let device_id = device.device_id();
     drop(device);
 

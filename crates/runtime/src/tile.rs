@@ -238,18 +238,37 @@ impl TiledMatrix {
         assert_eq!(input.len(), self.in_dim, "one input per matrix column");
         (0..self.block_cols)
             .map(|bc| {
-                (0..self.shape.cols)
-                    .map(|c| {
-                        let gc = bc * self.shape.cols + c;
-                        if gc < self.in_dim {
-                            input[gc]
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect()
+                let mut out = vec![0.0; self.shape.cols];
+                self.split_column_into(input, bc, &mut out);
+                out
             })
             .collect()
+    }
+
+    /// Writes tile-column `block_col`'s zero-padded slice of `input` into
+    /// `out` (length `shape.cols`) — the allocation-free form of
+    /// [`TiledMatrix::split_input`] the executor's reusable scratch is
+    /// filled through. `out` is fully overwritten (real values then
+    /// padding zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `out` have the wrong length, or `block_col`
+    /// is outside the grid.
+    pub fn split_column_into(&self, input: &[f64], block_col: usize, out: &mut [f64]) {
+        assert_eq!(input.len(), self.in_dim, "one input per matrix column");
+        assert!(
+            block_col < self.block_cols,
+            "tile column {block_col} outside {} columns",
+            self.block_cols
+        );
+        assert_eq!(out.len(), self.shape.cols, "one slot per tile column");
+        let lo = block_col * self.shape.cols;
+        let hi = (lo + self.shape.cols).min(self.in_dim);
+        out[..hi - lo].copy_from_slice(&input[lo..hi]);
+        for v in &mut out[hi - lo..] {
+            *v = 0.0;
+        }
     }
 }
 
@@ -300,6 +319,19 @@ mod tests {
         assert_eq!(parts[0], x[..16].to_vec());
         assert_eq!(parts[1][..4], x[16..]);
         assert!(parts[1][4..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn split_column_into_matches_split_input() {
+        let m = TiledMatrix::from_codes(&codes(16, 20), 3, TileShape::new(16, 16));
+        let x: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        let parts = m.split_input(&x);
+        // Pre-soiled scratch must be fully overwritten, padding included.
+        let mut out = vec![f64::NAN; 16];
+        for (bc, part) in parts.iter().enumerate() {
+            m.split_column_into(&x, bc, &mut out);
+            assert_eq!(&out, part, "tile column {bc}");
+        }
     }
 
     #[test]

@@ -125,3 +125,27 @@ proptest! {
 fn full_64_by_64_decomposition_is_accurate() {
     check_against_reference(2025, 64, 64);
 }
+
+/// The same 256-tile case pinned code-for-code: these sums were captured
+/// from the pre-flat-kernel executor (nested splits, per-tile batch
+/// clones, per-call `convert_static`). The flat-buffer path must
+/// reproduce every element bit-identically, not just within the LSB
+/// budget.
+#[test]
+fn full_64_by_64_outputs_are_pinned() {
+    const EXPECTED: [u32; 64] = [
+        17, 20, 17, 16, 14, 17, 21, 15, 16, 18, 16, 13, 21, 15, 19, 20, 16, 16, 17, 20, 17, 20, 15,
+        16, 13, 19, 18, 20, 17, 14, 21, 20, 17, 14, 18, 16, 21, 20, 20, 15, 21, 20, 16, 23, 19, 20,
+        16, 19, 21, 16, 21, 18, 19, 23, 15, 15, 18, 20, 17, 20, 14, 16, 19, 19,
+    ];
+    let cfg = TensorCoreConfig::small_demo();
+    let max_code = (1u32 << cfg.weight_bits) - 1;
+    let (codes, x) = workload(2025, 64, 64, max_code);
+    let m = TiledMatrix::from_codes(&codes, cfg.weight_bits, TileShape::new(cfg.rows, cfg.cols));
+    let mut exec = TileExecutor::new(cfg, 0);
+    let (outputs, _) = exec
+        .execute(&m, std::slice::from_ref(&x))
+        .expect("valid request");
+    let got: Vec<u32> = outputs[0].iter().map(|e| e.code_sum).collect();
+    assert_eq!(got, EXPECTED);
+}

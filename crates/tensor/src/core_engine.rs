@@ -1,5 +1,6 @@
 //! The full m×n photonic tensor core with pSRAM weights and eoADC read-out.
 
+use crate::flat::{FlatCodes, FlatView};
 use crate::{quant, TensorRow};
 use pic_eoadc::{EoAdc, EoAdcConfig};
 use pic_psram::{PsramArray, PsramConfig};
@@ -78,41 +79,174 @@ impl TensorCoreConfig {
     }
 }
 
-/// One row's slice of the [`WeightCache`]: the steady-state optical path
-/// collapsed to a dense linear map (see [`TensorRow::channel_gains`]).
-#[derive(Debug, Clone)]
-struct RowCache {
-    /// Per-column photocurrent gain, A per unit input.
-    gains: Vec<f64>,
-    /// Constant dark-current floor of the row's photodiodes, A.
-    dark_amps: f64,
-    /// Normalisation reference, A.
-    full_scale_amps: f64,
-}
-
-impl RowCache {
-    /// Normalised analog row output for one input vector.
-    fn analog(&self, input: &[f64]) -> f64 {
-        let dot: f64 = self.gains.iter().zip(input).map(|(g, x)| g * x).sum();
-        ((dot + self.dark_amps) / self.full_scale_amps).clamp(0.0, 1.0)
-    }
-
-    /// Mean (noise-free) row photocurrent for one input vector.
-    fn mean_current(&self, input: &[f64]) -> Current {
-        let dot: f64 = self.gains.iter().zip(input).map(|(g, x)| g * x).sum();
-        Current::from_amps(dot + self.dark_amps)
-    }
-}
-
 /// Cached per-row linear maps derived from the stored weights, tagged
 /// with the [`PsramArray::generation`] they were built from. Rebuilt
 /// eagerly by every weight-mutating method of [`TensorCore`], so the
 /// read paths can stay `&self` (and thread-safe) with a cheap staleness
 /// assert instead of interior mutability.
+///
+/// Storage is flat: one contiguous `rows × cols` gain matrix plus two
+/// per-row columns, so the steady-state kernels stream over contiguous
+/// memory instead of chasing one heap box per row.
 #[derive(Debug, Clone)]
 struct WeightCache {
     generation: u64,
-    rows: Vec<RowCache>,
+    cols: usize,
+    /// Row-major `rows × cols` per-column photocurrent gains, A per unit
+    /// input.
+    gains: Vec<f64>,
+    /// Per-row constant dark-current floor of the photodiodes, A.
+    dark_amps: Vec<f64>,
+    /// Per-row normalisation reference, A.
+    full_scale_amps: Vec<f64>,
+}
+
+impl WeightCache {
+    fn row_count(&self) -> usize {
+        self.dark_amps.len()
+    }
+
+    /// Row `r`'s gain slice.
+    #[inline]
+    fn row_gains(&self, r: usize) -> &[f64] {
+        &self.gains[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Normalised analog row output for one input vector. The dot product
+    /// accumulates left-to-right exactly like the historical per-row
+    /// cache, so results are bit-identical to the nested layout.
+    #[inline]
+    fn analog(&self, r: usize, input: &[f64]) -> f64 {
+        let dot: f64 = self
+            .row_gains(r)
+            .iter()
+            .zip(input)
+            .map(|(g, x)| g * x)
+            .sum();
+        ((dot + self.dark_amps[r]) / self.full_scale_amps[r]).clamp(0.0, 1.0)
+    }
+
+    /// Mean (noise-free) row photocurrent in amps for one input vector.
+    #[inline]
+    fn mean_amps(&self, r: usize, input: &[f64]) -> f64 {
+        let dot: f64 = self
+            .row_gains(r)
+            .iter()
+            .zip(input)
+            .map(|(g, x)| g * x)
+            .sum();
+        dot + self.dark_amps[r]
+    }
+}
+
+/// Exact boundary table for the row read-out conversion.
+///
+/// [`EoAdc::convert_static`] walks the full ring-ladder activation model
+/// on every call — dominant cost of the digital read paths once the
+/// weight gains are cached. The converter's code is a monotone step
+/// function of the input voltage, so it is fully described by the least
+/// input at which each code first appears. The table stores those
+/// thresholds, found by bit-level bisection over the `f64` inputs, which
+/// makes the look-up *exact*: equal to `convert_static` for every
+/// representable input in `[0, vfs]`, not an approximation. Debug builds
+/// re-verify the table against the converter on a sweep plus every
+/// threshold's one-ulp neighbourhood.
+#[derive(Debug, Clone)]
+struct DigitizeLut {
+    /// `boundaries[k]` is the least input (volts) that converts to a code
+    /// of at least `k + 1`; ascending.
+    boundaries: Vec<f64>,
+    vfs_volts: f64,
+}
+
+impl DigitizeLut {
+    fn build(adc: &EoAdc, config: &EoAdcConfig) -> Self {
+        let vfs_volts = config.vfs.as_volts();
+        let code_at = |volts: f64| -> u16 {
+            adc.convert_static(Voltage::from_volts(volts))
+                .expect("calibrated eoADC cannot produce an illegal pattern")
+        };
+        let top = code_at(vfs_volts);
+        let mut boundaries = Vec::with_capacity(top as usize);
+        for k in 1..=top {
+            // Non-negative f64 bit patterns order like the values, so
+            // bisecting the raw bits finds the exact least representable
+            // voltage whose code reaches `k`.
+            let (mut lo, mut hi) = (0u64, vfs_volts.to_bits());
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if code_at(f64::from_bits(mid)) >= k {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            boundaries.push(f64::from_bits(lo));
+        }
+        let lut = DigitizeLut {
+            boundaries,
+            vfs_volts,
+        };
+        if cfg!(debug_assertions) {
+            lut.verify(adc, 512);
+        }
+        lut
+    }
+
+    /// Cross-checks the table against the real converter on a uniform
+    /// grid plus every boundary's one-ulp neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probed input disagrees with [`EoAdc::convert_static`].
+    fn verify(&self, adc: &EoAdc, grid: usize) {
+        let probe = |volts: f64| {
+            let want = adc
+                .convert_static(Voltage::from_volts(volts))
+                .expect("calibrated eoADC cannot produce an illegal pattern");
+            assert_eq!(
+                self.code_at_volts(volts),
+                want,
+                "digitize LUT disagrees with the converter at {volts} V"
+            );
+        };
+        for i in 0..=grid {
+            probe(self.vfs_volts * i as f64 / grid as f64);
+        }
+        for &b in &self.boundaries {
+            probe(b);
+            if b > 0.0 {
+                probe(f64::from_bits(b.to_bits() - 1));
+            }
+            let above = f64::from_bits(b.to_bits() + 1);
+            if above <= self.vfs_volts {
+                probe(above);
+            }
+        }
+    }
+
+    /// The code for an input voltage in `[0, vfs]`: the number of
+    /// thresholds at or below it.
+    #[inline]
+    fn code_at_volts(&self, volts: f64) -> u16 {
+        let mut code = 0u16;
+        for &b in &self.boundaries {
+            if volts >= b {
+                code += 1;
+            } else {
+                break;
+            }
+        }
+        code
+    }
+
+    /// The code for a normalised read-out value in `[0, 1]` (scaled onto
+    /// the converter's full-scale voltage exactly like the pre-table
+    /// `vfs * scaled` expression).
+    #[inline]
+    fn code_for_scaled(&self, scaled: f64) -> u16 {
+        self.code_at_volts(self.vfs_volts * scaled)
+    }
 }
 
 /// The scalable mixed-signal photonic tensor core (Fig. 4).
@@ -123,21 +257,27 @@ struct WeightCache {
 ///
 /// # Compute engine
 ///
-/// Loading weights collapses each row's optical path into cached
-/// per-column gains ([`TensorRow::channel_gains`]), so the steady-state
-/// products ([`TensorCore::matvec_analog`], [`TensorCore::matvec`],
-/// [`TensorCore::matvec_noisy`], [`TensorCore::matmul`]) are dense
-/// multiplies rather than per-call optical walks; the walk itself stays
-/// available as [`TensorCore::matvec_analog_uncached`]. Rows (and batch
-/// inputs in [`TensorCore::matmul`]) evaluate in parallel unless
-/// [`TensorCore::set_parallel`] turns it off — outputs are bit-identical
-/// either way, including the seeded noisy path.
+/// Loading weights collapses each row's optical path into a flat cached
+/// gain matrix ([`TensorRow::channel_gains_into`]), and the eoADC
+/// transfer is collapsed once at construction into an exact threshold
+/// table, so the steady-state products ([`TensorCore::matvec_analog`],
+/// [`TensorCore::matvec`], [`TensorCore::matvec_noisy`],
+/// [`TensorCore::matmul`]) are dense multiplies plus table look-ups
+/// rather than per-call optical walks; the walk itself stays available
+/// as [`TensorCore::matvec_analog_uncached`]. Batched products fan out
+/// to worker threads once the batch carries enough work (see
+/// [`TensorCore::set_parallel`]) — outputs are bit-identical either way,
+/// including the seeded noisy path. [`TensorCore::matmul_into`] is the
+/// allocation-free entry point: it reads a [`FlatView`] and writes a
+/// reusable [`FlatCodes`], so a steady-state caller allocates nothing
+/// per call.
 #[derive(Debug, Clone)]
 pub struct TensorCore {
     config: TensorCoreConfig,
     weights: PsramArray,
     rows: Vec<TensorRow>,
     adc: EoAdc,
+    lut: DigitizeLut,
     readout_gain: f64,
     cache: WeightCache,
     parallel: bool,
@@ -164,15 +304,21 @@ impl TensorCore {
                 )
             })
             .collect();
+        let adc = EoAdc::new(config.adc);
+        let lut = DigitizeLut::build(&adc, &config.adc);
         let mut core = TensorCore {
             weights,
             rows,
-            adc: EoAdc::new(config.adc),
+            adc,
+            lut,
             readout_gain: 1.0,
             config,
             cache: WeightCache {
                 generation: u64::MAX,
-                rows: Vec::new(),
+                cols: 0,
+                gains: Vec::new(),
+                dark_amps: Vec::new(),
+                full_scale_amps: Vec::new(),
             },
             parallel: true,
         };
@@ -180,32 +326,44 @@ impl TensorCore {
         core
     }
 
-    /// Collapses the stored weights into per-row linear maps. Called by
-    /// every weight-mutating method so the cache never goes stale.
+    /// Collapses the stored weights into the flat per-row linear maps.
+    /// Called by every weight-mutating method so the cache never goes
+    /// stale. Drive voltages are precomputed here — once per tile write —
+    /// into one flat `cols × weight_bits` buffer per row, instead of a
+    /// fresh nest of `Vec<Vec<Voltage>>` per cached matvec.
     fn rebuild_cache(&mut self) {
         let cols = self.config.cols;
+        let bits = self.config.weight_bits as usize;
         let weights = &self.weights;
         let row_cache = |(r, row): (usize, &TensorRow)| {
-            let drives: Vec<Vec<Voltage>> = (0..cols)
-                .map(|c| weights.word(r, c).weight_drives())
-                .collect();
-            let (gains, dark) = row.channel_gains(&drives);
-            RowCache {
-                gains,
-                dark_amps: dark.as_amps(),
-                full_scale_amps: row.full_scale_current().as_amps(),
+            let mut drives = Vec::with_capacity(cols * bits);
+            for c in 0..cols {
+                let word = weights.word(r, c);
+                drives.extend(word.cells().iter().map(|cell| cell.weight_drive()));
             }
+            let mut gains = vec![0.0; cols];
+            let dark = row.channel_gains_into(&drives, &mut gains);
+            (gains, dark.as_amps(), row.full_scale_current().as_amps())
         };
         let indexed: Vec<(usize, &TensorRow)> = self.rows.iter().enumerate().collect();
-        let rows: Vec<RowCache> = if self.parallel {
+        let per_row: Vec<(Vec<f64>, f64, f64)> = if self.parallel {
             indexed.into_par_iter().map(row_cache).collect()
         } else {
             indexed.into_iter().map(row_cache).collect()
         };
-        self.cache = WeightCache {
+        let mut cache = WeightCache {
             generation: self.weights.generation(),
-            rows,
+            cols,
+            gains: Vec::with_capacity(self.config.rows * cols),
+            dark_amps: Vec::with_capacity(self.config.rows),
+            full_scale_amps: Vec::with_capacity(self.config.rows),
         };
+        for (gains, dark, full_scale) in per_row {
+            cache.gains.extend_from_slice(&gains);
+            cache.dark_amps.push(dark);
+            cache.full_scale_amps.push(full_scale);
+        }
+        self.cache = cache;
     }
 
     /// The cache the read paths are about to use, checked for staleness.
@@ -230,17 +388,40 @@ impl TensorCore {
         }
     }
 
-    /// Whether row and batch loops run on the rayon thread pool.
+    /// Whether heavy loops may fan out to worker threads.
     #[must_use]
     pub fn parallel(&self) -> bool {
         self.parallel
     }
 
-    /// Enables or disables parallel evaluation. Results are bit-identical
-    /// either way (same per-row arithmetic, deterministic per-row seeds in
-    /// the noisy path); this only trades threads for throughput.
+    /// Enables or disables parallel evaluation of cache rebuilds and
+    /// batched products. Small batches always run serially (thread spawn
+    /// would cost more than the work); large ones are chunked over
+    /// `available_parallelism` threads. Results are bit-identical either
+    /// way (same per-row arithmetic, deterministic per-row seeds in the
+    /// noisy path); this only trades threads for throughput.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.parallel = parallel;
+    }
+
+    /// Number of worker threads a batched kernel should fan out to for
+    /// `samples` inputs: 1 (serial) unless parallelism is on, the batch
+    /// carries enough multiply-accumulate work to amortise thread spawn,
+    /// and the machine has spare cores.
+    fn batch_workers(&self, samples: usize) -> usize {
+        /// Minimum `samples × rows × cols` MACs before threads pay off.
+        const PAR_WORK_THRESHOLD: usize = 1 << 15;
+        if !self.parallel
+            || samples < 2
+            || samples * self.config.rows * self.config.cols < PAR_WORK_THRESHOLD
+        {
+            return 1;
+        }
+        static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let cpus = *CPUS.get_or_init(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        cpus.min(samples)
     }
 
     /// Sets the read-out gain: the TIA transimpedance scaling between the
@@ -335,6 +516,8 @@ impl TensorCore {
     /// Exposed so external layers (the serving runtime's tiler, accuracy
     /// references) can digitise ideal or reconstructed values through the
     /// same transfer without reimplementing the gain/clamp/ADC chain.
+    /// Internally this is an exact threshold-table look-up, bit-identical
+    /// to driving [`EoAdc::convert_static`] directly.
     ///
     /// # Panics
     ///
@@ -343,9 +526,7 @@ impl TensorCore {
     pub fn digitize(&self, y: f64) -> u16 {
         assert!(y.is_finite() && y >= 0.0, "row output must be ≥ 0, got {y}");
         let scaled = (y * self.readout_gain).min(1.0);
-        self.adc
-            .convert_static(self.config.adc.vfs * scaled)
-            .expect("calibrated eoADC cannot produce an illegal pattern")
+        self.lut.code_for_scaled(scaled)
     }
 
     /// Maps one row's normalised analog output through the TIA gain and
@@ -354,11 +535,21 @@ impl TensorCore {
         self.digitize(y)
     }
 
+    /// One input through the cached per-row maps and the read-out table —
+    /// the innermost batched kernel. Allocation-free: `codes` is one
+    /// `rows`-long output row supplied by the caller.
+    fn sample_codes_into(&self, cache: &WeightCache, x: &[f64], codes: &mut [u16]) {
+        for (r, code) in codes.iter_mut().enumerate() {
+            let scaled = (cache.analog(r, x) * self.readout_gain).min(1.0);
+            *code = self.lut.code_for_scaled(scaled);
+        }
+    }
+
     /// Analog matrix-vector product: per-row photocurrents normalised to
     /// the full-scale current, in `[0, 1]`.
     ///
-    /// Uses the cached per-row linear maps (a dense multiply) and runs
-    /// rows in parallel when [`TensorCore::parallel`] is on.
+    /// Uses the cached flat gain matrix — a dense multiply over
+    /// contiguous memory.
     ///
     /// # Panics
     ///
@@ -367,11 +558,9 @@ impl TensorCore {
     pub fn matvec_analog(&self, input: &[f64]) -> Vec<f64> {
         self.check_input(input);
         let cache = self.cache();
-        if self.parallel {
-            cache.rows.par_iter().map(|rc| rc.analog(input)).collect()
-        } else {
-            cache.rows.iter().map(|rc| rc.analog(input)).collect()
-        }
+        (0..cache.row_count())
+            .map(|r| cache.analog(r, input))
+            .collect()
     }
 
     /// Analog matrix-vector product via the full per-call optical walk
@@ -409,34 +598,81 @@ impl TensorCore {
     pub fn matvec(&self, input: &[f64]) -> Vec<u16> {
         self.check_input(input);
         let cache = self.cache();
-        let row = |rc: &RowCache| self.digitize_row(rc.analog(input));
-        if self.parallel {
-            cache.rows.par_iter().map(row).collect()
+        let mut codes = vec![0u16; self.config.rows];
+        self.sample_codes_into(cache, input, &mut codes);
+        codes
+    }
+
+    /// Batch matrix multiplication into caller-supplied flat buffers: row
+    /// `s` of `out` is the digital matvec of row `s` of `inputs`. This is
+    /// the zero-allocation kernel the serving runtime drives — `out` is
+    /// reset (keeping its arena) and fully overwritten, so a steady-state
+    /// caller that reuses its buffers allocates nothing per call. Large
+    /// batches are chunked across worker threads; outputs are
+    /// bit-identical to [`TensorCore::matvec`] per sample either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.width()` ≠ `cols` or any value leaves `[0, 1]`.
+    pub fn matmul_into(&self, inputs: FlatView<'_>, out: &mut FlatCodes) {
+        assert_eq!(inputs.width(), self.config.cols, "one input per column");
+        let cache = self.cache();
+        let rows = self.config.rows;
+        let samples = inputs.samples();
+        for s in 0..samples {
+            self.check_input(inputs.row(s));
+        }
+        out.reset(samples, rows);
+        let workers = self.batch_workers(samples);
+        if workers <= 1 {
+            for (s, codes) in out.as_mut_slice().chunks_exact_mut(rows).enumerate() {
+                self.sample_codes_into(cache, inputs.row(s), codes);
+            }
         } else {
-            cache.rows.iter().map(row).collect()
+            let per = samples.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (w, chunk) in out.as_mut_slice().chunks_mut(per * rows).enumerate() {
+                    scope.spawn(move || {
+                        for (i, codes) in chunk.chunks_exact_mut(rows).enumerate() {
+                            self.sample_codes_into(cache, inputs.row(w * per + i), codes);
+                        }
+                    });
+                }
+            });
         }
     }
 
     /// Batch matrix multiplication: one [`TensorCore::matvec`] per input
-    /// column of `inputs` (each of length `cols`), parallelised over the
-    /// batch (rows evaluate serially inside each sample, so the per-sample
-    /// results are bit-identical to [`TensorCore::matvec`]).
+    /// vector of `inputs` (each of length `cols`). A thin nested-`Vec`
+    /// shim over the same kernel as [`TensorCore::matmul_into`]; results
+    /// are bit-identical per sample to [`TensorCore::matvec`].
     #[must_use]
     pub fn matmul(&self, inputs: &[Vec<f64>]) -> Vec<Vec<u16>> {
-        let sample = |x: &Vec<f64>| {
-            self.check_input(x);
-            let cache = self.cache();
-            cache
-                .rows
-                .iter()
-                .map(|rc| self.digitize_row(rc.analog(x)))
-                .collect::<Vec<u16>>()
-        };
-        if self.parallel {
-            inputs.par_iter().map(sample).collect()
+        let cache = self.cache();
+        let rows = self.config.rows;
+        let mut out: Vec<Vec<u16>> = inputs.iter().map(|_| vec![0u16; rows]).collect();
+        let workers = self.batch_workers(inputs.len());
+        if workers <= 1 {
+            for (x, codes) in inputs.iter().zip(&mut out) {
+                self.check_input(x);
+                self.sample_codes_into(cache, x, codes);
+            }
         } else {
-            inputs.iter().map(sample).collect()
+            for x in inputs {
+                self.check_input(x);
+            }
+            let per = inputs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (xs, codes) in inputs.chunks(per).zip(out.chunks_mut(per)) {
+                    scope.spawn(move || {
+                        for (x, row) in xs.iter().zip(codes) {
+                            self.sample_codes_into(cache, x, row);
+                        }
+                    });
+                }
+            });
         }
+        out
     }
 
     /// Digital matrix-vector product with photodetection noise on every
@@ -459,25 +695,21 @@ impl TensorCore {
     ) -> Vec<u16> {
         self.check_input(input);
         let cache = self.cache();
-        let seeded: Vec<(u64, &RowCache)> =
-            cache.rows.iter().map(|rc| (rng.next_u64(), rc)).collect();
-        let row = |(seed, rc): (u64, &RowCache)| {
-            let mut row_rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let i = noise.sample(rc.mean_current(input), &mut row_rng);
-            let y = (i.as_amps() / rc.full_scale_amps).clamp(0.0, 1.0);
-            self.digitize_row(y)
-        };
-        if self.parallel {
-            seeded.into_par_iter().map(row).collect()
-        } else {
-            seeded.into_iter().map(row).collect()
-        }
+        (0..cache.row_count())
+            .map(|r| {
+                let mut row_rng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
+                let i = noise.sample(Current::from_amps(cache.mean_amps(r, input)), &mut row_rng);
+                let y = (i.as_amps() / cache.full_scale_amps[r]).clamp(0.0, 1.0);
+                self.digitize_row(y)
+            })
+            .collect()
     }
 
     /// Batch noisy matrix multiplication: one [`TensorCore::matvec_noisy`]
-    /// per input, parallelised over the batch. Per-sample seeds are drawn
-    /// sequentially from `rng` up front, so the result matches a serial
-    /// loop of `matvec_noisy` calls seeded the same way.
+    /// per input. Per-sample seeds are drawn sequentially from `rng` up
+    /// front, so the result matches a serial loop of `matvec_noisy` calls
+    /// seeded the same way, regardless of how the batch is chunked over
+    /// threads.
     #[must_use]
     pub fn matmul_noisy<R: rand::Rng + ?Sized>(
         &self,
@@ -485,27 +717,43 @@ impl TensorCore {
         noise: &pic_photonics::NoiseModel,
         rng: &mut R,
     ) -> Vec<Vec<u16>> {
-        let seeded: Vec<(u64, &Vec<f64>)> = inputs.iter().map(|x| (rng.next_u64(), x)).collect();
-        let sample = |(seed, x): (u64, &Vec<f64>)| {
+        let seeds: Vec<u64> = inputs.iter().map(|_| rng.next_u64()).collect();
+        let cache = self.cache();
+        let rows = self.config.rows;
+        let sample = |x: &Vec<f64>, seed: u64, codes: &mut [u16]| {
             self.check_input(x);
-            let cache = self.cache();
             let mut sample_rng = rand::rngs::StdRng::seed_from_u64(seed);
-            cache
-                .rows
-                .iter()
-                .map(|rc| {
-                    let mut row_rng = rand::rngs::StdRng::seed_from_u64(sample_rng.next_u64());
-                    let i = noise.sample(rc.mean_current(x), &mut row_rng);
-                    let y = (i.as_amps() / rc.full_scale_amps).clamp(0.0, 1.0);
-                    self.digitize_row(y)
-                })
-                .collect::<Vec<u16>>()
+            for (r, code) in codes.iter_mut().enumerate() {
+                let mut row_rng = rand::rngs::StdRng::seed_from_u64(sample_rng.next_u64());
+                let i = noise.sample(Current::from_amps(cache.mean_amps(r, x)), &mut row_rng);
+                let y = (i.as_amps() / cache.full_scale_amps[r]).clamp(0.0, 1.0);
+                *code = self.digitize_row(y);
+            }
         };
-        if self.parallel {
-            seeded.into_par_iter().map(sample).collect()
+        let mut out: Vec<Vec<u16>> = inputs.iter().map(|_| vec![0u16; rows]).collect();
+        let workers = self.batch_workers(inputs.len());
+        if workers <= 1 {
+            for ((x, &seed), codes) in inputs.iter().zip(&seeds).zip(&mut out) {
+                sample(x, seed, codes);
+            }
         } else {
-            seeded.into_iter().map(sample).collect()
+            let per = inputs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for ((xs, ss), cs) in inputs
+                    .chunks(per)
+                    .zip(seeds.chunks(per))
+                    .zip(out.chunks_mut(per))
+                {
+                    let sample = &sample;
+                    scope.spawn(move || {
+                        for ((x, &seed), codes) in xs.iter().zip(ss).zip(cs) {
+                            sample(x, seed, codes);
+                        }
+                    });
+                }
+            });
         }
+        out
     }
 
     /// The ideal (float) normalised product for error analysis:
@@ -535,6 +783,8 @@ impl TensorCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flat::FlatBatch;
+    use proptest::prelude::*;
 
     fn demo_core() -> TensorCore {
         let mut core = TensorCore::new(TensorCoreConfig::small_demo());
@@ -545,6 +795,57 @@ mod tests {
             vec![0, 0, 0, 0],
         ]);
         core
+    }
+
+    /// One row of the pre-flat nested weight cache, rebuilt exactly the
+    /// way `rebuild_cache` used to build it: nested per-column drive
+    /// vectors through the nested `TensorRow::channel_gains`, one heap
+    /// struct per row. Preserved as the reference the flat kernels must
+    /// stay bit-identical to.
+    struct ReferenceRow {
+        gains: Vec<f64>,
+        dark_amps: f64,
+        full_scale_amps: f64,
+    }
+
+    fn reference_rows(core: &TensorCore) -> Vec<ReferenceRow> {
+        let cols = core.config().cols;
+        core.rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| {
+                let drives: Vec<Vec<Voltage>> = (0..cols)
+                    .map(|c| core.weights().word(r, c).weight_drives())
+                    .collect();
+                let (gains, dark) = row.channel_gains(&drives);
+                ReferenceRow {
+                    gains,
+                    dark_amps: dark.as_amps(),
+                    full_scale_amps: row.full_scale_current().as_amps(),
+                }
+            })
+            .collect()
+    }
+
+    /// The pre-change digital matmul: nested cache rows, per-row dot,
+    /// clamp, gain, and a real `convert_static` call per code.
+    fn reference_matmul(core: &TensorCore, inputs: &[Vec<f64>]) -> Vec<Vec<u16>> {
+        let rows = reference_rows(core);
+        inputs
+            .iter()
+            .map(|x| {
+                rows.iter()
+                    .map(|rc| {
+                        let dot: f64 = rc.gains.iter().zip(x).map(|(g, v)| g * v).sum();
+                        let y = ((dot + rc.dark_amps) / rc.full_scale_amps).clamp(0.0, 1.0);
+                        let scaled = (y * core.readout_gain()).min(1.0);
+                        core.adc()
+                            .convert_static(core.config().adc.vfs * scaled)
+                            .expect("calibrated eoADC cannot produce an illegal pattern")
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     #[test]
@@ -817,6 +1118,106 @@ mod tests {
         let codes = core.matvec(&x);
         for (a, code) in analog.iter().zip(&codes) {
             assert_eq!(core.digitize(*a), *code);
+        }
+    }
+
+    #[test]
+    fn digitize_table_matches_the_converter_exactly() {
+        let mut core = demo_core();
+        for gain in [0.5, 1.0, 2.5, 6.0] {
+            core.set_readout_gain(gain);
+            for i in 0..=10_000u32 {
+                // Sweep past full scale too: the gain clamp must keep the
+                // table and the converter in lock-step there as well.
+                let y = f64::from(i) / 10_000.0 * 1.2;
+                let scaled = (y * core.readout_gain()).min(1.0);
+                let want = core
+                    .adc()
+                    .convert_static(core.config().adc.vfs * scaled)
+                    .expect("calibrated eoADC cannot produce an illegal pattern");
+                assert_eq!(core.digitize(y), want, "gain {gain}, y {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_core_matmul_is_pinned_across_refactors() {
+        // Captured from the pre-flat engine (nested cache + per-call
+        // convert_static): w[r][c] = (r*3 + c) % 8, read-out gain 2.5,
+        // batch x_k[i] = ((i + k) % 16) / 16 for k = 0..4. Any kernel
+        // change that alters a single code trips this.
+        let mut core = TensorCore::new(TensorCoreConfig::paper());
+        let w: Vec<Vec<u32>> = (0..16)
+            .map(|r| (0..16).map(|c| ((r * 3 + c) % 8) as u32).collect())
+            .collect();
+        core.load_weight_codes(&w);
+        core.set_readout_gain(2.5);
+        let batch: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..16).map(|i| ((i + k) % 16) as f64 / 16.0).collect())
+            .collect();
+        let expected: Vec<Vec<u16>> = vec![
+            vec![4, 3, 3, 4, 3, 4, 3, 3, 4, 3, 3, 4, 3, 4, 3, 3],
+            vec![4, 3, 3, 4, 3, 3, 4, 3, 4, 3, 3, 4, 3, 3, 4, 3],
+            vec![3, 4, 3, 4, 3, 3, 4, 3, 3, 4, 3, 4, 3, 3, 4, 3],
+            vec![3, 4, 3, 3, 4, 3, 4, 3, 3, 4, 3, 3, 4, 3, 4, 3],
+        ];
+        assert_eq!(core.matmul(&batch), expected);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_buffers() {
+        let core = demo_core();
+        let batch: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..4).map(|c| ((i * 4 + c) % 9) as f64 / 8.0).collect())
+            .collect();
+        let nested = core.matmul(&batch);
+        let mut flat = FlatBatch::new();
+        flat.fill_from_rows(&batch, 4);
+        let mut out = FlatCodes::new();
+        core.matmul_into(flat.view(), &mut out);
+        assert_eq!(out.to_nested(), nested);
+        // Steady-state reuse: repeated calls must not regrow the arena.
+        let cap = out.capacity();
+        for _ in 0..10 {
+            core.matmul_into(flat.view(), &mut out);
+        }
+        assert_eq!(out.capacity(), cap, "kernel must reuse the code arena");
+        assert_eq!(out.to_nested(), nested);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn flat_matmul_is_bit_identical_to_the_nested_reference(
+            seed in 0u64..1_000_000,
+            rows in 1usize..=64,
+            macros in 1usize..=16,
+            samples in 1usize..=3,
+            gain in 0.5f64..8.0,
+        ) {
+            use rand::Rng;
+            let cols = macros * 4;
+            let mut cfg = TensorCoreConfig::paper();
+            cfg.rows = rows;
+            cfg.cols = cols;
+            let mut core = TensorCore::new(cfg);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let codes: Vec<Vec<u32>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0..=7)).collect())
+                .collect();
+            core.load_weight_codes(&codes);
+            core.set_readout_gain(gain);
+            let batch: Vec<Vec<f64>> = (0..samples)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0.0..=1.0)).collect())
+                .collect();
+            let want = reference_matmul(&core, &batch);
+            prop_assert_eq!(core.matmul(&batch), want.clone());
+            // The flat entry point agrees element-for-element too.
+            let mut flat = FlatBatch::new();
+            flat.fill_from_rows(&batch, cols);
+            let mut out = FlatCodes::new();
+            core.matmul_into(flat.view(), &mut out);
+            prop_assert_eq!(out.to_nested(), want);
         }
     }
 

@@ -1,0 +1,323 @@
+//! Flat row-major buffers for the allocation-free compute hot path.
+//!
+//! The serving stack used to shuttle batches around as `Vec<Vec<f64>>`:
+//! every request allocated a fresh nest of vectors, every tile pass
+//! cloned its slice of them, and the inner loops chased pointers instead
+//! of streaming over contiguous memory. The types here replace that with
+//! one contiguous `Vec` per batch plus explicit dimensions:
+//!
+//! * [`FlatBatch`] — an owned, reusable `samples × width` arena. Callers
+//!   `reset` it to a new logical shape; the backing allocation is kept
+//!   and only grows, so a steady-state loop reaches zero allocations
+//!   after warm-up.
+//! * [`FlatView`] — a borrowed row-major window (`&[f64]` + width) that
+//!   kernels consume; any contiguous run of rows of a [`FlatBatch`] can
+//!   be viewed without copying.
+//! * [`FlatCodes`] — the matching reusable `samples × width` arena of
+//!   ADC output codes.
+//!
+//! All row accessors hand out plain slices, so kernel loops compile to
+//! straight-line code over contiguous memory.
+
+/// An owned, reusable row-major batch of `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct FlatBatch {
+    data: Vec<f64>,
+    width: usize,
+}
+
+impl FlatBatch {
+    /// An empty batch (no backing storage yet).
+    #[must_use]
+    pub fn new() -> Self {
+        FlatBatch::default()
+    }
+
+    /// Resets to `samples × width`, zero-filled. Keeps (and at most
+    /// grows) the backing allocation — repeated resets to shapes that
+    /// fit the high-water mark allocate nothing.
+    pub fn reset(&mut self, samples: usize, width: usize) {
+        assert!(width > 0, "flat batch rows must be non-empty");
+        self.width = width;
+        self.data.clear();
+        self.data.resize(samples * width, 0.0);
+    }
+
+    /// Row length.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.data.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// Capacity of the backing allocation, in elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Row `s` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn row(&self, s: usize) -> &[f64] {
+        &self.data[s * self.width..(s + 1) * self.width]
+    }
+
+    /// Row `s` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn row_mut(&mut self, s: usize) -> &mut [f64] {
+        &mut self.data[s * self.width..(s + 1) * self.width]
+    }
+
+    /// Copies nested rows in (convenience for shimming `Vec<Vec<f64>>`
+    /// call sites onto the flat kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `width`.
+    pub fn fill_from_rows(&mut self, rows: &[Vec<f64>], width: usize) {
+        self.reset(rows.len(), width);
+        for (s, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), width, "row {s} length");
+            self.row_mut(s).copy_from_slice(row);
+        }
+    }
+
+    /// A view over the whole batch.
+    #[must_use]
+    pub fn view(&self) -> FlatView<'_> {
+        FlatView {
+            data: &self.data,
+            width: self.width,
+        }
+    }
+
+    /// A view over `count` rows starting at row `start` — contiguous, so
+    /// no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn view_rows(&self, start: usize, count: usize) -> FlatView<'_> {
+        FlatView {
+            data: &self.data[start * self.width..(start + count) * self.width],
+            width: self.width,
+        }
+    }
+}
+
+/// A borrowed row-major window over sample data.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatView<'a> {
+    data: &'a [f64],
+    width: usize,
+}
+
+impl<'a> FlatView<'a> {
+    /// Wraps a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or does not divide `data.len()`.
+    #[must_use]
+    pub fn new(data: &'a [f64], width: usize) -> Self {
+        assert!(width > 0, "flat view rows must be non-empty");
+        assert!(
+            data.len().is_multiple_of(width),
+            "data length {} is not a whole number of width-{width} rows",
+            data.len()
+        );
+        FlatView { data, width }
+    }
+
+    /// Row length.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// Row `s` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn row(&self, s: usize) -> &[f64] {
+        &self.data[s * self.width..(s + 1) * self.width]
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &'a [f64]> {
+        self.data.chunks_exact(self.width)
+    }
+}
+
+/// An owned, reusable row-major batch of ADC output codes.
+#[derive(Debug, Clone, Default)]
+pub struct FlatCodes {
+    data: Vec<u16>,
+    width: usize,
+}
+
+impl FlatCodes {
+    /// An empty code buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FlatCodes::default()
+    }
+
+    /// Resets to `samples × width`, zero-filled, keeping the backing
+    /// allocation like [`FlatBatch::reset`].
+    pub fn reset(&mut self, samples: usize, width: usize) {
+        assert!(width > 0, "flat code rows must be non-empty");
+        self.width = width;
+        self.data.clear();
+        self.data.resize(samples * width, 0);
+    }
+
+    /// Row length.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.data.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// Capacity of the backing allocation, in elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Row `s` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn row(&self, s: usize) -> &[u16] {
+        &self.data[s * self.width..(s + 1) * self.width]
+    }
+
+    /// The whole buffer, row-major.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// The whole buffer, row-major, mutable (for chunked kernels that
+    /// write disjoint row ranges from worker threads).
+    pub fn as_mut_slice(&mut self) -> &mut [u16] {
+        &mut self.data
+    }
+
+    /// Copies out into the nested shape the legacy APIs return.
+    #[must_use]
+    pub fn to_nested(&self) -> Vec<Vec<u16>> {
+        self.data
+            .chunks_exact(self.width)
+            .map(<[u16]>::to_vec)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_reshapes_without_shrinking_capacity() {
+        let mut b = FlatBatch::new();
+        b.reset(8, 16);
+        assert_eq!((b.samples(), b.width()), (8, 16));
+        let cap = b.capacity();
+        assert!(cap >= 128);
+        b.reset(2, 4);
+        assert_eq!((b.samples(), b.width()), (2, 4));
+        assert_eq!(b.capacity(), cap, "shrinking reset keeps the arena");
+        b.reset(8, 16);
+        assert_eq!(
+            b.capacity(),
+            cap,
+            "re-growing within capacity allocates nothing"
+        );
+    }
+
+    #[test]
+    fn reset_zero_fills_previous_contents() {
+        let mut b = FlatBatch::new();
+        b.reset(1, 4);
+        b.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        b.reset(2, 2);
+        assert!(b.view().rows().all(|r| r.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn views_window_contiguous_rows() {
+        let mut b = FlatBatch::new();
+        b.reset(4, 3);
+        for s in 0..4 {
+            let row: Vec<f64> = (0..3).map(|c| (s * 3 + c) as f64).collect();
+            b.row_mut(s).copy_from_slice(&row);
+        }
+        let v = b.view_rows(1, 2);
+        assert_eq!(v.samples(), 2);
+        assert_eq!(v.row(0), &[3.0, 4.0, 5.0]);
+        assert_eq!(v.row(1), &[6.0, 7.0, 8.0]);
+        let all: Vec<&[f64]> = b.view().rows().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], &[9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn fill_from_rows_round_trips_nested_input() {
+        let nested = vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]];
+        let mut b = FlatBatch::new();
+        b.fill_from_rows(&nested, 2);
+        for (s, row) in nested.iter().enumerate() {
+            assert_eq!(b.row(s), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn codes_round_trip_to_nested() {
+        let mut c = FlatCodes::new();
+        c.reset(2, 3);
+        c.as_mut_slice().copy_from_slice(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(c.row(1), &[4, 5, 6]);
+        assert_eq!(c.to_nested(), vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let cap = c.capacity();
+        c.reset(1, 3);
+        assert_eq!(c.capacity(), cap);
+        assert_eq!(c.row(0), &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn view_rejects_ragged_lengths() {
+        let data = [0.0; 5];
+        let _ = FlatView::new(&data, 2);
+    }
+}

@@ -11,6 +11,8 @@
 //! Crate layout:
 //!
 //! * [`quant`] — fixed-point weight/input quantisation helpers;
+//! * [`flat`] — flat row-major batch/code buffers backing the
+//!   allocation-free compute kernels;
 //! * [`VectorComputeCore`] — one 1×m WDM vector-multiply macro (Fig. 2);
 //! * [`TensorRow`] — macros tiled by current summation into a 1×m row of
 //!   arbitrary width (Fig. 4);
@@ -43,6 +45,7 @@
 pub mod accuracy;
 pub mod conv;
 mod core_engine;
+pub mod flat;
 pub mod nn;
 pub mod performance;
 pub mod pipeline;
@@ -53,6 +56,7 @@ mod vector_core;
 pub use accuracy::ErrorBreakdown;
 pub use conv::{Conv2d, Conv2dSpec};
 pub use core_engine::{TensorCore, TensorCoreConfig};
+pub use flat::{FlatBatch, FlatCodes, FlatView};
 pub use pipeline::{ScheduleReport, StreamingSchedule, WriteParallelism};
 pub use row::TensorRow;
 pub use vector_core::{ComputeMode, VectorComputeCore};

@@ -100,15 +100,37 @@ impl TensorRow {
     #[must_use]
     pub fn channel_gains(&self, drives: &[Vec<Voltage>]) -> (Vec<f64>, Current) {
         assert_eq!(drives.len(), self.width(), "one drive set per weight");
-        let mut gains = Vec::with_capacity(self.width());
+        let flat: Vec<Voltage> = drives.iter().flat_map(|d| d.iter().copied()).collect();
+        let mut gains = vec![0.0; self.width()];
+        let dark = self.channel_gains_into(&flat, &mut gains);
+        (gains, dark)
+    }
+
+    /// Flat-buffer variant of [`TensorRow::channel_gains`]: `drives` is
+    /// the row's full contiguous `width × weight_bits` drive slice
+    /// (bit-major within each column, MSB first) and the per-column gains
+    /// land in the caller's `gains` slice — no allocation. Delegates
+    /// macro by macro to [`VectorComputeCore::channel_gains_into`], so
+    /// results are bit-identical to the nested API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives` or `gains` have the wrong length.
+    pub fn channel_gains_into(&self, drives: &[Voltage], gains: &mut [f64]) -> Current {
+        let bits = self.macros[0].weight_bits() as usize;
+        assert_eq!(
+            drives.len(),
+            self.width() * bits,
+            "one drive per (weight, bit)"
+        );
+        assert_eq!(gains.len(), self.width(), "one gain slot per column");
         let mut dark = Current::ZERO;
         for (k, m) in self.macros.iter().enumerate() {
             let lo = k * self.chunk;
-            let (g, d) = m.channel_gains(&drives[lo..lo + self.chunk]);
-            gains.extend(g);
-            dark += d;
+            let hi = lo + self.chunk;
+            dark += m.channel_gains_into(&drives[lo * bits..hi * bits], &mut gains[lo..hi]);
         }
-        (gains, dark)
+        dark
     }
 
     /// Full-scale current of the row (all macros at full scale).
@@ -198,6 +220,23 @@ mod tests {
             * 1e-3
             * 0.9;
         assert!((ideal - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn flat_row_gains_match_nested() {
+        let r = row();
+        let codes: Vec<u32> = (0..16).map(|i| (i % 8) as u32).collect();
+        let drives: Vec<Vec<Voltage>> = codes
+            .chunks(4)
+            .zip(r.macros())
+            .flat_map(|(chunk, m)| m.drives_for_codes(chunk))
+            .collect();
+        let (nested_gains, nested_dark) = r.channel_gains(&drives);
+        let flat: Vec<Voltage> = drives.iter().flat_map(|d| d.iter().copied()).collect();
+        let mut gains = vec![f64::NAN; r.width()];
+        let dark = r.channel_gains_into(&flat, &mut gains);
+        assert_eq!(gains, nested_gains);
+        assert_eq!(dark.as_amps(), nested_dark.as_amps());
     }
 
     #[test]

@@ -217,24 +217,49 @@ impl VectorComputeCore {
                 "one drive per weight bit"
             );
         }
+        let flat: Vec<Voltage> = drives.iter().flat_map(|d| d.iter().copied()).collect();
+        let mut gains = vec![0.0; self.width()];
+        let dark = self.channel_gains_into(&flat, &mut gains);
+        (gains, dark)
+    }
+
+    /// Flat-buffer variant of [`VectorComputeCore::channel_gains`]:
+    /// `drives` is one contiguous `width × weight_bits` slice (bit-major
+    /// within each channel, MSB first — `drives[i*bits + b]` is channel
+    /// `i`, bit `b`), and the gains land in the caller's `gains` slice
+    /// instead of a fresh allocation. Same arithmetic in the same order
+    /// as the nested API, so the two are bit-identical; this is the form
+    /// the tensor core's cache rebuild drives so a tile write performs
+    /// exactly one flat precompute per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives` or `gains` have the wrong length.
+    pub fn channel_gains_into(&self, drives: &[Voltage], gains: &mut [f64]) -> Current {
+        let bits = self.weight_bits as usize;
+        assert_eq!(
+            drives.len(),
+            self.width() * bits,
+            "one drive per (weight, bit)"
+        );
+        assert_eq!(gains.len(), self.width(), "one gain slot per channel");
         let grid = self.comb.wavelengths();
         let (fractions, _) = splitter::binary_ladder(self.weight_bits);
         let watts_per_input = self.comb.per_line_power().as_watts();
         let responsivity = self.pd.responsivity();
-        let mut gains = vec![0.0; self.width()];
+        gains.fill(0.0);
         for (b, &frac) in fractions.iter().enumerate() {
             let stages: Vec<(&Mrr, OperatingPoint)> = self.rings[b]
                 .iter()
                 .enumerate()
-                .map(|(i, r)| (r, OperatingPoint::new(drives[i][b], 0.0)))
+                .map(|(i, r)| (r, OperatingPoint::new(drives[i * bits + b], 0.0)))
                 .collect();
             let path = bus::channel_path_transmissions(&grid, &stages);
             for (gain, t) in gains.iter_mut().zip(path) {
                 *gain += responsivity * watts_per_input * frac * t;
             }
         }
-        let dark = self.pd.dark_current() * self.weight_bits as f64;
-        (gains, dark)
+        self.pd.dark_current() * self.weight_bits as f64
     }
 
     /// Convenience: drive voltages derived from integer weight codes.
@@ -411,6 +436,20 @@ mod tests {
                 (walked - mapped).abs() <= 1e-12 * walked.abs().max(1e-18),
                 "codes {w:?}: walk {walked} A vs linear map {mapped} A"
             );
+        }
+    }
+
+    #[test]
+    fn flat_channel_gains_match_nested() {
+        let c = core();
+        for w in [[3u32, 5, 1, 7], [7, 7, 7, 7], [0, 0, 0, 0]] {
+            let drives = c.drives_for_codes(&w);
+            let (nested_gains, nested_dark) = c.channel_gains(&drives);
+            let flat: Vec<Voltage> = drives.iter().flat_map(|d| d.iter().copied()).collect();
+            let mut gains = vec![f64::NAN; c.width()];
+            let dark = c.channel_gains_into(&flat, &mut gains);
+            assert_eq!(gains, nested_gains, "codes {w:?}");
+            assert_eq!(dark.as_amps(), nested_dark.as_amps());
         }
     }
 
