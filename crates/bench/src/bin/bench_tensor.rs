@@ -51,6 +51,12 @@ struct SizeReport {
     /// [`FlatBatch`]/[`FlatCodes`] pair.
     matmul_flat_ns: f64,
     matmul_flat_samples_per_s: f64,
+    /// The same flat path with a `pic-obs` stage collector installed,
+    /// i.e. the two-phase traced kernel serving threads run.
+    matmul_flat_traced_ns: f64,
+    /// `matmul_flat_traced_ns / matmul_flat_ns - 1`, as a percentage —
+    /// the measured cost of leaving instrumentation on.
+    trace_overhead_pct: f64,
 }
 
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -102,6 +108,18 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
         core.matmul_into(std::hint::black_box(flat_in.view()), &mut flat_out);
         std::hint::black_box(flat_out.as_slice());
     });
+    // Same call with an ambient stage collector installed: the engine
+    // switches to the two-phase traced kernel (analog pass, then
+    // digitisation) that instrumented serving threads run. Under
+    // `obs-off` the collector is a no-op and this measures the same
+    // kernel twice.
+    let stats = std::sync::Arc::new(pic_obs::StageStats::new());
+    pic_obs::install_collector(Some(std::sync::Arc::clone(&stats)));
+    let matmul_flat_traced_ns = ns_per_call(|| {
+        core.matmul_into(std::hint::black_box(flat_in.view()), &mut flat_out);
+        std::hint::black_box(flat_out.as_slice());
+    });
+    pic_obs::install_collector(None);
 
     let report = SizeReport {
         size: label.to_owned(),
@@ -115,10 +133,13 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
         matmul_serial_ns,
         matmul_flat_ns,
         matmul_flat_samples_per_s: batch.len() as f64 * 1e9 / matmul_flat_ns,
+        matmul_flat_traced_ns,
+        trace_overhead_pct: (matmul_flat_traced_ns / matmul_flat_ns - 1.0) * 100.0,
     };
     println!(
         "  {label:>6}: matvec {:.0} ns cached / {:.0} ns uncached ({:.1}×), \
-         matmul({}) {:.1} µs ({:.0} samples/s), flat {:.1} µs ({:.0} samples/s)",
+         matmul({}) {:.1} µs ({:.0} samples/s), flat {:.1} µs ({:.0} samples/s), \
+         traced {:.1} µs ({:+.1}%)",
         report.matvec_cached_ns,
         report.matvec_uncached_ns,
         report.cached_speedup,
@@ -127,6 +148,8 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
         report.matmul_samples_per_s,
         report.matmul_flat_ns / 1e3,
         report.matmul_flat_samples_per_s,
+        report.matmul_flat_traced_ns / 1e3,
+        report.trace_overhead_pct,
     );
     report
 }

@@ -27,14 +27,23 @@
 //! run overwrites it) and exits non-zero when one falls more than
 //! `--tolerance` (default 0.30) below it; a baseline recorded under a
 //! different workload shape is skipped with a note, never compared.
+//!
+//! `--trace <path>` writes an observability trace next to the bench
+//! report: per policy, the per-stage latency/energy breakdown (submit →
+//! queue → admission → write → compute → digitize → merge → respond)
+//! plus the flight-recorder dump; each policy's run also streams
+//! periodic exporter frames to `<stem>.<policy>.frames.jsonl`. Stage
+//! energy is asserted to reconcile with the `energy_j` /
+//! `write_energy_j` counters on every run (trace or not).
 
+use pic_obs::JsonLinesSink;
 use pic_runtime::{
     AdmissionPolicyKind, MatmulRequest, Response, ResponseHandle, Runtime, RuntimeConfig,
     TileExecutor, TileShape, TiledMatrix,
 };
 use pic_tensor::TensorCoreConfig;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -177,8 +186,55 @@ struct BenchReport {
     cross_policy_outputs_identical: bool,
 }
 
+/// One stage row of the `--trace` report: latency distribution plus the
+/// modeled energy attributed to this stage.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StageTrace {
+    stage: String,
+    count: u64,
+    mean_s: f64,
+    p50_s: f64,
+    p99_s: f64,
+    p999_s: f64,
+    max_s: f64,
+    energy_j: f64,
+}
+
+/// One flight-recorder event, with the kind rendered as its label.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EventTrace {
+    seq: u64,
+    t_ns: u64,
+    kind: String,
+    a: u64,
+    b: u64,
+}
+
+/// Per-policy observability trace: the stage breakdown, the energy
+/// reconciliation inputs, and the flight-recorder dump.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PolicyTrace {
+    policy: String,
+    stages: Vec<StageTrace>,
+    stage_energy_total_j: f64,
+    energy_j: f64,
+    write_energy_j: f64,
+    events: Vec<EventTrace>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TraceReport {
+    id: String,
+    title: String,
+    /// `false` under the `obs-off` feature — stages and events are then
+    /// structurally present but empty.
+    obs_enabled: bool,
+    policies: Vec<PolicyTrace>,
+}
+
 struct RunOutcome {
     report: PolicyReport,
+    trace: PolicyTrace,
     served: Vec<Option<Response>>,
 }
 
@@ -188,8 +244,14 @@ fn run_policy(
     stream: &[StreamItem],
     window: usize,
     deadline_horizon: Duration,
+    frames_path: Option<&Path>,
 ) -> RunOutcome {
-    let rt = Runtime::start(config);
+    let mut rt = Runtime::start(config);
+    if let Some(path) = frames_path {
+        let sink = JsonLinesSink::create(path)
+            .unwrap_or_else(|e| panic!("--trace frames {}: {e}", path.display()));
+        rt.spawn_exporter(Duration::from_millis(25), Arc::new(sink));
+    }
     let requests = stream.len();
     let mut completed_ok = 0u64;
     let mut typed_deadline = 0u64;
@@ -300,8 +362,63 @@ fn run_policy(
     assert!(checked > 0, "spot checks must sample something");
     assert_eq!(mismatches, 0, "served results must match solo execution");
 
-    let s = rt.metrics().snapshot();
-    let hit_rate = s.tile_hits as f64 / (s.tile_hits + s.tile_writes).max(1) as f64;
+    // Join every runtime thread before reading stage histograms: a
+    // worker records its Respond span just after the last response
+    // lands, so reading earlier would race the final timer drop.
+    rt.shutdown();
+    let metrics = rt.metrics();
+    let s = metrics.snapshot();
+    if pic_obs::enabled() {
+        // The stage-attributed energy must recompose the counters it
+        // was split from: Write is the write total exactly; Write +
+        // Compute + Digitize recompose `energy_j`. Tolerances cover
+        // f64 accumulation-order differences only.
+        let staged = metrics.stage_energy_total_j();
+        assert!(
+            (staged - s.energy_j).abs() <= 1e-6 * s.energy_j.max(1e-30),
+            "stage energy sum {staged} J must reconcile with energy_j {} J",
+            s.energy_j
+        );
+        let write = metrics.stage_write_energy_j();
+        assert!(
+            (write - s.write_energy_j).abs() <= 1e-6 * s.write_energy_j.max(1e-30),
+            "write-stage energy {write} J must reconcile with write_energy_j {} J",
+            s.write_energy_j
+        );
+    }
+    let trace = PolicyTrace {
+        policy: config.policy.label().to_owned(),
+        stages: metrics
+            .stages
+            .snapshot()
+            .into_iter()
+            .map(|st| StageTrace {
+                stage: st.stage.label().to_owned(),
+                count: st.hist.count(),
+                mean_s: st.hist.mean_s(),
+                p50_s: st.hist.quantile_s(0.50),
+                p99_s: st.hist.quantile_s(0.99),
+                p999_s: st.hist.quantile_s(0.999),
+                max_s: st.hist.max_s(),
+                energy_j: st.energy_j,
+            })
+            .collect(),
+        stage_energy_total_j: metrics.stage_energy_total_j(),
+        energy_j: s.energy_j,
+        write_energy_j: s.write_energy_j,
+        events: metrics
+            .recorder
+            .dump()
+            .into_iter()
+            .map(|e| EventTrace {
+                seq: e.seq,
+                t_ns: e.t_ns,
+                kind: e.kind.label().to_owned(),
+                a: e.a,
+                b: e.b,
+            })
+            .collect(),
+    };
     let report = PolicyReport {
         policy: config.policy.label().to_owned(),
         completed: s.completed,
@@ -318,7 +435,7 @@ fn run_policy(
         device_time_per_request_s: s.device_time_s / s.completed.max(1) as f64,
         tile_writes: s.tile_writes,
         tile_hits: s.tile_hits,
-        residency_hit_rate: hit_rate,
+        residency_hit_rate: s.tile_hit_rate,
         tile_writes_per_request: s.tile_writes as f64 / s.completed.max(1) as f64,
         batches_dispatched: s.batches_dispatched,
         requests_batched: s.requests_batched,
@@ -326,7 +443,11 @@ fn run_policy(
         spot_checks: checked,
         spot_check_mismatches: mismatches,
     };
-    RunOutcome { report, served }
+    RunOutcome {
+        report,
+        trace,
+        served,
+    }
 }
 
 fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T>
@@ -394,6 +515,7 @@ fn main() {
         .unwrap_or_else(|| AdmissionPolicyKind::ALL.to_vec());
     let check: Option<String> = arg_value(&args, "--check");
     let tolerance: f64 = arg_value(&args, "--tolerance").unwrap_or(0.30);
+    let trace: Option<PathBuf> = arg_value::<String>(&args, "--trace").map(PathBuf::from);
     // Read the baseline up front: `--check` may point at the very file
     // this run is about to overwrite.
     let baseline: Option<BenchReport> = check.as_ref().map(|path| {
@@ -438,15 +560,26 @@ fn main() {
     let stream = build_stream(&models, requests, zipf_s, &mut rng);
 
     let mut reports: Vec<PolicyReport> = Vec::new();
+    let mut traces: Vec<PolicyTrace> = Vec::new();
     let mut baseline_outputs: Option<Vec<Option<Response>>> = None;
     let mut cross_identical = true;
     for &kind in &policies {
+        // Each policy's periodic exporter frames land in a sibling of
+        // the trace file, one JSON-lines stream per runtime.
+        let frames_path = trace.as_ref().map(|p| {
+            let stem = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("TRACE_runtime");
+            p.with_file_name(format!("{stem}.{}.frames.jsonl", kind.label()))
+        });
         let outcome = run_policy(
             config.with_policy(kind),
             &models,
             &stream,
             window,
             deadline_horizon,
+            frames_path.as_deref(),
         );
         let r = &outcome.report;
         println!(
@@ -465,6 +598,23 @@ fn main() {
             r.admission_reorders,
             r.deadline_misses,
         );
+        // The per-stage breakdown: where a request's wall time and the
+        // run's modeled energy actually went.
+        if pic_obs::enabled() {
+            for st in &outcome.trace.stages {
+                if st.count == 0 {
+                    continue;
+                }
+                println!(
+                    "            [{:>9}] {:>7} × mean {:>9.1} µs, p99 {:>10.1} µs | {:>10.2} nJ",
+                    st.stage,
+                    st.count,
+                    st.mean_s * 1e6,
+                    st.p99_s * 1e6,
+                    st.energy_j * 1e9,
+                );
+            }
+        }
         // Admission order must never change what a request computes:
         // every policy's served outputs are bit-identical to the
         // first's (only pairs served under both are comparable — a miss
@@ -481,6 +631,7 @@ fn main() {
             }
         }
         reports.push(outcome.report);
+        traces.push(outcome.trace);
     }
     assert!(
         cross_identical,
@@ -555,12 +706,40 @@ fn main() {
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
     println!("  [written {}]", path.display());
 
+    if let Some(trace_path) = &trace {
+        let trace_report = TraceReport {
+            id: "trace_runtime".to_owned(),
+            title: "Per-stage latency/energy breakdown and flight-recorder dump".to_owned(),
+            obs_enabled: pic_obs::enabled(),
+            policies: traces,
+        };
+        let json = serde_json::to_string_pretty(&trace_report).expect("serialise trace");
+        std::fs::write(trace_path, json)
+            .unwrap_or_else(|e| panic!("write {}: {e}", trace_path.display()));
+        println!("  [trace written {}]", trace_path.display());
+    }
+
     if let Some(baseline) = baseline {
         if !same_workload(&baseline, &report) {
             println!(
                 "  [check] baseline measured a different workload shape — throughput not compared"
             );
         } else {
+            // Show every policy's delta vs the baseline, not just the
+            // failures — this is how the tracing-overhead claim is
+            // checked against a baseline recorded without it.
+            for b in &baseline.policies {
+                if let Some(n) = report.policies.iter().find(|p| p.policy == b.policy) {
+                    let delta = n.throughput_req_per_s / b.throughput_req_per_s - 1.0;
+                    println!(
+                        "  [check] {:>9}: {:>6.0} req/s vs baseline {:>6.0} req/s ({:+.1}%)",
+                        b.policy,
+                        n.throughput_req_per_s,
+                        b.throughput_req_per_s,
+                        delta * 100.0,
+                    );
+                }
+            }
             let failures = regressions(&baseline, &report, tolerance);
             if failures.is_empty() {
                 println!(

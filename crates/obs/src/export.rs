@@ -1,0 +1,199 @@
+//! Snapshot sinks: where the periodic exporter sends frames.
+//!
+//! The exporter thread (owned by the runtime) periodically builds a
+//! cumulative [`Frame`], computes the windowed delta vs the previous
+//! frame, and hands both to a [`SnapshotSink`]. The sink decides what
+//! to do with them — append JSON lines to a file, keep the latest in
+//! memory for a scraper, fan out over a channel. Incident dumps from
+//! the flight recorder route through the same trait.
+
+use crate::expose::Frame;
+use crate::recorder::Event;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Receiver for periodic frames and incident dumps. Implementations
+/// must be `Send + Sync`; calls may arrive from the exporter thread
+/// and worker threads concurrently.
+pub trait SnapshotSink: Send + Sync {
+    /// A periodic export: `frame` is cumulative since startup, `delta`
+    /// is the window since the previous export (equal to `frame` on
+    /// the first export).
+    fn export(&self, frame: &Frame, delta: &Frame);
+
+    /// A flight-recorder dump, fired on the first incident (e.g. first
+    /// deadline miss). Default: ignored.
+    fn incident(&self, _events: &[Event]) {}
+}
+
+/// Renders flight-recorder events as a JSON array of
+/// `{"seq","t_ns","kind","a","b"}` objects.
+#[must_use]
+pub fn events_to_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 64 + 2);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"t_ns\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            e.seq,
+            e.t_ns,
+            e.kind.label(),
+            e.a,
+            e.b
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// A sink that appends one JSON line per export to a file:
+/// `{"kind":"frame","cumulative":{..},"delta":{..}}` for exports,
+/// `{"kind":"incident","events":[..]}` for incident dumps.
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    file: Mutex<std::fs::File>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &Path) -> std::io::Result<JsonLinesSink> {
+        Ok(JsonLinesSink {
+            file: Mutex::new(std::fs::File::create(path)?),
+        })
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut file = self.file.lock().expect("sink file lock");
+        // Export is best-effort: losing a trace line must never take
+        // down serving, so the error is swallowed by design.
+        let _ = writeln!(file, "{line}");
+    }
+}
+
+impl SnapshotSink for JsonLinesSink {
+    fn export(&self, frame: &Frame, delta: &Frame) {
+        self.write_line(&format!(
+            "{{\"kind\":\"frame\",\"cumulative\":{},\"delta\":{}}}",
+            frame.to_json(),
+            delta.to_json()
+        ));
+    }
+
+    fn incident(&self, events: &[Event]) {
+        self.write_line(&format!(
+            "{{\"kind\":\"incident\",\"events\":{}}}",
+            events_to_json(events)
+        ));
+    }
+}
+
+/// A sink that retains the most recent cumulative and delta frames in
+/// memory — the endpoint-less scrape path: a caller (or test) reads
+/// [`MemorySink::latest`] and renders it however it likes.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    latest: Mutex<Option<(Frame, Frame)>>,
+    incidents: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The most recent `(cumulative, delta)` pair, if any export ran.
+    #[must_use]
+    pub fn latest(&self) -> Option<(Frame, Frame)> {
+        self.latest.lock().expect("sink lock").clone()
+    }
+
+    /// Events from incident dumps, in arrival order.
+    #[must_use]
+    pub fn incidents(&self) -> Vec<Event> {
+        self.incidents.lock().expect("sink lock").clone()
+    }
+}
+
+impl SnapshotSink for MemorySink {
+    fn export(&self, frame: &Frame, delta: &Frame) {
+        *self.latest.lock().expect("sink lock") = Some((frame.clone(), delta.clone()));
+    }
+
+    fn incident(&self, events: &[Event]) {
+        self.incidents
+            .lock()
+            .expect("sink lock")
+            .extend_from_slice(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{EventKind, FlightRecorder};
+
+    #[test]
+    fn events_render_as_a_json_array() {
+        let rec = FlightRecorder::new(4);
+        rec.record(EventKind::DeadlineExpired, 5, 1_000);
+        let events = rec.dump();
+        let json = events_to_json(&events);
+        if crate::span::compiled() {
+            assert!(json.contains("\"kind\":\"deadline_expired\""));
+            assert!(json.contains("\"a\":5"));
+        } else {
+            assert_eq!(json, "[]");
+        }
+    }
+
+    #[test]
+    fn json_lines_sink_appends_frames_and_incidents() {
+        let dir = std::env::temp_dir().join(format!("pic-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = JsonLinesSink::create(&path).unwrap();
+        let frame = Frame {
+            at_s: 1.0,
+            counters: vec![("done", 3)],
+            ..Frame::default()
+        };
+        sink.export(&frame, &frame);
+        sink.incident(&[]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"kind\":\"frame\",\"cumulative\":{"));
+        assert!(lines[0].contains("\"done\":3"));
+        assert_eq!(lines[1], "{\"kind\":\"incident\",\"events\":[]}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_sink_retains_latest_and_incidents() {
+        let sink = MemorySink::new();
+        assert!(sink.latest().is_none());
+        let mut frame = Frame {
+            at_s: 1.0,
+            ..Frame::default()
+        };
+        sink.export(&frame, &frame);
+        frame.at_s = 2.0;
+        sink.export(&frame, &frame);
+        assert_eq!(sink.latest().unwrap().0.at_s, 2.0);
+        let rec = FlightRecorder::new(4);
+        rec.record(EventKind::WorkerStall, 1, 2);
+        sink.incident(&rec.dump());
+        if crate::span::compiled() {
+            assert_eq!(sink.incidents().len(), 1);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # pic-obs — dependency-free observability for the photonic serving stack
+//!
+//! The runtime and tensor crates need to explain where time and energy
+//! go without paying for it on the hot path. This crate provides the
+//! four pieces, with **zero external dependencies** (consistent with
+//! the workspace's vendored-offline policy):
+//!
+//! * [`hist`] — lock-free log₂-bucketed [`LatencyHistogram`] with
+//!   `merge`/`delta`/snapshot, and [`AtomicF64`] accumulators.
+//! * [`span`] — the [`Stage`] taxonomy of the request lifecycle,
+//!   per-stage stats tables ([`StageStats`]), ambient RAII [`Span`]s
+//!   recording self time through a thread-local collector, and
+//!   explicit [`StageTimer`]s.
+//! * [`recorder`] — a seqlock ring-buffer [`FlightRecorder`] of recent
+//!   structured events with a one-shot incident latch.
+//! * [`expose`]/[`export`] — a unified [`Frame`] snapshot rendered as
+//!   Prometheus text or JSON, and [`SnapshotSink`]s for the periodic
+//!   exporter (JSON-lines file, in-memory scrape).
+//!
+//! ## Cost model
+//!
+//! Recording is wait-free on the writer side: a histogram record is
+//! two relaxed `fetch_add`s, a flight-recorder event is six relaxed
+//! atomic stores, a span is two `Instant::now()` calls plus a TLS
+//! push/pop. The `obs-off` feature compiles all recording to empty
+//! inline functions for an A/B proof that instrumentation is not the
+//! bottleneck.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod export;
+pub mod expose;
+pub mod hist;
+pub mod recorder;
+pub mod span;
+
+pub use export::{events_to_json, JsonLinesSink, MemorySink, SnapshotSink};
+pub use expose::{Frame, StageFrame};
+pub use hist::{AtomicF64, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use recorder::{Event, EventKind, FlightRecorder, DEFAULT_RECORDER_CAPACITY};
+pub use span::{
+    collector_installed, install_collector, Span, Stage, StageSnapshot, StageStats, StageTimer,
+    STAGE_COUNT,
+};
+
+/// Whether instrumentation is compiled in (`false` when the `obs-off`
+/// feature is enabled).
+#[must_use]
+pub const fn enabled() -> bool {
+    span::compiled()
+}

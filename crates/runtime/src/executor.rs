@@ -134,6 +134,7 @@ impl TileExecutor {
         if self.resident_tile() == Some(key) {
             return (0.0, false);
         }
+        let _span = pic_obs::Span::enter(pic_obs::Stage::Write);
         let tile = matrix.tile(key.block_row, key.block_col);
         let (energy, _flips) = self.core.write_weights_transient(tile.codes());
         self.resident = Some((key, self.core.weight_generation()));
@@ -249,6 +250,7 @@ impl TileExecutor {
 
                 let batch = self.scratch.splits.view_rows(bc * samples, samples);
                 self.core.matmul_into(batch, &mut self.scratch.codes);
+                let _merge = pic_obs::Span::enter(pic_obs::Stage::Merge);
                 for s in 0..samples {
                     let codes = self.scratch.codes.row(s);
                     let acc_start = s * out_dim + br * config.rows;
@@ -265,6 +267,7 @@ impl TileExecutor {
         // Dequantise: each tile code estimates `dot_tile/(tile_cols·max)`
         // on a `levels−1` scale, so the whole-matrix estimate rescales the
         // code sum by the tile-to-matrix width ratio.
+        let _merge = pic_obs::Span::enter(pic_obs::Stage::Merge);
         let levels = config.adc.channel_count() as f64;
         let scale = config.cols as f64 / matrix.in_dim() as f64 / (levels - 1.0);
         let outputs: Vec<Vec<OutputElement>> = (0..samples)

@@ -16,7 +16,14 @@
 //! * [`Runtime`] adds bounded intake, dynamic same-matrix batching,
 //!   per-request deadlines, typed rejections, and graceful shutdown —
 //!   all on std threads and channels;
-//! * [`MetricsRegistry`] counts everything and snapshots to JSON.
+//! * [`MetricsRegistry`] counts everything and snapshots to JSON —
+//!   with per-stage latency/energy attribution (`pic-obs` spans through
+//!   submit → queue → admission → write → compute → digitize → merge →
+//!   respond), a flight recorder of recent structured events, a unified
+//!   Prometheus/JSON exposition [`Frame`](pic_obs::Frame) via
+//!   [`Runtime::frame`], and a periodic snapshot exporter
+//!   ([`Runtime::spawn_exporter`]). Building with the `obs-off` feature
+//!   compiles all instrumentation to no-ops.
 //!
 //! ```
 //! use pic_runtime::{MatmulRequest, Runtime, RuntimeConfig, TileShape, TiledMatrix};

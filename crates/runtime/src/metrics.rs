@@ -1,128 +1,25 @@
-//! Lock-free serving metrics: counters, latency histograms, energy.
+//! Lock-free serving metrics: counters, latency histograms, per-stage
+//! statistics, energy, and the flight recorder.
 //!
 //! Workers record into atomics (no locks on the hot path); a
-//! [`MetricsRegistry::snapshot`] collapses everything into a serialisable
-//! [`MetricsSnapshot`] for the benchmark JSON and operator dashboards.
+//! [`MetricsRegistry::snapshot`] collapses everything into a
+//! serialisable [`MetricsSnapshot`] for the benchmark JSON, and
+//! [`MetricsRegistry::frame`] builds a [`pic_obs::Frame`] for the
+//! Prometheus/JSON exposition layer and the periodic exporter.
+//!
+//! The histogram and float-accumulator primitives live in `pic-obs`
+//! (re-exported here for compatibility); this module owns the
+//! registry that wires them to the runtime's request lifecycle.
 
+pub use pic_obs::{AtomicF64, LatencyHistogram};
+
+use pic_obs::{FlightRecorder, Frame, Stage, StageFrame, StageStats};
 use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Power-of-two bucket count of the latency histogram: bucket `i` holds
-/// samples in `[2^i, 2^{i+1})` nanoseconds, which covers ~584 years in
-/// the last bucket — nothing saturates.
-const BUCKETS: usize = 64;
-
-/// A log₂-bucketed latency histogram over nanoseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [const { AtomicU64::new(0) }; BUCKETS],
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one sample.
-    pub fn record(&self, nanos: u64) {
-        let bucket = (63 - nanos.max(1).leading_zeros()) as usize;
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
-    }
-
-    /// Samples recorded.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in seconds (0 when empty).
-    #[must_use]
-    pub fn mean_s(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
-        }
-        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1e9
-    }
-
-    /// The latency at quantile `q ∈ [0, 1]`, in seconds, interpolated
-    /// linearly within its log₂ bucket (0 when empty).
-    ///
-    /// Bucket `i` spans `[2^i, 2^{i+1})` ns; the rank's position among
-    /// the bucket's samples places the estimate between those edges, so
-    /// quantiles no longer snap to powers of two (a bucket holding the
-    /// single top-ranked sample still reports its upper edge, matching
-    /// the pre-interpolation behaviour).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` leaves `[0, 1]`.
-    #[must_use]
-    pub fn quantile_s(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile in [0, 1], got {q}");
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            let here = bucket.load(Ordering::Relaxed);
-            seen += here;
-            if seen >= rank {
-                let lower = 2f64.powi(i as i32);
-                let upper = 2f64.powi(i as i32 + 1);
-                let position = (rank - (seen - here)) as f64 / here as f64;
-                return (lower + (upper - lower) * position) / 1e9;
-            }
-        }
-        2f64.powi(BUCKETS as i32) / 1e9
-    }
-}
-
-/// An `f64` accumulator built on atomic compare-and-swap of the bit
-/// pattern (std has no `AtomicF64`).
-#[derive(Debug, Default)]
-pub struct AtomicF64 {
-    bits: AtomicU64,
-}
-
-impl AtomicF64 {
-    /// Adds `v` atomically.
-    pub fn add(&self, v: f64) {
-        let mut current = self.bits.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(current) + v).to_bits();
-            match self.bits.compare_exchange_weak(
-                current,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(observed) => current = observed,
-            }
-        }
-    }
-
-    /// The accumulated value.
-    #[must_use]
-    pub fn get(&self) -> f64 {
-        f64::from_bits(self.bits.load(Ordering::Relaxed))
-    }
-}
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The runtime's metrics registry; one per [`Runtime`](crate::Runtime).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     /// Requests accepted into the intake queue.
     pub submitted: AtomicU64,
@@ -154,6 +51,53 @@ pub struct MetricsRegistry {
     pub write_energy_j: AtomicF64,
     /// Modeled hardware time charged to completed requests, s.
     pub device_time_s: AtomicF64,
+    /// Per-stage wall-clock histograms and modeled energy attribution
+    /// (shared with worker threads as their ambient span collector).
+    pub stages: Arc<StageStats>,
+    /// Ring buffer of recent structured events for post-mortem dumps.
+    pub recorder: Arc<FlightRecorder>,
+    /// Live gauge: requests sitting in the bounded intake queue.
+    pub intake_depth: AtomicU64,
+    /// Live gauge: requests in the dispatcher's pending queues.
+    pub pending_depth: AtomicU64,
+    /// Live gauge: workers currently executing a batch.
+    pub workers_busy: AtomicU64,
+    /// Cumulative wall-clock nanoseconds workers spent executing
+    /// batches (windowed against elapsed time it yields busy fraction).
+    pub worker_busy_ns: AtomicU64,
+    /// Worker/device count, set at runtime start (0 outside a runtime).
+    pub devices: AtomicU64,
+    /// Registry creation time — the origin of [`Frame::at_s`].
+    started: Instant,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            requests_batched: AtomicU64::new(0),
+            admission_reorders: AtomicU64::new(0),
+            tile_writes: AtomicU64::new(0),
+            tile_hits: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            energy_j: AtomicF64::new(),
+            write_energy_j: AtomicF64::new(),
+            device_time_s: AtomicF64::new(),
+            stages: Arc::new(StageStats::new()),
+            recorder: Arc::new(FlightRecorder::default()),
+            intake_depth: AtomicU64::new(0),
+            pending_depth: AtomicU64::new(0),
+            workers_busy: AtomicU64::new(0),
+            worker_busy_ns: AtomicU64::new(0),
+            devices: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
 }
 
 /// A serialisable point-in-time view of a [`MetricsRegistry`].
@@ -179,12 +123,19 @@ pub struct MetricsSnapshot {
     pub tile_writes: u64,
     /// Tile loads avoided by residency.
     pub tile_hits: u64,
+    /// Share of tile loads served from residency:
+    /// `tile_hits / (tile_hits + tile_writes)` (0 with no traffic).
+    pub tile_hit_rate: f64,
     /// Mean submit→response latency, s.
     pub latency_mean_s: f64,
     /// Median submit→response latency, s.
     pub latency_p50_s: f64,
     /// 99th-percentile submit→response latency, s.
     pub latency_p99_s: f64,
+    /// 99.9th-percentile submit→response latency, s.
+    pub latency_p999_s: f64,
+    /// Largest observed submit→response latency (bucket upper edge), s.
+    pub latency_max_s: f64,
     /// Modeled hardware energy charged to completed requests, J.
     pub energy_j: f64,
     /// The pSRAM tile-write share of `energy_j`.
@@ -194,9 +145,15 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsRegistry {
-    /// Collapses the registry into a serialisable snapshot.
+    /// Collapses the registry into a serialisable snapshot. All latency
+    /// statistics derive from one consistent histogram snapshot, so the
+    /// quantiles in a single [`MetricsSnapshot`] never disagree about
+    /// the sample count even under concurrent recording.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency = self.latency.snapshot();
+        let tile_writes = self.tile_writes.load(Ordering::Relaxed);
+        let tile_hits = self.tile_hits.load(Ordering::Relaxed);
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -206,91 +163,113 @@ impl MetricsRegistry {
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
             requests_batched: self.requests_batched.load(Ordering::Relaxed),
             admission_reorders: self.admission_reorders.load(Ordering::Relaxed),
-            tile_writes: self.tile_writes.load(Ordering::Relaxed),
-            tile_hits: self.tile_hits.load(Ordering::Relaxed),
-            latency_mean_s: self.latency.mean_s(),
-            latency_p50_s: self.latency.quantile_s(0.5),
-            latency_p99_s: self.latency.quantile_s(0.99),
+            tile_writes,
+            tile_hits,
+            tile_hit_rate: tile_hits as f64 / (tile_hits + tile_writes).max(1) as f64,
+            latency_mean_s: latency.mean_s(),
+            latency_p50_s: latency.quantile_s(0.5),
+            latency_p99_s: latency.quantile_s(0.99),
+            latency_p999_s: latency.quantile_s(0.999),
+            latency_max_s: latency.max_s(),
             energy_j: self.energy_j.get(),
             write_energy_j: self.write_energy_j.get(),
             device_time_s: self.device_time_s.get(),
         }
+    }
+
+    /// Builds the unified exposition [`Frame`]: every counter, the live
+    /// gauges, the per-stage latency/energy rows, and the end-to-end
+    /// latency histogram. Pool-level gauges (idle devices, residency)
+    /// are appended by [`Runtime::frame`](crate::Runtime::frame).
+    #[must_use]
+    pub fn frame(&self) -> Frame {
+        let devices = self.devices.load(Ordering::Relaxed);
+        let busy = self.workers_busy.load(Ordering::Relaxed);
+        Frame {
+            at_s: self.started.elapsed().as_secs_f64(),
+            counters: vec![
+                ("requests_submitted", self.submitted.load(Ordering::Relaxed)),
+                ("requests_completed", self.completed.load(Ordering::Relaxed)),
+                (
+                    "rejected_deadline",
+                    self.rejected_deadline.load(Ordering::Relaxed),
+                ),
+                (
+                    "rejected_queue_full",
+                    self.rejected_queue_full.load(Ordering::Relaxed),
+                ),
+                (
+                    "rejected_invalid",
+                    self.rejected_invalid.load(Ordering::Relaxed),
+                ),
+                (
+                    "batches_dispatched",
+                    self.batches_dispatched.load(Ordering::Relaxed),
+                ),
+                (
+                    "requests_batched",
+                    self.requests_batched.load(Ordering::Relaxed),
+                ),
+                (
+                    "admission_reorders",
+                    self.admission_reorders.load(Ordering::Relaxed),
+                ),
+                ("tile_writes", self.tile_writes.load(Ordering::Relaxed)),
+                ("tile_hits", self.tile_hits.load(Ordering::Relaxed)),
+                (
+                    "worker_busy_ns",
+                    self.worker_busy_ns.load(Ordering::Relaxed),
+                ),
+                ("recorder_events", self.recorder.recorded()),
+            ],
+            gauges: vec![
+                (
+                    "intake_depth".to_owned(),
+                    self.intake_depth.load(Ordering::Relaxed) as f64,
+                ),
+                (
+                    "pending_depth".to_owned(),
+                    self.pending_depth.load(Ordering::Relaxed) as f64,
+                ),
+                ("workers_busy".to_owned(), busy as f64),
+                (
+                    "worker_busy_fraction".to_owned(),
+                    busy as f64 / devices.max(1) as f64,
+                ),
+                ("energy_j".to_owned(), self.energy_j.get()),
+                ("write_energy_j".to_owned(), self.write_energy_j.get()),
+                ("device_time_s".to_owned(), self.device_time_s.get()),
+            ],
+            stages: self
+                .stages
+                .snapshot()
+                .into_iter()
+                .map(StageFrame::from)
+                .collect(),
+            hists: vec![("latency", self.latency.snapshot())],
+        }
+    }
+
+    /// Total modeled energy attributed across stages, J. Reconciles
+    /// with the [`MetricsRegistry::energy_j`] counter (same batch-level
+    /// sources, so they agree to floating-point accumulation order).
+    #[must_use]
+    pub fn stage_energy_total_j(&self) -> f64 {
+        self.stages.total_energy_j()
+    }
+
+    /// The write stage's attributed energy, J (reconciles with
+    /// [`MetricsRegistry::write_energy_j`]).
+    #[must_use]
+    pub fn stage_write_energy_j(&self) -> f64 {
+        self.stages.energy_j(Stage::Write)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
-
-    #[test]
-    fn histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
-        for _ in 0..99 {
-            h.record(1_000); // ~1 µs
-        }
-        h.record(1_000_000_000); // 1 s outlier
-        assert_eq!(h.count(), 100);
-        let p50 = h.quantile_s(0.5);
-        assert!(p50 < 3e-6, "p50 {p50} should sit at the µs cluster");
-        let p99 = h.quantile_s(0.99);
-        assert!(p99 < 3e-6, "p99 {p99} still inside the cluster of 99");
-        let p100 = h.quantile_s(1.0);
-        assert!(p100 >= 1.0, "max must see the outlier, got {p100}");
-        assert!(h.mean_s() > 0.009 && h.mean_s() < 0.011);
-    }
-
-    #[test]
-    fn quantiles_interpolate_within_their_bucket() {
-        // 100 identical 1000 ns samples all land in bucket 9
-        // ([512, 1024) ns): rank r interpolates to 512 + 512·(r/100).
-        let h = LatencyHistogram::default();
-        for _ in 0..100 {
-            h.record(1_000);
-        }
-        assert!((h.quantile_s(0.5) - 768e-9).abs() < 1e-15, "mid-bucket p50");
-        assert!(
-            (h.quantile_s(0.25) - 640e-9).abs() < 1e-15,
-            "quarter-bucket p25"
-        );
-        assert!((h.quantile_s(1.0) - 1024e-9).abs() < 1e-15, "full bucket");
-        // A single top-ranked sample still resolves to its bucket's
-        // upper edge (the pre-interpolation convention).
-        let h = LatencyHistogram::default();
-        h.record(1_000);
-        h.record(1_000_000_000); // bucket 29: [2^29, 2^30) ns
-        let p100 = h.quantile_s(1.0);
-        assert!((p100 - 2f64.powi(30) / 1e9).abs() < 1e-12);
-        // And the two-sample median sits at bucket 9's upper edge, not
-        // snapped to a whole power of two of seconds.
-        assert!((h.quantile_s(0.5) - 1024e-9).abs() < 1e-15);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zeros() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_s(0.99), 0.0);
-        assert_eq!(h.mean_s(), 0.0);
-    }
-
-    #[test]
-    fn atomic_f64_accumulates_across_threads() {
-        let acc = Arc::new(AtomicF64::default());
-        let threads: Vec<_> = (0..8)
-            .map(|_| {
-                let acc = Arc::clone(&acc);
-                std::thread::spawn(move || {
-                    for _ in 0..1000 {
-                        acc.add(0.5);
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().expect("thread finishes");
-        }
-        assert!((acc.get() - 4000.0).abs() < 1e-9);
-    }
+    use pic_obs::EventKind;
 
     #[test]
     fn snapshot_mirrors_the_registry() {
@@ -305,9 +284,125 @@ mod tests {
         let s = m.snapshot();
         assert_eq!((s.submitted, s.completed, s.rejected_deadline), (5, 4, 1));
         assert_eq!((s.tile_writes, s.tile_hits), (7, 3));
+        assert!((s.tile_hit_rate - 0.3).abs() < 1e-12);
         assert!((s.energy_j - 1.5e-9).abs() < 1e-21);
         assert!(s.latency_p50_s > 0.0);
+        assert!(s.latency_p999_s >= s.latency_p99_s);
+        assert!(s.latency_max_s >= s.latency_p999_s);
         let json = serde_json::to_string(&s).expect("serialises");
-        assert!(json.contains("latency_p99_s"));
+        assert!(json.contains("latency_p999_s"));
+        assert!(json.contains("latency_max_s"));
+        assert!(json.contains("tile_hit_rate"));
+    }
+
+    #[test]
+    fn tile_hit_rate_is_zero_without_traffic() {
+        let s = MetricsRegistry::default().snapshot();
+        assert_eq!(s.tile_hit_rate, 0.0);
+        assert_eq!(s.latency_max_s, 0.0);
+    }
+
+    #[test]
+    fn frame_carries_counters_gauges_stages_and_latency() {
+        let m = MetricsRegistry::default();
+        m.completed.fetch_add(2, Ordering::Relaxed);
+        m.intake_depth.fetch_add(4, Ordering::Relaxed);
+        m.devices.store(2, Ordering::Relaxed);
+        m.workers_busy.fetch_add(1, Ordering::Relaxed);
+        m.latency.record(5_000);
+        m.stages.record_ns(pic_obs::Stage::Compute, 1_000);
+        m.stages.add_energy_j(pic_obs::Stage::Compute, 1e-12);
+        let f = m.frame();
+        assert!(f.at_s >= 0.0);
+        let counter = |n: &str| {
+            f.counters
+                .iter()
+                .find(|(name, _)| *name == n)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(counter("requests_completed"), Some(2));
+        let gauge = |n: &str| f.gauges.iter().find(|(name, _)| name == n).map(|g| g.1);
+        assert_eq!(gauge("intake_depth"), Some(4.0));
+        assert_eq!(gauge("worker_busy_fraction"), Some(0.5));
+        assert_eq!(f.stages.len(), pic_obs::STAGE_COUNT);
+        assert_eq!(f.hists[0].0, "latency");
+        assert_eq!(f.hists[0].1.count(), 1);
+        if pic_obs::enabled() {
+            let compute = &f.stages[pic_obs::Stage::Compute as usize];
+            assert_eq!(compute.hist.count(), 1);
+            assert!((compute.energy_j - 1e-12).abs() < 1e-24);
+            assert!((m.stage_energy_total_j() - 1e-12).abs() < 1e-24);
+        }
+        // Renderers accept the frame end to end.
+        assert!(f.to_prometheus("pic").contains("pic_requests_completed 2"));
+        assert!(f.to_json().contains("\"requests_completed\":2"));
+    }
+
+    #[test]
+    fn registry_recorder_is_shared_and_dumpable() {
+        let m = MetricsRegistry::default();
+        m.recorder.record(EventKind::QueueFullRejected, 9, 0);
+        if pic_obs::enabled() {
+            let events = m.recorder.dump();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].kind, EventKind::QueueFullRejected);
+        }
+    }
+
+    /// Satellite stress test: 8 writer threads hammer one registry while
+    /// a snapshotter reads concurrently. Every observed snapshot must
+    /// have monotone counters, and every histogram snapshot's derived
+    /// count must equal the sum of its bucket counts (the relaxed-race
+    /// bug class the quantile clamp fix addresses).
+    #[test]
+    fn concurrent_snapshots_stay_monotone_and_self_consistent() {
+        let m = Arc::new(MetricsRegistry::default());
+        const WRITERS: usize = 8;
+        const PER: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        m.submitted.fetch_add(1, Ordering::Relaxed);
+                        m.completed.fetch_add(1, Ordering::Relaxed);
+                        m.tile_writes.fetch_add(1, Ordering::Relaxed);
+                        m.latency.record(1 + (w as u64 * PER + i) % 100_000);
+                        m.energy_j.add(1e-12);
+                        m.stages.record_ns(pic_obs::Stage::Compute, 500);
+                    }
+                });
+            }
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                let mut last = m.snapshot();
+                for _ in 0..500 {
+                    let snap = m.snapshot();
+                    assert!(snap.submitted >= last.submitted, "monotone submitted");
+                    assert!(snap.completed >= last.completed, "monotone completed");
+                    assert!(snap.tile_writes >= last.tile_writes, "monotone writes");
+                    // count == Σ bucket counts holds by construction in
+                    // the histogram snapshot; quantiles must stay inside
+                    // the recorded range even mid-race (the clamp fix).
+                    let hist = m.latency.snapshot();
+                    assert_eq!(
+                        hist.count(),
+                        hist.buckets.iter().sum::<u64>(),
+                        "derived count equals bucket sum"
+                    );
+                    for q in [0.5, 0.99, 0.999, 1.0] {
+                        let v = hist.quantile_s(q);
+                        assert!(
+                            v <= 262_144e-9 + 1e-12,
+                            "q{q} = {v}s escaped the recorded range"
+                        );
+                    }
+                    last = snap;
+                }
+            });
+        });
+        let end = m.snapshot();
+        assert_eq!(end.submitted, (WRITERS as u64) * PER);
+        assert_eq!(m.latency.snapshot().count(), (WRITERS as u64) * PER);
     }
 }

@@ -121,6 +121,23 @@ impl DevicePool {
         self.idle.lock().expect("pool lock").devices.len()
     }
 
+    /// `(device id, resident matrix id)` for every *idle* device, in
+    /// device-id order — the live residency view behind the exposition
+    /// layer's per-device gauges. Checked-out devices are necessarily
+    /// absent (their residency is in flux on a worker thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool mutex is poisoned.
+    #[must_use]
+    pub fn idle_residency(&self) -> Vec<(usize, Option<u64>)> {
+        let idle = self.idle.lock().expect("pool lock");
+        idle.devices
+            .iter()
+            .map(|(&id, device)| (id, device.resident_tile().map(|key| key.matrix)))
+            .collect()
+    }
+
     /// Checks out any device, blocking until one is idle.
     #[must_use]
     pub fn acquire(&self) -> DeviceGuard<'_> {

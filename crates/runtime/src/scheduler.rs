@@ -25,11 +25,17 @@ use crate::admission::{AdmissionPolicyKind, DispatchContext, PendingItem, Pendin
 use crate::metrics::MetricsRegistry;
 use crate::pool::DevicePool;
 use crate::request::{MatmulRequest, RequestCost, Response, RuntimeError};
+use pic_obs::{EventKind, Frame, SnapshotSink, Stage, StageTimer};
+use pic_tensor::performance::PerformanceModel;
 use pic_tensor::TensorCoreConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// A worker that waited idle at least this long records a
+/// [`EventKind::WorkerStall`] in the flight recorder.
+const STALL_EVENT_THRESHOLD: Duration = Duration::from_millis(1);
 
 /// Sizing of a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,11 +177,20 @@ impl ResponseHandle {
     }
 }
 
+/// Tells the exporter thread to emit a final frame and exit.
+#[derive(Debug, Default)]
+struct ExporterStop {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
 /// The serving runtime. See the [module docs](self) for the data path.
 #[derive(Debug)]
 pub struct Runtime {
     intake: Option<SyncSender<Submission>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
+    exporter: Option<std::thread::JoinHandle<()>>,
+    exporter_stop: Arc<ExporterStop>,
     metrics: Arc<MetricsRegistry>,
     pool: Arc<DevicePool>,
     config: RuntimeConfig,
@@ -192,6 +207,9 @@ impl Runtime {
     pub fn start(config: RuntimeConfig) -> Self {
         config.validate();
         let metrics = Arc::new(MetricsRegistry::default());
+        metrics
+            .devices
+            .store(config.devices as u64, Ordering::Relaxed);
         let pool = Arc::new(DevicePool::new(config.core, config.devices));
         let (intake_tx, intake_rx) = std::sync::mpsc::sync_channel(config.queue_depth);
         let dispatcher = {
@@ -205,9 +223,51 @@ impl Runtime {
         Runtime {
             intake: Some(intake_tx),
             dispatcher: Some(dispatcher),
+            exporter: None,
+            exporter_stop: Arc::new(ExporterStop::default()),
             metrics,
             pool,
             config,
+        }
+    }
+
+    /// Spawns the periodic snapshot exporter: every `interval` it hands
+    /// the sink a cumulative [`Frame`] plus the windowed delta since the
+    /// previous export, forwards the flight-recorder dump once when the
+    /// incident latch trips (first deadline miss), and emits one final
+    /// frame at shutdown. At most one exporter runs; a second call
+    /// replaces the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exporter thread cannot spawn.
+    pub fn spawn_exporter(&mut self, interval: Duration, sink: Arc<dyn SnapshotSink>) {
+        self.stop_exporter();
+        self.exporter_stop = Arc::new(ExporterStop::default());
+        let stop = Arc::clone(&self.exporter_stop);
+        let metrics = Arc::clone(&self.metrics);
+        let pool = Arc::clone(&self.pool);
+        self.exporter = Some(
+            std::thread::Builder::new()
+                .name("pic-exporter".to_owned())
+                .spawn(move || exporter_loop(&stop, interval, &metrics, &pool, sink.as_ref()))
+                .expect("spawn exporter"),
+        );
+    }
+
+    /// The unified exposition frame: registry counters/gauges/stages
+    /// plus pool-level device gauges. Render it with
+    /// [`Frame::to_prometheus`] or [`Frame::to_json`].
+    #[must_use]
+    pub fn frame(&self) -> Frame {
+        runtime_frame(&self.metrics, &self.pool)
+    }
+
+    fn stop_exporter(&mut self) {
+        if let Some(exporter) = self.exporter.take() {
+            *self.exporter_stop.stopped.lock().expect("exporter lock") = true;
+            self.exporter_stop.wake.notify_all();
+            exporter.join().expect("exporter exits cleanly");
         }
     }
 
@@ -237,17 +297,24 @@ impl Runtime {
     /// [`RuntimeError::QueueFull`] under backpressure,
     /// [`RuntimeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: MatmulRequest) -> Result<ResponseHandle, RuntimeError> {
+        let _timer = StageTimer::start(&self.metrics.stages, Stage::Submit);
         let (submission, handle) = self.admit(request)?;
         let intake = self.intake.as_ref().ok_or(RuntimeError::ShuttingDown)?;
         match intake.try_send(submission) {
             Ok(()) => {
                 self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.intake_depth.fetch_add(1, Ordering::Relaxed);
                 Ok(handle)
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(rejected)) => {
                 self.metrics
                     .rejected_queue_full
                     .fetch_add(1, Ordering::Relaxed);
+                self.metrics.recorder.record(
+                    EventKind::QueueFullRejected,
+                    rejected.request.matrix.id(),
+                    0,
+                );
                 Err(RuntimeError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => Err(RuntimeError::ShuttingDown),
@@ -261,12 +328,14 @@ impl Runtime {
     /// Like [`Runtime::submit`], except backpressure blocks instead of
     /// returning [`RuntimeError::QueueFull`].
     pub fn submit_blocking(&self, request: MatmulRequest) -> Result<ResponseHandle, RuntimeError> {
+        let _timer = StageTimer::start(&self.metrics.stages, Stage::Submit);
         let (submission, handle) = self.admit(request)?;
         let intake = self.intake.as_ref().ok_or(RuntimeError::ShuttingDown)?;
         intake
             .send(submission)
             .map_err(|_| RuntimeError::ShuttingDown)?;
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.intake_depth.fetch_add(1, Ordering::Relaxed);
         Ok(handle)
     }
 
@@ -289,13 +358,15 @@ impl Runtime {
         ))
     }
 
-    /// Stops intake, drains every queued request, and joins all threads.
+    /// Stops intake, drains every queued request, and joins all threads
+    /// (the exporter last, so its final frame sees the drained state).
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.intake = None;
         if let Some(dispatcher) = self.dispatcher.take() {
             dispatcher.join().expect("dispatcher exits cleanly");
         }
+        self.stop_exporter();
     }
 }
 
@@ -313,6 +384,13 @@ fn dispatcher_loop(
     pool: &Arc<DevicePool>,
     metrics: &Arc<MetricsRegistry>,
 ) {
+    // Digitisation's share of modeled compute energy, from the paper's
+    // power breakdown — splits each batch's compute energy between the
+    // analog-compute and digitise stages.
+    let adc_fraction = {
+        let breakdown = PerformanceModel::new(config.core).power_breakdown();
+        breakdown.adc_w / breakdown.total_w()
+    };
     let outstanding: Arc<Vec<AtomicUsize>> =
         Arc::new((0..config.devices).map(|_| AtomicUsize::new(0)).collect());
     let mut senders = Vec::with_capacity(config.devices);
@@ -327,11 +405,32 @@ fn dispatcher_loop(
             std::thread::Builder::new()
                 .name(format!("pic-worker-{w}"))
                 .spawn(move || {
-                    while let Ok(batch) = rx.recv() {
+                    // Spans opened anywhere below this worker (executor
+                    // merge, tensor compute/digitise kernels) record into
+                    // the registry's stage table.
+                    pic_obs::install_collector(Some(Arc::clone(&metrics.stages)));
+                    loop {
+                        let idle_from = Instant::now();
+                        let Ok(batch) = rx.recv() else { break };
+                        let stalled = idle_from.elapsed();
+                        if stalled >= STALL_EVENT_THRESHOLD {
+                            metrics.recorder.record(
+                                EventKind::WorkerStall,
+                                w as u64,
+                                stalled.as_nanos() as u64,
+                            );
+                        }
                         let size = batch.group.len();
-                        process_batch(batch, &pool, &metrics);
+                        metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
+                        let busy_from = Instant::now();
+                        process_batch(batch, &pool, &metrics, adc_fraction);
+                        metrics
+                            .worker_busy_ns
+                            .fetch_add(busy_from.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
                         outstanding[w].fetch_sub(size, Ordering::Relaxed);
                     }
+                    pic_obs::install_collector(None);
                 })
                 .expect("spawn worker"),
         );
@@ -352,11 +451,16 @@ fn dispatcher_loop(
     let mut policy = config.policy.build(config.max_delay);
     let mut pending: PendingQueues<Submission> = PendingQueues::new();
     let mut last_dispatched: Option<u64> = None;
+    let mut pending_count: u64 = 0;
     let mut open = true;
     while open || !pending.is_empty() {
         if pending.is_empty() {
             match intake.recv() {
-                Ok(s) => pending.push(s),
+                Ok(s) => {
+                    metrics.intake_depth.fetch_sub(1, Ordering::Relaxed);
+                    pending.push(s);
+                    pending_count += 1;
+                }
                 Err(_) => {
                     open = false;
                     continue;
@@ -367,9 +471,15 @@ fn dispatcher_loop(
         // backlog, not one request at a time.
         if open {
             while let Ok(s) = intake.try_recv() {
+                metrics.intake_depth.fetch_sub(1, Ordering::Relaxed);
                 pending.push(s);
+                pending_count += 1;
             }
         }
+        metrics
+            .pending_depth
+            .store(pending_count, Ordering::Relaxed);
+        let admission_timer = StageTimer::start(&metrics.stages, Stage::Admission);
         let views = pending.views();
         let backlog: Vec<usize> = outstanding
             .iter()
@@ -384,12 +494,27 @@ fn dispatcher_loop(
         let picked = policy
             .select(&views, &ctx, Instant::now())
             .min(views.len() - 1);
-        if picked != 0 {
-            metrics.admission_reorders.fetch_add(1, Ordering::Relaxed);
-        }
         let matrix_id = views[picked].matrix_id;
         let group = pending.take(matrix_id, config.max_batch);
         debug_assert!(!group.is_empty(), "selected group has pending work");
+        drop(admission_timer);
+        if picked != 0 {
+            metrics.admission_reorders.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .recorder
+                .record(EventKind::AdmissionReorder, matrix_id, group.len() as u64);
+        }
+        pending_count -= group.len() as u64;
+        metrics
+            .pending_depth
+            .store(pending_count, Ordering::Relaxed);
+        let formed_at = Instant::now();
+        for sub in &group {
+            metrics.stages.record_ns(
+                Stage::Queue,
+                formed_at.duration_since(sub.submitted_at).as_nanos() as u64,
+            );
+        }
         last_dispatched = Some(matrix_id);
         metrics.batches_dispatched.fetch_add(1, Ordering::Relaxed);
         if group.len() > 1 {
@@ -431,13 +556,23 @@ fn dispatcher_loop(
 }
 
 /// Executes one same-matrix batch on a residency-affine device and fans
-/// the outputs back out to the individual requests.
-fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry) {
+/// the outputs back out to the individual requests. `adc_fraction` is
+/// digitisation's share of modeled compute energy (from the power
+/// breakdown), used for per-stage energy attribution.
+fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry, adc_fraction: f64) {
     let now = Instant::now();
     let mut live = Vec::with_capacity(batch.group.len());
     for sub in batch.group {
-        if sub.request.deadline.is_some_and(|d| d <= now) {
+        if let Some(deadline) = sub.request.deadline.filter(|&d| d <= now) {
             metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            metrics.recorder.record(
+                EventKind::DeadlineExpired,
+                sub.request.matrix.id(),
+                now.duration_since(deadline).as_nanos() as u64,
+            );
+            // Latch the incident so the exporter dumps the ring once,
+            // capturing the events that led up to the first miss.
+            metrics.recorder.trip_incident();
             let _ = sub.respond.send(Err(RuntimeError::DeadlineExpired));
         } else {
             live.push(sub);
@@ -472,6 +607,30 @@ fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry) {
             metrics.energy_j.add(cost.total_energy_j());
             metrics.write_energy_j.add(cost.write_energy_j);
             metrics.device_time_s.add(cost.total_time_s());
+            // Stage-level energy attribution: the write stage carries the
+            // batch's tile-write energy exactly; compute energy splits
+            // between analog compute and digitisation by the power
+            // breakdown. Summing the three reconciles with `energy_j`.
+            let digitize_energy = cost.compute_energy_j * adc_fraction;
+            metrics
+                .stages
+                .add_energy_j(Stage::Write, cost.write_energy_j);
+            metrics
+                .stages
+                .add_energy_j(Stage::Compute, cost.compute_energy_j - digitize_energy);
+            metrics
+                .stages
+                .add_energy_j(Stage::Digitize, digitize_energy);
+            metrics.recorder.record(
+                if cost.tiles_written == 0 {
+                    EventKind::ResidencyHit
+                } else {
+                    EventKind::ResidencyMiss
+                },
+                matrix.id(),
+                device_id as u64,
+            );
+            let _respond_timer = StageTimer::start(&metrics.stages, Stage::Respond);
             let batched_with = live.len();
             let finished = Instant::now();
             for sub in live {
@@ -508,6 +667,66 @@ fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry) {
                 metrics.rejected_invalid.fetch_add(1, Ordering::Relaxed);
                 let _ = sub.respond.send(Err(e.clone()));
             }
+        }
+    }
+}
+
+/// The registry frame plus pool-level gauges: idle device count, how
+/// many idle devices hold a live resident tile, and a 0/1 residency
+/// gauge per idle device.
+fn runtime_frame(metrics: &MetricsRegistry, pool: &DevicePool) -> Frame {
+    let mut frame = metrics.frame();
+    let residency = pool.idle_residency();
+    frame
+        .gauges
+        .push(("devices_idle".to_owned(), residency.len() as f64));
+    frame.gauges.push((
+        "devices_resident".to_owned(),
+        residency.iter().filter(|(_, m)| m.is_some()).count() as f64,
+    ));
+    for (id, resident) in residency {
+        frame.gauges.push((
+            format!("device{id}_resident"),
+            if resident.is_some() { 1.0 } else { 0.0 },
+        ));
+    }
+    frame
+}
+
+/// The periodic exporter: frames every `interval`, the one-shot
+/// incident dump when the flight recorder's latch trips, and a final
+/// frame on shutdown.
+fn exporter_loop(
+    stop: &ExporterStop,
+    interval: Duration,
+    metrics: &MetricsRegistry,
+    pool: &DevicePool,
+    sink: &dyn SnapshotSink,
+) {
+    let mut previous: Option<Frame> = None;
+    let mut incident_dumped = false;
+    loop {
+        let stopped = {
+            let guard = stop.stopped.lock().expect("exporter lock");
+            let (guard, _) = stop
+                .wake
+                .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                .expect("exporter lock");
+            *guard
+        };
+        let frame = runtime_frame(metrics, pool);
+        let delta = match &previous {
+            Some(p) => frame.delta(p),
+            None => frame.clone(),
+        };
+        sink.export(&frame, &delta);
+        previous = Some(frame);
+        if !incident_dumped && metrics.recorder.incident_tripped() {
+            sink.incident(&metrics.recorder.dump());
+            incident_dumped = true;
+        }
+        if stopped {
+            return;
         }
     }
 }

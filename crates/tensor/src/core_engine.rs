@@ -545,6 +545,40 @@ impl TensorCore {
         }
     }
 
+    /// The traced two-phase form of the serial batched kernel: the whole
+    /// batch's analog row outputs land in a thread-local scratch under a
+    /// `Compute` span, then convert through the read-out table under a
+    /// `Digitize` span — so per-stage attribution separates the photonic
+    /// matvec from the eoADC walk. Bit-identical to the interleaved
+    /// kernel (same per-element arithmetic in the same order); only taken
+    /// when the calling thread has an ambient span collector installed.
+    fn matmul_into_traced(&self, cache: &WeightCache, inputs: FlatView<'_>, out: &mut FlatCodes) {
+        thread_local! {
+            static ANALOG: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let rows = self.config.rows;
+        let samples = inputs.samples();
+        ANALOG.with(|scratch| {
+            let mut analog = scratch.borrow_mut();
+            analog.clear();
+            analog.resize(samples * rows, 0.0);
+            {
+                let _compute = pic_obs::Span::enter(pic_obs::Stage::Compute);
+                for (s, row) in analog.chunks_exact_mut(rows).enumerate() {
+                    let x = inputs.row(s);
+                    for (r, y) in row.iter_mut().enumerate() {
+                        *y = cache.analog(r, x);
+                    }
+                }
+            }
+            let _digitize = pic_obs::Span::enter(pic_obs::Stage::Digitize);
+            for (code, &y) in out.as_mut_slice().iter_mut().zip(analog.iter()) {
+                let scaled = (y * self.readout_gain).min(1.0);
+                *code = self.lut.code_for_scaled(scaled);
+            }
+        });
+    }
+
     /// Analog matrix-vector product: per-row photocurrents normalised to
     /// the full-scale current, in `[0, 1]`.
     ///
@@ -625,6 +659,16 @@ impl TensorCore {
         out.reset(samples, rows);
         let workers = self.batch_workers(samples);
         if workers <= 1 {
+            // With an ambient span collector on this thread, run the
+            // two-phase traced kernel so analog compute and digitisation
+            // attribute separately (bit-identical results). Serving
+            // batches sit below the parallel threshold, so they always
+            // take this branch; the scoped threads of the parallel path
+            // have no collector and stay on the interleaved kernel.
+            if pic_obs::collector_installed() {
+                self.matmul_into_traced(cache, inputs, out);
+                return;
+            }
             for (s, codes) in out.as_mut_slice().chunks_exact_mut(rows).enumerate() {
                 self.sample_codes_into(cache, inputs.row(s), codes);
             }
