@@ -35,6 +35,16 @@
 //! periodic exporter frames to `<stem>.<policy>.frames.jsonl`. Stage
 //! energy is asserted to reconcile with the `energy_j` /
 //! `write_energy_j` counters on every run (trace or not).
+//!
+//! `--serve` switches to the networked driver: the same workload is
+//! replayed through the `pic-net` HTTP front-end over loopback by
+//! `--clients N` (default 8) closed-loop clients (fairness budget
+//! `--budget`, default 64), each on its own keep-alive connection.
+//! Wire replies are spot-checked bit-for-bit against a solo executor,
+//! a `GET /metrics` scrape is validated mid-burst, and the report —
+//! the same `BenchReport` schema nested under per-client fairness
+//! stats — lands in `BENCH_net[_smoke].json` with `--check` gating the
+//! nested throughput numbers.
 
 use pic_obs::JsonLinesSink;
 use pic_runtime::{
@@ -186,6 +196,36 @@ struct BenchReport {
     cross_policy_outputs_identical: bool,
 }
 
+/// One loopback client's ledger from a `--serve` run: the client-side
+/// tallies merged with the server's fairness standing.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ClientReport {
+    client: String,
+    weight: u32,
+    requests: u64,
+    completed: u64,
+    rejected_deadline: u64,
+    /// 429 sheds this client retried through (each request still ends
+    /// in exactly one terminal outcome).
+    shed_retries: u64,
+    /// Admissions counted by the server's fair-admission controller.
+    admitted: u64,
+}
+
+/// The `--serve` report: the same `BenchReport` schema as the
+/// in-process run (nested, so `--check` gates the same numbers) plus
+/// per-client fairness stats from the networked closed loop.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct NetBenchReport {
+    id: String,
+    title: String,
+    smoke: bool,
+    clients: usize,
+    fairness_budget: usize,
+    client_stats: Vec<ClientReport>,
+    bench: BenchReport,
+}
+
 /// One stage row of the `--trace` report: latency distribution plus the
 /// modeled energy attributed to this stage.
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -258,7 +298,10 @@ fn run_policy(
     let mut lost = 0u64;
     let mut served: Vec<Option<Response>> = (0..requests).map(|_| None).collect();
 
-    let submit = |i: usize, rt: &Runtime| -> ResponseHandle {
+    // Pre-expired requests reject synchronously at submit now (the DOA
+    // gate), so the driver hands the reaper a Result: an Err is the
+    // request's final answer, an Ok still has a response in flight.
+    let submit = |i: usize, rt: &Runtime| -> Result<ResponseHandle, pic_runtime::RuntimeError> {
         let (which, inputs, expired) = &stream[i];
         let req = MatmulRequest::new(Arc::clone(&models[*which]), inputs.clone());
         let req = if *expired {
@@ -266,11 +309,13 @@ fn run_policy(
         } else {
             req.with_deadline(Instant::now() + deadline_horizon)
         };
-        rt.submit_blocking(req).expect("stream is pre-validated")
+        rt.submit_blocking(req)
     };
-    let mut reap = |i: usize, h: ResponseHandle, served: &mut Vec<Option<Response>>| {
+    let mut reap = |i: usize,
+                    submitted: Result<ResponseHandle, pic_runtime::RuntimeError>,
+                    served: &mut Vec<Option<Response>>| {
         let expired = stream[i].2;
-        match h.wait() {
+        match submitted.and_then(ResponseHandle::wait) {
             Ok(resp) => {
                 assert!(!expired, "pre-expired request must not be served");
                 completed_ok += 1;
@@ -293,7 +338,8 @@ fn run_policy(
         // order. Throughput is whatever the runtime sustains, not what
         // the driver paces.
         std::thread::scope(|scope| {
-            let (htx, hrx) = std::sync::mpsc::sync_channel::<(usize, ResponseHandle)>(requests);
+            type Submitted = Result<ResponseHandle, pic_runtime::RuntimeError>;
+            let (htx, hrx) = std::sync::mpsc::sync_channel::<(usize, Submitted)>(requests);
             let rt = &rt;
             scope.spawn(move || {
                 for i in 0..requests {
@@ -308,7 +354,8 @@ fn run_policy(
     } else {
         // Closed loop: a bounded in-flight window, so latency measures
         // service + bounded queueing rather than backlog drain.
-        let mut inflight: std::collections::VecDeque<(usize, ResponseHandle)> =
+        type Submitted = Result<ResponseHandle, pic_runtime::RuntimeError>;
+        let mut inflight: std::collections::VecDeque<(usize, Submitted)> =
             std::collections::VecDeque::new();
         for i in 0..requests {
             inflight.push_back((i, submit(i, &rt)));
@@ -419,8 +466,39 @@ fn run_policy(
             })
             .collect(),
     };
-    let report = PolicyReport {
-        policy: config.policy.label().to_owned(),
+    let report = policy_report(
+        config.policy.label(),
+        &s,
+        wall,
+        typed_deadline,
+        expired_count,
+        lost,
+        checked,
+        mismatches,
+    );
+    RunOutcome {
+        report,
+        trace,
+        served,
+    }
+}
+
+/// Renders one runtime's post-run snapshot into the side-by-side
+/// report row — shared between the in-process drivers and the
+/// networked (`--serve`) driver so both emit the same schema.
+#[allow(clippy::too_many_arguments)]
+fn policy_report(
+    policy: &str,
+    s: &pic_runtime::MetricsSnapshot,
+    wall: f64,
+    typed_deadline: u64,
+    expired_count: u64,
+    lost: u64,
+    spot_checks: usize,
+    spot_check_mismatches: usize,
+) -> PolicyReport {
+    PolicyReport {
+        policy: policy.to_owned(),
         completed: s.completed,
         rejected_deadline: s.rejected_deadline,
         deadline_misses: typed_deadline - expired_count,
@@ -435,18 +513,13 @@ fn run_policy(
         device_time_per_request_s: s.device_time_s / s.completed.max(1) as f64,
         tile_writes: s.tile_writes,
         tile_hits: s.tile_hits,
-        residency_hit_rate: s.tile_hit_rate,
+        residency_hit_rate: s.tile_hit_rate.unwrap_or(0.0),
         tile_writes_per_request: s.tile_writes as f64 / s.completed.max(1) as f64,
         batches_dispatched: s.batches_dispatched,
         requests_batched: s.requests_batched,
         admission_reorders: s.admission_reorders,
-        spot_checks: checked,
-        spot_check_mismatches: mismatches,
-    };
-    RunOutcome {
-        report,
-        trace,
-        served,
+        spot_checks,
+        spot_check_mismatches,
     }
 }
 
@@ -494,9 +567,342 @@ fn regressions(base: &BenchReport, now: &BenchReport, tolerance: f64) -> Vec<Str
     failures
 }
 
+/// The `--serve` driver: the same workload replayed through the
+/// `pic-net` front-end over loopback by `--clients N` closed-loop
+/// clients, with wire outputs spot-checked bit-for-bit against a solo
+/// executor and a `/metrics` scrape validated mid-burst. Writes
+/// `BENCH_net[_smoke].json`; `--check` gates the nested bench numbers
+/// against a committed baseline of the same shape.
+#[allow(clippy::too_many_lines)]
+fn net_main(args: &[String]) {
+    use pic_net::{
+        FairnessConfig, MatmulReply, MatmulWire, NetClient, NetConfig, NetError, NetServer,
+    };
+    use std::collections::HashMap;
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let requests: usize = arg_value(args, "--requests").unwrap_or(if smoke { 400 } else { 4_000 });
+    let models_n: usize = arg_value(args, "--models").unwrap_or(12);
+    let zipf_s: f64 = arg_value(args, "--zipf").unwrap_or(1.1);
+    let clients_n: usize = arg_value(args, "--clients").unwrap_or(8);
+    let budget: usize = arg_value(args, "--budget").unwrap_or(64);
+    let check: Option<String> = arg_value(args, "--check");
+    let tolerance: f64 = arg_value(args, "--tolerance").unwrap_or(0.30);
+    let baseline: Option<NetBenchReport> = check.as_ref().map(|path| {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check {path}: cannot read baseline: {e}"));
+        serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("--check {path}: baseline does not parse: {e:?}"))
+    });
+    assert!(clients_n > 0, "--clients must be positive");
+
+    let mut config = RuntimeConfig::paper();
+    // The paper config's 400 ms batch-formation delay suits an open
+    // loop draining a deep backlog; a closed loop with `clients_n`
+    // requests in flight would mostly measure that timer. Default to a
+    // serving-appropriate window instead (still `--max-delay-ms`
+    // overridable).
+    config.max_delay = Duration::from_millis(10);
+    if let Some(ms) = arg_value::<u64>(args, "--max-delay-ms") {
+        config.max_delay = Duration::from_millis(ms);
+    }
+    println!(
+        "BENCH_net — {requests} requests over {models_n} Zipf(s={zipf_s}) models through the \
+         network front-end, {clients_n} loopback clients (fairness budget {budget}), \
+         {} devices (batch ≤ {}), policy {}",
+        config.devices,
+        config.max_batch,
+        config.policy.label(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let models = model_set(config.core, models_n, &mut rng);
+    let stream = build_stream(&models, requests, zipf_s, &mut rng);
+    let registry: HashMap<String, Arc<TiledMatrix>> = models
+        .iter()
+        .enumerate()
+        .map(|(rank, m)| (format!("model-{rank}"), Arc::clone(m)))
+        .collect();
+
+    let server = NetServer::start(
+        NetConfig {
+            fairness: FairnessConfig {
+                budget,
+                default_weight: 1,
+                weights: Vec::new(),
+            },
+            ..NetConfig::default()
+        },
+        Runtime::start(config),
+        registry,
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Per-client ledgers; each client walks its round-robin slice of
+    // the stream over one keep-alive connection, retrying 429 sheds
+    // (with the advertised backoff scaled down for loopback) so every
+    // request still reaches exactly one terminal outcome.
+    struct ClientLedger {
+        name: String,
+        requests: u64,
+        completed: u64,
+        rejected_deadline: u64,
+        shed_retries: u64,
+        replies: Vec<(usize, MatmulReply)>,
+    }
+    let started = Instant::now();
+    let mut ledgers: Vec<ClientLedger> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients_n)
+            .map(|c| {
+                let stream = &stream;
+                scope.spawn(move || {
+                    let name = format!("client-{c}");
+                    let mut client = NetClient::connect(addr, &name).expect("connect loopback");
+                    let mut ledger = ClientLedger {
+                        name,
+                        requests: 0,
+                        completed: 0,
+                        rejected_deadline: 0,
+                        shed_retries: 0,
+                        replies: Vec::new(),
+                    };
+                    for i in (c..stream.len()).step_by(clients_n) {
+                        let (which, inputs, expired) = &stream[i];
+                        let wire = MatmulWire {
+                            model: format!("model-{which}"),
+                            inputs: inputs.clone(),
+                            deadline_ms: Some(if *expired { -1.0 } else { 600_000.0 }),
+                        };
+                        ledger.requests += 1;
+                        loop {
+                            match client.matmul(&wire) {
+                                Ok(reply) => {
+                                    assert!(!expired, "pre-expired request must not serve");
+                                    ledger.completed += 1;
+                                    ledger.replies.push((i, reply));
+                                    break;
+                                }
+                                Err(NetError::Rejected { status: 504, .. }) => {
+                                    ledger.rejected_deadline += 1;
+                                    break;
+                                }
+                                Err(NetError::Rejected { status: 429, .. }) => {
+                                    ledger.shed_retries += 1;
+                                    assert!(ledger.shed_retries < 1_000_000, "shed retry runaway");
+                                    std::thread::sleep(Duration::from_micros(500));
+                                }
+                                Err(other) => panic!("request {i} lost: {other}"),
+                            }
+                        }
+                    }
+                    ledger
+                })
+            })
+            .collect();
+        // Scrape /metrics mid-burst from its own connection: the
+        // exposition must stay parseable under live traffic.
+        std::thread::sleep(Duration::from_millis(10));
+        let mut probe = NetClient::connect(addr, "probe").expect("probe connects");
+        let scrape = probe.get("/metrics").expect("metrics answers mid-load");
+        assert_eq!(scrape.status, 200, "metrics must serve under load");
+        let text = scrape.text();
+        let mut samples = 0usize;
+        for line in text
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            let (_, value) = line.rsplit_once(' ').expect("prometheus `series value`");
+            let value: f64 = value.parse().expect("numeric sample");
+            assert!(value.is_finite(), "non-finite sample in {line:?}");
+            samples += 1;
+        }
+        assert!(
+            samples > 10 && text.contains("pic_net_http_requests"),
+            "mid-load scrape must carry the runtime + front-end frame"
+        );
+        println!("  [metrics] mid-load scrape parseable: {samples} samples");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    // Fairness standings before shutdown consumes the server.
+    let standings = server.standings();
+    let rt = server.shutdown();
+    let s = rt.metrics().snapshot();
+
+    // Conservation: every request reached exactly one terminal outcome,
+    // the client-side ledgers reconcile with the runtime's accounting,
+    // and pre-expired deadlines came back as typed 504s.
+    let completed: u64 = ledgers.iter().map(|l| l.completed).sum();
+    let typed_deadline: u64 = ledgers.iter().map(|l| l.rejected_deadline).sum();
+    let shed_retries: u64 = ledgers.iter().map(|l| l.shed_retries).sum();
+    let expired_count = stream.iter().filter(|(_, _, e)| *e).count() as u64;
+    assert_eq!(
+        completed + typed_deadline,
+        requests as u64,
+        "every networked request completes or rejects, never vanishes"
+    );
+    assert!(
+        typed_deadline >= expired_count,
+        "pre-expired deadlines reject"
+    );
+    assert_eq!(
+        s.completed, completed,
+        "runtime accounting matches the client-observed completions"
+    );
+
+    // Spot-check wire replies bit-for-bit against a fresh solo
+    // executor: network transport must not perturb a single bit.
+    let mut solo = TileExecutor::new(config.core, 900);
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    let stride = (requests / 32).max(1);
+    for ledger in &mut ledgers {
+        ledger.replies.sort_by_key(|(i, _)| *i);
+        for (i, reply) in &ledger.replies {
+            if i % stride != 0 {
+                continue;
+            }
+            let (which, inputs, _) = &stream[*i];
+            let (want, _) = solo.execute(&models[*which], inputs).expect("replay");
+            checked += 1;
+            if reply.outputs != want {
+                mismatches += 1;
+                println!("  [mismatch] request {i} differs over the wire");
+            }
+        }
+    }
+    assert!(checked > 0, "spot checks must sample something");
+    assert_eq!(
+        mismatches, 0,
+        "wire results must match solo execution bit-for-bit"
+    );
+
+    let client_stats: Vec<ClientReport> = ledgers
+        .iter()
+        .map(|l| {
+            let standing = standings.iter().find(|st| st.client == l.name);
+            ClientReport {
+                client: l.name.clone(),
+                weight: standing.map_or(1, |st| st.weight),
+                requests: l.requests,
+                completed: l.completed,
+                rejected_deadline: l.rejected_deadline,
+                shed_retries: l.shed_retries,
+                admitted: standing.map_or(0, |st| st.admitted),
+            }
+        })
+        .collect();
+    for cs in &client_stats {
+        println!(
+            "  {:>9}: {:>5} requests | {:>5} ok, {} deadline, {} shed retries | {} admitted",
+            cs.client,
+            cs.requests,
+            cs.completed,
+            cs.rejected_deadline,
+            cs.shed_retries,
+            cs.admitted,
+        );
+    }
+    let row = policy_report(
+        config.policy.label(),
+        &s,
+        wall,
+        typed_deadline,
+        expired_count,
+        0,
+        checked,
+        mismatches,
+    );
+    println!(
+        "  {:>9}: {:>6.0} req/s | hit rate {:>5.1}% | p50 {:>7.1} ms, p99 {:>8.1} ms | \
+         {} shed retries across {} clients",
+        row.policy,
+        row.throughput_req_per_s,
+        row.residency_hit_rate * 100.0,
+        row.latency_p50_s * 1e3,
+        row.latency_p99_s * 1e3,
+        shed_retries,
+        clients_n,
+    );
+    println!("  [check] conservation, wire bit-identity, and mid-load scrape ok");
+
+    let report = NetBenchReport {
+        id: "bench_net".to_owned(),
+        title: "Networked closed-loop serving through the pic-net front-end".to_owned(),
+        smoke,
+        clients: clients_n,
+        fairness_budget: budget,
+        client_stats,
+        bench: BenchReport {
+            id: "bench_runtime".to_owned(),
+            title: "Single-policy networked replay of the serving workload".to_owned(),
+            smoke,
+            devices: config.devices,
+            queue_depth: config.queue_depth,
+            max_batch: config.max_batch,
+            max_delay_ms: u64::try_from(config.max_delay.as_millis()).unwrap_or(u64::MAX),
+            requests_per_policy: requests,
+            models: models_n,
+            zipf_s,
+            open_loop: false,
+            window: clients_n,
+            policies: vec![row],
+            // Ratio fields are vacuous for a single-policy networked
+            // run; 1.0 keeps the schema numeric (NaN would not
+            // round-trip through JSON).
+            hit_rate_gain_residency_over_fifo: 1.0,
+            write_energy_cut_residency_over_fifo: 1.0,
+            cross_policy_outputs_identical: true,
+        },
+    };
+    let file = if smoke {
+        "BENCH_net_smoke.json"
+    } else {
+        "BENCH_net.json"
+    };
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let path = root
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|r| r.join(file))
+        .unwrap_or_else(|| PathBuf::from(file));
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    println!("  [written {}]", path.display());
+
+    if let Some(baseline) = baseline {
+        if !same_workload(&baseline.bench, &report.bench) {
+            println!(
+                "  [check] baseline measured a different workload shape — throughput not compared"
+            );
+        } else {
+            let failures = regressions(&baseline.bench, &report.bench, tolerance);
+            if failures.is_empty() {
+                println!(
+                    "  [check] networked throughput within {:.0}% of the baseline ok",
+                    tolerance * 100.0
+                );
+            } else {
+                for f in &failures {
+                    println!("  [REGRESSION] {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serve") {
+        return net_main(&args);
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let requests: usize = arg_value(&args, "--requests").unwrap_or(if smoke { 400 } else { 4_000 });
     let models_n: usize = arg_value(&args, "--models").unwrap_or(12);

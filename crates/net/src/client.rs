@@ -1,0 +1,149 @@
+//! A small blocking client for the front-end — used by the loopback
+//! benchmark drivers and the end-to-end tests, and a reference for how
+//! foreign clients should speak the wire protocol.
+
+use crate::http::{read_response, ParsedResponse};
+use crate::wire::{ErrorReply, MatmulReply, MatmulWire};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How a networked matmul can fail, as seen by the client.
+#[derive(Debug)]
+pub enum NetError {
+    /// The server answered with a typed error reply.
+    Rejected {
+        /// HTTP status (`429`, `504`, ...).
+        status: u16,
+        /// Stable machine-readable kind (`"queue_full"`, ...).
+        kind: String,
+        /// Human-readable description.
+        error: String,
+        /// Server-suggested backoff, seconds, when present.
+        retry_after_s: Option<u64>,
+    },
+    /// The connection failed before a reply arrived.
+    Transport(std::io::Error),
+    /// The reply arrived but was not the protocol this client speaks.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Rejected {
+                status,
+                kind,
+                error,
+                retry_after_s,
+            } => {
+                write!(f, "rejected ({status} {kind}): {error}")?;
+                if let Some(s) = retry_after_s {
+                    write!(f, " (retry after {s}s)")?;
+                }
+                Ok(())
+            }
+            NetError::Transport(e) => write!(f, "transport error: {e}"),
+            NetError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Transport(e)
+    }
+}
+
+/// One persistent (keep-alive) connection to a [`NetServer`]
+/// (`crate::NetServer`), identified to fair admission by its client id.
+#[derive(Debug)]
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    client_id: String,
+}
+
+impl NetClient {
+    /// Connects and identifies as `client_id` (sent as the `x-client`
+    /// header on every request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs, client_id: &str) -> std::io::Result<NetClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        // Generous ceiling so a wedged server fails a test instead of
+        // hanging it; normal replies arrive in microseconds.
+        writer.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(NetClient {
+            reader,
+            writer,
+            client_id: client_id.to_owned(),
+        })
+    }
+
+    /// The id this connection presents to fair admission.
+    #[must_use]
+    pub fn client_id(&self) -> &str {
+        &self.client_id
+    }
+
+    /// Issues a `GET` (for `/metrics` and `/healthz`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` on a malformed reply.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ParsedResponse> {
+        write!(
+            self.writer,
+            "GET {path} HTTP/1.1\r\nx-client: {}\r\n\r\n",
+            self.client_id
+        )?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+
+    /// Submits one matmul and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Rejected`] for typed server errors (sheds, expired
+    /// deadlines, backpressure), [`NetError::Transport`] /
+    /// [`NetError::Protocol`] for connection or framing failures.
+    pub fn matmul(&mut self, request: &MatmulWire) -> Result<MatmulReply, NetError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| NetError::Protocol(format!("request does not serialise: {e}")))?;
+        write!(
+            self.writer,
+            "POST /v1/matmul HTTP/1.1\r\nx-client: {}\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\n\r\n",
+            self.client_id,
+            body.len()
+        )?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        let response = read_response(&mut self.reader)?;
+        if response.status == 200 {
+            return serde_json::from_str(&response.text())
+                .map_err(|e| NetError::Protocol(format!("bad reply body: {e}")));
+        }
+        let retry_after_s = response
+            .header("retry-after")
+            .and_then(|v| v.parse::<u64>().ok());
+        let (kind, error) = match serde_json::from_str::<ErrorReply>(&response.text()) {
+            Ok(reply) => (reply.kind, reply.error),
+            Err(_) => ("unknown".to_owned(), response.text()),
+        };
+        Err(NetError::Rejected {
+            status: response.status,
+            kind,
+            error,
+            retry_after_s,
+        })
+    }
+}

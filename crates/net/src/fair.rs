@@ -1,0 +1,324 @@
+//! Per-client weighted fair admission with overload shedding.
+//!
+//! The front-end caps total in-flight requests at a `budget`; within
+//! that budget each client is entitled to a share proportional to its
+//! weight over the weights of the *currently active* clients (those
+//! with work in flight, plus the requester). The scheme is
+//! work-conserving: a lone client may use the entire budget, but the
+//! moment a second client shows up the shares contract and the greedy
+//! client starts shedding first. Sheds are reported with a suggested
+//! retry delay so well-behaved clients back off instead of hammering.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Sizing and weights of the admission controller.
+#[derive(Debug, Clone)]
+pub struct FairnessConfig {
+    /// Total in-flight requests admitted across all clients.
+    pub budget: usize,
+    /// Weight assigned to clients not listed in `weights`.
+    pub default_weight: u32,
+    /// Per-client weight overrides, `(client id, weight)`.
+    pub weights: Vec<(String, u32)>,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig {
+            budget: 64,
+            default_weight: 1,
+            weights: Vec::new(),
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The global in-flight budget is exhausted.
+    Overloaded,
+    /// This client is at its fair share while others are active.
+    OverShare,
+}
+
+/// One client's standing, for the fairness report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientStanding {
+    /// Client identifier (the `x-client` header value).
+    pub client: String,
+    /// The client's configured weight.
+    pub weight: u32,
+    /// Requests admitted so far.
+    pub admitted: u64,
+    /// Requests shed so far.
+    pub shed: u64,
+    /// Requests currently in flight.
+    pub inflight: usize,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    weight: u32,
+    inflight: usize,
+    admitted: u64,
+    shed: u64,
+}
+
+/// The admission controller. All operations take one short mutex; the
+/// per-request work is a handful of map lookups plus one sum over
+/// *active* clients (bounded by the budget, not the client population).
+#[derive(Debug)]
+pub struct FairAdmission {
+    budget: usize,
+    default_weight: u32,
+    clients: Mutex<HashMap<String, ClientState>>,
+}
+
+impl FairAdmission {
+    /// A controller with the given sizing and weight table.
+    #[must_use]
+    pub fn new(config: &FairnessConfig) -> Self {
+        let mut clients = HashMap::new();
+        for (client, weight) in &config.weights {
+            clients.insert(
+                client.clone(),
+                ClientState {
+                    weight: (*weight).max(1),
+                    inflight: 0,
+                    admitted: 0,
+                    shed: 0,
+                },
+            );
+        }
+        FairAdmission {
+            budget: config.budget.max(1),
+            default_weight: config.default_weight.max(1),
+            clients: Mutex::new(clients),
+        }
+    }
+
+    /// Tries to admit one request for `client`. On success the client's
+    /// in-flight count is charged; the caller must pair every `Ok` with
+    /// exactly one [`FairAdmission::release`].
+    ///
+    /// # Errors
+    ///
+    /// [`Shed::Overloaded`] when the global budget is exhausted,
+    /// [`Shed::OverShare`] when this client is at its weighted share.
+    /// Both return the client's in-flight count at the decision.
+    pub fn try_admit(&self, client: &str) -> Result<(), (Shed, usize)> {
+        let mut clients = self.clients.lock().expect("fairness lock");
+        let default_weight = self.default_weight;
+        let state = clients
+            .entry(client.to_owned())
+            .or_insert_with(|| ClientState {
+                weight: default_weight,
+                inflight: 0,
+                admitted: 0,
+                shed: 0,
+            });
+        let weight = u64::from(state.weight);
+        let inflight = state.inflight;
+        // Active weight: every client with work in flight, counting the
+        // requester even when it is idle (its admission would activate
+        // it). A lone client therefore gets the whole budget.
+        let active_weight: u64 = clients
+            .values()
+            .filter(|c| c.inflight > 0)
+            .map(|c| u64::from(c.weight))
+            .sum::<u64>()
+            + if inflight == 0 { weight } else { 0 };
+        let total_inflight: usize = clients.values().map(|c| c.inflight).sum();
+        let share = usize::try_from((self.budget as u64 * weight) / active_weight.max(1))
+            .unwrap_or(usize::MAX)
+            .max(1);
+        // Fairness binds only when other active clients contracted the
+        // share below the whole budget; a lone client exhausting the
+        // budget is overload, not unfairness.
+        let verdict = if inflight >= share && share < self.budget {
+            Err(Shed::OverShare)
+        } else if total_inflight >= self.budget || inflight >= share {
+            Err(Shed::Overloaded)
+        } else {
+            Ok(())
+        };
+        let state = clients.get_mut(client).expect("inserted above");
+        match verdict {
+            Ok(()) => {
+                state.inflight += 1;
+                state.admitted += 1;
+                Ok(())
+            }
+            Err(shed) => {
+                state.shed += 1;
+                Err((shed, inflight))
+            }
+        }
+    }
+
+    /// Returns one in-flight slot for `client` (paired with a
+    /// successful [`FairAdmission::try_admit`]).
+    pub fn release(&self, client: &str) {
+        let mut clients = self.clients.lock().expect("fairness lock");
+        if let Some(state) = clients.get_mut(client) {
+            state.inflight = state.inflight.saturating_sub(1);
+        }
+    }
+
+    /// Total requests in flight across all clients.
+    #[must_use]
+    pub fn total_inflight(&self) -> usize {
+        self.clients
+            .lock()
+            .expect("fairness lock")
+            .values()
+            .map(|c| c.inflight)
+            .sum()
+    }
+
+    /// The configured global budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Every known client's standing, sorted by client id for stable
+    /// output.
+    #[must_use]
+    pub fn standings(&self) -> Vec<ClientStanding> {
+        let clients = self.clients.lock().expect("fairness lock");
+        let mut out: Vec<ClientStanding> = clients
+            .iter()
+            .map(|(client, s)| ClientStanding {
+                client: client.clone(),
+                weight: s.weight,
+                admitted: s.admitted,
+                shed: s.shed,
+                inflight: s.inflight,
+            })
+            .collect();
+        out.sort_by(|a, b| a.client.cmp(&b.client));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission(budget: usize) -> FairAdmission {
+        FairAdmission::new(&FairnessConfig {
+            budget,
+            default_weight: 1,
+            weights: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn a_lone_client_uses_the_whole_budget() {
+        let fair = admission(8);
+        for i in 0..8 {
+            assert!(fair.try_admit("solo").is_ok(), "admit {i}");
+        }
+        assert!(matches!(fair.try_admit("solo"), Err((Shed::Overloaded, 8))));
+        fair.release("solo");
+        assert!(fair.try_admit("solo").is_ok(), "released slot readmits");
+    }
+
+    #[test]
+    fn active_clients_contract_each_others_shares() {
+        let fair = admission(8);
+        // Fill the budget with one client, then activate a second: the
+        // greedy one is over its contracted share (8 * 1/2 = 4) while
+        // the newcomer gets admitted out of the remaining headroom.
+        for _ in 0..7 {
+            fair.try_admit("greedy").expect("fills");
+        }
+        assert!(fair.try_admit("newcomer").is_ok(), "newcomer fits");
+        assert!(
+            matches!(fair.try_admit("greedy"), Err((Shed::OverShare, 7))),
+            "greedy is far past its half share"
+        );
+        // Draining greedy below its share readmits it.
+        for _ in 0..5 {
+            fair.release("greedy");
+        }
+        assert!(fair.try_admit("greedy").is_ok());
+    }
+
+    #[test]
+    fn weights_scale_the_shares() {
+        let fair = FairAdmission::new(&FairnessConfig {
+            budget: 12,
+            default_weight: 1,
+            weights: vec![("premium".to_owned(), 3)],
+        });
+        // Both active: premium's share is 12 * 3/4 = 9, basic's 12/4 = 3.
+        fair.try_admit("basic").expect("activates basic");
+        fair.try_admit("premium").expect("activates premium");
+        let mut premium_admitted = 1;
+        while fair.try_admit("premium").is_ok() {
+            premium_admitted += 1;
+        }
+        assert_eq!(premium_admitted, 9, "weighted share");
+        let mut basic_admitted = 1;
+        while fair.try_admit("basic").is_ok() {
+            basic_admitted += 1;
+        }
+        assert_eq!(basic_admitted, 3, "unit share");
+    }
+
+    #[test]
+    fn standings_report_admits_sheds_and_inflight() {
+        let fair = admission(2);
+        fair.try_admit("a").expect("admitted");
+        fair.try_admit("a").expect("admitted");
+        let _ = fair.try_admit("b"); // shed: budget exhausted
+        let standings = fair.standings();
+        assert_eq!(standings.len(), 2);
+        assert_eq!(
+            (
+                standings[0].admitted,
+                standings[0].shed,
+                standings[0].inflight
+            ),
+            (2, 0, 2)
+        );
+        assert_eq!(
+            (
+                standings[1].admitted,
+                standings[1].shed,
+                standings[1].inflight
+            ),
+            (0, 1, 0)
+        );
+        assert_eq!(fair.total_inflight(), 2);
+    }
+
+    #[test]
+    fn concurrent_admits_never_exceed_the_budget() {
+        let fair = std::sync::Arc::new(admission(16));
+        let peak = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for c in 0..8 {
+                let fair = std::sync::Arc::clone(&fair);
+                let peak = std::sync::Arc::clone(&peak);
+                scope.spawn(move || {
+                    let me = format!("client-{c}");
+                    for _ in 0..500 {
+                        if fair.try_admit(&me).is_ok() {
+                            peak.fetch_max(
+                                fair.total_inflight(),
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                            fair.release(&me);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(std::sync::atomic::Ordering::Relaxed) <= 16);
+        assert_eq!(fair.total_inflight(), 0, "every admit was released");
+    }
+}

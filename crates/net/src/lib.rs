@@ -1,0 +1,52 @@
+//! `pic-net` — the network front-end of the serving runtime.
+//!
+//! Exposes a [`Runtime`](pic_runtime::Runtime) over loopback/LAN with
+//! an HTTP/1.1 subset spoken entirely through `std::net` (no external
+//! dependencies): a non-blocking bounded acceptor, one thread per
+//! connection with keep-alive, and JSON request/reply bodies whose
+//! `f64`s round-trip bit-identically (shortest-form printing), so a
+//! networked result equals the in-process result exactly.
+//!
+//! ## Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/matmul` | Submit a [`MatmulWire`] request; blocks for the reply |
+//! | `GET /metrics` | Prometheus exposition of the runtime + front-end frame |
+//! | `GET /healthz` | `200 ok` serving, `503 draining` during drain |
+//!
+//! ## Typed errors on the wire
+//!
+//! Runtime errors map to contractual statuses ([`error_status`]):
+//! `DeadlineExpired` → `504`, `QueueFull` → `429` + `Retry-After`,
+//! `ShuttingDown` → `503`, `InvalidRequest` → `400`, `WorkerLost` →
+//! `500`. Fair-admission sheds are also `429` + `Retry-After`, with
+//! `kind` distinguishing global overload from per-client over-share.
+//!
+//! ## Fairness and overload
+//!
+//! Admission is weighted-fair per client ([`FairAdmission`]): a global
+//! in-flight budget, shares proportional to weight over the *active*
+//! clients, work-conserving for a lone client. Connections beyond
+//! `max_connections` are refused with `503` at accept.
+//!
+//! ## Graceful drain
+//!
+//! [`NetServer::shutdown`] stops accepting, lets every connection
+//! finish the request it already read, joins all threads, then drains
+//! the runtime — zero accepted requests are lost and the exporter (if
+//! running) emits a final frame.
+
+#![warn(missing_docs)]
+
+pub mod fair;
+pub mod http;
+mod server;
+pub mod wire;
+
+mod client;
+
+pub use client::{NetClient, NetError};
+pub use fair::{ClientStanding, FairAdmission, FairnessConfig, Shed};
+pub use server::{NetConfig, NetServer, NetStats};
+pub use wire::{error_status, ErrorReply, MatmulReply, MatmulWire};

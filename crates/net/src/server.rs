@@ -1,0 +1,539 @@
+//! The network front-end: a bounded acceptor, one thread per
+//! connection, and the request router that translates wire requests
+//! into [`Runtime::submit`] calls.
+//!
+//! ## Lifecycle
+//!
+//! [`NetServer::start`] binds, sets the listener non-blocking, and
+//! spawns the acceptor. Each accepted connection gets its own thread
+//! with a socket read timeout as its poll quantum: while idle it wakes
+//! every quantum to check the drain flag, so keep-alive connections
+//! never pin a draining server.
+//!
+//! ## Graceful drain
+//!
+//! [`NetServer::shutdown`] loses zero accepted requests, by ordering:
+//!
+//! 1. the stop flag raises — the acceptor stops accepting, idle
+//!    connections close at their next poll;
+//! 2. connections that already *read* a request finish serving it (the
+//!    runtime still accepts submissions) and then close;
+//! 3. the acceptor joins every connection thread, then exits;
+//! 4. only now does the runtime drain and join, flushing everything it
+//!    accepted; its exporter (if any) emits one final frame.
+
+use crate::fair::{ClientStanding, FairAdmission, FairnessConfig, Shed};
+use crate::http::{read_request, HttpRequest, HttpResponse, RecvError};
+use crate::wire::{error_status, ErrorReply, MatmulReply, MatmulWire};
+use pic_obs::EventKind;
+use pic_runtime::{MatmulRequest, Runtime, TiledMatrix};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sizing and policy of the front-end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Most simultaneous connections; beyond it new connections get an
+    /// immediate `503` and a [`EventKind::ConnOverload`] event.
+    pub max_connections: usize,
+    /// Weighted fair admission sizing (see [`FairnessConfig`]).
+    pub fairness: FairnessConfig,
+    /// Socket read timeout — the idle-poll quantum of keep-alive
+    /// connections, bounding drain latency from above.
+    pub read_timeout: Duration,
+    /// Prometheus metric-name prefix served by `GET /metrics`.
+    pub prefix: String,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_connections: 64,
+            fairness: FairnessConfig::default(),
+            read_timeout: Duration::from_millis(25),
+            prefix: "pic".to_owned(),
+        }
+    }
+}
+
+/// Front-end counters, exposed through `GET /metrics` next to the
+/// runtime's registry.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// HTTP requests parsed off the wire.
+    pub http_requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub replies_ok: AtomicU64,
+    /// Responses with a 4xx/5xx status (typed errors included).
+    pub replies_error: AtomicU64,
+    /// Requests shed by weighted fair admission.
+    pub shed: AtomicU64,
+    /// Connections accepted.
+    pub conns_accepted: AtomicU64,
+    /// Connections refused at the cap.
+    pub conns_refused: AtomicU64,
+    /// Live connection gauge.
+    pub conns_active: AtomicU64,
+}
+
+/// State shared by the acceptor, every connection thread, and the
+/// handle.
+struct Shared {
+    runtime: Runtime,
+    models: HashMap<String, Arc<TiledMatrix>>,
+    fair: FairAdmission,
+    stats: NetStats,
+    stop: AtomicBool,
+    prefix: String,
+}
+
+/// The running front-end. Dropping it performs the same graceful drain
+/// as [`NetServer::shutdown`] (minus handing the runtime back).
+pub struct NetServer {
+    shared: Option<Arc<Shared>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Binds and starts serving `models` over `runtime`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configure failures from the listener.
+    pub fn start(
+        config: NetConfig,
+        runtime: Runtime,
+        models: HashMap<String, Arc<TiledMatrix>>,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            runtime,
+            models,
+            fair: FairAdmission::new(&config.fairness),
+            stats: NetStats::default(),
+            stop: AtomicBool::new(false),
+            prefix: config.prefix,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let read_timeout = config.read_timeout;
+            let max_connections = config.max_connections.max(1);
+            std::thread::Builder::new()
+                .name("pic-net-acceptor".to_owned())
+                .spawn(move || acceptor_loop(&listener, &shared, read_timeout, max_connections))
+                .expect("spawn acceptor")
+        };
+        Ok(NetServer {
+            shared: Some(shared),
+            acceptor: Some(acceptor),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Every known client's fairness standing.
+    #[must_use]
+    pub fn standings(&self) -> Vec<ClientStanding> {
+        self.shared
+            .as_ref()
+            .map(|s| s.fair.standings())
+            .unwrap_or_default()
+    }
+
+    /// A reference to the front-end counters.
+    #[must_use]
+    pub fn stats(&self) -> Option<&NetStats> {
+        self.shared.as_deref().map(|s| &s.stats)
+    }
+
+    /// Gracefully drains (see the [module docs](self)) and hands the
+    /// drained runtime back for post-run metrics inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection thread leaked a reference past its join —
+    /// a bug, not an operational condition.
+    #[must_use]
+    pub fn shutdown(mut self) -> Runtime {
+        self.shutdown_inner().expect("shutdown runs once")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<Runtime> {
+        let shared = self.shared.take()?;
+        shared.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor exits cleanly");
+        }
+        // The acceptor joined every connection thread, so this Arc is
+        // the last reference and the runtime comes back out.
+        let mut shared = Arc::try_unwrap(shared)
+            .ok()
+            .expect("all connection threads joined at shutdown");
+        shared.runtime.shutdown();
+        Some(shared.runtime)
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    read_timeout: Duration,
+    max_connections: usize,
+) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                conns.retain(|h| !h.is_finished());
+                if conns.len() >= max_connections {
+                    shared.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
+                    shared.runtime.metrics().recorder.record(
+                        EventKind::ConnOverload,
+                        conns.len() as u64,
+                        0,
+                    );
+                    let body = serde_json::to_string(&ErrorReply {
+                        kind: "connection_limit".to_owned(),
+                        error: format!("server is at its {max_connections}-connection cap"),
+                    })
+                    .unwrap_or_default();
+                    let _ = HttpResponse::json(503, body)
+                        .with_header("connection", "close")
+                        .write_to(&mut stream);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name("pic-net-conn".to_owned())
+                        .spawn(move || {
+                            connection_loop(stream, &shared);
+                            shared.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+                        })
+                        .expect("spawn connection thread"),
+                );
+            }
+            // WouldBlock is the poll tick; transient accept errors
+            // (peer reset mid-handshake) back off the same way.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Err(RecvError::Idle) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvError::Closed | RecvError::Io(_)) => return,
+            Err(RecvError::Malformed(why)) => {
+                let body = serde_json::to_string(&ErrorReply {
+                    kind: "bad_request".to_owned(),
+                    error: why,
+                })
+                .unwrap_or_default();
+                let _ = HttpResponse::json(400, body)
+                    .with_header("connection", "close")
+                    .write_to(&mut writer);
+                return;
+            }
+            Ok(req) => {
+                shared.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+                let response = route(shared, &req);
+                if response.status < 400 {
+                    shared.stats.replies_ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.stats.replies_error.fetch_add(1, Ordering::Relaxed);
+                }
+                // A request read before the drain flag raised is still
+                // served in full — the flag only closes the connection
+                // after this response is on the wire.
+                let draining = shared.stop.load(Ordering::Acquire);
+                let close = req.wants_close() || draining;
+                let response = if close {
+                    response.with_header("connection", "close")
+                } else {
+                    response
+                };
+                if response.write_to(&mut writer).is_err() || close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn route(shared: &Shared, req: &HttpRequest) -> HttpResponse {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            if shared.stop.load(Ordering::Acquire) || !shared.runtime.is_accepting() {
+                HttpResponse::new(503, "text/plain", "draining")
+            } else {
+                HttpResponse::new(200, "text/plain", "ok")
+            }
+        }
+        ("GET", "/metrics") => {
+            let frame = metrics_frame(shared);
+            HttpResponse::new(
+                200,
+                "text/plain; version=0.0.4",
+                frame.to_prometheus(&shared.prefix),
+            )
+        }
+        ("POST", "/v1/matmul") => matmul(shared, req),
+        (_, "/healthz" | "/metrics" | "/v1/matmul") => error_reply(
+            405,
+            "method_not_allowed",
+            format!("{} is not valid for {path}", req.method),
+            None,
+        ),
+        _ => error_reply(404, "not_found", format!("no route for {path}"), None),
+    }
+}
+
+fn matmul(shared: &Shared, req: &HttpRequest) -> HttpResponse {
+    let client = req.header("x-client").unwrap_or("anon").to_owned();
+    let wire = match MatmulWire::parse(&req.body) {
+        Ok(wire) => wire,
+        Err(why) => return error_reply(400, "bad_request", why, None),
+    };
+    let Some(matrix) = shared.models.get(&wire.model) else {
+        return error_reply(
+            404,
+            "unknown_model",
+            format!("no model named {:?}", wire.model),
+            None,
+        );
+    };
+    if let Err((shed, inflight)) = shared.fair.try_admit(&client) {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        shared.runtime.metrics().recorder.record(
+            EventKind::ClientShed,
+            fnv1a(client.as_bytes()),
+            inflight as u64,
+        );
+        let kind = match shed {
+            Shed::Overloaded => "shed_overloaded",
+            Shed::OverShare => "shed_over_share",
+        };
+        return error_reply(
+            429,
+            kind,
+            format!("client {client:?} shed by weighted fair admission"),
+            Some(1),
+        );
+    }
+    let mut request = MatmulRequest::new(Arc::clone(matrix), wire.inputs);
+    if let Some(ms) = wire.deadline_ms {
+        match wire_deadline(ms) {
+            Ok(deadline) => request = request.with_deadline(deadline),
+            Err(why) => {
+                shared.fair.release(&client);
+                return error_reply(400, "bad_request", why, None);
+            }
+        }
+    }
+    let result = shared
+        .runtime
+        .submit(request)
+        .and_then(pic_runtime::ResponseHandle::wait);
+    shared.fair.release(&client);
+    match result {
+        Ok(resp) => {
+            let reply = MatmulReply {
+                outputs: resp.outputs,
+                device: resp.device as u64,
+                batched_with: resp.batched_with as u64,
+                tiles_written: resp.cost.tiles_written as u64,
+                tiles_resident: resp.cost.tiles_resident as u64,
+                energy_j: resp.cost.total_energy_j(),
+            };
+            match serde_json::to_string(&reply) {
+                Ok(body) => HttpResponse::json(200, body),
+                Err(e) => error_reply(500, "serialize", e.to_string(), None),
+            }
+        }
+        Err(e) => {
+            let (status, kind, retry_after) = error_status(&e);
+            error_reply(status, kind, e.to_string(), retry_after)
+        }
+    }
+}
+
+/// Resolves a relative wire deadline (milliseconds from receipt; zero
+/// or negative means already expired) to an absolute instant.
+fn wire_deadline(ms: f64) -> Result<Instant, String> {
+    if !ms.is_finite() {
+        return Err(format!("`deadline_ms` must be finite, got {ms}"));
+    }
+    let now = Instant::now();
+    let offset = Duration::from_secs_f64(ms.abs() / 1e3);
+    if ms >= 0.0 {
+        now.checked_add(offset)
+            .ok_or_else(|| format!("`deadline_ms` {ms} overflows"))
+    } else {
+        // An already-expired deadline: the DOA gate rejects it with the
+        // typed 504 without it ever occupying the intake queue.
+        Ok(now.checked_sub(offset).unwrap_or(now))
+    }
+}
+
+fn error_reply(status: u16, kind: &str, error: String, retry_after_s: Option<u64>) -> HttpResponse {
+    let body = serde_json::to_string(&ErrorReply {
+        kind: kind.to_owned(),
+        error,
+    })
+    .unwrap_or_default();
+    let response = HttpResponse::json(status, body);
+    match retry_after_s {
+        Some(s) => response.with_header("retry-after", s),
+        None => response,
+    }
+}
+
+/// The scrape frame: the runtime's unified frame plus front-end
+/// counters and per-client fairness gauges.
+fn metrics_frame(shared: &Shared) -> pic_obs::Frame {
+    let mut frame = shared.runtime.frame();
+    let stats = &shared.stats;
+    frame.counters.extend([
+        (
+            "net_http_requests",
+            stats.http_requests.load(Ordering::Relaxed),
+        ),
+        ("net_replies_ok", stats.replies_ok.load(Ordering::Relaxed)),
+        (
+            "net_replies_error",
+            stats.replies_error.load(Ordering::Relaxed),
+        ),
+        ("net_shed", stats.shed.load(Ordering::Relaxed)),
+        (
+            "net_conns_accepted",
+            stats.conns_accepted.load(Ordering::Relaxed),
+        ),
+        (
+            "net_conns_refused",
+            stats.conns_refused.load(Ordering::Relaxed),
+        ),
+    ]);
+    frame.gauges.push((
+        "net_conns_active".to_owned(),
+        stats.conns_active.load(Ordering::Relaxed) as f64,
+    ));
+    frame.gauges.push((
+        "net_inflight".to_owned(),
+        shared.fair.total_inflight() as f64,
+    ));
+    frame.gauges.push((
+        "net_draining".to_owned(),
+        f64::from(u8::from(shared.stop.load(Ordering::Acquire))),
+    ));
+    for standing in shared.fair.standings() {
+        let id = sanitize(&standing.client);
+        frame.gauges.push((
+            format!("net_client_{id}_inflight"),
+            standing.inflight as f64,
+        ));
+        frame.gauges.push((
+            format!("net_client_{id}_admitted"),
+            standing.admitted as f64,
+        ));
+        frame
+            .gauges
+            .push((format!("net_client_{id}_shed"), standing.shed as f64));
+    }
+    frame
+}
+
+/// FNV-1a over the client id — the stable `a` payload of
+/// [`EventKind::ClientShed`] events.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Maps a client id onto Prometheus metric-name characters.
+fn sanitize(id: &str) -> String {
+    id.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_distinguishes_clients() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"alice"), fnv1a(b"bob"));
+        assert_eq!(fnv1a(b"alice"), fnv1a(b"alice"));
+    }
+
+    #[test]
+    fn sanitize_maps_ids_onto_metric_names() {
+        assert_eq!(sanitize("client-7"), "client_7");
+        assert_eq!(sanitize("a.b:c"), "a_b_c");
+        assert_eq!(sanitize("ok42"), "ok42");
+    }
+
+    #[test]
+    fn wire_deadlines_resolve_past_and_future() {
+        let future = wire_deadline(50.0).expect("valid");
+        assert!(future > Instant::now());
+        let past = wire_deadline(-50.0).expect("valid");
+        assert!(past <= Instant::now());
+        assert!(wire_deadline(f64::NAN).is_err());
+        assert!(wire_deadline(f64::INFINITY).is_err());
+    }
+}

@@ -39,6 +39,13 @@ pub enum EventKind {
     /// A worker waited idle for work: `a` = worker id, `b` = stall
     /// duration in nanoseconds.
     WorkerStall = 6,
+    /// The network front-end shed a request under weighted fair
+    /// admission: `a` = client id hash, `b` = the client's in-flight
+    /// count at the shed.
+    ClientShed = 7,
+    /// The network front-end rejected a connection at the acceptor
+    /// (connection cap reached): `a` = live connections, `b` = 0.
+    ConnOverload = 8,
 }
 
 impl EventKind {
@@ -52,6 +59,8 @@ impl EventKind {
             EventKind::DeadlineExpired => "deadline_expired",
             EventKind::QueueFullRejected => "queue_full_rejected",
             EventKind::WorkerStall => "worker_stall",
+            EventKind::ClientShed => "client_shed",
+            EventKind::ConnOverload => "conn_overload",
         }
     }
 
@@ -63,6 +72,8 @@ impl EventKind {
             4 => EventKind::DeadlineExpired,
             5 => EventKind::QueueFullRejected,
             6 => EventKind::WorkerStall,
+            7 => EventKind::ClientShed,
+            8 => EventKind::ConnOverload,
             _ => return None,
         })
     }

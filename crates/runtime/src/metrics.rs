@@ -124,8 +124,10 @@ pub struct MetricsSnapshot {
     /// Tile loads avoided by residency.
     pub tile_hits: u64,
     /// Share of tile loads served from residency:
-    /// `tile_hits / (tile_hits + tile_writes)` (0 with no traffic).
-    pub tile_hit_rate: f64,
+    /// `tile_hits / (tile_hits + tile_writes)`. `None` when no tile has
+    /// moved yet — "no traffic" is not the same observation as "every
+    /// tile missed", and consumers must not conflate them.
+    pub tile_hit_rate: Option<f64>,
     /// Mean submit→response latency, s.
     pub latency_mean_s: f64,
     /// Median submit→response latency, s.
@@ -165,7 +167,10 @@ impl MetricsRegistry {
             admission_reorders: self.admission_reorders.load(Ordering::Relaxed),
             tile_writes,
             tile_hits,
-            tile_hit_rate: tile_hits as f64 / (tile_hits + tile_writes).max(1) as f64,
+            tile_hit_rate: match tile_hits + tile_writes {
+                0 => None,
+                total => Some(tile_hits as f64 / total as f64),
+            },
             latency_mean_s: latency.mean_s(),
             latency_p50_s: latency.quantile_s(0.5),
             latency_p99_s: latency.quantile_s(0.99),
@@ -185,6 +190,38 @@ impl MetricsRegistry {
     pub fn frame(&self) -> Frame {
         let devices = self.devices.load(Ordering::Relaxed);
         let busy = self.workers_busy.load(Ordering::Relaxed);
+        let tile_writes = self.tile_writes.load(Ordering::Relaxed);
+        let tile_hits = self.tile_hits.load(Ordering::Relaxed);
+        let mut gauges = vec![
+            (
+                "intake_depth".to_owned(),
+                self.intake_depth.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "pending_depth".to_owned(),
+                self.pending_depth.load(Ordering::Relaxed) as f64,
+            ),
+            ("workers_busy".to_owned(), busy as f64),
+            ("devices".to_owned(), devices as f64),
+            ("energy_j".to_owned(), self.energy_j.get()),
+            ("write_energy_j".to_owned(), self.write_energy_j.get()),
+            ("device_time_s".to_owned(), self.device_time_s.get()),
+        ];
+        // Derived rates are only meaningful with a non-zero denominator;
+        // omitting them distinguishes "no traffic / no devices" from a
+        // genuine zero.
+        if devices > 0 {
+            gauges.push((
+                "worker_busy_fraction".to_owned(),
+                busy as f64 / devices as f64,
+            ));
+        }
+        if tile_hits + tile_writes > 0 {
+            gauges.push((
+                "tile_hit_rate".to_owned(),
+                tile_hits as f64 / (tile_hits + tile_writes) as f64,
+            ));
+        }
         Frame {
             at_s: self.started.elapsed().as_secs_f64(),
             counters: vec![
@@ -222,24 +259,7 @@ impl MetricsRegistry {
                 ),
                 ("recorder_events", self.recorder.recorded()),
             ],
-            gauges: vec![
-                (
-                    "intake_depth".to_owned(),
-                    self.intake_depth.load(Ordering::Relaxed) as f64,
-                ),
-                (
-                    "pending_depth".to_owned(),
-                    self.pending_depth.load(Ordering::Relaxed) as f64,
-                ),
-                ("workers_busy".to_owned(), busy as f64),
-                (
-                    "worker_busy_fraction".to_owned(),
-                    busy as f64 / devices.max(1) as f64,
-                ),
-                ("energy_j".to_owned(), self.energy_j.get()),
-                ("write_energy_j".to_owned(), self.write_energy_j.get()),
-                ("device_time_s".to_owned(), self.device_time_s.get()),
-            ],
+            gauges,
             stages: self
                 .stages
                 .snapshot()
@@ -284,7 +304,8 @@ mod tests {
         let s = m.snapshot();
         assert_eq!((s.submitted, s.completed, s.rejected_deadline), (5, 4, 1));
         assert_eq!((s.tile_writes, s.tile_hits), (7, 3));
-        assert!((s.tile_hit_rate - 0.3).abs() < 1e-12);
+        let rate = s.tile_hit_rate.expect("traffic flowed, rate defined");
+        assert!((rate - 0.3).abs() < 1e-12);
         assert!((s.energy_j - 1.5e-9).abs() < 1e-21);
         assert!(s.latency_p50_s > 0.0);
         assert!(s.latency_p999_s >= s.latency_p99_s);
@@ -296,10 +317,42 @@ mod tests {
     }
 
     #[test]
-    fn tile_hit_rate_is_zero_without_traffic() {
-        let s = MetricsRegistry::default().snapshot();
-        assert_eq!(s.tile_hit_rate, 0.0);
+    fn tile_hit_rate_is_absent_without_traffic() {
+        let m = MetricsRegistry::default();
+        let s = m.snapshot();
+        assert_eq!(s.tile_hit_rate, None, "no traffic must not read as 0.0");
         assert_eq!(s.latency_max_s, 0.0);
+        // An all-miss workload IS a defined 0.0 — distinguishable now.
+        m.tile_writes.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(m.snapshot().tile_hit_rate, Some(0.0));
+        // The snapshot round-trips through JSON in both states.
+        let json = serde_json::to_string(&s).expect("serialises");
+        assert!(json.contains("\"tile_hit_rate\":null"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.tile_hit_rate, None);
+    }
+
+    #[test]
+    fn derived_gauges_are_omitted_when_undefined() {
+        let m = MetricsRegistry::default();
+        let gauge = |f: &Frame, n: &str| f.gauges.iter().find(|(name, _)| name == n).map(|g| g.1);
+        // No devices registered, no tile traffic: the ratios are absent
+        // rather than a fabricated 0.0.
+        let f = m.frame();
+        assert_eq!(gauge(&f, "worker_busy_fraction"), None);
+        assert_eq!(gauge(&f, "tile_hit_rate"), None);
+        assert_eq!(gauge(&f, "devices"), Some(0.0));
+        m.devices.store(4, Ordering::Relaxed);
+        m.workers_busy.fetch_add(1, Ordering::Relaxed);
+        m.tile_writes.fetch_add(1, Ordering::Relaxed);
+        m.tile_hits.fetch_add(3, Ordering::Relaxed);
+        let f = m.frame();
+        assert_eq!(gauge(&f, "worker_busy_fraction"), Some(0.25));
+        assert_eq!(gauge(&f, "tile_hit_rate"), Some(0.75));
+        assert_eq!(gauge(&f, "devices"), Some(4.0));
+        // Every exposed gauge is finite — nothing leaks a NaN into the
+        // Prometheus rendering.
+        assert!(f.gauges.iter().all(|(_, v)| v.is_finite()));
     }
 
     #[test]

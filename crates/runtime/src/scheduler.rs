@@ -28,9 +28,10 @@ use crate::request::{MatmulRequest, RequestCost, Response, RuntimeError};
 use pic_obs::{EventKind, Frame, SnapshotSink, Stage, StageTimer};
 use pic_tensor::performance::PerformanceModel;
 use pic_tensor::TensorCoreConfig;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// A worker that waited idle at least this long records a
@@ -130,12 +131,34 @@ struct Batch {
 }
 
 /// Waits for one request's response.
+///
+/// ## Terminal semantics
+///
+/// A handle is *terminal* once it has yielded its single response (or
+/// reported the runtime gone). Terminal handles are deterministic:
+/// every further [`ResponseHandle::try_wait`] /
+/// [`ResponseHandle::wait_timeout`] call returns
+/// `Some(Err(WorkerLost))` immediately — it never blocks on a channel
+/// that can no longer produce anything, and never panics. This holds
+/// both after the response was consumed and after the runtime dropped
+/// the request (the two cases are indistinguishable to the caller, and
+/// both mean "nothing more will ever arrive here").
 #[derive(Debug)]
 pub struct ResponseHandle {
     rx: std::sync::mpsc::Receiver<Result<Response, RuntimeError>>,
+    /// Set once the single response has been consumed (or the channel
+    /// reported disconnected): the handle is terminal from then on.
+    terminal: Cell<bool>,
 }
 
 impl ResponseHandle {
+    fn new(rx: std::sync::mpsc::Receiver<Result<Response, RuntimeError>>) -> Self {
+        ResponseHandle {
+            rx,
+            terminal: Cell::new(false),
+        }
+    }
+
     /// Blocks until the response arrives.
     ///
     /// # Errors
@@ -143,34 +166,57 @@ impl ResponseHandle {
     /// The request's typed rejection, or [`RuntimeError::WorkerLost`] if
     /// the runtime dropped the request without responding.
     pub fn wait(self) -> Result<Response, RuntimeError> {
+        if self.terminal.get() {
+            return Err(RuntimeError::WorkerLost);
+        }
         self.rx.recv().map_err(|_| RuntimeError::WorkerLost)?
     }
 
     /// Returns the response if it already arrived, `None` otherwise.
+    /// On a terminal handle (see the type docs) this returns
+    /// `Some(Err(WorkerLost))` immediately.
     ///
     /// # Errors
     ///
     /// Like [`ResponseHandle::wait`] once the response is in.
     pub fn try_wait(&self) -> Option<Result<Response, RuntimeError>> {
+        if self.terminal.get() {
+            return Some(Err(RuntimeError::WorkerLost));
+        }
         match self.rx.try_recv() {
-            Ok(result) => Some(result),
+            Ok(result) => {
+                self.terminal.set(true);
+                Some(result)
+            }
             Err(std::sync::mpsc::TryRecvError::Empty) => None,
-            Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(RuntimeError::WorkerLost)),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                self.terminal.set(true);
+                Some(Err(RuntimeError::WorkerLost))
+            }
         }
     }
 
     /// Blocks up to `timeout` for the response; `None` if it has not
     /// arrived by then (the handle stays usable — no busy-spinning
-    /// [`ResponseHandle::try_wait`] loops needed).
+    /// [`ResponseHandle::try_wait`] loops needed). On a terminal handle
+    /// (see the type docs) this returns `Some(Err(WorkerLost))`
+    /// immediately instead of blocking for the full timeout again.
     ///
     /// # Errors
     ///
     /// Like [`ResponseHandle::wait`] once the response is in.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, RuntimeError>> {
+        if self.terminal.get() {
+            return Some(Err(RuntimeError::WorkerLost));
+        }
         match self.rx.recv_timeout(timeout) {
-            Ok(result) => Some(result),
+            Ok(result) => {
+                self.terminal.set(true);
+                Some(result)
+            }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                self.terminal.set(true);
                 Some(Err(RuntimeError::WorkerLost))
             }
         }
@@ -187,7 +233,13 @@ struct ExporterStop {
 /// The serving runtime. See the [module docs](self) for the data path.
 #[derive(Debug)]
 pub struct Runtime {
-    intake: Option<SyncSender<Submission>>,
+    /// The intake sender, behind a lock so [`Runtime::drain`] can close
+    /// it through `&self` (the network front-end shares the runtime
+    /// across connection threads and needs to stop intake without
+    /// exclusive ownership). Submit paths clone the sender under a read
+    /// lock and release it before touching the channel, so drain never
+    /// waits behind a blocked submitter.
+    intake: RwLock<Option<SyncSender<Submission>>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
     exporter: Option<std::thread::JoinHandle<()>>,
     exporter_stop: Arc<ExporterStop>,
@@ -221,7 +273,7 @@ impl Runtime {
                 .expect("spawn dispatcher")
         };
         Runtime {
-            intake: Some(intake_tx),
+            intake: RwLock::new(Some(intake_tx)),
             dispatcher: Some(dispatcher),
             exporter: None,
             exporter_stop: Arc::new(ExporterStop::default()),
@@ -294,12 +346,15 @@ impl Runtime {
     /// # Errors
     ///
     /// [`RuntimeError::InvalidRequest`] on validation failure,
+    /// [`RuntimeError::DeadlineExpired`] when the deadline already
+    /// passed (dead-on-arrival requests never occupy the intake queue,
+    /// the admission index, or a batch slot),
     /// [`RuntimeError::QueueFull`] under backpressure,
     /// [`RuntimeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: MatmulRequest) -> Result<ResponseHandle, RuntimeError> {
         let _timer = StageTimer::start(&self.metrics.stages, Stage::Submit);
         let (submission, handle) = self.admit(request)?;
-        let intake = self.intake.as_ref().ok_or(RuntimeError::ShuttingDown)?;
+        let intake = self.intake_sender()?;
         match intake.try_send(submission) {
             Ok(()) => {
                 self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
@@ -330,7 +385,7 @@ impl Runtime {
     pub fn submit_blocking(&self, request: MatmulRequest) -> Result<ResponseHandle, RuntimeError> {
         let _timer = StageTimer::start(&self.metrics.stages, Stage::Submit);
         let (submission, handle) = self.admit(request)?;
-        let intake = self.intake.as_ref().ok_or(RuntimeError::ShuttingDown)?;
+        let intake = self.intake_sender()?;
         intake
             .send(submission)
             .map_err(|_| RuntimeError::ShuttingDown)?;
@@ -339,8 +394,45 @@ impl Runtime {
         Ok(handle)
     }
 
-    /// Validates a request and pairs it with its response channel.
+    /// Clones the intake sender under the read lock (released before
+    /// the channel is touched, so [`Runtime::drain`] never queues
+    /// behind a blocked submitter).
+    fn intake_sender(&self) -> Result<SyncSender<Submission>, RuntimeError> {
+        self.intake
+            .read()
+            .expect("intake lock")
+            .clone()
+            .ok_or(RuntimeError::ShuttingDown)
+    }
+
+    /// Whether the runtime still accepts new work (`false` once
+    /// [`Runtime::drain`] or [`Runtime::shutdown`] has run).
+    #[must_use]
+    pub fn is_accepting(&self) -> bool {
+        self.intake.read().expect("intake lock").is_some()
+    }
+
+    /// Validates a request and pairs it with its response channel. A
+    /// request whose deadline has already passed is rejected here —
+    /// before it can occupy the intake queue, the admission index, or a
+    /// batch slot — so dead-on-arrival work is never charged any
+    /// admission effort.
     fn admit(&self, request: MatmulRequest) -> Result<(Submission, ResponseHandle), RuntimeError> {
+        if let Some(deadline) = request.deadline {
+            let now = Instant::now();
+            if deadline <= now {
+                self.metrics
+                    .rejected_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.recorder.record(
+                    EventKind::DeadlineExpired,
+                    request.matrix.id(),
+                    now.duration_since(deadline).as_nanos() as u64,
+                );
+                self.metrics.recorder.trip_incident();
+                return Err(RuntimeError::DeadlineExpired);
+            }
+        }
         if let Err(e) = request.validate() {
             self.metrics
                 .rejected_invalid
@@ -354,15 +446,25 @@ impl Runtime {
                 respond: tx,
                 submitted_at: Instant::now(),
             },
-            ResponseHandle { rx },
+            ResponseHandle::new(rx),
         ))
+    }
+
+    /// Stops intake through `&self` without joining any thread: further
+    /// submits fail with [`RuntimeError::ShuttingDown`] while the
+    /// dispatcher keeps draining everything already accepted in the
+    /// background. The network front-end uses this as its drain hook —
+    /// stop the wire first, let in-flight work flush, then join via
+    /// [`Runtime::shutdown`]. Idempotent.
+    pub fn drain(&self) {
+        *self.intake.write().expect("intake lock") = None;
     }
 
     /// Stops intake, drains every queued request, and joins all threads
     /// (the exporter last, so its final frame sees the drained state).
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        self.intake = None;
+        self.drain();
         if let Some(dispatcher) = self.dispatcher.take() {
             dispatcher.join().expect("dispatcher exits cleanly");
         }
@@ -498,17 +600,21 @@ fn dispatcher_loop(
         let group = pending.take(matrix_id, config.max_batch);
         debug_assert!(!group.is_empty(), "selected group has pending work");
         drop(admission_timer);
+        pending_count -= group.len() as u64;
+        metrics
+            .pending_depth
+            .store(pending_count, Ordering::Relaxed);
+        let formed_at = Instant::now();
+        let group = reject_expired(group, formed_at, metrics);
+        if group.is_empty() {
+            continue;
+        }
         if picked != 0 {
             metrics.admission_reorders.fetch_add(1, Ordering::Relaxed);
             metrics
                 .recorder
                 .record(EventKind::AdmissionReorder, matrix_id, group.len() as u64);
         }
-        pending_count -= group.len() as u64;
-        metrics
-            .pending_depth
-            .store(pending_count, Ordering::Relaxed);
-        let formed_at = Instant::now();
         for sub in &group {
             metrics.stages.record_ns(
                 Stage::Queue,
@@ -553,6 +659,35 @@ fn dispatcher_loop(
     for worker in workers {
         worker.join().expect("worker exits cleanly");
     }
+}
+
+/// The batch-formation deadline gate: requests that expired while
+/// queued are rejected with a typed error here — before they can occupy
+/// a batch slot, a worker queue entry, or a device pass — and the still
+/// live remainder is returned. (The first gate is `Runtime::admit` for
+/// dead-on-arrival requests; the last is `process_batch`, covering the
+/// window between formation and execution.)
+fn reject_expired(
+    group: Vec<Submission>,
+    formed_at: Instant,
+    metrics: &MetricsRegistry,
+) -> Vec<Submission> {
+    let (live, dead): (Vec<Submission>, Vec<Submission>) = group
+        .into_iter()
+        .partition(|sub| sub.request.deadline.is_none_or(|d| d > formed_at));
+    for sub in dead {
+        metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        metrics.recorder.record(
+            EventKind::DeadlineExpired,
+            sub.request.matrix.id(),
+            formed_at
+                .duration_since(sub.request.deadline.expect("partitioned on deadline"))
+                .as_nanos() as u64,
+        );
+        metrics.recorder.trip_incident();
+        let _ = sub.respond.send(Err(RuntimeError::DeadlineExpired));
+    }
+    live
 }
 
 /// Executes one same-matrix batch on a residency-affine device and fans
@@ -820,19 +955,78 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadlines_reject_with_typed_errors() {
+    fn expired_deadlines_reject_at_submit_with_no_admission_work() {
         let rt = small_runtime(1);
         let m = matrix(4, 4);
         let expired = MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; 4]])
             .with_deadline(Instant::now() - Duration::from_millis(1));
-        let h = rt.submit(expired).expect("accepted at intake");
-        assert!(matches!(h.wait(), Err(RuntimeError::DeadlineExpired)));
+        // Dead on arrival: the typed error comes back synchronously —
+        // the request never reaches the intake queue.
+        assert!(matches!(
+            rt.submit(expired),
+            Err(RuntimeError::DeadlineExpired)
+        ));
+        let s = rt.metrics().snapshot();
+        assert_eq!(s.rejected_deadline, 1, "typed rejection counted");
+        assert_eq!(
+            (s.submitted, s.batches_dispatched, s.admission_reorders),
+            (0, 0, 0),
+            "a DOA request is charged no intake or admission work"
+        );
         let generous = MatmulRequest::new(m, vec![vec![0.5; 4]])
             .with_deadline(Instant::now() + Duration::from_secs(60));
         let h = rt.submit(generous).expect("accepted");
         assert!(h.wait().is_ok(), "future deadline must not reject");
         let s = rt.metrics().snapshot();
         assert_eq!((s.rejected_deadline, s.completed), (1, 1));
+    }
+
+    #[test]
+    fn batch_formation_gate_rejects_requests_that_expired_while_queued() {
+        // Deterministic unit drive of the second gate: two submissions
+        // whose deadlines straddle the formation instant. The expired one
+        // gets its typed error (and the recorder event + incident latch)
+        // without ever occupying a batch slot; the live one passes
+        // through untouched.
+        let metrics = MetricsRegistry::default();
+        let m = matrix(4, 4);
+        let submitted_at = Instant::now();
+        let formed_at = submitted_at + Duration::from_millis(10);
+        let mut channels = Vec::new();
+        let group: Vec<Submission> = [Duration::from_millis(5), Duration::from_secs(60)]
+            .into_iter()
+            .map(|ttl| {
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                channels.push(rx);
+                Submission {
+                    request: MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; 4]])
+                        .with_deadline(submitted_at + ttl),
+                    respond: tx,
+                    submitted_at,
+                }
+            })
+            .collect();
+        let live = reject_expired(group, formed_at, &metrics);
+        assert_eq!(live.len(), 1, "only the live deadline survives");
+        assert_eq!(
+            live[0].request.deadline,
+            Some(submitted_at + Duration::from_secs(60))
+        );
+        assert!(matches!(
+            channels[0].try_recv(),
+            Ok(Err(RuntimeError::DeadlineExpired))
+        ));
+        assert!(
+            channels[1].try_recv().is_err(),
+            "the live request got no response yet"
+        );
+        assert_eq!(metrics.rejected_deadline.load(Ordering::Relaxed), 1);
+        if pic_obs::enabled() {
+            assert!(metrics.recorder.incident_tripped());
+            let dump = metrics.recorder.dump();
+            assert_eq!(dump.len(), 1);
+            assert_eq!(dump[0].kind, EventKind::DeadlineExpired);
+        }
     }
 
     #[test]
@@ -852,7 +1046,7 @@ mod tests {
         // A handle wired to a raw channel: nothing arrives within the
         // timeout, then the response does.
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        let handle = ResponseHandle { rx };
+        let handle = ResponseHandle::new(rx);
         assert!(
             handle.wait_timeout(Duration::from_millis(10)).is_none(),
             "timeout before anything is sent"
@@ -862,12 +1056,24 @@ mod tests {
             Some(Err(RuntimeError::QueueFull)) => {}
             other => panic!("expected the queued response, got {other:?}"),
         }
-        // A dropped sender surfaces as WorkerLost, not a hang.
-        drop(tx);
+        // The handle is terminal now: further waits return WorkerLost
+        // immediately (no blocking, no panic) — even though the sender
+        // is still alive and the channel open.
+        let waited = Instant::now();
         assert!(matches!(
-            handle.wait_timeout(Duration::from_millis(10)),
+            handle.wait_timeout(Duration::from_secs(30)),
             Some(Err(RuntimeError::WorkerLost))
         ));
+        assert!(
+            waited.elapsed() < Duration::from_secs(1),
+            "a terminal handle must not block for the timeout"
+        );
+        assert!(matches!(
+            handle.try_wait(),
+            Some(Err(RuntimeError::WorkerLost))
+        ));
+        drop(tx);
+        assert!(matches!(handle.wait(), Err(RuntimeError::WorkerLost)));
         // And against a live runtime: a served request arrives within a
         // generous timeout.
         let rt = small_runtime(1);
@@ -880,6 +1086,39 @@ mod tests {
             .expect("served within timeout")
             .expect("request succeeds");
         assert_eq!(resp.outputs.len(), 1);
+    }
+
+    #[test]
+    fn handle_after_runtime_drop_surfaces_worker_lost_without_blocking() {
+        // The runtime drains on drop, so an accepted request still gets
+        // its response; here the handle's channel dies unresolved — a
+        // raw channel whose sender dropped without sending, as after a
+        // worker loss. Every wait flavour must surface WorkerLost
+        // immediately and keep doing so (no hang, no panic on repeat).
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Result<Response, RuntimeError>>(1);
+        let handle = ResponseHandle::new(rx);
+        drop(tx);
+        let waited = Instant::now();
+        assert!(matches!(
+            handle.wait_timeout(Duration::from_secs(30)),
+            Some(Err(RuntimeError::WorkerLost))
+        ));
+        assert!(
+            waited.elapsed() < Duration::from_secs(1),
+            "disconnect must resolve immediately, not after the timeout"
+        );
+        // Repeated calls on the now-terminal handle stay deterministic.
+        for _ in 0..3 {
+            assert!(matches!(
+                handle.wait_timeout(Duration::from_millis(1)),
+                Some(Err(RuntimeError::WorkerLost))
+            ));
+            assert!(matches!(
+                handle.try_wait(),
+                Some(Err(RuntimeError::WorkerLost))
+            ));
+        }
+        assert!(matches!(handle.wait(), Err(RuntimeError::WorkerLost)));
     }
 
     #[test]

@@ -176,8 +176,9 @@ fn first_deadline_miss_dumps_the_flight_recorder() {
     serve(&rt, &m, 5);
     let expired = MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; 4]])
         .with_deadline(Instant::now() - Duration::from_millis(1));
-    let h = rt.submit(expired).expect("accepted at intake");
-    assert!(h.wait().is_err(), "expired deadline rejects");
+    // Dead on arrival rejects synchronously at submit — and still trips
+    // the incident latch so the exporter dumps the ring.
+    assert!(rt.submit(expired).is_err(), "expired deadline rejects");
     rt.shutdown();
     if !pic_obs::enabled() {
         return;
