@@ -44,7 +44,26 @@
 //! a `GET /metrics` scrape is validated mid-burst, and the report —
 //! the same `BenchReport` schema nested under per-client fairness
 //! stats — lands in `BENCH_net[_smoke].json` with `--check` gating the
-//! nested throughput numbers.
+//! nested throughput numbers. SIGTERM/SIGINT drain the run gracefully:
+//! the clients stop submitting and the front-end goes through
+//! `NetServer::shutdown` (typed 503s for late arrivals, accepted work
+//! completes) instead of dying mid-request.
+//!
+//! `--nodes N` switches to the cluster driver: the same Zipf stream is
+//! replayed through a `pic-cluster` coordinator at 1, 2, … N nodes
+//! (shard planning, Zipf-load replication hints, partial-sum reduce).
+//! Every served output is spot-checked bit-for-bit against a solo
+//! executor — sharding must not move a single bit. The headline
+//! throughput is the *modeled device-limited* aggregate (completed
+//! requests over the busiest node's device-seconds): this harness runs
+//! a hardware simulator, so host wall-clock measures the simulator's
+//! CPU, while the modeled number measures what the photonic fleet
+//! would sustain — placement imbalance (the `shard_balance` gauge) is
+//! exactly what keeps it below ideal `N×`. Host wall-clock throughput
+//! is reported alongside. A 2-node coordinator is also put behind the
+//! `pic-net` front-end and `/metrics` is asserted to carry the cluster
+//! roll-up gauges. The report lands in `BENCH_cluster[_smoke].json`
+//! with `--check` gating the modeled per-node-count throughput.
 
 use pic_obs::JsonLinesSink;
 use pic_runtime::{
@@ -567,6 +586,503 @@ fn regressions(base: &BenchReport, now: &BenchReport, tolerance: f64) -> Vec<Str
     failures
 }
 
+/// Graceful-shutdown latch for the `--serve` driver: SIGTERM/SIGINT
+/// set a flag the client loops poll, so the run stops submitting and
+/// the front-end drains through `NetServer::shutdown` (accepted work
+/// completes, late arrivals get typed 503s) instead of dying
+/// mid-request. Std-only: the handler registers straight through
+/// libc's `signal(2)`, which the Rust runtime already links.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// Async-signal-safe by construction: one relaxed-free atomic store.
+    extern "C" fn latch(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGTERM and SIGINT to the latch. No-op off Unix.
+    pub fn install() {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            // SIGINT = 2, SIGTERM = 15 on every Unix this builds for.
+            unsafe {
+                signal(2, latch);
+                signal(15, latch);
+            }
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// One node-count run of the `--nodes` cluster driver.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ClusterRunReport {
+    nodes: usize,
+    completed: u64,
+    rejected_deadline: u64,
+    /// Shard calls retried after a node loss (0 in a healthy run).
+    retried_shards: u64,
+    node_losses: u64,
+    wall_time_s: f64,
+    /// Host wall-clock request rate — measures the simulator's CPU,
+    /// not the modeled hardware; reported for context only.
+    host_req_per_s: f64,
+    /// Busiest node's modeled device-seconds ÷ its device count: the
+    /// fleet's makespan if every node ran its devices in parallel.
+    modeled_makespan_s: f64,
+    /// `completed / modeled_makespan_s` — the device-limited aggregate
+    /// request rate of the modeled fleet. This is the scaling headline.
+    throughput_req_per_s: f64,
+    /// Mean worker busy fraction over alive nodes (cluster frame).
+    utilization: f64,
+    /// Max/mean planned shard load over alive nodes (1.0 = perfect).
+    shard_balance: f64,
+    /// Max/mean *realized* modeled device time over nodes.
+    device_balance: f64,
+    peak_samples_per_s: f64,
+    achieved_samples_per_s: f64,
+    spot_checks: usize,
+    spot_check_mismatches: usize,
+}
+
+/// The `--nodes` report: per-node-count rows plus the scaling ratios
+/// the acceptance gate reads.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ClusterBenchReport {
+    id: String,
+    title: String,
+    smoke: bool,
+    requests: usize,
+    models: usize,
+    zipf_s: f64,
+    node_counts: Vec<usize>,
+    devices_per_node: usize,
+    max_delay_ms: u64,
+    runs: Vec<ClusterRunReport>,
+    /// Modeled aggregate throughput ratio going 1 → 2 nodes.
+    scaling_1_to_2: f64,
+    /// Modeled aggregate throughput ratio going 1 → max nodes.
+    scaling_1_to_max: f64,
+    /// The 2-node `/metrics` scrape carried the cluster roll-up.
+    metrics_scrape_ok: bool,
+}
+
+/// Whether a cluster baseline measured the same workload shape.
+fn same_cluster_workload(base: &ClusterBenchReport, now: &ClusterBenchReport) -> bool {
+    base.requests == now.requests
+        && base.models == now.models
+        && (base.zipf_s - now.zipf_s).abs() < f64::EPSILON
+        && base.node_counts == now.node_counts
+        && base.devices_per_node == now.devices_per_node
+}
+
+/// Replays `stream` through a fresh `nodes`-node coordinator and
+/// measures it. Open-loop like `run_policy`: a driver thread submits
+/// flat out (intake backpressure on any node throttles the driver, not
+/// into a loss) while the main thread reaps in submission order. Every
+/// served output is spot-checked bit-for-bit against a solo executor.
+#[allow(clippy::too_many_lines)]
+fn run_cluster(
+    nodes: usize,
+    node_config: RuntimeConfig,
+    models: &[Arc<TiledMatrix>],
+    loads: &[f64],
+    stream: &[StreamItem],
+) -> ClusterRunReport {
+    use pic_cluster::{ClusterConfig, ClusterError, ClusterHandle, ClusterResponse, Coordinator};
+    use pic_runtime::RuntimeError;
+
+    let mut coordinator = Coordinator::start(ClusterConfig {
+        nodes,
+        node: node_config,
+    });
+    // The planner sees each model's Zipf traffic share up front, so the
+    // head of the popularity distribution replicates across nodes.
+    for (m, &load) in models.iter().zip(loads) {
+        coordinator.register(m, load);
+    }
+
+    let requests = stream.len();
+    let mut served: Vec<Option<ClusterResponse>> = (0..requests).map(|_| None).collect();
+    let mut completed = 0u64;
+    let mut typed_deadline = 0u64;
+    let mut retried = 0u64;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        type Submitted<'a> = Result<ClusterHandle<'a>, ClusterError>;
+        let (htx, hrx) = std::sync::mpsc::sync_channel::<(usize, Submitted<'_>)>(requests);
+        let coordinator = &coordinator;
+        scope.spawn(move || {
+            for (i, (which, inputs, expired)) in stream.iter().enumerate() {
+                loop {
+                    let req = MatmulRequest::new(Arc::clone(&models[*which]), inputs.clone());
+                    let req = if *expired {
+                        req.with_deadline(Instant::now() - Duration::from_millis(1))
+                    } else {
+                        req.with_deadline(Instant::now() + Duration::from_secs(600))
+                    };
+                    match coordinator.submit(req) {
+                        Err(ClusterError::Rejected(RuntimeError::QueueFull)) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        other => {
+                            htx.send((i, other)).expect("reaper outlives the driver");
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        for (i, submitted) in hrx {
+            match submitted.and_then(ClusterHandle::wait) {
+                Ok(resp) => {
+                    assert!(!stream[i].2, "pre-expired request must not be served");
+                    completed += 1;
+                    retried += resp.retried as u64;
+                    served[i] = Some(resp);
+                }
+                Err(ClusterError::Rejected(RuntimeError::DeadlineExpired)) => {
+                    typed_deadline += 1;
+                }
+                Err(other) => panic!("request {i} lost: {other}"),
+            }
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    // Conservation: every request completes or rejects with the typed
+    // deadline error, never vanishes — through sharded fan-out too.
+    let expired_count = stream.iter().filter(|(_, _, e)| *e).count() as u64;
+    assert!(
+        typed_deadline >= expired_count,
+        "every pre-expired deadline rejects"
+    );
+    assert_eq!(
+        completed + typed_deadline,
+        requests as u64,
+        "every clustered request completes or rejects, never vanishes"
+    );
+
+    // Frame + per-node accounting while the fleet is still up.
+    let frame = coordinator.frame();
+    let gauge = |name: &str| {
+        frame
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(f64::NAN, |&(_, v)| v)
+    };
+    let devices = node_config.devices as f64;
+    let device_times: Vec<f64> = (0..nodes)
+        .map(|i| coordinator.node(i).metrics().snapshot().device_time_s)
+        .collect();
+    let makespan = device_times.iter().fold(0.0f64, |a, &t| a.max(t / devices));
+    let mean_device_time = device_times.iter().sum::<f64>() / device_times.len() as f64;
+    let device_balance = if mean_device_time > 0.0 {
+        device_times.iter().fold(0.0f64, |a, &t| a.max(t)) / mean_device_time
+    } else {
+        1.0
+    };
+    let counters = coordinator.counters();
+
+    // Spot-check served results bit-for-bit against a fresh solo
+    // executor: the reduce layer must not move a single bit.
+    let mut solo = TileExecutor::new(node_config.core, 900);
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    let stride = (requests / 32).max(1);
+    for (i, ((which, inputs, _), resp)) in stream.iter().zip(&served).enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        let Some(resp) = resp else { continue };
+        let (want, _) = solo
+            .execute(&models[*which], inputs)
+            .expect("replay is valid");
+        checked += 1;
+        if resp.outputs != want {
+            mismatches += 1;
+            println!("  [mismatch] request {i} differs from solo replay at {nodes} nodes");
+        }
+    }
+    assert!(checked > 0, "spot checks must sample something");
+    assert_eq!(
+        mismatches, 0,
+        "clustered results must match solo execution bit-for-bit"
+    );
+
+    coordinator.shutdown();
+    ClusterRunReport {
+        nodes,
+        completed,
+        rejected_deadline: typed_deadline,
+        retried_shards: retried,
+        node_losses: counters.node_losses,
+        wall_time_s: wall,
+        host_req_per_s: completed as f64 / wall,
+        modeled_makespan_s: makespan,
+        throughput_req_per_s: completed as f64 / makespan.max(f64::MIN_POSITIVE),
+        utilization: gauge("utilization"),
+        shard_balance: gauge("shard_balance"),
+        device_balance,
+        peak_samples_per_s: gauge("peak_samples_per_s"),
+        achieved_samples_per_s: gauge("achieved_samples_per_s"),
+        spot_checks: checked,
+        spot_check_mismatches: mismatches,
+    }
+}
+
+/// Puts a 2-node coordinator behind the real `pic-net` front-end,
+/// serves a few requests over loopback, and asserts the `/metrics`
+/// scrape carries the cluster roll-up gauges next to the front-end
+/// counters. Returns `true` (it asserts on failure) so the report
+/// records that the path was exercised.
+fn scrape_cluster_metrics(
+    node_config: RuntimeConfig,
+    models: &[Arc<TiledMatrix>],
+    loads: &[f64],
+) -> bool {
+    use pic_cluster::{ClusterConfig, Coordinator};
+    use pic_net::{MatmulWire, NetClient, NetConfig, NetServer};
+    use std::collections::HashMap;
+
+    let coordinator = Coordinator::start(ClusterConfig {
+        nodes: 2,
+        node: node_config,
+    });
+    for (m, &load) in models.iter().zip(loads) {
+        coordinator.register(m, load);
+    }
+    let registry: HashMap<String, Arc<TiledMatrix>> = models
+        .iter()
+        .enumerate()
+        .map(|(rank, m)| (format!("model-{rank}"), Arc::clone(m)))
+        .collect();
+    let server =
+        NetServer::start(NetConfig::default(), coordinator, registry).expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr(), "probe").expect("connect loopback");
+    for _ in 0..4 {
+        let wire = MatmulWire {
+            model: "model-0".to_owned(),
+            inputs: vec![vec![0.5; models[0].in_dim()]],
+            deadline_ms: Some(600_000.0),
+        };
+        client.matmul(&wire).expect("cluster serves over the wire");
+    }
+    let scrape = client.get("/metrics").expect("metrics answers");
+    assert_eq!(scrape.status, 200, "metrics must serve");
+    let text = scrape.text();
+    let mut samples = 0usize;
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (_, value) = line.rsplit_once(' ').expect("prometheus `series value`");
+        let value: f64 = value.parse().expect("numeric sample");
+        assert!(value.is_finite(), "non-finite sample in {line:?}");
+        samples += 1;
+    }
+    for series in [
+        "shard_balance",
+        "nodes_alive",
+        "peak_samples_per_s",
+        "cluster_completed",
+        "node1_alive",
+        "net_http_requests",
+    ] {
+        assert!(
+            text.contains(series),
+            "cluster scrape must carry {series}: {samples} samples total"
+        );
+    }
+    println!(
+        "  [metrics] 2-node cluster scrape parseable through pic-net: {samples} samples, \
+         roll-up gauges present"
+    );
+    let _coordinator = server.shutdown();
+    true
+}
+
+/// The `--nodes N` driver: the Zipf workload replayed through a
+/// `pic-cluster` coordinator at 1, 2, … N nodes, with bit-identity
+/// spot checks at every node count, modeled device-limited scaling
+/// ratios, and a `/metrics` scrape of the cluster roll-up. Writes
+/// `BENCH_cluster[_smoke].json`; `--check` gates the modeled
+/// throughput per node count against a committed baseline.
+#[allow(clippy::too_many_lines)]
+fn cluster_main(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let requests: usize = arg_value(args, "--requests").unwrap_or(if smoke { 400 } else { 4_000 });
+    let models_n: usize = arg_value(args, "--models").unwrap_or(12);
+    let zipf_s: f64 = arg_value(args, "--zipf").unwrap_or(1.1);
+    let max_nodes: usize = arg_value(args, "--nodes").unwrap_or(4);
+    assert!(max_nodes >= 1, "--nodes must be positive");
+    let check: Option<String> = arg_value(args, "--check");
+    let tolerance: f64 = arg_value(args, "--tolerance").unwrap_or(0.30);
+    let baseline: Option<ClusterBenchReport> = check.as_ref().map(|path| {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check {path}: cannot read baseline: {e}"));
+        serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("--check {path}: baseline does not parse: {e:?}"))
+    });
+
+    let mut node_config = RuntimeConfig::paper();
+    // Shard fan-out leaves per-node queues shallower than the
+    // single-runtime drivers; the paper config's 400 ms formation
+    // window would stall the tail, so default to a serving window.
+    node_config.max_delay = Duration::from_millis(10);
+    if let Some(ms) = arg_value::<u64>(args, "--max-delay-ms") {
+        node_config.max_delay = Duration::from_millis(ms);
+    }
+    let mut node_counts: Vec<usize> = [1, 2, max_nodes]
+        .into_iter()
+        .filter(|&n| n <= max_nodes)
+        .collect();
+    node_counts.dedup();
+
+    println!(
+        "BENCH_cluster — {requests} requests over {models_n} Zipf(s={zipf_s}) models at \
+         {node_counts:?} nodes, {} devices/node (batch ≤ {}), policy {}",
+        node_config.devices,
+        node_config.max_batch,
+        node_config.policy.label(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let models = model_set(node_config.core, models_n, &mut rng);
+    let stream = build_stream(&models, requests, zipf_s, &mut rng);
+    // The planner's load hints: rank k's share of Zipf traffic.
+    let weights: Vec<f64> = (0..models_n)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let loads: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+    let mut runs: Vec<ClusterRunReport> = Vec::new();
+    for &nodes in &node_counts {
+        let row = run_cluster(nodes, node_config, &models, &loads, &stream);
+        println!(
+            "  {:>2} nodes: {:>9.2e} req/s modeled ({:>6.0} req/s host wall) | \
+             makespan {:>8.1} µs | balance planned {:.2}, realized {:.2} | \
+             {} retried shards, {} losses",
+            row.nodes,
+            row.throughput_req_per_s,
+            row.host_req_per_s,
+            row.modeled_makespan_s * 1e6,
+            row.shard_balance,
+            row.device_balance,
+            row.retried_shards,
+            row.node_losses,
+        );
+        runs.push(row);
+    }
+
+    let tput = |n: usize| {
+        runs.iter()
+            .find(|r| r.nodes == n)
+            .map(|r| r.throughput_req_per_s)
+    };
+    let base_tput = tput(1).expect("the 1-node run always exists");
+    let scaling_1_to_2 = tput(2).map_or(f64::NAN, |t| t / base_tput);
+    let scaling_1_to_max = tput(max_nodes).map_or(f64::NAN, |t| t / base_tput);
+    if node_counts.contains(&2) {
+        println!(
+            "  aggregate modeled scaling: 1→2 nodes {scaling_1_to_2:.2}x, \
+             1→{max_nodes} nodes {scaling_1_to_max:.2}x"
+        );
+        assert!(
+            scaling_1_to_2 >= 1.7,
+            "acceptance: 1→2 node aggregate throughput must scale >= 1.7x on the Zipf \
+             workload, got {scaling_1_to_2:.2}x"
+        );
+    }
+    println!("  [check] conservation and cluster bit-identity spot checks ok");
+
+    let metrics_scrape_ok = scrape_cluster_metrics(node_config, &models, &loads);
+
+    let report = ClusterBenchReport {
+        id: "bench_cluster".to_owned(),
+        title: "Multi-node sharded serving through the pic-cluster coordinator".to_owned(),
+        smoke,
+        requests,
+        models: models_n,
+        zipf_s,
+        node_counts,
+        devices_per_node: node_config.devices,
+        max_delay_ms: u64::try_from(node_config.max_delay.as_millis()).unwrap_or(u64::MAX),
+        runs,
+        scaling_1_to_2,
+        scaling_1_to_max,
+        metrics_scrape_ok,
+    };
+    let file = if smoke {
+        "BENCH_cluster_smoke.json"
+    } else {
+        "BENCH_cluster.json"
+    };
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let path = root
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|r| r.join(file))
+        .unwrap_or_else(|| PathBuf::from(file));
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    println!("  [written {}]", path.display());
+
+    if let Some(baseline) = baseline {
+        if !same_cluster_workload(&baseline, &report) {
+            println!(
+                "  [check] baseline measured a different workload shape — throughput not compared"
+            );
+        } else {
+            let mut failures = Vec::new();
+            for b in &baseline.runs {
+                let Some(n) = report.runs.iter().find(|r| r.nodes == b.nodes) else {
+                    continue;
+                };
+                let delta = n.throughput_req_per_s / b.throughput_req_per_s - 1.0;
+                println!(
+                    "  [check] {:>2} nodes: {:>9.2e} req/s vs baseline {:>9.2e} req/s ({:+.1}%)",
+                    b.nodes,
+                    n.throughput_req_per_s,
+                    b.throughput_req_per_s,
+                    delta * 100.0,
+                );
+                if n.throughput_req_per_s < b.throughput_req_per_s * (1.0 - tolerance) {
+                    failures.push(format!(
+                        "{} nodes: {:.2e} req/s is {:.0}% below the {:.2e} req/s baseline",
+                        b.nodes,
+                        n.throughput_req_per_s,
+                        (1.0 - n.throughput_req_per_s / b.throughput_req_per_s) * 100.0,
+                        b.throughput_req_per_s,
+                    ));
+                }
+            }
+            if failures.is_empty() {
+                println!(
+                    "  [check] per-node-count modeled throughput within {:.0}% of the baseline ok",
+                    tolerance * 100.0
+                );
+            } else {
+                for f in &failures {
+                    println!("  [REGRESSION] {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// The `--serve` driver: the same workload replayed through the
 /// `pic-net` front-end over loopback by `--clients N` closed-loop
 /// clients, with wire outputs spot-checked bit-for-bit against a solo
@@ -595,6 +1111,8 @@ fn net_main(args: &[String]) {
             .unwrap_or_else(|e| panic!("--check {path}: baseline does not parse: {e:?}"))
     });
     assert!(clients_n > 0, "--clients must be positive");
+    // SIGTERM/SIGINT end the run through a graceful front-end drain.
+    sig::install();
 
     let mut config = RuntimeConfig::paper();
     // The paper config's 400 ms batch-formation delay suits an open
@@ -668,6 +1186,9 @@ fn net_main(args: &[String]) {
                         replies: Vec::new(),
                     };
                     for i in (c..stream.len()).step_by(clients_n) {
+                        if sig::requested() {
+                            break;
+                        }
                         let (which, inputs, expired) = &stream[i];
                         let wire = MatmulWire {
                             model: format!("model-{which}"),
@@ -688,6 +1209,9 @@ fn net_main(args: &[String]) {
                                     break;
                                 }
                                 Err(NetError::Rejected { status: 429, .. }) => {
+                                    if sig::requested() {
+                                        break;
+                                    }
                                     ledger.shed_retries += 1;
                                     assert!(ledger.shed_retries < 1_000_000, "shed retry runaway");
                                     std::thread::sleep(Duration::from_micros(500));
@@ -728,6 +1252,18 @@ fn net_main(args: &[String]) {
             .collect()
     });
     let wall = started.elapsed().as_secs_f64();
+
+    // A shutdown signal ends the run through the graceful path: the
+    // clients have stopped submitting, the front-end drains through
+    // `NetServer::shutdown` (acceptor joined, accepted work completed,
+    // runtime joined), and no partial report is written — the ledgers
+    // cannot satisfy conservation for requests never submitted.
+    if sig::requested() {
+        println!("  [signal] SIGTERM/SIGINT received — draining the front-end");
+        let _runtime = server.shutdown();
+        println!("  [signal] front-end drained cleanly; no report written");
+        return;
+    }
 
     // Fairness standings before shutdown consumes the server.
     let standings = server.standings();
@@ -900,6 +1436,9 @@ fn net_main(args: &[String]) {
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--nodes") {
+        return cluster_main(&args);
+    }
     if args.iter().any(|a| a == "--serve") {
         return net_main(&args);
     }

@@ -1,0 +1,211 @@
+//! The shard planner: how a [`TiledMatrix`] is cut into shards and
+//! where the shards (and their replicas) live.
+//!
+//! Everything here is pure bookkeeping over tile-grid coordinates and
+//! per-node load tallies — no runtime handles — so placement policy is
+//! testable in isolation and the coordinator can re-run it when a node
+//! is lost.
+//!
+//! ## Partitioning
+//!
+//! A matrix's tile grid is cut into `R × C` contiguous windows:
+//! `R = min(nodes, block_rows)` row chunks (block-rows are the natural
+//! shard axis — each output row lives in exactly one shard, so the
+//! reduce layer only ever *concatenates* row ranges and *adds* code
+//! sums along the input axis), and `C = min(max(1, nodes / R),
+//! block_cols)` column chunks once there are more nodes than
+//! block-rows. Post-ADC accumulation is digital (`u32` sums), so
+//! column splits recombine bit-identically by construction.
+//!
+//! ## Placement and replication
+//!
+//! Placement is load-aware: each replica goes to the alive node with
+//! the smallest planned load, where a shard's planned-load
+//! contribution is `matrix_load · shard_tiles / matrix_tiles /
+//! replicas` — hot (Zipf-head) matrices weigh more, big shards weigh
+//! more, and replication splits the weight. Hot matrices get
+//! `⌈load · alive⌉` replicas (capped at the alive-node count) so the
+//! head of the popularity distribution doesn't serialize on one node.
+
+use pic_runtime::TiledMatrix;
+use std::ops::Range;
+
+/// One planned shard of a matrix, in parent coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Parent tile-grid rows covered (half-open).
+    pub block_rows: Range<usize>,
+    /// Parent tile-grid columns covered (half-open).
+    pub block_cols: Range<usize>,
+    /// First parent output row this shard produces.
+    pub out_offset: usize,
+    /// Parent input elements this shard consumes (half-open).
+    pub in_range: Range<usize>,
+}
+
+/// The `R × C` shard grid for `nodes` nodes over a `block_rows ×
+/// block_cols` tile grid.
+#[must_use]
+pub fn shard_grid(nodes: usize, block_rows: usize, block_cols: usize) -> (usize, usize) {
+    let nodes = nodes.max(1);
+    let r = nodes.min(block_rows);
+    let c = (nodes / r).max(1).min(block_cols);
+    (r, c)
+}
+
+/// Balanced half-open chunk `i` of `0..n` cut into `chunks` pieces
+/// (sizes differ by at most one).
+fn chunk(n: usize, chunks: usize, i: usize) -> Range<usize> {
+    (i * n / chunks)..((i + 1) * n / chunks)
+}
+
+/// Cuts `matrix` into its planned shards for a `nodes`-node cluster.
+///
+/// With one node (or a single-tile matrix) this returns one shard
+/// covering the whole grid, so a 1-node cluster plans exactly like a
+/// plain [`Runtime`](pic_runtime::Runtime).
+#[must_use]
+pub fn shard_specs(matrix: &TiledMatrix, nodes: usize) -> Vec<ShardSpec> {
+    let (r, c) = shard_grid(nodes, matrix.block_rows(), matrix.block_cols());
+    let shape = matrix.shape();
+    let mut specs = Vec::with_capacity(r * c);
+    for ri in 0..r {
+        let rows = chunk(matrix.block_rows(), r, ri);
+        for ci in 0..c {
+            let cols = chunk(matrix.block_cols(), c, ci);
+            let in_lo = cols.start * shape.cols;
+            let in_hi = (cols.end * shape.cols).min(matrix.in_dim());
+            specs.push(ShardSpec {
+                out_offset: rows.start * shape.rows,
+                in_range: in_lo..in_hi,
+                block_rows: rows.clone(),
+                block_cols: cols,
+            });
+        }
+    }
+    specs
+}
+
+/// Replicas a matrix with traffic share `load ∈ [0, 1]` gets on a
+/// cluster with `alive` live nodes: its fair share of the fleet,
+/// rounded up, at least 1, at most every live node.
+#[must_use]
+pub fn replica_count(load: f64, alive: usize) -> usize {
+    let alive = alive.max(1);
+    let fair = (load.clamp(0.0, 1.0) * alive as f64).ceil() as usize;
+    fair.clamp(1, alive)
+}
+
+/// Picks `count` distinct alive nodes with the least planned load
+/// (ties break toward the lower index), charging `weight` to each
+/// chosen node's tally. Returns the chosen node indices; fewer than
+/// `count` come back only when fewer nodes are alive.
+#[must_use]
+pub fn place_replicas(
+    count: usize,
+    weight: f64,
+    planned: &mut [f64],
+    alive: &[bool],
+) -> Vec<usize> {
+    assert_eq!(planned.len(), alive.len(), "one load tally per node");
+    let mut chosen = Vec::with_capacity(count);
+    for _ in 0..count {
+        let next = (0..planned.len())
+            .filter(|&n| alive[n] && !chosen.contains(&n))
+            .min_by(|&a, &b| planned[a].total_cmp(&planned[b]));
+        match next {
+            Some(n) => {
+                planned[n] += weight;
+                chosen.push(n);
+            }
+            None => break,
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_runtime::TileShape;
+
+    fn matrix(out: usize, inp: usize) -> TiledMatrix {
+        let codes: Vec<Vec<u32>> = (0..out)
+            .map(|r| (0..inp).map(|c| ((r + c) % 8) as u32).collect())
+            .collect();
+        TiledMatrix::from_codes(&codes, 3, TileShape::new(16, 16))
+    }
+
+    #[test]
+    fn one_node_plans_one_whole_shard() {
+        let m = matrix(48, 32);
+        let specs = shard_specs(&m, 1);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].block_rows, 0..3);
+        assert_eq!(specs[0].block_cols, 0..2);
+        assert_eq!(specs[0].out_offset, 0);
+        assert_eq!(specs[0].in_range, 0..32);
+    }
+
+    #[test]
+    fn row_chunks_cover_the_grid_without_overlap() {
+        let m = matrix(48, 32);
+        let specs = shard_specs(&m, 2);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].block_rows, 0..1);
+        assert_eq!(specs[1].block_rows, 1..3);
+        assert!(specs.iter().all(|s| s.block_cols == (0..2)));
+        assert_eq!(specs[1].out_offset, 16);
+    }
+
+    #[test]
+    fn surplus_nodes_split_columns_too() {
+        // 2 block-rows, 2 block-cols, 4 nodes → a 2×2 shard grid.
+        let m = matrix(32, 20);
+        let specs = shard_specs(&m, 4);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[3].block_rows, 1..2);
+        assert_eq!(specs[3].block_cols, 1..2);
+        // The ragged input tail stays ragged in parent coordinates.
+        assert_eq!(specs[3].in_range, 16..20);
+        assert_eq!(specs[3].out_offset, 16);
+    }
+
+    #[test]
+    fn single_tile_matrices_never_split() {
+        let m = matrix(16, 16);
+        for nodes in [1, 2, 4, 8] {
+            assert_eq!(shard_specs(&m, nodes).len(), 1, "{nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn replica_counts_scale_with_load() {
+        assert_eq!(replica_count(0.0, 4), 1);
+        assert_eq!(replica_count(0.1, 4), 1);
+        assert_eq!(replica_count(0.35, 4), 2);
+        assert_eq!(replica_count(0.9, 4), 4);
+        assert_eq!(replica_count(1.0, 2), 2);
+        assert_eq!(replica_count(5.0, 3), 3, "clamped to the fleet");
+        assert_eq!(replica_count(0.5, 1), 1);
+    }
+
+    #[test]
+    fn placement_prefers_least_loaded_alive_nodes() {
+        let mut planned = vec![0.3, 0.0, 0.1, 0.0];
+        let alive = vec![true, true, false, true];
+        let chosen = place_replicas(2, 0.2, &mut planned, &alive);
+        // Nodes 1 and 3 tie at 0.0 → lower index first; node 2 is dead.
+        assert_eq!(chosen, vec![1, 3]);
+        assert_eq!(planned, vec![0.3, 0.2, 0.1, 0.2]);
+    }
+
+    #[test]
+    fn placement_caps_at_the_alive_count() {
+        let mut planned = vec![0.0; 3];
+        let alive = vec![true, false, true];
+        let chosen = place_replicas(5, 0.1, &mut planned, &alive);
+        assert_eq!(chosen.len(), 2);
+        assert!(!chosen.contains(&1));
+    }
+}

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod fair;
 pub mod http;
 mod server;
@@ -46,6 +47,7 @@ pub mod wire;
 
 mod client;
 
+pub use backend::{ServeBackend, ServeError, ServeOutcome};
 pub use client::{NetClient, NetError};
 pub use fair::{ClientStanding, FairAdmission, FairnessConfig, Shed};
 pub use server::{NetConfig, NetServer, NetStats};

@@ -22,9 +22,10 @@
 //! 4. only now does the runtime drain and join, flushing everything it
 //!    accepted; its exporter (if any) emits one final frame.
 
+use crate::backend::ServeBackend;
 use crate::fair::{ClientStanding, FairAdmission, FairnessConfig, Shed};
 use crate::http::{read_request, HttpRequest, HttpResponse, RecvError};
-use crate::wire::{error_status, ErrorReply, MatmulReply, MatmulWire};
+use crate::wire::{ErrorReply, MatmulReply, MatmulWire};
 use pic_obs::EventKind;
 use pic_runtime::{MatmulRequest, Runtime, TiledMatrix};
 use std::collections::HashMap;
@@ -86,8 +87,8 @@ pub struct NetStats {
 
 /// State shared by the acceptor, every connection thread, and the
 /// handle.
-struct Shared {
-    runtime: Runtime,
+struct Shared<B> {
+    backend: B,
     models: HashMap<String, Arc<TiledMatrix>>,
     fair: FairAdmission,
     stats: NetStats,
@@ -95,15 +96,18 @@ struct Shared {
     prefix: String,
 }
 
-/// The running front-end. Dropping it performs the same graceful drain
-/// as [`NetServer::shutdown`] (minus handing the runtime back).
-pub struct NetServer {
-    shared: Option<Arc<Shared>>,
+/// The running front-end, generic over what executes the matmuls: a
+/// single [`Runtime`] node (the default) or any other [`ServeBackend`]
+/// such as `pic-cluster`'s coordinator. Dropping it performs the same
+/// graceful drain as [`NetServer::shutdown`] (minus handing the
+/// backend back).
+pub struct NetServer<B: ServeBackend = Runtime> {
+    shared: Option<Arc<Shared<B>>>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     addr: SocketAddr,
 }
 
-impl std::fmt::Debug for NetServer {
+impl<B: ServeBackend> std::fmt::Debug for NetServer<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetServer")
             .field("addr", &self.addr)
@@ -111,22 +115,22 @@ impl std::fmt::Debug for NetServer {
     }
 }
 
-impl NetServer {
-    /// Binds and starts serving `models` over `runtime`.
+impl<B: ServeBackend> NetServer<B> {
+    /// Binds and starts serving `models` over `backend`.
     ///
     /// # Errors
     ///
     /// Propagates bind/configure failures from the listener.
     pub fn start(
         config: NetConfig,
-        runtime: Runtime,
+        backend: B,
         models: HashMap<String, Arc<TiledMatrix>>,
-    ) -> std::io::Result<NetServer> {
+    ) -> std::io::Result<NetServer<B>> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            runtime,
+            backend,
             models,
             fair: FairAdmission::new(&config.fairness),
             stats: NetStats::default(),
@@ -171,42 +175,42 @@ impl NetServer {
     }
 
     /// Gracefully drains (see the [module docs](self)) and hands the
-    /// drained runtime back for post-run metrics inspection.
+    /// drained backend back for post-run metrics inspection.
     ///
     /// # Panics
     ///
     /// Panics if a connection thread leaked a reference past its join —
     /// a bug, not an operational condition.
     #[must_use]
-    pub fn shutdown(mut self) -> Runtime {
+    pub fn shutdown(mut self) -> B {
         self.shutdown_inner().expect("shutdown runs once")
     }
 
-    fn shutdown_inner(&mut self) -> Option<Runtime> {
+    fn shutdown_inner(&mut self) -> Option<B> {
         let shared = self.shared.take()?;
         shared.stop.store(true, Ordering::SeqCst);
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join().expect("acceptor exits cleanly");
         }
         // The acceptor joined every connection thread, so this Arc is
-        // the last reference and the runtime comes back out.
+        // the last reference and the backend comes back out.
         let mut shared = Arc::try_unwrap(shared)
             .ok()
             .expect("all connection threads joined at shutdown");
-        shared.runtime.shutdown();
-        Some(shared.runtime)
+        shared.backend.shutdown();
+        Some(shared.backend)
     }
 }
 
-impl Drop for NetServer {
+impl<B: ServeBackend> Drop for NetServer<B> {
     fn drop(&mut self) {
         let _ = self.shutdown_inner();
     }
 }
 
-fn acceptor_loop(
+fn acceptor_loop<B: ServeBackend>(
     listener: &TcpListener,
-    shared: &Arc<Shared>,
+    shared: &Arc<Shared<B>>,
     read_timeout: Duration,
     max_connections: usize,
 ) {
@@ -217,11 +221,9 @@ fn acceptor_loop(
                 conns.retain(|h| !h.is_finished());
                 if conns.len() >= max_connections {
                     shared.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
-                    shared.runtime.metrics().recorder.record(
-                        EventKind::ConnOverload,
-                        conns.len() as u64,
-                        0,
-                    );
+                    shared
+                        .backend
+                        .record_event(EventKind::ConnOverload, conns.len() as u64, 0);
                     let body = serde_json::to_string(&ErrorReply {
                         kind: "connection_limit".to_owned(),
                         error: format!("server is at its {max_connections}-connection cap"),
@@ -257,7 +259,7 @@ fn acceptor_loop(
     }
 }
 
-fn connection_loop(stream: TcpStream, shared: &Shared) {
+fn connection_loop<B: ServeBackend>(stream: TcpStream, shared: &Shared<B>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -308,11 +310,11 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn route(shared: &Shared, req: &HttpRequest) -> HttpResponse {
+fn route<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> HttpResponse {
     let path = req.path.split('?').next().unwrap_or("");
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
-            if shared.stop.load(Ordering::Acquire) || !shared.runtime.is_accepting() {
+            if shared.stop.load(Ordering::Acquire) || !shared.backend.is_accepting() {
                 HttpResponse::new(503, "text/plain", "draining")
             } else {
                 HttpResponse::new(200, "text/plain", "ok")
@@ -337,7 +339,7 @@ fn route(shared: &Shared, req: &HttpRequest) -> HttpResponse {
     }
 }
 
-fn matmul(shared: &Shared, req: &HttpRequest) -> HttpResponse {
+fn matmul<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> HttpResponse {
     let client = req.header("x-client").unwrap_or("anon").to_owned();
     let wire = match MatmulWire::parse(&req.body) {
         Ok(wire) => wire,
@@ -353,7 +355,7 @@ fn matmul(shared: &Shared, req: &HttpRequest) -> HttpResponse {
     };
     if let Err((shed, inflight)) = shared.fair.try_admit(&client) {
         shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-        shared.runtime.metrics().recorder.record(
+        shared.backend.record_event(
             EventKind::ClientShed,
             fnv1a(client.as_bytes()),
             inflight as u64,
@@ -379,30 +381,24 @@ fn matmul(shared: &Shared, req: &HttpRequest) -> HttpResponse {
             }
         }
     }
-    let result = shared
-        .runtime
-        .submit(request)
-        .and_then(pic_runtime::ResponseHandle::wait);
+    let result = shared.backend.serve(request);
     shared.fair.release(&client);
     match result {
-        Ok(resp) => {
+        Ok(outcome) => {
             let reply = MatmulReply {
-                outputs: resp.outputs,
-                device: resp.device as u64,
-                batched_with: resp.batched_with as u64,
-                tiles_written: resp.cost.tiles_written as u64,
-                tiles_resident: resp.cost.tiles_resident as u64,
-                energy_j: resp.cost.total_energy_j(),
+                outputs: outcome.outputs,
+                device: outcome.device,
+                batched_with: outcome.batched_with,
+                tiles_written: outcome.tiles_written,
+                tiles_resident: outcome.tiles_resident,
+                energy_j: outcome.energy_j,
             };
             match serde_json::to_string(&reply) {
                 Ok(body) => HttpResponse::json(200, body),
                 Err(e) => error_reply(500, "serialize", e.to_string(), None),
             }
         }
-        Err(e) => {
-            let (status, kind, retry_after) = error_status(&e);
-            error_reply(status, kind, e.to_string(), retry_after)
-        }
+        Err(e) => error_reply(e.status, e.kind, e.message, e.retry_after_s),
     }
 }
 
@@ -437,10 +433,10 @@ fn error_reply(status: u16, kind: &str, error: String, retry_after_s: Option<u64
     }
 }
 
-/// The scrape frame: the runtime's unified frame plus front-end
+/// The scrape frame: the backend's unified frame plus front-end
 /// counters and per-client fairness gauges.
-fn metrics_frame(shared: &Shared) -> pic_obs::Frame {
-    let mut frame = shared.runtime.frame();
+fn metrics_frame<B: ServeBackend>(shared: &Shared<B>) -> pic_obs::Frame {
+    let mut frame = shared.backend.frame();
     let stats = &shared.stats;
     frame.counters.extend([
         (

@@ -225,6 +225,16 @@ impl HistogramSnapshot {
         self.quantile_s(1.0)
     }
 
+    /// Adds every sample of `other` into `self` (bucket-wise) — the
+    /// snapshot-side counterpart of [`LatencyHistogram::merge`], used
+    /// when rolling per-node frames up into one cluster frame.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum_ns += other.sum_ns;
+    }
+
     /// The samples recorded between `earlier` and `self` (bucket-wise
     /// saturating subtraction, so a mismatched pair degrades to zeros
     /// instead of wrapping).
@@ -393,6 +403,24 @@ mod tests {
             );
         }
         assert!((a.mean_s() - whole.mean_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_histogram_merge() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        for i in 0..300u64 {
+            if i % 2 == 0 {
+                a.record(50 + i * 11);
+            } else {
+                b.record(50 + i * 11);
+            }
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(merged, a.snapshot());
+        assert_eq!(merged.count(), 300);
     }
 
     #[test]

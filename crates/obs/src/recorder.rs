@@ -46,6 +46,16 @@ pub enum EventKind {
     /// The network front-end rejected a connection at the acceptor
     /// (connection cap reached): `a` = live connections, `b` = 0.
     ConnOverload = 8,
+    /// A cluster node was marked lost: `a` = node id, `b` = shards it
+    /// was the last live replica of (re-placed on survivors).
+    NodeLost = 9,
+    /// A shard was re-placed after a node loss: `a` = parent matrix
+    /// id, `b` = the surviving node it now lives on.
+    Reshard = 10,
+    /// An in-flight shard call on a lost node was retried against the
+    /// new placement: `a` = parent matrix id, `b` = the node retried
+    /// against.
+    ShardRetry = 11,
 }
 
 impl EventKind {
@@ -61,6 +71,9 @@ impl EventKind {
             EventKind::WorkerStall => "worker_stall",
             EventKind::ClientShed => "client_shed",
             EventKind::ConnOverload => "conn_overload",
+            EventKind::NodeLost => "node_lost",
+            EventKind::Reshard => "reshard",
+            EventKind::ShardRetry => "shard_retry",
         }
     }
 
@@ -74,6 +87,9 @@ impl EventKind {
             6 => EventKind::WorkerStall,
             7 => EventKind::ClientShed,
             8 => EventKind::ConnOverload,
+            9 => EventKind::NodeLost,
+            10 => EventKind::Reshard,
+            11 => EventKind::ShardRetry,
             _ => return None,
         })
     }
@@ -319,7 +335,7 @@ mod tests {
 
     #[test]
     fn event_kind_labels_round_trip() {
-        for code in 1..=6u64 {
+        for code in 1..=11u64 {
             let kind = EventKind::from_code(code).expect("valid code");
             assert_eq!(kind as u64, code);
             assert!(!kind.label().is_empty());

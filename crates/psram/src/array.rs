@@ -1,6 +1,6 @@
 //! Multi-bit words and 2D arrays of pSRAM bitcells.
 
-use crate::{HoldPowerModel, PsramBitcell, PsramConfig, WriteEnergyModel};
+use crate::{HoldPowerModel, PsramBitcell, PsramConfig, WriteEnergyModel, WriteTransientCache};
 use pic_units::{ElectricalPower, Energy, Voltage};
 
 /// An n-bit weight word backed by n pSRAM bitcells, MSB first — the
@@ -93,6 +93,36 @@ impl PsramWord {
         (energy, flips)
     }
 
+    /// Like [`PsramWord::store`] but replays cached flip transients
+    /// ([`PsramBitcell::write_cached`]) instead of re-integrating the
+    /// write ODE per cell — bit-identical state and energy, ~10³× faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`PsramWord::store`], or if the cache belongs to a
+    /// different config.
+    pub fn store_cached(&mut self, value: u32, cache: &WriteTransientCache) -> (Energy, usize) {
+        assert!(
+            value < (1u32 << self.bits()),
+            "value {value} does not fit in {} bits",
+            self.bits()
+        );
+        let mut energy = Energy::ZERO;
+        let mut flips = 0;
+        let width = self.bits();
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            let bit = (value >> (width - 1 - i as u32)) & 1 == 1;
+            if cell.stored_bit() == Some(bit) {
+                continue;
+            }
+            let report = cell.write_cached(bit, cache);
+            assert!(report.success, "pSRAM write transient failed to latch");
+            energy += report.energy;
+            flips += 1;
+        }
+        (energy, flips)
+    }
+
     /// The ring-drive voltages of the cells, MSB first — what the
     /// multiplier rings of a compute column see.
     #[must_use]
@@ -119,6 +149,9 @@ pub struct PsramArray {
     /// Bumped on every mutable access path; lets read-side caches (e.g.
     /// the tensor core's weight cache) detect staleness cheaply.
     generation: u64,
+    /// Replayable write transients shared by every array with this
+    /// config — what keeps bulk matrix streaming off the per-cell ODE.
+    flip_cache: std::sync::Arc<WriteTransientCache>,
 }
 
 impl PsramArray {
@@ -140,7 +173,15 @@ impl PsramArray {
             cols,
             words,
             generation: 0,
+            flip_cache: WriteTransientCache::shared(config),
         }
+    }
+
+    /// The shared replayable write-transient cache for this array's
+    /// config (see [`WriteTransientCache`]).
+    #[must_use]
+    pub fn flip_cache(&self) -> &WriteTransientCache {
+        &self.flip_cache
     }
 
     /// Monotone write-generation counter: incremented whenever the array
@@ -214,6 +255,7 @@ impl PsramArray {
         matrix: &[Vec<u32>],
     ) -> (Energy, usize, pic_units::Seconds) {
         assert_eq!(matrix.len(), self.rows, "row count mismatch");
+        let cache = std::sync::Arc::clone(&self.flip_cache);
         let mut energy = Energy::ZERO;
         let mut flips = 0;
         let mut busy_rows = 0;
@@ -221,7 +263,7 @@ impl PsramArray {
             assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
             let mut row_flipped = false;
             for (c, &v) in row.iter().enumerate() {
-                let (e, f) = self.word_mut(r, c).store(v);
+                let (e, f) = self.word_mut(r, c).store_cached(v, &cache);
                 energy += e;
                 flips += f;
                 row_flipped |= f > 0;
@@ -245,12 +287,13 @@ impl PsramArray {
     /// does not fit the word width.
     pub fn store_matrix(&mut self, matrix: &[Vec<u32>]) -> (Energy, usize) {
         assert_eq!(matrix.len(), self.rows, "row count mismatch");
+        let cache = std::sync::Arc::clone(&self.flip_cache);
         let mut energy = Energy::ZERO;
         let mut flips = 0;
         for (r, row) in matrix.iter().enumerate() {
             assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
             for (c, &v) in row.iter().enumerate() {
-                let (e, f) = self.word_mut(r, c).store(v);
+                let (e, f) = self.word_mut(r, c).store_cached(v, &cache);
                 energy += e;
                 flips += f;
             }
@@ -421,5 +464,76 @@ mod tests {
     fn array_bounds_checked() {
         let arr = PsramArray::new(cfg(), 2, 2, 3);
         let _ = arr.word(2, 0);
+    }
+
+    /// The serving path replays cached flip transients; this pins it
+    /// bit-identical to the full per-cell ODE — stored values, ring-drive
+    /// voltages, per-component energy, and write reports all equal.
+    #[test]
+    fn cached_store_is_bit_identical_to_full_transient() {
+        let cache = WriteTransientCache::shared(cfg());
+        let mut full = PsramWord::new(cfg(), 3);
+        let mut cached = PsramWord::new(cfg(), 3);
+        for value in [0b101, 0b010, 0b111, 0b000, 0b110, 0b110, 0b001] {
+            let (e_full, f_full) = full.store(value);
+            let (e_cached, f_cached) = cached.store_cached(value, &cache);
+            assert_eq!(f_full, f_cached, "flip count diverged at {value:#05b}");
+            assert_eq!(
+                e_full.as_picojoules(),
+                e_cached.as_picojoules(),
+                "energy diverged at {value:#05b}"
+            );
+            assert_eq!(full.value(), cached.value());
+            for (a, b) in full.cells().iter().zip(cached.cells()) {
+                assert_eq!(a.weight_drive(), b.weight_drive());
+                assert_eq!(a.q_voltage(), b.q_voltage());
+                assert_eq!(a.qb_voltage(), b.qb_voltage());
+                assert_eq!(a.elapsed(), b.elapsed());
+                for (component, energy) in a.energy_meter().iter() {
+                    assert_eq!(
+                        energy.as_picojoules(),
+                        b.energy_meter().energy_of(component).as_picojoules(),
+                        "component {component} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Streaming many matrices through `store_matrix` (the cached path)
+    /// must land exactly the per-word full-transient energy and state.
+    #[test]
+    fn store_matrix_replay_matches_per_word_full_writes() {
+        let mut arr = PsramArray::new(cfg(), 3, 2, 3);
+        let mut reference: Vec<PsramWord> = (0..6).map(|_| PsramWord::new(cfg(), 3)).collect();
+        let matrices = [
+            vec![vec![1, 7], vec![0, 5], vec![2, 6]],
+            vec![vec![6, 0], vec![7, 7], vec![1, 3]],
+            vec![vec![6, 0], vec![7, 7], vec![1, 3]], // unchanged — zero flips
+            vec![vec![0, 1], vec![2, 3], vec![4, 5]],
+        ];
+        for m in &matrices {
+            let (e_cached, f_cached) = arr.store_matrix(m);
+            let mut e_full = Energy::ZERO;
+            let mut f_full = 0;
+            for (r, row) in m.iter().enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    let (e, f) = reference[r * 2 + c].store(v);
+                    e_full += e;
+                    f_full += f;
+                }
+            }
+            assert_eq!(f_cached, f_full);
+            assert_eq!(e_cached.as_picojoules(), e_full.as_picojoules());
+            assert_eq!(arr.read_matrix(), *m);
+            for (r, row) in m.iter().enumerate() {
+                for c in 0..row.len() {
+                    assert_eq!(
+                        arr.word(r, c).weight_drives(),
+                        reference[r * 2 + c].weight_drives()
+                    );
+                }
+            }
+        }
     }
 }

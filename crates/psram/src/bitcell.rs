@@ -282,7 +282,14 @@ impl PsramBitcell {
     /// Writes `bit` with the configured differential pulse and lets the
     /// latch settle for one further update period.
     pub fn write(&mut self, bit: bool) -> WriteReport {
-        let before = self.meter.total();
+        // Meter the flip into a fresh accumulator and merge it once at
+        // the end: the reported energy is then the exact same f64 for
+        // every flip of a given direction, independent of how much
+        // accounting history the cell carries (float addition is not
+        // associative), which is what lets [`WriteTransientCache`]
+        // replay a flip bit-identically.
+        let saved = std::mem::replace(&mut self.meter, EnergyMeter::new());
+        let saved_elapsed = std::mem::replace(&mut self.elapsed, Seconds::ZERO);
         let report = self.drive_write(bit, None);
         // The differential write channel arms both line lasers for the
         // pulse window even though only one carries light; account for the
@@ -304,8 +311,12 @@ impl PsramBitcell {
                 crate::energy::RING_JUNCTION_CAPACITANCE_FF,
             )) * 2.0,
         );
+        let delta = std::mem::replace(&mut self.meter, saved);
+        self.meter.merge(&delta);
+        let delta_elapsed = std::mem::replace(&mut self.elapsed, saved_elapsed);
+        self.elapsed += delta_elapsed;
         WriteReport {
-            energy: self.meter.total() - before,
+            energy: delta.total(),
             ..report
         }
     }
@@ -392,6 +403,161 @@ struct Recorders {
     wblb: WaveformRecorder,
     q: WaveformRecorder,
     qb: WaveformRecorder,
+}
+
+/// One fully-simulated write flip, captured once and replayable in O(1).
+#[derive(Debug, Clone)]
+struct CachedFlip {
+    /// Settled node/driver voltages at the end of the transient.
+    q: Voltage,
+    qb: Voltage,
+    d1: Voltage,
+    d2: Voltage,
+    /// Component-wise energy of exactly one flip (write laser, bias
+    /// laser over the window, node and ring-drive CV²).
+    meter: EnergyMeter,
+    /// Simulation time the transient advanced the cell by.
+    elapsed: Seconds,
+    report: WriteReport,
+}
+
+/// Replayable write transients for one [`PsramConfig`].
+///
+/// A settled bitcell's write dynamics are fully determined by the config:
+/// the ODE starts from exact rail voltages (both [`RcNode`] and
+/// [`DigitalDriver`] clamp at the rails, and the regenerative bias light
+/// drives the latch back onto them before the settle window closes), and
+/// the energy recorded during the transient depends only on the step
+/// count and configured powers — never on node state. So the full
+/// co-simulation of a 0→1 and a 1→0 flip can be run **once** per config
+/// and replayed onto any settled cell with bit-identical end state,
+/// energy accounting, and [`WriteReport`].
+///
+/// [`WriteTransientCache::build`] verifies the closure property it relies
+/// on — the settled post-write state must equal the preset state exactly
+/// — and panics otherwise, so a config whose dynamics do not rail within
+/// the write window can never be silently approximated.
+///
+/// This is what makes repeated tile streaming cheap: the serving path
+/// ([`crate::PsramArray::store_matrix`]) replays cached flips instead of
+/// re-integrating ~10³ ODE steps per cell, while the physics analyses
+/// ([`PsramBitcell::write`], [`PsramBitcell::record_write`],
+/// [`PsramBitcell::apply_pulse`]) keep the full simulation.
+#[derive(Debug, Clone)]
+pub struct WriteTransientCache {
+    config: PsramConfig,
+    to_true: CachedFlip,
+    to_false: CachedFlip,
+}
+
+impl WriteTransientCache {
+    /// Runs both flip transients through the full co-simulation and
+    /// captures their end states and energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid, a transient fails to latch, or
+    /// the settled post-write state differs from the preset state (the
+    /// closure property replay correctness rests on).
+    #[must_use]
+    pub fn build(config: PsramConfig) -> Self {
+        let flip = |bit: bool| {
+            // A fresh probe's meter starts empty, so after one write it
+            // holds exactly the per-flip component breakdown.
+            let mut probe = PsramBitcell::with_stored(config, !bit);
+            let report = probe.write(bit);
+            assert!(
+                report.success,
+                "pSRAM write transient failed to latch while building the flip cache"
+            );
+            let preset = PsramBitcell::with_stored(config, bit);
+            let closed = probe.q.voltage() == preset.q.voltage()
+                && probe.qb.voltage() == preset.qb.voltage()
+                && probe.d1.output() == preset.d1.output()
+                && probe.d2.output() == preset.d2.output();
+            assert!(
+                closed,
+                "write transient did not settle back onto the rails; \
+                 cached replay would diverge from the full simulation"
+            );
+            CachedFlip {
+                q: probe.q.voltage(),
+                qb: probe.qb.voltage(),
+                d1: probe.d1.output(),
+                d2: probe.d2.output(),
+                meter: probe.meter,
+                elapsed: probe.elapsed,
+                report,
+            }
+        };
+        WriteTransientCache {
+            config,
+            to_true: flip(true),
+            to_false: flip(false),
+        }
+    }
+
+    /// A process-wide shared cache for `config`, built on first use.
+    /// Arrays with equal configs (every device in a pool) share one.
+    #[must_use]
+    pub fn shared(config: PsramConfig) -> std::sync::Arc<Self> {
+        static CACHES: std::sync::Mutex<Vec<(PsramConfig, std::sync::Arc<WriteTransientCache>)>> =
+            std::sync::Mutex::new(Vec::new());
+        let mut caches = CACHES.lock().expect("flip-cache registry poisoned");
+        if let Some((_, cached)) = caches.iter().find(|(key, _)| *key == config) {
+            return std::sync::Arc::clone(cached);
+        }
+        let built = std::sync::Arc::new(WriteTransientCache::build(config));
+        caches.push((config, std::sync::Arc::clone(&built)));
+        built
+    }
+
+    /// The config this cache was built for.
+    #[must_use]
+    pub fn config(&self) -> &PsramConfig {
+        &self.config
+    }
+
+    fn flip(&self, bit: bool) -> &CachedFlip {
+        if bit {
+            &self.to_true
+        } else {
+            &self.to_false
+        }
+    }
+}
+
+impl PsramBitcell {
+    /// Writes `bit` by replaying the cached transient: bit-identical end
+    /// state, energy accounting, and report to [`PsramBitcell::write`],
+    /// without re-integrating the ODE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was built for a different config, or the cell
+    /// is not settled on the opposite bit (replay is only defined for the
+    /// flip the transient was captured from).
+    pub fn write_cached(&mut self, bit: bool, cache: &WriteTransientCache) -> WriteReport {
+        assert!(
+            self.config == cache.config,
+            "flip cache was built for a different PsramConfig"
+        );
+        assert_eq!(
+            self.stored_bit(),
+            Some(!bit),
+            "cached write replay requires a cell settled on the opposite bit"
+        );
+        let flip = cache.flip(bit);
+        self.q.set_voltage(flip.q);
+        self.qb.set_voltage(flip.qb);
+        self.d1 =
+            DigitalDriver::with_initial(self.config.vdd, self.config.driver_slew_v_per_s, flip.d1);
+        self.d2 =
+            DigitalDriver::with_initial(self.config.vdd, self.config.driver_slew_v_per_s, flip.d2);
+        self.meter.merge(&flip.meter);
+        self.elapsed += flip.elapsed;
+        flip.report
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,6 @@ pub mod margins;
 pub mod stability;
 
 pub use array::{PsramArray, PsramWord};
-pub use bitcell::{PsramBitcell, WriteReport};
+pub use bitcell::{PsramBitcell, WriteReport, WriteTransientCache};
 pub use config::PsramConfig;
 pub use energy::{HoldPowerModel, WriteEnergyModel};

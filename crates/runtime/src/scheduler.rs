@@ -240,6 +240,10 @@ pub struct Runtime {
     /// lock and release it before touching the channel, so drain never
     /// waits behind a blocked submitter.
     intake: RwLock<Option<SyncSender<Submission>>>,
+    /// Crash-simulation flag (see [`Runtime::kill`]): when raised the
+    /// dispatcher abandons accepted-but-undispatched work instead of
+    /// draining it.
+    killed: Arc<std::sync::atomic::AtomicBool>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
     exporter: Option<std::thread::JoinHandle<()>>,
     exporter_stop: Arc<ExporterStop>,
@@ -264,16 +268,19 @@ impl Runtime {
             .store(config.devices as u64, Ordering::Relaxed);
         let pool = Arc::new(DevicePool::new(config.core, config.devices));
         let (intake_tx, intake_rx) = std::sync::mpsc::sync_channel(config.queue_depth);
+        let killed = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let dispatcher = {
             let metrics = Arc::clone(&metrics);
             let pool = Arc::clone(&pool);
+            let killed = Arc::clone(&killed);
             std::thread::Builder::new()
                 .name("pic-dispatcher".to_owned())
-                .spawn(move || dispatcher_loop(&config, &intake_rx, &pool, &metrics))
+                .spawn(move || dispatcher_loop(&config, &intake_rx, &pool, &metrics, &killed))
                 .expect("spawn dispatcher")
         };
         Runtime {
             intake: RwLock::new(Some(intake_tx)),
+            killed,
             dispatcher: Some(dispatcher),
             exporter: None,
             exporter_stop: Arc::new(ExporterStop::default()),
@@ -460,6 +467,19 @@ impl Runtime {
         *self.intake.write().expect("intake lock") = None;
     }
 
+    /// Simulates an abrupt node crash: intake closes *and* the
+    /// dispatcher abandons everything accepted but not yet handed to a
+    /// worker — those requests' waiters surface
+    /// [`RuntimeError::WorkerLost`], exactly what a caller of a real
+    /// remote node would observe when it dies mid-flight. (Batches a
+    /// worker already holds may still complete; a real crash has the
+    /// same race.) Threads still join via [`Runtime::shutdown`].
+    /// Idempotent.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Release);
+        self.drain();
+    }
+
     /// Stops intake, drains every queued request, and joins all threads
     /// (the exporter last, so its final frame sees the drained state).
     /// Idempotent; also runs on drop.
@@ -485,6 +505,7 @@ fn dispatcher_loop(
     intake: &Receiver<Submission>,
     pool: &Arc<DevicePool>,
     metrics: &Arc<MetricsRegistry>,
+    killed: &std::sync::atomic::AtomicBool,
 ) {
     // Digitisation's share of modeled compute energy, from the paper's
     // power breakdown — splits each batch's compute energy between the
@@ -556,6 +577,15 @@ fn dispatcher_loop(
     let mut pending_count: u64 = 0;
     let mut open = true;
     while open || !pending.is_empty() {
+        // Crash simulation ([`Runtime::kill`]): abandon the intake
+        // backlog and every pending submission — dropping their
+        // responders surfaces `WorkerLost` to the waiters.
+        if killed.load(Ordering::Acquire) {
+            while intake.try_recv().is_ok() {}
+            metrics.intake_depth.store(0, Ordering::Relaxed);
+            metrics.pending_depth.store(0, Ordering::Relaxed);
+            break;
+        }
         if pending.is_empty() {
             match intake.recv() {
                 Ok(s) => {
@@ -1130,6 +1160,48 @@ mod tests {
             rt.submit(MatmulRequest::new(m, vec![vec![0.5; 4]])),
             Err(RuntimeError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn kill_abandons_pending_work_with_worker_lost() {
+        let rt = Runtime::start(RuntimeConfig {
+            core: TensorCoreConfig::small_demo(),
+            devices: 1,
+            queue_depth: 256,
+            max_batch: 1,
+            worker_queue_depth: 1,
+            policy: AdmissionPolicyKind::Fifo,
+            max_delay: Duration::from_millis(100),
+        });
+        // Distinct matrices force a fresh tile write per batch, keeping
+        // the lone worker busy while the backlog sits undispatched.
+        let handles: Vec<ResponseHandle> = (0..128)
+            .map(|_| {
+                rt.submit(MatmulRequest::new(matrix(4, 4), vec![vec![0.5; 4]]))
+                    .expect("accepted")
+            })
+            .collect();
+        rt.kill();
+        assert!(
+            matches!(
+                rt.submit(MatmulRequest::new(matrix(4, 4), vec![vec![0.5; 4]])),
+                Err(RuntimeError::ShuttingDown)
+            ),
+            "a killed node stops accepting"
+        );
+        let (mut ok, mut lost) = (0usize, 0usize);
+        for h in handles {
+            match h.wait() {
+                Ok(_) => ok += 1,
+                Err(RuntimeError::WorkerLost) => lost += 1,
+                Err(e) => panic!("kill surfaces WorkerLost, not {e:?}"),
+            }
+        }
+        assert_eq!(ok + lost, 128);
+        assert!(
+            lost >= 1,
+            "the abandoned backlog must surface typed errors (ok={ok})"
+        );
     }
 
     #[test]

@@ -227,6 +227,70 @@ impl TiledMatrix {
         &self.tiles[block_row * self.block_cols + block_col]
     }
 
+    /// Carves a contiguous tile-grid window out of this matrix as a new,
+    /// independently-identified [`TiledMatrix`].
+    ///
+    /// The shard reuses the parent's tile *codes* verbatim (cloned, not
+    /// re-quantised), re-keyed under a fresh matrix id so device-side
+    /// residency tracking treats the shard as its own matrix. Ranges are
+    /// half-open in tile-grid units. The shard's logical dimensions are
+    /// the real (unpadded) extents of the window, so a window containing
+    /// the parent's ragged last block row/column stays ragged.
+    ///
+    /// This is the primitive `pic-cluster`'s shard planner is built on:
+    /// block-row shards of a matrix go to different nodes and their
+    /// post-ADC code sums add back exactly (digital accumulation is
+    /// associative), so a cluster reduce over shards is bit-identical to
+    /// the single-node result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is empty or extends past the tile grid.
+    #[must_use]
+    pub fn shard(
+        &self,
+        block_rows: std::ops::Range<usize>,
+        block_cols: std::ops::Range<usize>,
+    ) -> TiledMatrix {
+        assert!(
+            !block_rows.is_empty() && block_rows.end <= self.block_rows,
+            "shard rows {block_rows:?} outside 0..{}",
+            self.block_rows
+        );
+        assert!(
+            !block_cols.is_empty() && block_cols.end <= self.block_cols,
+            "shard cols {block_cols:?} outside 0..{}",
+            self.block_cols
+        );
+        let id = NEXT_MATRIX_ID.fetch_add(1, Ordering::Relaxed);
+        let out_dim = (self.out_dim).min(block_rows.end * self.shape.rows)
+            - block_rows.start * self.shape.rows;
+        let in_dim = (self.in_dim).min(block_cols.end * self.shape.cols)
+            - block_cols.start * self.shape.cols;
+        let mut tiles = Vec::with_capacity(block_rows.len() * block_cols.len());
+        for (br, parent_br) in block_rows.clone().enumerate() {
+            for (bc, parent_bc) in block_cols.clone().enumerate() {
+                tiles.push(Tile {
+                    key: TileKey {
+                        matrix: id,
+                        block_row: br,
+                        block_col: bc,
+                    },
+                    codes: self.tile(parent_br, parent_bc).codes.clone(),
+                });
+            }
+        }
+        TiledMatrix {
+            id,
+            out_dim,
+            in_dim,
+            shape: self.shape,
+            block_rows: block_rows.len(),
+            block_cols: block_cols.len(),
+            tiles,
+        }
+    }
+
     /// Splits one input vector of length `in_dim` into per-tile-column
     /// zero-padded slices of length `shape.cols`.
     ///
@@ -339,6 +403,57 @@ mod tests {
         let w = vec![vec![0.0, 1.0, 0.5, 0.25]; 2];
         let m = TiledMatrix::from_weights(&w, 3, TileShape::new(4, 4));
         assert_eq!(m.tile(0, 0).codes()[0], vec![0, 7, 4, 2]);
+    }
+
+    #[test]
+    fn shard_reuses_parent_codes_under_new_id() {
+        let m = TiledMatrix::from_codes(&codes(33, 40), 3, TileShape::new(16, 16));
+        assert_eq!((m.block_rows(), m.block_cols()), (3, 3));
+        let s = m.shard(1..3, 0..3);
+        assert_ne!(s.id(), m.id());
+        assert_eq!((s.block_rows(), s.block_cols()), (2, 3));
+        // Real extents: parent rows 16..33 → 17 rows (ragged last kept).
+        assert_eq!(s.out_dim(), 17);
+        assert_eq!(s.in_dim(), 40);
+        for br in 0..2 {
+            for bc in 0..3 {
+                let t = s.tile(br, bc);
+                assert_eq!(t.codes(), m.tile(br + 1, bc).codes());
+                assert_eq!(
+                    t.key(),
+                    TileKey {
+                        matrix: s.id(),
+                        block_row: br,
+                        block_col: bc
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_full_grid_matches_parent_dims() {
+        let m = TiledMatrix::from_codes(&codes(17, 20), 3, TileShape::new(16, 16));
+        let s = m.shard(0..m.block_rows(), 0..m.block_cols());
+        assert_eq!((s.out_dim(), s.in_dim()), (m.out_dim(), m.in_dim()));
+        assert_eq!(s.tile_count(), m.tile_count());
+    }
+
+    #[test]
+    fn shard_column_window_trims_in_dim() {
+        let m = TiledMatrix::from_codes(&codes(16, 36), 3, TileShape::new(16, 16));
+        let s = m.shard(0..1, 1..3);
+        // Parent cols 16..36 → 20 real inputs in the window.
+        assert_eq!(s.in_dim(), 20);
+        assert_eq!(s.tile(0, 0).codes(), m.tile(0, 1).codes());
+        assert_eq!(s.tile(0, 1).codes(), m.tile(0, 2).codes());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn shard_rejects_out_of_grid_ranges() {
+        let m = TiledMatrix::from_codes(&codes(16, 16), 3, TileShape::new(16, 16));
+        let _ = m.shard(0..2, 0..1);
     }
 
     #[test]
