@@ -57,6 +57,12 @@ struct SizeReport {
     /// `matmul_flat_traced_ns / matmul_flat_ns - 1`, as a percentage —
     /// the measured cost of leaving instrumentation on.
     trace_overhead_pct: f64,
+    /// Digitise-only microbench: one `digitize_slice` pass over a 4096
+    /// read-out sweep, per converted code — isolates the branchless LUT
+    /// walk so a digitisation regression is visible separately from the
+    /// analog phase.
+    digitize_ns_per_code: f64,
+    digitize_codes_per_s: f64,
 }
 
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -121,6 +127,20 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
     });
     pic_obs::install_collector(None);
 
+    // Digitise-only: a fixed sweep of normalised read-outs (past full
+    // scale included, so the gain clamp is exercised) through the
+    // branchless LUT walk, no analog phase at all.
+    const DIGITIZE_SWEEP: usize = 4096;
+    let ys: Vec<f64> = (0..DIGITIZE_SWEEP)
+        .map(|i| i as f64 / DIGITIZE_SWEEP as f64 * 1.2)
+        .collect();
+    let mut digitized = vec![0u16; DIGITIZE_SWEEP];
+    let digitize_pass_ns = ns_per_call(|| {
+        core.digitize_slice(std::hint::black_box(&ys), &mut digitized);
+        std::hint::black_box(digitized.as_slice());
+    });
+    let digitize_ns_per_code = digitize_pass_ns / DIGITIZE_SWEEP as f64;
+
     let report = SizeReport {
         size: label.to_owned(),
         matvec_cached_ns,
@@ -135,11 +155,13 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
         matmul_flat_samples_per_s: batch.len() as f64 * 1e9 / matmul_flat_ns,
         matmul_flat_traced_ns,
         trace_overhead_pct: (matmul_flat_traced_ns / matmul_flat_ns - 1.0) * 100.0,
+        digitize_ns_per_code,
+        digitize_codes_per_s: 1e9 / digitize_ns_per_code,
     };
     println!(
         "  {label:>6}: matvec {:.0} ns cached / {:.0} ns uncached ({:.1}×), \
          matmul({}) {:.1} µs ({:.0} samples/s), flat {:.1} µs ({:.0} samples/s), \
-         traced {:.1} µs ({:+.1}%)",
+         traced {:.1} µs ({:+.1}%), digitize {:.2} ns/code ({:.0} codes/s)",
         report.matvec_cached_ns,
         report.matvec_uncached_ns,
         report.cached_speedup,
@@ -150,6 +172,8 @@ fn measure(label: &str, cfg: TensorCoreConfig) -> SizeReport {
         report.matmul_flat_samples_per_s,
         report.matmul_flat_traced_ns / 1e3,
         report.trace_overhead_pct,
+        report.digitize_ns_per_code,
+        report.digitize_codes_per_s,
     );
     report
 }
@@ -169,7 +193,7 @@ where
 fn throughput_metrics<'a>(
     base: &'a SizeReport,
     now: &'a SizeReport,
-) -> [(&'static str, f64, f64); 3] {
+) -> [(&'static str, f64, f64); 4] {
     [
         ("matvec_per_s", base.matvec_per_s, now.matvec_per_s),
         (
@@ -181,6 +205,11 @@ fn throughput_metrics<'a>(
             "matmul_flat_samples_per_s",
             base.matmul_flat_samples_per_s,
             now.matmul_flat_samples_per_s,
+        ),
+        (
+            "digitize_codes_per_s",
+            base.digitize_codes_per_s,
+            now.digitize_codes_per_s,
         ),
     ]
 }

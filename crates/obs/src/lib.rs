@@ -40,8 +40,8 @@ pub use expose::{Frame, StageFrame};
 pub use hist::{AtomicF64, HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use recorder::{Event, EventKind, FlightRecorder, DEFAULT_RECORDER_CAPACITY};
 pub use span::{
-    collector_installed, install_collector, Span, Stage, StageSnapshot, StageStats, StageTimer,
-    STAGE_COUNT,
+    collector_installed, install_collector, record_stage_ns, Span, Stage, StageSnapshot,
+    StageStats, StageTimer, STAGE_COUNT,
 };
 
 /// Whether instrumentation is compiled in (`false` when the `obs-off`

@@ -196,6 +196,25 @@ mod ambient {
         COLLECTOR.with(|c| c.borrow().is_some())
     }
 
+    /// Credits `ns` of self time for `stage` directly to this thread's
+    /// collector — the lightweight alternative to a [`Span`] pair for
+    /// straight-line phases the caller already timed with its own clock
+    /// reads. The time also counts as child time of the innermost open
+    /// span (if any), so enclosing spans' self-time attribution stays
+    /// exact. A no-op on threads with no collector installed.
+    pub fn record_stage_ns(stage: Stage, ns: u64) {
+        COLLECTOR.with(|c| {
+            if let Some(stats) = c.borrow().as_ref() {
+                stats.record_ns(stage, ns);
+            }
+        });
+        STACK.with(|s| {
+            if let Some(parent) = s.borrow_mut().last_mut() {
+                parent.child_ns += ns;
+            }
+        });
+    }
+
     /// An RAII span recording self time into the thread's collector.
     #[derive(Debug)]
     #[must_use = "a span records on drop; binding it to _ drops it immediately"]
@@ -262,6 +281,10 @@ mod ambient {
         false
     }
 
+    /// No-op under `obs-off`.
+    #[inline]
+    pub fn record_stage_ns(_stage: Stage, _ns: u64) {}
+
     /// Zero-sized no-op span under `obs-off`.
     #[derive(Debug)]
     #[must_use = "a span records on drop; binding it to _ drops it immediately"]
@@ -276,7 +299,7 @@ mod ambient {
     }
 }
 
-pub use ambient::{collector_installed, install_collector, Span};
+pub use ambient::{collector_installed, install_collector, record_stage_ns, Span};
 
 /// An explicit RAII stage timer: records its wall-clock lifetime into
 /// the given [`StageStats`] on drop. Unlike [`Span`] it needs no

@@ -16,10 +16,14 @@ use pic_tensor::{
 
 /// Reusable per-executor working memory for the tiled execute path.
 ///
-/// Every buffer is `reset` (keeping its arena) at the top of a request
-/// and only ever grows to the largest request shape seen, so a device in
+/// Every arena persists across requests, batches and tile visits, and
+/// only ever grows to the largest request shape seen, so a device in
 /// steady state performs zero heap allocations per request: input splits,
-/// per-tile ADC codes, and digital accumulators all live here.
+/// per-tile ADC codes, and digital accumulators all live here. The
+/// splits and codes arenas are reshaped *without* zero-filling (their
+/// kernels overwrite every element — see
+/// [`FlatBatch::reset_for_overwrite`]); only `code_sums` is re-zeroed,
+/// because the tile loop accumulates into it.
 #[derive(Debug, Default)]
 struct ExecScratch {
     /// Split inputs, tile-column-major: tile column `bc` of a
@@ -220,14 +224,7 @@ impl TileExecutor {
         // tile column `bc` is one contiguous run of rows.
         let samples = inputs.len();
         let out_dim = matrix.out_dim();
-        self.scratch
-            .splits
-            .reset(matrix.block_cols() * samples, config.cols);
-        for bc in 0..matrix.block_cols() {
-            for (s, x) in inputs.iter().enumerate() {
-                matrix.split_column_into(x, bc, self.scratch.splits.row_mut(bc * samples + s));
-            }
-        }
+        matrix.split_columns_into(inputs, &mut self.scratch.splits);
         self.scratch.code_sums.clear();
         self.scratch.code_sums.resize(samples * out_dim, 0);
 

@@ -7,7 +7,7 @@
 //! [`TileKey`] so device-side residency tracking can recognise a tile it
 //! already holds and skip the rewrite.
 
-use pic_tensor::quant;
+use pic_tensor::{quant, FlatBatch};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The physical array shape tiles are cut to.
@@ -334,6 +334,40 @@ impl TiledMatrix {
             *v = 0.0;
         }
     }
+
+    /// Splits a whole batch into its per-tile-column slices in one pass,
+    /// tile-column-major: tile column `bc` of a `samples`-row batch
+    /// occupies rows `bc·samples .. (bc+1)·samples` of `splits`, each
+    /// `shape.cols` wide — the layout the executor's tile loop reads as
+    /// contiguous zero-copy windows. The batched form of
+    /// [`TiledMatrix::split_column_into`]: bounds are checked once per
+    /// batch instead of once per (sample, tile-column) pair, and the
+    /// destination arena is resized without zero-filling (every row is
+    /// fully overwritten, padding included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length is not `in_dim`.
+    pub fn split_columns_into(&self, inputs: &[&[f64]], splits: &mut FlatBatch) {
+        for (s, x) in inputs.iter().enumerate() {
+            assert_eq!(
+                x.len(),
+                self.in_dim,
+                "input {s}: one value per matrix column"
+            );
+        }
+        let samples = inputs.len();
+        splits.reset_for_overwrite(self.block_cols * samples, self.shape.cols);
+        for bc in 0..self.block_cols {
+            let lo = bc * self.shape.cols;
+            let hi = (lo + self.shape.cols).min(self.in_dim);
+            for (s, x) in inputs.iter().enumerate() {
+                let row = splits.row_mut(bc * samples + s);
+                row[..hi - lo].copy_from_slice(&x[lo..hi]);
+                row[hi - lo..].fill(0.0);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +430,43 @@ mod tests {
             m.split_column_into(&x, bc, &mut out);
             assert_eq!(&out, part, "tile column {bc}");
         }
+    }
+
+    #[test]
+    fn split_columns_into_matches_per_column_splits() {
+        let m = TiledMatrix::from_codes(&codes(16, 20), 3, TileShape::new(16, 16));
+        let batch: Vec<Vec<f64>> = (0..3)
+            .map(|s| (0..20).map(|c| ((s * 20 + c) % 13) as f64 / 13.0).collect())
+            .collect();
+        let slices: Vec<&[f64]> = batch.iter().map(Vec::as_slice).collect();
+        // Pre-soil the scratch: the overwrite reset keeps stale contents,
+        // so every row (ragged padding included) must be rewritten.
+        let mut splits = FlatBatch::new();
+        splits.reset(m.block_cols() * batch.len(), 16);
+        for s in 0..splits.samples() {
+            splits.row_mut(s).fill(f64::NAN);
+        }
+        m.split_columns_into(&slices, &mut splits);
+        for bc in 0..m.block_cols() {
+            for (s, x) in batch.iter().enumerate() {
+                let mut want = vec![0.0; 16];
+                m.split_column_into(x, bc, &mut want);
+                assert_eq!(
+                    splits.row(bc * batch.len() + s),
+                    want.as_slice(),
+                    "tile column {bc}, sample {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per matrix column")]
+    fn split_columns_into_rejects_wrong_length() {
+        let m = TiledMatrix::from_codes(&codes(16, 20), 3, TileShape::new(16, 16));
+        let short = vec![0.5; 19];
+        let mut splits = FlatBatch::new();
+        m.split_columns_into(&[&short], &mut splits);
     }
 
     #[test]

@@ -139,6 +139,17 @@ impl WeightCache {
     }
 }
 
+/// Lanes in one branchless comparison block of the digitise walk — a
+/// 512-bit register of `f64`s, and a fixed trip count the
+/// autovectoriser can unroll without a data-dependent branch.
+const LUT_LANES: usize = 8;
+
+/// Padded boundary tables up to this long take the flat comparison-sum;
+/// larger calibrations first locate the right `LUT_LANES`-wide chunk by
+/// binary search so the walk stays O(log levels) however many codes a
+/// future high-resolution converter carries.
+const LUT_FLAT_MAX: usize = 8 * LUT_LANES;
+
 /// Exact boundary table for the row read-out conversion.
 ///
 /// [`EoAdc::convert_static`] walks the full ring-ladder activation model
@@ -151,15 +162,41 @@ impl WeightCache {
 /// representable input in `[0, vfs]`, not an approximation. Debug builds
 /// re-verify the table against the converter on a sweep plus every
 /// threshold's one-ulp neighbourhood.
+///
+/// The steady-state look-up is *branchless*: the code is `Σ (v ≥ bₖ)`
+/// over a fixed-stride boundary array padded to whole [`LUT_LANES`]
+/// chunks with `+∞` (a padding lane can never count), which compiles to
+/// lane-wise compares with no early exit — the historical per-code scan
+/// survives as [`DigitizeLut::code_at_volts_scalar`], the reference the
+/// branchless walk is verified against.
 #[derive(Debug, Clone)]
 struct DigitizeLut {
     /// `boundaries[k]` is the least input (volts) that converts to a code
     /// of at least `k + 1`; ascending.
     boundaries: Vec<f64>,
+    /// `boundaries` padded with `+∞` to a whole number of [`LUT_LANES`]
+    /// chunks (at least one) — the fixed-stride table the branchless
+    /// comparison-sum streams over.
+    padded: Vec<f64>,
     vfs_volts: f64,
 }
 
 impl DigitizeLut {
+    /// Wraps an ascending boundary table, building the padded
+    /// fixed-stride copy the branchless walk uses.
+    fn from_boundaries(boundaries: Vec<f64>, vfs_volts: f64) -> Self {
+        let mut padded = boundaries.clone();
+        padded.resize(
+            boundaries.len().next_multiple_of(LUT_LANES).max(LUT_LANES),
+            f64::INFINITY,
+        );
+        DigitizeLut {
+            boundaries,
+            padded,
+            vfs_volts,
+        }
+    }
+
     fn build(adc: &EoAdc, config: &EoAdcConfig) -> Self {
         let vfs_volts = config.vfs.as_volts();
         let code_at = |volts: f64| -> u16 {
@@ -183,10 +220,7 @@ impl DigitizeLut {
             }
             boundaries.push(f64::from_bits(lo));
         }
-        let lut = DigitizeLut {
-            boundaries,
-            vfs_volts,
-        };
+        let lut = DigitizeLut::from_boundaries(boundaries, vfs_volts);
         if cfg!(debug_assertions) {
             lut.verify(adc, 512);
         }
@@ -194,7 +228,8 @@ impl DigitizeLut {
     }
 
     /// Cross-checks the table against the real converter on a uniform
-    /// grid plus every boundary's one-ulp neighbourhood.
+    /// grid plus every boundary's one-ulp neighbourhood — both the
+    /// branchless walk and the scalar reference scan.
     ///
     /// # Panics
     ///
@@ -207,7 +242,12 @@ impl DigitizeLut {
             assert_eq!(
                 self.code_at_volts(volts),
                 want,
-                "digitize LUT disagrees with the converter at {volts} V"
+                "branchless digitize LUT disagrees with the converter at {volts} V"
+            );
+            assert_eq!(
+                self.code_at_volts_scalar(volts),
+                want,
+                "scalar digitize LUT disagrees with the converter at {volts} V"
             );
         };
         for i in 0..=grid {
@@ -226,9 +266,56 @@ impl DigitizeLut {
     }
 
     /// The code for an input voltage in `[0, vfs]`: the number of
-    /// thresholds at or below it.
+    /// thresholds at or below it, counted branchlessly.
+    ///
+    /// Small tables (every calibration the paper ships) take one flat
+    /// comparison-sum over the padded array; larger ones first bisect at
+    /// chunk granularity — boundaries ascend, so every chunk before the
+    /// last whose head is ≤ `volts` lies entirely at or below it, and
+    /// only that one chunk needs the lane-wise count.
     #[inline]
     fn code_at_volts(&self, volts: f64) -> u16 {
+        let padded: &[f64] = &self.padded;
+        if padded.len() <= LUT_FLAT_MAX {
+            return Self::count_reached(padded, volts);
+        }
+        let chunks = padded.len() / LUT_LANES;
+        let (mut lo, mut hi) = (0usize, chunks);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if padded[mid * LUT_LANES] <= volts {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            return 0;
+        }
+        let base = (lo - 1) * LUT_LANES;
+        base as u16 + Self::count_reached(&padded[base..base + LUT_LANES], volts)
+    }
+
+    /// Branchless `Σ (volts ≥ bₖ)` over a table padded to whole
+    /// [`LUT_LANES`] chunks: lane-wise compares summed as integers, no
+    /// data-dependent branch. `NaN` compares false against every
+    /// boundary and counts zero, exactly like the scalar scan's
+    /// immediate exit.
+    #[inline]
+    fn count_reached(padded: &[f64], volts: f64) -> u16 {
+        let mut count = 0u32;
+        for chunk in padded.chunks_exact(LUT_LANES) {
+            for &b in chunk {
+                count += u32::from(volts >= b);
+            }
+        }
+        count as u16
+    }
+
+    /// The historical early-exit boundary scan, kept as the scalar
+    /// reference [`DigitizeLut::verify`] and the equality tests pin the
+    /// branchless walk against.
+    fn code_at_volts_scalar(&self, volts: f64) -> u16 {
         let mut code = 0u16;
         for &b in &self.boundaries {
             if volts >= b {
@@ -247,6 +334,61 @@ impl DigitizeLut {
     fn code_for_scaled(&self, scaled: f64) -> u16 {
         self.code_at_volts(self.vfs_volts * scaled)
     }
+
+    /// Lane-parallel form of [`DigitizeLut::code_for_scaled`] over
+    /// [`SAMPLE_BLOCK`] values at once: the boundary loop runs outermost
+    /// and every comparison accumulates *vertically* into an independent
+    /// per-lane count, so there is no per-code horizontal lane reduction
+    /// — the shape the autovectoriser compiles to one SIMD compare per
+    /// boundary. Each lane's count is the sum of exactly the same
+    /// `(v ≥ bₖ)` terms as the per-code walk (integer addition commutes),
+    /// so codes are bit-identical to [`DigitizeLut::code_for_scaled`].
+    /// Tables past [`LUT_FLAT_MAX`] fall back to the per-lane chunked
+    /// binary search.
+    #[inline]
+    fn codes_for_scaled_block(
+        &self,
+        scaled: &[f64; SAMPLE_BLOCK],
+        codes: &mut [u16; SAMPLE_BLOCK],
+    ) {
+        if self.padded.len() <= LUT_FLAT_MAX {
+            let mut volts = [0.0f64; SAMPLE_BLOCK];
+            for (v, &s) in volts.iter_mut().zip(scaled) {
+                *v = self.vfs_volts * s;
+            }
+            let mut counts = [0u32; SAMPLE_BLOCK];
+            for &b in &self.padded {
+                for (c, &v) in counts.iter_mut().zip(&volts) {
+                    *c += u32::from(v >= b);
+                }
+            }
+            for (code, &c) in codes.iter_mut().zip(&counts) {
+                *code = c as u16;
+            }
+        } else {
+            for (code, &s) in codes.iter_mut().zip(scaled) {
+                *code = self.code_for_scaled(s);
+            }
+        }
+    }
+}
+
+/// Samples the blocked analog phase processes together: each cached gain
+/// row is loaded once per block and multiplied into this many
+/// *independent* left-to-right accumulator chains, so the serial
+/// dependency of one dot product no longer gates the whole batch.
+/// Per-sample accumulation order is untouched — codes stay bit-identical
+/// to the one-sample-at-a-time walk.
+const SAMPLE_BLOCK: usize = 8;
+
+thread_local! {
+    /// Reusable per-thread block scratch for the register-blocked
+    /// kernels: the lane-major transposed sample block
+    /// (`cols × SAMPLE_BLOCK`) and the block's clamped analog row
+    /// outputs (`rows × SAMPLE_BLOCK`). Persist across batches, so a
+    /// steady-state serving thread allocates nothing per call.
+    static BLOCK: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// The scalable mixed-signal photonic tensor core (Fig. 4).
@@ -380,12 +522,36 @@ impl TensorCore {
     /// in `[0, 1]` (the intensity-encoding contract of the comb source).
     fn check_input(&self, input: &[f64]) {
         assert_eq!(input.len(), self.config.cols, "one input per column");
+        Self::check_range(input);
+    }
+
+    /// Branchless range validation: one comparison-count pass over the
+    /// row (`NaN` fails the contains check), deferring to the cold
+    /// per-element rescan only when something is out of range — so the
+    /// happy path costs a vectorisable count, not a branch per element.
+    #[inline]
+    fn check_range(input: &[f64]) {
+        let in_range: u32 = input
+            .iter()
+            .map(|&x| u32::from((0.0..=1.0).contains(&x)))
+            .sum();
+        if in_range as usize != input.len() {
+            Self::bad_input(input);
+        }
+    }
+
+    /// The panicking rescan behind [`TensorCore::check_range`], kept out
+    /// of line so the kernels' hot loops carry no formatting machinery.
+    #[cold]
+    #[inline(never)]
+    fn bad_input(input: &[f64]) -> ! {
         for (c, &x) in input.iter().enumerate() {
             assert!(
                 (0.0..=1.0).contains(&x),
                 "intensity-encoded inputs must be in [0, 1]: input[{c}] = {x}"
             );
         }
+        unreachable!("branchless range count disagreed with the rescan");
     }
 
     /// Whether heavy loops may fan out to worker threads.
@@ -535,9 +701,62 @@ impl TensorCore {
         self.digitize(y)
     }
 
+    /// Digitises a slice of normalised read-out values in one pass —
+    /// [`TensorCore::digitize`] per element, but with the validation
+    /// folded into a branchless count and the conversion loop free of
+    /// per-element assert machinery. This is the digitise-only kernel
+    /// the benchmark suite times to watch LUT regressions separately
+    /// from the analog phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is not `ys`-long, or any value is not finite
+    /// and non-negative (same message as [`TensorCore::digitize`]).
+    pub fn digitize_slice(&self, ys: &[f64], codes: &mut [u16]) {
+        assert_eq!(ys.len(), codes.len(), "one code per read-out value");
+        let valid: u32 = ys
+            .iter()
+            .map(|&y| u32::from(y.is_finite() && y >= 0.0))
+            .sum();
+        if valid as usize != ys.len() {
+            Self::bad_readout(ys);
+        }
+        let mut blocks = ys.chunks_exact(SAMPLE_BLOCK);
+        let mut code_blocks = codes.chunks_exact_mut(SAMPLE_BLOCK);
+        for (block_ys, block_codes) in (&mut blocks).zip(&mut code_blocks) {
+            let mut scaled = [0.0f64; SAMPLE_BLOCK];
+            for (sc, &y) in scaled.iter_mut().zip(block_ys) {
+                *sc = (y * self.readout_gain).min(1.0);
+            }
+            let mut block = [0u16; SAMPLE_BLOCK];
+            self.lut.codes_for_scaled_block(&scaled, &mut block);
+            block_codes.copy_from_slice(&block);
+        }
+        for (code, &y) in code_blocks
+            .into_remainder()
+            .iter_mut()
+            .zip(blocks.remainder())
+        {
+            let scaled = (y * self.readout_gain).min(1.0);
+            *code = self.lut.code_for_scaled(scaled);
+        }
+    }
+
+    /// The panicking rescan behind [`TensorCore::digitize_slice`], out of
+    /// line like [`TensorCore::bad_input`].
+    #[cold]
+    #[inline(never)]
+    fn bad_readout(ys: &[f64]) -> ! {
+        for &y in ys {
+            assert!(y.is_finite() && y >= 0.0, "row output must be ≥ 0, got {y}");
+        }
+        unreachable!("branchless read-out count disagreed with the rescan");
+    }
+
     /// One input through the cached per-row maps and the read-out table —
-    /// the innermost batched kernel. Allocation-free: `codes` is one
-    /// `rows`-long output row supplied by the caller.
+    /// the innermost single-sample kernel ([`TensorCore::matvec`] and the
+    /// nested-`Vec` shims). Allocation-free: `codes` is one `rows`-long
+    /// output row supplied by the caller.
     fn sample_codes_into(&self, cache: &WeightCache, x: &[f64], codes: &mut [u16]) {
         for (r, code) in codes.iter_mut().enumerate() {
             let scaled = (cache.analog(r, x) * self.readout_gain).min(1.0);
@@ -545,37 +764,201 @@ impl TensorCore {
         }
     }
 
+    /// Validates and transposes samples `first .. first + n` of `inputs`
+    /// into the lane-major block buffer `xt` (`cols × SAMPLE_BLOCK`,
+    /// lanes beyond `n` zeroed so the fixed-width compute runs on
+    /// harmless values). Validation is fused into the same streaming
+    /// pass — a branchless range count per element, with the historical
+    /// per-element panic behind the cold rescan — so the batch is walked
+    /// once, not once for checking and again for compute.
+    fn load_block(&self, inputs: FlatView<'_>, first: usize, n: usize, xt: &mut [f64]) {
+        let cols = inputs.width();
+        let mut in_range = 0u32;
+        for j in 0..n {
+            let x = inputs.row(first + j);
+            for (c, &v) in x.iter().enumerate() {
+                xt[c * SAMPLE_BLOCK + j] = v;
+                in_range += u32::from((0.0..=1.0).contains(&v));
+            }
+        }
+        if in_range as usize != n * cols {
+            for j in 0..n {
+                Self::check_range(inputs.row(first + j));
+            }
+            unreachable!("branchless range count disagreed with the rescan");
+        }
+        for j in n..SAMPLE_BLOCK {
+            for c in 0..cols {
+                xt[c * SAMPLE_BLOCK + j] = 0.0;
+            }
+        }
+    }
+
+    /// `R` cached gain rows through one block: `R × SAMPLE_BLOCK`
+    /// independent accumulator chains in flight at once. Within one
+    /// chain the per-gain add is serially dependent (left-to-right, like
+    /// [`WeightCache::analog`] — that order is the bit-identity
+    /// contract), so a single row's chains are FP-add latency-bound;
+    /// carrying several rows gives the out-of-order core independent
+    /// work to overlap, and loads each transposed sample lane once per
+    /// `R` rows instead of once per row. The dark-current offset,
+    /// full-scale normalisation and `[0, 1]` clamp fuse into the same
+    /// pass.
+    #[inline]
+    fn analog_rows<const R: usize>(cache: &WeightCache, xt: &[f64], ys: &mut [f64], r0: usize) {
+        let gains: [&[f64]; R] = std::array::from_fn(|k| cache.row_gains(r0 + k));
+        let mut acc = [[0.0f64; SAMPLE_BLOCK]; R];
+        for (c, lanes) in xt.chunks_exact(SAMPLE_BLOCK).enumerate() {
+            for (acc_k, g_k) in acc.iter_mut().zip(&gains) {
+                let g = g_k[c];
+                for (a, &x) in acc_k.iter_mut().zip(lanes) {
+                    *a += g * x;
+                }
+            }
+        }
+        for (k, acc_k) in acc.iter().enumerate() {
+            let r = r0 + k;
+            let dark = cache.dark_amps[r];
+            let full_scale = cache.full_scale_amps[r];
+            let yrow = &mut ys[r * SAMPLE_BLOCK..(r + 1) * SAMPLE_BLOCK];
+            for (y, &a) in yrow.iter_mut().zip(acc_k) {
+                *y = ((a + dark) / full_scale).clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// One block's analog phase: the cached gain matrix streamed once
+    /// through [`TensorCore::analog_rows`], four rows at a time (the
+    /// depth that keeps enough independent chains in flight to hide
+    /// FP-add latency), with a single-row loop for the remainder.
+    /// Per-sample results are bit-identical to the scalar walk.
+    fn analog_block(cache: &WeightCache, xt: &[f64], ys: &mut [f64]) {
+        let rows = ys.len() / SAMPLE_BLOCK;
+        let mut r = 0;
+        while r + 4 <= rows {
+            Self::analog_rows::<4>(cache, xt, ys, r);
+            r += 4;
+        }
+        while r < rows {
+            Self::analog_rows::<1>(cache, xt, ys, r);
+            r += 1;
+        }
+    }
+
+    /// The fused batched kernel over `count` samples starting at `first`
+    /// of `inputs`: per block, one streaming pass validates and
+    /// transposes, the register-blocked analog phase runs, and the
+    /// clamped row outputs convert through the branchless read-out
+    /// table. `out` is the `count × rows` destination (fully
+    /// overwritten). Bit-identical to [`TensorCore::matvec`] per sample.
+    fn matmul_span(
+        &self,
+        cache: &WeightCache,
+        inputs: FlatView<'_>,
+        first: usize,
+        count: usize,
+        out: &mut [u16],
+    ) {
+        let rows = cache.row_count();
+        debug_assert_eq!(out.len(), count * rows);
+        BLOCK.with(|scratch| {
+            let (xt, ys) = &mut *scratch.borrow_mut();
+            xt.resize(inputs.width() * SAMPLE_BLOCK, 0.0);
+            ys.resize(rows * SAMPLE_BLOCK, 0.0);
+            let mut s = 0;
+            while s < count {
+                let n = (count - s).min(SAMPLE_BLOCK);
+                self.load_block(inputs, first + s, n, xt);
+                Self::analog_block(cache, xt, ys);
+                for (r, yrow) in ys.chunks_exact(SAMPLE_BLOCK).enumerate() {
+                    let mut scaled = [0.0f64; SAMPLE_BLOCK];
+                    for (sc, &y) in scaled.iter_mut().zip(yrow) {
+                        *sc = (y * self.readout_gain).min(1.0);
+                    }
+                    let mut codes = [0u16; SAMPLE_BLOCK];
+                    self.lut.codes_for_scaled_block(&scaled, &mut codes);
+                    for (j, &code) in codes.iter().take(n).enumerate() {
+                        out[(s + j) * rows + r] = code;
+                    }
+                }
+                s += n;
+            }
+        });
+    }
+
+    /// The traced kernel's analog phase: the blocked compute of
+    /// [`TensorCore::matmul_span`] with every block's clamped row
+    /// outputs stored in their native lane-major layout
+    /// (`⌈samples/SAMPLE_BLOCK⌉ × rows × SAMPLE_BLOCK`) — no transpose,
+    /// just one contiguous copy per block — for the separate digitise
+    /// pass.
+    fn analog_span(&self, cache: &WeightCache, inputs: FlatView<'_>, analog: &mut [f64]) {
+        let rows = cache.row_count();
+        let samples = inputs.samples();
+        BLOCK.with(|scratch| {
+            let (xt, _ys) = &mut *scratch.borrow_mut();
+            xt.resize(inputs.width() * SAMPLE_BLOCK, 0.0);
+            for (b, block) in analog.chunks_exact_mut(rows * SAMPLE_BLOCK).enumerate() {
+                let s = b * SAMPLE_BLOCK;
+                let n = (samples - s).min(SAMPLE_BLOCK);
+                self.load_block(inputs, s, n, xt);
+                Self::analog_block(cache, xt, block);
+            }
+        });
+    }
+
     /// The traced two-phase form of the serial batched kernel: the whole
-    /// batch's analog row outputs land in a thread-local scratch under a
-    /// `Compute` span, then convert through the read-out table under a
-    /// `Digitize` span — so per-stage attribution separates the photonic
-    /// matvec from the eoADC walk. Bit-identical to the interleaved
-    /// kernel (same per-element arithmetic in the same order); only taken
-    /// when the calling thread has an ambient span collector installed.
+    /// batch's analog row outputs land in a thread-local scratch
+    /// (attributed to the `Compute` stage), then convert through the
+    /// read-out table (attributed to `Digitize`) — so per-stage
+    /// attribution separates the photonic matvec from the eoADC walk.
+    /// Bit-identical to the fused kernel (same per-element arithmetic in
+    /// the same order); only taken when the calling thread has an
+    /// ambient span collector installed. Instrumentation is three clock
+    /// reads per *batch* — the per-sample work carries no span
+    /// machinery, which is what keeps the traced overhead low.
     fn matmul_into_traced(&self, cache: &WeightCache, inputs: FlatView<'_>, out: &mut FlatCodes) {
         thread_local! {
             static ANALOG: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
         }
         let rows = self.config.rows;
         let samples = inputs.samples();
+        let blocks = samples.div_ceil(SAMPLE_BLOCK);
         ANALOG.with(|scratch| {
             let mut analog = scratch.borrow_mut();
-            analog.clear();
-            analog.resize(samples * rows, 0.0);
-            {
-                let _compute = pic_obs::Span::enter(pic_obs::Stage::Compute);
-                for (s, row) in analog.chunks_exact_mut(rows).enumerate() {
-                    let x = inputs.row(s);
-                    for (r, y) in row.iter_mut().enumerate() {
-                        *y = cache.analog(r, x);
+            // Every element is overwritten by the analog phase — padded
+            // lanes of a ragged last block included (they compute from
+            // `load_block`'s zeroed inputs and are never digitised) — so
+            // the resize only pays for growth, not a full zero pass.
+            analog.resize(blocks * rows * SAMPLE_BLOCK, 0.0);
+            let t0 = std::time::Instant::now();
+            self.analog_span(cache, inputs, &mut analog);
+            let t1 = std::time::Instant::now();
+            let out = out.as_mut_slice();
+            for (b, block) in analog.chunks_exact(rows * SAMPLE_BLOCK).enumerate() {
+                let s = b * SAMPLE_BLOCK;
+                let n = (samples - s).min(SAMPLE_BLOCK);
+                for (r, yrow) in block.chunks_exact(SAMPLE_BLOCK).enumerate() {
+                    let mut scaled = [0.0f64; SAMPLE_BLOCK];
+                    for (sc, &y) in scaled.iter_mut().zip(yrow) {
+                        *sc = (y * self.readout_gain).min(1.0);
+                    }
+                    let mut codes = [0u16; SAMPLE_BLOCK];
+                    self.lut.codes_for_scaled_block(&scaled, &mut codes);
+                    for (j, &code) in codes.iter().take(n).enumerate() {
+                        out[(s + j) * rows + r] = code;
                     }
                 }
             }
-            let _digitize = pic_obs::Span::enter(pic_obs::Stage::Digitize);
-            for (code, &y) in out.as_mut_slice().iter_mut().zip(analog.iter()) {
-                let scaled = (y * self.readout_gain).min(1.0);
-                *code = self.lut.code_for_scaled(scaled);
-            }
+            let t2 = std::time::Instant::now();
+            pic_obs::record_stage_ns(
+                pic_obs::Stage::Compute,
+                t1.duration_since(t0).as_nanos() as u64,
+            );
+            pic_obs::record_stage_ns(
+                pic_obs::Stage::Digitize,
+                t2.duration_since(t1).as_nanos() as u64,
+            );
         });
     }
 
@@ -601,24 +984,39 @@ impl TensorCore {
     /// (drive look-up, splitter ladder, ring-by-ring WDM propagation),
     /// bypassing the weight cache. Kept as the reference implementation:
     /// the cached path must agree with this to floating-point accuracy,
-    /// and the benchmark suite uses it as the speed-up baseline.
+    /// and the benchmark suite uses it as the speed-up baseline — the
+    /// per-word drive vectors are gathered into a reusable per-thread
+    /// scratch so repeated calls (the bench loop) measure the optical
+    /// walk, not `Vec<Vec<_>>` churn.
     ///
     /// # Panics
     ///
     /// Panics like [`TensorCore::matvec_analog`].
     #[must_use]
     pub fn matvec_analog_uncached(&self, input: &[f64]) -> Vec<f64> {
+        thread_local! {
+            static DRIVES: std::cell::RefCell<Vec<Vec<Voltage>>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
         self.check_input(input);
-        (0..self.config.rows)
-            .map(|r| {
-                let drives: Vec<Vec<Voltage>> = (0..self.config.cols)
-                    .map(|c| self.weights.word(r, c).weight_drives())
-                    .collect();
-                let row = &self.rows[r];
-                let i = row.output_current(input, &drives);
-                (i.as_amps() / row.full_scale_current().as_amps()).clamp(0.0, 1.0)
-            })
-            .collect()
+        DRIVES.with(|scratch| {
+            let drives = &mut *scratch.borrow_mut();
+            if drives.len() < self.config.cols {
+                drives.resize_with(self.config.cols, Vec::new);
+            }
+            (0..self.config.rows)
+                .map(|r| {
+                    for (c, d) in drives[..self.config.cols].iter_mut().enumerate() {
+                        let word = self.weights.word(r, c);
+                        d.clear();
+                        d.extend(word.cells().iter().map(|cell| cell.weight_drive()));
+                    }
+                    let row = &self.rows[r];
+                    let i = row.output_current(input, &drives[..self.config.cols]);
+                    (i.as_amps() / row.full_scale_current().as_amps()).clamp(0.0, 1.0)
+                })
+                .collect()
+        })
     }
 
     /// Digital matrix-vector product: each row's analog output is mapped
@@ -653,10 +1051,10 @@ impl TensorCore {
         let cache = self.cache();
         let rows = self.config.rows;
         let samples = inputs.samples();
-        for s in 0..samples {
-            self.check_input(inputs.row(s));
-        }
-        out.reset(samples, rows);
+        // Validation rides inside the blocked kernel's transpose pass
+        // (see `load_block`), so the batch is walked once — and the
+        // output is fully overwritten, so the reset skips zero-filling.
+        out.reset_for_overwrite(samples, rows);
         let workers = self.batch_workers(samples);
         if workers <= 1 {
             // With an ambient span collector on this thread, run the
@@ -664,22 +1062,18 @@ impl TensorCore {
             // attribute separately (bit-identical results). Serving
             // batches sit below the parallel threshold, so they always
             // take this branch; the scoped threads of the parallel path
-            // have no collector and stay on the interleaved kernel.
+            // have no collector and stay on the fused kernel.
             if pic_obs::collector_installed() {
                 self.matmul_into_traced(cache, inputs, out);
                 return;
             }
-            for (s, codes) in out.as_mut_slice().chunks_exact_mut(rows).enumerate() {
-                self.sample_codes_into(cache, inputs.row(s), codes);
-            }
+            self.matmul_span(cache, inputs, 0, samples, out.as_mut_slice());
         } else {
             let per = samples.div_ceil(workers);
             std::thread::scope(|scope| {
                 for (w, chunk) in out.as_mut_slice().chunks_mut(per * rows).enumerate() {
                     scope.spawn(move || {
-                        for (i, codes) in chunk.chunks_exact_mut(rows).enumerate() {
-                            self.sample_codes_into(cache, inputs.row(w * per + i), codes);
-                        }
+                        self.matmul_span(cache, inputs, w * per, chunk.len() / rows, chunk);
                     });
                 }
             });
@@ -1206,12 +1600,20 @@ mod tests {
             vec![3, 4, 3, 3, 4, 3, 4, 3, 3, 4, 3, 3, 4, 3, 4, 3],
         ];
         assert_eq!(core.matmul(&batch), expected);
+        // The blocked flat kernel must reproduce the same pre-flat capture.
+        let mut flat = FlatBatch::new();
+        flat.fill_from_rows(&batch, 16);
+        let mut out = FlatCodes::new();
+        core.matmul_into(flat.view(), &mut out);
+        assert_eq!(out.to_nested(), expected);
     }
 
     #[test]
     fn matmul_into_matches_matmul_and_reuses_buffers() {
         let core = demo_core();
-        let batch: Vec<Vec<f64>> = (0..5)
+        // 13 samples: a full SAMPLE_BLOCK, a second full block, and a
+        // ragged tail — every block-loop branch of the fused kernel.
+        let batch: Vec<Vec<f64>> = (0..13)
             .map(|i| (0..4).map(|c| ((i * 4 + c) % 9) as f64 / 8.0).collect())
             .collect();
         let nested = core.matmul(&batch);
@@ -1236,7 +1638,7 @@ mod tests {
             seed in 0u64..1_000_000,
             rows in 1usize..=64,
             macros in 1usize..=16,
-            samples in 1usize..=3,
+            samples in 1usize..=20,
             gain in 0.5f64..8.0,
         ) {
             use rand::Rng;
@@ -1263,6 +1665,123 @@ mod tests {
             core.matmul_into(flat.view(), &mut out);
             prop_assert_eq!(out.to_nested(), want);
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn branchless_digitise_matches_the_converter_across_calibrations(
+            bits in 1u32..=5,
+            vfs_millivolts in 500u32..=6_000,
+            gain in 0.5f64..8.0,
+            probes in proptest::collection::vec(0.0f64..=1.2, 16),
+        ) {
+            // Random calibration, not just the paper's 3-bit/3.6 V point:
+            // the LUT rebuild re-runs the debug verifier (grid + every
+            // boundary's one-ulp neighbourhood, branchless and scalar
+            // walks both), and we re-assert it explicitly so the pin
+            // holds in release test runs too.
+            let mut cfg = TensorCoreConfig::small_demo();
+            cfg.adc.bits = bits;
+            cfg.adc.vfs = pic_units::Voltage::from_volts(f64::from(vfs_millivolts) / 1000.0);
+            let mut core = TensorCore::new(cfg);
+            core.set_readout_gain(gain);
+            core.lut.verify(&core.adc, 257);
+            // End-to-end read-out values (past full scale included) agree
+            // with a direct converter drive.
+            for &y in &probes {
+                let scaled = (y * core.readout_gain()).min(1.0);
+                let want = core
+                    .adc
+                    .convert_static(cfg.adc.vfs * scaled)
+                    .expect("calibrated eoADC cannot produce an illegal pattern");
+                prop_assert_eq!(core.digitize(y), want);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_binary_search_matches_the_scalar_scan_on_large_tables() {
+        // 200 boundaries — far past LUT_FLAT_MAX, so `code_at_volts`
+        // takes the chunk-bisect path a future high-resolution converter
+        // would. Probe a dense grid, every boundary's one-ulp
+        // neighbourhood, and NaN against the early-exit scalar scan.
+        let boundaries: Vec<f64> = (0..200).map(|k| 0.005 + f64::from(k) * 0.017).collect();
+        let vfs = boundaries.last().expect("non-empty") + 1.0;
+        let lut = DigitizeLut::from_boundaries(boundaries.clone(), vfs);
+        assert!(lut.padded.len() > LUT_FLAT_MAX);
+        let mut probes: Vec<f64> = (0..=2000).map(|i| vfs * f64::from(i) / 2000.0).collect();
+        for &b in &boundaries {
+            probes.push(b);
+            probes.push(f64::from_bits(b.to_bits() - 1));
+            probes.push(f64::from_bits(b.to_bits() + 1));
+        }
+        probes.push(f64::NAN);
+        probes.push(0.0);
+        for v in probes {
+            assert_eq!(
+                lut.code_at_volts(v),
+                lut.code_at_volts_scalar(v),
+                "chunked vs scalar at {v} V"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn matmul_into_rejects_nan_mid_batch() {
+        // The fused kernel validates inside the blocked transpose pass;
+        // a NaN in the *second* block must still surface the historical
+        // per-element panic.
+        let core = demo_core();
+        let mut batch = vec![vec![0.5; 4]; 12];
+        batch[9][2] = f64::NAN;
+        let mut flat = FlatBatch::new();
+        flat.fill_from_rows(&batch, 4);
+        let mut out = FlatCodes::new();
+        core.matmul_into(flat.view(), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn matmul_into_rejects_out_of_range_mid_batch() {
+        let core = demo_core();
+        let mut batch = vec![vec![0.5; 4]; 12];
+        batch[11][0] = 1.25;
+        let mut flat = FlatBatch::new();
+        flat.fill_from_rows(&batch, 4);
+        let mut out = FlatCodes::new();
+        core.matmul_into(flat.view(), &mut out);
+    }
+
+    #[test]
+    fn digitize_slice_matches_digitize_per_element() {
+        let mut core = demo_core();
+        core.set_readout_gain(2.5);
+        let ys: Vec<f64> = (0..100).map(|i| f64::from(i) / 80.0).collect();
+        let mut codes = vec![0u16; ys.len()];
+        core.digitize_slice(&ys, &mut codes);
+        for (&y, &code) in ys.iter().zip(&codes) {
+            assert_eq!(code, core.digitize(y), "at read-out {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn digitize_slice_rejects_nan() {
+        let core = demo_core();
+        let ys = [0.5, f64::NAN, 0.1];
+        let mut codes = [0u16; 3];
+        core.digitize_slice(&ys, &mut codes);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn digitize_slice_rejects_negative() {
+        let core = demo_core();
+        let ys = [0.5, -0.25, 0.1];
+        let mut codes = [0u16; 3];
+        core.digitize_slice(&ys, &mut codes);
     }
 
     #[test]

@@ -43,6 +43,17 @@ impl FlatBatch {
         self.data.resize(samples * width, 0.0);
     }
 
+    /// Resets to `samples × width` *without* zero-filling: stale
+    /// contents within the new shape are kept (only growth past the old
+    /// length is written). For kernels that overwrite every element —
+    /// skips the full-buffer zero pass [`FlatBatch::reset`] pays per
+    /// call.
+    pub fn reset_for_overwrite(&mut self, samples: usize, width: usize) {
+        assert!(width > 0, "flat batch rows must be non-empty");
+        self.width = width;
+        self.data.resize(samples * width, 0.0);
+    }
+
     /// Row length.
     #[must_use]
     pub fn width(&self) -> usize {
@@ -193,6 +204,15 @@ impl FlatCodes {
         self.data.resize(samples * width, 0);
     }
 
+    /// Resets to `samples × width` *without* zero-filling, like
+    /// [`FlatBatch::reset_for_overwrite`] — for kernels that overwrite
+    /// every code.
+    pub fn reset_for_overwrite(&mut self, samples: usize, width: usize) {
+        assert!(width > 0, "flat code rows must be non-empty");
+        self.width = width;
+        self.data.resize(samples * width, 0);
+    }
+
     /// Row length.
     #[must_use]
     pub fn width(&self) -> usize {
@@ -272,6 +292,29 @@ mod tests {
         b.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         b.reset(2, 2);
         assert!(b.view().rows().all(|r| r.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn reset_for_overwrite_keeps_stale_prefix_and_zeroes_growth() {
+        let mut b = FlatBatch::new();
+        b.reset(1, 4);
+        b.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        // Same footprint: stale contents survive (the kernel overwrites).
+        b.reset_for_overwrite(2, 2);
+        assert_eq!((b.samples(), b.width()), (2, 2));
+        assert_eq!(b.row(0), &[1.0, 2.0]);
+        // Growth past the old length is still initialised.
+        b.reset_for_overwrite(2, 4);
+        assert_eq!(b.row(1), &[0.0, 0.0, 0.0, 0.0]);
+
+        let mut c = FlatCodes::new();
+        c.reset(1, 4);
+        c.as_mut_slice().copy_from_slice(&[1, 2, 3, 4]);
+        c.reset_for_overwrite(2, 2);
+        assert_eq!(c.row(0), &[1, 2]);
+        let cap = c.capacity();
+        c.reset_for_overwrite(1, 2);
+        assert_eq!(c.capacity(), cap, "overwrite reset keeps the arena");
     }
 
     #[test]
