@@ -233,14 +233,34 @@ struct ClientReport {
 
 /// The `--serve` report: the same `BenchReport` schema as the
 /// in-process run (nested, so `--check` gates the same numbers) plus
-/// per-client fairness stats from the networked closed loop.
+/// per-client fairness stats from the networked closed loop and the
+/// open-loop front-end headline. Pre-reactor baselines lack the
+/// engine/open-loop fields and fail `--check` parsing loudly — they
+/// measured a different front-end and must be regenerated, not
+/// silently compared.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct NetBenchReport {
     id: String,
     title: String,
     smoke: bool,
+    /// Transport engine measured: `"reactor"` (default) or `"threaded"`.
+    engine: String,
     clients: usize,
     fairness_budget: usize,
+    /// Open-loop phase sizing: pipelining connections × requests each.
+    open_conns: usize,
+    open_per_conn: usize,
+    /// Front-end request-response cycles per second with every request
+    /// already on the wire (no client think time): parse + route +
+    /// admission + serialise, counting typed `429` sheds as served
+    /// cycles — the compute-completed rate is the closed-loop number.
+    open_loop_rps: f64,
+    /// Open-loop cycles that completed a matmul (`200`).
+    open_loop_ok: u64,
+    /// Open-loop cycles shed by fair admission (`429`).
+    open_loop_shed: u64,
+    /// Most simultaneously-open connections the server ever saw.
+    peak_conns: u64,
     client_stats: Vec<ClientReport>,
     bench: BenchReport,
 }
@@ -289,6 +309,21 @@ struct TraceReport {
     /// structurally present but empty.
     obs_enabled: bool,
     policies: Vec<PolicyTrace>,
+}
+
+/// The `--serve --trace` report: slow-request exemplars the front-end
+/// captured into the flight recorder (`a` = matrix id, `b` =
+/// end-to-end latency in nanoseconds), plus the full recorder window
+/// they sit in so an exemplar correlates with the batching, stall, and
+/// overload events around it.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct NetTraceReport {
+    id: String,
+    title: String,
+    obs_enabled: bool,
+    slow_threshold_ms: f64,
+    exemplars: Vec<EventTrace>,
+    window: Vec<EventTrace>,
 }
 
 struct RunOutcome {
@@ -1093,6 +1128,7 @@ fn cluster_main(args: &[String]) {
 fn net_main(args: &[String]) {
     use pic_net::{
         FairnessConfig, MatmulReply, MatmulWire, NetClient, NetConfig, NetError, NetServer,
+        RetryPolicy,
     };
     use std::collections::HashMap;
 
@@ -1102,6 +1138,15 @@ fn net_main(args: &[String]) {
     let zipf_s: f64 = arg_value(args, "--zipf").unwrap_or(1.1);
     let clients_n: usize = arg_value(args, "--clients").unwrap_or(8);
     let budget: usize = arg_value(args, "--budget").unwrap_or(64);
+    let threaded = args.iter().any(|a| a == "--threaded");
+    let reactors: usize = arg_value(args, "--reactors").unwrap_or(0);
+    let open_conns: usize =
+        arg_value(args, "--open-conns").unwrap_or(if smoke { 128 } else { 512 });
+    let open_per_conn: usize = arg_value(args, "--open-per-conn").unwrap_or(16);
+    let trace: Option<PathBuf> = arg_value::<String>(args, "--trace").map(PathBuf::from);
+    // Exemplar capture: with `--trace`, any served request slower than
+    // this end-to-end records a flight-recorder exemplar.
+    let slow_ms: f64 = arg_value(args, "--slow-ms").unwrap_or(2.0);
     let check: Option<String> = arg_value(args, "--check");
     let tolerance: f64 = arg_value(args, "--tolerance").unwrap_or(0.30);
     let baseline: Option<NetBenchReport> = check.as_ref().map(|path| {
@@ -1124,14 +1169,19 @@ fn net_main(args: &[String]) {
     if let Some(ms) = arg_value::<u64>(args, "--max-delay-ms") {
         config.max_delay = Duration::from_millis(ms);
     }
+    let engine = if threaded { "threaded" } else { "reactor" };
     println!(
         "BENCH_net — {requests} requests over {models_n} Zipf(s={zipf_s}) models through the \
-         network front-end, {clients_n} loopback clients (fairness budget {budget}), \
-         {} devices (batch ≤ {}), policy {}",
+         network front-end ({engine} engine), {clients_n} loopback clients (fairness budget \
+         {budget}), {} devices (batch ≤ {}), policy {}",
         config.devices,
         config.max_batch,
         config.policy.label(),
     );
+    // The open-loop phase holds `open_conns` extra sockets plus the
+    // server-side halves — all in this one process.
+    #[cfg(target_os = "linux")]
+    let _ = pic_net::raise_nofile_limit((4 * open_conns + 512) as u64);
 
     let mut rng = StdRng::seed_from_u64(42);
     let models = model_set(config.core, models_n, &mut rng);
@@ -1149,6 +1199,18 @@ fn net_main(args: &[String]) {
                 default_weight: 1,
                 weights: Vec::new(),
             },
+            max_connections: open_conns + clients_n + 16,
+            // A 1-core host time-slices bench clients against the
+            // workers, so a client can stall >25 ms between its
+            // header and body writes; the default mid-request read
+            // timeout would reclaim that live connection. These runs
+            // measure multiplexing, not stall reclamation.
+            read_timeout: Duration::from_secs(2),
+            threaded,
+            reactors,
+            slow_request: trace
+                .is_some()
+                .then(|| Duration::from_secs_f64(slow_ms / 1e3)),
             ..NetConfig::default()
         },
         Runtime::start(config),
@@ -1196,10 +1258,21 @@ fn net_main(args: &[String]) {
                             deadline_ms: Some(if *expired { -1.0 } else { 600_000.0 }),
                         };
                         ledger.requests += 1;
+                        // Sheds retry through the client's jittered
+                        // exponential backoff (`Retry-After` honoured,
+                        // cap scaled down for loopback); a request
+                        // still shed after a full policy round loops
+                        // unless a shutdown signal arrived.
+                        let retry = RetryPolicy {
+                            base: Duration::from_micros(200),
+                            cap: Duration::from_millis(2),
+                            max_retries: 64,
+                        };
                         loop {
-                            match client.matmul(&wire) {
-                                Ok(reply) => {
+                            match client.matmul_with_retry(&wire, &retry) {
+                                Ok((reply, retries)) => {
                                     assert!(!expired, "pre-expired request must not serve");
+                                    ledger.shed_retries += u64::from(retries);
                                     ledger.completed += 1;
                                     ledger.replies.push((i, reply));
                                     break;
@@ -1209,12 +1282,11 @@ fn net_main(args: &[String]) {
                                     break;
                                 }
                                 Err(NetError::Rejected { status: 429, .. }) => {
+                                    ledger.shed_retries += u64::from(retry.max_retries);
                                     if sig::requested() {
                                         break;
                                     }
-                                    ledger.shed_retries += 1;
                                     assert!(ledger.shed_retries < 1_000_000, "shed retry runaway");
-                                    std::thread::sleep(Duration::from_micros(500));
                                 }
                                 Err(other) => panic!("request {i} lost: {other}"),
                             }
@@ -1367,12 +1439,166 @@ fn net_main(args: &[String]) {
     );
     println!("  [check] conservation, wire bit-identity, and mid-load scrape ok");
 
+    // -- open-loop phase ----------------------------------------------
+    //
+    // Every request goes on the wire before any reply is read: the
+    // main thread opens `open_conns` keep-alive connections (all held
+    // simultaneously — the peak the reactor exists to absorb), writes
+    // `open_per_conn` pipelined matmuls down each, then reads the
+    // replies back in order. Measured wall time covers first write to
+    // last reply, so the rate is the front-end's, not a closed loop's
+    // think time. The phase runs on its own server + runtime so the
+    // closed-loop accounting and latency row above stay untouched.
+    // Typed `429` sheds count as served cycles (the front-end did
+    // everything but compute); `200`s are additionally spot-checked
+    // bit-for-bit against the solo executor.
+    use std::io::Write as _;
+    let mut open_ok = 0u64;
+    let mut open_shed = 0u64;
+    let open_wall;
+    let peak_conns;
+    {
+        let open_registry: HashMap<String, Arc<TiledMatrix>> = models
+            .iter()
+            .enumerate()
+            .map(|(rank, m)| (format!("model-{rank}"), Arc::clone(m)))
+            .collect();
+        let open_server = NetServer::start(
+            NetConfig {
+                fairness: FairnessConfig {
+                    budget,
+                    default_weight: 1,
+                    weights: Vec::new(),
+                },
+                max_connections: open_conns + 16,
+                read_timeout: Duration::from_secs(2),
+                threaded,
+                reactors,
+                ..NetConfig::default()
+            },
+            Runtime::start(config),
+            open_registry,
+        )
+        .expect("bind open-loop loopback");
+        let open_addr = open_server.local_addr();
+        // Eight shared client ids, so weighted-fair admission keeps a
+        // real per-client share instead of slicing the budget into
+        // sub-1 slivers across hundreds of ids.
+        let open_item = |c: usize, k: usize| &stream[(c * open_per_conn + k) % stream.len()];
+        let open_started = Instant::now();
+        let mut socks: Vec<std::net::TcpStream> = (0..open_conns)
+            .map(|c| {
+                let s = std::net::TcpStream::connect(open_addr)
+                    .unwrap_or_else(|e| panic!("open-loop conn {c}: {e}"));
+                s.set_nodelay(true).expect("nodelay");
+                s.set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("timeout");
+                s
+            })
+            .collect();
+        for (c, sock) in socks.iter_mut().enumerate() {
+            let mut frames = Vec::new();
+            for k in 0..open_per_conn {
+                let (which, inputs, _) = open_item(c, k);
+                let body = serde_json::to_string(&MatmulWire {
+                    model: format!("model-{which}"),
+                    inputs: inputs.clone(),
+                    deadline_ms: Some(600_000.0),
+                })
+                .expect("serialise");
+                write!(
+                    frames,
+                    "POST /v1/matmul HTTP/1.1\r\nx-client: open-{}\r\n\
+                     content-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+                    c % 8,
+                    body.len()
+                )
+                .expect("vec write");
+            }
+            sock.write_all(&frames)
+                .unwrap_or_else(|e| panic!("open-loop conn {c} write: {e}"));
+        }
+        let mut open_checked = 0usize;
+        for (c, sock) in socks.into_iter().enumerate() {
+            let mut reader = std::io::BufReader::new(sock);
+            for k in 0..open_per_conn {
+                let resp = pic_net::http::read_response(&mut reader)
+                    .unwrap_or_else(|e| panic!("open-loop conn {c} reply {k}: {e}"));
+                match resp.status {
+                    200 => {
+                        open_ok += 1;
+                        // Spot-check a slice: full replay of every
+                        // pipelined reply would dominate the phase.
+                        if (c * open_per_conn + k).is_multiple_of(64) {
+                            let (which, inputs, _) = open_item(c, k);
+                            let reply: MatmulReply =
+                                serde_json::from_str(&resp.text()).expect("open-loop reply parses");
+                            let (want, _) = solo.execute(&models[*which], inputs).expect("replay");
+                            assert_eq!(
+                                reply.outputs, want,
+                                "open-loop reply differs from in-process execution"
+                            );
+                            open_checked += 1;
+                        }
+                    }
+                    429 => open_shed += 1,
+                    other => panic!("open-loop conn {c} reply {k}: unexpected status {other}"),
+                }
+            }
+        }
+        open_wall = open_started.elapsed().as_secs_f64();
+        assert_eq!(
+            open_ok + open_shed,
+            (open_conns * open_per_conn) as u64,
+            "every pipelined request got exactly one terminal reply"
+        );
+        assert!(open_ok > 0, "admission served some open-loop work");
+        assert!(open_checked > 0, "open-loop spot checks sampled something");
+
+        // Peak concurrency from the server's own accounting, scraped
+        // over the wire like any operator would.
+        peak_conns = {
+            let mut probe = NetClient::connect(open_addr, "peak-probe").expect("probe connects");
+            let text = probe.get("/metrics").expect("metrics answers").text();
+            text.lines()
+                .find_map(|l| l.strip_prefix("pic_net_conns_peak "))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .expect("scrape carries pic_net_conns_peak") as u64
+        };
+        assert!(
+            peak_conns >= open_conns as u64,
+            "peak {peak_conns} must cover the {open_conns} simultaneous open-loop connections"
+        );
+
+        // The open server drains through the same graceful path, and
+        // its runtime's accounting must reconcile with the wire: every
+        // 200 the clients read corresponds to one completed matmul.
+        let open_rt = open_server.shutdown();
+        let open_s = open_rt.metrics().snapshot();
+        assert_eq!(
+            open_s.completed, open_ok,
+            "open-loop runtime accounting matches the wire replies"
+        );
+    }
+    let open_rps = (open_conns * open_per_conn) as f64 / open_wall;
+    println!(
+        "  [open-loop] {open_rps:>8.0} req/s over {open_conns} pipelined connections \
+         ({open_ok} ok, {open_shed} shed) | peak {peak_conns} concurrent conns"
+    );
+
     let report = NetBenchReport {
         id: "bench_net".to_owned(),
         title: "Networked closed-loop serving through the pic-net front-end".to_owned(),
         smoke,
+        engine: engine.to_owned(),
         clients: clients_n,
         fairness_budget: budget,
+        open_conns,
+        open_per_conn,
+        open_loop_rps: open_rps,
+        open_loop_ok: open_ok,
+        open_loop_shed: open_shed,
+        peak_conns,
         client_stats,
         bench: BenchReport {
             id: "bench_runtime".to_owned(),
@@ -1411,13 +1637,80 @@ fn net_main(args: &[String]) {
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
     println!("  [written {}]", path.display());
 
+    if let Some(trace_path) = &trace {
+        let window: Vec<EventTrace> = rt
+            .metrics()
+            .recorder
+            .dump()
+            .into_iter()
+            .map(|e| EventTrace {
+                seq: e.seq,
+                t_ns: e.t_ns,
+                kind: e.kind.label().to_owned(),
+                a: e.a,
+                b: e.b,
+            })
+            .collect();
+        let exemplars: Vec<EventTrace> = window
+            .iter()
+            .filter(|e| e.kind == "slow_request")
+            .map(|e| EventTrace {
+                seq: e.seq,
+                t_ns: e.t_ns,
+                kind: e.kind.clone(),
+                a: e.a,
+                b: e.b,
+            })
+            .collect();
+        println!(
+            "  [trace] {} slow-request exemplars (> {slow_ms} ms end-to-end) in a \
+             {}-event recorder window",
+            exemplars.len(),
+            window.len(),
+        );
+        let trace_report = NetTraceReport {
+            id: "trace_net".to_owned(),
+            title: "Slow-request exemplars and their flight-recorder window".to_owned(),
+            obs_enabled: pic_obs::enabled(),
+            slow_threshold_ms: slow_ms,
+            exemplars,
+            window,
+        };
+        let json = serde_json::to_string_pretty(&trace_report).expect("serialise trace");
+        std::fs::write(trace_path, json)
+            .unwrap_or_else(|e| panic!("write {}: {e}", trace_path.display()));
+        println!("  [trace written {}]", trace_path.display());
+    }
+
     if let Some(baseline) = baseline {
         if !same_workload(&baseline.bench, &report.bench) {
             println!(
                 "  [check] baseline measured a different workload shape — throughput not compared"
             );
         } else {
-            let failures = regressions(&baseline.bench, &report.bench, tolerance);
+            let mut failures = regressions(&baseline.bench, &report.bench, tolerance);
+            // Gate the open-loop headline too, when the baseline has
+            // one of the same shape (pre-reactor baselines don't).
+            if baseline.open_conns == report.open_conns
+                && baseline.open_per_conn == report.open_per_conn
+                && baseline.open_loop_rps > 0.0
+            {
+                let delta = report.open_loop_rps / baseline.open_loop_rps - 1.0;
+                println!(
+                    "  [check] open-loop: {:>8.0} req/s vs baseline {:>8.0} req/s ({:+.1}%)",
+                    report.open_loop_rps,
+                    baseline.open_loop_rps,
+                    delta * 100.0,
+                );
+                if report.open_loop_rps < baseline.open_loop_rps * (1.0 - tolerance) {
+                    failures.push(format!(
+                        "open-loop: {:.0} req/s is {:.0}% below the {:.0} req/s baseline",
+                        report.open_loop_rps,
+                        -delta * 100.0,
+                        baseline.open_loop_rps,
+                    ));
+                }
+            }
             if failures.is_empty() {
                 println!(
                     "  [check] networked throughput within {:.0}% of the baseline ok",
@@ -1433,9 +1726,258 @@ fn net_main(args: &[String]) {
     }
 }
 
+/// Linux thread count of this process, from `/proc/self/status`.
+fn count_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .expect("/proc/self/status carries a Threads: line on Linux")
+}
+
+/// The `--c10k` smoke: proof the reactor multiplexes four-digit
+/// connection counts on a fixed thread pool. Opens `--conns` (default
+/// 1024) keep-alive connections — each proving liveness with one
+/// `/healthz` round-trip, then staying open — while `--loaded`
+/// (default 32) clients drive matmuls whose replies are checked
+/// bit-for-bit against a solo executor. Asserts the process thread
+/// count never grows with connections and stays within the fixed pool
+/// budget (`reactors + workers + 2`). Writes `C10K_smoke.json`.
+#[allow(clippy::too_many_lines)]
+fn c10k_main(args: &[String]) {
+    use pic_net::{MatmulWire, NetClient, NetConfig, NetServer};
+    use std::collections::HashMap;
+    use std::io::{BufReader, Write};
+
+    if !cfg!(target_os = "linux") {
+        println!("C10K_smoke — skipped: the epoll reactor is Linux-only");
+        return;
+    }
+    let conns: usize = arg_value(args, "--conns").unwrap_or(1024);
+    let loaded_n: usize = arg_value(args, "--loaded").unwrap_or(32);
+    let per_loaded: usize = arg_value(args, "--requests").unwrap_or(16);
+    let reactors: usize = arg_value(args, "--reactors").unwrap_or(4);
+    // Both socket halves live in this one process.
+    #[cfg(target_os = "linux")]
+    pic_net::raise_nofile_limit((4 * conns + 512) as u64).expect("raise RLIMIT_NOFILE");
+
+    let mut config = RuntimeConfig::paper();
+    config.max_delay = Duration::from_millis(10);
+    let mut rng = StdRng::seed_from_u64(42);
+    let models = model_set(config.core, 4, &mut rng);
+    let registry: HashMap<String, Arc<TiledMatrix>> = models
+        .iter()
+        .enumerate()
+        .map(|(rank, m)| (format!("model-{rank}"), Arc::clone(m)))
+        .collect();
+    let server = NetServer::start(
+        NetConfig {
+            max_connections: conns + loaded_n + 16,
+            read_timeout: Duration::from_secs(2),
+            reactors,
+            ..NetConfig::default()
+        },
+        Runtime::start(config),
+        registry,
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    // Warm the stack before baselining: the dispatcher spawns its
+    // workers from inside its own thread, so a count taken straight
+    // after `start` races those spawns. One round-tripped matmul
+    // proves every lazily-created thread exists, then the count must
+    // hold still across consecutive reads.
+    {
+        let mut warm = NetClient::connect(addr, "warmup").expect("warmup connects");
+        let inputs: Vec<Vec<f64>> =
+            vec![(0..models[0].in_dim()).map(|j| j as f64 / 17.0).collect()];
+        let reply = warm
+            .matmul(&MatmulWire {
+                model: "model-0".to_owned(),
+                inputs,
+                deadline_ms: None,
+            })
+            .expect("warmup matmul");
+        assert!(!reply.outputs.is_empty(), "warmup produced output");
+    }
+    let threads_baseline = {
+        let mut last = count_threads();
+        let mut stable = 0;
+        let settle = Instant::now();
+        while stable < 3 && settle.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(20));
+            let now = count_threads();
+            if now == last {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+        last
+    };
+    let thread_budget = reactors + config.devices + 2;
+    println!(
+        "C10K_smoke — {conns} keep-alive connections on {reactors} reactors \
+         ({loaded_n} loaded clients × {per_loaded} checked requests); \
+         {threads_baseline} threads after start (budget {thread_budget})"
+    );
+    assert!(
+        threads_baseline <= thread_budget,
+        "serving stack must fit the fixed pool: {threads_baseline} threads > \
+         {reactors} reactors + {} workers + 2",
+        config.devices
+    );
+
+    let started = Instant::now();
+    let idle: Vec<BufReader<std::net::TcpStream>> = (0..conns)
+        .map(|c| {
+            let mut sock =
+                std::net::TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle conn {c}: {e}"));
+            sock.set_nodelay(true).expect("nodelay");
+            sock.set_read_timeout(Some(Duration::from_secs(60)))
+                .expect("timeout");
+            write!(
+                sock,
+                "GET /healthz HTTP/1.1\r\nx-client: idle-{}\r\n\r\n",
+                c % 16
+            )
+            .unwrap_or_else(|e| panic!("idle conn {c} write: {e}"));
+            let mut reader = BufReader::new(sock);
+            let resp = pic_net::http::read_response(&mut reader)
+                .unwrap_or_else(|e| panic!("idle conn {c} reply: {e}"));
+            assert_eq!(resp.status, 200, "idle conn {c} must be served");
+            reader
+        })
+        .collect();
+    let threads_with_fleet = count_threads();
+    assert_eq!(
+        threads_with_fleet, threads_baseline,
+        "{conns} connections must not spawn a single thread"
+    );
+    println!(
+        "  [fleet] {conns} connections alive in {:.2} s — still {threads_with_fleet} threads",
+        started.elapsed().as_secs_f64()
+    );
+
+    // Drive load through the held-open fleet: every reply must be
+    // bit-identical to in-process execution, with a thousand idle
+    // sockets multiplexed alongside.
+    let checked: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..loaded_n)
+            .map(|c| {
+                let models = &models;
+                scope.spawn(move || {
+                    let mut client =
+                        NetClient::connect(addr, &format!("load-{c}")).expect("loaded connects");
+                    let mut solo = TileExecutor::new(config.core, 900);
+                    for k in 0..per_loaded {
+                        let which = (c + k) % models.len();
+                        let inputs: Vec<Vec<f64>> = vec![(0..models[which].in_dim())
+                            .map(|j| ((c * 31 + k * 7 + j * 3) % 13) as f64 / 13.0)
+                            .collect()];
+                        let reply = client
+                            .matmul(&MatmulWire {
+                                model: format!("model-{which}"),
+                                inputs: inputs.clone(),
+                                deadline_ms: Some(600_000.0),
+                            })
+                            .expect("loaded request serves");
+                        let (want, _) = solo.execute(&models[which], &inputs).expect("replay");
+                        assert_eq!(
+                            reply.outputs, want,
+                            "c10k reply differs from in-process execution"
+                        );
+                    }
+                    per_loaded
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loaded client"))
+            .sum()
+    });
+    // Loaded-client threads were ours and have joined; the server side
+    // still runs on the same fixed pool.
+    let threads_after_load = count_threads();
+    assert_eq!(
+        threads_after_load, threads_baseline,
+        "serving {checked} requests must not grow the pool"
+    );
+
+    let peak_conns = {
+        let mut probe = NetClient::connect(addr, "peak-probe").expect("probe connects");
+        let text = probe.get("/metrics").expect("metrics answers").text();
+        text.lines()
+            .find_map(|l| l.strip_prefix("pic_net_conns_peak "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .expect("scrape carries pic_net_conns_peak") as u64
+    };
+    assert!(
+        peak_conns >= conns as u64,
+        "peak {peak_conns} must cover the {conns} held-open connections"
+    );
+    let wall = started.elapsed().as_secs_f64();
+    println!(
+        "  [c10k] {checked} bit-checked requests through {peak_conns} peak connections \
+         in {wall:.2} s on {threads_after_load} threads"
+    );
+
+    drop(idle);
+    drop(server.shutdown());
+
+    #[derive(serde::Serialize)]
+    struct C10kReport {
+        id: String,
+        title: String,
+        conns: usize,
+        reactors: usize,
+        loaded_clients: usize,
+        requests_checked: usize,
+        bit_identical: bool,
+        threads_baseline: usize,
+        threads_with_fleet: usize,
+        threads_after_load: usize,
+        thread_budget: usize,
+        peak_conns: u64,
+        wall_time_s: f64,
+    }
+    let report = C10kReport {
+        id: "c10k_smoke".to_owned(),
+        title: "Thousand-connection keep-alive smoke on the epoll reactor".to_owned(),
+        conns,
+        reactors,
+        loaded_clients: loaded_n,
+        requests_checked: checked,
+        bit_identical: true,
+        threads_baseline,
+        threads_with_fleet,
+        threads_after_load,
+        thread_budget,
+        peak_conns,
+        wall_time_s: wall,
+    };
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let path = root
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|r| r.join("C10K_smoke.json"))
+        .unwrap_or_else(|| PathBuf::from("C10K_smoke.json"));
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write C10K_smoke.json: {e}"));
+    println!("  [written {}]", path.display());
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--c10k") {
+        return c10k_main(&args);
+    }
     if args.iter().any(|a| a == "--nodes") {
         return cluster_main(&args);
     }

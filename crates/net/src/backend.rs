@@ -11,7 +11,10 @@
 
 use crate::wire::error_status;
 use pic_obs::EventKind;
-use pic_runtime::{MatmulRequest, OutputElement, Runtime, RuntimeError};
+use pic_runtime::{
+    CompletionWaker, MatmulRequest, OutputElement, Response, ResponseHandle, Runtime, RuntimeError,
+};
+use std::sync::Arc;
 
 /// The backend's answer to one served matmul, flattened to the fields
 /// the wire reply carries. A single-node backend copies them from its
@@ -69,6 +72,36 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+impl From<Response> for ServeOutcome {
+    fn from(resp: Response) -> ServeOutcome {
+        ServeOutcome {
+            outputs: resp.outputs,
+            device: resp.device as u64,
+            batched_with: resp.batched_with as u64,
+            tiles_written: resp.cost.tiles_written as u64,
+            tiles_resident: resp.cost.tiles_resident as u64,
+            energy_j: resp.cost.total_energy_j(),
+        }
+    }
+}
+
+/// How a backend took (or refused) a non-blocking submission
+/// ([`ServeBackend::submit`]).
+#[derive(Debug)]
+pub enum Submitted {
+    /// Accepted: the waker will fire `wake(token)` exactly once, after
+    /// which [`ResponseHandle::try_wait`] returns `Some`.
+    Pending(ResponseHandle),
+    /// Resolved synchronously (typed rejection or immediate result);
+    /// the waker will *not* fire.
+    Ready(Result<ServeOutcome, ServeError>),
+    /// This backend only serves blocking calls — the caller gets the
+    /// request back and must run [`ServeBackend::serve`] off the event
+    /// loop (the reactor's bounded offload pool does this for the
+    /// cluster coordinator).
+    Blocking(MatmulRequest),
+}
+
 /// What the HTTP front-end needs from whatever executes matmuls.
 pub trait ServeBackend: Send + Sync + 'static {
     /// Serves one request to completion (blocking).
@@ -78,6 +111,22 @@ pub trait ServeBackend: Send + Sync + 'static {
     /// Returns the wire-mapped error when the request is rejected or
     /// fails.
     fn serve(&self, request: MatmulRequest) -> Result<ServeOutcome, ServeError>;
+
+    /// Submits without blocking, for multiplexed front-ends: the
+    /// backend either resolves synchronously, or accepts the request
+    /// and later fires `waker.wake(token)` exactly once when the
+    /// returned handle becomes ready. Backends with no non-blocking
+    /// path return [`Submitted::Blocking`] (the default), handing the
+    /// request back for the caller's offload pool.
+    fn submit(
+        &self,
+        request: MatmulRequest,
+        token: u64,
+        waker: Arc<dyn CompletionWaker>,
+    ) -> Submitted {
+        let _ = (token, waker);
+        Submitted::Blocking(request)
+    }
 
     /// Whether the backend still accepts new work (drives `/healthz`).
     fn is_accepting(&self) -> bool;
@@ -95,17 +144,20 @@ pub trait ServeBackend: Send + Sync + 'static {
 
 impl ServeBackend for Runtime {
     fn serve(&self, request: MatmulRequest) -> Result<ServeOutcome, ServeError> {
-        let resp = self
-            .submit(request)
-            .and_then(pic_runtime::ResponseHandle::wait)?;
-        Ok(ServeOutcome {
-            outputs: resp.outputs,
-            device: resp.device as u64,
-            batched_with: resp.batched_with as u64,
-            tiles_written: resp.cost.tiles_written as u64,
-            tiles_resident: resp.cost.tiles_resident as u64,
-            energy_j: resp.cost.total_energy_j(),
-        })
+        let resp = Runtime::submit(self, request).and_then(ResponseHandle::wait)?;
+        Ok(ServeOutcome::from(resp))
+    }
+
+    fn submit(
+        &self,
+        request: MatmulRequest,
+        token: u64,
+        waker: Arc<dyn CompletionWaker>,
+    ) -> Submitted {
+        match self.submit_with_waker(request, token, waker) {
+            Ok(handle) => Submitted::Pending(handle),
+            Err(e) => Submitted::Ready(Err(e.into())),
+        }
     }
 
     fn is_accepting(&self) -> bool {

@@ -73,6 +73,9 @@ pub struct FairAdmission {
     budget: usize,
     default_weight: u32,
     clients: Mutex<HashMap<String, ClientState>>,
+    /// High-water mark of total in-flight requests — how deep the
+    /// multiplexed front-end actually stacked the budget.
+    peak_inflight: std::sync::atomic::AtomicUsize,
 }
 
 impl FairAdmission {
@@ -95,6 +98,7 @@ impl FairAdmission {
             budget: config.budget.max(1),
             default_weight: config.default_weight.max(1),
             clients: Mutex::new(clients),
+            peak_inflight: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -148,6 +152,8 @@ impl FairAdmission {
             Ok(()) => {
                 state.inflight += 1;
                 state.admitted += 1;
+                self.peak_inflight
+                    .fetch_max(total_inflight + 1, std::sync::atomic::Ordering::Relaxed);
                 Ok(())
             }
             Err(shed) => {
@@ -181,6 +187,14 @@ impl FairAdmission {
     #[must_use]
     pub fn budget(&self) -> usize {
         self.budget
+    }
+
+    /// The deepest the total in-flight count has ever been — the
+    /// concurrency the front-end actually achieved against the budget.
+    #[must_use]
+    pub fn peak_inflight(&self) -> usize {
+        self.peak_inflight
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Every known client's standing, sorted by client id for stable

@@ -168,6 +168,201 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<HttpRequest, RecvError> {
     })
 }
 
+/// Ceiling on buffered bytes before a request's framing completes:
+/// the body cap plus room for the request line and headers. A peer
+/// that exceeds it without completing a request is malformed.
+pub const MAX_BUFFER_BYTES: usize = MAX_BODY_BYTES + 64 * 1024;
+
+/// One step of incremental parsing (see [`RequestParser::poll`]).
+#[derive(Debug)]
+pub enum Parse {
+    /// The buffered bytes are a valid prefix; feed more.
+    Incomplete,
+    /// One complete request, consumed from the buffer.
+    Request(HttpRequest),
+    /// The buffered bytes can never become a request this server
+    /// speaks; reply `400` and close (same classification as
+    /// [`read_request`]'s [`RecvError::Malformed`]).
+    Malformed(String),
+}
+
+/// Parsed request head, cached between polls so body bytes of a large
+/// request are not re-scanned on every arriving segment.
+#[derive(Debug)]
+struct ParsedHead {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    /// Bytes of the head section (request line through blank line).
+    head_len: usize,
+    /// Declared `Content-Length`.
+    body_len: usize,
+}
+
+/// An incremental request parser over an owned byte buffer: feed
+/// whatever segments the transport delivers, poll for complete
+/// requests. Produces results identical to pulling the same byte
+/// stream through [`read_request`] — the equivalence the reactor's
+/// framing rests on, pinned by the `http_incremental` proptest.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    head: Option<ParsedHead>,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    #[must_use]
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends transport bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a request.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether a request is partially received — at least one byte
+    /// buffered (or a parsed head awaiting its body). Distinguishes a
+    /// *mid-request* stall (timer-reclaimed) from an *idle* keep-alive
+    /// connection (left alone).
+    #[must_use]
+    pub fn mid_request(&self) -> bool {
+        self.head.is_some() || !self.buf.is_empty()
+    }
+
+    /// Tries to complete one request from the buffered bytes,
+    /// consuming it on success. Call repeatedly until
+    /// [`Parse::Incomplete`] — back-to-back pipelined requests parse
+    /// in arrival order.
+    pub fn poll(&mut self) -> Parse {
+        if self.head.is_none() {
+            match self.parse_head() {
+                Ok(Some(head)) => self.head = Some(head),
+                Ok(None) => {
+                    return if self.buf.len() > MAX_BUFFER_BYTES {
+                        Parse::Malformed(format!(
+                            "no complete request within {MAX_BUFFER_BYTES} buffered bytes"
+                        ))
+                    } else {
+                        Parse::Incomplete
+                    }
+                }
+                Err(why) => return Parse::Malformed(why),
+            }
+        }
+        let head = self.head.as_ref().expect("head parsed above");
+        let total = head.head_len + head.body_len;
+        if self.buf.len() < total {
+            return Parse::Incomplete;
+        }
+        let head = self.head.take().expect("head parsed above");
+        let body = self.buf[head.head_len..total].to_vec();
+        self.buf.drain(..total);
+        Parse::Request(HttpRequest {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+        })
+    }
+
+    /// Parses the head section if its bytes are all buffered.
+    /// `Ok(None)` means more bytes are needed; `Err` is a permanent
+    /// malformed classification (reported as soon as the offending
+    /// *line* is complete, exactly like the line-at-a-time one-shot
+    /// path).
+    fn parse_head(&self) -> Result<Option<ParsedHead>, String> {
+        let mut lines = CompleteLines {
+            buf: &self.buf,
+            pos: 0,
+        };
+        let Some(request_line) = lines.next() else {
+            return Ok(None);
+        };
+        let request_line = trim_line(request_line);
+        if request_line.is_empty() {
+            return Err("empty request line".to_owned());
+        }
+        let mut parts = request_line.split_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) => (m.to_owned(), p.to_owned(), v),
+            _ => return Err(format!("bad request line {request_line:?}")),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("bad version {version:?}"));
+        }
+        let mut headers = Vec::new();
+        loop {
+            let Some(raw) = lines.next() else {
+                return Ok(None);
+            };
+            let line = trim_line(raw);
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(format!("bad header {line:?}"));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+        let body_len = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => 0,
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| format!("bad content-length {v:?}"))?,
+        };
+        if body_len > MAX_BODY_BYTES {
+            return Err(format!(
+                "body of {body_len} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+            ));
+        }
+        Ok(Some(ParsedHead {
+            method,
+            path,
+            headers,
+            head_len: lines.pos,
+            body_len,
+        }))
+    }
+}
+
+/// Iterator over *complete* (newline-terminated) lines of a buffer,
+/// tracking how many bytes it has consumed. A trailing fragment with
+/// no newline yet is not yielded.
+struct CompleteLines<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for CompleteLines<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let rest = &self.buf[self.pos..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        self.pos += nl + 1;
+        Some(&rest[..=nl])
+    }
+}
+
+/// Strips the line terminator and decodes, mirroring [`read_line`]'s
+/// trailing `\r`/`\n` strip (lossy: the one-shot path reads lines as
+/// UTF-8 and non-UTF-8 bytes cannot reach a successful parse anyway).
+fn trim_line(raw: &[u8]) -> std::borrow::Cow<'_, str> {
+    let mut end = raw.len();
+    while end > 0 && (raw[end - 1] == b'\n' || raw[end - 1] == b'\r') {
+        end -= 1;
+    }
+    String::from_utf8_lossy(&raw[..end])
+}
+
 /// One HTTP response ready to serialise.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {

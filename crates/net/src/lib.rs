@@ -1,11 +1,25 @@
 //! `pic-net` — the network front-end of the serving runtime.
 //!
 //! Exposes a [`Runtime`](pic_runtime::Runtime) over loopback/LAN with
-//! an HTTP/1.1 subset spoken entirely through `std::net` (no external
-//! dependencies): a non-blocking bounded acceptor, one thread per
-//! connection with keep-alive, and JSON request/reply bodies whose
-//! `f64`s round-trip bit-identically (shortest-form printing), so a
-//! networked result equals the in-process result exactly.
+//! an HTTP/1.1 subset spoken entirely through `std::net` plus a raw
+//! epoll shim (no external dependencies), and JSON request/reply
+//! bodies whose `f64`s round-trip bit-identically (shortest-form
+//! printing), so a networked result equals the in-process result
+//! exactly.
+//!
+//! ## Transport engines
+//!
+//! The default engine is an **epoll reactor** ([`reactor`], Linux): a
+//! fixed pool of event-loop threads (≈ cores) multiplexes every
+//! connection — thousands of keep-alive sockets cost fds, not
+//! threads. Requests are framed by an incremental parser
+//! ([`http::RequestParser`]), submitted to the backend without
+//! blocking, and completed through an eventfd-woken queue; responses
+//! stream out under `EPOLLOUT` backpressure. Mid-request stalls are
+//! reclaimed by a timer wheel; idle keep-alive connections cost zero
+//! timer work. [`NetConfig::threaded`] switches back to the legacy
+//! thread-per-connection engine (also the non-Linux fallback); both
+//! speak bit-identical wire bytes.
 //!
 //! ## Endpoints
 //!
@@ -43,12 +57,40 @@ pub mod backend;
 pub mod fair;
 pub mod http;
 mod server;
+pub mod wheel;
 pub mod wire;
+
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+#[cfg(target_os = "linux")]
+mod reactor;
+
+/// Stub for targets without epoll: [`NetServer`] always falls back to
+/// the thread-per-connection engine, so the reactor is never spawned.
+#[cfg(not(target_os = "linux"))]
+mod reactor {
+    pub(crate) struct ReactorHandle;
+
+    impl ReactorHandle {
+        pub(crate) fn shutdown(self) {}
+    }
+
+    pub(crate) fn spawn<B: crate::backend::ServeBackend>(
+        _config: &crate::server::NetConfig,
+        _listener: std::net::TcpListener,
+        _shared: std::sync::Arc<crate::server::Shared<B>>,
+    ) -> std::io::Result<ReactorHandle> {
+        unreachable!("the reactor engine is Linux-only")
+    }
+}
 
 mod client;
 
-pub use backend::{ServeBackend, ServeError, ServeOutcome};
-pub use client::{NetClient, NetError};
+pub use backend::{ServeBackend, ServeError, ServeOutcome, Submitted};
+pub use client::{NetClient, NetError, RetryPolicy};
 pub use fair::{ClientStanding, FairAdmission, FairnessConfig, Shed};
 pub use server::{NetConfig, NetServer, NetStats};
+#[cfg(target_os = "linux")]
+pub use sys::raise_nofile_limit;
 pub use wire::{error_status, ErrorReply, MatmulReply, MatmulWire};

@@ -1,25 +1,30 @@
-//! The network front-end: a bounded acceptor, one thread per
-//! connection, and the request router that translates wire requests
-//! into [`Runtime::submit`] calls.
+//! The network front-end: request routing, weighted-fair admission,
+//! and the two transport engines that drive it — the default epoll
+//! *reactor* (a fixed pool of event-loop threads multiplexing every
+//! connection, see [`crate::reactor`]) and the legacy
+//! thread-per-connection path kept behind [`NetConfig::threaded`] as
+//! an escape hatch.
 //!
 //! ## Lifecycle
 //!
 //! [`NetServer::start`] binds, sets the listener non-blocking, and
-//! spawns the acceptor. Each accepted connection gets its own thread
-//! with a socket read timeout as its poll quantum: while idle it wakes
-//! every quantum to check the drain flag, so keep-alive connections
-//! never pin a draining server.
+//! spawns the transport engine. Under the reactor the listener lives
+//! inside reactor 0's event loop; under the threaded engine a
+//! dedicated acceptor spawns one thread per connection with a socket
+//! read timeout as its poll quantum.
 //!
 //! ## Graceful drain
 //!
 //! [`NetServer::shutdown`] loses zero accepted requests, by ordering:
 //!
-//! 1. the stop flag raises — the acceptor stops accepting, idle
-//!    connections close at their next poll;
-//! 2. connections that already *read* a request finish serving it (the
-//!    runtime still accepts submissions) and then close;
-//! 3. the acceptor joins every connection thread, then exits;
-//! 4. only now does the runtime drain and join, flushing everything it
+//! 1. the stop flag raises (reactors are woken through their
+//!    eventfds) — accepting stops, idle connections close;
+//! 2. connections that already *read* (or partially read) a request
+//!    finish receiving and serving it — the runtime still accepts
+//!    submissions — and then close;
+//! 3. every transport thread joins (reactors exit once their last
+//!    connection closes), then the bounded offload pool joins;
+//! 4. only now does the backend drain and join, flushing everything it
 //!    accepted; its exporter (if any) emits one final frame.
 
 use crate::backend::ServeBackend;
@@ -27,7 +32,7 @@ use crate::fair::{ClientStanding, FairAdmission, FairnessConfig, Shed};
 use crate::http::{read_request, HttpRequest, HttpResponse, RecvError};
 use crate::wire::{ErrorReply, MatmulReply, MatmulWire};
 use pic_obs::EventKind;
-use pic_runtime::{MatmulRequest, Runtime, TiledMatrix};
+use pic_runtime::{AtomicF64, LatencyHistogram, MatmulRequest, Runtime, TiledMatrix};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,11 +51,27 @@ pub struct NetConfig {
     pub max_connections: usize,
     /// Weighted fair admission sizing (see [`FairnessConfig`]).
     pub fairness: FairnessConfig,
-    /// Socket read timeout — the idle-poll quantum of keep-alive
-    /// connections, bounding drain latency from above.
+    /// Mid-request stall budget: how long a connection may sit on a
+    /// *partially received* request before it is reclaimed. Idle
+    /// keep-alive connections (no request bytes pending) are never
+    /// timed out. Under the threaded engine this doubles as the socket
+    /// read timeout — the idle-poll quantum bounding drain latency.
     pub read_timeout: Duration,
     /// Prometheus metric-name prefix served by `GET /metrics`.
     pub prefix: String,
+    /// Reactor threads multiplexing the connections; `0` picks the
+    /// available parallelism (≈ cores). Ignored under
+    /// [`NetConfig::threaded`].
+    pub reactors: usize,
+    /// Escape hatch: serve with the legacy thread-per-connection
+    /// engine instead of the epoll reactor. Also the fallback on
+    /// non-Linux targets, where there is no epoll.
+    pub threaded: bool,
+    /// Exemplar-capture threshold: a served matmul whose end-to-end
+    /// front-end latency exceeds this records a
+    /// [`EventKind::SlowRequest`] into the backend's flight recorder,
+    /// linking the slow request to its surrounding recorder window.
+    pub slow_request: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -61,7 +82,21 @@ impl Default for NetConfig {
             fairness: FairnessConfig::default(),
             read_timeout: Duration::from_millis(25),
             prefix: "pic".to_owned(),
+            reactors: 0,
+            threaded: false,
+            slow_request: None,
         }
+    }
+}
+
+impl NetConfig {
+    /// The reactor-thread count [`NetConfig::reactors`] resolves to.
+    #[must_use]
+    pub fn effective_reactors(&self) -> usize {
+        if self.reactors > 0 {
+            return self.reactors;
+        }
+        std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
     }
 }
 
@@ -83,17 +118,74 @@ pub struct NetStats {
     pub conns_refused: AtomicU64,
     /// Live connection gauge.
     pub conns_active: AtomicU64,
+    /// High-water mark of simultaneous live connections.
+    pub conns_peak: AtomicU64,
 }
 
-/// State shared by the acceptor, every connection thread, and the
-/// handle.
-struct Shared<B> {
-    backend: B,
-    models: HashMap<String, Arc<TiledMatrix>>,
-    fair: FairAdmission,
-    stats: NetStats,
-    stop: AtomicBool,
-    prefix: String,
+impl NetStats {
+    /// Charges one accepted connection and updates the peak.
+    pub(crate) fn connection_opened(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let live = self.conns_active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Returns one live-connection slot.
+    pub(crate) fn connection_closed(&self) {
+        self.conns_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-model serving statistics (per-matrix-id stage breakdowns for
+/// `/metrics`).
+#[derive(Debug)]
+pub(crate) struct ModelStat {
+    pub(crate) matrix_id: u64,
+    /// Matmuls finished against this model (typed errors included).
+    pub(crate) requests: AtomicU64,
+    /// The typed-error share of `requests`.
+    pub(crate) errors: AtomicU64,
+    /// End-to-end front-end latency (request parsed → reply built).
+    pub(crate) latency: LatencyHistogram,
+    /// Cumulative admission-stage time (parse + fair admission), ns.
+    pub(crate) admit_ns: AtomicU64,
+    /// Cumulative backend-stage time (submit → outcome), ns.
+    pub(crate) serve_ns: AtomicU64,
+    /// Modeled hardware energy charged to this model's requests, J.
+    pub(crate) energy_j: AtomicF64,
+}
+
+impl ModelStat {
+    fn new(matrix_id: u64) -> ModelStat {
+        ModelStat {
+            matrix_id,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            admit_ns: AtomicU64::new(0),
+            serve_ns: AtomicU64::new(0),
+            energy_j: AtomicF64::new(),
+        }
+    }
+}
+
+/// State shared by the transport engine, the router, and the handle.
+pub(crate) struct Shared<B> {
+    pub(crate) backend: B,
+    pub(crate) models: HashMap<String, Arc<TiledMatrix>>,
+    pub(crate) fair: FairAdmission,
+    pub(crate) stats: NetStats,
+    pub(crate) stop: AtomicBool,
+    pub(crate) prefix: String,
+    pub(crate) slow_request: Option<Duration>,
+    /// Keyed by model name; built once at start, lock-free afterwards.
+    model_stats: HashMap<String, ModelStat>,
+}
+
+impl<B: ServeBackend> Shared<B> {
+    pub(crate) fn draining(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
 }
 
 /// The running front-end, generic over what executes the matmuls: a
@@ -104,6 +196,7 @@ struct Shared<B> {
 pub struct NetServer<B: ServeBackend = Runtime> {
     shared: Option<Arc<Shared<B>>>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<crate::reactor::ReactorHandle>,
     addr: SocketAddr,
 }
 
@@ -111,16 +204,20 @@ impl<B: ServeBackend> std::fmt::Debug for NetServer<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetServer")
             .field("addr", &self.addr)
+            .field("reactor", &self.reactor.is_some())
             .finish()
     }
 }
 
 impl<B: ServeBackend> NetServer<B> {
-    /// Binds and starts serving `models` over `backend`.
+    /// Binds and starts serving `models` over `backend` — multiplexed
+    /// on the epoll reactor pool by default, thread-per-connection
+    /// when [`NetConfig::threaded`] asks for it.
     ///
     /// # Errors
     ///
-    /// Propagates bind/configure failures from the listener.
+    /// Propagates bind/configure failures from the listener and the
+    /// reactor's epoll/eventfd setup.
     pub fn start(
         config: NetConfig,
         backend: B,
@@ -129,26 +226,40 @@ impl<B: ServeBackend> NetServer<B> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let model_stats = models
+            .iter()
+            .map(|(name, matrix)| (name.clone(), ModelStat::new(matrix.id())))
+            .collect();
         let shared = Arc::new(Shared {
             backend,
             models,
             fair: FairAdmission::new(&config.fairness),
             stats: NetStats::default(),
             stop: AtomicBool::new(false),
-            prefix: config.prefix,
+            prefix: config.prefix.clone(),
+            slow_request: config.slow_request,
+            model_stats,
         });
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let read_timeout = config.read_timeout;
-            let max_connections = config.max_connections.max(1);
-            std::thread::Builder::new()
-                .name("pic-net-acceptor".to_owned())
-                .spawn(move || acceptor_loop(&listener, &shared, read_timeout, max_connections))
-                .expect("spawn acceptor")
+        let threaded = config.threaded || !cfg!(target_os = "linux");
+        let (acceptor, reactor) = if threaded {
+            let acceptor = {
+                let shared = Arc::clone(&shared);
+                let read_timeout = config.read_timeout;
+                let max_connections = config.max_connections.max(1);
+                std::thread::Builder::new()
+                    .name("pic-net-acceptor".to_owned())
+                    .spawn(move || acceptor_loop(&listener, &shared, read_timeout, max_connections))
+                    .expect("spawn acceptor")
+            };
+            (Some(acceptor), None)
+        } else {
+            let handle = crate::reactor::spawn(&config, listener, Arc::clone(&shared))?;
+            (None, Some(handle))
         };
         Ok(NetServer {
             shared: Some(shared),
-            acceptor: Some(acceptor),
+            acceptor,
+            reactor,
             addr,
         })
     }
@@ -179,7 +290,7 @@ impl<B: ServeBackend> NetServer<B> {
     ///
     /// # Panics
     ///
-    /// Panics if a connection thread leaked a reference past its join —
+    /// Panics if a transport thread leaked a reference past its join —
     /// a bug, not an operational condition.
     #[must_use]
     pub fn shutdown(mut self) -> B {
@@ -192,11 +303,14 @@ impl<B: ServeBackend> NetServer<B> {
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join().expect("acceptor exits cleanly");
         }
-        // The acceptor joined every connection thread, so this Arc is
-        // the last reference and the backend comes back out.
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
+        // The transport joined every thread holding a reference, so
+        // this Arc is the last one and the backend comes back out.
         let mut shared = Arc::try_unwrap(shared)
             .ok()
-            .expect("all connection threads joined at shutdown");
+            .expect("all transport threads joined at shutdown");
         shared.backend.shutdown();
         Some(shared.backend)
     }
@@ -207,6 +321,10 @@ impl<B: ServeBackend> Drop for NetServer<B> {
         let _ = self.shutdown_inner();
     }
 }
+
+// ---------------------------------------------------------------------
+// Thread-per-connection engine (the `--threaded` escape hatch).
+// ---------------------------------------------------------------------
 
 fn acceptor_loop<B: ServeBackend>(
     listener: &TcpListener,
@@ -220,31 +338,19 @@ fn acceptor_loop<B: ServeBackend>(
             Ok((mut stream, _)) => {
                 conns.retain(|h| !h.is_finished());
                 if conns.len() >= max_connections {
-                    shared.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
-                    shared
-                        .backend
-                        .record_event(EventKind::ConnOverload, conns.len() as u64, 0);
-                    let body = serde_json::to_string(&ErrorReply {
-                        kind: "connection_limit".to_owned(),
-                        error: format!("server is at its {max_connections}-connection cap"),
-                    })
-                    .unwrap_or_default();
-                    let _ = HttpResponse::json(503, body)
-                        .with_header("connection", "close")
-                        .write_to(&mut stream);
+                    refuse_connection(shared, &mut stream, conns.len(), max_connections);
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(read_timeout));
-                shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
-                shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
+                shared.stats.connection_opened();
                 let shared = Arc::clone(shared);
                 conns.push(
                     std::thread::Builder::new()
                         .name("pic-net-conn".to_owned())
                         .spawn(move || {
                             connection_loop(stream, &shared);
-                            shared.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+                            shared.stats.connection_closed();
                         })
                         .expect("spawn connection thread"),
                 );
@@ -257,6 +363,28 @@ fn acceptor_loop<B: ServeBackend>(
     for conn in conns {
         let _ = conn.join();
     }
+}
+
+/// Writes the typed `503 connection_limit` refusal onto a just-accepted
+/// socket (shared by both engines).
+pub(crate) fn refuse_connection<B: ServeBackend>(
+    shared: &Shared<B>,
+    stream: &mut TcpStream,
+    live: usize,
+    max_connections: usize,
+) {
+    shared.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
+    shared
+        .backend
+        .record_event(EventKind::ConnOverload, live as u64, 0);
+    let body = serde_json::to_string(&ErrorReply {
+        kind: "connection_limit".to_owned(),
+        error: format!("server is at its {max_connections}-connection cap"),
+    })
+    .unwrap_or_default();
+    let _ = HttpResponse::json(503, body)
+        .with_header("connection", "close")
+        .write_to(stream);
 }
 
 fn connection_loop<B: ServeBackend>(stream: TcpStream, shared: &Shared<B>) {
@@ -274,19 +402,19 @@ fn connection_loop<B: ServeBackend>(stream: TcpStream, shared: &Shared<B>) {
             }
             Err(RecvError::Closed | RecvError::Io(_)) => return,
             Err(RecvError::Malformed(why)) => {
-                let body = serde_json::to_string(&ErrorReply {
-                    kind: "bad_request".to_owned(),
-                    error: why,
-                })
-                .unwrap_or_default();
-                let _ = HttpResponse::json(400, body)
-                    .with_header("connection", "close")
-                    .write_to(&mut writer);
+                let _ = malformed_reply(why).write_to(&mut writer);
                 return;
             }
             Ok(req) => {
                 shared.stats.http_requests.fetch_add(1, Ordering::Relaxed);
-                let response = route(shared, &req);
+                let response = match route_begin(shared, &req) {
+                    Routed::Done(response) => response,
+                    Routed::Matmul(job) => {
+                        let (meta, request) = (job.meta, job.request);
+                        let result = shared.backend.serve(request);
+                        finish_matmul(shared, &meta, result)
+                    }
+                };
                 if response.status < 400 {
                     shared.stats.replies_ok.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -310,48 +438,96 @@ fn connection_loop<B: ServeBackend>(stream: TcpStream, shared: &Shared<B>) {
     }
 }
 
-fn route<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> HttpResponse {
+// ---------------------------------------------------------------------
+// Routing, shared by both engines.
+// ---------------------------------------------------------------------
+
+/// The `400` a framing failure answers with before the close.
+pub(crate) fn malformed_reply(why: String) -> HttpResponse {
+    let body = serde_json::to_string(&ErrorReply {
+        kind: "bad_request".to_owned(),
+        error: why,
+    })
+    .unwrap_or_default();
+    HttpResponse::json(400, body).with_header("connection", "close")
+}
+
+/// Everything [`finish_matmul`] needs once the request itself has been
+/// handed to the backend.
+pub(crate) struct JobMeta {
+    pub(crate) client: String,
+    pub(crate) model: String,
+    pub(crate) matrix_id: u64,
+    /// When the request was parsed off the wire.
+    pub(crate) received: Instant,
+    /// When fair admission accepted it (end of the admit stage).
+    pub(crate) admitted: Instant,
+}
+
+/// An admitted matmul ready for the backend.
+pub(crate) struct MatmulJob {
+    pub(crate) meta: JobMeta,
+    pub(crate) request: MatmulRequest,
+}
+
+/// The front half of request handling: routing, parsing, fair
+/// admission. Everything except the backend call resolves here
+/// synchronously; an admitted matmul comes back as a job so each
+/// engine can run the backend its own way (blocking call, waker
+/// submission, offload pool).
+pub(crate) enum Routed {
+    Done(HttpResponse),
+    Matmul(MatmulJob),
+}
+
+pub(crate) fn route_begin<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> Routed {
     let path = req.path.split('?').next().unwrap_or("");
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
-            if shared.stop.load(Ordering::Acquire) || !shared.backend.is_accepting() {
-                HttpResponse::new(503, "text/plain", "draining")
+            if shared.draining() || !shared.backend.is_accepting() {
+                Routed::Done(HttpResponse::new(503, "text/plain", "draining"))
             } else {
-                HttpResponse::new(200, "text/plain", "ok")
+                Routed::Done(HttpResponse::new(200, "text/plain", "ok"))
             }
         }
         ("GET", "/metrics") => {
             let frame = metrics_frame(shared);
-            HttpResponse::new(
+            Routed::Done(HttpResponse::new(
                 200,
                 "text/plain; version=0.0.4",
                 frame.to_prometheus(&shared.prefix),
-            )
+            ))
         }
-        ("POST", "/v1/matmul") => matmul(shared, req),
-        (_, "/healthz" | "/metrics" | "/v1/matmul") => error_reply(
+        ("POST", "/v1/matmul") => matmul_begin(shared, req),
+        (_, "/healthz" | "/metrics" | "/v1/matmul") => Routed::Done(error_reply(
             405,
             "method_not_allowed",
             format!("{} is not valid for {path}", req.method),
             None,
-        ),
-        _ => error_reply(404, "not_found", format!("no route for {path}"), None),
+        )),
+        _ => Routed::Done(error_reply(
+            404,
+            "not_found",
+            format!("no route for {path}"),
+            None,
+        )),
     }
 }
 
-fn matmul<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> HttpResponse {
+fn matmul_begin<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> Routed {
+    let received = Instant::now();
     let client = req.header("x-client").unwrap_or("anon").to_owned();
     let wire = match MatmulWire::parse(&req.body) {
         Ok(wire) => wire,
-        Err(why) => return error_reply(400, "bad_request", why, None),
+        Err(why) => return Routed::Done(error_reply(400, "bad_request", why, None)),
     };
     let Some(matrix) = shared.models.get(&wire.model) else {
-        return error_reply(
+        return Routed::Done(error_reply(
             404,
             "unknown_model",
             format!("no model named {:?}", wire.model),
             None,
-        );
+        ));
     };
     if let Err((shed, inflight)) = shared.fair.try_admit(&client) {
         shared.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -364,12 +540,12 @@ fn matmul<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> HttpRespons
             Shed::Overloaded => "shed_overloaded",
             Shed::OverShare => "shed_over_share",
         };
-        return error_reply(
+        return Routed::Done(error_reply(
             429,
             kind,
             format!("client {client:?} shed by weighted fair admission"),
             Some(1),
-        );
+        ));
     }
     let mut request = MatmulRequest::new(Arc::clone(matrix), wire.inputs);
     if let Some(ms) = wire.deadline_ms {
@@ -377,12 +553,61 @@ fn matmul<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> HttpRespons
             Ok(deadline) => request = request.with_deadline(deadline),
             Err(why) => {
                 shared.fair.release(&client);
-                return error_reply(400, "bad_request", why, None);
+                return Routed::Done(error_reply(400, "bad_request", why, None));
             }
         }
     }
-    let result = shared.backend.serve(request);
-    shared.fair.release(&client);
+    Routed::Matmul(MatmulJob {
+        meta: JobMeta {
+            client,
+            matrix_id: matrix.id(),
+            model: wire.model,
+            received,
+            admitted: Instant::now(),
+        },
+        request,
+    })
+}
+
+/// The back half: releases fair admission, rolls the outcome into the
+/// per-model stage breakdowns, captures a slow-request exemplar when
+/// the latency threshold is exceeded, and builds the wire reply.
+/// Called exactly once per [`MatmulJob`], on whichever thread learned
+/// the outcome.
+pub(crate) fn finish_matmul<B: ServeBackend>(
+    shared: &Shared<B>,
+    meta: &JobMeta,
+    result: Result<crate::backend::ServeOutcome, crate::backend::ServeError>,
+) -> HttpResponse {
+    shared.fair.release(&meta.client);
+    let now = Instant::now();
+    let latency = now.duration_since(meta.received);
+    if let Some(stat) = shared.model_stats.get(&meta.model) {
+        stat.requests.fetch_add(1, Ordering::Relaxed);
+        stat.latency.record(latency.as_nanos() as u64);
+        stat.admit_ns.fetch_add(
+            meta.admitted.duration_since(meta.received).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        stat.serve_ns.fetch_add(
+            now.duration_since(meta.admitted).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        if let Ok(outcome) = &result {
+            stat.energy_j.add(outcome.energy_j);
+        } else {
+            stat.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(threshold) = shared.slow_request {
+        if latency > threshold {
+            shared.backend.record_event(
+                EventKind::SlowRequest,
+                meta.matrix_id,
+                latency.as_nanos() as u64,
+            );
+        }
+    }
     match result {
         Ok(outcome) => {
             let reply = MatmulReply {
@@ -434,8 +659,9 @@ fn error_reply(status: u16, kind: &str, error: String, retry_after_s: Option<u64
 }
 
 /// The scrape frame: the backend's unified frame plus front-end
-/// counters and per-client fairness gauges.
-fn metrics_frame<B: ServeBackend>(shared: &Shared<B>) -> pic_obs::Frame {
+/// counters, per-client fairness gauges, and per-model stage
+/// breakdowns.
+pub(crate) fn metrics_frame<B: ServeBackend>(shared: &Shared<B>) -> pic_obs::Frame {
     let mut frame = shared.backend.frame();
     let stats = &shared.stats;
     frame.counters.extend([
@@ -463,8 +689,16 @@ fn metrics_frame<B: ServeBackend>(shared: &Shared<B>) -> pic_obs::Frame {
         stats.conns_active.load(Ordering::Relaxed) as f64,
     ));
     frame.gauges.push((
+        "net_conns_peak".to_owned(),
+        stats.conns_peak.load(Ordering::Relaxed) as f64,
+    ));
+    frame.gauges.push((
         "net_inflight".to_owned(),
         shared.fair.total_inflight() as f64,
+    ));
+    frame.gauges.push((
+        "net_inflight_peak".to_owned(),
+        shared.fair.peak_inflight() as f64,
     ));
     frame.gauges.push((
         "net_draining".to_owned(),
@@ -483,6 +717,52 @@ fn metrics_frame<B: ServeBackend>(shared: &Shared<B>) -> pic_obs::Frame {
         frame
             .gauges
             .push((format!("net_client_{id}_shed"), standing.shed as f64));
+    }
+    // Per-model stage breakdowns, in stable (sorted) model order.
+    // Models with no finished traffic are omitted — "never requested"
+    // must not read as "zero latency".
+    let mut models: Vec<(&String, &ModelStat)> = shared.model_stats.iter().collect();
+    models.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, stat) in models {
+        let requests = stat.requests.load(Ordering::Relaxed);
+        if requests == 0 {
+            continue;
+        }
+        let id = sanitize(name);
+        let hist = stat.latency.snapshot();
+        let mean_s = |total_ns: u64| total_ns as f64 / requests as f64 / 1e9;
+        frame
+            .gauges
+            .push((format!("net_model_{id}_matrix_id"), stat.matrix_id as f64));
+        frame
+            .gauges
+            .push((format!("net_model_{id}_requests"), requests as f64));
+        frame.gauges.push((
+            format!("net_model_{id}_errors"),
+            stat.errors.load(Ordering::Relaxed) as f64,
+        ));
+        frame.gauges.push((
+            format!("net_model_{id}_latency_p50_s"),
+            hist.quantile_s(0.5),
+        ));
+        frame.gauges.push((
+            format!("net_model_{id}_latency_p99_s"),
+            hist.quantile_s(0.99),
+        ));
+        frame
+            .gauges
+            .push((format!("net_model_{id}_latency_max_s"), hist.max_s()));
+        frame.gauges.push((
+            format!("net_model_{id}_admit_mean_s"),
+            mean_s(stat.admit_ns.load(Ordering::Relaxed)),
+        ));
+        frame.gauges.push((
+            format!("net_model_{id}_serve_mean_s"),
+            mean_s(stat.serve_ns.load(Ordering::Relaxed)),
+        ));
+        frame
+            .gauges
+            .push((format!("net_model_{id}_energy_j"), stat.energy_j.get()));
     }
     frame
 }
@@ -531,5 +811,16 @@ mod tests {
         assert!(past <= Instant::now());
         assert!(wire_deadline(f64::NAN).is_err());
         assert!(wire_deadline(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn reactor_count_resolves_to_parallelism_or_override() {
+        let auto = NetConfig::default();
+        assert!(auto.effective_reactors() >= 1);
+        let pinned = NetConfig {
+            reactors: 3,
+            ..NetConfig::default()
+        };
+        assert_eq!(pinned.effective_reactors(), 3);
     }
 }

@@ -1,0 +1,211 @@
+//! A hashed timer wheel for per-connection deadlines.
+//!
+//! The reactor arms one timer per *mid-request* connection (bytes of a
+//! request arrived, the rest hasn't) and none for idle keep-alive
+//! connections — so ten thousand idle sockets cost zero timer work,
+//! while a stalled sender is reclaimed after the read timeout.
+//!
+//! Cancellation is lazy: timers are identified by a `(fd, generation)`
+//! pair, and a connection bumps its generation whenever the armed
+//! deadline becomes irrelevant (request completed, connection closed).
+//! Expired entries whose generation no longer matches are simply
+//! skipped by the caller — no searching the wheel on cancel.
+
+use std::time::{Duration, Instant};
+
+/// One armed timer: the fd it belongs to and the arming generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerKey {
+    /// The connection's fd (the reactor's connection-table key).
+    pub fd: i32,
+    /// The connection's timer generation when armed; stale if the
+    /// connection has bumped it since.
+    pub generation: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: TimerKey,
+    /// How many full wheel revolutions remain before this entry fires.
+    rounds: u32,
+}
+
+/// A single-level hashed timer wheel.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    granularity: Duration,
+    /// Slot index `last_tick` corresponds to.
+    cursor: usize,
+    last_tick: Instant,
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets advancing every `granularity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero slots or a zero granularity.
+    #[must_use]
+    pub fn new(slots: usize, granularity: Duration) -> TimerWheel {
+        assert!(slots >= 2, "a wheel needs at least two slots");
+        assert!(granularity > Duration::ZERO, "zero granularity spins");
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity,
+            cursor: 0,
+            last_tick: Instant::now(),
+            armed: 0,
+        }
+    }
+
+    /// Number of armed (possibly stale) entries.
+    #[must_use]
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    /// Fast-forwards an *empty* wheel to `now`, so the next [`arm`]
+    /// measures from the present instead of replaying every tick since
+    /// the wheel last held an entry — a replay would sweep the cursor
+    /// past the fresh entry's slot and fire it immediately. A no-op
+    /// while anything (even a stale cancel) is still armed: those
+    /// entries keep the owner ticking, so the wheel never falls behind.
+    ///
+    /// [`arm`]: TimerWheel::arm
+    pub fn catch_up(&mut self, now: Instant) {
+        if self.armed == 0 && now > self.last_tick {
+            // Empty slots make the cursor position meaningless, so the
+            // jump needs no slot walk.
+            self.last_tick = now;
+        }
+    }
+
+    /// Arms `key` to fire `after` from now (rounded *up* to the wheel
+    /// granularity, so a timeout never fires early).
+    pub fn arm(&mut self, key: TimerKey, after: Duration) {
+        let ticks = (after
+            .as_nanos()
+            .div_ceil(self.granularity.as_nanos().max(1)))
+        .max(1) as usize;
+        let slot = (self.cursor + (ticks % self.slots.len())) % self.slots.len();
+        let rounds = (ticks / self.slots.len()) as u32;
+        self.slots[slot].push(Entry { key, rounds });
+        self.armed += 1;
+    }
+
+    /// How long until the next tick is due, for an event-loop wait
+    /// bound; `None` when nothing is armed.
+    #[must_use]
+    pub fn next_due(&self, now: Instant) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        let next = self.last_tick + self.granularity;
+        Some(next.saturating_duration_since(now))
+    }
+
+    /// Advances the wheel up to `now`, appending every fired key to
+    /// `due`. Keys whose generation the caller no longer recognises
+    /// are stale cancels and must be ignored by the caller.
+    pub fn tick(&mut self, now: Instant, due: &mut Vec<TimerKey>) {
+        while now.duration_since(self.last_tick) >= self.granularity {
+            self.last_tick += self.granularity;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            let slot = &mut self.slots[self.cursor];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].rounds == 0 {
+                    due.push(slot.swap_remove(i).key);
+                    self.armed -= 1;
+                } else {
+                    slot[i].rounds -= 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimerWheel, at: Instant) -> Vec<TimerKey> {
+        let mut due = Vec::new();
+        wheel.tick(at, &mut due);
+        due
+    }
+
+    #[test]
+    fn fires_after_its_deadline_never_before() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let start = wheel.last_tick;
+        let key = TimerKey {
+            fd: 5,
+            generation: 1,
+        };
+        wheel.arm(key, Duration::from_millis(25));
+        // 20ms in: 25ms rounds up to 3 ticks, so nothing fires yet.
+        assert!(drain(&mut wheel, start + Duration::from_millis(20)).is_empty());
+        let due = drain(&mut wheel, start + Duration::from_millis(35));
+        assert_eq!(due, vec![key]);
+        assert_eq!(wheel.armed(), 0);
+    }
+
+    #[test]
+    fn wraps_past_a_full_revolution() {
+        let mut wheel = TimerWheel::new(4, Duration::from_millis(5));
+        let start = wheel.last_tick;
+        let long = TimerKey {
+            fd: 1,
+            generation: 9,
+        };
+        let short = TimerKey {
+            fd: 2,
+            generation: 3,
+        };
+        wheel.arm(long, Duration::from_millis(45)); // > 4*5ms: needs rounds
+        wheel.arm(short, Duration::from_millis(5));
+        let first = drain(&mut wheel, start + Duration::from_millis(12));
+        assert_eq!(first, vec![short]);
+        assert!(drain(&mut wheel, start + Duration::from_millis(40)).is_empty());
+        let second = drain(&mut wheel, start + Duration::from_millis(50));
+        assert_eq!(second, vec![long]);
+    }
+
+    #[test]
+    fn arming_long_after_idle_does_not_fire_early() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let start = wheel.last_tick;
+        // The wheel sat empty (no ticks driven) for a long stretch.
+        let late = start + Duration::from_secs(5);
+        wheel.catch_up(late);
+        let key = TimerKey {
+            fd: 7,
+            generation: 2,
+        };
+        wheel.arm(key, Duration::from_millis(30));
+        // The backlog of elapsed granularity periods must not count
+        // against the fresh timer.
+        assert!(drain(&mut wheel, late + Duration::from_millis(20)).is_empty());
+        let due = drain(&mut wheel, late + Duration::from_millis(45));
+        assert_eq!(due, vec![key]);
+    }
+
+    #[test]
+    fn next_due_bounds_the_wait() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        assert_eq!(wheel.next_due(Instant::now()), None);
+        wheel.arm(
+            TimerKey {
+                fd: 3,
+                generation: 0,
+            },
+            Duration::from_millis(30),
+        );
+        let due = wheel.next_due(wheel.last_tick).expect("armed");
+        assert!(due <= Duration::from_millis(10));
+    }
+}

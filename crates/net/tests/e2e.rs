@@ -355,9 +355,61 @@ fn connection_cap_refuses_with_503_at_accept() {
 }
 
 #[test]
-fn graceful_drain_loses_zero_accepted_requests() {
+fn reactor_multiplexes_many_connections_on_a_fixed_pool() {
+    // More live connections than any thread-per-connection pool would
+    // tolerate per reactor thread: all stay open while each serves, and
+    // every reply must still be bit-identical.
+    const CONNS: usize = 128;
+    let (server, addr, models) = start(NetConfig {
+        max_connections: 512,
+        reactors: 2,
+        ..NetConfig::default()
+    });
+    let mut clients: Vec<NetClient> = (0..CONNS)
+        .map(|c| NetClient::connect(addr, &format!("conn-{c}")).expect("connects"))
+        .collect();
+    let mut solo = TileExecutor::new(TensorCoreConfig::small_demo(), 900);
+    for round in 0..2 {
+        for (c, client) in clients.iter_mut().enumerate() {
+            let which = (c + round) % 2;
+            let inputs = inputs_for(c, round, 8);
+            let reply = client
+                .matmul(&MatmulWire {
+                    model: format!("model-{which}"),
+                    inputs: inputs.clone(),
+                    deadline_ms: None,
+                })
+                .expect("request on one of many live connections");
+            let (want, _) = solo.execute(&models[which], &inputs).expect("replay");
+            assert_eq!(reply.outputs, want, "multiplexing corrupted a reply");
+        }
+    }
+    // The scrape sees every connection concurrently alive.
+    let scrape = clients[0].get("/metrics").expect("metrics answers");
+    let text = scrape.text();
+    let peak = text
+        .lines()
+        .find_map(|l| l.strip_prefix("pic_net_conns_peak "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .expect("scrape carries pic_net_conns_peak");
+    assert!(
+        peak >= CONNS as f64,
+        "peak {peak} must count all {CONNS} concurrent connections"
+    );
+    drop(clients);
+    let rt = server.shutdown();
+    assert_eq!(
+        rt.metrics().snapshot().completed,
+        (2 * CONNS) as u64,
+        "every multiplexed request executed exactly once"
+    );
+}
+
+/// Drain contract, engine-agnostic: shared by the reactor (default)
+/// and thread-per-connection variants below.
+fn drain_loses_zero_accepted_requests(config: NetConfig) {
     const CLIENTS: usize = 8;
-    let (server, addr, models) = start(NetConfig::default());
+    let (server, addr, models) = start(config);
     let oks = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
     let severed = AtomicU64::new(0);
@@ -423,4 +475,17 @@ fn graceful_drain_loses_zero_accepted_requests() {
         s.submitted, s.completed,
         "drain flushed everything accepted"
     );
+}
+
+#[test]
+fn graceful_drain_loses_zero_accepted_requests() {
+    drain_loses_zero_accepted_requests(NetConfig::default());
+}
+
+#[test]
+fn graceful_drain_loses_zero_on_the_threaded_engine() {
+    drain_loses_zero_accepted_requests(NetConfig {
+        threaded: true,
+        ..NetConfig::default()
+    });
 }

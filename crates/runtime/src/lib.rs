@@ -63,5 +63,5 @@ pub use executor::TileExecutor;
 pub use metrics::{AtomicF64, LatencyHistogram, MetricsRegistry, MetricsSnapshot};
 pub use pool::{DeviceGuard, DevicePool};
 pub use request::{MatmulRequest, OutputElement, RequestCost, Response, RuntimeError};
-pub use scheduler::{ResponseHandle, Runtime, RuntimeConfig};
+pub use scheduler::{CompletionWaker, ResponseHandle, Runtime, RuntimeConfig};
 pub use tile::{Tile, TileKey, TileShape, TiledMatrix};

@@ -104,11 +104,64 @@ impl RuntimeConfig {
     }
 }
 
+/// Notified when a waker-tagged submission reaches a terminal state.
+///
+/// Non-blocking submitters (the `pic-net` epoll reactor) register one
+/// of these with [`Runtime::submit_with_waker`] instead of parking a
+/// thread on [`ResponseHandle::wait`]: when the runtime finishes with
+/// the request — response sent, rejection sent, or the submission
+/// dropped without either (a [`Runtime::kill`]) — `wake(token)` fires
+/// exactly once, after which [`ResponseHandle::try_wait`] on the
+/// paired handle is guaranteed to return `Some`.
+pub trait CompletionWaker: Send + Sync + 'static {
+    /// Called once per woken submission, from whichever runtime thread
+    /// finished it. Must not block.
+    fn wake(&self, token: u64);
+}
+
+/// Fires its waker on drop. Declared as the *last* field of
+/// [`Submission`], after `respond`: Rust drops fields in declaration
+/// order, so by the time the wake fires the response channel has
+/// already delivered (sender kept alive while the buffered value was
+/// stored) or disconnected — either way the paired handle's
+/// `try_wait` observes a terminal state, never `None`.
+struct WakeGuard {
+    waker: Option<Arc<dyn CompletionWaker>>,
+    token: u64,
+}
+
+impl WakeGuard {
+    /// Disarms the guard for synchronous-rejection paths (queue full,
+    /// shutdown race) where the submitter already holds the error and
+    /// a wake would be a stale token.
+    fn defuse(mut self) {
+        self.waker = None;
+    }
+}
+
+impl Drop for WakeGuard {
+    fn drop(&mut self) {
+        if let Some(waker) = self.waker.take() {
+            waker.wake(self.token);
+        }
+    }
+}
+
+impl std::fmt::Debug for WakeGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakeGuard")
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
 /// One accepted request travelling through the runtime.
 struct Submission {
     request: MatmulRequest,
     respond: SyncSender<Result<Response, RuntimeError>>,
     submitted_at: Instant,
+    /// Keep last: must drop after `respond` (see [`WakeGuard`]).
+    wake: Option<WakeGuard>,
 }
 
 impl PendingItem for Submission {
@@ -359,16 +412,73 @@ impl Runtime {
     /// [`RuntimeError::QueueFull`] under backpressure,
     /// [`RuntimeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: MatmulRequest) -> Result<ResponseHandle, RuntimeError> {
+        self.submit_inner(request, None)
+    }
+
+    /// Submits a request without blocking, tagging it with a
+    /// [`CompletionWaker`] that fires `wake(token)` exactly once when
+    /// the request reaches a terminal state — response ready, typed
+    /// rejection sent, or the request abandoned ([`Runtime::kill`]).
+    /// After the wake, [`ResponseHandle::try_wait`] on the returned
+    /// handle is guaranteed to return `Some`.
+    ///
+    /// On `Err` the waker will *not* fire: a synchronous rejection is
+    /// already in the caller's hands and a wake would be a stale token.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Runtime::submit`].
+    pub fn submit_with_waker(
+        &self,
+        request: MatmulRequest,
+        token: u64,
+        waker: Arc<dyn CompletionWaker>,
+    ) -> Result<ResponseHandle, RuntimeError> {
+        self.submit_inner(
+            request,
+            Some(WakeGuard {
+                waker: Some(waker),
+                token,
+            }),
+        )
+    }
+
+    fn submit_inner(
+        &self,
+        request: MatmulRequest,
+        wake: Option<WakeGuard>,
+    ) -> Result<ResponseHandle, RuntimeError> {
         let _timer = StageTimer::start(&self.metrics.stages, Stage::Submit);
-        let (submission, handle) = self.admit(request)?;
-        let intake = self.intake_sender()?;
+        let (mut submission, handle) = match self.admit(request) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Admission rejections are synchronous; never wake.
+                if let Some(guard) = wake {
+                    guard.defuse();
+                }
+                return Err(e);
+            }
+        };
+        submission.wake = wake;
+        let intake = match self.intake_sender() {
+            Ok(intake) => intake,
+            Err(e) => {
+                if let Some(guard) = submission.wake.take() {
+                    guard.defuse();
+                }
+                return Err(e);
+            }
+        };
         match intake.try_send(submission) {
             Ok(()) => {
                 self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
                 self.metrics.intake_depth.fetch_add(1, Ordering::Relaxed);
                 Ok(handle)
             }
-            Err(TrySendError::Full(rejected)) => {
+            Err(TrySendError::Full(mut rejected)) => {
+                if let Some(guard) = rejected.wake.take() {
+                    guard.defuse();
+                }
                 self.metrics
                     .rejected_queue_full
                     .fetch_add(1, Ordering::Relaxed);
@@ -379,7 +489,12 @@ impl Runtime {
                 );
                 Err(RuntimeError::QueueFull)
             }
-            Err(TrySendError::Disconnected(_)) => Err(RuntimeError::ShuttingDown),
+            Err(TrySendError::Disconnected(mut rejected)) => {
+                if let Some(guard) = rejected.wake.take() {
+                    guard.defuse();
+                }
+                Err(RuntimeError::ShuttingDown)
+            }
         }
     }
 
@@ -452,6 +567,7 @@ impl Runtime {
                 request,
                 respond: tx,
                 submitted_at: Instant::now(),
+                wake: None,
             },
             ResponseHandle::new(rx),
         ))
@@ -928,6 +1044,95 @@ mod tests {
         rt.shutdown(); // idempotent
     }
 
+    /// Collects wake tokens, for the waker-contract tests.
+    #[derive(Default)]
+    struct RecordingWaker {
+        tokens: std::sync::Mutex<Vec<u64>>,
+        signal: std::sync::Condvar,
+    }
+
+    impl RecordingWaker {
+        fn wait_for(&self, n: usize, timeout: Duration) -> Vec<u64> {
+            let tokens = self.tokens.lock().expect("waker lock");
+            let (tokens, _) = self
+                .signal
+                .wait_timeout_while(tokens, timeout, |t| t.len() < n)
+                .expect("waker lock");
+            tokens.clone()
+        }
+    }
+
+    impl CompletionWaker for RecordingWaker {
+        fn wake(&self, token: u64) {
+            self.tokens.lock().expect("waker lock").push(token);
+            self.signal.notify_all();
+        }
+    }
+
+    #[test]
+    fn waker_fires_once_after_the_handle_is_terminal() {
+        let mut rt = small_runtime(2);
+        let waker = Arc::new(RecordingWaker::default());
+        let m = matrix(4, 4);
+        let handles: Vec<(u64, ResponseHandle)> = (0..8u64)
+            .map(|token| {
+                let request = MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; m.in_dim()]]);
+                let handle = rt
+                    .submit_with_waker(request, token, Arc::clone(&waker) as _)
+                    .expect("accepted");
+                (token, handle)
+            })
+            .collect();
+        let mut woken = waker.wait_for(8, Duration::from_secs(10));
+        woken.sort_unstable();
+        assert_eq!(woken, (0..8).collect::<Vec<u64>>(), "every token, once");
+        for (token, handle) in handles {
+            let resp = handle.try_wait();
+            assert!(
+                matches!(resp, Some(Ok(_))),
+                "token {token}: wake implies try_wait observes the response"
+            );
+        }
+        rt.shutdown();
+        assert_eq!(
+            waker.tokens.lock().expect("waker lock").len(),
+            8,
+            "no spurious wakes at shutdown"
+        );
+    }
+
+    #[test]
+    fn synchronous_rejections_never_wake() {
+        let mut rt = small_runtime(1);
+        let waker = Arc::new(RecordingWaker::default());
+        let m = matrix(4, 4);
+        // Dead-on-arrival: rejected at admission, synchronously.
+        let doa = MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; m.in_dim()]])
+            .with_deadline(Instant::now() - Duration::from_millis(5));
+        assert!(matches!(
+            rt.submit_with_waker(doa, 1, Arc::clone(&waker) as _),
+            Err(RuntimeError::DeadlineExpired)
+        ));
+        // Invalid shape: rejected at admission, synchronously.
+        let bad = MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; m.in_dim() + 1]]);
+        assert!(matches!(
+            rt.submit_with_waker(bad, 2, Arc::clone(&waker) as _),
+            Err(RuntimeError::InvalidRequest(_))
+        ));
+        // After drain: rejected with ShuttingDown, synchronously.
+        rt.drain();
+        let late = MatmulRequest::new(Arc::clone(&m), vec![vec![0.5; m.in_dim()]]);
+        assert!(matches!(
+            rt.submit_with_waker(late, 3, Arc::clone(&waker) as _),
+            Err(RuntimeError::ShuttingDown)
+        ));
+        rt.shutdown();
+        assert!(
+            waker.tokens.lock().expect("waker lock").is_empty(),
+            "an Err submit must never fire the waker"
+        );
+    }
+
     #[test]
     fn serves_mixed_matrices_with_no_lost_responses() {
         let rt = small_runtime(2);
@@ -1033,6 +1238,7 @@ mod tests {
                         .with_deadline(submitted_at + ttl),
                     respond: tx,
                     submitted_at,
+                    wake: None,
                 }
             })
             .collect();
