@@ -324,6 +324,48 @@ struct NetTraceReport {
     slow_threshold_ms: f64,
     exemplars: Vec<EventTrace>,
     window: Vec<EventTrace>,
+    /// Request-scoped traces stored by the front-end's sampler over
+    /// the closed-loop phase.
+    sampled_traces: u64,
+    /// The slowest sampled trace's full span tree, verbatim from
+    /// `GET /v1/traces/<id>`.
+    slowest_trace: Option<serde_json::Value>,
+}
+
+/// Renders a stored trace's span tree (as fetched from
+/// `GET /v1/traces/<id>`), children indented under their parents.
+fn print_span_tree(tree: &serde_json::Value) {
+    fn walk(spans: &[serde_json::Value], parent: Option<f64>, depth: usize) {
+        for span in spans {
+            if span["parent"].as_f64() != parent {
+                continue;
+            }
+            let mut extras = String::new();
+            if let Some(d) = span["queue_depth"].as_f64() {
+                extras.push_str(&format!(" queue={}", d as u64));
+            }
+            if let Some(n) = span["node"].as_f64() {
+                extras.push_str(&format!(" node={}", n as u64));
+            }
+            if let Some(note) = span["note"].as_str() {
+                extras.push_str(&format!(" — {note}"));
+            }
+            println!(
+                "  {:indent$}{:<12} {:>9.3} ms (self {:>8.3} ms){extras}",
+                "",
+                span["stage"].as_str().unwrap_or("?"),
+                span["wall_ns"].as_f64().unwrap_or(0.0) / 1e6,
+                span["self_ns"].as_f64().unwrap_or(0.0) / 1e6,
+                indent = 4 + 2 * depth,
+            );
+            if let Some(i) = span["i"].as_f64() {
+                walk(spans, Some(i), depth + 1);
+            }
+        }
+    }
+    if let Some(spans) = tree["spans"].as_array() {
+        walk(spans, None, 0);
+    }
 }
 
 struct RunOutcome {
@@ -879,7 +921,9 @@ fn run_cluster(
 /// Puts a 2-node coordinator behind the real `pic-net` front-end,
 /// serves a few requests over loopback, and asserts the `/metrics`
 /// scrape carries the cluster roll-up gauges next to the front-end
-/// counters. Returns `true` (it asserts on failure) so the report
+/// counters — and that a sampled request's trace tree is retrievable
+/// with the coordinator fan-out plus per-shard spans naming their
+/// nodes. Returns `true` (it asserts on failure) so the report
 /// records that the path was exercised.
 fn scrape_cluster_metrics(
     node_config: RuntimeConfig,
@@ -902,8 +946,17 @@ fn scrape_cluster_metrics(
         .enumerate()
         .map(|(rank, m)| (format!("model-{rank}"), Arc::clone(m)))
         .collect();
-    let server =
-        NetServer::start(NetConfig::default(), coordinator, registry).expect("bind loopback");
+    let server = NetServer::start(
+        NetConfig {
+            // Head-sample every request so the trace assertions below
+            // are deterministic.
+            trace_sample: 1,
+            ..NetConfig::default()
+        },
+        coordinator,
+        registry,
+    )
+    .expect("bind loopback");
     let mut client = NetClient::connect(server.local_addr(), "probe").expect("connect loopback");
     for _ in 0..4 {
         let wire = MatmulWire {
@@ -943,6 +996,52 @@ fn scrape_cluster_metrics(
         "  [metrics] 2-node cluster scrape parseable through pic-net: {samples} samples, \
          roll-up gauges present"
     );
+    // One trace tree must come back over the wire with the coordinator
+    // fan-out and per-shard child spans carrying node ids — the
+    // distributed-trace acceptance path.
+    if pic_obs::enabled() {
+        let list: serde_json::Value =
+            serde_json::from_str(&client.get("/v1/traces").expect("traces answer").text())
+                .expect("trace summaries parse");
+        let id = list["traces"]
+            .as_array()
+            .and_then(|t| t.first())
+            .and_then(|t| t["id"].as_str())
+            .expect("a stored cluster trace")
+            .to_owned();
+        let tree: serde_json::Value = serde_json::from_str(
+            &client
+                .get(&format!("/v1/traces/{id}"))
+                .expect("trace answers")
+                .text(),
+        )
+        .expect("trace tree parses");
+        let spans = tree["spans"].as_array().expect("spans array");
+        assert!(
+            spans
+                .iter()
+                .any(|s| s["stage"].as_str() == Some("coordinator")),
+            "cluster trace must carry a coordinator span: {tree:?}"
+        );
+        let shard_nodes: Vec<u64> = spans
+            .iter()
+            .filter(|s| s["stage"].as_str() == Some("shard"))
+            .map(|s| s["node"].as_f64().expect("shard spans carry node ids") as u64)
+            .collect();
+        assert!(
+            !shard_nodes.is_empty(),
+            "cluster trace must carry shard spans: {tree:?}"
+        );
+        assert!(
+            shard_nodes.iter().all(|&n| n < 2),
+            "shard node ids must name the 2-node fleet: {shard_nodes:?}"
+        );
+        println!(
+            "  [trace] cluster trace {id} retrievable: coordinator + {} shard span(s) \
+             with node ids",
+            shard_nodes.len()
+        );
+    }
     let _coordinator = server.shutdown();
     true
 }
@@ -1337,6 +1436,52 @@ fn net_main(args: &[String]) {
         return;
     }
 
+    // Sampled request traces, fetched while the server is still up:
+    // every stored trace's span self-times must reconcile with the
+    // recorded wall latency (the tree is sequential, so self times
+    // telescope to the root wall), and the slowest trace is kept for
+    // the --trace report.
+    let mut sampled_traces = 0u64;
+    let mut slowest_trace: Option<serde_json::Value> = None;
+    if pic_obs::enabled() {
+        let mut probe = NetClient::connect(addr, "trace-probe").expect("trace probe connects");
+        let reply = probe.get("/v1/traces").expect("GET /v1/traces");
+        assert_eq!(reply.status, 200, "trace summaries respond 200");
+        let list: serde_json::Value =
+            serde_json::from_str(&reply.text()).expect("trace summaries parse");
+        let summaries = list["traces"].as_array().expect("traces array");
+        assert!(
+            !summaries.is_empty(),
+            "a loaded run with sampling on stores at least one trace"
+        );
+        sampled_traces = summaries.len() as u64;
+        let mut slowest_wall = 0.0f64;
+        for summary in summaries {
+            let id = summary["id"].as_str().expect("trace id");
+            let reply = probe
+                .get(&format!("/v1/traces/{id}"))
+                .expect("GET /v1/traces/<id>");
+            assert_eq!(reply.status, 200, "stored trace {id} is retrievable");
+            let tree: serde_json::Value =
+                serde_json::from_str(&reply.text()).expect("trace tree parses");
+            let wall_ns = tree["wall_ns"].as_f64().expect("trace wall_ns");
+            let self_sum = tree["self_time_sum_ns"].as_f64().expect("self_time_sum_ns");
+            assert!(
+                (wall_ns - self_sum).abs() <= wall_ns * 0.05,
+                "trace {id}: span self-times ({self_sum} ns) reconcile with wall \
+                 ({wall_ns} ns) within 5%"
+            );
+            if wall_ns >= slowest_wall {
+                slowest_wall = wall_ns;
+                slowest_trace = Some(tree);
+            }
+        }
+        println!(
+            "  [trace] {sampled_traces} sampled trace(s); span self-times reconcile \
+             with wall latency within 5%"
+        );
+    }
+
     // Fairness standings before shutdown consumes the server.
     let standings = server.standings();
     let rt = server.shutdown();
@@ -1668,6 +1813,14 @@ fn net_main(args: &[String]) {
             exemplars.len(),
             window.len(),
         );
+        if let Some(tree) = &slowest_trace {
+            println!(
+                "  [trace] slowest sampled trace {} ({:.3} ms wall):",
+                tree["id"].as_str().unwrap_or("?"),
+                tree["wall_ns"].as_f64().unwrap_or(0.0) / 1e6,
+            );
+            print_span_tree(tree);
+        }
         let trace_report = NetTraceReport {
             id: "trace_net".to_owned(),
             title: "Slow-request exemplars and their flight-recorder window".to_owned(),
@@ -1675,6 +1828,8 @@ fn net_main(args: &[String]) {
             slow_threshold_ms: slow_ms,
             exemplars,
             window,
+            sampled_traces,
+            slowest_trace,
         };
         let json = serde_json::to_string_pretty(&trace_report).expect("serialise trace");
         std::fs::write(trace_path, json)
@@ -1745,7 +1900,8 @@ fn count_threads() -> usize {
 /// (default 32) clients drive matmuls whose replies are checked
 /// bit-for-bit against a solo executor. Asserts the process thread
 /// count never grows with connections and stays within the fixed pool
-/// budget (`reactors + workers + 2`). Writes `C10K_smoke.json`.
+/// budget (`reactors + workers + 2`, plus the metrics-series ticker
+/// when observability is compiled in). Writes `C10K_smoke.json`.
 #[allow(clippy::too_many_lines)]
 fn c10k_main(args: &[String]) {
     use pic_net::{MatmulWire, NetClient, NetConfig, NetServer};
@@ -1819,7 +1975,9 @@ fn c10k_main(args: &[String]) {
         }
         last
     };
-    let thread_budget = reactors + config.devices + 2;
+    // The pool is reactors + device workers + (dispatcher, main); the
+    // front-end adds one metrics-series ticker unless obs-off.
+    let thread_budget = reactors + config.devices + 2 + usize::from(pic_obs::enabled());
     println!(
         "C10K_smoke — {conns} keep-alive connections on {reactors} reactors \
          ({loaded_n} loaded clients × {per_loaded} checked requests); \

@@ -473,14 +473,23 @@ impl Coordinator {
         let shard_count = self.plans.read().expect("plans lock")[&request.matrix.id()]
             .shards
             .len();
+        // A traced request gets a "coordinator" span covering the whole
+        // fan-out + reduce; every shard call nests under it.
+        let coord_span = request.trace.as_ref().and_then(|t| {
+            let idx = t.collector.begin("coordinator", t.parent);
+            t.collector
+                .annotate(idx, &format!("fan-out over {shard_count} shards"));
+            idx
+        });
         let mut handle = ClusterHandle {
             coordinator: self,
             request,
             calls: Vec::with_capacity(shard_count),
             retried: 0,
+            coord_span,
         };
         for shard_idx in 0..shard_count {
-            match self.submit_shard(&handle.request, shard_idx, None) {
+            match self.submit_shard(&handle.request, shard_idx, None, coord_span) {
                 Ok(call) => handle.calls.push(Some(call)),
                 Err(e) => return Err(self.reject(e)),
             }
@@ -510,6 +519,7 @@ impl Coordinator {
         request: &MatmulRequest,
         shard_idx: usize,
         exclude: Option<usize>,
+        coord_span: Option<u32>,
     ) -> Result<ShardCall, ClusterError> {
         // Bounded by the fleet size: each failed attempt kills a node.
         for _ in 0..=self.nodes.len() {
@@ -529,6 +539,18 @@ impl Coordinator {
             if let Some(deadline) = request.deadline {
                 shard_request = shard_request.with_deadline(deadline);
             }
+            // Each submission attempt gets its own "shard" span under
+            // the coordinator span (a failed-over attempt leaves its
+            // annotated span behind, so the trace shows the failover).
+            let mut span = None;
+            if let Some(t) = request.trace.as_ref() {
+                span = t.collector.begin("shard", coord_span.or(t.parent));
+                t.collector.set_node(span, node as u64);
+                t.collector.annotate(span, &format!("shard {shard_idx}"));
+                if let Some(idx) = span {
+                    shard_request = shard_request.with_trace(t.child(idx));
+                }
+            }
             match self.nodes[node].runtime.submit(shard_request) {
                 Ok(inner) => {
                     self.nodes[node].inflight.fetch_add(1, Ordering::Relaxed);
@@ -537,6 +559,7 @@ impl Coordinator {
                         node,
                         out_offset,
                         tiles,
+                        span,
                         handle: inner,
                     });
                 }
@@ -544,6 +567,11 @@ impl Coordinator {
                 // lost (re-placing its shards) and try the next
                 // placement.
                 Err(RuntimeError::ShuttingDown | RuntimeError::WorkerLost) => {
+                    if let Some(t) = request.trace.as_ref() {
+                        t.collector
+                            .annotate(span, &format!("node {node} lost at submit, failing over"));
+                        t.collector.end(span);
+                    }
                     self.mark_lost(node);
                 }
                 Err(e) => return Err(ClusterError::Rejected(e)),
@@ -752,6 +780,8 @@ struct ShardCall {
     node: usize,
     out_offset: usize,
     tiles: usize,
+    /// This attempt's "shard" trace span (traced requests only).
+    span: Option<u32>,
     handle: ResponseHandle,
 }
 
@@ -763,6 +793,8 @@ pub struct ClusterHandle<'a> {
     request: MatmulRequest,
     calls: Vec<Option<ShardCall>>,
     retried: usize,
+    /// The "coordinator" span covering fan-out + reduce (traced only).
+    coord_span: Option<u32>,
 }
 
 impl ClusterHandle<'_> {
@@ -793,10 +825,20 @@ impl ClusterHandle<'_> {
                 .inflight
                 .fetch_sub(1, Ordering::Relaxed);
             let resp = match result {
-                Ok(resp) => resp,
+                Ok(resp) => {
+                    if let Some(t) = self.request.trace.as_ref() {
+                        t.collector.end(call.span);
+                    }
+                    resp
+                }
                 // The node died under this in-flight call: retry
                 // exactly once against the new placement.
                 Err(RuntimeError::ShuttingDown | RuntimeError::WorkerLost) => {
+                    if let Some(t) = self.request.trace.as_ref() {
+                        t.collector
+                            .annotate(call.span, &format!("node {node} lost in flight, retrying"));
+                        t.collector.end(call.span);
+                    }
                     coordinator.mark_lost(node);
                     coordinator
                         .counters
@@ -804,7 +846,7 @@ impl ClusterHandle<'_> {
                         .fetch_add(1, Ordering::Relaxed);
                     self.retried += 1;
                     let retry = coordinator
-                        .submit_shard(&self.request, call.shard_idx, Some(node))
+                        .submit_shard(&self.request, call.shard_idx, Some(node), self.coord_span)
                         .map_err(|e| coordinator.reject(e))?;
                     coordinator.record_event(
                         EventKind::ShardRetry,
@@ -812,12 +854,23 @@ impl ClusterHandle<'_> {
                         retry.node as u64,
                     );
                     let retry_node = retry.node;
+                    if let Some(t) = self.request.trace.as_ref() {
+                        t.collector.annotate(
+                            retry.span,
+                            &format!(
+                                "retry after node {node} loss, re-placed on node {retry_node}"
+                            ),
+                        );
+                    }
                     let result = retry.handle.wait();
                     coordinator.nodes[retry_node]
                         .inflight
                         .fetch_sub(1, Ordering::Relaxed);
                     match result {
                         Ok(resp) => {
+                            if let Some(t) = self.request.trace.as_ref() {
+                                t.collector.end(retry.span);
+                            }
                             call.node = retry_node;
                             resp
                         }
@@ -871,6 +924,15 @@ impl ClusterHandle<'_> {
             })
             .collect();
 
+        if let Some(t) = self.request.trace.as_ref() {
+            if self.retried > 0 {
+                t.collector.annotate(
+                    self.coord_span,
+                    &format!("{} shard call(s) retried after node loss", self.retried),
+                );
+            }
+            t.collector.end(self.coord_span);
+        }
         coordinator
             .counters
             .completed

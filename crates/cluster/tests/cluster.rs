@@ -383,6 +383,67 @@ fn drained_coordinator_rejects_with_shutting_down() {
     assert_eq!(err, ClusterError::Rejected(RuntimeError::ShuttingDown));
 }
 
+#[test]
+fn traced_cluster_request_nests_shard_spans_with_node_ids() {
+    if !pic_obs::enabled() {
+        return; // obs-off: tracing compiles to no-ops by design
+    }
+    let coordinator = cluster(4);
+    let m = matrix(12, 10, 7);
+    coordinator.register(&m, 0.4);
+    assert_eq!(coordinator.placement(m.id()).len(), 3, "three row shards");
+
+    let collector = pic_obs::TraceCollector::start(pic_obs::TraceId::mint(1, 1), true);
+    let ctx = pic_obs::TraceContext::new(std::sync::Arc::clone(&collector));
+    coordinator
+        .submit_blocking(MatmulRequest::new(Arc::clone(&m), inputs(2, 10, 3)).with_trace(ctx))
+        .expect("cluster serves");
+    let record = collector.finish(1_000_000);
+
+    let coord = record
+        .spans
+        .iter()
+        .position(|s| s.label == "coordinator")
+        .expect("a coordinator span covers the fan-out");
+    assert_eq!(
+        record.spans[coord].parent,
+        Some(0),
+        "the coordinator span hangs off the root request span"
+    );
+    let shard_spans: Vec<_> = record.spans.iter().filter(|s| s.label == "shard").collect();
+    assert_eq!(shard_spans.len(), 3, "one shard span per planned shard");
+    for s in &shard_spans {
+        assert_eq!(
+            s.parent,
+            Some(coord as u32),
+            "shards nest under the coordinator"
+        );
+        let node = s.node.expect("every shard span carries its node id");
+        assert!((node as usize) < coordinator.node_count());
+        assert!(s.end_ns >= s.start_ns, "shard spans are closed");
+    }
+    // The runtime's own queue/service spans nest beneath shard spans,
+    // so one trace tree covers coordinator → shard → node stages.
+    let shard_indices: Vec<u32> = record
+        .spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.label == "shard")
+        .map(|(i, _)| i as u32)
+        .collect();
+    for label in ["queue", "service"] {
+        let nested = record
+            .spans
+            .iter()
+            .filter(|s| s.label == label && s.parent.is_some_and(|p| shard_indices.contains(&p)))
+            .count();
+        assert_eq!(
+            nested, 3,
+            "each shard call records a {label} span under its shard span"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

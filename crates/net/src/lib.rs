@@ -27,7 +27,24 @@
 //! |---|---|
 //! | `POST /v1/matmul` | Submit a [`MatmulWire`] request; blocks for the reply |
 //! | `GET /metrics` | Prometheus exposition of the runtime + front-end frame |
+//! | `GET /metrics/history` | JSON ring of ~1 s frame deltas (the windowed time-series) |
+//! | `GET /v1/traces` | Summaries of recently sampled request traces |
+//! | `GET /v1/traces/<id>` | One trace's full span tree (stages, wall/self ns, energy, nodes) |
 //! | `GET /healthz` | `200 ok` serving, `503 draining` during drain |
+//!
+//! ## Request-scoped tracing
+//!
+//! One in [`NetConfig::trace_sample`] matmuls (plus every request
+//! slower than [`NetConfig::slow_request`]) records a span tree:
+//! `request` → `admit` → the runtime's `queue`/`service` (with modeled
+//! `write`/`compute`/`digitize` children), and under a cluster backend
+//! `coordinator` → per-shard `shard` spans carrying node ids and
+//! retry/failover annotations. Trace ids are minted deterministically
+//! from [`NetConfig::trace_seed`] and a request counter. `/metrics`
+//! additionally exposes SLO burn-rate gauges (`slo_p99_burn`,
+//! `slo_error_burn` over 10 s / 60 s windows) computed from the same
+//! series that backs `GET /metrics/history`. All of it compiles to
+//! no-ops under the workspace `obs-off` feature.
 //!
 //! ## Typed errors on the wire
 //!

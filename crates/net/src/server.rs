@@ -40,6 +40,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Most distinct per-model / per-client label values `/metrics` emits
+/// before the remainder folds into an `"other"` bucket — caps scrape
+/// cardinality under adversarial id churn.
+const LABEL_CARDINALITY: usize = 12;
+
 /// Sizing and policy of the front-end.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
@@ -71,7 +76,29 @@ pub struct NetConfig {
     /// front-end latency exceeds this records a
     /// [`EventKind::SlowRequest`] into the backend's flight recorder,
     /// linking the slow request to its surrounding recorder window.
+    /// It also arms slow-outlier trace capture: every request above it
+    /// keeps its span tree even when not head-sampled.
     pub slow_request: Option<Duration>,
+    /// Head-sample one in this many matmuls into the trace ring
+    /// (`0` disables head sampling; slow-outlier capture stays armed
+    /// whenever [`NetConfig::slow_request`] is set).
+    pub trace_sample: u64,
+    /// Trace-ring capacity: how many recent traces `GET /v1/traces`
+    /// can page through.
+    pub trace_capacity: usize,
+    /// Seed of the deterministic trace-id sequence (ids are minted
+    /// from `seed` + a per-server request counter — no RNG).
+    pub trace_seed: u64,
+    /// Time-series ring capacity in ~1 s ticks backing
+    /// `GET /metrics/history` and the SLO burn-rate gauges.
+    pub history_capacity: usize,
+    /// SLO target for the p99 end-to-end latency; the
+    /// `slo_p99_burn{window=...}` gauge reports observed p99 ÷ this.
+    pub slo_p99: Duration,
+    /// SLO error budget as a fraction of requests; the
+    /// `slo_error_burn{window=...}` gauge reports observed error rate
+    /// ÷ this.
+    pub slo_error_budget: f64,
 }
 
 impl Default for NetConfig {
@@ -85,6 +112,12 @@ impl Default for NetConfig {
             reactors: 0,
             threaded: false,
             slow_request: None,
+            trace_sample: 64,
+            trace_capacity: 256,
+            trace_seed: 0,
+            history_capacity: 120,
+            slo_p99: Duration::from_millis(250),
+            slo_error_budget: 0.01,
         }
     }
 }
@@ -178,6 +211,14 @@ pub(crate) struct Shared<B> {
     pub(crate) stop: AtomicBool,
     pub(crate) prefix: String,
     pub(crate) slow_request: Option<Duration>,
+    /// Request-scoped tracer: sampling policy + the bounded trace ring
+    /// behind `GET /v1/traces`.
+    pub(crate) tracer: pic_obs::Tracer,
+    /// Windowed time-series of ~1 s frame deltas behind
+    /// `GET /metrics/history` and the SLO burn-rate gauges.
+    pub(crate) series: pic_obs::SeriesStore,
+    slo_p99: Duration,
+    slo_error_budget: f64,
     /// Keyed by model name; built once at start, lock-free afterwards.
     model_stats: HashMap<String, ModelStat>,
 }
@@ -197,6 +238,7 @@ pub struct NetServer<B: ServeBackend = Runtime> {
     shared: Option<Arc<Shared<B>>>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     reactor: Option<crate::reactor::ReactorHandle>,
+    series: Option<std::thread::JoinHandle<()>>,
     addr: SocketAddr,
 }
 
@@ -238,7 +280,26 @@ impl<B: ServeBackend> NetServer<B> {
             stop: AtomicBool::new(false),
             prefix: config.prefix.clone(),
             slow_request: config.slow_request,
+            tracer: pic_obs::Tracer::new(
+                config.trace_seed,
+                config.trace_sample,
+                config.trace_capacity,
+                config.slow_request.is_some(),
+            ),
+            series: pic_obs::SeriesStore::new(config.history_capacity),
+            slo_p99: config.slo_p99,
+            slo_error_budget: config.slo_error_budget,
             model_stats,
+        });
+        // The series ticker folds a metrics frame into the windowed
+        // store about once a second. Under `obs-off` the store is a
+        // no-op, so the thread is not spawned at all.
+        let series = pic_obs::enabled().then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pic-net-series".to_owned())
+                .spawn(move || series_loop(&shared))
+                .expect("spawn series ticker")
         });
         let threaded = config.threaded || !cfg!(target_os = "linux");
         let (acceptor, reactor) = if threaded {
@@ -260,6 +321,7 @@ impl<B: ServeBackend> NetServer<B> {
             shared: Some(shared),
             acceptor,
             reactor,
+            series,
             addr,
         })
     }
@@ -306,6 +368,9 @@ impl<B: ServeBackend> NetServer<B> {
         if let Some(reactor) = self.reactor.take() {
             reactor.shutdown();
         }
+        if let Some(series) = self.series.take() {
+            series.join().expect("series ticker exits cleanly");
+        }
         // The transport joined every thread holding a reference, so
         // this Arc is the last one and the backend comes back out.
         let mut shared = Arc::try_unwrap(shared)
@@ -320,6 +385,24 @@ impl<B: ServeBackend> Drop for NetServer<B> {
     fn drop(&mut self) {
         let _ = self.shutdown_inner();
     }
+}
+
+/// The ~1 s ticker feeding [`Shared::series`]: each tick folds one
+/// scrape frame into the windowed store. Sleeps in short steps so the
+/// drain is never held hostage by the tick period, and pushes one
+/// final frame at drain so even sub-second runs land a point.
+fn series_loop<B: ServeBackend>(shared: &Arc<Shared<B>>) {
+    const STEP: Duration = Duration::from_millis(20);
+    let tick = Duration::from_secs(1);
+    let mut last = Instant::now();
+    while !shared.stop.load(Ordering::Acquire) {
+        std::thread::sleep(STEP);
+        if last.elapsed() >= tick {
+            shared.series.push(metrics_frame(shared));
+            last = Instant::now();
+        }
+    }
+    shared.series.push(metrics_frame(shared));
 }
 
 // ---------------------------------------------------------------------
@@ -462,6 +545,11 @@ pub(crate) struct JobMeta {
     pub(crate) received: Instant,
     /// When fair admission accepted it (end of the admit stage).
     pub(crate) admitted: Instant,
+    /// The sampled request's trace collector (`None` for the unsampled
+    /// common case). Carried opaquely by both engines so
+    /// [`finish_matmul`] can seal the trace on whichever thread learns
+    /// the outcome.
+    pub(crate) trace: Option<Arc<pic_obs::TraceCollector>>,
 }
 
 /// An admitted matmul ready for the backend.
@@ -498,8 +586,28 @@ pub(crate) fn route_begin<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest
                 frame.to_prometheus(&shared.prefix),
             ))
         }
+        ("GET", "/metrics/history") => Routed::Done(HttpResponse::json(
+            200,
+            shared.series.history_json(shared.series.capacity()),
+        )),
+        ("GET", "/v1/traces") => Routed::Done(HttpResponse::json(
+            200,
+            shared
+                .tracer
+                .store()
+                .summaries_json(shared.tracer.store().capacity()),
+        )),
+        ("GET", p) if p.starts_with("/v1/traces/") => Routed::Done(trace_reply(shared, p)),
         ("POST", "/v1/matmul") => matmul_begin(shared, req),
-        (_, "/healthz" | "/metrics" | "/v1/matmul") => Routed::Done(error_reply(
+        (_, "/healthz" | "/metrics" | "/metrics/history" | "/v1/matmul" | "/v1/traces") => {
+            Routed::Done(error_reply(
+                405,
+                "method_not_allowed",
+                format!("{} is not valid for {path}", req.method),
+                None,
+            ))
+        }
+        (_, p) if p.starts_with("/v1/traces/") => Routed::Done(error_reply(
             405,
             "method_not_allowed",
             format!("{} is not valid for {path}", req.method),
@@ -514,8 +622,34 @@ pub(crate) fn route_begin<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest
     }
 }
 
+/// `GET /v1/traces/<id>`: the full span-tree JSON of one stored trace.
+fn trace_reply<B: ServeBackend>(shared: &Shared<B>, path: &str) -> HttpResponse {
+    let hex = path.trim_start_matches("/v1/traces/");
+    let Some(id) = pic_obs::TraceId::parse_hex(hex) else {
+        return error_reply(
+            400,
+            "bad_request",
+            format!("{hex:?} is not a hex trace id"),
+            None,
+        );
+    };
+    match shared.tracer.store().get(id) {
+        Some(record) => HttpResponse::json(200, record.to_json()),
+        None => error_reply(
+            404,
+            "unknown_trace",
+            format!("no stored trace with id {hex}"),
+            None,
+        ),
+    }
+}
+
 fn matmul_begin<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> Routed {
     let received = Instant::now();
+    // Minted before parsing so the trace's root span covers the whole
+    // front-end lifetime, admit stage included. Unsampled requests get
+    // `None` back for the cost of one atomic increment.
+    let trace = shared.tracer.mint();
     let client = req.header("x-client").unwrap_or("anon").to_owned();
     let wire = match MatmulWire::parse(&req.body) {
         Ok(wire) => wire,
@@ -557,13 +691,21 @@ fn matmul_begin<B: ServeBackend>(shared: &Shared<B>, req: &HttpRequest) -> Route
             }
         }
     }
+    let admitted = Instant::now();
+    if let Some(collector) = &trace {
+        collector.span_between("admit", None, received, admitted);
+        let note = format!("model {:?}, client {:?}", wire.model, client);
+        collector.annotate(Some(0), &note);
+        request = request.with_trace(pic_obs::TraceContext::new(Arc::clone(collector)));
+    }
     Routed::Matmul(MatmulJob {
         meta: JobMeta {
             client,
             matrix_id: matrix.id(),
             model: wire.model,
             received,
-            admitted: Instant::now(),
+            admitted,
+            trace,
         },
         request,
     })
@@ -607,6 +749,16 @@ pub(crate) fn finish_matmul<B: ServeBackend>(
                 latency.as_nanos() as u64,
             );
         }
+    }
+    if let Some(collector) = &meta.trace {
+        if let Err(e) = &result {
+            collector.annotate(Some(0), &format!("error: {}", e.kind));
+        }
+        // Kept when head-sampled or over the slow threshold; dropped
+        // (and never stored) otherwise.
+        shared
+            .tracer
+            .finish(collector, latency, shared.slow_request);
     }
     match result {
         Ok(outcome) => {
@@ -704,66 +856,149 @@ pub(crate) fn metrics_frame<B: ServeBackend>(shared: &Shared<B>) -> pic_obs::Fra
         "net_draining".to_owned(),
         f64::from(u8::from(shared.stop.load(Ordering::Acquire))),
     ));
-    for standing in shared.fair.standings() {
-        let id = sanitize(&standing.client);
-        frame.gauges.push((
-            format!("net_client_{id}_inflight"),
-            standing.inflight as f64,
-        ));
-        frame.gauges.push((
-            format!("net_client_{id}_admitted"),
-            standing.admitted as f64,
-        ));
-        frame
-            .gauges
-            .push((format!("net_client_{id}_shed"), standing.shed as f64));
-    }
-    // Per-model stage breakdowns, in stable (sorted) model order.
-    // Models with no finished traffic are omitted — "never requested"
-    // must not read as "zero latency".
-    let mut models: Vec<(&String, &ModelStat)> = shared.model_stats.iter().collect();
-    models.sort_by(|a, b| a.0.cmp(b.0));
-    for (name, stat) in models {
-        let requests = stat.requests.load(Ordering::Relaxed);
-        if requests == 0 {
-            continue;
+    // Per-client fairness gauges, keyed by a Prometheus *label value*
+    // (escaped verbatim, not mangled into the metric name). The top
+    // clients by admitted traffic keep their own label; the tail folds
+    // into client="other" so adversarial id churn cannot explode the
+    // scrape's cardinality.
+    let mut standings = shared.fair.standings();
+    standings.sort_by(|a, b| b.admitted.cmp(&a.admitted).then(a.client.cmp(&b.client)));
+    let (mut o_inflight, mut o_admitted, mut o_shed) = (0.0f64, 0.0f64, 0.0f64);
+    let mut folded_clients = false;
+    for (i, s) in standings.iter().enumerate() {
+        if i < LABEL_CARDINALITY {
+            let label = pic_obs::prom_label_value(&s.client);
+            frame.gauges.push((
+                format!("net_client_inflight{{client=\"{label}\"}}"),
+                s.inflight as f64,
+            ));
+            frame.gauges.push((
+                format!("net_client_admitted{{client=\"{label}\"}}"),
+                s.admitted as f64,
+            ));
+            frame.gauges.push((
+                format!("net_client_shed{{client=\"{label}\"}}"),
+                s.shed as f64,
+            ));
+        } else {
+            folded_clients = true;
+            o_inflight += s.inflight as f64;
+            o_admitted += s.admitted as f64;
+            o_shed += s.shed as f64;
         }
-        let id = sanitize(name);
-        let hist = stat.latency.snapshot();
-        let mean_s = |total_ns: u64| total_ns as f64 / requests as f64 / 1e9;
-        frame
-            .gauges
-            .push((format!("net_model_{id}_matrix_id"), stat.matrix_id as f64));
-        frame
-            .gauges
-            .push((format!("net_model_{id}_requests"), requests as f64));
-        frame.gauges.push((
-            format!("net_model_{id}_errors"),
-            stat.errors.load(Ordering::Relaxed) as f64,
-        ));
-        frame.gauges.push((
-            format!("net_model_{id}_latency_p50_s"),
-            hist.quantile_s(0.5),
-        ));
-        frame.gauges.push((
-            format!("net_model_{id}_latency_p99_s"),
-            hist.quantile_s(0.99),
-        ));
-        frame
-            .gauges
-            .push((format!("net_model_{id}_latency_max_s"), hist.max_s()));
-        frame.gauges.push((
-            format!("net_model_{id}_admit_mean_s"),
-            mean_s(stat.admit_ns.load(Ordering::Relaxed)),
-        ));
-        frame.gauges.push((
-            format!("net_model_{id}_serve_mean_s"),
-            mean_s(stat.serve_ns.load(Ordering::Relaxed)),
-        ));
-        frame
-            .gauges
-            .push((format!("net_model_{id}_energy_j"), stat.energy_j.get()));
     }
+    if folded_clients {
+        frame.gauges.push((
+            "net_client_inflight{client=\"other\"}".to_owned(),
+            o_inflight,
+        ));
+        frame.gauges.push((
+            "net_client_admitted{client=\"other\"}".to_owned(),
+            o_admitted,
+        ));
+        frame
+            .gauges
+            .push(("net_client_shed{client=\"other\"}".to_owned(), o_shed));
+    }
+    // Per-model stage breakdowns, same labeling scheme. Models with no
+    // finished traffic are omitted — "never requested" must not read
+    // as "zero latency".
+    let mut models: Vec<(&String, &ModelStat, u64)> = shared
+        .model_stats
+        .iter()
+        .map(|(name, stat)| (name, stat, stat.requests.load(Ordering::Relaxed)))
+        .filter(|&(_, _, requests)| requests > 0)
+        .collect();
+    models.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let mut emit_model = |label: &str,
+                          stat: Option<&ModelStat>,
+                          requests: u64,
+                          hist: &pic_obs::HistogramSnapshot,
+                          errors: u64,
+                          admit_ns: u64,
+                          serve_ns: u64,
+                          energy_j: f64| {
+        let label = pic_obs::prom_label_value(label);
+        let mut gauge = |name: &str, v: f64| {
+            frame
+                .gauges
+                .push((format!("net_model_{name}{{model=\"{label}\"}}"), v));
+        };
+        if let Some(stat) = stat {
+            gauge("matrix_id", stat.matrix_id as f64);
+        }
+        gauge("requests", requests as f64);
+        gauge("errors", errors as f64);
+        gauge("latency_p50_s", hist.quantile_s(0.5));
+        gauge("latency_p99_s", hist.quantile_s(0.99));
+        gauge("latency_max_s", hist.max_s());
+        let mean_s = |total_ns: u64| total_ns as f64 / requests as f64 / 1e9;
+        gauge("admit_mean_s", mean_s(admit_ns));
+        gauge("serve_mean_s", mean_s(serve_ns));
+        gauge("energy_j", energy_j);
+    };
+    let mut other: Option<(u64, pic_obs::HistogramSnapshot, u64, u64, u64, f64)> = None;
+    for (i, &(name, stat, requests)) in models.iter().enumerate() {
+        let hist = stat.latency.snapshot();
+        let errors = stat.errors.load(Ordering::Relaxed);
+        let admit_ns = stat.admit_ns.load(Ordering::Relaxed);
+        let serve_ns = stat.serve_ns.load(Ordering::Relaxed);
+        let energy_j = stat.energy_j.get();
+        if i < LABEL_CARDINALITY {
+            emit_model(
+                name,
+                Some(stat),
+                requests,
+                &hist,
+                errors,
+                admit_ns,
+                serve_ns,
+                energy_j,
+            );
+        } else {
+            let acc = other
+                .get_or_insert_with(|| (0, pic_obs::HistogramSnapshot::default(), 0, 0, 0, 0.0));
+            acc.0 += requests;
+            acc.1.merge(&hist);
+            acc.2 += errors;
+            acc.3 += admit_ns;
+            acc.4 += serve_ns;
+            acc.5 += energy_j;
+        }
+    }
+    if let Some((requests, hist, errors, admit_ns, serve_ns, energy_j)) = other {
+        emit_model(
+            "other", None, requests, &hist, errors, admit_ns, serve_ns, energy_j,
+        );
+    }
+    // SLO burn-rate gauges over trailing windows of the ~1 s series:
+    // observed p99 ÷ target and observed error rate ÷ budget. 1.0 =
+    // burning budget exactly as provisioned; > 1.0 = out of SLO.
+    for (window, ticks) in [("10s", 10usize), ("60s", 60)] {
+        if let Some(b) = shared.series.burn(
+            ticks,
+            "latency",
+            "net_replies_ok",
+            "net_replies_error",
+            shared.slo_p99.as_secs_f64(),
+            shared.slo_error_budget,
+        ) {
+            frame
+                .gauges
+                .push((format!("slo_p99_burn{{window=\"{window}\"}}"), b.p99_burn));
+            frame.gauges.push((
+                format!("slo_error_burn{{window=\"{window}\"}}"),
+                b.error_burn,
+            ));
+        }
+    }
+    frame
+        .gauges
+        .push(("net_series_ticks".to_owned(), shared.series.len() as f64));
+    frame.counters.extend([
+        ("net_trace_requests", shared.tracer.minted()),
+        ("net_traces_stored", shared.tracer.store().stored()),
+    ]);
     frame
 }
 
@@ -778,13 +1013,6 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Maps a client id onto Prometheus metric-name characters.
-fn sanitize(id: &str) -> String {
-    id.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,13 +1022,6 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"alice"), fnv1a(b"bob"));
         assert_eq!(fnv1a(b"alice"), fnv1a(b"alice"));
-    }
-
-    #[test]
-    fn sanitize_maps_ids_onto_metric_names() {
-        assert_eq!(sanitize("client-7"), "client_7");
-        assert_eq!(sanitize("a.b:c"), "a_b_c");
-        assert_eq!(sanitize("ok42"), "ok42");
     }
 
     #[test]

@@ -489,3 +489,87 @@ fn graceful_drain_loses_zero_on_the_threaded_engine() {
         ..NetConfig::default()
     });
 }
+
+#[test]
+fn traces_and_history_expose_sampled_span_trees() {
+    let (server, addr, _models) = start(NetConfig {
+        trace_sample: 1,
+        slow_request: Some(Duration::from_millis(200)),
+        ..NetConfig::default()
+    });
+    let mut client = NetClient::connect(addr, "tracer").expect("connects");
+    for i in 0..6 {
+        client
+            .matmul(&MatmulWire {
+                model: "model-0".to_owned(),
+                inputs: inputs_for(0, i, 8),
+                deadline_ms: None,
+            })
+            .expect("traced request serves");
+    }
+
+    let list = client.get("/v1/traces").expect("trace list answers");
+    assert_eq!(list.status, 200);
+    let text = list.text();
+    assert!(text.contains("\"traces\":["), "summary envelope: {text}");
+    if !pic_obs::enabled() {
+        // obs-off: the endpoints answer, but tracing compiled to
+        // no-ops so the ring stays empty.
+        assert!(
+            text.contains("\"stored\":0"),
+            "obs-off stores nothing: {text}"
+        );
+        let _ = server.shutdown();
+        return;
+    }
+
+    // Every request was head-sampled (rate 1): fetch one full tree.
+    let id = text
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("a stored trace id")
+        .to_owned();
+    let full = client.get(&format!("/v1/traces/{id}")).expect("answers");
+    assert_eq!(full.status, 200);
+    let body = full.text();
+    for stage in [
+        "\"stage\":\"request\"",
+        "\"stage\":\"admit\"",
+        "\"stage\":\"queue\"",
+        "\"stage\":\"service\"",
+    ] {
+        assert!(body.contains(stage), "trace tree carries {stage}\n{body}");
+    }
+    assert!(body.contains("\"self_time_sum_ns\""), "{body}");
+
+    // Unknown id -> typed 404; non-hex id -> 400.
+    let missing = client.get("/v1/traces/0000000000000001").expect("answers");
+    assert_eq!(missing.status, 404);
+    let garbage = client.get("/v1/traces/zzzz").expect("answers");
+    assert_eq!(garbage.status, 400);
+
+    // The windowed series answers JSON (possibly zero points before
+    // the first ~1 s tick elapses).
+    let history = client.get("/metrics/history").expect("answers");
+    assert_eq!(history.status, 200);
+    assert!(
+        history.text().starts_with("{\"points\":["),
+        "history envelope: {}",
+        history.text()
+    );
+
+    // The scrape carries trace counters and the new label-valued
+    // per-model / per-client series.
+    let scrape = client.get("/metrics").expect("answers");
+    let text = scrape.text();
+    for needle in [
+        "pic_net_trace_requests",
+        "pic_net_traces_stored",
+        "pic_net_model_requests{model=\"model-0\"}",
+        "pic_net_client_admitted{client=\"tracer\"}",
+    ] {
+        assert!(text.contains(needle), "scrape must carry {needle}\n{text}");
+    }
+    let _ = server.shutdown();
+}

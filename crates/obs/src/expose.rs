@@ -12,8 +12,28 @@
 //! frame to produce a windowed view for rate computation. Gauges are
 //! instantaneous and pass through a delta unchanged.
 
+use std::collections::HashSet;
+
 use crate::hist::HistogramSnapshot;
 use crate::span::StageSnapshot;
+
+/// Escapes a string for use as a Prometheus label *value*: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`. Use this whenever an external id (model
+/// name, client id) is interpolated into `name{label="<value>"}` —
+/// a raw `"` would otherwise break the exposition line.
+#[must_use]
+pub fn prom_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// One stage row in a frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,21 +117,26 @@ impl Frame {
 
     /// Renders the frame in the Prometheus text exposition format.
     /// Metric names are `{prefix}_{name}`; histograms emit cumulative
-    /// `le` buckets in seconds plus `_sum`/`_count`.
+    /// `le` buckets in seconds plus `_sum`/`_count`. A name may embed
+    /// a `{label="value"}` suffix (escape values with
+    /// [`prom_label_value`]); the `# TYPE` line then uses the bare
+    /// metric name and is emitted once per family, not per series.
     #[must_use]
     pub fn to_prometheus(&self, prefix: &str) -> String {
         let mut out = String::with_capacity(4096);
+        let mut typed = HashSet::new();
         for &(name, value) in &self.counters {
-            prom_scalar(&mut out, prefix, name, "counter", value as f64);
+            prom_scalar(&mut out, &mut typed, prefix, name, "counter", value as f64);
         }
         for (name, value) in &self.gauges {
-            prom_scalar(&mut out, prefix, name, "gauge", *value);
+            prom_scalar(&mut out, &mut typed, prefix, name, "gauge", *value);
         }
         for stage in &self.stages {
             let name = format!("stage_{}_seconds", stage.stage);
             prom_hist(&mut out, prefix, &name, &stage.hist);
             prom_scalar(
                 &mut out,
+                &mut typed,
                 prefix,
                 &format!("stage_{}_energy_joules", stage.stage),
                 "counter",
@@ -164,7 +189,7 @@ impl Frame {
             }
             out.push('{');
             push_key(&mut out, "stage");
-            push_str(&mut out, stage.stage);
+            push_json_str(&mut out, stage.stage);
             out.push(',');
             json_hist_fields(&mut out, &stage.hist);
             out.push(',');
@@ -189,11 +214,21 @@ impl Frame {
     }
 }
 
-fn prom_scalar(out: &mut String, prefix: &str, name: &str, kind: &str, value: f64) {
-    out.push_str(&format!(
-        "# TYPE {prefix}_{name} {kind}\n{prefix}_{name} {}\n",
-        fmt_f64(value)
-    ));
+fn prom_scalar(
+    out: &mut String,
+    typed: &mut HashSet<String>,
+    prefix: &str,
+    name: &str,
+    kind: &str,
+    value: f64,
+) {
+    // Series of one family share a bare metric name up to the label
+    // block; the TYPE header belongs to the family, once.
+    let family = name.split('{').next().unwrap_or(name);
+    if typed.insert(family.to_string()) {
+        out.push_str(&format!("# TYPE {prefix}_{family} {kind}\n"));
+    }
+    out.push_str(&format!("{prefix}_{name} {}\n", fmt_f64(value)));
 }
 
 fn prom_hist(out: &mut String, prefix: &str, name: &str, hist: &HistogramSnapshot) {
@@ -238,11 +273,13 @@ fn json_hist_fields(out: &mut String, hist: &HistogramSnapshot) {
 }
 
 fn push_key(out: &mut String, key: &str) {
-    push_str(out, key);
+    push_json_str(out, key);
     out.push(':');
 }
 
-fn push_str(out: &mut String, s: &str) {
+/// Appends `s` as a quoted, escaped JSON string (shared by the trace
+/// and series renderers — `pic-obs` has no serde).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -353,8 +390,34 @@ mod tests {
     #[test]
     fn json_escapes_reserved_characters() {
         let mut out = String::new();
-        push_str(&mut out, "a\"b\\c\nd\u{1}");
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn label_values_escape_and_type_lines_dedupe() {
+        assert_eq!(prom_label_value("plain-id_9"), "plain-id_9");
+        assert_eq!(prom_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let frame = Frame {
+            gauges: vec![
+                (
+                    format!("model_requests{{model=\"{}\"}}", prom_label_value("m\"1")),
+                    4.0,
+                ),
+                ("model_requests{model=\"m2\"}".to_owned(), 6.0),
+            ],
+            ..Frame::default()
+        };
+        let text = frame.to_prometheus("pic");
+        // One TYPE header for the family, bare name, then both series.
+        assert_eq!(
+            text.matches("# TYPE pic_model_requests gauge\n").count(),
+            1,
+            "{text}"
+        );
+        assert!(!text.contains("# TYPE pic_model_requests{"), "{text}");
+        assert!(text.contains("pic_model_requests{model=\"m\\\"1\"} 4.0"));
+        assert!(text.contains("pic_model_requests{model=\"m2\"} 6.0"));
     }
 
     #[test]

@@ -376,6 +376,66 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_all_report_its_bucket_edge() {
+        let h = LatencyHistogram::default();
+        h.record(1_000); // bucket 9: [512, 1024) ns
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile_s(q);
+            assert!(
+                (v - 1024e-9).abs() < 1e-15,
+                "q={q}: a lone sample is always the ranked one, got {v}"
+            );
+        }
+        assert!((h.mean_s() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_bucket_survives_merge_without_overflow() {
+        // u64::MAX ns lands in the top bucket (63). Merging two
+        // top-bucket histograms must keep counts exact and quantiles
+        // finite (the bucket's upper edge is 2^64 ns ≈ 584 yr).
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        for _ in 0..3 {
+            a.record(u64::MAX);
+            b.record(u64::MAX);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        let s = a.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 6);
+        let max = s.max_s();
+        assert!(max.is_finite());
+        assert!(max >= 2f64.powi(63) / 1e9, "top-bucket edge, got {max}");
+        // sum_ns wraps modulo 2^64 under extreme inputs; the mean must
+        // still be finite (garbage-tolerant, never NaN/Inf).
+        assert!(s.mean_s().is_finite());
+    }
+
+    #[test]
+    fn delta_against_a_wrapped_counter_saturates_to_empty() {
+        // If the "earlier" snapshot is actually *ahead* (counter wrap,
+        // restart, or mismatched pair), delta must saturate to zero
+        // everywhere instead of wrapping to ~2^64 phantom samples.
+        let mut earlier = HistogramSnapshot::default();
+        earlier.buckets[9] = u64::MAX;
+        earlier.sum_ns = u64::MAX;
+        let mut later = HistogramSnapshot::default();
+        later.buckets[9] = 5;
+        later.sum_ns = 5_000;
+        let d = later.delta(&earlier);
+        assert!(d.is_empty(), "wrapped counter must not produce samples");
+        assert_eq!(d.sum_ns, 0);
+        assert_eq!(d.quantile_s(0.99), 0.0);
+        // And a partially-wrapped pair only zeroes the wrapped bucket.
+        let mut mixed = later.clone();
+        mixed.buckets[10] = 7;
+        let d = mixed.delta(&earlier);
+        assert_eq!(d.buckets[9], 0);
+        assert_eq!(d.buckets[10], 7);
+    }
+
+    #[test]
     fn merge_then_quantile_matches_record_then_quantile() {
         // Two shards record disjoint streams; merging them must yield
         // exactly the histogram a single recorder would have built.

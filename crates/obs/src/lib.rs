@@ -16,6 +16,13 @@
 //! * [`expose`]/[`export`] — a unified [`Frame`] snapshot rendered as
 //!   Prometheus text or JSON, and [`SnapshotSink`]s for the periodic
 //!   exporter (JSON-lines file, in-memory scrape).
+//! * [`trace`] — request-scoped distributed tracing: deterministic
+//!   [`TraceId`]s, span-tree [`TraceCollector`]s threaded through the
+//!   request, head + slow-outlier sampling ([`Tracer`]), and a bounded
+//!   [`TraceStore`] ring served as JSON.
+//! * [`series`] — a windowed metrics time series ([`SeriesStore`]):
+//!   a ring of per-tick [`Frame`] deltas powering `/metrics/history`
+//!   and SLO burn-rate gauges ([`BurnGauges`]).
 //!
 //! ## Cost model
 //!
@@ -33,15 +40,21 @@ pub mod export;
 pub mod expose;
 pub mod hist;
 pub mod recorder;
+pub mod series;
 pub mod span;
+pub mod trace;
 
 pub use export::{events_to_json, JsonLinesSink, MemorySink, SnapshotSink};
-pub use expose::{Frame, StageFrame};
+pub use expose::{prom_label_value, Frame, StageFrame};
 pub use hist::{AtomicF64, HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use recorder::{Event, EventKind, FlightRecorder, DEFAULT_RECORDER_CAPACITY};
+pub use series::{BurnGauges, SeriesPoint, SeriesStore};
 pub use span::{
     collector_installed, install_collector, record_stage_ns, Span, Stage, StageSnapshot,
     StageStats, StageTimer, STAGE_COUNT,
+};
+pub use trace::{
+    SpanRecord, TraceCollector, TraceContext, TraceId, TraceRecord, TraceStore, Tracer,
 };
 
 /// Whether instrumentation is compiled in (`false` when the `obs-off`

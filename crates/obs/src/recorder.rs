@@ -187,6 +187,13 @@ impl FlightRecorder {
         self.cursor.load(Ordering::Relaxed)
     }
 
+    /// Events no longer retrievable from a dump: everything recorded
+    /// beyond the ring's last `capacity` events has been overwritten.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
     /// Records an event. Lock-free, allocation-free; no-op under
     /// `obs-off`.
     #[inline]
@@ -337,6 +344,76 @@ mod tests {
             });
         });
         assert_eq!(rec.recorded(), 20_000);
+    }
+
+    #[test]
+    fn torture_one_writer_four_readers_over_a_million_events() {
+        // Satellite stress: one writer streams 1M events through a
+        // small ring while four seqlock readers dump continuously.
+        // Every surfaced event must honour the payload invariant
+        // (no torn reads) and every dump must be strictly monotone in
+        // seq with consistent timestamps.
+        if !compiled() {
+            return;
+        }
+        const EVENTS: u64 = 1_000_000;
+        const MASK: u64 = 0xA5A5_5A5A_DEAD_BEEF;
+        let rec = FlightRecorder::new(1024);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let rec = &rec;
+            let done = &done;
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    rec.record(EventKind::WorkerStall, i, i ^ MASK);
+                }
+                done.store(true, Ordering::Release);
+            });
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let mut dumps = 0u64;
+                    while !done.load(Ordering::Acquire) || dumps == 0 {
+                        let events = rec.dump();
+                        for e in &events {
+                            assert_eq!(e.b, e.a ^ MASK, "torn slot read: {e:?}");
+                            assert_eq!(e.seq, e.a, "seq/payload mismatch: {e:?}");
+                        }
+                        assert!(
+                            events.windows(2).all(|w| w[0].seq < w[1].seq),
+                            "dump not strictly monotone in seq"
+                        );
+                        assert!(
+                            events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns),
+                            "timestamps regressed within a dump"
+                        );
+                        dumps += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.recorded(), EVENTS);
+        assert_eq!(rec.dropped(), EVENTS - 1024);
+        let final_dump = rec.dump();
+        assert!(!final_dump.is_empty());
+        assert!(final_dump.iter().all(|e| e.seq >= EVENTS - 1024));
+    }
+
+    #[test]
+    fn dropped_counts_only_overwritten_events() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..3u64 {
+            rec.record(EventKind::WorkerStall, i, 0);
+        }
+        assert_eq!(rec.dropped(), 0);
+        for i in 0..7u64 {
+            rec.record(EventKind::WorkerStall, i, 0);
+        }
+        if compiled() {
+            assert_eq!(rec.recorded(), 10);
+            assert_eq!(rec.dropped(), 6);
+        } else {
+            assert_eq!(rec.dropped(), 0);
+        }
     }
 
     #[test]

@@ -258,6 +258,7 @@ impl MetricsRegistry {
                     self.worker_busy_ns.load(Ordering::Relaxed),
                 ),
                 ("recorder_events", self.recorder.recorded()),
+                ("recorder_dropped_events", self.recorder.dropped()),
             ],
             gauges,
             stages: self
@@ -400,6 +401,16 @@ mod tests {
             assert_eq!(events.len(), 1);
             assert_eq!(events[0].kind, EventKind::QueueFullRejected);
         }
+        let f = m.frame();
+        let counter = |n: &str| {
+            f.counters
+                .iter()
+                .find(|(name, _)| *name == n)
+                .map(|&(_, v)| v)
+        };
+        // The ring is far from full, so nothing has been dropped yet.
+        assert_eq!(counter("recorder_dropped_events"), Some(0));
+        assert!(counter("recorder_events").is_some());
     }
 
     /// Satellite stress test: 8 writer threads hammer one registry while

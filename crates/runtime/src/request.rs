@@ -15,6 +15,10 @@ pub struct MatmulRequest {
     /// Optional absolute deadline; an expired request is rejected with
     /// [`RuntimeError::DeadlineExpired`] instead of executed.
     pub deadline: Option<Instant>,
+    /// Trace context of a sampled request: scheduler and executor
+    /// stages record spans into it. `None` (the common case) costs a
+    /// single branch.
+    pub trace: Option<pic_obs::TraceContext>,
 }
 
 impl MatmulRequest {
@@ -25,6 +29,7 @@ impl MatmulRequest {
             matrix,
             inputs,
             deadline: None,
+            trace: None,
         }
     }
 
@@ -32,6 +37,13 @@ impl MatmulRequest {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches the trace context of a sampled request.
+    #[must_use]
+    pub fn with_trace(mut self, trace: pic_obs::TraceContext) -> Self {
+        self.trace = Some(trace);
         self
     }
 

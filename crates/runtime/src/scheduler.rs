@@ -160,6 +160,9 @@ struct Submission {
     request: MatmulRequest,
     respond: SyncSender<Result<Response, RuntimeError>>,
     submitted_at: Instant,
+    /// Open "queue" span of a traced request (closed at batch
+    /// formation).
+    trace_queue: Option<u32>,
     /// Keep last: must drop after `respond` (see [`WakeGuard`]).
     wake: Option<WakeGuard>,
 }
@@ -562,11 +565,22 @@ impl Runtime {
             return Err(e);
         }
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        // A traced request opens its "queue" span here, tagged with
+        // the backlog it joined; the dispatcher closes it when the
+        // request leaves the pending set for a batch.
+        let trace_queue = request.trace.as_ref().and_then(|t| {
+            let idx = t.collector.begin("queue", t.parent);
+            let depth = self.metrics.intake_depth.load(Ordering::Relaxed)
+                + self.metrics.pending_depth.load(Ordering::Relaxed);
+            t.collector.set_queue_depth(idx, depth);
+            idx
+        });
         Ok((
             Submission {
                 request,
                 respond: tx,
                 submitted_at: Instant::now(),
+                trace_queue,
                 wake: None,
             },
             ResponseHandle::new(rx),
@@ -766,6 +780,9 @@ fn dispatcher_loop(
                 Stage::Queue,
                 formed_at.duration_since(sub.submitted_at).as_nanos() as u64,
             );
+            if let Some(trace) = &sub.request.trace {
+                trace.collector.end(sub.trace_queue);
+            }
         }
         last_dispatched = Some(matrix_id);
         metrics.batches_dispatched.fetch_add(1, Ordering::Relaxed);
@@ -831,6 +848,12 @@ fn reject_expired(
                 .as_nanos() as u64,
         );
         metrics.recorder.trip_incident();
+        if let Some(trace) = &sub.request.trace {
+            trace.collector.end(sub.trace_queue);
+            trace
+                .collector
+                .annotate(sub.trace_queue, "deadline expired while queued");
+        }
         let _ = sub.respond.send(Err(RuntimeError::DeadlineExpired));
     }
     live
@@ -872,10 +895,12 @@ fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry, adc
         .collect();
     let total_samples = merged.len();
 
+    let exec_start = Instant::now();
     let mut device = pool.acquire_for(matrix.id());
     let executed = device.execute_slices(&matrix, &merged);
     let device_id = device.device_id();
     drop(device);
+    let exec_end = Instant::now();
 
     match executed {
         Ok((mut outputs, cost)) => {
@@ -933,6 +958,17 @@ fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry, adc
                 metrics
                     .latency
                     .record(finished.duration_since(sub.submitted_at).as_nanos() as u64);
+                if let Some(trace) = &sub.request.trace {
+                    record_service_span(
+                        trace,
+                        &cost,
+                        exec_start,
+                        exec_end,
+                        device_id,
+                        batched_with,
+                        adc_fraction,
+                    );
+                }
                 let _ = sub.respond.send(Ok(Response {
                     outputs: mine,
                     cost,
@@ -949,6 +985,53 @@ fn process_batch(batch: Batch, pool: &DevicePool, metrics: &MetricsRegistry, adc
                 let _ = sub.respond.send(Err(e.clone()));
             }
         }
+    }
+}
+
+/// Records a traced request's "service" span over the measured device
+/// pass, with modeled `write`/`compute`/`digitize` child spans
+/// partitioning the pass proportionally to the hardware model. Each
+/// child carries its stage's energy share, matching the registry's
+/// stage-level attribution (so a trace reconciles with `/metrics`).
+fn record_service_span(
+    trace: &pic_obs::TraceContext,
+    cost: &RequestCost,
+    exec_start: Instant,
+    exec_end: Instant,
+    device_id: usize,
+    batched_with: usize,
+    adc_fraction: f64,
+) {
+    let c = &trace.collector;
+    let Some(service) = c.span_between("service", trace.parent, exec_start, exec_end) else {
+        return;
+    };
+    c.annotate(
+        Some(service),
+        &format!("device {device_id}, batched with {batched_with}"),
+    );
+    let base = c.offset_ns(exec_start);
+    let span_ns = c.offset_ns(exec_end).saturating_sub(base);
+    let model_s = cost.total_time_s();
+    if span_ns == 0 || model_s <= 0.0 {
+        c.add_energy_j(Some(service), cost.total_energy_j());
+        return;
+    }
+    let digitize_s = cost.compute_time_s * adc_fraction;
+    let mut edge = base;
+    for (label, share_s, energy_j) in [
+        ("write", cost.write_time_s, cost.write_energy_j),
+        (
+            "compute",
+            cost.compute_time_s - digitize_s,
+            cost.compute_energy_j * (1.0 - adc_fraction),
+        ),
+        ("digitize", digitize_s, cost.compute_energy_j * adc_fraction),
+    ] {
+        let width = (span_ns as f64 * (share_s / model_s)) as u64;
+        let child = c.span_offsets(label, Some(service), edge, edge + width);
+        c.add_energy_j(child, energy_j);
+        edge += width;
     }
 }
 
@@ -1238,6 +1321,7 @@ mod tests {
                         .with_deadline(submitted_at + ttl),
                     respond: tx,
                     submitted_at,
+                    trace_queue: None,
                     wake: None,
                 }
             })
@@ -1263,6 +1347,63 @@ mod tests {
             assert_eq!(dump.len(), 1);
             assert_eq!(dump[0].kind, EventKind::DeadlineExpired);
         }
+    }
+
+    #[test]
+    fn traced_request_collects_queue_and_service_spans() {
+        let rt = small_runtime(1);
+        let m = matrix(4, 4);
+        let collector = pic_obs::TraceCollector::start(pic_obs::TraceId::mint(1, 0), true);
+        let ctx = pic_obs::TraceContext::new(Arc::clone(&collector));
+        let req = MatmulRequest::new(m, vec![vec![0.5; 4]]).with_trace(ctx);
+        let h = rt.submit(req).expect("accepted");
+        let resp = h.wait().expect("completed");
+        if !pic_obs::enabled() {
+            return;
+        }
+        let record = collector.finish(collector.offset_ns(Instant::now()));
+        let labels: Vec<&str> = record.spans.iter().map(|s| s.label).collect();
+        for expected in ["queue", "service", "write", "compute", "digitize"] {
+            assert!(labels.contains(&expected), "missing {expected}: {labels:?}");
+        }
+        let queue = record
+            .spans
+            .iter()
+            .find(|s| s.label == "queue")
+            .expect("queue span");
+        assert!(queue.queue_depth.is_some(), "queue depth tagged at entry");
+        let service_idx = record
+            .spans
+            .iter()
+            .position(|s| s.label == "service")
+            .expect("service span");
+        let service = &record.spans[service_idx];
+        assert!(
+            service
+                .annotation
+                .as_deref()
+                .unwrap_or("")
+                .contains("device"),
+            "service span names its device: {service:?}"
+        );
+        // The modeled children partition the service span and carry
+        // the request's energy split exactly.
+        let child_energy: f64 = record
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(service_idx as u32))
+            .map(|s| s.energy_j)
+            .sum();
+        let total = resp.cost.total_energy_j();
+        assert!(
+            (child_energy - total).abs() <= 1e-12 * total.max(1.0),
+            "span energy {child_energy} != request energy {total}"
+        );
+        assert!(record
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(service_idx as u32))
+            .all(|s| s.start_ns >= service.start_ns && s.end_ns <= service.end_ns));
     }
 
     #[test]
